@@ -1,0 +1,186 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace rrbench {
+
+using rr::telemetry::RunMetrics;
+
+BenchConfig BenchConfig::FromArgs(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--full") {
+      config.full = true;
+    } else if (arg == "--csv") {
+      config.csv = true;
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      config.reps = std::atoi(argv[i] + 7);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+    }
+  }
+  return config;
+}
+
+namespace {
+constexpr size_t kMiB = 1024 * 1024;
+}
+
+std::vector<size_t> IntraNodePayloadSizes(const BenchConfig& config) {
+  if (config.full) {
+    return {1 * kMiB, 10 * kMiB, 60 * kMiB, 100 * kMiB, 250 * kMiB, 500 * kMiB};
+  }
+  return {1 * kMiB, 4 * kMiB, 16 * kMiB, 64 * kMiB};
+}
+
+std::vector<size_t> InterNodePayloadSizes(const BenchConfig& config) {
+  if (config.full) {
+    return {1 * kMiB, 10 * kMiB, 60 * kMiB, 100 * kMiB, 250 * kMiB, 500 * kMiB};
+  }
+  // 100 Mbps drains ~12.5 MB/s: keep quick mode under a minute.
+  return {1 * kMiB, 4 * kMiB, 16 * kMiB};
+}
+
+std::vector<size_t> FanoutDegrees(const BenchConfig& config) {
+  if (config.full) return {1, 10, 25, 50, 75, 100};
+  return {1, 2, 4, 8, 16};
+}
+
+size_t FanoutPayloadBytes(const BenchConfig& config, bool inter_node) {
+  if (config.full) return 10 * kMiB;  // paper: 10 MB transfers
+  return inter_node ? 256 * 1024 : 2 * kMiB;
+}
+
+rr::netsim::LinkConfig PaperLink() {
+  rr::netsim::LinkConfig link;
+  link.bandwidth_bytes_per_sec = 100e6 / 8;                 // 100 Mbps
+  link.one_way_delay = std::chrono::microseconds(500);      // 1 ms RTT
+  return link;
+}
+
+rr::Result<RunMetrics> RunPoint(rr::workload::ChainDriver& driver,
+                                size_t payload_bytes, int reps) {
+  // One untimed warm-up run: page in payload caches and connections.
+  RR_ASSIGN_OR_RETURN(RunMetrics warmup, driver.RunOnce(payload_bytes));
+  (void)warmup;
+
+  RunMetrics accum;
+  uint64_t rss_max = 0;
+  for (int r = 0; r < reps; ++r) {
+    RR_ASSIGN_OR_RETURN(const RunMetrics metrics, driver.RunOnce(payload_bytes));
+    accum.latency += metrics.latency;
+    accum.cpu.total_pct += metrics.cpu.total_pct;
+    accum.cpu.user_pct += metrics.cpu.user_pct;
+    accum.cpu.kernel_pct += metrics.cpu.kernel_pct;
+    rss_max = std::max(rss_max, metrics.rss_bytes);
+  }
+  RunMetrics mean;
+  mean.latency.total = accum.latency.total / reps;
+  mean.latency.transfer = accum.latency.transfer / reps;
+  mean.latency.serialization = accum.latency.serialization / reps;
+  mean.latency.wasm_io = accum.latency.wasm_io / reps;
+  mean.cpu.total_pct = accum.cpu.total_pct / reps;
+  mean.cpu.user_pct = accum.cpu.user_pct / reps;
+  mean.cpu.kernel_pct = accum.cpu.kernel_pct / reps;
+  mean.rss_bytes = rss_max;
+  return mean;
+}
+
+rr::Result<Series> RunPayloadSweep(rr::workload::ChainDriver& driver,
+                                   const std::vector<size_t>& sizes, int reps) {
+  Series series;
+  for (const size_t size : sizes) {
+    RR_ASSIGN_OR_RETURN(const RunMetrics mean, RunPoint(driver, size, reps));
+    series.push_back({size, mean});
+  }
+  return series;
+}
+
+std::string FormatMiB(size_t bytes) {
+  if (bytes < kMiB) {
+    return rr::StrFormat("%zu KB", bytes / 1024);
+  }
+  return rr::StrFormat("%.0f MB", static_cast<double>(bytes) / kMiB);
+}
+
+namespace {
+
+// Renders one panel: rows = x values, one column per system.
+void PrintPanel(const std::string& title, const SweepResult& sweep,
+                const std::string& x_label,
+                const std::function<std::string(size_t)>& format_x,
+                const std::function<std::string(const RunMetrics&)>& cell,
+                bool csv) {
+  rr::telemetry::PrintBanner(title);
+  std::vector<std::string> header = {x_label};
+  for (const auto& [system, series] : sweep) header.push_back(system);
+  rr::telemetry::Table table(header);
+
+  if (sweep.empty()) return;
+  const size_t num_points = sweep.front().second.size();
+  for (size_t p = 0; p < num_points; ++p) {
+    std::vector<std::string> row = {format_x(sweep.front().second[p].x)};
+    for (const auto& [system, series] : sweep) {
+      row.push_back(p < series.size() ? cell(series[p].mean) : "-");
+    }
+    table.AddRow(std::move(row));
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  if (csv) std::fputs(table.RenderCsv().c_str(), stdout);
+}
+
+}  // namespace
+
+void PrintEightPanels(const std::string& figure, const SweepResult& sweep,
+                      const std::string& x_label,
+                      const std::function<std::string(size_t)>& format_x,
+                      bool csv) {
+  using rr::telemetry::FormatPercent;
+  using rr::telemetry::FormatRps;
+  using rr::telemetry::FormatSeconds;
+  using rr::telemetry::ThroughputRps;
+
+  PrintPanel(figure + "a: Total Latency", sweep, x_label, format_x,
+             [](const RunMetrics& m) { return FormatSeconds(m.total_seconds()); },
+             csv);
+  PrintPanel(figure + "b: Total Throughput (req/s)", sweep, x_label, format_x,
+             [](const RunMetrics& m) {
+               return FormatRps(ThroughputRps(m.latency.total));
+             },
+             csv);
+  PrintPanel(figure + "c: Serialization Latency", sweep, x_label, format_x,
+             [](const RunMetrics& m) {
+               return FormatSeconds(m.serialization_seconds());
+             },
+             csv);
+  PrintPanel(figure + "d: Serialization Throughput (req/s)", sweep, x_label,
+             format_x,
+             [](const RunMetrics& m) {
+               // Rate at which serialization alone could be performed; the
+               // paper reports this as "throughput excluding transfer".
+               return m.latency.serialization.count() > 0
+                          ? FormatRps(ThroughputRps(m.latency.serialization))
+                          : std::string(">1e6");
+             },
+             csv);
+  PrintPanel(figure + "e: Total CPU", sweep, x_label, format_x,
+             [](const RunMetrics& m) { return FormatPercent(m.cpu.total_pct); },
+             csv);
+  PrintPanel(figure + "f: User Space CPU", sweep, x_label, format_x,
+             [](const RunMetrics& m) { return FormatPercent(m.cpu.user_pct); },
+             csv);
+  PrintPanel(figure + "g: Kernel Space CPU", sweep, x_label, format_x,
+             [](const RunMetrics& m) { return FormatPercent(m.cpu.kernel_pct); },
+             csv);
+  PrintPanel(figure + "h: RAM (MB)", sweep, x_label, format_x,
+             [](const RunMetrics& m) {
+               return rr::telemetry::FormatMB(m.rss_bytes);
+             },
+             csv);
+}
+
+}  // namespace rrbench

@@ -1,0 +1,73 @@
+// Shared benchmark harness: configuration flags, sweep execution, and
+// figure-style reporting.
+//
+// Every bench accepts:
+//   --full       paper-scale parameters (1-500 MB payloads, fan-out to 100,
+//                10 repetitions) — slow on a small host
+//   --reps=N     override repetition count
+//   --csv        additionally emit CSV blocks for plotting
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "telemetry/metrics.h"
+#include "telemetry/reporter.h"
+#include "workload/drivers.h"
+
+namespace rrbench {
+
+struct BenchConfig {
+  bool full = false;
+  int reps = 0;  // 0 = mode default (3 quick / 10 full)
+  bool csv = false;
+
+  int repetitions() const { return reps > 0 ? reps : (full ? 10 : 3); }
+
+  static BenchConfig FromArgs(int argc, char** argv);
+};
+
+// Payload sweeps (bytes). Paper: 1 MB – 500 MB; quick mode trims the tail so
+// a full bench run stays in tens of seconds on a laptop-class host.
+std::vector<size_t> IntraNodePayloadSizes(const BenchConfig& config);
+std::vector<size_t> InterNodePayloadSizes(const BenchConfig& config);
+
+// Fan-out degrees. Paper: up to 100 with 10 MB payloads.
+std::vector<size_t> FanoutDegrees(const BenchConfig& config);
+size_t FanoutPayloadBytes(const BenchConfig& config, bool inter_node);
+
+// The paper's emulated link (100 Mbps / 1 ms RTT).
+rr::netsim::LinkConfig PaperLink();
+
+// A measured series: one system swept over an x-axis.
+struct SeriesPoint {
+  size_t x = 0;  // payload bytes or fan-out degree
+  rr::telemetry::RunMetrics mean;
+};
+using Series = std::vector<SeriesPoint>;
+// Ordered (system name, series) pairs — insertion order = legend order.
+using SweepResult = std::vector<std::pair<std::string, Series>>;
+
+// Runs `driver` once per x: for payload sweeps x is the payload size; the
+// driver's fan-out is fixed at construction.
+rr::Result<Series> RunPayloadSweep(rr::workload::ChainDriver& driver,
+                                   const std::vector<size_t>& sizes, int reps);
+
+// Averages `reps` runs of a single point.
+rr::Result<rr::telemetry::RunMetrics> RunPoint(rr::workload::ChainDriver& driver,
+                                               size_t payload_bytes, int reps);
+
+// Renders the figure's eight panels (total/serialization latency &
+// throughput, total/user/kernel CPU, RAM) as tables, X column labelled
+// `x_label` with values formatted by `format_x`.
+void PrintEightPanels(const std::string& figure, const SweepResult& sweep,
+                      const std::string& x_label,
+                      const std::function<std::string(size_t)>& format_x,
+                      bool csv);
+
+std::string FormatMiB(size_t bytes);
+
+}  // namespace rrbench

@@ -1,0 +1,51 @@
+// Figure 7: intra-node latency/throughput/CPU/RAM for payload sizes
+// 1 MB - 500 MB, comparing RoadRunner (User space), RoadRunner (Kernel
+// space), RunC and WasmEdge. Panels (a)-(h) as in the paper.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace rrbench;
+
+int main(int argc, char** argv) {
+  const BenchConfig config = BenchConfig::FromArgs(argc, argv);
+  const std::vector<size_t> sizes = IntraNodePayloadSizes(config);
+  const int reps = config.repetitions();
+
+  std::printf("Figure 7 reproduction: intra-node payload sweep "
+              "(%s mode, %d reps)\n",
+              config.full ? "full" : "quick", reps);
+
+  struct SystemDef {
+    const char* label;
+    rr::Result<std::unique_ptr<rr::workload::ChainDriver>> (*make)(
+        rr::workload::DriverOptions);
+  };
+  const SystemDef systems[] = {
+      {"RoadRunner (User space)", rr::workload::MakeRoadrunnerUserDriver},
+      {"RoadRunner (Kernel space)", rr::workload::MakeRoadrunnerKernelDriver},
+      {"RunC", rr::workload::MakeRunCDriver},
+      {"Wasmedge", rr::workload::MakeWasmEdgeDriver},
+  };
+
+  SweepResult sweep;
+  for (const SystemDef& system : systems) {
+    auto driver = system.make({});
+    if (!driver.ok()) {
+      std::fprintf(stderr, "setup failed for %s: %s\n", system.label,
+                   driver.status().ToString().c_str());
+      return 1;
+    }
+    auto series = RunPayloadSweep(**driver, sizes, reps);
+    if (!series.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", system.label,
+                   series.status().ToString().c_str());
+      return 1;
+    }
+    sweep.emplace_back(system.label, std::move(*series));
+    std::printf("  %-28s done\n", system.label);
+  }
+
+  PrintEightPanels("Figure 7", sweep, "Input Size", FormatMiB, config.csv);
+  return 0;
+}

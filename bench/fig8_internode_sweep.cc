@@ -1,0 +1,52 @@
+// Figure 8: inter-node payload sweep over the emulated 100 Mbps / 1 ms-RTT
+// link, comparing RoadRunner (Network), RunC and WasmEdge. Panels (a)-(h).
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace rrbench;
+
+int main(int argc, char** argv) {
+  const BenchConfig config = BenchConfig::FromArgs(argc, argv);
+  const std::vector<size_t> sizes = InterNodePayloadSizes(config);
+  const int reps = config.repetitions();
+
+  std::printf("Figure 8 reproduction: inter-node payload sweep over "
+              "100 Mbps / 1 ms RTT (%s mode, %d reps)\n",
+              config.full ? "full" : "quick", reps);
+
+  rr::workload::DriverOptions options;
+  options.link = PaperLink();
+
+  struct SystemDef {
+    const char* label;
+    rr::Result<std::unique_ptr<rr::workload::ChainDriver>> (*make)(
+        rr::workload::DriverOptions);
+  };
+  const SystemDef systems[] = {
+      {"RoadRunner (Network)", rr::workload::MakeRoadrunnerNetworkDriver},
+      {"RunC", rr::workload::MakeRunCDriver},
+      {"Wasmedge", rr::workload::MakeWasmEdgeDriver},
+  };
+
+  SweepResult sweep;
+  for (const SystemDef& system : systems) {
+    auto driver = system.make(options);
+    if (!driver.ok()) {
+      std::fprintf(stderr, "setup failed for %s: %s\n", system.label,
+                   driver.status().ToString().c_str());
+      return 1;
+    }
+    auto series = RunPayloadSweep(**driver, sizes, reps);
+    if (!series.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", system.label,
+                   series.status().ToString().c_str());
+      return 1;
+    }
+    sweep.emplace_back(system.label, std::move(*series));
+    std::printf("  %-24s done\n", system.label);
+  }
+
+  PrintEightPanels("Figure 8", sweep, "Input Size", FormatMiB, config.csv);
+  return 0;
+}

@@ -1,0 +1,250 @@
+// Micro/ablation benchmarks (google-benchmark) for the design choices
+// DESIGN.md calls out:
+//   1. virtual data hose (vmsplice+splice) vs plain write/read
+//   2. serialization-free pointer passing vs JSON round-trip
+//   3. hose/pipe chunk-size sweep
+//   4. the WASI guest<->host copy boundary cost
+// plus runtime primitives (interpreter dispatch, guest allocator).
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "common/rng.h"
+#include "osal/pipe.h"
+#include "osal/socket.h"
+#include "osal/splice.h"
+#include "runtime/function.h"
+#include "runtime/wasm_sandbox.h"
+#include "serde/record.h"
+#include "wasm/builder.h"
+#include "wasm/decoder.h"
+#include "wasm/guest_alloc.h"
+#include "wasm/instance.h"
+#include "workload/payload.h"
+
+namespace {
+
+using namespace rr;
+
+Bytes MakePayload(size_t size) {
+  Bytes data(size);
+  Rng rng(size);
+  rng.Fill(data);
+  return data;
+}
+
+// --- ablation 1: hose vs plain socket write --------------------------------
+
+void BM_HoseSpliceSend(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  const Bytes payload = MakePayload(size);
+  auto pipe = osal::Pipe::Create(1 << 20);
+  auto sockets = osal::ConnectedPair();
+  if (!pipe.ok() || !sockets.ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  std::atomic<bool> stop{false};
+  std::thread drain([&] {
+    Bytes sink(256 * 1024);
+    while (!stop.load()) {
+      if (!sockets->second.ReceiveSome(sink).ok()) return;
+    }
+  });
+  for (auto _ : state) {
+    const Status status = osal::HoseSend(*pipe, sockets->first.fd(), payload);
+    if (!status.ok()) state.SkipWithError("hose send failed");
+  }
+  stop.store(true);
+  sockets->first.ShutdownWrite().ok();
+  drain.join();
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * size));
+}
+BENCHMARK(BM_HoseSpliceSend)->Range(64 << 10, 16 << 20);
+
+void BM_PlainWriteSend(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  const Bytes payload = MakePayload(size);
+  auto sockets = osal::ConnectedPair();
+  if (!sockets.ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  std::atomic<bool> stop{false};
+  std::thread drain([&] {
+    Bytes sink(256 * 1024);
+    while (!stop.load()) {
+      if (!sockets->second.ReceiveSome(sink).ok()) return;
+    }
+  });
+  for (auto _ : state) {
+    const Status status = osal::WriteAll(sockets->first.fd(), payload);
+    if (!status.ok()) state.SkipWithError("write failed");
+  }
+  stop.store(true);
+  sockets->first.ShutdownWrite().ok();
+  drain.join();
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * size));
+}
+BENCHMARK(BM_PlainWriteSend)->Range(64 << 10, 16 << 20);
+
+// --- ablation 2: serialization-free vs JSON round trip ----------------------
+
+void BM_JsonRoundTrip(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  const serde::Record record = workload::MakeRecord(size);
+  for (auto _ : state) {
+    const std::string json = serde::SerializeRecord(record);
+    auto decoded = serde::DeserializeRecord(json);
+    if (!decoded.ok()) state.SkipWithError("decode failed");
+    benchmark::DoNotOptimize(decoded->body.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * size));
+}
+BENCHMARK(BM_JsonRoundTrip)->Range(64 << 10, 16 << 20);
+
+void BM_PointerPassingCopy(benchmark::State& state) {
+  // Roadrunner's equivalent: locate region + single memcpy, no encoding.
+  const size_t size = static_cast<size_t>(state.range(0));
+  const serde::Record record = workload::MakeRecord(size);
+  Bytes destination(size);
+  for (auto _ : state) {
+    const Bytes header = serde::EncodeRecordHeader(record);
+    benchmark::DoNotOptimize(header.data());
+    std::memcpy(destination.data(), record.body.data(), size);
+    benchmark::DoNotOptimize(destination.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * size));
+}
+BENCHMARK(BM_PointerPassingCopy)->Range(64 << 10, 16 << 20);
+
+// --- ablation 3: hose chunk (pipe capacity) sweep ---------------------------
+
+void BM_HoseChunkSize(benchmark::State& state) {
+  const size_t pipe_capacity = static_cast<size_t>(state.range(0));
+  const size_t payload_size = 8 << 20;
+  const Bytes payload = MakePayload(payload_size);
+  auto pipe = osal::Pipe::Create(pipe_capacity);
+  auto sockets = osal::ConnectedPair();
+  if (!pipe.ok() || !sockets.ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  std::atomic<bool> stop{false};
+  std::thread drain([&] {
+    Bytes sink(256 * 1024);
+    while (!stop.load()) {
+      if (!sockets->second.ReceiveSome(sink).ok()) return;
+    }
+  });
+  for (auto _ : state) {
+    const Status status = osal::HoseSend(*pipe, sockets->first.fd(), payload);
+    if (!status.ok()) state.SkipWithError("hose send failed");
+  }
+  stop.store(true);
+  sockets->first.ShutdownWrite().ok();
+  drain.join();
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * payload_size));
+  state.SetLabel("pipe=" + FormatSize(pipe->capacity()));
+}
+BENCHMARK(BM_HoseChunkSize)->RangeMultiplier(4)->Range(64 << 10, 4 << 20);
+
+// --- ablation 4: the Wasm VM I/O boundary -----------------------------------
+
+void BM_GuestBoundaryCopy(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  wasm::LinearMemory memory(
+      {.min_pages = static_cast<uint32_t>(size / wasm::kWasmPageSize + 4)});
+  const Bytes payload = MakePayload(size);
+  Bytes out(size);
+  for (auto _ : state) {
+    if (!memory.Write(0, payload).ok()) state.SkipWithError("write failed");
+    if (!memory.Read(0, out).ok()) state.SkipWithError("read failed");
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * size * 2));
+}
+BENCHMARK(BM_GuestBoundaryCopy)->Range(64 << 10, 16 << 20);
+
+// --- runtime primitives ------------------------------------------------------
+
+void BM_InterpreterSumLoop(benchmark::State& state) {
+  wasm::ModuleBuilder builder;
+  wasm::CodeEmitter body;
+  body.Block();
+  body.Loop();
+  body.LocalGet(2).LocalGet(0).Op(wasm::Opcode::kI32GeS).BrIf(1);
+  body.LocalGet(1).LocalGet(2).I32Add().LocalSet(1);
+  body.LocalGet(2).I32Const(1).I32Add().LocalSet(2);
+  body.Br(0);
+  body.End();
+  body.End();
+  body.LocalGet(1).End();
+  const uint32_t f = builder.AddFunction(
+      {{wasm::ValType::kI32}, {wasm::ValType::kI32}},
+      {wasm::ValType::kI32, wasm::ValType::kI32}, body);
+  builder.ExportFunction("sum", f);
+  auto module = wasm::DecodeModule(builder.Encode());
+  auto instance = wasm::Instance::Instantiate(std::move(*module), {});
+  const int32_t n = static_cast<int32_t>(state.range(0));
+  std::vector<wasm::Value> args = {wasm::Value::I32(n)};
+  for (auto _ : state) {
+    auto result = (*instance)->CallExport("sum", args);
+    if (!result.ok()) state.SkipWithError("trap");
+    benchmark::DoNotOptimize(result->front().i32);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_InterpreterSumLoop)->Arg(1000)->Arg(100000);
+
+void BM_GuestAllocator(benchmark::State& state) {
+  wasm::LinearMemory memory({.min_pages = 64});
+  wasm::GuestAllocator alloc(&memory, 1024);
+  Rng rng(99);
+  std::vector<uint32_t> live;
+  for (auto _ : state) {
+    if (live.size() < 64 || rng.NextBelow(2) == 0) {
+      auto addr = alloc.Allocate(1 + static_cast<uint32_t>(rng.NextBelow(2048)));
+      if (!addr.ok()) state.SkipWithError("alloc failed");
+      live.push_back(*addr);
+    } else {
+      const size_t victim = rng.NextBelow(live.size());
+      if (!alloc.Deallocate(live[victim]).ok()) state.SkipWithError("free failed");
+      live[victim] = live.back();
+      live.pop_back();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GuestAllocator);
+
+void BM_ShimDeliverInvoke(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  const Bytes binary = runtime::BuildFunctionModuleBinary();
+  runtime::FunctionSpec spec;
+  spec.name = "bm";
+  spec.workflow = "bm";
+  auto sandbox = runtime::WasmSandbox::Create(spec, binary);
+  if (!sandbox.ok()) {
+    state.SkipWithError("sandbox failed");
+    return;
+  }
+  (void)(*sandbox)->Deploy([](ByteSpan input) -> Result<Bytes> {
+    Bytes ack(8);
+    StoreLE<uint64_t>(ack.data(), input.size());
+    return ack;
+  });
+  const Bytes payload = MakePayload(size);
+  for (auto _ : state) {
+    auto result = (*sandbox)->Invoke(payload);
+    if (!result.ok()) state.SkipWithError("invoke failed");
+    (void)(*sandbox)->DeallocateMemory(result->output_address);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * size));
+}
+BENCHMARK(BM_ShimDeliverInvoke)->Range(64 << 10, 4 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,144 @@
+// ML-style image pipeline (the paper's motivating edge-cloud scenario, §1):
+//   ingest -> frame extract -> resize -> "inference" (histogram classifier)
+// Four Wasm functions chained by the WorkflowManager; placement puts the
+// first three in one VM (user-space hops) and the classifier in its own
+// sandbox on the same node (kernel-space hop) — mode selection is automatic.
+//
+//   $ ./image_pipeline [frames]
+#include <cstdio>
+
+#include "common/strings.h"
+#include "core/workflow.h"
+#include "runtime/function.h"
+#include "workload/image.h"
+
+using namespace rr;
+using workload::Image;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "image_pipeline failed: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+// ingest: wraps a camera frame (already RGBA) into the pipeline format.
+Result<Bytes> Ingest(ByteSpan input) {
+  RR_ASSIGN_OR_RETURN(const Image frame, workload::DecodeImage(input));
+  if (frame.width == 0 || frame.height == 0) {
+    return InvalidArgumentError("empty frame");
+  }
+  return workload::EncodeImage(frame);
+}
+
+// extract: crops the center region (the "detection window").
+Result<Bytes> ExtractWindow(ByteSpan input) {
+  RR_ASSIGN_OR_RETURN(const Image frame, workload::DecodeImage(input));
+  Image window;
+  window.width = frame.width / 2;
+  window.height = frame.height / 2;
+  window.rgba.resize(static_cast<size_t>(window.width) * window.height * 4);
+  const uint32_t x0 = frame.width / 4;
+  const uint32_t y0 = frame.height / 4;
+  for (uint32_t y = 0; y < window.height; ++y) {
+    const size_t src = ((static_cast<size_t>(y0) + y) * frame.width + x0) * 4;
+    const size_t dst = static_cast<size_t>(y) * window.width * 4;
+    std::copy_n(frame.rgba.begin() + static_cast<long>(src),
+                static_cast<size_t>(window.width) * 4,
+                window.rgba.begin() + static_cast<long>(dst));
+  }
+  return workload::EncodeImage(window);
+}
+
+Result<Bytes> Resize(ByteSpan input) {
+  RR_ASSIGN_OR_RETURN(const Image frame, workload::DecodeImage(input));
+  RR_ASSIGN_OR_RETURN(const Image small, workload::DownscaleHalf(frame));
+  return workload::EncodeImage(small);
+}
+
+// "inference": histogram-moment classifier standing in for an ML model.
+Result<Bytes> Classify(ByteSpan input) {
+  RR_ASSIGN_OR_RETURN(const Image frame, workload::DecodeImage(input));
+  RR_ASSIGN_OR_RETURN(const auto histogram, workload::LuminanceHistogram(frame));
+  uint64_t total = 0, weighted = 0;
+  for (size_t bin = 0; bin < histogram.size(); ++bin) {
+    total += histogram[bin];
+    weighted += histogram[bin] * bin;
+  }
+  const double mean_luma = total ? static_cast<double>(weighted) / total : 0;
+  const char* label = mean_luma > 170 ? "daylight"
+                      : mean_luma > 85 ? "dusk"
+                                       : "night";
+  return ToBytes(std::string("{\"label\":\"") + label +
+                 "\",\"mean_luma\":" + std::to_string(mean_luma) + "}");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int frames = argc > 1 ? std::atoi(argv[1]) : 3;
+  const Bytes binary = runtime::BuildFunctionModuleBinary();
+
+  // Placement: ingest/extract/resize co-located in one VM; classify in a
+  // dedicated sandbox on the same node.
+  runtime::WasmVm vm("vision-pipeline");
+  const auto spec = [](const char* name) {
+    runtime::FunctionSpec s;
+    s.name = name;
+    s.workflow = "vision-pipeline";
+    return s;
+  };
+
+  auto ingest = core::Shim::CreateInVm(vm, spec("ingest"), binary);
+  auto extract = core::Shim::CreateInVm(vm, spec("extract"), binary);
+  auto resize = core::Shim::CreateInVm(vm, spec("resize"), binary);
+  auto classify = core::Shim::Create(spec("classify"), binary);
+  for (const Status& s :
+       {ingest.status(), extract.status(), resize.status(), classify.status()}) {
+    if (!s.ok()) return Fail(s);
+  }
+
+  (void)(*ingest)->Deploy(Ingest);
+  (void)(*extract)->Deploy(ExtractWindow);
+  (void)(*resize)->Deploy(Resize);
+  (void)(*classify)->Deploy(Classify);
+
+  core::WorkflowManager workflow("vision-pipeline");
+  const core::Location shared_vm{"edge-node-1", "vm-0"};
+  const core::Location own_sandbox{"edge-node-1", ""};
+  for (auto& [shim, location] :
+       std::initializer_list<std::pair<core::Shim*, core::Location>>{
+           {ingest->get(), shared_vm},
+           {extract->get(), shared_vm},
+           {resize->get(), shared_vm},
+           {classify->get(), own_sandbox}}) {
+    core::Endpoint endpoint;
+    endpoint.shim = shim;
+    endpoint.location = location;
+    if (const Status s = workflow.Register(endpoint); !s.ok()) return Fail(s);
+  }
+
+  std::printf("pipeline: ingest -> extract -> resize -> classify\n");
+  for (const auto& [a, b] : {std::pair{"ingest", "extract"},
+                             std::pair{"extract", "resize"},
+                             std::pair{"resize", "classify"}}) {
+    auto mode = workflow.ModeBetween(a, b);
+    if (!mode.ok()) return Fail(mode.status());
+    std::printf("  hop %-10s -> %-10s mode=%s\n", a, b,
+                std::string(core::TransferModeName(*mode)).c_str());
+  }
+
+  for (int i = 0; i < frames; ++i) {
+    const Image frame =
+        workload::MakeTestImage(1280, 720, static_cast<uint64_t>(i + 1));
+    const Bytes encoded = workload::EncodeImage(frame);
+    const Stopwatch timer;
+    auto result = workflow.RunChain({"ingest", "extract", "resize", "classify"},
+                                    encoded);
+    if (!result.ok()) return Fail(result.status());
+    std::printf("frame %d (%s in): %s  [%.2f ms]\n", i,
+                FormatSize(encoded.size()).c_str(), ToString(*result).c_str(),
+                timer.ElapsedMillis());
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+#include "common/bytes.h"
+
+#include <array>
+#include <cstdio>
+
+namespace rr {
+
+std::string HexDump(ByteSpan data, size_t max_bytes) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  const size_t n = std::min(data.size(), max_bytes);
+  std::string out;
+  out.reserve(n * 3 + 8);
+  for (size_t i = 0; i < n; ++i) {
+    if (i) out.push_back(i % 16 == 0 ? '\n' : ' ');
+    out.push_back(kHex[data[i] >> 4]);
+    out.push_back(kHex[data[i] & 0xf]);
+  }
+  if (n < data.size()) out += " ...";
+  return out;
+}
+
+uint64_t Fnv1a(ByteSpan data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string FormatSize(uint64_t bytes) {
+  static constexpr std::array<const char*, 5> kUnits = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < kUnits.size()) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+}  // namespace rr

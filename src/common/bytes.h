@@ -1,0 +1,59 @@
+// Byte-buffer and span helpers shared across the code base.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rr {
+
+using Bytes = std::vector<uint8_t>;
+using ByteSpan = std::span<const uint8_t>;
+using MutableByteSpan = std::span<uint8_t>;
+
+inline ByteSpan AsBytes(std::string_view s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+inline std::string_view AsStringView(ByteSpan b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+inline Bytes ToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string ToString(ByteSpan b) {
+  return std::string(b.begin(), b.end());
+}
+
+inline void AppendBytes(Bytes& dst, ByteSpan src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+// Little-endian scalar encode/decode. Wasm linear memory is little-endian by
+// spec; x86/ARM hosts match, so these compile to plain loads/stores.
+template <typename T>
+inline T LoadLE(const uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+template <typename T>
+inline void StoreLE(uint8_t* p, T v) {
+  std::memcpy(p, &v, sizeof(T));
+}
+
+std::string HexDump(ByteSpan data, size_t max_bytes = 64);
+
+// FNV-1a, used for payload integrity checks in tests and benchmarks.
+uint64_t Fnv1a(ByteSpan data);
+
+// Human-readable size, e.g. "1.5 MB".
+std::string FormatSize(uint64_t bytes);
+
+}  // namespace rr

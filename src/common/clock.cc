@@ -1,0 +1,17 @@
+#include "common/clock.h"
+
+namespace rr {
+
+void PreciseSleep(Nanos duration) {
+  const TimePoint deadline = Now() + duration;
+  // Sleep in bulk, leaving a small margin for the scheduler; spin the rest.
+  constexpr Nanos kSpinMargin = std::chrono::microseconds(200);
+  if (duration > kSpinMargin) {
+    std::this_thread::sleep_for(duration - kSpinMargin);
+  }
+  while (Now() < deadline) {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace rr

@@ -1,0 +1,46 @@
+// Monotonic timing helpers. All latency measurements in the benchmark
+// harness flow through these.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace rr {
+
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+using Nanos = std::chrono::nanoseconds;
+
+inline TimePoint Now() { return Clock::now(); }
+
+inline int64_t ToNanos(Nanos d) { return d.count(); }
+
+inline double ToSeconds(Nanos d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+inline double ToMillis(Nanos d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+// Elapsed wall-clock time since construction or last Reset().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Now()) {}
+
+  void Reset() { start_ = Now(); }
+
+  Nanos Elapsed() const { return Now() - start_; }
+  double ElapsedSeconds() const { return ToSeconds(Elapsed()); }
+  double ElapsedMillis() const { return ToMillis(Elapsed()); }
+
+ private:
+  TimePoint start_;
+};
+
+// Sleeps with sub-millisecond accuracy: coarse sleep followed by a short
+// spin. Used by the network emulator's delay line.
+void PreciseSleep(Nanos duration);
+
+}  // namespace rr

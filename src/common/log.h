@@ -1,0 +1,50 @@
+// Minimal leveled logger. Serverless shims log to stderr; the orchestrating
+// benchmark harness raises the level to keep bench output clean.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace rr {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError, kOff };
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the level is filtered out.
+struct LogMessageVoidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal
+
+#define RR_LOG(level)                                                  \
+  (::rr::LogLevel::k##level < ::rr::GetLogLevel())                     \
+      ? static_cast<void>(0)                                           \
+      : ::rr::internal::LogMessageVoidify() &                          \
+            ::rr::internal::LogMessage(::rr::LogLevel::k##level,       \
+                                       __FILE__, __LINE__)
+
+}  // namespace rr

@@ -1,0 +1,67 @@
+#include "common/rng.h"
+
+namespace rr {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  // Rejection-free multiply-shift; bias is negligible for bound << 2^64.
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+void Rng::Fill(MutableByteSpan out) {
+  size_t i = 0;
+  while (i + 8 <= out.size()) {
+    StoreLE<uint64_t>(out.data() + i, Next());
+    i += 8;
+  }
+  if (i < out.size()) {
+    const uint64_t tail = Next();
+    for (size_t j = 0; i < out.size(); ++i, ++j) {
+      out[i] = static_cast<uint8_t>(tail >> (8 * j));
+    }
+  }
+}
+
+std::string Rng::NextString(size_t length) {
+  static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789 ";
+  static constexpr size_t kAlphabetSize = sizeof(kAlphabet) - 1;
+  std::string out;
+  out.resize(length);
+  for (auto& c : out) c = kAlphabet[NextBelow(kAlphabetSize)];
+  return out;
+}
+
+}  // namespace rr

@@ -1,0 +1,34 @@
+// Deterministic PRNG (xoshiro256**) for reproducible workload generation.
+// Benchmarks must generate identical payloads across runs and runtimes so
+// that latency differences come from the data path, not the data.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace rr {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Fills `out` with pseudo-random bytes.
+  void Fill(MutableByteSpan out);
+
+  // Random ASCII string drawn from [a-z0-9 ].
+  std::string NextString(size_t length);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace rr

@@ -1,0 +1,74 @@
+#include "common/status.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace rr {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kAborted: return "ABORTED";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status InvalidArgumentError(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+Status NotFoundError(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
+Status AlreadyExistsError(std::string m) { return {StatusCode::kAlreadyExists, std::move(m)}; }
+Status PermissionDeniedError(std::string m) { return {StatusCode::kPermissionDenied, std::move(m)}; }
+Status ResourceExhaustedError(std::string m) { return {StatusCode::kResourceExhausted, std::move(m)}; }
+Status FailedPreconditionError(std::string m) { return {StatusCode::kFailedPrecondition, std::move(m)}; }
+Status OutOfRangeError(std::string m) { return {StatusCode::kOutOfRange, std::move(m)}; }
+Status UnimplementedError(std::string m) { return {StatusCode::kUnimplemented, std::move(m)}; }
+Status InternalError(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+Status UnavailableError(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
+Status DataLossError(std::string m) { return {StatusCode::kDataLoss, std::move(m)}; }
+Status AbortedError(std::string m) { return {StatusCode::kAborted, std::move(m)}; }
+Status DeadlineExceededError(std::string m) { return {StatusCode::kDeadlineExceeded, std::move(m)}; }
+
+Status ErrnoToStatus(int err, std::string_view context) {
+  std::string message(context);
+  message += ": ";
+  message += std::strerror(err);
+  switch (err) {
+    case EINVAL: return {StatusCode::kInvalidArgument, std::move(message)};
+    case ENOENT: return {StatusCode::kNotFound, std::move(message)};
+    case EEXIST: return {StatusCode::kAlreadyExists, std::move(message)};
+    case EACCES:
+    case EPERM: return {StatusCode::kPermissionDenied, std::move(message)};
+    case ENOMEM:
+    case EMFILE:
+    case ENFILE: return {StatusCode::kResourceExhausted, std::move(message)};
+    case EPIPE:
+    case ECONNRESET: return {StatusCode::kDataLoss, std::move(message)};
+    case EAGAIN:
+    case ECONNREFUSED: return {StatusCode::kUnavailable, std::move(message)};
+    case ETIMEDOUT: return {StatusCode::kDeadlineExceeded, std::move(message)};
+    default: return {StatusCode::kInternal, std::move(message)};
+  }
+}
+
+}  // namespace rr

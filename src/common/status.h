@@ -1,0 +1,138 @@
+// Status and Result<T>: lightweight error propagation without exceptions on
+// the data path. Modeled after absl::Status / std::expected (C++23), which is
+// unavailable on this toolchain.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace rr {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kUnavailable,
+  kDataLoss,
+  kAborted,
+  kDeadlineExceeded,
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on the success path (no allocation
+// when ok).
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status PermissionDeniedError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status UnavailableError(std::string message);
+Status DataLossError(std::string message);
+Status AbortedError(std::string message);
+Status DeadlineExceededError(std::string message);
+
+// Builds a Status from the current errno (or an explicit one).
+Status ErrnoToStatus(int err, std::string_view context);
+
+// Result<T> holds either a T or an error Status. Accessing the value of an
+// errored Result is a programming error (asserts in debug builds).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}           // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {     // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(data_).ok() &&
+           "Result<T> must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+#define RR_CONCAT_INNER(a, b) a##b
+#define RR_CONCAT(a, b) RR_CONCAT_INNER(a, b)
+
+// Propagates a non-OK Status from an expression returning Status.
+#define RR_RETURN_IF_ERROR(expr)                   \
+  do {                                             \
+    ::rr::Status rr_status__ = (expr);             \
+    if (!rr_status__.ok()) return rr_status__;     \
+  } while (0)
+
+// Assigns the value of a Result<T> expression or propagates its error.
+#define RR_ASSIGN_OR_RETURN(lhs, expr)                             \
+  auto RR_CONCAT(rr_result__, __LINE__) = (expr);                  \
+  if (!RR_CONCAT(rr_result__, __LINE__).ok())                      \
+    return RR_CONCAT(rr_result__, __LINE__).status();              \
+  lhs = std::move(RR_CONCAT(rr_result__, __LINE__)).value()
+
+}  // namespace rr

@@ -1,0 +1,24 @@
+// Small string utilities used by the HTTP parser and reporters.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rr {
+
+std::vector<std::string_view> Split(std::string_view s, char sep);
+std::string_view TrimWhitespace(std::string_view s);
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+std::string ToLower(std::string_view s);
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Parses a non-negative decimal integer; returns false on any non-digit or
+// overflow. The HTTP parser uses this for Content-Length.
+bool ParseUint64(std::string_view s, uint64_t* out);
+
+}  // namespace rr

@@ -1,0 +1,47 @@
+#include "common/token_bucket.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rr {
+
+TokenBucket::TokenBucket(double rate_bytes_per_sec, uint64_t burst_bytes)
+    : rate_(rate_bytes_per_sec),
+      burst_(burst_bytes),
+      tokens_(static_cast<double>(burst_bytes)),
+      last_refill_(Now()) {
+  assert(rate_bytes_per_sec > 0);
+  assert(burst_bytes > 0);
+}
+
+void TokenBucket::Refill() {
+  const TimePoint now = Now();
+  const double elapsed = ToSeconds(now - last_refill_);
+  last_refill_ = now;
+  tokens_ = std::min(static_cast<double>(burst_), tokens_ + elapsed * rate_);
+}
+
+void TokenBucket::Consume(uint64_t bytes) {
+  uint64_t remaining = bytes;
+  while (remaining > 0) {
+    const uint64_t chunk = std::min(remaining, burst_);
+    Refill();
+    if (tokens_ >= static_cast<double>(chunk)) {
+      tokens_ -= static_cast<double>(chunk);
+      remaining -= chunk;
+      continue;
+    }
+    const double deficit = static_cast<double>(chunk) - tokens_;
+    const auto wait = Nanos(static_cast<int64_t>(deficit / rate_ * 1e9));
+    PreciseSleep(wait);
+  }
+}
+
+bool TokenBucket::TryConsume(uint64_t bytes) {
+  Refill();
+  if (tokens_ < static_cast<double>(bytes)) return false;
+  tokens_ -= static_cast<double>(bytes);
+  return true;
+}
+
+}  // namespace rr

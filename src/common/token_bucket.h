@@ -1,0 +1,37 @@
+// Token bucket used by the network emulator to shape bandwidth, mirroring
+// the `tc` traffic-control setup from the paper's testbed (100 Mbps link).
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace rr {
+
+class TokenBucket {
+ public:
+  // rate_bytes_per_sec: sustained rate. burst_bytes: bucket capacity; chunks
+  // up to this size pass without pacing once the bucket refills.
+  TokenBucket(double rate_bytes_per_sec, uint64_t burst_bytes);
+
+  // Blocks until `bytes` tokens are available, then consumes them. Large
+  // requests are paced in burst-sized installments, which is how a real
+  // shaped link drains a long write.
+  void Consume(uint64_t bytes);
+
+  // Non-blocking variant: consumes if available, returns false otherwise.
+  bool TryConsume(uint64_t bytes);
+
+  double rate_bytes_per_sec() const { return rate_; }
+  uint64_t burst_bytes() const { return burst_; }
+
+ private:
+  void Refill();
+
+  double rate_;
+  uint64_t burst_;
+  double tokens_;
+  TimePoint last_refill_;
+};
+
+}  // namespace rr

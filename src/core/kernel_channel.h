@@ -1,0 +1,93 @@
+// Kernel-space data transfer (§4.2, Fig. 4b): co-located functions in
+// separate sandboxes exchange data through a UNIX domain socket between
+// their shims — kernel-buffered, serialization-free frames, no network.
+#pragma once
+
+#include <string>
+
+#include "core/shim.h"
+#include "osal/socket.h"
+#include "serde/framing.h"
+
+namespace rr::core {
+
+// Sender half, held by the source function's shim.
+class KernelChannelSender {
+ public:
+  static Result<KernelChannelSender> Connect(const std::string& socket_path);
+  static KernelChannelSender FromConnection(osal::Connection conn) {
+    return KernelChannelSender(std::move(conn));
+  }
+
+  // Sends the source function's output region as one frame (steps 1-3 of
+  // Fig. 4b). kShimStaging reads the region into a shim buffer first (the
+  // paper's read_output path); kDirectGuest writes straight from the
+  // linear-memory view.
+  Status Send(Shim& source, const MemoryRegion& region,
+              CopyMode mode = CopyMode::kShimStaging);
+
+  // Raw-bytes variant used when the payload is already host-resident.
+  Status SendBytes(ByteSpan data);
+
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  const TransferTiming& last_timing() const { return timing_; }
+
+ private:
+  explicit KernelChannelSender(osal::Connection conn) : conn_(std::move(conn)) {}
+
+  osal::Connection conn_;
+  uint64_t bytes_sent_ = 0;
+  TransferTiming timing_;
+};
+
+// Receiver half, held by the target function's shim.
+class KernelChannelReceiver {
+ public:
+  static KernelChannelReceiver FromConnection(osal::Connection conn) {
+    return KernelChannelReceiver(std::move(conn));
+  }
+
+  // Steps 4-6 of Fig. 4b: read the frame length, allocate_memory in the
+  // target function, and deliver the payload into its linear memory.
+  // kShimStaging receives into a shim buffer then write_memory_host copies
+  // it in; kDirectGuest reads from the kernel straight into the guest pages.
+  Result<MemoryRegion> ReceiveInto(Shim& target,
+                                   CopyMode mode = CopyMode::kShimStaging);
+
+  // Receive + run the target function.
+  Result<InvokeOutcome> ReceiveAndInvoke(Shim& target,
+                                         CopyMode mode = CopyMode::kShimStaging);
+
+  uint64_t bytes_received() const { return bytes_received_; }
+  const TransferTiming& last_timing() const { return timing_; }
+
+ private:
+  explicit KernelChannelReceiver(osal::Connection conn) : conn_(std::move(conn)) {}
+
+  osal::Connection conn_;
+  uint64_t bytes_received_ = 0;
+  TransferTiming timing_;
+};
+
+// Listener the target shim binds; Accept yields a receiver.
+class KernelChannelListener {
+ public:
+  static Result<KernelChannelListener> Bind(const std::string& socket_path);
+
+  Result<KernelChannelReceiver> Accept();
+
+  const std::string& path() const { return listener_.path(); }
+
+ private:
+  explicit KernelChannelListener(osal::UnixListener listener)
+      : listener_(std::move(listener)) {}
+
+  osal::UnixListener listener_;
+};
+
+// In-process pair for tests and single-process benchmarks (the two shims
+// still talk through a real AF_UNIX kernel buffer).
+Result<std::pair<KernelChannelSender, KernelChannelReceiver>>
+MakeKernelChannelPair();
+
+}  // namespace rr::core

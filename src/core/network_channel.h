@@ -1,0 +1,117 @@
+// Network data transfer (§4.3, Fig. 5, Algorithm 1): remote functions
+// exchange data through a *virtual data hose* — a pipe populated from the
+// function's memory with vmsplice(2) and drained into a TCP socket with
+// splice(2), so payload bytes are never copied between user and kernel
+// space on the send path.
+//
+//   source shim: read_memory_host -> vmsplice -> pipe -> splice -> socket
+//   target shim: socket -> splice -> pipe -> read -> write into Wasm VM
+//
+// A fixed binary header (frame length) precedes the payload; Roadrunner
+// serializes O(metadata), never the body.
+#pragma once
+
+#include <string>
+
+#include "core/shim.h"
+#include "osal/pipe.h"
+#include "osal/socket.h"
+#include "osal/splice.h"
+
+namespace rr::core {
+
+// The virtual data hose: a pipe plus the splice plumbing, with a plain
+// read/write fallback when the syscalls are unavailable.
+class VirtualDataHose {
+ public:
+  static Result<VirtualDataHose> Create(size_t pipe_capacity = 1 << 20);
+
+  // data (already in host-visible pages, e.g. a linear-memory view) -> fd.
+  Status SendThrough(int socket_fd, ByteSpan data);
+
+  // fd -> destination span (guest memory slice).
+  Status ReceiveThrough(int socket_fd, MutableByteSpan out);
+
+  bool using_splice() const { return use_splice_; }
+  uint64_t bytes_moved() const { return bytes_moved_; }
+
+ private:
+  explicit VirtualDataHose(osal::Pipe pipe)
+      : pipe_(std::move(pipe)), use_splice_(osal::SpliceSupported()) {}
+
+  osal::Pipe pipe_;
+  bool use_splice_;
+  uint64_t bytes_moved_ = 0;
+};
+
+class NetworkChannelSender {
+ public:
+  static Result<NetworkChannelSender> Connect(const std::string& host,
+                                              uint16_t port);
+
+  // Wraps an already-connected socket (e.g. after a NodeAgent routing
+  // preamble has been exchanged).
+  static Result<NetworkChannelSender> FromConnection(osal::Connection conn);
+
+  // Algorithm 1, source side: read_memory_host on the region, then
+  // vmsplice+splice through the hose. kShimStaging stages the region in a
+  // shim buffer first (the paper's implementation); kDirectGuest vmsplices
+  // the linear-memory pages themselves.
+  Status Send(Shim& source, const MemoryRegion& region,
+              CopyMode mode = CopyMode::kShimStaging);
+  Status SendBytes(ByteSpan data);
+
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  bool using_splice() const { return hose_.using_splice(); }
+  const TransferTiming& last_timing() const { return timing_; }
+
+ private:
+  NetworkChannelSender(osal::Connection conn, VirtualDataHose hose)
+      : conn_(std::move(conn)), hose_(std::move(hose)) {}
+
+  osal::Connection conn_;
+  VirtualDataHose hose_;
+  uint64_t bytes_sent_ = 0;
+  TransferTiming timing_;
+};
+
+class NetworkChannelReceiver {
+ public:
+  static Result<NetworkChannelReceiver> FromConnection(osal::Connection conn);
+
+  // Algorithm 1, target side: splice from the socket into the hose,
+  // allocate_memory(length) in the target, write into its linear memory.
+  Result<MemoryRegion> ReceiveInto(Shim& target,
+                                   CopyMode mode = CopyMode::kShimStaging);
+  Result<InvokeOutcome> ReceiveAndInvoke(Shim& target,
+                                         CopyMode mode = CopyMode::kShimStaging);
+
+  uint64_t bytes_received() const { return bytes_received_; }
+  const TransferTiming& last_timing() const { return timing_; }
+
+ private:
+  NetworkChannelReceiver(osal::Connection conn, VirtualDataHose hose)
+      : conn_(std::move(conn)), hose_(std::move(hose)) {}
+
+  osal::Connection conn_;
+  VirtualDataHose hose_;
+  uint64_t bytes_received_ = 0;
+  TransferTiming timing_;
+};
+
+class NetworkChannelListener {
+ public:
+  static Result<NetworkChannelListener> Bind(uint16_t port);
+
+  uint16_t port() const { return listener_.port(); }
+
+  Result<NetworkChannelReceiver> Accept();
+
+ private:
+  explicit NetworkChannelListener(osal::TcpListener listener)
+      : listener_(std::move(listener)) {}
+
+  osal::TcpListener listener_;
+};
+
+}  // namespace rr::core

@@ -1,0 +1,139 @@
+#include "core/node_agent.h"
+
+#include <sys/socket.h>
+
+#include "common/log.h"
+
+namespace rr::core {
+namespace {
+
+// Routing preamble: [u16 LE name length][name bytes]. Kept fixed and tiny —
+// routing metadata, never payload.
+constexpr size_t kMaxFunctionName = 256;
+
+Status SendPreamble(osal::Connection& conn, const std::string& function) {
+  if (function.empty() || function.size() > kMaxFunctionName) {
+    return InvalidArgumentError("function name length invalid");
+  }
+  uint8_t header[2];
+  StoreLE<uint16_t>(header, static_cast<uint16_t>(function.size()));
+  RR_RETURN_IF_ERROR(conn.Send(ByteSpan(header, 2)));
+  return conn.Send(AsBytes(function));
+}
+
+Result<std::string> ReadPreamble(osal::Connection& conn) {
+  uint8_t header[2];
+  RR_RETURN_IF_ERROR(conn.Receive(MutableByteSpan(header, 2)));
+  const uint16_t length = LoadLE<uint16_t>(header);
+  if (length == 0 || length > kMaxFunctionName) {
+    return InvalidArgumentError("preamble name length invalid");
+  }
+  Bytes name(length);
+  RR_RETURN_IF_ERROR(conn.Receive(name));
+  return ToString(name);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<NodeAgent>> NodeAgent::Start(uint16_t port) {
+  RR_ASSIGN_OR_RETURN(osal::TcpListener listener, osal::TcpListener::Bind(port));
+  auto agent = std::unique_ptr<NodeAgent>(new NodeAgent(std::move(listener)));
+  agent->accept_thread_ = std::thread([raw = agent.get()] { raw->AcceptLoop(); });
+  return agent;
+}
+
+NodeAgent::~NodeAgent() { Shutdown(); }
+
+void NodeAgent::Shutdown() {
+  if (stopping_.exchange(true)) return;
+  ::shutdown(listener_.fd(), SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    workers.swap(workers_);
+  }
+  for (std::thread& worker : workers) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+Status NodeAgent::RegisterFunction(Shim* shim, DeliveryCallback on_delivery) {
+  if (shim == nullptr) return InvalidArgumentError("null shim");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!functions_.emplace(shim->name(), Entry{shim, std::move(on_delivery)})
+           .second) {
+    return AlreadyExistsError("function already registered: " + shim->name());
+  }
+  return Status::Ok();
+}
+
+Status NodeAgent::UnregisterFunction(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (functions_.erase(name) == 0) {
+    return NotFoundError("function not registered: " + name);
+  }
+  return Status::Ok();
+}
+
+void NodeAgent::AcceptLoop() {
+  while (!stopping_.load()) {
+    auto conn = listener_.Accept();
+    if (!conn.ok()) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    workers_.emplace_back(
+        [this, c = std::move(*conn)]() mutable { ServeConnection(std::move(c)); });
+  }
+}
+
+void NodeAgent::ServeConnection(osal::Connection conn) {
+  auto name = ReadPreamble(conn);
+  if (!name.ok()) {
+    RR_LOG(Warning) << "node agent: bad preamble: " << name.status();
+    return;
+  }
+
+  Entry entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = functions_.find(*name);
+    if (it == functions_.end()) {
+      RR_LOG(Warning) << "node agent: no such function: " << *name;
+      return;  // connection dropped: remote sees EOF/reset
+    }
+    entry = it->second;
+  }
+
+  auto receiver = NetworkChannelReceiver::FromConnection(std::move(conn));
+  if (!receiver.ok()) return;
+
+  // One channel, many transfers: loop until the peer closes.
+  while (!stopping_.load()) {
+    auto outcome = receiver->ReceiveAndInvoke(*entry.shim);
+    if (!outcome.ok()) {
+      if (outcome.status().code() != StatusCode::kDataLoss &&
+          outcome.status().code() != StatusCode::kUnavailable) {
+        RR_LOG(Debug) << "node agent: transfer ended: " << outcome.status();
+      }
+      return;
+    }
+    transfers_completed_.fetch_add(1, std::memory_order_relaxed);
+    if (entry.on_delivery) {
+      entry.on_delivery(*name, *outcome);
+    } else {
+      // Nobody consumes the output: release it to keep the heap bounded.
+      (void)entry.shim->ReleaseRegion(outcome->output);
+    }
+  }
+}
+
+Result<NetworkChannelSender> ConnectToRemoteFunction(const std::string& host,
+                                                     uint16_t agent_port,
+                                                     const std::string& function) {
+  RR_ASSIGN_OR_RETURN(osal::Connection conn, osal::TcpConnect(host, agent_port));
+  conn.SetNoDelay(true);
+  RR_RETURN_IF_ERROR(SendPreamble(conn, function));
+  return NetworkChannelSender::FromConnection(std::move(conn));
+}
+
+}  // namespace rr::core

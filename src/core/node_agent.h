@@ -1,0 +1,77 @@
+// NodeAgent: the per-node ingress for network-mode transfers.
+//
+// The paper's deployment runs one shim per function; transfers from another
+// node arrive at the node's address and must reach the right function's
+// shim. NodeAgent owns that ingress: it accepts connections, reads a small
+// routing preamble (target function name), and then hands the connection to
+// the target shim's NetworkChannelReceiver, which performs the Algorithm-1
+// receive (allocate in the VM, splice the payload in, invoke).
+//
+// This completes WorkflowManager's remote path: register remote functions
+// with the target node's agent address and transfers route themselves.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "core/network_channel.h"
+#include "core/shim.h"
+
+namespace rr::core {
+
+class NodeAgent {
+ public:
+  // Called after a payload has been delivered and the function invoked; the
+  // outcome's output region lives in the function's sandbox.
+  using DeliveryCallback =
+      std::function<void(const std::string& function, const InvokeOutcome&)>;
+
+  // Binds the node ingress on 127.0.0.1:port (0 = ephemeral).
+  static Result<std::unique_ptr<NodeAgent>> Start(uint16_t port);
+
+  ~NodeAgent();
+
+  NodeAgent(const NodeAgent&) = delete;
+  NodeAgent& operator=(const NodeAgent&) = delete;
+
+  uint16_t port() const { return listener_.port(); }
+
+  // Makes a local function reachable from remote nodes. The shim must
+  // outlive the agent (or be unregistered first).
+  Status RegisterFunction(Shim* shim, DeliveryCallback on_delivery = {});
+  Status UnregisterFunction(const std::string& name);
+
+  uint64_t transfers_completed() const { return transfers_completed_.load(); }
+
+  void Shutdown();
+
+ private:
+  explicit NodeAgent(osal::TcpListener listener)
+      : listener_(std::move(listener)) {}
+
+  void AcceptLoop();
+  void ServeConnection(osal::Connection conn);
+
+  struct Entry {
+    Shim* shim;
+    DeliveryCallback on_delivery;
+  };
+
+  osal::TcpListener listener_;
+  std::mutex mutex_;
+  std::map<std::string, Entry> functions_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> transfers_completed_{0};
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+};
+
+// Sender-side counterpart: connects to a remote NodeAgent (optionally
+// through a shaped link) and opens a channel to a named function there.
+Result<NetworkChannelSender> ConnectToRemoteFunction(
+    const std::string& host, uint16_t agent_port, const std::string& function);
+
+}  // namespace rr::core

@@ -1,0 +1,57 @@
+#include "core/shim.h"
+
+namespace rr::core {
+
+Result<std::unique_ptr<Shim>> Shim::Create(runtime::FunctionSpec spec,
+                                           ByteSpan wasm_binary,
+                                           runtime::WasmSandbox::Options options) {
+  RR_ASSIGN_OR_RETURN(auto sandbox,
+                      runtime::WasmSandbox::Create(std::move(spec), wasm_binary,
+                                                   options));
+  runtime::WasmSandbox* raw = sandbox.get();
+  return std::unique_ptr<Shim>(new Shim(std::move(sandbox), raw));
+}
+
+Result<std::unique_ptr<Shim>> Shim::CreateInVm(
+    runtime::WasmVm& vm, runtime::FunctionSpec spec, ByteSpan wasm_binary,
+    runtime::WasmSandbox::Options options) {
+  RR_ASSIGN_OR_RETURN(runtime::WasmSandbox* const module,
+                      vm.AddModule(std::move(spec), wasm_binary, options));
+  return std::unique_ptr<Shim>(new Shim(nullptr, module));
+}
+
+Result<InvokeOutcome> Shim::DeliverAndInvoke(ByteSpan input) {
+  RR_ASSIGN_OR_RETURN(const MemoryRegion in_region,
+                      PrepareInput(static_cast<uint32_t>(input.size())));
+  RR_RETURN_IF_ERROR(data_.write_memory_host(input, in_region.address));
+  return InvokeOnRegion(in_region);
+}
+
+Result<MemoryRegion> Shim::PrepareInput(uint32_t length) {
+  RR_ASSIGN_OR_RETURN(const uint32_t address,
+                      data_.allocate_memory(std::max<uint32_t>(1, length)));
+  return MemoryRegion{address, length};
+}
+
+Result<MutableByteSpan> Shim::InputSpan(const MemoryRegion& region) {
+  if (!data_.IsRegistered(region.address, region.length)) {
+    return PermissionDeniedError("input region not registered");
+  }
+  return sandbox_->MutableSliceMemory(region.address, region.length);
+}
+
+Result<InvokeOutcome> Shim::InvokeOnRegion(const MemoryRegion& region) {
+  ++invocations_;
+  RR_ASSIGN_OR_RETURN(const runtime::WasmSandbox::InvokeResult result,
+                      sandbox_->InvokeInPlace(region.address, region.length));
+  // The function's output is a fresh allocator region; register it for shim
+  // egress (this is the locate_memory_region + send_to_host handshake).
+  const MemoryRegion output{result.output_address, result.output_length};
+  RR_RETURN_IF_ERROR(data_.RegisterRegion(output));
+  RR_RETURN_IF_ERROR(data_.send_to_host(output.address, output.length));
+  // The input region was consumed by the call.
+  RR_RETURN_IF_ERROR(data_.deallocate_memory(region.address));
+  return InvokeOutcome{output};
+}
+
+}  // namespace rr::core

@@ -1,0 +1,109 @@
+// The Roadrunner shim: a sidecar that owns one function's Wasm VM lifecycle
+// and all of its ingress/egress (§3.2.2: "The shim runs as a sidecar
+// alongside each function and manages the Wasm VM lifecycle, including
+// memory configuration, binary loading, and runtime interaction. It handles
+// all function ingress and egress").
+#pragma once
+
+#include <memory>
+
+#include "common/clock.h"
+#include "core/data_access.h"
+#include "runtime/function.h"
+#include "runtime/wasm_sandbox.h"
+
+namespace rr::core {
+
+// Result of delivering data into a function: where its output lives.
+struct InvokeOutcome {
+  MemoryRegion output;
+};
+
+// How a channel moves payload bytes across the VM boundary.
+//
+// kShimStaging is the paper's implementation: the shim copies data out of /
+// into linear memory through the Wasm runtime's memory API ("data must still
+// be copied in and out of the Wasm VM's linear memory due to Wasm's
+// isolation model", §7) — this copy is the measured "Wasm VM I/O".
+//
+// kDirectGuest is this library's extension: the channel references the
+// bounds-checked linear-memory pages directly (splice maps them into the
+// kernel), eliminating the staging copy. Benchmarked as an ablation.
+enum class CopyMode { kShimStaging, kDirectGuest };
+
+// Wall-clock attribution of one channel operation, matching the latency
+// components of Fig. 6a.
+struct TransferTiming {
+  Nanos wasm_io{0};   // guest<->host staging copies
+  Nanos transfer{0};  // kernel/socket data movement
+
+  TransferTiming& operator+=(const TransferTiming& other) {
+    wasm_io += other.wasm_io;
+    transfer += other.transfer;
+    return *this;
+  }
+};
+
+class Shim {
+ public:
+  // Creates a standalone shim: dedicated Wasm VM with one module (kernel /
+  // network modes — Fig. 4b: "each function has its own dedicated shim").
+  static Result<std::unique_ptr<Shim>> Create(
+      runtime::FunctionSpec spec, ByteSpan wasm_binary,
+      runtime::SandboxOptions options = {});
+
+  // Creates a shim over a module co-located in an existing VM (user-space
+  // mode — Fig. 4a: one VM, multiple modules, one managing shim process).
+  static Result<std::unique_ptr<Shim>> CreateInVm(
+      runtime::WasmVm& vm, runtime::FunctionSpec spec, ByteSpan wasm_binary,
+      runtime::SandboxOptions options = {});
+
+  const runtime::FunctionSpec& spec() const { return sandbox_->spec(); }
+  const std::string& name() const { return sandbox_->name(); }
+
+  // Installs the function's logic (binary loading happened at Create).
+  Status Deploy(runtime::NativeHandler handler) {
+    return sandbox_->Deploy(std::move(handler));
+  }
+
+  // --- ingress --------------------------------------------------------------
+  // Copies `input` into freshly allocated guest memory, invokes the function,
+  // and registers its output region. One guest-boundary copy in, zero out.
+  Result<InvokeOutcome> DeliverAndInvoke(ByteSpan input);
+
+  // Two-phase ingress for channels that want to write the payload directly
+  // into guest memory (kernel/network receive paths): allocate, let the
+  // caller fill the returned span, then InvokeOnRegion.
+  Result<MemoryRegion> PrepareInput(uint32_t length);
+  Result<MutableByteSpan> InputSpan(const MemoryRegion& region);
+  Result<InvokeOutcome> InvokeOnRegion(const MemoryRegion& region);
+
+  // Releases a function's input region after it has been consumed.
+  Status ReleaseRegion(const MemoryRegion& region) {
+    return data_.deallocate_memory(region.address);
+  }
+
+  // --- egress ---------------------------------------------------------------
+  // Zero-copy view of a function's registered output (read_memory_host).
+  Result<ByteSpan> OutputView(const MemoryRegion& region) {
+    return data_.read_memory_host(region.address, region.length);
+  }
+
+  DataAccess& data() { return data_; }
+  runtime::WasmSandbox& sandbox() { return *sandbox_; }
+
+  uint64_t invocations() const { return invocations_; }
+
+ private:
+  Shim(std::unique_ptr<runtime::WasmSandbox> owned, runtime::WasmSandbox* module)
+      : owned_sandbox_(std::move(owned)),
+        sandbox_(module),
+        data_(sandbox_) {}
+
+  std::unique_ptr<runtime::WasmSandbox> owned_sandbox_;  // null in shared-VM mode
+  runtime::WasmSandbox* sandbox_;
+  DataAccess data_;
+  uint64_t invocations_ = 0;
+};
+
+}  // namespace rr::core

@@ -1,0 +1,84 @@
+#include "core/state_store.h"
+
+namespace rr::core {
+
+Status StateStore::CheckAccess(const Shim& shim) const {
+  const runtime::FunctionSpec& spec = shim.spec();
+  if (spec.workflow != workflow_ || spec.tenant != tenant_) {
+    return PermissionDeniedError("state store access denied: function " +
+                                 spec.name + " is outside workflow '" +
+                                 workflow_ + "'/tenant '" + tenant_ + "'");
+  }
+  return Status::Ok();
+}
+
+Status StateStore::Put(Shim& owner, const std::string& key,
+                       const MemoryRegion& region) {
+  RR_RETURN_IF_ERROR(CheckAccess(owner));
+  // Zero-copy view of the function's memory; one copy into the store.
+  RR_ASSIGN_OR_RETURN(const ByteSpan view,
+                      owner.data().read_memory_host(region.address,
+                                                    region.length));
+  return PutBytes(key, view);
+}
+
+Status StateStore::PutBytes(const std::string& key, ByteSpan value) {
+  if (key.empty()) return InvalidArgumentError("empty state key");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  const uint64_t replaced = it == entries_.end() ? 0 : it->second.size();
+  if (bytes_stored_ - replaced + value.size() > options_.capacity_bytes) {
+    return ResourceExhaustedError("state store capacity exceeded");
+  }
+  bytes_stored_ = bytes_stored_ - replaced + value.size();
+  entries_[key] = Bytes(value.begin(), value.end());
+  return Status::Ok();
+}
+
+Result<MemoryRegion> StateStore::Get(Shim& reader, const std::string& key) {
+  RR_RETURN_IF_ERROR(CheckAccess(reader));
+  Bytes value;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) return NotFoundError("no state for key: " + key);
+    value = it->second;  // copy under lock; the write below re-enters guest
+  }
+  RR_ASSIGN_OR_RETURN(const MemoryRegion region,
+                      reader.PrepareInput(static_cast<uint32_t>(value.size())));
+  RR_RETURN_IF_ERROR(reader.data().write_memory_host(value, region.address));
+  return region;
+}
+
+Result<Bytes> StateStore::GetBytes(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return NotFoundError("no state for key: " + key);
+  return it->second;
+}
+
+Status StateStore::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return NotFoundError("no state for key: " + key);
+  bytes_stored_ -= it->second.size();
+  entries_.erase(it);
+  return Status::Ok();
+}
+
+bool StateStore::Contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(key) != 0;
+}
+
+size_t StateStore::entry_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+uint64_t StateStore::bytes_stored() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_stored_;
+}
+
+}  // namespace rr::core

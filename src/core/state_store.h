@@ -1,0 +1,74 @@
+// Ephemeral function state management (§9 future work: "we aim to introduce
+// function state management ... allowing Roadrunner to efficiently handle
+// stateless and stateful serverless functions").
+//
+// A StateStore is a per-workflow, host-resident key/value arena mediated by
+// the shim, so functions keep short-term state across invocations without a
+// remote KVS round-trip:
+//   * Put reads the value straight from the function's registered output
+//     region (one guest->host copy, no serialization);
+//   * Get materializes the value into freshly allocated guest memory of the
+//     reading function (one host->guest copy).
+// Access control mirrors the channel rules: only shims of the store's
+// workflow and tenant may touch it.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "core/shim.h"
+
+namespace rr::core {
+
+// Store limits; Put fails closed beyond the capacity.
+struct StateStoreOptions {
+  uint64_t capacity_bytes = 256ull * 1024 * 1024;
+};
+
+class StateStore {
+ public:
+  using Options = StateStoreOptions;
+
+  StateStore(std::string workflow, std::string tenant = "default",
+             Options options = Options())
+      : workflow_(std::move(workflow)),
+        tenant_(std::move(tenant)),
+        options_(options) {}
+
+  StateStore(const StateStore&) = delete;
+  StateStore& operator=(const StateStore&) = delete;
+
+  // Stores the contents of `region` (must be registered with the owner's
+  // shim) under `key`. Overwrites an existing value.
+  Status Put(Shim& owner, const std::string& key, const MemoryRegion& region);
+
+  // Host-side variant for platform components.
+  Status PutBytes(const std::string& key, ByteSpan value);
+
+  // Delivers the value into `reader`'s guest memory; the returned region is
+  // registered with the reader's shim and owned by its allocator.
+  Result<MemoryRegion> Get(Shim& reader, const std::string& key);
+
+  // Host-side read (copy).
+  Result<Bytes> GetBytes(const std::string& key) const;
+
+  Status Delete(const std::string& key);
+
+  bool Contains(const std::string& key) const;
+  size_t entry_count() const;
+  uint64_t bytes_stored() const;
+
+ private:
+  Status CheckAccess(const Shim& shim) const;
+
+  std::string workflow_;
+  std::string tenant_;
+  Options options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Bytes> entries_;
+  uint64_t bytes_stored_ = 0;
+};
+
+}  // namespace rr::core

@@ -1,0 +1,34 @@
+// User-space data transfer (§4.1, Fig. 4a): both functions are modules of
+// the same Wasm VM / process. The shim reads the source region and writes it
+// into memory freshly allocated in the target — a single in-process copy,
+// no serialization, no syscalls, no context switches.
+#pragma once
+
+#include "core/shim.h"
+
+namespace rr::core {
+
+class UserSpaceChannel {
+ public:
+  // Both shims must manage modules of the same trust domain; user-mode
+  // communication "requires explicit trust" (§4.1).
+  static Result<UserSpaceChannel> Create(Shim* source, Shim* target);
+
+  // Executes steps 1..5 of Fig. 4a: locate in source, read via shim,
+  // allocate in target, write. Returns the delivered region in the target.
+  Result<MemoryRegion> Transfer(const MemoryRegion& source_region);
+
+  // Transfer + invoke the target function on the delivered data.
+  Result<InvokeOutcome> TransferAndInvoke(const MemoryRegion& source_region);
+
+  uint64_t bytes_transferred() const { return bytes_transferred_; }
+
+ private:
+  UserSpaceChannel(Shim* source, Shim* target) : source_(source), target_(target) {}
+
+  Shim* source_;
+  Shim* target_;
+  uint64_t bytes_transferred_ = 0;
+};
+
+}  // namespace rr::core

@@ -1,0 +1,205 @@
+#include "http/http.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace rr::http {
+namespace {
+
+constexpr size_t kMaxHeaderBytes = 64 * 1024;
+constexpr uint64_t kMaxBodyBytes = uint64_t{4} * 1024 * 1024 * 1024;
+
+void AppendHeaders(std::string& out, const Headers& headers, size_t body_size) {
+  bool has_content_length = false;
+  for (const auto& [name, value] : headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+    if (EqualsIgnoreCase(name, "Content-Length")) has_content_length = true;
+  }
+  if (!has_content_length) {
+    out += "Content-Length: " + std::to_string(body_size) + "\r\n";
+  }
+  out += "\r\n";
+}
+
+// Reads from `conn` until the end of the header block; returns the header
+// text and any body bytes that arrived in the same reads.
+struct HeaderBlock {
+  std::string text;
+  Bytes body_prefix;
+};
+
+Result<HeaderBlock> ReadHeaderBlock(osal::Connection& conn) {
+  std::string buffer;
+  uint8_t chunk[4096];
+  while (true) {
+    const size_t scan_from = buffer.size() >= 3 ? buffer.size() - 3 : 0;
+    RR_ASSIGN_OR_RETURN(const size_t n, conn.ReceiveSome(chunk));
+    if (n == 0) {
+      if (buffer.empty()) return UnavailableError("connection closed");
+      return DataLossError("connection closed mid-headers");
+    }
+    buffer.append(reinterpret_cast<char*>(chunk), n);
+    const size_t end = buffer.find("\r\n\r\n", scan_from);
+    if (end != std::string::npos) {
+      HeaderBlock block;
+      block.text = buffer.substr(0, end);
+      const size_t body_start = end + 4;
+      block.body_prefix.assign(buffer.begin() + static_cast<long>(body_start),
+                               buffer.end());
+      return block;
+    }
+    if (buffer.size() > kMaxHeaderBytes) {
+      return ResourceExhaustedError("HTTP headers too large");
+    }
+  }
+}
+
+Status ParseHeaderLines(std::string_view text, Headers* headers) {
+  for (const std::string_view line : Split(text, '\n')) {
+    const std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty()) continue;
+    const size_t colon = trimmed.find(':');
+    if (colon == std::string_view::npos) {
+      return InvalidArgumentError("malformed header line");
+    }
+    (*headers)[std::string(TrimWhitespace(trimmed.substr(0, colon)))] =
+        std::string(TrimWhitespace(trimmed.substr(colon + 1)));
+  }
+  return Status::Ok();
+}
+
+Result<Bytes> ReadBody(osal::Connection& conn, const Headers& headers,
+                       Bytes prefix) {
+  const auto it = headers.find("Content-Length");
+  uint64_t length = 0;
+  if (it != headers.end() && !ParseUint64(it->second, &length)) {
+    return InvalidArgumentError("bad Content-Length: " + it->second);
+  }
+  if (length > kMaxBodyBytes) {
+    return ResourceExhaustedError("HTTP body too large");
+  }
+  if (prefix.size() > length) {
+    return InvalidArgumentError("body longer than Content-Length");
+  }
+  Bytes body = std::move(prefix);
+  const size_t have = body.size();
+  body.resize(length);
+  if (length > have) {
+    RR_RETURN_IF_ERROR(
+        conn.Receive(MutableByteSpan(body.data() + have, length - have)));
+  }
+  return body;
+}
+
+}  // namespace
+
+bool HeaderLess::operator()(const std::string& a, const std::string& b) const {
+  return std::lexicographical_compare(
+      a.begin(), a.end(), b.begin(), b.end(), [](char x, char y) {
+        return std::tolower(static_cast<unsigned char>(x)) <
+               std::tolower(static_cast<unsigned char>(y));
+      });
+}
+
+Bytes EncodeRequest(const Request& request) {
+  std::string head = request.method + " " + request.target + " HTTP/1.1\r\n";
+  AppendHeaders(head, request.headers, request.body.size());
+  Bytes out = ToBytes(head);
+  AppendBytes(out, request.body);
+  return out;
+}
+
+Bytes EncodeResponse(const Response& response) {
+  std::string head = "HTTP/1.1 " + std::to_string(response.status_code) + " " +
+                     response.reason + "\r\n";
+  AppendHeaders(head, response.headers, response.body.size());
+  Bytes out = ToBytes(head);
+  AppendBytes(out, response.body);
+  return out;
+}
+
+Result<Request> ReadRequest(osal::Connection& conn) {
+  RR_ASSIGN_OR_RETURN(HeaderBlock block, ReadHeaderBlock(conn));
+  const size_t line_end = block.text.find("\r\n");
+  const std::string_view request_line =
+      std::string_view(block.text).substr(0, line_end);
+  const auto parts = Split(request_line, ' ');
+  if (parts.size() != 3 || !StartsWith(std::string(parts[2]), "HTTP/1.")) {
+    return InvalidArgumentError("malformed request line: " +
+                                std::string(request_line));
+  }
+  Request request;
+  request.method = std::string(parts[0]);
+  request.target = std::string(parts[1]);
+  if (line_end != std::string::npos) {
+    RR_RETURN_IF_ERROR(ParseHeaderLines(
+        std::string_view(block.text).substr(line_end + 2), &request.headers));
+  }
+  RR_ASSIGN_OR_RETURN(request.body,
+                      ReadBody(conn, request.headers, std::move(block.body_prefix)));
+  return request;
+}
+
+Result<Response> ReadResponse(osal::Connection& conn) {
+  RR_ASSIGN_OR_RETURN(HeaderBlock block, ReadHeaderBlock(conn));
+  const size_t line_end = block.text.find("\r\n");
+  const std::string_view status_line =
+      std::string_view(block.text).substr(0, line_end);
+  const auto parts = Split(status_line, ' ');
+  if (parts.size() < 2 || !StartsWith(std::string(parts[0]), "HTTP/1.")) {
+    return InvalidArgumentError("malformed status line: " +
+                                std::string(status_line));
+  }
+  Response response;
+  uint64_t code = 0;
+  if (!ParseUint64(parts[1], &code) || code < 100 || code > 599) {
+    return InvalidArgumentError("bad status code");
+  }
+  response.status_code = static_cast<int>(code);
+  response.reason = parts.size() > 2 ? std::string(parts[2]) : "";
+  if (line_end != std::string::npos) {
+    RR_RETURN_IF_ERROR(ParseHeaderLines(
+        std::string_view(block.text).substr(line_end + 2), &response.headers));
+  }
+  RR_ASSIGN_OR_RETURN(response.body,
+                      ReadBody(conn, response.headers, std::move(block.body_prefix)));
+  return response;
+}
+
+Status WriteRequest(osal::Connection& conn, const Request& request) {
+  // Gathered write: the (potentially large) body is never copied into an
+  // assembled message buffer.
+  std::string head = request.method + " " + request.target + " HTTP/1.1\r\n";
+  AppendHeaders(head, request.headers, request.body.size());
+  return conn.SendParts({AsBytes(head), ByteSpan(request.body)});
+}
+
+Status WriteResponse(osal::Connection& conn, const Response& response) {
+  std::string head = "HTTP/1.1 " + std::to_string(response.status_code) + " " +
+                     response.reason + "\r\n";
+  AppendHeaders(head, response.headers, response.body.size());
+  return conn.SendParts({AsBytes(head), ByteSpan(response.body)});
+}
+
+Result<Response> Fetch(const std::string& host, uint16_t port,
+                       const Request& request) {
+  RR_ASSIGN_OR_RETURN(Client client, Client::Connect(host, port));
+  return client.RoundTrip(request);
+}
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port) {
+  RR_ASSIGN_OR_RETURN(osal::Connection conn, osal::TcpConnect(host, port));
+  conn.SetNoDelay(true);
+  return Client(std::move(conn));
+}
+
+Result<Response> Client::RoundTrip(const Request& request) {
+  RR_RETURN_IF_ERROR(WriteRequest(conn_, request));
+  return ReadResponse(conn_);
+}
+
+}  // namespace rr::http

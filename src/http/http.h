@@ -1,0 +1,67 @@
+// Minimal blocking HTTP/1.1 message model, client and server.
+//
+// This is the transport the paper's baselines use: "serverless functions
+// typically exchange data via network protocols such as HTTP, which involves
+// serialization of the requested data at the source ... and deserialization
+// at the target" (§1, Fig. 1a). RunC and WasmEdge workloads run over this
+// stack; Roadrunner's channels bypass it entirely.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "osal/socket.h"
+
+namespace rr::http {
+
+// Case-insensitive header map, as header field names are case-insensitive.
+struct HeaderLess {
+  bool operator()(const std::string& a, const std::string& b) const;
+};
+using Headers = std::map<std::string, std::string, HeaderLess>;
+
+struct Request {
+  std::string method = "GET";
+  std::string target = "/";
+  Headers headers;
+  Bytes body;
+};
+
+struct Response {
+  int status_code = 200;
+  std::string reason = "OK";
+  Headers headers;
+  Bytes body;
+};
+
+// Serializes messages to wire format (Content-Length framing only).
+Bytes EncodeRequest(const Request& request);
+Bytes EncodeResponse(const Response& response);
+
+// Reads one full message from a connection.
+Result<Request> ReadRequest(osal::Connection& conn);
+Result<Response> ReadResponse(osal::Connection& conn);
+
+// Writes a message to a connection.
+Status WriteRequest(osal::Connection& conn, const Request& request);
+Status WriteResponse(osal::Connection& conn, const Response& response);
+
+// Blocking single-connection client: connect, send, await response.
+Result<Response> Fetch(const std::string& host, uint16_t port, const Request& request);
+
+// Reusable keep-alive client connection.
+class Client {
+ public:
+  static Result<Client> Connect(const std::string& host, uint16_t port);
+
+  Result<Response> RoundTrip(const Request& request);
+
+ private:
+  explicit Client(osal::Connection conn) : conn_(std::move(conn)) {}
+  osal::Connection conn_;
+};
+
+}  // namespace rr::http

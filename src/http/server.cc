@@ -1,0 +1,72 @@
+#include "http/server.h"
+
+#include <sys/socket.h>
+
+#include "common/log.h"
+#include "common/strings.h"
+
+namespace rr::http {
+
+Result<std::unique_ptr<Server>> Server::Start(uint16_t port, Handler handler) {
+  RR_ASSIGN_OR_RETURN(osal::TcpListener listener, osal::TcpListener::Bind(port));
+  auto server = std::unique_ptr<Server>(
+      new Server(std::move(listener), std::move(handler)));
+  server->accept_thread_ = std::thread([raw = server.get()] { raw->AcceptLoop(); });
+  return server;
+}
+
+Server::~Server() { Shutdown(); }
+
+void Server::Shutdown() {
+  if (stopping_.exchange(true)) return;
+  // Unblock accept4 by shutting the listener down.
+  ::shutdown(listener_.fd(), SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers.swap(workers_);
+  }
+  for (std::thread& worker : workers) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load()) {
+    auto conn = listener_.Accept();
+    if (!conn.ok()) {
+      if (!stopping_.load()) {
+        RR_LOG(Warning) << "accept failed: " << conn.status();
+      }
+      return;
+    }
+    conn->SetNoDelay(true);
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers_.emplace_back(
+        [this, c = std::move(*conn)]() mutable { ServeConnection(std::move(c)); });
+  }
+}
+
+void Server::ServeConnection(osal::Connection conn) {
+  while (!stopping_.load()) {
+    auto request = ReadRequest(conn);
+    if (!request.ok()) {
+      // Peer closed between requests: normal keep-alive teardown.
+      if (request.status().code() != StatusCode::kUnavailable) {
+        RR_LOG(Debug) << "request read failed: " << request.status();
+      }
+      return;
+    }
+    const bool close_after =
+        request->headers.count("Connection") != 0 &&
+        EqualsIgnoreCase(request->headers["Connection"], "close");
+
+    Response response = handler_(*request);
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    if (!WriteResponse(conn, response).ok()) return;
+    if (close_after) return;
+  }
+}
+
+}  // namespace rr::http

@@ -1,0 +1,50 @@
+// Blocking HTTP/1.1 server, one thread per connection with keep-alive.
+// Hosts the baseline functions' ingress (the platform side of Fig. 1a).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "http/http.h"
+
+namespace rr::http {
+
+using Handler = std::function<Response(const Request&)>;
+
+class Server {
+ public:
+  // Binds 127.0.0.1:port (0 = ephemeral) and starts the accept loop.
+  static Result<std::unique_ptr<Server>> Start(uint16_t port, Handler handler);
+
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  uint16_t port() const { return listener_.port(); }
+
+  // Stops accepting and joins all connection threads.
+  void Shutdown();
+
+  uint64_t requests_served() const { return requests_served_.load(); }
+
+ private:
+  Server(osal::TcpListener listener, Handler handler)
+      : listener_(std::move(listener)), handler_(std::move(handler)) {}
+
+  void AcceptLoop();
+  void ServeConnection(osal::Connection conn);
+
+  osal::TcpListener listener_;
+  Handler handler_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> requests_served_{0};
+  std::thread accept_thread_;
+  std::mutex workers_mutex_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rr::http

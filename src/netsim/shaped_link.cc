@@ -1,0 +1,162 @@
+#include "netsim/shaped_link.h"
+
+#include <sys/socket.h>
+
+#include "common/log.h"
+
+namespace rr::netsim {
+namespace {
+
+// Bounded FIFO of (release_time, chunk): the delay line. The producer
+// enqueues as fast as shaping allows; the consumer releases chunks at their
+// scheduled time, so propagation delay overlaps with transmission.
+class DelayLine {
+ public:
+  explicit DelayLine(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  void Push(TimePoint release_at, Bytes chunk) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] { return queued_bytes_ < capacity_ || closed_; });
+    if (closed_) return;
+    queued_bytes_ += chunk.size();
+    items_.push_back({release_at, std::move(chunk)});
+    not_empty_.notify_one();
+  }
+
+  // Returns false when the line is closed and drained.
+  bool Pop(Bytes& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    Item item = std::move(items_.front());
+    items_.pop_front();
+    queued_bytes_ -= item.chunk.size();
+    not_full_.notify_one();
+    lock.unlock();
+
+    const TimePoint now = Now();
+    if (item.release_at > now) PreciseSleep(item.release_at - now);
+    out = std::move(item.chunk);
+    return true;
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  struct Item {
+    TimePoint release_at;
+    Bytes chunk;
+  };
+
+  std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Item> items_;
+  size_t queued_bytes_ = 0;
+  size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<ShapedLink>> ShapedLink::Start(uint16_t target_port,
+                                                      LinkConfig config) {
+  RR_ASSIGN_OR_RETURN(osal::TcpListener listener, osal::TcpListener::Bind(0));
+  auto link = std::unique_ptr<ShapedLink>(
+      new ShapedLink(std::move(listener), target_port, config));
+  link->accept_thread_ = std::thread([raw = link.get()] { raw->AcceptLoop(); });
+  return link;
+}
+
+ShapedLink::~ShapedLink() { Shutdown(); }
+
+void ShapedLink::Shutdown() {
+  if (stopping_.exchange(true)) return;
+  ::shutdown(listener_.fd(), SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Tear down live relays so pump threads see EOF.
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    for (auto& [client, server] : live_pairs_) {
+      ::shutdown(client.fd(), SHUT_RDWR);
+      ::shutdown(server.fd(), SHUT_RDWR);
+    }
+  }
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers.swap(workers_);
+  }
+  for (std::thread& worker : workers) {
+    if (worker.joinable()) worker.join();
+  }
+  std::lock_guard<std::mutex> lock(workers_mutex_);
+  live_pairs_.clear();
+}
+
+void ShapedLink::AcceptLoop() {
+  while (!stopping_.load()) {
+    auto client = listener_.Accept();
+    if (!client.ok()) return;
+    auto server = osal::TcpConnect("127.0.0.1", target_port_);
+    if (!server.ok()) {
+      RR_LOG(Warning) << "shaped link: upstream connect failed: "
+                      << server.status();
+      continue;
+    }
+    client->SetNoDelay(true);
+    server->SetNoDelay(true);
+
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    live_pairs_.emplace_back(std::move(*client), std::move(*server));
+    auto& [client_conn, server_conn] = live_pairs_.back();
+    const int client_fd = client_conn.fd();
+    const int server_fd = server_conn.fd();
+    workers_.emplace_back(
+        [this, client_fd, server_fd] { Pump(client_fd, server_fd, uplink_bucket_); });
+    workers_.emplace_back(
+        [this, client_fd, server_fd] { Pump(server_fd, client_fd, downlink_bucket_); });
+  }
+}
+
+void ShapedLink::Pump(int src_fd, int dst_fd, TokenBucket& bucket) {
+  DelayLine line(config_.buffer_bytes);
+
+  std::thread egress([&] {
+    Bytes chunk;
+    while (line.Pop(chunk)) {
+      if (!osal::WriteAll(dst_fd, chunk).ok()) break;
+      bytes_forwarded_.fetch_add(chunk.size(), std::memory_order_relaxed);
+    }
+    // Propagate EOF to the destination once the line drains.
+    ::shutdown(dst_fd, SHUT_WR);
+  });
+
+  Bytes buffer(config_.chunk_bytes);
+  while (!stopping_.load()) {
+    ssize_t n = ::read(src_fd, buffer.data(), buffer.size());
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    {
+      // The shared bucket serializes flows through the common bottleneck.
+      std::lock_guard<std::mutex> lock(bucket_mutex_);
+      bucket.Consume(static_cast<uint64_t>(n));
+    }
+    line.Push(Now() + config_.one_way_delay,
+              Bytes(buffer.begin(), buffer.begin() + n));
+  }
+  line.Close();
+  egress.join();
+}
+
+double TheoreticalTransferSeconds(const LinkConfig& config, uint64_t bytes) {
+  return ToSeconds(config.one_way_delay) +
+         static_cast<double>(bytes) / config.bandwidth_bytes_per_sec;
+}
+
+}  // namespace rr::netsim

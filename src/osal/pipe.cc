@@ -1,0 +1,27 @@
+#include "osal/pipe.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace rr::osal {
+
+Result<Pipe> Pipe::Create(size_t capacity_bytes) {
+  int fds[2];
+  if (::pipe2(fds, O_CLOEXEC) != 0) {
+    return ErrnoToStatus(errno, "pipe2");
+  }
+  UniqueFd read_end(fds[0]);
+  UniqueFd write_end(fds[1]);
+
+  if (capacity_bytes > 0) {
+    // Best effort: an unprivileged process may be limited to pipe-max-size.
+    (void)::fcntl(write_end.get(), F_SETPIPE_SZ, static_cast<int>(capacity_bytes));
+  }
+  const int granted = ::fcntl(write_end.get(), F_GETPIPE_SZ);
+  const size_t capacity = granted > 0 ? static_cast<size_t>(granted) : 65536;
+  return Pipe(std::move(read_end), std::move(write_end), capacity);
+}
+
+}  // namespace rr::osal

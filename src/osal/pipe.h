@@ -1,0 +1,36 @@
+// Anonymous pipe wrapper. The Roadrunner "virtual data hose" (§4.3 of the
+// paper) is built on a pipe whose pages are populated with vmsplice(2) and
+// drained with splice(2).
+#pragma once
+
+#include "osal/fd.h"
+
+namespace rr::osal {
+
+class Pipe {
+ public:
+  // Creates a pipe; `capacity_bytes` > 0 applies F_SETPIPE_SZ (best effort —
+  // the kernel may clamp to /proc/sys/fs/pipe-max-size).
+  static Result<Pipe> Create(size_t capacity_bytes = 0);
+
+  int read_fd() const { return read_end_.get(); }
+  int write_fd() const { return write_end_.get(); }
+
+  // Actual capacity granted by the kernel (F_GETPIPE_SZ).
+  size_t capacity() const { return capacity_; }
+
+  void CloseRead() { read_end_.Reset(); }
+  void CloseWrite() { write_end_.Reset(); }
+
+ private:
+  Pipe(UniqueFd read_end, UniqueFd write_end, size_t capacity)
+      : read_end_(std::move(read_end)),
+        write_end_(std::move(write_end)),
+        capacity_(capacity) {}
+
+  UniqueFd read_end_;
+  UniqueFd write_end_;
+  size_t capacity_ = 0;
+};
+
+}  // namespace rr::osal

@@ -1,0 +1,63 @@
+#include "osal/proc_stats.h"
+
+#include <sys/resource.h>
+#include <sys/time.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace rr::osal {
+namespace {
+
+Nanos TimevalToNanos(const timeval& tv) {
+  return std::chrono::seconds(tv.tv_sec) + std::chrono::microseconds(tv.tv_usec);
+}
+
+CpuTimes RusageToCpuTimes(const rusage& ru) {
+  return {TimevalToNanos(ru.ru_utime), TimevalToNanos(ru.ru_stime)};
+}
+
+uint64_t ReadStatusField(const char* field) {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  uint64_t kb = 0;
+  const size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0) {
+      (void)std::sscanf(line + field_len, " %lu", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+}  // namespace
+
+CpuTimes ProcessCpuTimes() {
+  rusage ru{};
+  (void)::getrusage(RUSAGE_SELF, &ru);
+  return RusageToCpuTimes(ru);
+}
+
+CpuTimes ThreadCpuTimes() {
+  rusage ru{};
+  (void)::getrusage(RUSAGE_THREAD, &ru);
+  return RusageToCpuTimes(ru);
+}
+
+uint64_t ResidentSetBytes() { return ReadStatusField("VmRSS:"); }
+uint64_t PeakResidentSetBytes() { return ReadStatusField("VmHWM:"); }
+
+CpuUsage ComputeUsage(const CpuTimes& delta, Nanos wall) {
+  CpuUsage usage;
+  const double wall_s = ToSeconds(wall);
+  if (wall_s <= 0) return usage;
+  usage.user_pct = ToSeconds(delta.user) / wall_s * 100.0;
+  usage.kernel_pct = ToSeconds(delta.kernel) / wall_s * 100.0;
+  usage.total_pct = usage.user_pct + usage.kernel_pct;
+  return usage;
+}
+
+}  // namespace rr::osal

@@ -1,0 +1,49 @@
+// Process resource probes: user/kernel CPU time and resident memory.
+//
+// The paper measures "fine-grained ... directly from the cgroup, ...
+// including detailed breakdowns of user space and kernel CPU consumption"
+// (§6.1c). getrusage(2) and /proc/self expose the same counters at process
+// granularity, which is what a per-sandbox cgroup reports.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace rr::osal {
+
+struct CpuTimes {
+  Nanos user{0};
+  Nanos kernel{0};
+
+  Nanos total() const { return user + kernel; }
+
+  CpuTimes operator-(const CpuTimes& other) const {
+    return {user - other.user, kernel - other.kernel};
+  }
+};
+
+// CPU time consumed by the whole process (all threads).
+CpuTimes ProcessCpuTimes();
+
+// CPU time consumed by the calling thread only.
+CpuTimes ThreadCpuTimes();
+
+// Current resident set size in bytes (VmRSS from /proc/self/status).
+uint64_t ResidentSetBytes();
+
+// Peak resident set size in bytes (VmHWM).
+uint64_t PeakResidentSetBytes();
+
+// Utilization of an interval: CPU seconds consumed per wall second, as a
+// percentage (can exceed 100 on multi-core).
+struct CpuUsage {
+  double total_pct = 0;
+  double user_pct = 0;
+  double kernel_pct = 0;
+};
+
+CpuUsage ComputeUsage(const CpuTimes& delta, Nanos wall);
+
+}  // namespace rr::osal

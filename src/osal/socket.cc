@@ -1,0 +1,201 @@
+#include "osal/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <vector>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rr::osal {
+
+Status Connection::SendParts(std::initializer_list<ByteSpan> parts) {
+  std::vector<iovec> iov;
+  iov.reserve(parts.size());
+  for (const ByteSpan part : parts) {
+    if (part.empty()) continue;
+    iov.push_back({const_cast<uint8_t*>(part.data()), part.size()});
+  }
+  size_t at = 0;
+  while (at < iov.size()) {
+    const ssize_t n = ::writev(fd_.get(), iov.data() + at,
+                               static_cast<int>(iov.size() - at));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoToStatus(errno, "writev");
+    }
+    // Advance past fully-written iovecs; trim a partially-written one.
+    size_t written = static_cast<size_t>(n);
+    while (at < iov.size() && written >= iov[at].iov_len) {
+      written -= iov[at].iov_len;
+      ++at;
+    }
+    if (at < iov.size() && written > 0) {
+      iov[at].iov_base = static_cast<uint8_t*>(iov[at].iov_base) + written;
+      iov[at].iov_len -= written;
+    }
+  }
+  return Status::Ok();
+}
+
+Result<size_t> Connection::ReceiveSome(MutableByteSpan out) {
+  while (true) {
+    const ssize_t n = ::read(fd_.get(), out.data(), out.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoToStatus(errno, "read");
+    }
+    return static_cast<size_t>(n);
+  }
+}
+
+void Connection::SetNoDelay(bool enabled) {
+  const int flag = enabled ? 1 : 0;
+  (void)::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &flag, sizeof(flag));
+}
+
+Status Connection::ShutdownWrite() {
+  if (::shutdown(fd_.get(), SHUT_WR) != 0) {
+    return ErrnoToStatus(errno, "shutdown(SHUT_WR)");
+  }
+  return Status::Ok();
+}
+
+Result<TcpListener> TcpListener::Bind(uint16_t port) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return ErrnoToStatus(errno, "socket(AF_INET)");
+
+  const int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return ErrnoToStatus(errno, "bind");
+  }
+  if (::listen(fd.get(), 128) != 0) {
+    return ErrnoToStatus(errno, "listen");
+  }
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return ErrnoToStatus(errno, "getsockname");
+  }
+  return TcpListener(std::move(fd), ntohs(addr.sin_port));
+}
+
+Result<Connection> TcpListener::Accept() {
+  while (true) {
+    const int conn = ::accept4(fd_.get(), nullptr, nullptr, SOCK_CLOEXEC);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoToStatus(errno, "accept4");
+    }
+    return Connection(UniqueFd(conn));
+  }
+}
+
+Result<Connection> TcpConnect(const std::string& host, uint16_t port) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return ErrnoToStatus(errno, "socket(AF_INET)");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError("bad IPv4 address: " + host);
+  }
+  while (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno == EINTR) continue;
+    return ErrnoToStatus(errno, "connect " + host + ":" + std::to_string(port));
+  }
+  return Connection(std::move(fd));
+}
+
+namespace {
+
+Status FillUnixAddr(const std::string& path, sockaddr_un* addr, socklen_t* len) {
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
+    return InvalidArgumentError("unix socket path length invalid: " + path);
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  if (path[0] == '@') {
+    // Abstract namespace: leading NUL instead of '@'.
+    std::memcpy(addr->sun_path + 1, path.data() + 1, path.size() - 1);
+    *len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) + path.size());
+  } else {
+    std::memcpy(addr->sun_path, path.data(), path.size());
+    *len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) + path.size() + 1);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<UnixListener> UnixListener::Bind(const std::string& path) {
+  UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return ErrnoToStatus(errno, "socket(AF_UNIX)");
+
+  sockaddr_un addr;
+  socklen_t len;
+  RR_RETURN_IF_ERROR(FillUnixAddr(path, &addr, &len));
+  if (path[0] != '@') ::unlink(path.c_str());
+
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), len) != 0) {
+    return ErrnoToStatus(errno, "bind " + path);
+  }
+  if (::listen(fd.get(), 128) != 0) {
+    return ErrnoToStatus(errno, "listen " + path);
+  }
+  return UnixListener(std::move(fd), path);
+}
+
+UnixListener::~UnixListener() {
+  if (fd_.valid() && !path_.empty() && path_[0] != '@') {
+    ::unlink(path_.c_str());
+  }
+}
+
+Result<Connection> UnixListener::Accept() {
+  while (true) {
+    const int conn = ::accept4(fd_.get(), nullptr, nullptr, SOCK_CLOEXEC);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoToStatus(errno, "accept4");
+    }
+    return Connection(UniqueFd(conn));
+  }
+}
+
+Result<Connection> UnixConnect(const std::string& path) {
+  UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return ErrnoToStatus(errno, "socket(AF_UNIX)");
+
+  sockaddr_un addr;
+  socklen_t len;
+  RR_RETURN_IF_ERROR(FillUnixAddr(path, &addr, &len));
+  while (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), len) != 0) {
+    if (errno == EINTR) continue;
+    return ErrnoToStatus(errno, "connect " + path);
+  }
+  return Connection(std::move(fd));
+}
+
+Result<std::pair<Connection, Connection>> ConnectedPair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds) != 0) {
+    return ErrnoToStatus(errno, "socketpair");
+  }
+  return std::make_pair(Connection(UniqueFd(fds[0])), Connection(UniqueFd(fds[1])));
+}
+
+}  // namespace rr::osal

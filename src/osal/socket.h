@@ -1,0 +1,97 @@
+// Blocking TCP and UNIX-domain stream sockets.
+//
+// Kernel-space data transfer in Roadrunner (§4.2) rides on AF_UNIX sockets
+// between shims; network transfer (§4.3) rides on TCP. Both are wrapped here
+// with a uniform Connection interface.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "osal/fd.h"
+
+namespace rr::osal {
+
+// A connected stream socket.
+class Connection {
+ public:
+  Connection() = default;
+  explicit Connection(UniqueFd fd) : fd_(std::move(fd)) {}
+
+  int fd() const { return fd_.get(); }
+  bool valid() const { return fd_.valid(); }
+
+  Status Send(ByteSpan data) { return WriteAll(fd_.get(), data); }
+  Status Receive(MutableByteSpan out) { return ReadExact(fd_.get(), out); }
+
+  // Gathered send (writev): transmits the concatenation of `parts` without
+  // assembling an intermediate buffer.
+  Status SendParts(std::initializer_list<ByteSpan> parts);
+
+  // Single read(2), returning the number of bytes read (0 at EOF).
+  Result<size_t> ReceiveSome(MutableByteSpan out);
+
+  // Disables Nagle's algorithm (TCP only; no-op otherwise).
+  void SetNoDelay(bool enabled);
+
+  // Shuts down the write side, signalling EOF to the peer.
+  Status ShutdownWrite();
+
+  void Close() { fd_.Reset(); }
+  UniqueFd TakeFd() { return std::move(fd_); }
+
+ private:
+  UniqueFd fd_;
+};
+
+// TCP listener on 127.0.0.1. Port 0 picks an ephemeral port.
+class TcpListener {
+ public:
+  static Result<TcpListener> Bind(uint16_t port);
+
+  uint16_t port() const { return port_; }
+  int fd() const { return fd_.get(); }
+
+  Result<Connection> Accept();
+
+ private:
+  TcpListener(UniqueFd fd, uint16_t port) : fd_(std::move(fd)), port_(port) {}
+
+  UniqueFd fd_;
+  uint16_t port_ = 0;
+};
+
+Result<Connection> TcpConnect(const std::string& host, uint16_t port);
+
+// UNIX-domain listener. Uses the abstract namespace when `path` starts with
+// '@' (no filesystem residue), otherwise a filesystem socket (unlinked on
+// bind if stale).
+class UnixListener {
+ public:
+  static Result<UnixListener> Bind(const std::string& path);
+  ~UnixListener();
+
+  UnixListener(UnixListener&&) = default;
+  UnixListener& operator=(UnixListener&&) = default;
+
+  const std::string& path() const { return path_; }
+  int fd() const { return fd_.get(); }
+
+  Result<Connection> Accept();
+
+ private:
+  UnixListener(UniqueFd fd, std::string path)
+      : fd_(std::move(fd)), path_(std::move(path)) {}
+
+  UniqueFd fd_;
+  std::string path_;
+};
+
+Result<Connection> UnixConnect(const std::string& path);
+
+// Connected AF_UNIX stream pair — the in-process stand-in for two co-located
+// shims when tests do not need separate processes.
+Result<std::pair<Connection, Connection>> ConnectedPair();
+
+}  // namespace rr::osal

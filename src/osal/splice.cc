@@ -1,0 +1,130 @@
+#include "osal/splice.h"
+
+#include <fcntl.h>
+#include <linux/sockios.h>
+#include <sys/ioctl.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <mutex>
+
+#include "osal/pipe.h"
+
+namespace rr::osal {
+
+Status VmspliceAll(int pipe_write_fd, ByteSpan data) {
+  size_t offset = 0;
+  while (offset < data.size()) {
+    iovec iov;
+    iov.iov_base = const_cast<uint8_t*>(data.data() + offset);
+    iov.iov_len = data.size() - offset;
+    const ssize_t n = ::vmsplice(pipe_write_fd, &iov, 1, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoToStatus(errno, "vmsplice");
+    }
+    offset += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<size_t> SpliceOnce(int in_fd, int out_fd, size_t len) {
+  while (true) {
+    const ssize_t n = ::splice(in_fd, nullptr, out_fd, nullptr, len,
+                               SPLICE_F_MOVE | SPLICE_F_MORE);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoToStatus(errno, "splice");
+    }
+    return static_cast<size_t>(n);
+  }
+}
+
+Status SpliceExact(int in_fd, int out_fd, size_t len) {
+  size_t moved = 0;
+  while (moved < len) {
+    RR_ASSIGN_OR_RETURN(const size_t n, SpliceOnce(in_fd, out_fd, len - moved));
+    if (n == 0) {
+      return DataLossError("splice EOF after " + std::to_string(moved) +
+                           " of " + std::to_string(len) + " bytes");
+    }
+    moved += n;
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+// A chunk must leave one free slot for the unaligned head/tail pages.
+size_t HoseChunkSize(const Pipe& pipe) {
+  const size_t capacity = pipe.capacity();
+  return capacity > 8192 ? capacity - 4096 : capacity / 2;
+}
+
+}  // namespace
+
+Status HoseSend(Pipe& pipe, int out_fd, ByteSpan data) {
+  const size_t chunk_size = HoseChunkSize(pipe);
+  size_t offset = 0;
+  while (offset < data.size()) {
+    const size_t n = std::min(chunk_size, data.size() - offset);
+    RR_RETURN_IF_ERROR(VmspliceAll(pipe.write_fd(), data.subspan(offset, n)));
+    RR_RETURN_IF_ERROR(SpliceExact(pipe.read_fd(), out_fd, n));
+    offset += n;
+  }
+  return Status::Ok();
+}
+
+Status HoseReceive(Pipe& pipe, int in_fd, MutableByteSpan out) {
+  const size_t chunk_size = HoseChunkSize(pipe);
+  size_t moved = 0;
+  while (moved < out.size()) {
+    const size_t want = std::min(chunk_size, out.size() - moved);
+    RR_ASSIGN_OR_RETURN(const size_t n, SpliceOnce(in_fd, pipe.write_fd(), want));
+    if (n == 0) {
+      return DataLossError("hose receive: EOF after " + std::to_string(moved) +
+                           " of " + std::to_string(out.size()) + " bytes");
+    }
+    RR_RETURN_IF_ERROR(ReadExact(pipe.read_fd(),
+                                 MutableByteSpan(out.data() + moved, n)));
+    moved += n;
+  }
+  return Status::Ok();
+}
+
+Status WaitSocketDrained(int socket_fd, Nanos timeout) {
+  const TimePoint deadline = Now() + timeout;
+  while (true) {
+    int outstanding = 0;
+    if (::ioctl(socket_fd, SIOCOUTQ, &outstanding) != 0) {
+      return ErrnoToStatus(errno, "ioctl(SIOCOUTQ)");
+    }
+    if (outstanding == 0) return Status::Ok();
+    if (Now() > deadline) {
+      return DeadlineExceededError("socket send queue did not drain");
+    }
+    PreciseSleep(std::chrono::microseconds(50));
+  }
+}
+
+bool SpliceSupported() {
+  static std::once_flag once;
+  static bool supported = false;
+  std::call_once(once, [] {
+    auto pipe = Pipe::Create();
+    if (!pipe.ok()) return;
+    const uint8_t probe[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    if (!VmspliceAll(pipe->write_fd(), probe).ok()) return;
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) != 0) return;
+    auto moved = SpliceOnce(pipe->read_fd(), sv[0], sizeof(probe));
+    supported = moved.ok() && *moved == sizeof(probe);
+    ::close(sv[0]);
+    ::close(sv[1]);
+  });
+  return supported;
+}
+
+}  // namespace rr::osal

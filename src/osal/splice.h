@@ -1,0 +1,65 @@
+// Wrappers around the Linux zero-copy syscalls splice(2) and vmsplice(2).
+//
+// These are the primitives behind Roadrunner's virtual data hose (§4.3,
+// Algorithm 1): vmsplice maps user pages into a pipe without copying;
+// splice moves pages between the pipe and a socket inside the kernel.
+#pragma once
+
+#include <cstddef>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace rr::osal {
+
+// Maps the whole of `data` into the pipe's write end. Loops on partial
+// progress: vmsplice blocks once the pipe is full, so the caller typically
+// runs it concurrently with a splice() drain on the read end.
+//
+// NOTE: with SPLICE_F_GIFT unset the pages are *referenced*, not copied, so
+// the caller must not mutate `data` until the read side has consumed it.
+Status VmspliceAll(int pipe_write_fd, ByteSpan data);
+
+// Moves up to `len` bytes from `in_fd` to `out_fd` where at least one side is
+// a pipe. Returns bytes moved (0 on EOF).
+Result<size_t> SpliceOnce(int in_fd, int out_fd, size_t len);
+
+// Moves exactly `len` bytes, looping over partial transfers. Fails with
+// kDataLoss if EOF arrives early.
+Status SpliceExact(int in_fd, int out_fd, size_t len);
+
+// True when both splice and vmsplice are operational in this environment
+// (probed once; some sandboxes filter these syscalls).
+bool SpliceSupported();
+
+class Pipe;
+
+// One-shot data hose primitives (§4.3, Algorithm 1).
+//
+// A pipe's capacity is accounted in page-sized slots; an unaligned user
+// buffer occupies one extra slot, so vmsplice-ing a full pipe's worth of
+// bytes with no concurrent drain deadlocks. These helpers therefore
+// interleave: map a chunk of user pages into the pipe (vmsplice), then
+// immediately splice it onward, and repeat — the canonical sender loop for
+// the vmsplice+splice zero-copy pattern.
+
+// data (user pages) -> pipe -> out_fd (socket or other fd).
+Status HoseSend(Pipe& pipe, int out_fd, ByteSpan data);
+
+// in_fd (socket) -> pipe -> out (user buffer). The final pipe-to-buffer move
+// is a copy: this is precisely why the paper's mechanism is *near*-zero copy
+// on the receive side.
+Status HoseReceive(Pipe& pipe, int in_fd, MutableByteSpan out);
+
+// Blocks until the socket's send queue is empty (SIOCOUTQ reaches zero).
+//
+// vmsplice with SPLICE_F_GIFT unset *references* the user pages; the kernel
+// may still be reading them after splice() returns, so the sender must not
+// free or mutate the source buffer until the data has left the socket queue.
+// HoseSend callers invoke this before releasing the staged pages — the
+// vmsplice(2) man page's prescribed reuse protocol.
+Status WaitSocketDrained(int socket_fd,
+                         Nanos timeout = std::chrono::seconds(30));
+
+}  // namespace rr::osal

@@ -1,0 +1,134 @@
+#include "runtime/coldstart.h"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "osal/fd.h"
+#include "runtime/function.h"
+#include "wasm/decoder.h"
+#include "wasm/instance.h"
+#include "wasm/leb128.h"
+
+namespace rr::runtime {
+namespace {
+
+Status StageArtifact(const std::string& path, ByteSpan data) {
+  osal::UniqueFd fd(::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644));
+  if (!fd.valid()) return ErrnoToStatus(errno, "open " + path);
+  RR_RETURN_IF_ERROR(osal::WriteAll(fd.get(), data));
+  if (::fsync(fd.get()) != 0) return ErrnoToStatus(errno, "fsync");
+  return Status::Ok();
+}
+
+Result<Bytes> ReadArtifact(const std::string& path) {
+  osal::UniqueFd fd(::open(path.c_str(), O_RDONLY));
+  if (!fd.valid()) return ErrnoToStatus(errno, "open " + path);
+  Bytes out;
+  RR_RETURN_IF_ERROR(osal::ReadToEnd(fd.get(), out));
+  return out;
+}
+
+}  // namespace
+
+Result<ColdStartReport> ColdStartContainer(uint64_t image_bytes,
+                                           const std::string& scratch_dir) {
+  ColdStartReport report;
+  report.artifact_bytes = image_bytes;
+
+  // "Pull": materialize the layer blob from the (synthetic) registry.
+  Bytes image(image_bytes);
+  Rng rng(image_bytes);
+  // Fill sparsely: compressible like a real layer but still unique pages.
+  for (size_t i = 0; i < image.size(); i += 512) {
+    image[i] = static_cast<uint8_t>(rng.Next());
+  }
+  const std::string blob_path = scratch_dir + "/layer.blob";
+  Stopwatch pull_timer;
+  RR_RETURN_IF_ERROR(StageArtifact(blob_path, image));
+  report.pull_seconds = pull_timer.ElapsedSeconds();
+
+  // "Unpack": read the blob back and copy into the rootfs file while
+  // digesting it (integrity check), as an image unpacker does.
+  Stopwatch prepare_timer;
+  RR_ASSIGN_OR_RETURN(const Bytes blob, ReadArtifact(blob_path));
+  const uint64_t digest = Fnv1a(blob);
+  const std::string rootfs_path = scratch_dir + "/rootfs.bin";
+  RR_RETURN_IF_ERROR(StageArtifact(rootfs_path, blob));
+  report.prepare_seconds = prepare_timer.ElapsedSeconds();
+  if (digest == 0) return InternalError("degenerate digest");
+
+  // "Init": container start = new process (fork + exec of a no-op).
+  Stopwatch init_timer;
+  const pid_t pid = ::fork();
+  if (pid < 0) return ErrnoToStatus(errno, "fork");
+  if (pid == 0) {
+    ::execl("/bin/true", "true", static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  int wait_status = 0;
+  if (::waitpid(pid, &wait_status, 0) < 0) {
+    return ErrnoToStatus(errno, "waitpid");
+  }
+  report.init_seconds = init_timer.ElapsedSeconds();
+
+  ::unlink(blob_path.c_str());
+  ::unlink(rootfs_path.c_str());
+  return report;
+}
+
+Result<ColdStartReport> ColdStartWasm(ByteSpan wasm_binary,
+                                      const std::string& scratch_dir) {
+  ColdStartReport report;
+  report.artifact_bytes = wasm_binary.size();
+
+  const std::string path = scratch_dir + "/function.wasm";
+  Stopwatch pull_timer;
+  RR_RETURN_IF_ERROR(StageArtifact(path, wasm_binary));
+  report.pull_seconds = pull_timer.ElapsedSeconds();
+
+  Stopwatch prepare_timer;
+  RR_ASSIGN_OR_RETURN(const Bytes binary, ReadArtifact(path));
+  RR_ASSIGN_OR_RETURN(wasm::Module module, wasm::DecodeModule(binary));
+  report.prepare_seconds = prepare_timer.ElapsedSeconds();
+
+  Stopwatch init_timer;
+  RR_ASSIGN_OR_RETURN(const auto instance,
+                      wasm::Instance::Instantiate(std::move(module), {}));
+  report.init_seconds = init_timer.ElapsedSeconds();
+  if (instance == nullptr) return InternalError("instantiate returned null");
+
+  ::unlink(path.c_str());
+  return report;
+}
+
+Bytes BuildPaddedFunctionBinary(uint64_t target_bytes) {
+  Bytes binary = BuildFunctionModuleBinary();
+  if (binary.size() >= target_bytes) return binary;
+
+  // Custom section: id 0, LEB size, name, ballast. Decoders skip it, but the
+  // bytes still travel through pull/decode like real compiled code would.
+  const uint64_t ballast = target_bytes - binary.size() - 16;
+  Bytes section_payload;
+  const std::string name = "ballast";
+  wasm::AppendLebU32(section_payload, static_cast<uint32_t>(name.size()));
+  AppendBytes(section_payload, AsBytes(name));
+  const size_t fill_at = section_payload.size();
+  section_payload.resize(fill_at + ballast);
+  Rng rng(target_bytes);
+  for (size_t i = fill_at; i < section_payload.size(); i += 512) {
+    section_payload[i] = static_cast<uint8_t>(rng.Next());
+  }
+
+  binary.push_back(0);  // custom section id
+  wasm::AppendLebU32(binary, static_cast<uint32_t>(section_payload.size()));
+  AppendBytes(binary, section_payload);
+  return binary;
+}
+
+}  // namespace rr::runtime

@@ -1,0 +1,36 @@
+#include "runtime/function.h"
+
+namespace rr::runtime {
+
+Bytes BuildFunctionModuleBinary(uint32_t initial_pages, uint32_t max_pages) {
+  wasm::ModuleBuilder builder;
+  builder.SetMemory(
+      {.min_pages = initial_pages, .has_max = true, .max_pages = max_pages});
+
+  // Stub bodies trap if invoked before deployment replaces them: the module
+  // is inert until its logic is installed, mirroring a binary whose exports
+  // exist but whose AOT code has not been linked yet.
+  wasm::CodeEmitter alloc_stub;
+  alloc_stub.Unreachable().End();
+  const uint32_t alloc_fn = builder.AddFunction(
+      {{wasm::ValType::kI32}, {wasm::ValType::kI32}}, {}, alloc_stub);
+
+  wasm::CodeEmitter dealloc_stub;
+  dealloc_stub.Unreachable().End();
+  const uint32_t dealloc_fn =
+      builder.AddFunction({{wasm::ValType::kI32}, {}}, {}, dealloc_stub);
+
+  wasm::CodeEmitter handle_stub;
+  handle_stub.Unreachable().End();
+  const uint32_t handle_fn = builder.AddFunction(
+      {{wasm::ValType::kI32, wasm::ValType::kI32}, {wasm::ValType::kI64}}, {},
+      handle_stub);
+
+  builder.ExportFunction(std::string(kExportAllocate), alloc_fn);
+  builder.ExportFunction(std::string(kExportDeallocate), dealloc_fn);
+  builder.ExportFunction(std::string(kExportHandle), handle_fn);
+  builder.ExportMemory("memory");
+  return builder.Encode();
+}
+
+}  // namespace rr::runtime

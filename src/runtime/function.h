@@ -1,0 +1,64 @@
+// Serverless function model and the guest ABI of Wasm function modules.
+//
+// A deployed function module exports (per Table 1 of the paper):
+//   allocate_memory(len: i32) -> i32        guest address of fresh memory
+//   deallocate_memory(addr: i32)            release it
+//   handle(ptr: i32, len: i32) -> i64       the function entry point; the
+//                                           result packs the output region as
+//                                           (addr << 32) | length — this is
+//                                           what locate_memory_region returns
+//                                           for the function's output.
+//
+// Application logic runs either as interpreted bytecode or as an
+// AOT-simulated native body (see wasm::NativeBody); both use this ABI.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "wasm/builder.h"
+
+namespace rr::runtime {
+
+// Identity and trust metadata, used by the shim to validate that user-space
+// data exchange stays inside one workflow and tenant (§3.1 Shared Memory).
+struct FunctionSpec {
+  std::string name;
+  std::string workflow;
+  std::string tenant = "default";
+  uint32_t memory_limit_pages = 4096;  // 256 MiB default resource limit
+
+  bool SameTrustDomain(const FunctionSpec& other) const {
+    return workflow == other.workflow && tenant == other.tenant;
+  }
+};
+
+// Packs/unpacks the `handle` result.
+inline int64_t PackRegion(uint32_t addr, uint32_t len) {
+  return static_cast<int64_t>((static_cast<uint64_t>(addr) << 32) | len);
+}
+inline std::pair<uint32_t, uint32_t> UnpackRegion(int64_t packed) {
+  const uint64_t bits = static_cast<uint64_t>(packed);
+  return {static_cast<uint32_t>(bits >> 32), static_cast<uint32_t>(bits)};
+}
+
+// Names of the ABI exports.
+inline constexpr std::string_view kExportAllocate = "allocate_memory";
+inline constexpr std::string_view kExportDeallocate = "deallocate_memory";
+inline constexpr std::string_view kExportHandle = "handle";
+
+// Builds the standard function module skeleton: one linear memory plus the
+// three ABI exports declared as bytecode stubs (replaced by native bodies at
+// deployment — the AOT simulation). Returns the encoded .wasm binary, which
+// round-trips through the real decoder at load time.
+Bytes BuildFunctionModuleBinary(uint32_t initial_pages = 32,
+                                uint32_t max_pages = 32768);
+
+// Host-side application logic for AOT-simulated functions: consumes the
+// input bytes, produces output bytes. The WasmSandbox wires it to `handle`,
+// performing the guest-memory traffic around it.
+using NativeHandler = std::function<Result<Bytes>(ByteSpan input)>;
+
+}  // namespace rr::runtime

@@ -1,0 +1,51 @@
+// NativeSandbox: the RunC-container stand-in.
+//
+// A containerized function runs directly on the host OS (§2.1: containers
+// "rely on the host kernel and Linux primitives ... running directly on the
+// host OS"), so its handler operates on host memory with no guest boundary
+// and no Wasm VM I/O cost. It still pays full serialization + HTTP costs in
+// the baseline workflows.
+#pragma once
+
+#include <memory>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "runtime/function.h"
+
+namespace rr::runtime {
+
+class NativeSandbox {
+ public:
+  static Result<std::unique_ptr<NativeSandbox>> Create(FunctionSpec spec) {
+    return std::unique_ptr<NativeSandbox>(new NativeSandbox(std::move(spec)));
+  }
+
+  const FunctionSpec& spec() const { return spec_; }
+  const std::string& name() const { return spec_.name; }
+
+  Status Deploy(NativeHandler handler) {
+    if (!handler) return InvalidArgumentError("empty handler");
+    handler_ = std::move(handler);
+    return Status::Ok();
+  }
+
+  Result<Bytes> Invoke(ByteSpan input) {
+    if (!handler_) {
+      return FailedPreconditionError("function not deployed: " + spec_.name);
+    }
+    ++invocations_;
+    return handler_(input);
+  }
+
+  uint64_t invocations() const { return invocations_; }
+
+ private:
+  explicit NativeSandbox(FunctionSpec spec) : spec_(std::move(spec)) {}
+
+  FunctionSpec spec_;
+  NativeHandler handler_;
+  uint64_t invocations_ = 0;
+};
+
+}  // namespace rr::runtime

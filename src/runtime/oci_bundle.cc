@@ -1,0 +1,131 @@
+#include "runtime/oci_bundle.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "common/strings.h"
+#include "serde/json.h"
+
+namespace rr::runtime {
+namespace {
+
+Status WriteFile(const std::string& path, ByteSpan data) {
+  std::unique_ptr<FILE, int (*)(FILE*)> f(std::fopen(path.c_str(), "wb"),
+                                          std::fclose);
+  if (f == nullptr) return ErrnoToStatus(errno, "fopen " + path);
+  if (!data.empty() &&
+      std::fwrite(data.data(), 1, data.size(), f.get()) != data.size()) {
+    return InternalError("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+Result<Bytes> ReadFile(const std::string& path) {
+  std::unique_ptr<FILE, int (*)(FILE*)> f(std::fopen(path.c_str(), "rb"),
+                                          std::fclose);
+  if (f == nullptr) return ErrnoToStatus(errno, "fopen " + path);
+  Bytes out;
+  uint8_t buf[64 * 1024];
+  while (true) {
+    const size_t n = std::fread(buf, 1, sizeof(buf), f.get());
+    if (n == 0) break;
+    out.insert(out.end(), buf, buf + n);
+  }
+  if (std::ferror(f.get())) return InternalError("read error on " + path);
+  return out;
+}
+
+std::string DigestHex(ByteSpan data) {
+  return StrFormat("fnv1a:%016llx",
+                   static_cast<unsigned long long>(Fnv1a(data)));
+}
+
+std::string_view KindName(ArtifactKind kind) {
+  return kind == ArtifactKind::kWasmModule ? "wasm" : "container-image";
+}
+
+Result<ArtifactKind> KindFromName(std::string_view name) {
+  if (name == "wasm") return ArtifactKind::kWasmModule;
+  if (name == "container-image") return ArtifactKind::kContainerImage;
+  return InvalidArgumentError("unknown artifact kind: " + std::string(name));
+}
+
+}  // namespace
+
+Status WriteBundle(const std::string& bundle_dir, const BundleConfig& config,
+                   ByteSpan artifact) {
+  if (config.artifact_file.empty() ||
+      config.artifact_file.find('/') != std::string::npos) {
+    return InvalidArgumentError("artifact_file must be a bare filename");
+  }
+  if (::mkdir(bundle_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return ErrnoToStatus(errno, "mkdir " + bundle_dir);
+  }
+
+  serde::JsonObject annotations;
+  annotations.emplace("workflow", serde::JsonValue(config.spec.workflow));
+  annotations.emplace("tenant", serde::JsonValue(config.spec.tenant));
+
+  serde::JsonObject root;
+  root.emplace("ociVersion", serde::JsonValue(config.oci_version));
+  root.emplace("hostname", serde::JsonValue(config.spec.name));
+  root.emplace("annotations", serde::JsonValue(std::move(annotations)));
+  root.emplace("artifactKind", serde::JsonValue(std::string(KindName(config.kind))));
+  root.emplace("artifactFile", serde::JsonValue(config.artifact_file));
+  root.emplace("artifactBytes",
+               serde::JsonValue(static_cast<double>(artifact.size())));
+  root.emplace("artifactDigest", serde::JsonValue(DigestHex(artifact)));
+  root.emplace("memoryLimitPages",
+               serde::JsonValue(static_cast<double>(config.spec.memory_limit_pages)));
+
+  const std::string config_json =
+      serde::JsonEncode(serde::JsonValue(std::move(root)));
+  RR_RETURN_IF_ERROR(WriteFile(bundle_dir + "/config.json", AsBytes(config_json)));
+  return WriteFile(bundle_dir + "/" + config.artifact_file, artifact);
+}
+
+Result<LoadedBundle> LoadBundle(const std::string& bundle_dir) {
+  RR_ASSIGN_OR_RETURN(const Bytes config_bytes,
+                      ReadFile(bundle_dir + "/config.json"));
+  RR_ASSIGN_OR_RETURN(const serde::JsonValue root,
+                      serde::JsonDecode(AsStringView(config_bytes)));
+  if (!root.is_object()) return InvalidArgumentError("config.json: not an object");
+
+  LoadedBundle bundle;
+  bundle.config.oci_version =
+      root["ociVersion"].is_string() ? root["ociVersion"].as_string() : "";
+  if (!root["hostname"].is_string() || !root["artifactFile"].is_string() ||
+      !root["artifactKind"].is_string() || !root["artifactDigest"].is_string()) {
+    return InvalidArgumentError("config.json: missing required field");
+  }
+  bundle.config.spec.name = root["hostname"].as_string();
+  bundle.config.spec.workflow = root["annotations"]["workflow"].is_string()
+                                    ? root["annotations"]["workflow"].as_string()
+                                    : "";
+  bundle.config.spec.tenant = root["annotations"]["tenant"].is_string()
+                                  ? root["annotations"]["tenant"].as_string()
+                                  : "default";
+  if (root["memoryLimitPages"].is_number()) {
+    bundle.config.spec.memory_limit_pages =
+        static_cast<uint32_t>(root["memoryLimitPages"].as_number());
+  }
+  RR_ASSIGN_OR_RETURN(bundle.config.kind,
+                      KindFromName(root["artifactKind"].as_string()));
+  bundle.config.artifact_file = root["artifactFile"].as_string();
+  if (bundle.config.artifact_file.find('/') != std::string::npos) {
+    return InvalidArgumentError("config.json: artifact path escapes bundle");
+  }
+
+  RR_ASSIGN_OR_RETURN(bundle.artifact,
+                      ReadFile(bundle_dir + "/" + bundle.config.artifact_file));
+  bundle.config.artifact_bytes = bundle.artifact.size();
+  bundle.config.artifact_digest = DigestHex(bundle.artifact);
+  if (bundle.config.artifact_digest != root["artifactDigest"].as_string()) {
+    return DataLossError("bundle artifact digest mismatch");
+  }
+  return bundle;
+}
+
+}  // namespace rr::runtime

@@ -1,0 +1,41 @@
+// OCI-compliant runtime bundle packaging (§3.2.2/§3.2.5): "the shim packages
+// the Wasm VM as an OCI-compliant bundle. This allows it to be executed as a
+// container by high-level container managers such as containerd."
+//
+// A bundle directory holds config.json (metadata in the spirit of the OCI
+// runtime spec's subset we need) plus the function artifact (wasm binary or
+// container image blob).
+#pragma once
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "runtime/function.h"
+
+namespace rr::runtime {
+
+enum class ArtifactKind { kWasmModule, kContainerImage };
+
+struct BundleConfig {
+  std::string oci_version = "1.0.2";
+  FunctionSpec spec;
+  ArtifactKind kind = ArtifactKind::kWasmModule;
+  std::string artifact_file;  // relative path inside the bundle
+  uint64_t artifact_bytes = 0;
+  std::string artifact_digest;  // fnv1a hex of the artifact
+};
+
+// Writes bundle_dir/config.json and bundle_dir/<artifact_file>.
+Status WriteBundle(const std::string& bundle_dir, const BundleConfig& config,
+                   ByteSpan artifact);
+
+// Parses config.json and verifies the artifact digest (fail-closed: a
+// corrupted bundle never instantiates).
+struct LoadedBundle {
+  BundleConfig config;
+  Bytes artifact;
+};
+Result<LoadedBundle> LoadBundle(const std::string& bundle_dir);
+
+}  // namespace rr::runtime

@@ -1,0 +1,56 @@
+#include "runtime/selector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rr::runtime {
+
+std::string_view RuntimeKindName(RuntimeKind kind) {
+  return kind == RuntimeKind::kContainer ? "container" : "wasm";
+}
+
+namespace {
+
+// Probability that an invocation finds no warm instance: with Poisson
+// arrivals at rate lambda and keep-alive T, an instance is cold when the
+// inter-arrival gap exceeded T: P = exp(-lambda * T).
+double ColdProbability(double invocations_per_second, double keep_alive_seconds) {
+  const double lambda = std::max(0.0, invocations_per_second);
+  const double t = std::max(0.0, keep_alive_seconds);
+  return std::exp(-lambda * t);
+}
+
+}  // namespace
+
+SelectionReport SelectRuntime(const WorkloadProfile& profile,
+                              const RuntimeCostModel& model) {
+  SelectionReport report;
+  const double p_cold =
+      ColdProbability(profile.invocations_per_second, profile.keep_alive_seconds);
+
+  const double container_cold =
+      std::max(model.container_coldstart_floor_seconds,
+               model.container_coldstart_seconds_per_byte *
+                   static_cast<double>(profile.container_image_bytes));
+  const double wasm_cold =
+      std::max(model.wasm_coldstart_floor_seconds,
+               model.wasm_coldstart_seconds_per_byte *
+                   static_cast<double>(profile.wasm_binary_bytes));
+
+  // Container execution runs on host memory: no boundary penalty.
+  const double container_exec = profile.mean_execution_seconds;
+  // Wasm pays the WASI copy penalty on its I/O-bound share.
+  const double io_share = std::clamp(profile.wasi_io_fraction, 0.0, 1.0);
+  const double wasm_exec =
+      profile.mean_execution_seconds *
+      ((1.0 - io_share) + io_share * model.wasi_io_penalty);
+
+  report.container_cost_seconds = p_cold * container_cold + container_exec;
+  report.wasm_cost_seconds = p_cold * wasm_cold + wasm_exec;
+  report.selected = report.wasm_cost_seconds <= report.container_cost_seconds
+                        ? RuntimeKind::kWasm
+                        : RuntimeKind::kContainer;
+  return report;
+}
+
+}  // namespace rr::runtime

@@ -1,0 +1,66 @@
+// Dynamic virtualization-runtime selection (§9 future work: "a dynamic
+// virtualization runtime that can autonomously select the runtime type,
+// e.g., container and Wasm, ... based on workload and environment
+// characteristics").
+//
+// The policy encodes the trade-offs measured in Fig. 2:
+//   * Wasm: ~100x smaller artifacts and orders-of-magnitude faster cold
+//     starts, near-native compute, but a WASI penalty on host I/O.
+//   * Containers: no guest boundary (cheapest host I/O), but heavyweight
+//     cold starts — only worth it for long-lived, I/O-hot functions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rr::runtime {
+
+enum class RuntimeKind { kContainer, kWasm };
+
+std::string_view RuntimeKindName(RuntimeKind kind);
+
+// Observed (or declared) behaviour of a function.
+struct WorkloadProfile {
+  // Mean wall time of one invocation, excluding cold start.
+  double mean_execution_seconds = 0.01;
+  // Fraction of execution spent in host I/O through the guest boundary
+  // (file/network syscalls). 0 = pure compute.
+  double wasi_io_fraction = 0.0;
+  // Invocations per second across the fleet; low rates mean instances are
+  // frequently cold.
+  double invocations_per_second = 1.0;
+  // How long an idle instance is kept warm before reclamation.
+  double keep_alive_seconds = 300.0;
+  // Expected artifact sizes for each packaging of this function.
+  uint64_t container_image_bytes = 77ull << 20;  // Fig. 2a defaults
+  uint64_t wasm_binary_bytes = 3ull << 20;
+};
+
+// Environment-dependent cost constants, defaulted from the Fig. 2a
+// measurements on this repository's cold-start model. Override with
+// measured values for a specific deployment.
+struct RuntimeCostModel {
+  // Cold-start seconds per artifact byte (pull + unpack dominate).
+  double container_coldstart_seconds_per_byte = 1.2e-8;
+  double container_coldstart_floor_seconds = 0.050;
+  double wasm_coldstart_seconds_per_byte = 0.3e-8;
+  double wasm_coldstart_floor_seconds = 0.001;
+  // Multiplier on the WASI-bound fraction of execution (the guest-boundary
+  // copy overhead measured in Fig. 2a's Resize Image case).
+  double wasi_io_penalty = 1.35;
+};
+
+struct SelectionReport {
+  RuntimeKind selected = RuntimeKind::kWasm;
+  // Expected per-invocation cost (amortized cold start + execution).
+  double container_cost_seconds = 0;
+  double wasm_cost_seconds = 0;
+};
+
+// Picks the runtime minimizing expected per-invocation latency:
+//   cost = P(cold) * coldstart + execution_with_runtime_overheads
+// where P(cold) falls with invocation rate and keep-alive.
+SelectionReport SelectRuntime(const WorkloadProfile& profile,
+                              const RuntimeCostModel& model = {});
+
+}  // namespace rr::runtime

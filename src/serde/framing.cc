@@ -1,0 +1,54 @@
+#include "serde/framing.h"
+
+namespace rr::serde {
+
+Status WriteFrame(osal::Connection& conn, ByteSpan payload) {
+  return WriteFrameParts(conn, {payload});
+}
+
+Status WriteFrameParts(osal::Connection& conn,
+                       std::initializer_list<ByteSpan> parts) {
+  uint64_t total = 0;
+  for (const ByteSpan part : parts) total += part.size();
+  if (total > kMaxFrameBytes) {
+    return InvalidArgumentError("frame exceeds maximum size");
+  }
+  uint8_t header[8];
+  StoreLE<uint64_t>(header, total);
+  RR_RETURN_IF_ERROR(conn.Send(ByteSpan(header, 8)));
+  for (const ByteSpan part : parts) {
+    if (!part.empty()) RR_RETURN_IF_ERROR(conn.Send(part));
+  }
+  return Status::Ok();
+}
+
+Result<Bytes> ReadFrame(osal::Connection& conn) {
+  uint8_t header[8];
+  RR_RETURN_IF_ERROR(conn.Receive(MutableByteSpan(header, 8)));
+  const uint64_t length = LoadLE<uint64_t>(header);
+  if (length > kMaxFrameBytes) {
+    return DataLossError("frame header announces implausible size");
+  }
+  Bytes payload(length);
+  if (length > 0) RR_RETURN_IF_ERROR(conn.Receive(payload));
+  return payload;
+}
+
+Status ReadFrameInto(
+    osal::Connection& conn,
+    const std::function<Result<MutableByteSpan>(uint64_t length)>& place) {
+  uint8_t header[8];
+  RR_RETURN_IF_ERROR(conn.Receive(MutableByteSpan(header, 8)));
+  const uint64_t length = LoadLE<uint64_t>(header);
+  if (length > kMaxFrameBytes) {
+    return DataLossError("frame header announces implausible size");
+  }
+  RR_ASSIGN_OR_RETURN(MutableByteSpan dest, place(length));
+  if (dest.size() != length) {
+    return InternalError("placement returned wrong-size destination");
+  }
+  if (length > 0) RR_RETURN_IF_ERROR(conn.Receive(dest));
+  return Status::Ok();
+}
+
+}  // namespace rr::serde

@@ -1,0 +1,281 @@
+#include "serde/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace rr::serde {
+namespace {
+
+const JsonValue kNullValue;
+
+void EncodeString(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void EncodeNumber(double d, std::string& out) {
+  if (std::isnan(d) || std::isinf(d)) {
+    out += "null";  // JSON has no NaN/Inf
+    return;
+  }
+  // Integers (the common case for sizes/ids) print without a fraction.
+  if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+    out += StrFormat("%lld", static_cast<long long>(d));
+  } else {
+    out += StrFormat("%.17g", d);
+  }
+}
+
+class Parser {
+ public:
+  Parser(std::string_view text, int max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  Result<JsonValue> Parse() {
+    SkipWhitespace();
+    RR_ASSIGN_OR_RETURN(JsonValue value, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return InvalidArgumentError("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Err(const std::string& message) const {
+    return InvalidArgumentError(
+        StrFormat("JSON parse error at offset %zu: %s", pos_, message.c_str()));
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (AtEnd() || Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) return Err(StrFormat("expected '%c'", c));
+    return Status::Ok();
+  }
+
+  Result<JsonValue> ParseValue(int depth) {
+    if (depth > max_depth_) return Err("nesting too deep");
+    SkipWhitespace();
+    if (AtEnd()) return Err("unexpected end of input");
+    switch (Peek()) {
+      case '{': return ParseObject(depth);
+      case '[': return ParseArray(depth);
+      case '"': {
+        RR_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return JsonValue(std::move(s));
+      }
+      case 't':
+        if (ConsumeLiteral("true")) return JsonValue(true);
+        return Err("bad literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return JsonValue(false);
+        return Err("bad literal");
+      case 'n':
+        if (ConsumeLiteral("null")) return JsonValue(nullptr);
+        return Err("bad literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Result<std::string> ParseString() {
+    RR_RETURN_IF_ERROR(Expect('"'));
+    std::string out;
+    while (true) {
+      if (AtEnd()) return Err("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (AtEnd()) return Err("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Err("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= h - '0';
+              else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+              else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+              else return Err("bad hex digit in \\u escape");
+            }
+            // Encode as UTF-8 (BMP only; surrogate pairs unsupported).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            } else {
+              out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            }
+            break;
+          }
+          default:
+            return Err("unknown escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    // RFC 8259: a leading '+' is not a valid number prefix.
+    if (!AtEnd() && Peek() == '+') return Err("expected a value");
+    if (Consume('-')) {}
+    while (!AtEnd() && ((Peek() >= '0' && Peek() <= '9') || Peek() == '.' ||
+                        Peek() == 'e' || Peek() == 'E' || Peek() == '+' ||
+                        Peek() == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Err("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Err("malformed number");
+    return JsonValue(d);
+  }
+
+  Result<JsonValue> ParseArray(int depth) {
+    RR_RETURN_IF_ERROR(Expect('['));
+    JsonArray items;
+    SkipWhitespace();
+    if (Consume(']')) return JsonValue(std::move(items));
+    while (true) {
+      RR_ASSIGN_OR_RETURN(JsonValue item, ParseValue(depth + 1));
+      items.push_back(std::move(item));
+      SkipWhitespace();
+      if (Consume(']')) return JsonValue(std::move(items));
+      RR_RETURN_IF_ERROR(Expect(','));
+    }
+  }
+
+  Result<JsonValue> ParseObject(int depth) {
+    RR_RETURN_IF_ERROR(Expect('{'));
+    JsonObject fields;
+    SkipWhitespace();
+    if (Consume('}')) return JsonValue(std::move(fields));
+    while (true) {
+      SkipWhitespace();
+      RR_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      RR_RETURN_IF_ERROR(Expect(':'));
+      RR_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      fields.emplace(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return JsonValue(std::move(fields));
+      RR_RETURN_IF_ERROR(Expect(','));
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int max_depth_;
+};
+
+}  // namespace
+
+const JsonValue& JsonValue::operator[](const std::string& key) const {
+  if (!is_object()) return kNullValue;
+  const auto& object = as_object();
+  const auto it = object.find(key);
+  return it == object.end() ? kNullValue : it->second;
+}
+
+void JsonEncodeTo(const JsonValue& value, std::string& out) {
+  if (value.is_null()) {
+    out += "null";
+  } else if (value.is_bool()) {
+    out += value.as_bool() ? "true" : "false";
+  } else if (value.is_number()) {
+    EncodeNumber(value.as_number(), out);
+  } else if (value.is_string()) {
+    EncodeString(value.as_string(), out);
+  } else if (value.is_array()) {
+    out.push_back('[');
+    const JsonArray& items = value.as_array();
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i) out.push_back(',');
+      JsonEncodeTo(items[i], out);
+    }
+    out.push_back(']');
+  } else {
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [key, field] : value.as_object()) {
+      if (!first) out.push_back(',');
+      first = false;
+      EncodeString(key, out);
+      out.push_back(':');
+      JsonEncodeTo(field, out);
+    }
+    out.push_back('}');
+  }
+}
+
+std::string JsonEncode(const JsonValue& value) {
+  std::string out;
+  JsonEncodeTo(value, out);
+  return out;
+}
+
+Result<JsonValue> JsonDecode(std::string_view text, int max_depth) {
+  return Parser(text, max_depth).Parse();
+}
+
+}  // namespace rr::serde

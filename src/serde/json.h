@@ -1,0 +1,73 @@
+// JSON document model, serializer and parser.
+//
+// This is the serialization stack used by the *baselines* (RunC and
+// WasmEdge): the paper's workloads exchange structured payloads serialized
+// to text before HTTP transfer (§2.2, Fig. 2b). The encoder does the real
+// byte-for-byte escaping/copying work that serde_json would do, so the
+// serialization share of latency emerges from genuine CPU cost.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace rr::serde {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  JsonValue() : data_(nullptr) {}
+  JsonValue(std::nullptr_t) : data_(nullptr) {}                  // NOLINT
+  JsonValue(bool b) : data_(b) {}                                // NOLINT
+  JsonValue(double d) : data_(d) {}                              // NOLINT
+  JsonValue(int i) : data_(static_cast<double>(i)) {}            // NOLINT
+  JsonValue(int64_t i) : data_(static_cast<double>(i)) {}        // NOLINT
+  JsonValue(uint64_t i) : data_(static_cast<double>(i)) {}       // NOLINT
+  JsonValue(std::string s) : data_(std::move(s)) {}              // NOLINT
+  JsonValue(const char* s) : data_(std::string(s)) {}            // NOLINT
+  JsonValue(JsonArray a) : data_(std::move(a)) {}                // NOLINT
+  JsonValue(JsonObject o) : data_(std::move(o)) {}               // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_number() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(data_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(data_); }
+
+  bool as_bool() const { return std::get<bool>(data_); }
+  double as_number() const { return std::get<double>(data_); }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+  const JsonArray& as_array() const { return std::get<JsonArray>(data_); }
+  const JsonObject& as_object() const { return std::get<JsonObject>(data_); }
+  JsonArray& as_array() { return std::get<JsonArray>(data_); }
+  JsonObject& as_object() { return std::get<JsonObject>(data_); }
+
+  // Object field access; returns null value for missing keys.
+  const JsonValue& operator[](const std::string& key) const;
+
+  bool operator==(const JsonValue& other) const { return data_ == other.data_; }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject>
+      data_;
+};
+
+// Serializes to compact JSON text (no insignificant whitespace). Strings are
+// escaped per RFC 8259; non-ASCII bytes pass through (UTF-8 assumed).
+std::string JsonEncode(const JsonValue& value);
+void JsonEncodeTo(const JsonValue& value, std::string& out);
+
+// Parses JSON text. Enforces a nesting depth limit to bound recursion.
+Result<JsonValue> JsonDecode(std::string_view text, int max_depth = 64);
+
+}  // namespace rr::serde

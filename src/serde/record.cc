@@ -1,0 +1,150 @@
+#include "serde/record.h"
+
+#include "common/strings.h"
+
+namespace rr::serde {
+namespace {
+
+void AppendU64(Bytes& out, uint64_t v) {
+  const size_t at = out.size();
+  out.resize(at + 8);
+  StoreLE<uint64_t>(out.data() + at, v);
+}
+
+void AppendLengthPrefixed(Bytes& out, std::string_view s) {
+  AppendU64(out, s.size());
+  AppendBytes(out, AsBytes(s));
+}
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(ByteSpan data) : data_(data) {}
+
+  Result<uint64_t> ReadU64() {
+    if (pos_ + 8 > data_.size()) return DataLossError("record: truncated u64");
+    const uint64_t v = LoadLE<uint64_t>(data_.data() + pos_);
+    pos_ += 8;
+    return v;
+  }
+
+  Result<std::string> ReadString(uint64_t max_length) {
+    RR_ASSIGN_OR_RETURN(const uint64_t length, ReadU64());
+    if (length > max_length) {
+      return InvalidArgumentError("record: field length implausible");
+    }
+    if (pos_ + length > data_.size()) {
+      return DataLossError("record: truncated string field");
+    }
+    std::string out(reinterpret_cast<const char*>(data_.data() + pos_), length);
+    pos_ += length;
+    return out;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  ByteSpan data_;
+  size_t pos_ = 0;
+};
+
+constexpr uint64_t kMaxMetadataField = 64 * 1024;
+constexpr uint64_t kMaxBody = uint64_t{4} * 1024 * 1024 * 1024;
+
+}  // namespace
+
+JsonValue RecordToJson(const Record& record) {
+  JsonObject object;
+  object.emplace("id", JsonValue(static_cast<double>(record.id)));
+  object.emplace("source", JsonValue(record.source));
+  object.emplace("destination", JsonValue(record.destination));
+  object.emplace("timestamp_ns", JsonValue(static_cast<double>(record.timestamp_ns)));
+  object.emplace("content_type", JsonValue(record.content_type));
+  object.emplace("body", JsonValue(record.body));
+  return JsonValue(std::move(object));
+}
+
+Result<Record> RecordFromJson(const JsonValue& value) {
+  if (!value.is_object()) return InvalidArgumentError("record: not an object");
+  Record record;
+  const JsonValue& id = value["id"];
+  const JsonValue& ts = value["timestamp_ns"];
+  const JsonValue& source = value["source"];
+  const JsonValue& destination = value["destination"];
+  const JsonValue& content_type = value["content_type"];
+  const JsonValue& body = value["body"];
+  if (!id.is_number() || !ts.is_number() || !source.is_string() ||
+      !destination.is_string() || !content_type.is_string() || !body.is_string()) {
+    return InvalidArgumentError("record: missing or mistyped field");
+  }
+  record.id = static_cast<uint64_t>(id.as_number());
+  record.timestamp_ns = static_cast<uint64_t>(ts.as_number());
+  record.source = source.as_string();
+  record.destination = destination.as_string();
+  record.content_type = content_type.as_string();
+  record.body = body.as_string();
+  return record;
+}
+
+std::string SerializeRecord(const Record& record) {
+  return JsonEncode(RecordToJson(record));
+}
+
+Result<Record> DeserializeRecord(std::string_view text) {
+  RR_ASSIGN_OR_RETURN(const JsonValue value, JsonDecode(text));
+  return RecordFromJson(value);
+}
+
+Bytes EncodeRecordBinary(const Record& record) {
+  Bytes out;
+  out.reserve(record.ApproximateSize() + 64);
+  AppendU64(out, record.id);
+  AppendU64(out, record.timestamp_ns);
+  AppendLengthPrefixed(out, record.source);
+  AppendLengthPrefixed(out, record.destination);
+  AppendLengthPrefixed(out, record.content_type);
+  AppendLengthPrefixed(out, record.body);
+  return out;
+}
+
+Result<Record> DecodeRecordBinary(ByteSpan data) {
+  BinaryReader reader(data);
+  Record record;
+  RR_ASSIGN_OR_RETURN(record.id, reader.ReadU64());
+  RR_ASSIGN_OR_RETURN(record.timestamp_ns, reader.ReadU64());
+  RR_ASSIGN_OR_RETURN(record.source, reader.ReadString(kMaxMetadataField));
+  RR_ASSIGN_OR_RETURN(record.destination, reader.ReadString(kMaxMetadataField));
+  RR_ASSIGN_OR_RETURN(record.content_type, reader.ReadString(kMaxMetadataField));
+  RR_ASSIGN_OR_RETURN(record.body, reader.ReadString(kMaxBody));
+  if (!reader.AtEnd()) return InvalidArgumentError("record: trailing bytes");
+  return record;
+}
+
+Bytes EncodeRecordHeader(const Record& record) {
+  Bytes out;
+  out.reserve(64 + record.source.size() + record.destination.size());
+  AppendU64(out, record.id);
+  AppendU64(out, record.timestamp_ns);
+  AppendU64(out, record.body.size());
+  AppendLengthPrefixed(out, record.source);
+  AppendLengthPrefixed(out, record.destination);
+  AppendLengthPrefixed(out, record.content_type);
+  return out;
+}
+
+Result<RecordHeader> DecodeRecordHeader(ByteSpan data) {
+  BinaryReader reader(data);
+  RecordHeader header;
+  RR_ASSIGN_OR_RETURN(header.id, reader.ReadU64());
+  RR_ASSIGN_OR_RETURN(header.timestamp_ns, reader.ReadU64());
+  RR_ASSIGN_OR_RETURN(header.body_length, reader.ReadU64());
+  RR_ASSIGN_OR_RETURN(header.source, reader.ReadString(kMaxMetadataField));
+  RR_ASSIGN_OR_RETURN(header.destination, reader.ReadString(kMaxMetadataField));
+  RR_ASSIGN_OR_RETURN(header.content_type, reader.ReadString(kMaxMetadataField));
+  if (!reader.AtEnd()) return InvalidArgumentError("record header: trailing bytes");
+  if (header.body_length > kMaxBody) {
+    return InvalidArgumentError("record header: body length implausible");
+  }
+  return header;
+}
+
+}  // namespace rr::serde

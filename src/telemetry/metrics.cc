@@ -1,0 +1,41 @@
+#include "telemetry/metrics.h"
+
+namespace rr::telemetry {
+
+Summary Summarize(std::vector<double> samples) {
+  Summary summary;
+  if (samples.empty()) return summary;
+  std::sort(samples.begin(), samples.end());
+  summary.count = samples.size();
+  summary.min = samples.front();
+  summary.max = samples.back();
+
+  double sum = 0;
+  for (const double s : samples) sum += s;
+  summary.mean = sum / static_cast<double>(samples.size());
+
+  double sq = 0;
+  for (const double s : samples) sq += (s - summary.mean) * (s - summary.mean);
+  summary.stddev = samples.size() > 1
+                       ? std::sqrt(sq / static_cast<double>(samples.size() - 1))
+                       : 0.0;
+
+  const auto percentile = [&](double p) {
+    const double rank = p * static_cast<double>(samples.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples[lo] * (1 - frac) + samples[hi] * frac;
+  };
+  summary.p50 = percentile(0.50);
+  summary.p95 = percentile(0.95);
+  return summary;
+}
+
+double ThroughputRps(Nanos mean_latency) {
+  const double seconds = ToSeconds(mean_latency);
+  if (seconds <= 0) return 0;
+  return 1.0 / seconds;
+}
+
+}  // namespace rr::telemetry

@@ -1,0 +1,82 @@
+#include "telemetry/reporter.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace rr::telemetry {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::Render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::string out;
+  const auto append_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += "| ";
+      out += row[c];
+      out.append(widths[c] - row[c].size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+
+  append_row(header_);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    out += "|";
+    out.append(widths[c] + 2, '-');
+  }
+  out += "|\n";
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+std::string Table::RenderCsv() const {
+  std::string out;
+  const auto append_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ",";
+      out += row[c];
+    }
+    out += "\n";
+  };
+  append_row(header_);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+std::string FormatSeconds(double seconds) {
+  if (seconds >= 1.0) return StrFormat("%.3f s", seconds);
+  if (seconds >= 1e-3) return StrFormat("%.3f ms", seconds * 1e3);
+  if (seconds >= 1e-6) return StrFormat("%.1f us", seconds * 1e6);
+  return StrFormat("%.0f ns", seconds * 1e9);
+}
+
+std::string FormatRps(double rps) {
+  if (rps >= 10000) return StrFormat("%.2e", rps);
+  if (rps >= 100) return StrFormat("%.0f", rps);
+  return StrFormat("%.2f", rps);
+}
+
+std::string FormatPercent(double pct) { return StrFormat("%.2f%%", pct); }
+
+std::string FormatMB(uint64_t bytes) {
+  return StrFormat("%.1f", static_cast<double>(bytes) / (1024.0 * 1024.0));
+}
+
+void PrintBanner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace rr::telemetry

@@ -1,0 +1,37 @@
+// Table/CSV reporters used by every bench binary to print the rows/series
+// of the corresponding paper figure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rr::telemetry {
+
+// Fixed-width aligned text table. Columns size to content.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Renders with a header rule; always ends with a newline.
+  std::string Render() const;
+
+  // CSV rendering of the same data (for plotting scripts).
+  std::string RenderCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formatting helpers shared by benches.
+std::string FormatSeconds(double seconds);      // "1.234 s" / "12.3 ms" / "45 us"
+std::string FormatRps(double rps);              // "69.1" / "1.2e+04"
+std::string FormatPercent(double pct);          // "12.34%"
+std::string FormatMB(uint64_t bytes);           // "12.3"
+
+// Prints a figure banner ("=== Figure 7a: ... ===").
+void PrintBanner(const std::string& title);
+
+}  // namespace rr::telemetry

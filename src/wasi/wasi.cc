@@ -1,0 +1,345 @@
+#include "wasi/wasi.h"
+
+#include <chrono>
+
+#include "common/rng.h"
+
+namespace rr::wasi {
+namespace {
+
+using wasm::Instance;
+using wasm::Value;
+using wasm::ValType;
+
+const wasm::FuncType kFdIoType{
+    {ValType::kI32, ValType::kI32, ValType::kI32, ValType::kI32},
+    {ValType::kI32}};
+const wasm::FuncType kSockIoType{
+    {ValType::kI32, ValType::kI32, ValType::kI32, ValType::kI32, ValType::kI32},
+    {ValType::kI32}};
+
+Value ErrnoValue(Errno e) { return Value::I32(static_cast<int32_t>(e)); }
+
+}  // namespace
+
+int32_t WasiEnv::AttachConnection(osal::Connection conn) {
+  const int32_t fd = next_fd_++;
+  fds_.emplace(fd, std::move(conn));
+  return fd;
+}
+
+int32_t WasiEnv::AttachBuffer(Bytes readable) {
+  const int32_t fd = next_fd_++;
+  fds_.emplace(fd, BufferStream{std::move(readable), 0, {}});
+  return fd;
+}
+
+Result<Bytes> WasiEnv::TakeWritten(int32_t fd) {
+  auto* resource = Find(fd);
+  if (resource == nullptr) return NotFoundError("no such fd");
+  auto* stream = std::get_if<BufferStream>(resource);
+  if (stream == nullptr) return InvalidArgumentError("fd is not a buffer stream");
+  return std::move(stream->written);
+}
+
+Status WasiEnv::CloseFd(int32_t fd) {
+  if (fds_.erase(fd) == 0) return NotFoundError("no such fd");
+  return Status::Ok();
+}
+
+WasiEnv::Resource* WasiEnv::Find(int32_t fd) {
+  const auto it = fds_.find(fd);
+  return it == fds_.end() ? nullptr : &it->second;
+}
+
+Result<Errno> WasiEnv::ReadIntoIovecs(Instance& instance, int32_t fd,
+                                      uint32_t iovs, uint32_t iovs_len,
+                                      uint32_t out_ptr) {
+  ++syscall_count_;
+  Resource* resource = Find(fd);
+  if (resource == nullptr) return Errno::kBadf;
+  wasm::LinearMemory* memory = instance.memory();
+  if (memory == nullptr) return Errno::kInval;
+
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < iovs_len; ++i) {
+    // iovec ABI: {buf_ptr: u32, buf_len: u32} at iovs + 8*i.
+    RR_ASSIGN_OR_RETURN(const uint32_t buf_ptr,
+                        memory->Load<uint32_t>(iovs + 8ull * i));
+    RR_ASSIGN_OR_RETURN(const uint32_t buf_len,
+                        memory->Load<uint32_t>(iovs + 8ull * i + 4));
+    if (buf_len == 0) continue;
+
+    // Host buffer: the mandatory intermediate copy of WASI-mediated I/O.
+    Bytes host_buffer(buf_len);
+    size_t got = 0;
+    if (auto* conn = std::get_if<osal::Connection>(resource)) {
+      auto n = conn->ReceiveSome(host_buffer);
+      if (!n.ok()) return Errno::kIo;
+      got = *n;
+    } else {
+      auto& stream = std::get<BufferStream>(*resource);
+      got = std::min<size_t>(buf_len, stream.data.size() - stream.read_pos);
+      std::copy_n(stream.data.begin() + static_cast<long>(stream.read_pos), got,
+                  host_buffer.begin());
+      stream.read_pos += got;
+    }
+    // Second copy: host buffer into guest linear memory.
+    const Stopwatch copy_timer;
+    RR_RETURN_IF_ERROR(memory->Write(buf_ptr, ByteSpan(host_buffer.data(), got)));
+    copy_time_ += copy_timer.Elapsed();
+    bytes_copied_in_ += got;
+    total += got;
+    if (got < buf_len) break;  // short read
+  }
+  RR_RETURN_IF_ERROR(memory->Store<uint32_t>(out_ptr, static_cast<uint32_t>(total)));
+  return Errno::kSuccess;
+}
+
+Result<Errno> WasiEnv::WriteFromIovecs(Instance& instance, int32_t fd,
+                                       uint32_t iovs, uint32_t iovs_len,
+                                       uint32_t out_ptr) {
+  ++syscall_count_;
+  Resource* resource = Find(fd);
+  if (resource == nullptr) return Errno::kBadf;
+  wasm::LinearMemory* memory = instance.memory();
+  if (memory == nullptr) return Errno::kInval;
+
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < iovs_len; ++i) {
+    RR_ASSIGN_OR_RETURN(const uint32_t buf_ptr,
+                        memory->Load<uint32_t>(iovs + 8ull * i));
+    RR_ASSIGN_OR_RETURN(const uint32_t buf_len,
+                        memory->Load<uint32_t>(iovs + 8ull * i + 4));
+    if (buf_len == 0) continue;
+
+    // Copy out of the sandbox into a host buffer...
+    Bytes host_buffer(buf_len);
+    const Stopwatch copy_timer;
+    RR_RETURN_IF_ERROR(memory->Read(buf_ptr, host_buffer));
+    copy_time_ += copy_timer.Elapsed();
+    bytes_copied_out_ += buf_len;
+
+    // ...then into the kernel (socket) or host sink.
+    if (auto* conn = std::get_if<osal::Connection>(resource)) {
+      if (!conn->Send(host_buffer).ok()) return Errno::kIo;
+    } else {
+      auto& stream = std::get<BufferStream>(*resource);
+      AppendBytes(stream.written, host_buffer);
+    }
+    total += buf_len;
+  }
+  RR_RETURN_IF_ERROR(memory->Store<uint32_t>(out_ptr, static_cast<uint32_t>(total)));
+  return Errno::kSuccess;
+}
+
+Status WasiEnv::GuestWriteAll(wasm::Instance& instance, int32_t fd,
+                              uint32_t ptr, uint32_t len) {
+  Resource* resource = Find(fd);
+  if (resource == nullptr) return NotFoundError("GuestWriteAll: bad fd");
+  wasm::LinearMemory* memory = instance.memory();
+  if (memory == nullptr) return FailedPreconditionError("no linear memory");
+
+  // One syscall per socket-buffer-sized installment, like a guest write loop.
+  constexpr uint32_t kChunk = 256 * 1024;
+  uint32_t offset = 0;
+  while (offset < len) {
+    const uint32_t n = std::min(kChunk, len - offset);
+    ++syscall_count_;
+    Bytes host_buffer(n);
+    const Stopwatch copy_timer;
+    RR_RETURN_IF_ERROR(memory->Read(ptr + offset, host_buffer));
+    copy_time_ += copy_timer.Elapsed();
+    bytes_copied_out_ += n;
+    if (auto* conn = std::get_if<osal::Connection>(resource)) {
+      RR_RETURN_IF_ERROR(conn->Send(host_buffer));
+    } else {
+      AppendBytes(std::get<BufferStream>(*resource).written, host_buffer);
+    }
+    offset += n;
+  }
+  return Status::Ok();
+}
+
+Status WasiEnv::GuestReadExact(wasm::Instance& instance, int32_t fd,
+                               uint32_t ptr, uint32_t len) {
+  Resource* resource = Find(fd);
+  if (resource == nullptr) return NotFoundError("GuestReadExact: bad fd");
+  wasm::LinearMemory* memory = instance.memory();
+  if (memory == nullptr) return FailedPreconditionError("no linear memory");
+
+  constexpr uint32_t kChunk = 256 * 1024;
+  uint32_t offset = 0;
+  while (offset < len) {
+    const uint32_t want = std::min(kChunk, len - offset);
+    ++syscall_count_;
+    Bytes host_buffer(want);
+    size_t got = 0;
+    if (auto* conn = std::get_if<osal::Connection>(resource)) {
+      RR_ASSIGN_OR_RETURN(got, conn->ReceiveSome(host_buffer));
+      if (got == 0) return DataLossError("GuestReadExact: EOF");
+    } else {
+      auto& stream = std::get<BufferStream>(*resource);
+      got = std::min<size_t>(want, stream.data.size() - stream.read_pos);
+      if (got == 0) return DataLossError("GuestReadExact: buffer exhausted");
+      std::copy_n(stream.data.begin() + static_cast<long>(stream.read_pos), got,
+                  host_buffer.begin());
+      stream.read_pos += got;
+    }
+    const Stopwatch copy_timer;
+    RR_RETURN_IF_ERROR(
+        memory->Write(ptr + offset, ByteSpan(host_buffer.data(), got)));
+    copy_time_ += copy_timer.Elapsed();
+    bytes_copied_in_ += got;
+    offset += static_cast<uint32_t>(got);
+  }
+  return Status::Ok();
+}
+
+Status WasiEnv::GuestWriteBatch(wasm::Instance& instance, int32_t fd,
+                                std::span<const GuestRegion> regions) {
+  Resource* resource = Find(fd);
+  if (resource == nullptr) return NotFoundError("GuestWriteBatch: bad fd");
+  wasm::LinearMemory* memory = instance.memory();
+  if (memory == nullptr) return FailedPreconditionError("no linear memory");
+
+  uint64_t total = 0;
+  for (const GuestRegion& region : regions) total += region.len;
+  if (total > (uint64_t{1} << 31)) {
+    return InvalidArgumentError("batch too large");
+  }
+
+  // One host transition: gather all regions into a single host buffer...
+  ++syscall_count_;
+  Bytes host_buffer(total);
+  size_t at = 0;
+  const Stopwatch copy_timer;
+  for (const GuestRegion& region : regions) {
+    if (region.len == 0) continue;
+    RR_RETURN_IF_ERROR(memory->Read(
+        region.ptr, MutableByteSpan(host_buffer.data() + at, region.len)));
+    at += region.len;
+  }
+  copy_time_ += copy_timer.Elapsed();
+  bytes_copied_out_ += total;
+
+  // ...and one kernel write.
+  if (auto* conn = std::get_if<osal::Connection>(resource)) {
+    RR_RETURN_IF_ERROR(conn->Send(host_buffer));
+  } else {
+    AppendBytes(std::get<BufferStream>(*resource).written, host_buffer);
+  }
+  return Status::Ok();
+}
+
+wasm::HostFn WasiEnv::MakeFdRead() {
+  return [this](Instance& instance, std::span<const Value> args,
+                std::span<Value> results) -> Status {
+    RR_ASSIGN_OR_RETURN(
+        const Errno e,
+        ReadIntoIovecs(instance, args[0].i32, args[1].AsU32(), args[2].AsU32(),
+                       args[3].AsU32()));
+    results[0] = ErrnoValue(e);
+    return Status::Ok();
+  };
+}
+
+wasm::HostFn WasiEnv::MakeFdWrite() {
+  return [this](Instance& instance, std::span<const Value> args,
+                std::span<Value> results) -> Status {
+    RR_ASSIGN_OR_RETURN(
+        const Errno e,
+        WriteFromIovecs(instance, args[0].i32, args[1].AsU32(), args[2].AsU32(),
+                        args[3].AsU32()));
+    results[0] = ErrnoValue(e);
+    return Status::Ok();
+  };
+}
+
+wasm::HostFn WasiEnv::MakeFdClose() {
+  return [this](Instance&, std::span<const Value> args,
+                std::span<Value> results) -> Status {
+    ++syscall_count_;
+    results[0] = ErrnoValue(CloseFd(args[0].i32).ok() ? Errno::kSuccess
+                                                      : Errno::kBadf);
+    return Status::Ok();
+  };
+}
+
+wasm::HostFn WasiEnv::MakeClockTimeGet() {
+  return [this](Instance& instance, std::span<const Value> args,
+                std::span<Value> results) -> Status {
+    ++syscall_count_;
+    wasm::LinearMemory* memory = instance.memory();
+    if (memory == nullptr) {
+      results[0] = ErrnoValue(Errno::kInval);
+      return Status::Ok();
+    }
+    const auto now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::system_clock::now().time_since_epoch())
+                         .count();
+    RR_RETURN_IF_ERROR(
+        memory->Store<uint64_t>(args[2].AsU32(), static_cast<uint64_t>(now)));
+    results[0] = ErrnoValue(Errno::kSuccess);
+    return Status::Ok();
+  };
+}
+
+wasm::HostFn WasiEnv::MakeRandomGet() {
+  return [this](Instance& instance, std::span<const Value> args,
+                std::span<Value> results) -> Status {
+    ++syscall_count_;
+    wasm::LinearMemory* memory = instance.memory();
+    if (memory == nullptr) {
+      results[0] = ErrnoValue(Errno::kInval);
+      return Status::Ok();
+    }
+    static thread_local Rng rng(0x1d0c0deULL);
+    Bytes host_buffer(args[1].AsU32());
+    rng.Fill(host_buffer);
+    RR_RETURN_IF_ERROR(memory->Write(args[0].AsU32(), host_buffer));
+    bytes_copied_in_ += host_buffer.size();
+    results[0] = ErrnoValue(Errno::kSuccess);
+    return Status::Ok();
+  };
+}
+
+void WasiEnv::RegisterImports(wasm::ImportResolver& resolver) {
+  const std::string kModule = "wasi_snapshot_preview1";
+  resolver.Register(kModule, "fd_read", kFdIoType, MakeFdRead());
+  resolver.Register(kModule, "fd_write", kFdIoType, MakeFdWrite());
+  resolver.Register(kModule, "fd_close",
+                    {{ValType::kI32}, {ValType::kI32}}, MakeFdClose());
+  resolver.Register(kModule, "clock_time_get",
+                    {{ValType::kI32, ValType::kI64, ValType::kI32}, {ValType::kI32}},
+                    MakeClockTimeGet());
+  resolver.Register(kModule, "random_get",
+                    {{ValType::kI32, ValType::kI32}, {ValType::kI32}},
+                    MakeRandomGet());
+
+  // WasmEdge sock_* extension: identical copy semantics, extra flags arg.
+  resolver.Register(
+      kModule, "sock_recv", kSockIoType,
+      [this](Instance& instance, std::span<const Value> args,
+             std::span<Value> results) -> Status {
+        RR_ASSIGN_OR_RETURN(
+            const Errno e,
+            ReadIntoIovecs(instance, args[0].i32, args[1].AsU32(),
+                           args[2].AsU32(), args[4].AsU32()));
+        results[0] = ErrnoValue(e);
+        return Status::Ok();
+      });
+  resolver.Register(
+      kModule, "sock_send", kSockIoType,
+      [this](Instance& instance, std::span<const Value> args,
+             std::span<Value> results) -> Status {
+        RR_ASSIGN_OR_RETURN(
+            const Errno e,
+            WriteFromIovecs(instance, args[0].i32, args[1].AsU32(),
+                            args[2].AsU32(), args[4].AsU32()));
+        results[0] = ErrnoValue(e);
+        return Status::Ok();
+      });
+}
+
+}  // namespace rr::wasi

@@ -1,0 +1,244 @@
+#include "wasm/builder.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace rr::wasm {
+namespace {
+
+constexpr uint8_t kWasmMagic[4] = {0x00, 0x61, 0x73, 0x6d};
+constexpr uint8_t kWasmVersion[4] = {0x01, 0x00, 0x00, 0x00};
+
+enum SectionId : uint8_t {
+  kTypeSection = 1,
+  kImportSection = 2,
+  kFunctionSection = 3,
+  kMemorySection = 5,
+  kGlobalSection = 6,
+  kExportSection = 7,
+  kCodeSection = 10,
+  kDataSection = 11,
+};
+
+void AppendName(Bytes& out, const std::string& name) {
+  AppendLebU32(out, static_cast<uint32_t>(name.size()));
+  AppendBytes(out, AsBytes(name));
+}
+
+void AppendSection(Bytes& out, SectionId id, const Bytes& payload) {
+  out.push_back(id);
+  AppendLebU32(out, static_cast<uint32_t>(payload.size()));
+  AppendBytes(out, payload);
+}
+
+void AppendLimits(Bytes& out, const Limits& limits) {
+  out.push_back(limits.has_max ? 0x01 : 0x00);
+  AppendLebU32(out, limits.min_pages);
+  if (limits.has_max) AppendLebU32(out, limits.max_pages);
+}
+
+void AppendConstExpr(Bytes& out, const Value& value) {
+  switch (value.type) {
+    case ValType::kI32:
+      out.push_back(static_cast<uint8_t>(Opcode::kI32Const));
+      AppendLebS32(out, value.i32);
+      break;
+    case ValType::kI64:
+      out.push_back(static_cast<uint8_t>(Opcode::kI64Const));
+      AppendLebS64(out, value.i64);
+      break;
+    case ValType::kF32: {
+      out.push_back(static_cast<uint8_t>(Opcode::kF32Const));
+      uint32_t bits;
+      std::memcpy(&bits, &value.f32, 4);
+      for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(bits >> (8 * i)));
+      break;
+    }
+    case ValType::kF64: {
+      out.push_back(static_cast<uint8_t>(Opcode::kF64Const));
+      uint64_t bits;
+      std::memcpy(&bits, &value.f64, 8);
+      for (int i = 0; i < 8; ++i) out.push_back(static_cast<uint8_t>(bits >> (8 * i)));
+      break;
+    }
+  }
+  out.push_back(static_cast<uint8_t>(Opcode::kEnd));
+}
+
+// Run-length groups of identical local types, as the binary format requires.
+void AppendLocals(Bytes& out, const std::vector<ValType>& locals) {
+  std::vector<std::pair<uint32_t, ValType>> groups;
+  for (ValType t : locals) {
+    if (!groups.empty() && groups.back().second == t) {
+      ++groups.back().first;
+    } else {
+      groups.emplace_back(1, t);
+    }
+  }
+  AppendLebU32(out, static_cast<uint32_t>(groups.size()));
+  for (const auto& [count, type] : groups) {
+    AppendLebU32(out, count);
+    out.push_back(static_cast<uint8_t>(type));
+  }
+}
+
+}  // namespace
+
+CodeEmitter& CodeEmitter::F32Const(float value) {
+  Op(Opcode::kF32Const);
+  uint32_t bits;
+  std::memcpy(&bits, &value, 4);
+  for (int i = 0; i < 4; ++i) code_.push_back(static_cast<uint8_t>(bits >> (8 * i)));
+  return *this;
+}
+
+CodeEmitter& CodeEmitter::F64Const(double value) {
+  Op(Opcode::kF64Const);
+  uint64_t bits;
+  std::memcpy(&bits, &value, 8);
+  for (int i = 0; i < 8; ++i) code_.push_back(static_cast<uint8_t>(bits >> (8 * i)));
+  return *this;
+}
+
+uint32_t ModuleBuilder::AddType(FuncType type) {
+  for (size_t i = 0; i < module_.types.size(); ++i) {
+    if (module_.types[i] == type) return static_cast<uint32_t>(i);
+  }
+  module_.types.push_back(std::move(type));
+  return static_cast<uint32_t>(module_.types.size() - 1);
+}
+
+uint32_t ModuleBuilder::AddImport(std::string module, std::string name, FuncType type) {
+  assert(module_.functions.empty() &&
+         "imports must be declared before defined functions");
+  const uint32_t type_index = AddType(std::move(type));
+  module_.imports.push_back({std::move(module), std::move(name), type_index});
+  return static_cast<uint32_t>(module_.imports.size() - 1);
+}
+
+uint32_t ModuleBuilder::AddFunction(FuncType type, std::vector<ValType> locals,
+                                    const CodeEmitter& emitter) {
+  const uint32_t type_index = AddType(std::move(type));
+  FunctionBody body;
+  body.type_index = type_index;
+  body.locals = std::move(locals);
+  body.code = emitter.bytes();
+  module_.functions.push_back(std::move(body));
+  return module_.num_imported_functions() +
+         static_cast<uint32_t>(module_.functions.size() - 1);
+}
+
+uint32_t ModuleBuilder::AddGlobal(ValType type, bool is_mutable, Value init) {
+  module_.globals.push_back({type, is_mutable, init});
+  return static_cast<uint32_t>(module_.globals.size() - 1);
+}
+
+void ModuleBuilder::ExportFunction(std::string name, uint32_t func_index) {
+  module_.exports.push_back({std::move(name), ExportKind::kFunction, func_index});
+}
+
+void ModuleBuilder::ExportMemory(std::string name) {
+  module_.exports.push_back({std::move(name), ExportKind::kMemory, 0});
+}
+
+void ModuleBuilder::AddData(uint32_t offset, Bytes bytes) {
+  module_.data.push_back({offset, std::move(bytes)});
+}
+
+Bytes ModuleBuilder::Encode() const {
+  Bytes out;
+  out.insert(out.end(), kWasmMagic, kWasmMagic + 4);
+  out.insert(out.end(), kWasmVersion, kWasmVersion + 4);
+
+  if (!module_.types.empty()) {
+    Bytes payload;
+    AppendLebU32(payload, static_cast<uint32_t>(module_.types.size()));
+    for (const FuncType& type : module_.types) {
+      payload.push_back(0x60);  // func type tag
+      AppendLebU32(payload, static_cast<uint32_t>(type.params.size()));
+      for (ValType t : type.params) payload.push_back(static_cast<uint8_t>(t));
+      AppendLebU32(payload, static_cast<uint32_t>(type.results.size()));
+      for (ValType t : type.results) payload.push_back(static_cast<uint8_t>(t));
+    }
+    AppendSection(out, kTypeSection, payload);
+  }
+
+  if (!module_.imports.empty()) {
+    Bytes payload;
+    AppendLebU32(payload, static_cast<uint32_t>(module_.imports.size()));
+    for (const Import& import : module_.imports) {
+      AppendName(payload, import.module);
+      AppendName(payload, import.name);
+      payload.push_back(0x00);  // function import
+      AppendLebU32(payload, import.type_index);
+    }
+    AppendSection(out, kImportSection, payload);
+  }
+
+  if (!module_.functions.empty()) {
+    Bytes payload;
+    AppendLebU32(payload, static_cast<uint32_t>(module_.functions.size()));
+    for (const FunctionBody& body : module_.functions) {
+      AppendLebU32(payload, body.type_index);
+    }
+    AppendSection(out, kFunctionSection, payload);
+  }
+
+  if (module_.memory.has_value()) {
+    Bytes payload;
+    AppendLebU32(payload, 1);
+    AppendLimits(payload, *module_.memory);
+    AppendSection(out, kMemorySection, payload);
+  }
+
+  if (!module_.globals.empty()) {
+    Bytes payload;
+    AppendLebU32(payload, static_cast<uint32_t>(module_.globals.size()));
+    for (const GlobalDef& global : module_.globals) {
+      payload.push_back(static_cast<uint8_t>(global.type));
+      payload.push_back(global.is_mutable ? 0x01 : 0x00);
+      AppendConstExpr(payload, global.init);
+    }
+    AppendSection(out, kGlobalSection, payload);
+  }
+
+  if (!module_.exports.empty()) {
+    Bytes payload;
+    AppendLebU32(payload, static_cast<uint32_t>(module_.exports.size()));
+    for (const Export& e : module_.exports) {
+      AppendName(payload, e.name);
+      payload.push_back(static_cast<uint8_t>(e.kind));
+      AppendLebU32(payload, e.index);
+    }
+    AppendSection(out, kExportSection, payload);
+  }
+
+  if (!module_.functions.empty()) {
+    Bytes payload;
+    AppendLebU32(payload, static_cast<uint32_t>(module_.functions.size()));
+    for (const FunctionBody& body : module_.functions) {
+      Bytes entry;
+      AppendLocals(entry, body.locals);
+      AppendBytes(entry, body.code);
+      AppendLebU32(payload, static_cast<uint32_t>(entry.size()));
+      AppendBytes(payload, entry);
+    }
+    AppendSection(out, kCodeSection, payload);
+  }
+
+  if (!module_.data.empty()) {
+    Bytes payload;
+    AppendLebU32(payload, static_cast<uint32_t>(module_.data.size()));
+    for (const DataSegment& segment : module_.data) {
+      AppendLebU32(payload, 0);  // active, memory 0
+      AppendConstExpr(payload, Value::I32(static_cast<int32_t>(segment.offset)));
+      AppendLebU32(payload, static_cast<uint32_t>(segment.bytes.size()));
+      AppendBytes(payload, segment.bytes);
+    }
+    AppendSection(out, kDataSection, payload);
+  }
+
+  return out;
+}
+
+}  // namespace rr::wasm

@@ -1,0 +1,187 @@
+// Programmatic construction of WebAssembly modules.
+//
+// ModuleBuilder assembles a Module IR and can serialize it to a genuine
+// .wasm binary (magic, sections, LEB128) that our decoder — or any compliant
+// runtime — can load. Tests round-trip builder → Encode() → Decode().
+//
+// CodeEmitter is a tiny assembler for function bodies: each method appends
+// one instruction's binary encoding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "wasm/leb128.h"
+#include "wasm/module.h"
+#include "wasm/opcodes.h"
+
+namespace rr::wasm {
+
+class CodeEmitter {
+ public:
+  const Bytes& bytes() const { return code_; }
+
+  CodeEmitter& Op(Opcode op) {
+    code_.push_back(static_cast<uint8_t>(op));
+    return *this;
+  }
+
+  // Control flow. `block_type` is kVoidBlockType or a ValType byte.
+  CodeEmitter& Block(uint8_t block_type = kVoidBlockType) {
+    Op(Opcode::kBlock);
+    code_.push_back(block_type);
+    return *this;
+  }
+  CodeEmitter& Block(ValType result) { return Block(static_cast<uint8_t>(result)); }
+  CodeEmitter& Loop(uint8_t block_type = kVoidBlockType) {
+    Op(Opcode::kLoop);
+    code_.push_back(block_type);
+    return *this;
+  }
+  CodeEmitter& If(uint8_t block_type = kVoidBlockType) {
+    Op(Opcode::kIf);
+    code_.push_back(block_type);
+    return *this;
+  }
+  CodeEmitter& If(ValType result) { return If(static_cast<uint8_t>(result)); }
+  CodeEmitter& Else() { return Op(Opcode::kElse); }
+  CodeEmitter& End() { return Op(Opcode::kEnd); }
+  CodeEmitter& Br(uint32_t depth) {
+    Op(Opcode::kBr);
+    AppendLebU32(code_, depth);
+    return *this;
+  }
+  CodeEmitter& BrIf(uint32_t depth) {
+    Op(Opcode::kBrIf);
+    AppendLebU32(code_, depth);
+    return *this;
+  }
+  CodeEmitter& BrTable(const std::vector<uint32_t>& targets, uint32_t default_target) {
+    Op(Opcode::kBrTable);
+    AppendLebU32(code_, static_cast<uint32_t>(targets.size()));
+    for (uint32_t t : targets) AppendLebU32(code_, t);
+    AppendLebU32(code_, default_target);
+    return *this;
+  }
+  CodeEmitter& Return() { return Op(Opcode::kReturn); }
+  CodeEmitter& Call(uint32_t func_index) {
+    Op(Opcode::kCall);
+    AppendLebU32(code_, func_index);
+    return *this;
+  }
+  CodeEmitter& Unreachable() { return Op(Opcode::kUnreachable); }
+  CodeEmitter& Nop() { return Op(Opcode::kNop); }
+  CodeEmitter& Drop() { return Op(Opcode::kDrop); }
+  CodeEmitter& Select() { return Op(Opcode::kSelect); }
+
+  // Variables.
+  CodeEmitter& LocalGet(uint32_t index) { return OpIdx(Opcode::kLocalGet, index); }
+  CodeEmitter& LocalSet(uint32_t index) { return OpIdx(Opcode::kLocalSet, index); }
+  CodeEmitter& LocalTee(uint32_t index) { return OpIdx(Opcode::kLocalTee, index); }
+  CodeEmitter& GlobalGet(uint32_t index) { return OpIdx(Opcode::kGlobalGet, index); }
+  CodeEmitter& GlobalSet(uint32_t index) { return OpIdx(Opcode::kGlobalSet, index); }
+
+  // Constants.
+  CodeEmitter& I32Const(int32_t value) {
+    Op(Opcode::kI32Const);
+    AppendLebS32(code_, value);
+    return *this;
+  }
+  CodeEmitter& I64Const(int64_t value) {
+    Op(Opcode::kI64Const);
+    AppendLebS64(code_, value);
+    return *this;
+  }
+  CodeEmitter& F32Const(float value);
+  CodeEmitter& F64Const(double value);
+
+  // Frequently used numeric shorthands.
+  CodeEmitter& I32Eqz() { return Op(Opcode::kI32Eqz); }
+  CodeEmitter& I32Add() { return Op(Opcode::kI32Add); }
+  CodeEmitter& I32Sub() { return Op(Opcode::kI32Sub); }
+  CodeEmitter& I32Mul() { return Op(Opcode::kI32Mul); }
+
+  // Memory access. align is log2 of natural alignment (hint only).
+  CodeEmitter& MemOp(Opcode op, uint32_t offset, uint32_t align = 0) {
+    Op(op);
+    AppendLebU32(code_, align);
+    AppendLebU32(code_, offset);
+    return *this;
+  }
+  CodeEmitter& I32Load(uint32_t offset = 0) { return MemOp(Opcode::kI32Load, offset, 2); }
+  CodeEmitter& I64Load(uint32_t offset = 0) { return MemOp(Opcode::kI64Load, offset, 3); }
+  CodeEmitter& I32Load8U(uint32_t offset = 0) { return MemOp(Opcode::kI32Load8U, offset, 0); }
+  CodeEmitter& I32Store(uint32_t offset = 0) { return MemOp(Opcode::kI32Store, offset, 2); }
+  CodeEmitter& I64Store(uint32_t offset = 0) { return MemOp(Opcode::kI64Store, offset, 3); }
+  CodeEmitter& I32Store8(uint32_t offset = 0) { return MemOp(Opcode::kI32Store8, offset, 0); }
+  CodeEmitter& MemorySize() {
+    Op(Opcode::kMemorySize);
+    code_.push_back(0x00);  // memory index
+    return *this;
+  }
+  CodeEmitter& MemoryGrow() {
+    Op(Opcode::kMemoryGrow);
+    code_.push_back(0x00);
+    return *this;
+  }
+  CodeEmitter& MemoryCopy() {
+    Op(Opcode::kMiscPrefix);
+    AppendLebU32(code_, static_cast<uint32_t>(MiscOpcode::kMemoryCopy));
+    code_.push_back(0x00);  // dst memory
+    code_.push_back(0x00);  // src memory
+    return *this;
+  }
+  CodeEmitter& MemoryFill() {
+    Op(Opcode::kMiscPrefix);
+    AppendLebU32(code_, static_cast<uint32_t>(MiscOpcode::kMemoryFill));
+    code_.push_back(0x00);
+    return *this;
+  }
+
+ private:
+  CodeEmitter& OpIdx(Opcode op, uint32_t index) {
+    Op(op);
+    AppendLebU32(code_, index);
+    return *this;
+  }
+
+  Bytes code_;
+};
+
+class ModuleBuilder {
+ public:
+  // Returns the index of the (deduplicated) function type.
+  uint32_t AddType(FuncType type);
+
+  // Declares an imported function; imports must precede defined functions.
+  // Returns its index in the combined function index space.
+  uint32_t AddImport(std::string module, std::string name, FuncType type);
+
+  // Defines a function; `emitter` must end its body with End(). Returns the
+  // index in the combined function index space.
+  uint32_t AddFunction(FuncType type, std::vector<ValType> locals,
+                       const CodeEmitter& emitter);
+
+  void SetMemory(Limits limits) { module_.memory = limits; }
+
+  uint32_t AddGlobal(ValType type, bool is_mutable, Value init);
+
+  void ExportFunction(std::string name, uint32_t func_index);
+  void ExportMemory(std::string name);
+
+  // Adds an active data segment at `offset`.
+  void AddData(uint32_t offset, Bytes bytes);
+
+  const Module& module() const { return module_; }
+  Module TakeModule() { return std::move(module_); }
+
+  // Serializes to the WebAssembly binary format.
+  Bytes Encode() const;
+
+ private:
+  Module module_;
+};
+
+}  // namespace rr::wasm

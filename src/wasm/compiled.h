@@ -1,0 +1,53 @@
+// Lowered (validated) function representation executed by the interpreter.
+//
+// Structured control flow from the binary format is compiled into direct
+// jumps with precomputed stack-unwind amounts, so the interpreter's hot loop
+// never re-discovers block boundaries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wasm/opcodes.h"
+#include "wasm/types.h"
+
+namespace rr::wasm {
+
+// Executed operations. Values below 0x100 are the original opcode byte;
+// control flow is rewritten into the internal ops above 0x100.
+enum class COp : uint16_t {
+  kJump = 0x100,        // unconditional: a=target pc, b=drop, imm=arity
+  kJumpIf = 0x101,      // pops i32 cond; jumps when nonzero
+  kJumpUnless = 0x102,  // pops i32 cond; jumps when zero (lowered `if`)
+  kBrTable = 0x103,     // pops i32 index; a=pool offset, b=entry count (last is default)
+  kCallHost = 0x104,    // a = import index
+  kCallWasm = 0x105,    // a = defined function index
+  kReturn = 0x106,      // imm = result arity
+  kMemoryCopy = 0x108,
+  kMemoryFill = 0x109,
+};
+
+inline COp PlainOp(Opcode op) { return static_cast<COp>(static_cast<uint8_t>(op)); }
+
+struct CInstr {
+  COp op;
+  uint32_t a = 0;   // index / jump target / memarg offset
+  uint32_t b = 0;   // drop count for jumps
+  uint64_t imm = 0; // const bits / branch arity
+};
+
+struct BrTableEntry {
+  uint32_t target = 0;
+  uint32_t drop = 0;
+  uint32_t arity = 0;
+};
+
+struct CompiledFunction {
+  uint32_t type_index = 0;
+  std::vector<ValType> locals;  // declared locals only (params excluded)
+  std::vector<CInstr> code;     // terminated by kReturn
+  std::vector<BrTableEntry> br_pool;
+  uint32_t max_stack = 0;       // validated operand-stack high-water mark
+};
+
+}  // namespace rr::wasm

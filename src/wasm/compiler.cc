@@ -1,0 +1,766 @@
+#include "wasm/compiler.h"
+
+#include <optional>
+
+#include "common/strings.h"
+#include "wasm/leb128.h"
+
+namespace rr::wasm {
+namespace {
+
+// Validation-time control frame.
+struct Frame {
+  enum class Kind { kFunc, kBlock, kLoop, kIf };
+  Kind kind;
+  std::optional<ValType> result;  // at most one result (MVP)
+  size_t height;                  // operand stack height at entry
+  bool unreachable = false;
+  size_t start_pc = 0;                 // loop branch target
+  std::vector<size_t> branch_fixups;   // CInstr indices jumping to this end
+  size_t else_fixup = SIZE_MAX;        // pending kJumpUnless of an `if`
+  bool saw_else = false;
+};
+
+class FunctionCompiler {
+ public:
+  FunctionCompiler(const Module& module, uint32_t defined_index)
+      : module_(module),
+        body_(module.functions[defined_index]),
+        func_type_(module.types[body_.type_index]),
+        reader_(body_.code) {}
+
+  Result<CompiledFunction> Compile();
+
+ private:
+  using Kind = Frame::Kind;
+
+  Status Error(const std::string& message) const {
+    return InvalidArgumentError(
+        StrFormat("wasm validation: %s (at body offset %zu)", message.c_str(),
+                  reader_.position()));
+  }
+
+  // --- operand stack -------------------------------------------------------
+  void Push(ValType t) {
+    stack_.push_back(t);
+    max_stack_ = std::max(max_stack_, stack_.size());
+  }
+
+  // Pops any value; returns nullopt in polymorphic (unreachable) state.
+  Result<std::optional<ValType>> PopAny() {
+    Frame& frame = frames_.back();
+    if (stack_.size() == frame.height) {
+      if (frame.unreachable) return std::optional<ValType>();
+      return Error("operand stack underflow");
+    }
+    const ValType t = stack_.back();
+    stack_.pop_back();
+    return std::optional<ValType>(t);
+  }
+
+  Status PopExpect(ValType expected) {
+    RR_ASSIGN_OR_RETURN(const std::optional<ValType> actual, PopAny());
+    if (actual.has_value() && *actual != expected) {
+      return Error(StrFormat("type mismatch: expected %s, found %s",
+                             std::string(ValTypeName(expected)).c_str(),
+                             std::string(ValTypeName(*actual)).c_str()));
+    }
+    return Status::Ok();
+  }
+
+  void MarkUnreachable() {
+    Frame& frame = frames_.back();
+    stack_.resize(frame.height);
+    frame.unreachable = true;
+  }
+
+  // --- control -------------------------------------------------------------
+  Result<std::optional<ValType>> ReadBlockType() {
+    RR_ASSIGN_OR_RETURN(const uint8_t byte, reader_.ReadByte());
+    if (byte == kVoidBlockType) return std::optional<ValType>();
+    RR_ASSIGN_OR_RETURN(const ValType vt, ValTypeFromByte(byte));
+    return std::optional<ValType>(vt);
+  }
+
+  Result<Frame*> FrameAt(uint32_t depth) {
+    if (depth >= frames_.size()) return Error("branch depth out of range");
+    return &frames_[frames_.size() - 1 - depth];
+  }
+
+  // Label arity: loops have zero-arity labels (branch = continue), all
+  // others carry the block result.
+  static uint32_t LabelArity(const Frame& frame) {
+    if (frame.kind == Kind::kLoop) return 0;
+    return frame.result.has_value() ? 1 : 0;
+  }
+
+  // Validates that a branch to `frame` is well-typed at the current stack,
+  // and computes the runtime drop count.
+  Result<uint32_t> CheckBranch(Frame& frame) {
+    const uint32_t arity = LabelArity(frame);
+    const Frame& current = frames_.back();
+    // Values carried by the branch must be on the stack (unless polymorphic).
+    if (stack_.size() < frame.height + arity) {
+      if (!current.unreachable) return Error("branch carries missing values");
+      return 0;
+    }
+    if (arity == 1) {
+      const ValType top = stack_.back();
+      if (top != *frame.result && frame.kind != Kind::kLoop) {
+        return Error("branch value type mismatch");
+      }
+    }
+    return static_cast<uint32_t>(stack_.size() - frame.height - arity);
+  }
+
+  void EmitBranchTo(Frame& frame, COp op, uint32_t drop) {
+    const uint32_t arity = LabelArity(frame);
+    CInstr instr{op, 0, drop, arity};
+    if (frame.kind == Kind::kLoop) {
+      instr.a = static_cast<uint32_t>(frame.start_pc);
+      code_.push_back(instr);
+    } else {
+      frame.branch_fixups.push_back(code_.size());
+      code_.push_back(instr);  // target patched at `end`
+    }
+  }
+
+  Status HandleEnd();
+  Status HandleElse();
+  Status HandleBranch(COp op);
+  Status HandleBrTable();
+  Status HandleCall();
+  Status HandleMemOp(Opcode op);
+  Status HandleMisc();
+  Status HandlePlain(Opcode op);
+
+  Status CheckMemoryPresent() {
+    if (!module_.memory.has_value()) return Error("memory instruction without memory");
+    return Status::Ok();
+  }
+
+  const Module& module_;
+  const FunctionBody& body_;
+  const FuncType& func_type_;
+  ByteReader reader_;
+
+  std::vector<ValType> stack_;
+  std::vector<Frame> frames_;
+  std::vector<CInstr> code_;
+  std::vector<BrTableEntry> br_pool_;
+  std::vector<ValType> local_types_;  // params + locals
+  size_t max_stack_ = 0;
+  bool done_ = false;
+};
+
+Status FunctionCompiler::HandleEnd() {
+  Frame& frame = frames_.back();
+  const uint32_t arity = frame.result.has_value() ? 1 : 0;
+
+  if (!frame.unreachable) {
+    if (stack_.size() != frame.height + arity) {
+      return Error(StrFormat("block ends with wrong stack height: %zu vs %zu",
+                             stack_.size(), frame.height + arity));
+    }
+    if (arity == 1 && stack_.back() != *frame.result) {
+      return Error("block result type mismatch");
+    }
+  }
+
+  // An `if` with a result but no `else` cannot produce the result on the
+  // false path.
+  if (frame.kind == Kind::kIf && !frame.saw_else && arity != 0) {
+    return Error("if with result requires else");
+  }
+
+  if (frame.kind == Kind::kFunc) {
+    code_.push_back(CInstr{COp::kReturn, 0, 0, arity});
+    done_ = true;
+    frames_.pop_back();
+    return Status::Ok();
+  }
+
+  const uint32_t end_pc = static_cast<uint32_t>(code_.size());
+  for (size_t fixup : frame.branch_fixups) {
+    if (fixup & 0x80000000u) {
+      br_pool_[fixup & 0x7fffffffu].target = end_pc;  // br_table entry
+    } else {
+      code_[fixup].a = end_pc;
+    }
+  }
+  if (frame.else_fixup != SIZE_MAX) code_[frame.else_fixup].a = end_pc;
+
+  // Restore a clean stack carrying exactly the block result.
+  stack_.resize(frame.height);
+  const std::optional<ValType> result = frame.result;
+  frames_.pop_back();
+  if (result.has_value()) Push(*result);
+  return Status::Ok();
+}
+
+Status FunctionCompiler::HandleElse() {
+  Frame& frame = frames_.back();
+  if (frame.kind != Kind::kIf || frame.saw_else) {
+    return Error("else without matching if");
+  }
+  const uint32_t arity = frame.result.has_value() ? 1 : 0;
+  if (!frame.unreachable) {
+    if (stack_.size() != frame.height + arity) {
+      return Error("then-branch ends with wrong stack height");
+    }
+    if (arity == 1 && stack_.back() != *frame.result) {
+      return Error("then-branch result type mismatch");
+    }
+  }
+
+  // Jump over the else branch from the end of then.
+  frame.branch_fixups.push_back(code_.size());
+  code_.push_back(CInstr{COp::kJump, 0, 0, arity});
+
+  // False path of the `if` starts here.
+  if (frame.else_fixup == SIZE_MAX) return Error("if frame missing else fixup");
+  code_[frame.else_fixup].a = static_cast<uint32_t>(code_.size());
+  frame.else_fixup = SIZE_MAX;
+  frame.saw_else = true;
+  frame.unreachable = false;
+  stack_.resize(frame.height);
+  return Status::Ok();
+}
+
+Status FunctionCompiler::HandleBranch(COp op) {
+  RR_ASSIGN_OR_RETURN(const uint32_t depth, reader_.ReadLebU32());
+  if (op == COp::kJumpIf) RR_RETURN_IF_ERROR(PopExpect(ValType::kI32));
+
+  RR_ASSIGN_OR_RETURN(Frame* const target, FrameAt(depth));
+  RR_ASSIGN_OR_RETURN(const uint32_t drop, CheckBranch(*target));
+  EmitBranchTo(*target, op, drop);
+
+  if (op == COp::kJump) MarkUnreachable();
+  return Status::Ok();
+}
+
+Status FunctionCompiler::HandleBrTable() {
+  RR_ASSIGN_OR_RETURN(const uint32_t count, reader_.ReadLebU32());
+  std::vector<uint32_t> depths(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    RR_ASSIGN_OR_RETURN(depths[i], reader_.ReadLebU32());
+  }
+  RR_ASSIGN_OR_RETURN(const uint32_t default_depth, reader_.ReadLebU32());
+  depths.push_back(default_depth);
+
+  RR_RETURN_IF_ERROR(PopExpect(ValType::kI32));
+
+  // All labels must agree on arity.
+  RR_ASSIGN_OR_RETURN(Frame* const default_frame, FrameAt(default_depth));
+  const uint32_t arity = LabelArity(*default_frame);
+
+  const uint32_t pool_offset = static_cast<uint32_t>(br_pool_.size());
+  for (const uint32_t depth : depths) {
+    RR_ASSIGN_OR_RETURN(Frame* const frame, FrameAt(depth));
+    if (LabelArity(*frame) != arity) {
+      return Error("br_table labels have mismatched arity");
+    }
+    RR_ASSIGN_OR_RETURN(const uint32_t drop, CheckBranch(*frame));
+    BrTableEntry entry{0, drop, arity};
+    if (frame->kind == Kind::kLoop) {
+      entry.target = static_cast<uint32_t>(frame->start_pc);
+      br_pool_.push_back(entry);
+    } else {
+      // Record fixup encoded as pool index with a sentinel bit.
+      frame->branch_fixups.push_back(0x80000000u | br_pool_.size());
+      br_pool_.push_back(entry);
+    }
+  }
+
+  code_.push_back(CInstr{COp::kBrTable, pool_offset,
+                         static_cast<uint32_t>(depths.size()), arity});
+  MarkUnreachable();
+  return Status::Ok();
+}
+
+Status FunctionCompiler::HandleCall() {
+  RR_ASSIGN_OR_RETURN(const uint32_t func_index, reader_.ReadLebU32());
+  const FuncType* const callee = module_.function_type(func_index);
+  if (callee == nullptr) return Error("call index out of range");
+
+  for (size_t i = callee->params.size(); i > 0; --i) {
+    RR_RETURN_IF_ERROR(PopExpect(callee->params[i - 1]));
+  }
+  for (const ValType result : callee->results) Push(result);
+
+  if (func_index < module_.num_imported_functions()) {
+    code_.push_back(CInstr{COp::kCallHost, func_index, 0, 0});
+  } else {
+    code_.push_back(CInstr{COp::kCallWasm,
+                           func_index - module_.num_imported_functions(), 0, 0});
+  }
+  return Status::Ok();
+}
+
+namespace memop {
+
+struct Info {
+  ValType value;
+  uint32_t natural_align;  // log2 of access width
+  bool is_store;
+};
+
+std::optional<Info> Lookup(Opcode op) {
+  switch (op) {
+    case Opcode::kI32Load: return Info{ValType::kI32, 2, false};
+    case Opcode::kI64Load: return Info{ValType::kI64, 3, false};
+    case Opcode::kF32Load: return Info{ValType::kF32, 2, false};
+    case Opcode::kF64Load: return Info{ValType::kF64, 3, false};
+    case Opcode::kI32Load8S:
+    case Opcode::kI32Load8U: return Info{ValType::kI32, 0, false};
+    case Opcode::kI32Load16S:
+    case Opcode::kI32Load16U: return Info{ValType::kI32, 1, false};
+    case Opcode::kI64Load8S:
+    case Opcode::kI64Load8U: return Info{ValType::kI64, 0, false};
+    case Opcode::kI64Load16S:
+    case Opcode::kI64Load16U: return Info{ValType::kI64, 1, false};
+    case Opcode::kI64Load32S:
+    case Opcode::kI64Load32U: return Info{ValType::kI64, 2, false};
+    case Opcode::kI32Store: return Info{ValType::kI32, 2, true};
+    case Opcode::kI64Store: return Info{ValType::kI64, 3, true};
+    case Opcode::kF32Store: return Info{ValType::kF32, 2, true};
+    case Opcode::kF64Store: return Info{ValType::kF64, 3, true};
+    case Opcode::kI32Store8: return Info{ValType::kI32, 0, true};
+    case Opcode::kI32Store16: return Info{ValType::kI32, 1, true};
+    case Opcode::kI64Store8: return Info{ValType::kI64, 0, true};
+    case Opcode::kI64Store16: return Info{ValType::kI64, 1, true};
+    case Opcode::kI64Store32: return Info{ValType::kI64, 2, true};
+    default: return std::nullopt;
+  }
+}
+
+}  // namespace memop
+
+Status FunctionCompiler::HandleMemOp(Opcode op) {
+  RR_RETURN_IF_ERROR(CheckMemoryPresent());
+  const auto info = memop::Lookup(op);
+  if (!info.has_value()) return Error("unknown memory opcode");
+
+  RR_ASSIGN_OR_RETURN(const uint32_t align, reader_.ReadLebU32());
+  RR_ASSIGN_OR_RETURN(const uint32_t offset, reader_.ReadLebU32());
+  if (align > info->natural_align) {
+    return Error("alignment exceeds natural alignment");
+  }
+
+  if (info->is_store) {
+    RR_RETURN_IF_ERROR(PopExpect(info->value));
+    RR_RETURN_IF_ERROR(PopExpect(ValType::kI32));  // address
+  } else {
+    RR_RETURN_IF_ERROR(PopExpect(ValType::kI32));
+    Push(info->value);
+  }
+  code_.push_back(CInstr{PlainOp(op), offset, 0, 0});
+  return Status::Ok();
+}
+
+Status FunctionCompiler::HandleMisc() {
+  RR_ASSIGN_OR_RETURN(const uint32_t sub, reader_.ReadLebU32());
+  switch (static_cast<MiscOpcode>(sub)) {
+    case MiscOpcode::kMemoryCopy: {
+      RR_RETURN_IF_ERROR(CheckMemoryPresent());
+      RR_ASSIGN_OR_RETURN(const uint8_t dst_mem, reader_.ReadByte());
+      RR_ASSIGN_OR_RETURN(const uint8_t src_mem, reader_.ReadByte());
+      if (dst_mem != 0 || src_mem != 0) return Error("memory.copy index != 0");
+      RR_RETURN_IF_ERROR(PopExpect(ValType::kI32));  // len
+      RR_RETURN_IF_ERROR(PopExpect(ValType::kI32));  // src
+      RR_RETURN_IF_ERROR(PopExpect(ValType::kI32));  // dst
+      code_.push_back(CInstr{COp::kMemoryCopy, 0, 0, 0});
+      return Status::Ok();
+    }
+    case MiscOpcode::kMemoryFill: {
+      RR_RETURN_IF_ERROR(CheckMemoryPresent());
+      RR_ASSIGN_OR_RETURN(const uint8_t mem, reader_.ReadByte());
+      if (mem != 0) return Error("memory.fill index != 0");
+      RR_RETURN_IF_ERROR(PopExpect(ValType::kI32));
+      RR_RETURN_IF_ERROR(PopExpect(ValType::kI32));
+      RR_RETURN_IF_ERROR(PopExpect(ValType::kI32));
+      code_.push_back(CInstr{COp::kMemoryFill, 0, 0, 0});
+      return Status::Ok();
+    }
+  }
+  return Error(StrFormat("unsupported 0xFC sub-opcode %u", sub));
+}
+
+// Validates and emits all "plain" (straight-line) operations.
+Status FunctionCompiler::HandlePlain(Opcode op) {
+  const auto unop = [&](ValType in, ValType out) -> Status {
+    RR_RETURN_IF_ERROR(PopExpect(in));
+    Push(out);
+    code_.push_back(CInstr{PlainOp(op), 0, 0, 0});
+    return Status::Ok();
+  };
+  const auto binop = [&](ValType in, ValType out) -> Status {
+    RR_RETURN_IF_ERROR(PopExpect(in));
+    RR_RETURN_IF_ERROR(PopExpect(in));
+    Push(out);
+    code_.push_back(CInstr{PlainOp(op), 0, 0, 0});
+    return Status::Ok();
+  };
+
+  switch (op) {
+    case Opcode::kNop:
+      return Status::Ok();  // no instruction emitted
+
+    case Opcode::kDrop: {
+      RR_ASSIGN_OR_RETURN(const auto popped, PopAny());
+      (void)popped;
+      code_.push_back(CInstr{PlainOp(op), 0, 0, 0});
+      return Status::Ok();
+    }
+    case Opcode::kSelect: {
+      RR_RETURN_IF_ERROR(PopExpect(ValType::kI32));
+      RR_ASSIGN_OR_RETURN(const auto b, PopAny());
+      RR_ASSIGN_OR_RETURN(const auto a, PopAny());
+      if (a.has_value() && b.has_value() && *a != *b) {
+        return Error("select operand types differ");
+      }
+      Push(a.has_value() ? *a : (b.has_value() ? *b : ValType::kI32));
+      code_.push_back(CInstr{PlainOp(op), 0, 0, 0});
+      return Status::Ok();
+    }
+
+    // Constants.
+    case Opcode::kI32Const: {
+      RR_ASSIGN_OR_RETURN(const int32_t v, reader_.ReadLebS32());
+      Push(ValType::kI32);
+      code_.push_back(CInstr{PlainOp(op), 0, 0, static_cast<uint64_t>(
+                                                    static_cast<uint32_t>(v))});
+      return Status::Ok();
+    }
+    case Opcode::kI64Const: {
+      RR_ASSIGN_OR_RETURN(const int64_t v, reader_.ReadLebS64());
+      Push(ValType::kI64);
+      code_.push_back(CInstr{PlainOp(op), 0, 0, static_cast<uint64_t>(v)});
+      return Status::Ok();
+    }
+    case Opcode::kF32Const: {
+      RR_ASSIGN_OR_RETURN(const uint32_t bits, reader_.ReadFixedU32());
+      Push(ValType::kF32);
+      code_.push_back(CInstr{PlainOp(op), 0, 0, bits});
+      return Status::Ok();
+    }
+    case Opcode::kF64Const: {
+      RR_ASSIGN_OR_RETURN(const uint64_t bits, reader_.ReadFixedU64());
+      Push(ValType::kF64);
+      code_.push_back(CInstr{PlainOp(op), 0, 0, bits});
+      return Status::Ok();
+    }
+
+    // Locals / globals.
+    case Opcode::kLocalGet:
+    case Opcode::kLocalSet:
+    case Opcode::kLocalTee: {
+      RR_ASSIGN_OR_RETURN(const uint32_t index, reader_.ReadLebU32());
+      if (index >= local_types_.size()) return Error("local index out of range");
+      const ValType t = local_types_[index];
+      if (op == Opcode::kLocalGet) {
+        Push(t);
+      } else if (op == Opcode::kLocalSet) {
+        RR_RETURN_IF_ERROR(PopExpect(t));
+      } else {
+        RR_RETURN_IF_ERROR(PopExpect(t));
+        Push(t);
+      }
+      code_.push_back(CInstr{PlainOp(op), index, 0, 0});
+      return Status::Ok();
+    }
+    case Opcode::kGlobalGet:
+    case Opcode::kGlobalSet: {
+      RR_ASSIGN_OR_RETURN(const uint32_t index, reader_.ReadLebU32());
+      if (index >= module_.globals.size()) return Error("global index out of range");
+      const GlobalDef& global = module_.globals[index];
+      if (op == Opcode::kGlobalGet) {
+        Push(global.type);
+      } else {
+        if (!global.is_mutable) return Error("global.set on immutable global");
+        RR_RETURN_IF_ERROR(PopExpect(global.type));
+      }
+      code_.push_back(CInstr{PlainOp(op), index, 0, 0});
+      return Status::Ok();
+    }
+
+    case Opcode::kMemorySize: {
+      RR_RETURN_IF_ERROR(CheckMemoryPresent());
+      RR_ASSIGN_OR_RETURN(const uint8_t mem, reader_.ReadByte());
+      if (mem != 0) return Error("memory index != 0");
+      Push(ValType::kI32);
+      code_.push_back(CInstr{PlainOp(op), 0, 0, 0});
+      return Status::Ok();
+    }
+    case Opcode::kMemoryGrow: {
+      RR_RETURN_IF_ERROR(CheckMemoryPresent());
+      RR_ASSIGN_OR_RETURN(const uint8_t mem, reader_.ReadByte());
+      if (mem != 0) return Error("memory index != 0");
+      RR_RETURN_IF_ERROR(PopExpect(ValType::kI32));
+      Push(ValType::kI32);
+      code_.push_back(CInstr{PlainOp(op), 0, 0, 0});
+      return Status::Ok();
+    }
+
+    // i32 tests/comparisons.
+    case Opcode::kI32Eqz: return unop(ValType::kI32, ValType::kI32);
+    case Opcode::kI32Eq:
+    case Opcode::kI32Ne:
+    case Opcode::kI32LtS:
+    case Opcode::kI32LtU:
+    case Opcode::kI32GtS:
+    case Opcode::kI32GtU:
+    case Opcode::kI32LeS:
+    case Opcode::kI32LeU:
+    case Opcode::kI32GeS:
+    case Opcode::kI32GeU: return binop(ValType::kI32, ValType::kI32);
+
+    case Opcode::kI64Eqz: return unop(ValType::kI64, ValType::kI32);
+    case Opcode::kI64Eq:
+    case Opcode::kI64Ne:
+    case Opcode::kI64LtS:
+    case Opcode::kI64LtU:
+    case Opcode::kI64GtS:
+    case Opcode::kI64GtU:
+    case Opcode::kI64LeS:
+    case Opcode::kI64LeU:
+    case Opcode::kI64GeS:
+    case Opcode::kI64GeU: return binop(ValType::kI64, ValType::kI32);
+
+    case Opcode::kF32Eq:
+    case Opcode::kF32Ne:
+    case Opcode::kF32Lt:
+    case Opcode::kF32Gt:
+    case Opcode::kF32Le:
+    case Opcode::kF32Ge: return binop(ValType::kF32, ValType::kI32);
+
+    case Opcode::kF64Eq:
+    case Opcode::kF64Ne:
+    case Opcode::kF64Lt:
+    case Opcode::kF64Gt:
+    case Opcode::kF64Le:
+    case Opcode::kF64Ge: return binop(ValType::kF64, ValType::kI32);
+
+    // i32 arithmetic.
+    case Opcode::kI32Clz:
+    case Opcode::kI32Ctz:
+    case Opcode::kI32Popcnt: return unop(ValType::kI32, ValType::kI32);
+    case Opcode::kI32Add:
+    case Opcode::kI32Sub:
+    case Opcode::kI32Mul:
+    case Opcode::kI32DivS:
+    case Opcode::kI32DivU:
+    case Opcode::kI32RemS:
+    case Opcode::kI32RemU:
+    case Opcode::kI32And:
+    case Opcode::kI32Or:
+    case Opcode::kI32Xor:
+    case Opcode::kI32Shl:
+    case Opcode::kI32ShrS:
+    case Opcode::kI32ShrU:
+    case Opcode::kI32Rotl:
+    case Opcode::kI32Rotr: return binop(ValType::kI32, ValType::kI32);
+
+    // i64 arithmetic.
+    case Opcode::kI64Clz:
+    case Opcode::kI64Ctz:
+    case Opcode::kI64Popcnt: return unop(ValType::kI64, ValType::kI64);
+    case Opcode::kI64Add:
+    case Opcode::kI64Sub:
+    case Opcode::kI64Mul:
+    case Opcode::kI64DivS:
+    case Opcode::kI64DivU:
+    case Opcode::kI64RemS:
+    case Opcode::kI64RemU:
+    case Opcode::kI64And:
+    case Opcode::kI64Or:
+    case Opcode::kI64Xor:
+    case Opcode::kI64Shl:
+    case Opcode::kI64ShrS:
+    case Opcode::kI64ShrU:
+    case Opcode::kI64Rotl:
+    case Opcode::kI64Rotr: return binop(ValType::kI64, ValType::kI64);
+
+    // f32 arithmetic.
+    case Opcode::kF32Abs:
+    case Opcode::kF32Neg:
+    case Opcode::kF32Sqrt: return unop(ValType::kF32, ValType::kF32);
+    case Opcode::kF32Add:
+    case Opcode::kF32Sub:
+    case Opcode::kF32Mul:
+    case Opcode::kF32Div:
+    case Opcode::kF32Min:
+    case Opcode::kF32Max: return binop(ValType::kF32, ValType::kF32);
+
+    // f64 arithmetic.
+    case Opcode::kF64Abs:
+    case Opcode::kF64Neg:
+    case Opcode::kF64Ceil:
+    case Opcode::kF64Floor:
+    case Opcode::kF64Trunc:
+    case Opcode::kF64Sqrt: return unop(ValType::kF64, ValType::kF64);
+    case Opcode::kF64Add:
+    case Opcode::kF64Sub:
+    case Opcode::kF64Mul:
+    case Opcode::kF64Div:
+    case Opcode::kF64Min:
+    case Opcode::kF64Max: return binop(ValType::kF64, ValType::kF64);
+
+    // Conversions.
+    case Opcode::kI32WrapI64: return unop(ValType::kI64, ValType::kI32);
+    case Opcode::kI32TruncF64S:
+    case Opcode::kI32TruncF64U: return unop(ValType::kF64, ValType::kI32);
+    case Opcode::kI64ExtendI32S:
+    case Opcode::kI64ExtendI32U: return unop(ValType::kI32, ValType::kI64);
+    case Opcode::kI64TruncF64S: return unop(ValType::kF64, ValType::kI64);
+    case Opcode::kF32ConvertI32S: return unop(ValType::kI32, ValType::kF32);
+    case Opcode::kF32DemoteF64: return unop(ValType::kF64, ValType::kF32);
+    case Opcode::kF64ConvertI32S:
+    case Opcode::kF64ConvertI32U: return unop(ValType::kI32, ValType::kF64);
+    case Opcode::kF64ConvertI64S:
+    case Opcode::kF64ConvertI64U: return unop(ValType::kI64, ValType::kF64);
+    case Opcode::kF64PromoteF32: return unop(ValType::kF32, ValType::kF64);
+
+    default:
+      return Error(StrFormat("unsupported opcode 0x%02x",
+                             static_cast<unsigned>(op)));
+  }
+}
+
+Result<CompiledFunction> FunctionCompiler::Compile() {
+  local_types_ = func_type_.params;
+  local_types_.insert(local_types_.end(), body_.locals.begin(), body_.locals.end());
+
+  Frame func_frame;
+  func_frame.kind = Kind::kFunc;
+  func_frame.height = 0;
+  if (!func_type_.results.empty()) func_frame.result = func_type_.results[0];
+  frames_.push_back(std::move(func_frame));
+
+  while (!done_) {
+    if (reader_.AtEnd()) return Error("body ended without final `end`");
+    RR_ASSIGN_OR_RETURN(const uint8_t byte, reader_.ReadByte());
+    const Opcode op = static_cast<Opcode>(byte);
+
+    switch (op) {
+      case Opcode::kUnreachable:
+        code_.push_back(CInstr{PlainOp(op), 0, 0, 0});
+        MarkUnreachable();
+        break;
+
+      case Opcode::kBlock:
+      case Opcode::kLoop: {
+        RR_ASSIGN_OR_RETURN(const auto result, ReadBlockType());
+        Frame frame;
+        frame.kind = op == Opcode::kBlock ? Kind::kBlock : Kind::kLoop;
+        frame.result = result;
+        frame.height = stack_.size();
+        frame.start_pc = code_.size();
+        frames_.push_back(std::move(frame));
+        break;
+      }
+      case Opcode::kIf: {
+        RR_ASSIGN_OR_RETURN(const auto result, ReadBlockType());
+        RR_RETURN_IF_ERROR(PopExpect(ValType::kI32));
+        Frame frame;
+        frame.kind = Kind::kIf;
+        frame.result = result;
+        frame.height = stack_.size();
+        frame.else_fixup = code_.size();
+        frames_.push_back(std::move(frame));
+        code_.push_back(CInstr{COp::kJumpUnless, 0, 0, 0});
+        break;
+      }
+      case Opcode::kElse:
+        RR_RETURN_IF_ERROR(HandleElse());
+        break;
+      case Opcode::kEnd:
+        RR_RETURN_IF_ERROR(HandleEnd());
+        break;
+      case Opcode::kBr:
+        RR_RETURN_IF_ERROR(HandleBranch(COp::kJump));
+        break;
+      case Opcode::kBrIf:
+        RR_RETURN_IF_ERROR(HandleBranch(COp::kJumpIf));
+        break;
+      case Opcode::kBrTable:
+        RR_RETURN_IF_ERROR(HandleBrTable());
+        break;
+      case Opcode::kReturn: {
+        const uint32_t arity = func_type_.results.empty() ? 0 : 1;
+        const Frame& current = frames_.back();
+        if (stack_.size() < frames_[0].height + arity && !current.unreachable) {
+          return Error("return without result value");
+        }
+        if (arity == 1 && !current.unreachable &&
+            stack_.back() != func_type_.results[0]) {
+          return Error("return value type mismatch");
+        }
+        code_.push_back(CInstr{COp::kReturn, 0, 0, arity});
+        MarkUnreachable();
+        break;
+      }
+      case Opcode::kCall:
+        RR_RETURN_IF_ERROR(HandleCall());
+        break;
+      case Opcode::kMiscPrefix:
+        RR_RETURN_IF_ERROR(HandleMisc());
+        break;
+
+      default:
+        if (memop::Lookup(op).has_value()) {
+          RR_RETURN_IF_ERROR(HandleMemOp(op));
+        } else {
+          RR_RETURN_IF_ERROR(HandlePlain(op));
+        }
+        break;
+    }
+  }
+
+  if (!reader_.AtEnd()) return Error("trailing bytes after final `end`");
+
+  // Resolve br_table fixups recorded with the sentinel bit: they were left
+  // inside frames that have been popped by now; HandleEnd patched plain
+  // fixups directly. Pool entries referenced via sentinel got patched below.
+  CompiledFunction out;
+  out.type_index = body_.type_index;
+  out.locals = body_.locals;
+  out.code = std::move(code_);
+  out.br_pool = std::move(br_pool_);
+  out.max_stack = static_cast<uint32_t>(max_stack_);
+  return out;
+}
+
+}  // namespace
+
+Result<CompiledFunction> CompileFunction(const Module& module, uint32_t defined_index) {
+  if (defined_index >= module.functions.size()) {
+    return InvalidArgumentError("defined function index out of range");
+  }
+  const FunctionBody& body = module.functions[defined_index];
+  if (body.type_index >= module.types.size()) {
+    return InvalidArgumentError("function type index out of range");
+  }
+  return FunctionCompiler(module, defined_index).Compile();
+}
+
+Result<std::vector<CompiledFunction>> CompileModule(const Module& module) {
+  for (const Import& import : module.imports) {
+    if (import.type_index >= module.types.size()) {
+      return InvalidArgumentError("import type index out of range");
+    }
+  }
+  std::vector<CompiledFunction> compiled;
+  compiled.reserve(module.functions.size());
+  for (uint32_t i = 0; i < module.functions.size(); ++i) {
+    auto result = CompileFunction(module, i);
+    if (!result.ok()) {
+      return InternalError("function #" + std::to_string(i) + ": " +
+                           result.status().message());
+    }
+    compiled.push_back(std::move(result).value());
+  }
+  return compiled;
+}
+
+}  // namespace rr::wasm

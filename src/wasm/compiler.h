@@ -1,0 +1,21 @@
+// Single-pass validator + lowering compiler for function bodies.
+//
+// Implements the type-checking algorithm from the WebAssembly spec appendix
+// (operand stack + control stack with polymorphic unreachable frames) and
+// simultaneously emits the flat CInstr stream with resolved branch targets.
+#pragma once
+
+#include "common/status.h"
+#include "wasm/compiled.h"
+#include "wasm/module.h"
+
+namespace rr::wasm {
+
+// Validates and lowers one defined function (index into module.functions).
+Result<CompiledFunction> CompileFunction(const Module& module,
+                                         uint32_t defined_index);
+
+// Validates module-level invariants and compiles every body.
+Result<std::vector<CompiledFunction>> CompileModule(const Module& module);
+
+}  // namespace rr::wasm

@@ -1,0 +1,314 @@
+#include "wasm/decoder.h"
+
+#include <cstring>
+
+#include "common/strings.h"
+#include "wasm/leb128.h"
+#include "wasm/opcodes.h"
+
+namespace rr::wasm {
+namespace {
+
+Result<std::string> ReadName(ByteReader& reader) {
+  RR_ASSIGN_OR_RETURN(const uint32_t length, reader.ReadLebU32());
+  RR_ASSIGN_OR_RETURN(const ByteSpan span, reader.ReadSpan(length));
+  return std::string(AsStringView(span));
+}
+
+Result<Limits> ReadLimits(ByteReader& reader) {
+  RR_ASSIGN_OR_RETURN(const uint8_t flags, reader.ReadByte());
+  if (flags > 1) return InvalidArgumentError("unsupported limits flags");
+  Limits limits;
+  RR_ASSIGN_OR_RETURN(limits.min_pages, reader.ReadLebU32());
+  if (flags == 1) {
+    limits.has_max = true;
+    RR_ASSIGN_OR_RETURN(limits.max_pages, reader.ReadLebU32());
+    if (limits.max_pages < limits.min_pages) {
+      return InvalidArgumentError("memory max < min");
+    }
+  }
+  return limits;
+}
+
+// Constant initializer expression: a single const instruction plus `end`.
+Result<Value> ReadConstExpr(ByteReader& reader) {
+  RR_ASSIGN_OR_RETURN(const uint8_t op, reader.ReadByte());
+  Value value;
+  switch (static_cast<Opcode>(op)) {
+    case Opcode::kI32Const: {
+      RR_ASSIGN_OR_RETURN(const int32_t v, reader.ReadLebS32());
+      value = Value::I32(v);
+      break;
+    }
+    case Opcode::kI64Const: {
+      RR_ASSIGN_OR_RETURN(const int64_t v, reader.ReadLebS64());
+      value = Value::I64(v);
+      break;
+    }
+    case Opcode::kF32Const: {
+      RR_ASSIGN_OR_RETURN(const uint32_t bits, reader.ReadFixedU32());
+      float f;
+      std::memcpy(&f, &bits, 4);
+      value = Value::F32(f);
+      break;
+    }
+    case Opcode::kF64Const: {
+      RR_ASSIGN_OR_RETURN(const uint64_t bits, reader.ReadFixedU64());
+      double d;
+      std::memcpy(&d, &bits, 8);
+      value = Value::F64(d);
+      break;
+    }
+    default:
+      return InvalidArgumentError(
+          StrFormat("unsupported const-expr opcode 0x%02x", op));
+  }
+  RR_ASSIGN_OR_RETURN(const uint8_t end, reader.ReadByte());
+  if (static_cast<Opcode>(end) != Opcode::kEnd) {
+    return InvalidArgumentError("const expr not terminated by end");
+  }
+  return value;
+}
+
+Status DecodeTypeSection(ByteReader& reader, Module& module) {
+  RR_ASSIGN_OR_RETURN(const uint32_t count, reader.ReadLebU32());
+  module.types.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    RR_ASSIGN_OR_RETURN(const uint8_t tag, reader.ReadByte());
+    if (tag != 0x60) return InvalidArgumentError("expected func type tag 0x60");
+    FuncType type;
+    RR_ASSIGN_OR_RETURN(const uint32_t num_params, reader.ReadLebU32());
+    for (uint32_t p = 0; p < num_params; ++p) {
+      RR_ASSIGN_OR_RETURN(const uint8_t byte, reader.ReadByte());
+      RR_ASSIGN_OR_RETURN(const ValType vt, ValTypeFromByte(byte));
+      type.params.push_back(vt);
+    }
+    RR_ASSIGN_OR_RETURN(const uint32_t num_results, reader.ReadLebU32());
+    if (num_results > 1) {
+      return UnimplementedError("multi-value results not supported");
+    }
+    for (uint32_t r = 0; r < num_results; ++r) {
+      RR_ASSIGN_OR_RETURN(const uint8_t byte, reader.ReadByte());
+      RR_ASSIGN_OR_RETURN(const ValType vt, ValTypeFromByte(byte));
+      type.results.push_back(vt);
+    }
+    module.types.push_back(std::move(type));
+  }
+  return Status::Ok();
+}
+
+Status DecodeImportSection(ByteReader& reader, Module& module) {
+  RR_ASSIGN_OR_RETURN(const uint32_t count, reader.ReadLebU32());
+  for (uint32_t i = 0; i < count; ++i) {
+    Import import;
+    RR_ASSIGN_OR_RETURN(import.module, ReadName(reader));
+    RR_ASSIGN_OR_RETURN(import.name, ReadName(reader));
+    RR_ASSIGN_OR_RETURN(const uint8_t kind, reader.ReadByte());
+    if (kind != 0x00) {
+      return UnimplementedError("only function imports are supported");
+    }
+    RR_ASSIGN_OR_RETURN(import.type_index, reader.ReadLebU32());
+    if (import.type_index >= module.types.size()) {
+      return InvalidArgumentError("import type index out of range");
+    }
+    module.imports.push_back(std::move(import));
+  }
+  return Status::Ok();
+}
+
+Status DecodeFunctionSection(ByteReader& reader, Module& module,
+                             std::vector<uint32_t>& type_indices) {
+  RR_ASSIGN_OR_RETURN(const uint32_t count, reader.ReadLebU32());
+  type_indices.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    RR_ASSIGN_OR_RETURN(const uint32_t type_index, reader.ReadLebU32());
+    if (type_index >= module.types.size()) {
+      return InvalidArgumentError("function type index out of range");
+    }
+    type_indices.push_back(type_index);
+  }
+  return Status::Ok();
+}
+
+Status DecodeMemorySection(ByteReader& reader, Module& module) {
+  RR_ASSIGN_OR_RETURN(const uint32_t count, reader.ReadLebU32());
+  if (count > 1) return UnimplementedError("at most one memory supported");
+  if (count == 1) {
+    RR_ASSIGN_OR_RETURN(module.memory, ReadLimits(reader));
+  }
+  return Status::Ok();
+}
+
+Status DecodeGlobalSection(ByteReader& reader, Module& module) {
+  RR_ASSIGN_OR_RETURN(const uint32_t count, reader.ReadLebU32());
+  for (uint32_t i = 0; i < count; ++i) {
+    GlobalDef global;
+    RR_ASSIGN_OR_RETURN(const uint8_t type_byte, reader.ReadByte());
+    RR_ASSIGN_OR_RETURN(global.type, ValTypeFromByte(type_byte));
+    RR_ASSIGN_OR_RETURN(const uint8_t mut, reader.ReadByte());
+    if (mut > 1) return InvalidArgumentError("bad global mutability flag");
+    global.is_mutable = mut == 1;
+    RR_ASSIGN_OR_RETURN(global.init, ReadConstExpr(reader));
+    if (global.init.type != global.type) {
+      return InvalidArgumentError("global initializer type mismatch");
+    }
+    module.globals.push_back(global);
+  }
+  return Status::Ok();
+}
+
+Status DecodeExportSection(ByteReader& reader, Module& module) {
+  RR_ASSIGN_OR_RETURN(const uint32_t count, reader.ReadLebU32());
+  for (uint32_t i = 0; i < count; ++i) {
+    Export e;
+    RR_ASSIGN_OR_RETURN(e.name, ReadName(reader));
+    RR_ASSIGN_OR_RETURN(const uint8_t kind, reader.ReadByte());
+    RR_ASSIGN_OR_RETURN(e.index, reader.ReadLebU32());
+    switch (kind) {
+      case 0x00:
+        e.kind = ExportKind::kFunction;
+        break;
+      case 0x02:
+        e.kind = ExportKind::kMemory;
+        break;
+      default:
+        return UnimplementedError(
+            StrFormat("unsupported export kind 0x%02x", kind));
+    }
+    module.exports.push_back(std::move(e));
+  }
+  return Status::Ok();
+}
+
+Status DecodeCodeSection(ByteReader& reader, Module& module,
+                         const std::vector<uint32_t>& type_indices) {
+  RR_ASSIGN_OR_RETURN(const uint32_t count, reader.ReadLebU32());
+  if (count != type_indices.size()) {
+    return InvalidArgumentError("code section count != function section count");
+  }
+  module.functions.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    RR_ASSIGN_OR_RETURN(const uint32_t body_size, reader.ReadLebU32());
+    RR_ASSIGN_OR_RETURN(const ByteSpan body_span, reader.ReadSpan(body_size));
+    ByteReader body(body_span);
+
+    FunctionBody function;
+    function.type_index = type_indices[i];
+
+    RR_ASSIGN_OR_RETURN(const uint32_t num_groups, body.ReadLebU32());
+    for (uint32_t g = 0; g < num_groups; ++g) {
+      RR_ASSIGN_OR_RETURN(const uint32_t group_count, body.ReadLebU32());
+      RR_ASSIGN_OR_RETURN(const uint8_t type_byte, body.ReadByte());
+      RR_ASSIGN_OR_RETURN(const ValType vt, ValTypeFromByte(type_byte));
+      if (function.locals.size() + group_count > 50000) {
+        return ResourceExhaustedError("too many locals");
+      }
+      function.locals.insert(function.locals.end(), group_count, vt);
+    }
+
+    RR_ASSIGN_OR_RETURN(const ByteSpan code, body.ReadSpan(body.remaining()));
+    function.code.assign(code.begin(), code.end());
+    if (function.code.empty() ||
+        function.code.back() != static_cast<uint8_t>(Opcode::kEnd)) {
+      return InvalidArgumentError("function body must end with `end`");
+    }
+    module.functions.push_back(std::move(function));
+  }
+  return Status::Ok();
+}
+
+Status DecodeDataSection(ByteReader& reader, Module& module) {
+  RR_ASSIGN_OR_RETURN(const uint32_t count, reader.ReadLebU32());
+  for (uint32_t i = 0; i < count; ++i) {
+    RR_ASSIGN_OR_RETURN(const uint32_t flags, reader.ReadLebU32());
+    if (flags != 0) {
+      return UnimplementedError("only active data segments in memory 0");
+    }
+    DataSegment segment;
+    RR_ASSIGN_OR_RETURN(const Value offset, ReadConstExpr(reader));
+    if (offset.type != ValType::kI32) {
+      return InvalidArgumentError("data offset must be i32");
+    }
+    segment.offset = offset.AsU32();
+    RR_ASSIGN_OR_RETURN(const uint32_t length, reader.ReadLebU32());
+    RR_ASSIGN_OR_RETURN(const ByteSpan bytes, reader.ReadSpan(length));
+    segment.bytes.assign(bytes.begin(), bytes.end());
+    module.data.push_back(std::move(segment));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Module> DecodeModule(ByteSpan binary) {
+  ByteReader reader(binary);
+
+  RR_ASSIGN_OR_RETURN(const ByteSpan magic, reader.ReadSpan(4));
+  static constexpr uint8_t kMagic[4] = {0x00, 0x61, 0x73, 0x6d};
+  if (std::memcmp(magic.data(), kMagic, 4) != 0) {
+    return InvalidArgumentError("not a wasm binary (bad magic)");
+  }
+  RR_ASSIGN_OR_RETURN(const uint32_t version, reader.ReadFixedU32());
+  if (version != 1) {
+    return UnimplementedError(StrFormat("unsupported wasm version %u", version));
+  }
+
+  Module module;
+  std::vector<uint32_t> function_type_indices;
+  int last_section = 0;
+
+  while (!reader.AtEnd()) {
+    RR_ASSIGN_OR_RETURN(const uint8_t section_id, reader.ReadByte());
+    RR_ASSIGN_OR_RETURN(const uint32_t section_size, reader.ReadLebU32());
+    RR_ASSIGN_OR_RETURN(const ByteSpan payload, reader.ReadSpan(section_size));
+
+    if (section_id == 0) continue;  // custom section: skip
+
+    if (section_id <= last_section) {
+      return InvalidArgumentError("sections out of order or duplicated");
+    }
+    last_section = section_id;
+
+    ByteReader section(payload);
+    Status status;
+    switch (section_id) {
+      case 1: status = DecodeTypeSection(section, module); break;
+      case 2: status = DecodeImportSection(section, module); break;
+      case 3: status = DecodeFunctionSection(section, module, function_type_indices); break;
+      case 5: status = DecodeMemorySection(section, module); break;
+      case 6: status = DecodeGlobalSection(section, module); break;
+      case 7: status = DecodeExportSection(section, module); break;
+      case 10: status = DecodeCodeSection(section, module, function_type_indices); break;
+      case 11: status = DecodeDataSection(section, module); break;
+      case 4:   // table
+      case 8:   // start
+      case 9:   // element
+        return UnimplementedError(
+            StrFormat("unsupported section id %u", section_id));
+      default:
+        return InvalidArgumentError(StrFormat("unknown section id %u", section_id));
+    }
+    RR_RETURN_IF_ERROR(status);
+    if (!section.AtEnd()) {
+      return InvalidArgumentError(
+          StrFormat("trailing bytes in section %u", section_id));
+    }
+  }
+
+  if (module.functions.size() != function_type_indices.size()) {
+    return InvalidArgumentError("function section without matching code section");
+  }
+
+  // Validate export indices.
+  for (const Export& e : module.exports) {
+    if (e.kind == ExportKind::kFunction && e.index >= module.num_functions()) {
+      return InvalidArgumentError("export function index out of range: " + e.name);
+    }
+    if (e.kind == ExportKind::kMemory && !module.memory.has_value()) {
+      return InvalidArgumentError("memory export without memory: " + e.name);
+    }
+  }
+  return module;
+}
+
+}  // namespace rr::wasm

@@ -1,0 +1,17 @@
+// Decodes the WebAssembly binary format into the Module IR.
+//
+// Supports the sections the builder emits (type, import, function, memory,
+// global, export, code, data) plus skipping custom sections. Unknown or
+// unsupported constructs are rejected with descriptive errors — decode never
+// silently degrades, matching Wasm's fail-closed philosophy.
+#pragma once
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "wasm/module.h"
+
+namespace rr::wasm {
+
+Result<Module> DecodeModule(ByteSpan binary);
+
+}  // namespace rr::wasm

@@ -1,0 +1,50 @@
+// Host-function (import) interface — the runtime's equivalent of WasmEdge's
+// host function registration. Wasm follows deny-by-default: a module can only
+// reach host functionality that was explicitly registered here.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+
+#include "common/status.h"
+#include "wasm/types.h"
+
+namespace rr::wasm {
+
+class Instance;
+
+// A host (native) function callable from guest code. `results` is pre-sized
+// to the declared result count; the callee must fill every slot.
+using HostFn = std::function<Status(Instance& instance,
+                                    std::span<const Value> args,
+                                    std::span<Value> results)>;
+
+struct HostFunction {
+  FuncType type;
+  HostFn fn;
+};
+
+// Resolves (module, name) import pairs at instantiation time.
+class ImportResolver {
+ public:
+  void Register(std::string module, std::string name, FuncType type, HostFn fn) {
+    functions_[Key{std::move(module), std::move(name)}] =
+        HostFunction{std::move(type), std::move(fn)};
+  }
+
+  const HostFunction* Lookup(const std::string& module,
+                             const std::string& name) const {
+    const auto it = functions_.find(Key{module, name});
+    return it == functions_.end() ? nullptr : &it->second;
+  }
+
+  size_t size() const { return functions_.size(); }
+
+ private:
+  using Key = std::pair<std::string, std::string>;
+  std::map<Key, HostFunction> functions_;
+};
+
+}  // namespace rr::wasm

@@ -1,0 +1,497 @@
+// Stack-machine interpreter executing the lowered CInstr stream.
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "wasm/instance.h"
+
+namespace rr::wasm {
+namespace {
+
+Status Trap(TrapKind kind, std::string detail = {}) {
+  return TrapToStatus(kind, std::move(detail));
+}
+
+// Wasm float min/max semantics: NaN-propagating, -0 < +0.
+template <typename F>
+F WasmMin(F a, F b) {
+  if (std::isnan(a) || std::isnan(b)) return std::numeric_limits<F>::quiet_NaN();
+  if (a == b) return std::signbit(a) ? a : b;
+  return a < b ? a : b;
+}
+
+template <typename F>
+F WasmMax(F a, F b) {
+  if (std::isnan(a) || std::isnan(b)) return std::numeric_limits<F>::quiet_NaN();
+  if (a == b) return std::signbit(a) ? b : a;
+  return a > b ? a : b;
+}
+
+}  // namespace
+
+class Interpreter {
+ public:
+  Interpreter(Instance& instance, const CompiledFunction& fn)
+      : instance_(instance), fn_(fn) {}
+
+  Status Run(std::span<const Value> args, std::span<Value> results);
+
+ private:
+  // --- stack helpers -------------------------------------------------------
+  void Push(Value v) { stack_.push_back(v); }
+  void PushI32(int32_t v) { stack_.push_back(Value::I32(v)); }
+  void PushU32(uint32_t v) { stack_.push_back(Value::I32(static_cast<int32_t>(v))); }
+  void PushI64(int64_t v) { stack_.push_back(Value::I64(v)); }
+  void PushU64(uint64_t v) { stack_.push_back(Value::I64(static_cast<int64_t>(v))); }
+  void PushF32(float v) { stack_.push_back(Value::F32(v)); }
+  void PushF64(double v) { stack_.push_back(Value::F64(v)); }
+
+  Value Pop() {
+    const Value v = stack_.back();
+    stack_.pop_back();
+    return v;
+  }
+  int32_t PopI32() { return Pop().i32; }
+  uint32_t PopU32() { return Pop().AsU32(); }
+  int64_t PopI64() { return Pop().i64; }
+  uint64_t PopU64() { return Pop().AsU64(); }
+  float PopF32() { return Pop().f32; }
+  double PopF64() { return Pop().f64; }
+
+  // Branch value transfer: keep the top `arity` values, drop `drop` beneath.
+  void Unwind(uint32_t drop, uint32_t arity) {
+    if (drop == 0) return;
+    stack_.erase(stack_.end() - arity - drop, stack_.end() - arity);
+  }
+
+  template <typename T, typename Pushed = T>
+  Status DoLoad(uint64_t offset);
+  template <typename T, typename Popped>
+  Status DoStore(uint64_t offset);
+
+  Instance& instance_;
+  const CompiledFunction& fn_;
+  std::vector<Value> locals_;
+  std::vector<Value> stack_;
+};
+
+template <typename T, typename Pushed>
+Status Interpreter::DoLoad(uint64_t offset) {
+  const uint64_t addr = static_cast<uint64_t>(PopU32()) + offset;
+  auto loaded = instance_.memory_->Load<T>(addr);
+  if (!loaded.ok()) return loaded.status();
+  const Pushed widened = static_cast<Pushed>(*loaded);
+  if constexpr (std::is_same_v<Pushed, int32_t> || std::is_same_v<Pushed, uint32_t>) {
+    PushU32(static_cast<uint32_t>(widened));
+  } else if constexpr (std::is_same_v<Pushed, int64_t> || std::is_same_v<Pushed, uint64_t>) {
+    PushU64(static_cast<uint64_t>(widened));
+  } else if constexpr (std::is_same_v<Pushed, float>) {
+    PushF32(widened);
+  } else {
+    PushF64(widened);
+  }
+  return Status::Ok();
+}
+
+template <typename T, typename Popped>
+Status Interpreter::DoStore(uint64_t offset) {
+  T narrow;
+  if constexpr (std::is_same_v<Popped, uint32_t>) {
+    narrow = static_cast<T>(PopU32());
+  } else if constexpr (std::is_same_v<Popped, uint64_t>) {
+    narrow = static_cast<T>(PopU64());
+  } else if constexpr (std::is_same_v<Popped, float>) {
+    narrow = PopF32();
+  } else {
+    narrow = PopF64();
+  }
+  const uint64_t addr = static_cast<uint64_t>(PopU32()) + offset;
+  return instance_.memory_->Store<T>(addr, narrow);
+}
+
+Status Interpreter::Run(std::span<const Value> args, std::span<Value> results) {
+  // Locals: parameters followed by zero-initialized declared locals.
+  locals_.assign(args.begin(), args.end());
+  for (const ValType t : fn_.locals) {
+    Value zero;
+    zero.type = t;
+    zero.i64 = 0;
+    locals_.push_back(zero);
+  }
+  stack_.reserve(fn_.max_stack);
+
+  const std::vector<CInstr>& code = fn_.code;
+  size_t pc = 0;
+
+  while (pc < code.size()) {
+    const CInstr& instr = code[pc];
+    ++pc;
+    ++instance_.instructions_executed_;
+    if (instance_.fuel_.has_value()) {
+      if (*instance_.fuel_ == 0) return Trap(TrapKind::kFuelExhausted);
+      --*instance_.fuel_;
+    }
+
+    switch (instr.op) {
+      case COp::kJump:
+        Unwind(instr.b, static_cast<uint32_t>(instr.imm));
+        pc = instr.a;
+        continue;
+      case COp::kJumpIf:
+        if (PopI32() != 0) {
+          Unwind(instr.b, static_cast<uint32_t>(instr.imm));
+          pc = instr.a;
+        }
+        continue;
+      case COp::kJumpUnless:
+        if (PopI32() == 0) {
+          Unwind(instr.b, static_cast<uint32_t>(instr.imm));
+          pc = instr.a;
+        }
+        continue;
+      case COp::kBrTable: {
+        const uint32_t index = PopU32();
+        const uint32_t entry_count = instr.b;
+        const uint32_t selected = index < entry_count - 1 ? index : entry_count - 1;
+        const BrTableEntry& entry = fn_.br_pool[instr.a + selected];
+        Unwind(entry.drop, entry.arity);
+        pc = entry.target;
+        continue;
+      }
+      case COp::kReturn: {
+        const uint32_t arity = static_cast<uint32_t>(instr.imm);
+        for (uint32_t i = 0; i < arity; ++i) {
+          results[arity - 1 - i] = Pop();
+        }
+        return Status::Ok();
+      }
+      case COp::kCallHost: {
+        const HostFunction& host = instance_.imported_[instr.a];
+        const size_t num_params = host.type.params.size();
+        const size_t num_results = host.type.results.size();
+        std::vector<Value> call_args(num_params);
+        for (size_t i = 0; i < num_params; ++i) {
+          call_args[num_params - 1 - i] = Pop();
+        }
+        std::vector<Value> call_results(num_results);
+        for (size_t i = 0; i < num_results; ++i) {
+          call_results[i].type = host.type.results[i];
+        }
+        ++instance_.host_calls_;
+        RR_RETURN_IF_ERROR(host.fn(instance_, call_args, call_results));
+        for (const Value& v : call_results) Push(v);
+        continue;
+      }
+      case COp::kCallWasm: {
+        const CompiledFunction& callee = instance_.compiled_[instr.a];
+        const FuncType& type = instance_.module_.types[callee.type_index];
+        const size_t num_params = type.params.size();
+        std::vector<Value> call_args(num_params);
+        for (size_t i = 0; i < num_params; ++i) {
+          call_args[num_params - 1 - i] = Pop();
+        }
+        std::vector<Value> call_results(type.results.size());
+        const uint32_t defined = instr.a;
+        if (instance_.native_bodies_[defined]) {
+          RR_RETURN_IF_ERROR(
+              instance_.native_bodies_[defined](instance_, call_args, call_results));
+        } else {
+          RR_RETURN_IF_ERROR(instance_.Invoke(defined, call_args, call_results));
+        }
+        for (const Value& v : call_results) Push(v);
+        continue;
+      }
+      case COp::kMemoryCopy: {
+        const uint32_t len = PopU32();
+        const uint32_t src = PopU32();
+        const uint32_t dst = PopU32();
+        RR_RETURN_IF_ERROR(instance_.memory_->Copy(dst, src, len));
+        continue;
+      }
+      case COp::kMemoryFill: {
+        const uint32_t len = PopU32();
+        const uint32_t value = PopU32();
+        const uint32_t dst = PopU32();
+        RR_RETURN_IF_ERROR(
+            instance_.memory_->Fill(dst, static_cast<uint8_t>(value), len));
+        continue;
+      }
+      default:
+        break;  // plain opcode, handled below
+    }
+
+    const Opcode op = static_cast<Opcode>(static_cast<uint16_t>(instr.op));
+    switch (op) {
+      case Opcode::kUnreachable:
+        return Trap(TrapKind::kUnreachable);
+
+      case Opcode::kDrop:
+        (void)Pop();
+        break;
+      case Opcode::kSelect: {
+        const int32_t cond = PopI32();
+        const Value b = Pop();
+        const Value a = Pop();
+        Push(cond != 0 ? a : b);
+        break;
+      }
+
+      case Opcode::kLocalGet: Push(locals_[instr.a]); break;
+      case Opcode::kLocalSet: locals_[instr.a] = Pop(); break;
+      case Opcode::kLocalTee: locals_[instr.a] = stack_.back(); break;
+      case Opcode::kGlobalGet: Push(instance_.globals_[instr.a]); break;
+      case Opcode::kGlobalSet: instance_.globals_[instr.a] = Pop(); break;
+
+      case Opcode::kI32Load: RR_RETURN_IF_ERROR((DoLoad<uint32_t>(instr.a))); break;
+      case Opcode::kI64Load: RR_RETURN_IF_ERROR((DoLoad<uint64_t>(instr.a))); break;
+      case Opcode::kF32Load: RR_RETURN_IF_ERROR((DoLoad<float>(instr.a))); break;
+      case Opcode::kF64Load: RR_RETURN_IF_ERROR((DoLoad<double>(instr.a))); break;
+      case Opcode::kI32Load8S: RR_RETURN_IF_ERROR((DoLoad<int8_t, int32_t>(instr.a))); break;
+      case Opcode::kI32Load8U: RR_RETURN_IF_ERROR((DoLoad<uint8_t, uint32_t>(instr.a))); break;
+      case Opcode::kI32Load16S: RR_RETURN_IF_ERROR((DoLoad<int16_t, int32_t>(instr.a))); break;
+      case Opcode::kI32Load16U: RR_RETURN_IF_ERROR((DoLoad<uint16_t, uint32_t>(instr.a))); break;
+      case Opcode::kI64Load8S: RR_RETURN_IF_ERROR((DoLoad<int8_t, int64_t>(instr.a))); break;
+      case Opcode::kI64Load8U: RR_RETURN_IF_ERROR((DoLoad<uint8_t, uint64_t>(instr.a))); break;
+      case Opcode::kI64Load16S: RR_RETURN_IF_ERROR((DoLoad<int16_t, int64_t>(instr.a))); break;
+      case Opcode::kI64Load16U: RR_RETURN_IF_ERROR((DoLoad<uint16_t, uint64_t>(instr.a))); break;
+      case Opcode::kI64Load32S: RR_RETURN_IF_ERROR((DoLoad<int32_t, int64_t>(instr.a))); break;
+      case Opcode::kI64Load32U: RR_RETURN_IF_ERROR((DoLoad<uint32_t, uint64_t>(instr.a))); break;
+      case Opcode::kI32Store: RR_RETURN_IF_ERROR((DoStore<uint32_t, uint32_t>(instr.a))); break;
+      case Opcode::kI64Store: RR_RETURN_IF_ERROR((DoStore<uint64_t, uint64_t>(instr.a))); break;
+      case Opcode::kF32Store: RR_RETURN_IF_ERROR((DoStore<float, float>(instr.a))); break;
+      case Opcode::kF64Store: RR_RETURN_IF_ERROR((DoStore<double, double>(instr.a))); break;
+      case Opcode::kI32Store8: RR_RETURN_IF_ERROR((DoStore<uint8_t, uint32_t>(instr.a))); break;
+      case Opcode::kI32Store16: RR_RETURN_IF_ERROR((DoStore<uint16_t, uint32_t>(instr.a))); break;
+      case Opcode::kI64Store8: RR_RETURN_IF_ERROR((DoStore<uint8_t, uint64_t>(instr.a))); break;
+      case Opcode::kI64Store16: RR_RETURN_IF_ERROR((DoStore<uint16_t, uint64_t>(instr.a))); break;
+      case Opcode::kI64Store32: RR_RETURN_IF_ERROR((DoStore<uint32_t, uint64_t>(instr.a))); break;
+
+      case Opcode::kMemorySize:
+        PushU32(instance_.memory_->pages());
+        break;
+      case Opcode::kMemoryGrow:
+        PushI32(instance_.memory_->Grow(PopU32()));
+        break;
+
+      case Opcode::kI32Const: PushU32(static_cast<uint32_t>(instr.imm)); break;
+      case Opcode::kI64Const: PushU64(instr.imm); break;
+      case Opcode::kF32Const: {
+        float f;
+        const uint32_t bits = static_cast<uint32_t>(instr.imm);
+        std::memcpy(&f, &bits, 4);
+        PushF32(f);
+        break;
+      }
+      case Opcode::kF64Const: {
+        double d;
+        std::memcpy(&d, &instr.imm, 8);
+        PushF64(d);
+        break;
+      }
+
+      // --- i32 compare ---
+      case Opcode::kI32Eqz: PushI32(PopI32() == 0); break;
+      case Opcode::kI32Eq: { const auto b = PopI32(), a = PopI32(); PushI32(a == b); break; }
+      case Opcode::kI32Ne: { const auto b = PopI32(), a = PopI32(); PushI32(a != b); break; }
+      case Opcode::kI32LtS: { const auto b = PopI32(), a = PopI32(); PushI32(a < b); break; }
+      case Opcode::kI32LtU: { const auto b = PopU32(), a = PopU32(); PushI32(a < b); break; }
+      case Opcode::kI32GtS: { const auto b = PopI32(), a = PopI32(); PushI32(a > b); break; }
+      case Opcode::kI32GtU: { const auto b = PopU32(), a = PopU32(); PushI32(a > b); break; }
+      case Opcode::kI32LeS: { const auto b = PopI32(), a = PopI32(); PushI32(a <= b); break; }
+      case Opcode::kI32LeU: { const auto b = PopU32(), a = PopU32(); PushI32(a <= b); break; }
+      case Opcode::kI32GeS: { const auto b = PopI32(), a = PopI32(); PushI32(a >= b); break; }
+      case Opcode::kI32GeU: { const auto b = PopU32(), a = PopU32(); PushI32(a >= b); break; }
+
+      // --- i64 compare ---
+      case Opcode::kI64Eqz: PushI32(PopI64() == 0); break;
+      case Opcode::kI64Eq: { const auto b = PopI64(), a = PopI64(); PushI32(a == b); break; }
+      case Opcode::kI64Ne: { const auto b = PopI64(), a = PopI64(); PushI32(a != b); break; }
+      case Opcode::kI64LtS: { const auto b = PopI64(), a = PopI64(); PushI32(a < b); break; }
+      case Opcode::kI64LtU: { const auto b = PopU64(), a = PopU64(); PushI32(a < b); break; }
+      case Opcode::kI64GtS: { const auto b = PopI64(), a = PopI64(); PushI32(a > b); break; }
+      case Opcode::kI64GtU: { const auto b = PopU64(), a = PopU64(); PushI32(a > b); break; }
+      case Opcode::kI64LeS: { const auto b = PopI64(), a = PopI64(); PushI32(a <= b); break; }
+      case Opcode::kI64LeU: { const auto b = PopU64(), a = PopU64(); PushI32(a <= b); break; }
+      case Opcode::kI64GeS: { const auto b = PopI64(), a = PopI64(); PushI32(a >= b); break; }
+      case Opcode::kI64GeU: { const auto b = PopU64(), a = PopU64(); PushI32(a >= b); break; }
+
+      // --- float compare ---
+      case Opcode::kF32Eq: { const auto b = PopF32(), a = PopF32(); PushI32(a == b); break; }
+      case Opcode::kF32Ne: { const auto b = PopF32(), a = PopF32(); PushI32(a != b); break; }
+      case Opcode::kF32Lt: { const auto b = PopF32(), a = PopF32(); PushI32(a < b); break; }
+      case Opcode::kF32Gt: { const auto b = PopF32(), a = PopF32(); PushI32(a > b); break; }
+      case Opcode::kF32Le: { const auto b = PopF32(), a = PopF32(); PushI32(a <= b); break; }
+      case Opcode::kF32Ge: { const auto b = PopF32(), a = PopF32(); PushI32(a >= b); break; }
+      case Opcode::kF64Eq: { const auto b = PopF64(), a = PopF64(); PushI32(a == b); break; }
+      case Opcode::kF64Ne: { const auto b = PopF64(), a = PopF64(); PushI32(a != b); break; }
+      case Opcode::kF64Lt: { const auto b = PopF64(), a = PopF64(); PushI32(a < b); break; }
+      case Opcode::kF64Gt: { const auto b = PopF64(), a = PopF64(); PushI32(a > b); break; }
+      case Opcode::kF64Le: { const auto b = PopF64(), a = PopF64(); PushI32(a <= b); break; }
+      case Opcode::kF64Ge: { const auto b = PopF64(), a = PopF64(); PushI32(a >= b); break; }
+
+      // --- i32 arithmetic ---
+      case Opcode::kI32Clz: PushI32(std::countl_zero(PopU32())); break;
+      case Opcode::kI32Ctz: PushI32(std::countr_zero(PopU32())); break;
+      case Opcode::kI32Popcnt: PushI32(std::popcount(PopU32())); break;
+      case Opcode::kI32Add: { const auto b = PopU32(), a = PopU32(); PushU32(a + b); break; }
+      case Opcode::kI32Sub: { const auto b = PopU32(), a = PopU32(); PushU32(a - b); break; }
+      case Opcode::kI32Mul: { const auto b = PopU32(), a = PopU32(); PushU32(a * b); break; }
+      case Opcode::kI32DivS: {
+        const int32_t b = PopI32(), a = PopI32();
+        if (b == 0) return Trap(TrapKind::kIntegerDivideByZero);
+        if (a == INT32_MIN && b == -1) return Trap(TrapKind::kIntegerOverflow);
+        PushI32(a / b);
+        break;
+      }
+      case Opcode::kI32DivU: {
+        const uint32_t b = PopU32(), a = PopU32();
+        if (b == 0) return Trap(TrapKind::kIntegerDivideByZero);
+        PushU32(a / b);
+        break;
+      }
+      case Opcode::kI32RemS: {
+        const int32_t b = PopI32(), a = PopI32();
+        if (b == 0) return Trap(TrapKind::kIntegerDivideByZero);
+        PushI32(a == INT32_MIN && b == -1 ? 0 : a % b);
+        break;
+      }
+      case Opcode::kI32RemU: {
+        const uint32_t b = PopU32(), a = PopU32();
+        if (b == 0) return Trap(TrapKind::kIntegerDivideByZero);
+        PushU32(a % b);
+        break;
+      }
+      case Opcode::kI32And: { const auto b = PopU32(), a = PopU32(); PushU32(a & b); break; }
+      case Opcode::kI32Or: { const auto b = PopU32(), a = PopU32(); PushU32(a | b); break; }
+      case Opcode::kI32Xor: { const auto b = PopU32(), a = PopU32(); PushU32(a ^ b); break; }
+      case Opcode::kI32Shl: { const auto b = PopU32(), a = PopU32(); PushU32(a << (b & 31)); break; }
+      case Opcode::kI32ShrS: { const auto b = PopU32(); const auto a = PopI32(); PushI32(a >> (b & 31)); break; }
+      case Opcode::kI32ShrU: { const auto b = PopU32(), a = PopU32(); PushU32(a >> (b & 31)); break; }
+      case Opcode::kI32Rotl: { const auto b = PopU32(), a = PopU32(); PushU32(std::rotl(a, static_cast<int>(b & 31))); break; }
+      case Opcode::kI32Rotr: { const auto b = PopU32(), a = PopU32(); PushU32(std::rotr(a, static_cast<int>(b & 31))); break; }
+
+      // --- i64 arithmetic ---
+      case Opcode::kI64Clz: PushI64(std::countl_zero(PopU64())); break;
+      case Opcode::kI64Ctz: PushI64(std::countr_zero(PopU64())); break;
+      case Opcode::kI64Popcnt: PushI64(std::popcount(PopU64())); break;
+      case Opcode::kI64Add: { const auto b = PopU64(), a = PopU64(); PushU64(a + b); break; }
+      case Opcode::kI64Sub: { const auto b = PopU64(), a = PopU64(); PushU64(a - b); break; }
+      case Opcode::kI64Mul: { const auto b = PopU64(), a = PopU64(); PushU64(a * b); break; }
+      case Opcode::kI64DivS: {
+        const int64_t b = PopI64(), a = PopI64();
+        if (b == 0) return Trap(TrapKind::kIntegerDivideByZero);
+        if (a == INT64_MIN && b == -1) return Trap(TrapKind::kIntegerOverflow);
+        PushI64(a / b);
+        break;
+      }
+      case Opcode::kI64DivU: {
+        const uint64_t b = PopU64(), a = PopU64();
+        if (b == 0) return Trap(TrapKind::kIntegerDivideByZero);
+        PushU64(a / b);
+        break;
+      }
+      case Opcode::kI64RemS: {
+        const int64_t b = PopI64(), a = PopI64();
+        if (b == 0) return Trap(TrapKind::kIntegerDivideByZero);
+        PushI64(a == INT64_MIN && b == -1 ? 0 : a % b);
+        break;
+      }
+      case Opcode::kI64RemU: {
+        const uint64_t b = PopU64(), a = PopU64();
+        if (b == 0) return Trap(TrapKind::kIntegerDivideByZero);
+        PushU64(a % b);
+        break;
+      }
+      case Opcode::kI64And: { const auto b = PopU64(), a = PopU64(); PushU64(a & b); break; }
+      case Opcode::kI64Or: { const auto b = PopU64(), a = PopU64(); PushU64(a | b); break; }
+      case Opcode::kI64Xor: { const auto b = PopU64(), a = PopU64(); PushU64(a ^ b); break; }
+      case Opcode::kI64Shl: { const auto b = PopU64(), a = PopU64(); PushU64(a << (b & 63)); break; }
+      case Opcode::kI64ShrS: { const auto b = PopU64(); const auto a = PopI64(); PushI64(a >> (b & 63)); break; }
+      case Opcode::kI64ShrU: { const auto b = PopU64(), a = PopU64(); PushU64(a >> (b & 63)); break; }
+      case Opcode::kI64Rotl: { const auto b = PopU64(), a = PopU64(); PushU64(std::rotl(a, static_cast<int>(b & 63))); break; }
+      case Opcode::kI64Rotr: { const auto b = PopU64(), a = PopU64(); PushU64(std::rotr(a, static_cast<int>(b & 63))); break; }
+
+      // --- f32 arithmetic ---
+      case Opcode::kF32Abs: PushF32(std::fabs(PopF32())); break;
+      case Opcode::kF32Neg: PushF32(-PopF32()); break;
+      case Opcode::kF32Sqrt: PushF32(std::sqrt(PopF32())); break;
+      case Opcode::kF32Add: { const auto b = PopF32(), a = PopF32(); PushF32(a + b); break; }
+      case Opcode::kF32Sub: { const auto b = PopF32(), a = PopF32(); PushF32(a - b); break; }
+      case Opcode::kF32Mul: { const auto b = PopF32(), a = PopF32(); PushF32(a * b); break; }
+      case Opcode::kF32Div: { const auto b = PopF32(), a = PopF32(); PushF32(a / b); break; }
+      case Opcode::kF32Min: { const auto b = PopF32(), a = PopF32(); PushF32(WasmMin(a, b)); break; }
+      case Opcode::kF32Max: { const auto b = PopF32(), a = PopF32(); PushF32(WasmMax(a, b)); break; }
+
+      // --- f64 arithmetic ---
+      case Opcode::kF64Abs: PushF64(std::fabs(PopF64())); break;
+      case Opcode::kF64Neg: PushF64(-PopF64()); break;
+      case Opcode::kF64Ceil: PushF64(std::ceil(PopF64())); break;
+      case Opcode::kF64Floor: PushF64(std::floor(PopF64())); break;
+      case Opcode::kF64Trunc: PushF64(std::trunc(PopF64())); break;
+      case Opcode::kF64Sqrt: PushF64(std::sqrt(PopF64())); break;
+      case Opcode::kF64Add: { const auto b = PopF64(), a = PopF64(); PushF64(a + b); break; }
+      case Opcode::kF64Sub: { const auto b = PopF64(), a = PopF64(); PushF64(a - b); break; }
+      case Opcode::kF64Mul: { const auto b = PopF64(), a = PopF64(); PushF64(a * b); break; }
+      case Opcode::kF64Div: { const auto b = PopF64(), a = PopF64(); PushF64(a / b); break; }
+      case Opcode::kF64Min: { const auto b = PopF64(), a = PopF64(); PushF64(WasmMin(a, b)); break; }
+      case Opcode::kF64Max: { const auto b = PopF64(), a = PopF64(); PushF64(WasmMax(a, b)); break; }
+
+      // --- conversions ---
+      case Opcode::kI32WrapI64: PushU32(static_cast<uint32_t>(PopU64())); break;
+      case Opcode::kI32TruncF64S: {
+        const double d = PopF64();
+        if (std::isnan(d)) return Trap(TrapKind::kInvalidConversion);
+        if (d >= 2147483648.0 || d < -2147483649.0) {
+          return Trap(TrapKind::kIntegerOverflow);
+        }
+        PushI32(static_cast<int32_t>(d));
+        break;
+      }
+      case Opcode::kI32TruncF64U: {
+        const double d = PopF64();
+        if (std::isnan(d)) return Trap(TrapKind::kInvalidConversion);
+        if (d >= 4294967296.0 || d <= -1.0) return Trap(TrapKind::kIntegerOverflow);
+        PushU32(static_cast<uint32_t>(d));
+        break;
+      }
+      case Opcode::kI64ExtendI32S: PushI64(PopI32()); break;
+      case Opcode::kI64ExtendI32U: PushU64(PopU32()); break;
+      case Opcode::kI64TruncF64S: {
+        const double d = PopF64();
+        if (std::isnan(d)) return Trap(TrapKind::kInvalidConversion);
+        if (d >= 9223372036854775808.0 || d < -9223372036854775808.0) {
+          return Trap(TrapKind::kIntegerOverflow);
+        }
+        PushI64(static_cast<int64_t>(d));
+        break;
+      }
+      case Opcode::kF32ConvertI32S: PushF32(static_cast<float>(PopI32())); break;
+      case Opcode::kF32DemoteF64: PushF32(static_cast<float>(PopF64())); break;
+      case Opcode::kF64ConvertI32S: PushF64(static_cast<double>(PopI32())); break;
+      case Opcode::kF64ConvertI32U: PushF64(static_cast<double>(PopU32())); break;
+      case Opcode::kF64ConvertI64S: PushF64(static_cast<double>(PopI64())); break;
+      case Opcode::kF64ConvertI64U: PushF64(static_cast<double>(PopU64())); break;
+      case Opcode::kF64PromoteF32: PushF64(static_cast<double>(PopF32())); break;
+
+      default:
+        return InternalError("interpreter reached unknown opcode " +
+                             std::string(OpcodeName(op)));
+    }
+  }
+  return InternalError("function body fell off the end without return");
+}
+
+Status Instance::Invoke(uint32_t defined_index, std::span<const Value> args,
+                        std::span<Value> results) {
+  if (call_depth_ >= config_.max_call_depth) {
+    return TrapToStatus(TrapKind::kStackExhausted);
+  }
+  ++call_depth_;
+  Interpreter interp(*this, compiled_[defined_index]);
+  const Status status = interp.Run(args, results);
+  --call_depth_;
+  return status;
+}
+
+}  // namespace rr::wasm

@@ -1,0 +1,130 @@
+#include "wasm/leb128.h"
+
+namespace rr::wasm {
+
+void AppendLebU32(Bytes& out, uint32_t value) {
+  do {
+    uint8_t byte = value & 0x7f;
+    value >>= 7;
+    if (value != 0) byte |= 0x80;
+    out.push_back(byte);
+  } while (value != 0);
+}
+
+void AppendLebU64(Bytes& out, uint64_t value) {
+  do {
+    uint8_t byte = value & 0x7f;
+    value >>= 7;
+    if (value != 0) byte |= 0x80;
+    out.push_back(byte);
+  } while (value != 0);
+}
+
+void AppendLebS32(Bytes& out, int32_t value) { AppendLebS64(out, value); }
+
+void AppendLebS64(Bytes& out, int64_t value) {
+  bool more = true;
+  while (more) {
+    uint8_t byte = value & 0x7f;
+    value >>= 7;  // arithmetic shift
+    if ((value == 0 && (byte & 0x40) == 0) || (value == -1 && (byte & 0x40) != 0)) {
+      more = false;
+    } else {
+      byte |= 0x80;
+    }
+    out.push_back(byte);
+  }
+}
+
+Result<uint8_t> ByteReader::ReadByte() {
+  if (pos_ >= data_.size()) return DataLossError("unexpected end of wasm binary");
+  return data_[pos_++];
+}
+
+Result<uint32_t> ByteReader::ReadLebU32() {
+  uint32_t result = 0;
+  int shift = 0;
+  for (int i = 0; i < 5; ++i) {
+    RR_ASSIGN_OR_RETURN(const uint8_t byte, ReadByte());
+    result |= static_cast<uint32_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      if (i == 4 && (byte & 0xf0) != 0) {
+        return InvalidArgumentError("LEB128 u32 overflow");
+      }
+      return result;
+    }
+    shift += 7;
+  }
+  return InvalidArgumentError("LEB128 u32 too long");
+}
+
+Result<uint64_t> ByteReader::ReadLebU64() {
+  uint64_t result = 0;
+  int shift = 0;
+  for (int i = 0; i < 10; ++i) {
+    RR_ASSIGN_OR_RETURN(const uint8_t byte, ReadByte());
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      if (i == 9 && (byte & 0xfe) != 0) {
+        return InvalidArgumentError("LEB128 u64 overflow");
+      }
+      return result;
+    }
+    shift += 7;
+  }
+  return InvalidArgumentError("LEB128 u64 too long");
+}
+
+Result<int32_t> ByteReader::ReadLebS32() {
+  RR_ASSIGN_OR_RETURN(const int64_t wide, ReadLebS64());
+  if (wide < INT32_MIN || wide > INT32_MAX) {
+    return InvalidArgumentError("LEB128 s32 out of range");
+  }
+  return static_cast<int32_t>(wide);
+}
+
+Result<int64_t> ByteReader::ReadLebS64() {
+  int64_t result = 0;
+  int shift = 0;
+  for (int i = 0; i < 10; ++i) {
+    RR_ASSIGN_OR_RETURN(const uint8_t byte, ReadByte());
+    result |= static_cast<int64_t>(byte & 0x7f) << shift;
+    shift += 7;
+    if ((byte & 0x80) == 0) {
+      if (shift < 64 && (byte & 0x40) != 0) {
+        result |= -(int64_t{1} << shift);  // sign-extend
+      }
+      return result;
+    }
+  }
+  return InvalidArgumentError("LEB128 s64 too long");
+}
+
+Result<uint32_t> ByteReader::ReadFixedU32() {
+  if (remaining() < 4) return DataLossError("truncated fixed u32");
+  const uint32_t v = LoadLE<uint32_t>(data_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> ByteReader::ReadFixedU64() {
+  if (remaining() < 8) return DataLossError("truncated fixed u64");
+  const uint64_t v = LoadLE<uint64_t>(data_.data() + pos_);
+  pos_ += 8;
+  return v;
+}
+
+Result<ByteSpan> ByteReader::ReadSpan(size_t length) {
+  if (remaining() < length) return DataLossError("truncated span");
+  const ByteSpan span = data_.subspan(pos_, length);
+  pos_ += length;
+  return span;
+}
+
+Status ByteReader::Skip(size_t length) {
+  if (remaining() < length) return DataLossError("skip past end");
+  pos_ += length;
+  return Status::Ok();
+}
+
+}  // namespace rr::wasm

@@ -1,0 +1,43 @@
+// LEB128 variable-length integer coding, as used by the WebAssembly binary
+// format (https://webassembly.github.io/spec/core/binary/values.html).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace rr::wasm {
+
+void AppendLebU32(Bytes& out, uint32_t value);
+void AppendLebU64(Bytes& out, uint64_t value);
+void AppendLebS32(Bytes& out, int32_t value);
+void AppendLebS64(Bytes& out, int64_t value);
+
+// Sequential byte reader with LEB128 decoding. All methods fail with
+// kDataLoss on truncation and kInvalidArgument on malformed encodings.
+class ByteReader {
+ public:
+  explicit ByteReader(ByteSpan data) : data_(data) {}
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  Result<uint8_t> ReadByte();
+  Result<uint32_t> ReadLebU32();
+  Result<uint64_t> ReadLebU64();
+  Result<int32_t> ReadLebS32();
+  Result<int64_t> ReadLebS64();
+  Result<uint32_t> ReadFixedU32();  // little-endian, for f32 bits
+  Result<uint64_t> ReadFixedU64();  // little-endian, for f64 bits
+  Result<ByteSpan> ReadSpan(size_t length);
+
+  Status Skip(size_t length);
+
+ private:
+  ByteSpan data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace rr::wasm

@@ -1,0 +1,80 @@
+#include "wasm/memory.h"
+
+#include <cstring>
+
+namespace rr::wasm {
+
+LinearMemory::LinearMemory(Limits limits) : limits_(limits), pages_(limits.min_pages) {
+  if (!limits_.has_max || limits_.max_pages > kDefaultMaxPages) {
+    limits_.has_max = true;
+    limits_.max_pages = kDefaultMaxPages;
+  }
+  bytes_.resize(byte_size());
+}
+
+int32_t LinearMemory::Grow(uint32_t delta_pages) {
+  const uint64_t target = static_cast<uint64_t>(pages_) + delta_pages;
+  if (target > limits_.max_pages) return -1;
+  const uint32_t old_pages = pages_;
+  pages_ = static_cast<uint32_t>(target);
+  bytes_.resize(byte_size());
+  return static_cast<int32_t>(old_pages);
+}
+
+Status LinearMemory::Read(uint64_t addr, MutableByteSpan out) const {
+  if (!InBounds(addr, out.size())) {
+    return TrapToStatus(TrapKind::kMemoryOutOfBounds,
+                        "host read [" + std::to_string(addr) + ", +" +
+                            std::to_string(out.size()) + ")");
+  }
+  std::memcpy(out.data(), bytes_.data() + addr, out.size());
+  host_bytes_read_.fetch_add(out.size(), std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status LinearMemory::Write(uint64_t addr, ByteSpan data) {
+  if (!InBounds(addr, data.size())) {
+    return TrapToStatus(TrapKind::kMemoryOutOfBounds,
+                        "host write [" + std::to_string(addr) + ", +" +
+                            std::to_string(data.size()) + ")");
+  }
+  std::memcpy(bytes_.data() + addr, data.data(), data.size());
+  host_bytes_written_.fetch_add(data.size(), std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Result<ByteSpan> LinearMemory::Slice(uint64_t addr, uint64_t len) const {
+  if (!InBounds(addr, len)) {
+    return TrapToStatus(TrapKind::kMemoryOutOfBounds,
+                        "slice [" + std::to_string(addr) + ", +" +
+                            std::to_string(len) + ")");
+  }
+  return ByteSpan(bytes_.data() + addr, len);
+}
+
+Result<MutableByteSpan> LinearMemory::MutableSlice(uint64_t addr, uint64_t len) {
+  if (!InBounds(addr, len)) {
+    return TrapToStatus(TrapKind::kMemoryOutOfBounds,
+                        "mutable slice [" + std::to_string(addr) + ", +" +
+                            std::to_string(len) + ")");
+  }
+  return MutableByteSpan(bytes_.data() + addr, len);
+}
+
+Status LinearMemory::Copy(uint64_t dst, uint64_t src, uint64_t len) {
+  if (!InBounds(dst, len) || !InBounds(src, len)) {
+    return TrapToStatus(TrapKind::kMemoryOutOfBounds, "memory.copy");
+  }
+  std::memmove(bytes_.data() + dst, bytes_.data() + src, len);
+  return Status::Ok();
+}
+
+Status LinearMemory::Fill(uint64_t dst, uint8_t value, uint64_t len) {
+  if (!InBounds(dst, len)) {
+    return TrapToStatus(TrapKind::kMemoryOutOfBounds, "memory.fill");
+  }
+  std::memset(bytes_.data() + dst, value, len);
+  return Status::Ok();
+}
+
+}  // namespace rr::wasm

@@ -1,0 +1,88 @@
+// In-memory representation of a decoded WebAssembly module.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "wasm/types.h"
+
+namespace rr::wasm {
+
+enum class ExportKind : uint8_t {
+  kFunction = 0x00,
+  kMemory = 0x02,
+};
+
+// Only function imports are supported (the WASI surface is functions-only).
+struct Import {
+  std::string module;
+  std::string name;
+  uint32_t type_index = 0;
+};
+
+struct Export {
+  std::string name;
+  ExportKind kind = ExportKind::kFunction;
+  uint32_t index = 0;
+};
+
+struct GlobalDef {
+  ValType type = ValType::kI32;
+  bool is_mutable = false;
+  Value init;
+};
+
+// Active data segment copied into linear memory at instantiation.
+struct DataSegment {
+  uint32_t offset = 0;
+  Bytes bytes;
+};
+
+struct FunctionBody {
+  uint32_t type_index = 0;
+  // Expanded list: one entry per local (not run-length groups).
+  std::vector<ValType> locals;
+  // Body expression bytes, including the terminating `end` opcode.
+  Bytes code;
+};
+
+struct Module {
+  std::vector<FuncType> types;
+  std::vector<Import> imports;        // function index space [0, imports.size())
+  std::vector<FunctionBody> functions;  // function index space continues here
+  std::optional<Limits> memory;
+  std::vector<GlobalDef> globals;
+  std::vector<Export> exports;
+  std::vector<DataSegment> data;
+
+  uint32_t num_imported_functions() const {
+    return static_cast<uint32_t>(imports.size());
+  }
+  uint32_t num_functions() const {
+    return num_imported_functions() + static_cast<uint32_t>(functions.size());
+  }
+
+  // Type of any function in the combined index space; nullptr if out of range.
+  const FuncType* function_type(uint32_t func_index) const {
+    uint32_t type_index;
+    if (func_index < imports.size()) {
+      type_index = imports[func_index].type_index;
+    } else if (func_index < num_functions()) {
+      type_index = functions[func_index - imports.size()].type_index;
+    } else {
+      return nullptr;
+    }
+    return type_index < types.size() ? &types[type_index] : nullptr;
+  }
+
+  const Export* FindExport(std::string_view name, ExportKind kind) const {
+    for (const Export& e : exports) {
+      if (e.kind == kind && e.name == name) return &e;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace rr::wasm

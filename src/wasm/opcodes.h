@@ -1,0 +1,207 @@
+// Supported WebAssembly opcodes (Wasm 1.0 core subset + bulk-memory ops).
+// Byte values follow the spec's binary encoding exactly, so modules built by
+// rr::wasm::ModuleBuilder are genuine .wasm binaries.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rr::wasm {
+
+enum class Opcode : uint8_t {
+  // Control.
+  kUnreachable = 0x00,
+  kNop = 0x01,
+  kBlock = 0x02,
+  kLoop = 0x03,
+  kIf = 0x04,
+  kElse = 0x05,
+  kEnd = 0x0b,
+  kBr = 0x0c,
+  kBrIf = 0x0d,
+  kBrTable = 0x0e,
+  kReturn = 0x0f,
+  kCall = 0x10,
+
+  // Parametric.
+  kDrop = 0x1a,
+  kSelect = 0x1b,
+
+  // Variable.
+  kLocalGet = 0x20,
+  kLocalSet = 0x21,
+  kLocalTee = 0x22,
+  kGlobalGet = 0x23,
+  kGlobalSet = 0x24,
+
+  // Memory.
+  kI32Load = 0x28,
+  kI64Load = 0x29,
+  kF32Load = 0x2a,
+  kF64Load = 0x2b,
+  kI32Load8S = 0x2c,
+  kI32Load8U = 0x2d,
+  kI32Load16S = 0x2e,
+  kI32Load16U = 0x2f,
+  kI64Load8S = 0x30,
+  kI64Load8U = 0x31,
+  kI64Load16S = 0x32,
+  kI64Load16U = 0x33,
+  kI64Load32S = 0x34,
+  kI64Load32U = 0x35,
+  kI32Store = 0x36,
+  kI64Store = 0x37,
+  kF32Store = 0x38,
+  kF64Store = 0x39,
+  kI32Store8 = 0x3a,
+  kI32Store16 = 0x3b,
+  kI64Store8 = 0x3c,
+  kI64Store16 = 0x3d,
+  kI64Store32 = 0x3e,
+  kMemorySize = 0x3f,
+  kMemoryGrow = 0x40,
+
+  // Constants.
+  kI32Const = 0x41,
+  kI64Const = 0x42,
+  kF32Const = 0x43,
+  kF64Const = 0x44,
+
+  // i32 comparisons.
+  kI32Eqz = 0x45,
+  kI32Eq = 0x46,
+  kI32Ne = 0x47,
+  kI32LtS = 0x48,
+  kI32LtU = 0x49,
+  kI32GtS = 0x4a,
+  kI32GtU = 0x4b,
+  kI32LeS = 0x4c,
+  kI32LeU = 0x4d,
+  kI32GeS = 0x4e,
+  kI32GeU = 0x4f,
+
+  // i64 comparisons.
+  kI64Eqz = 0x50,
+  kI64Eq = 0x51,
+  kI64Ne = 0x52,
+  kI64LtS = 0x53,
+  kI64LtU = 0x54,
+  kI64GtS = 0x55,
+  kI64GtU = 0x56,
+  kI64LeS = 0x57,
+  kI64LeU = 0x58,
+  kI64GeS = 0x59,
+  kI64GeU = 0x5a,
+
+  // f32 comparisons.
+  kF32Eq = 0x5b,
+  kF32Ne = 0x5c,
+  kF32Lt = 0x5d,
+  kF32Gt = 0x5e,
+  kF32Le = 0x5f,
+  kF32Ge = 0x60,
+
+  // f64 comparisons.
+  kF64Eq = 0x61,
+  kF64Ne = 0x62,
+  kF64Lt = 0x63,
+  kF64Gt = 0x64,
+  kF64Le = 0x65,
+  kF64Ge = 0x66,
+
+  // i32 arithmetic.
+  kI32Clz = 0x67,
+  kI32Ctz = 0x68,
+  kI32Popcnt = 0x69,
+  kI32Add = 0x6a,
+  kI32Sub = 0x6b,
+  kI32Mul = 0x6c,
+  kI32DivS = 0x6d,
+  kI32DivU = 0x6e,
+  kI32RemS = 0x6f,
+  kI32RemU = 0x70,
+  kI32And = 0x71,
+  kI32Or = 0x72,
+  kI32Xor = 0x73,
+  kI32Shl = 0x74,
+  kI32ShrS = 0x75,
+  kI32ShrU = 0x76,
+  kI32Rotl = 0x77,
+  kI32Rotr = 0x78,
+
+  // i64 arithmetic.
+  kI64Clz = 0x79,
+  kI64Ctz = 0x7a,
+  kI64Popcnt = 0x7b,
+  kI64Add = 0x7c,
+  kI64Sub = 0x7d,
+  kI64Mul = 0x7e,
+  kI64DivS = 0x7f,
+  kI64DivU = 0x80,
+  kI64RemS = 0x81,
+  kI64RemU = 0x82,
+  kI64And = 0x83,
+  kI64Or = 0x84,
+  kI64Xor = 0x85,
+  kI64Shl = 0x86,
+  kI64ShrS = 0x87,
+  kI64ShrU = 0x88,
+  kI64Rotl = 0x89,
+  kI64Rotr = 0x8a,
+
+  // f32 arithmetic.
+  kF32Abs = 0x8b,
+  kF32Neg = 0x8c,
+  kF32Sqrt = 0x91,
+  kF32Add = 0x92,
+  kF32Sub = 0x93,
+  kF32Mul = 0x94,
+  kF32Div = 0x95,
+  kF32Min = 0x96,
+  kF32Max = 0x97,
+
+  // f64 arithmetic.
+  kF64Abs = 0x99,
+  kF64Neg = 0x9a,
+  kF64Ceil = 0x9b,
+  kF64Floor = 0x9c,
+  kF64Trunc = 0x9d,
+  kF64Sqrt = 0x9f,
+  kF64Add = 0xa0,
+  kF64Sub = 0xa1,
+  kF64Mul = 0xa2,
+  kF64Div = 0xa3,
+  kF64Min = 0xa4,
+  kF64Max = 0xa5,
+
+  // Conversions.
+  kI32WrapI64 = 0xa7,
+  kI32TruncF64S = 0xaa,
+  kI32TruncF64U = 0xab,
+  kI64ExtendI32S = 0xac,
+  kI64ExtendI32U = 0xad,
+  kI64TruncF64S = 0xb0,
+  kF32ConvertI32S = 0xb2,
+  kF32DemoteF64 = 0xb6,
+  kF64ConvertI32S = 0xb7,
+  kF64ConvertI32U = 0xb8,
+  kF64ConvertI64S = 0xb9,
+  kF64ConvertI64U = 0xba,
+  kF64PromoteF32 = 0xbb,
+
+  // 0xFC-prefixed (bulk memory). Encoded as prefix + LEB sub-opcode.
+  kMiscPrefix = 0xfc,
+};
+
+// Sub-opcodes under kMiscPrefix.
+enum class MiscOpcode : uint32_t {
+  kMemoryCopy = 10,
+  kMemoryFill = 11,
+};
+
+std::string_view OpcodeName(Opcode op);
+
+// Block type immediate: 0x40 marks an empty (void) block result.
+inline constexpr uint8_t kVoidBlockType = 0x40;
+
+}  // namespace rr::wasm

@@ -1,0 +1,79 @@
+#include "wasm/types.h"
+
+#include "common/strings.h"
+
+namespace rr::wasm {
+
+std::string_view ValTypeName(ValType t) {
+  switch (t) {
+    case ValType::kI32: return "i32";
+    case ValType::kI64: return "i64";
+    case ValType::kF32: return "f32";
+    case ValType::kF64: return "f64";
+  }
+  return "?";
+}
+
+Result<ValType> ValTypeFromByte(uint8_t byte) {
+  switch (byte) {
+    case 0x7f: return ValType::kI32;
+    case 0x7e: return ValType::kI64;
+    case 0x7d: return ValType::kF32;
+    case 0x7c: return ValType::kF64;
+    default:
+      return InvalidArgumentError(
+          StrFormat("unsupported value type byte 0x%02x", byte));
+  }
+}
+
+std::string FuncType::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (i) out += ", ";
+    out += ValTypeName(params[i]);
+  }
+  out += ") -> (";
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i) out += ", ";
+    out += ValTypeName(results[i]);
+  }
+  out += ")";
+  return out;
+}
+
+std::string Value::ToString() const {
+  switch (type) {
+    case ValType::kI32: return StrFormat("i32:%d", i32);
+    case ValType::kI64: return StrFormat("i64:%lld", static_cast<long long>(i64));
+    case ValType::kF32: return StrFormat("f32:%g", static_cast<double>(f32));
+    case ValType::kF64: return StrFormat("f64:%g", f64);
+  }
+  return "?";
+}
+
+std::string_view TrapKindName(TrapKind kind) {
+  switch (kind) {
+    case TrapKind::kUnreachable: return "unreachable";
+    case TrapKind::kMemoryOutOfBounds: return "memory access out of bounds";
+    case TrapKind::kIntegerDivideByZero: return "integer divide by zero";
+    case TrapKind::kIntegerOverflow: return "integer overflow";
+    case TrapKind::kInvalidConversion: return "invalid conversion to integer";
+    case TrapKind::kStackExhausted: return "call stack exhausted";
+    case TrapKind::kFuelExhausted: return "fuel exhausted";
+    case TrapKind::kHostError: return "host function error";
+  }
+  return "unknown trap";
+}
+
+Status TrapToStatus(TrapKind kind, std::string detail) {
+  std::string message = "wasm trap: ";
+  message += TrapKindName(kind);
+  if (!detail.empty()) {
+    message += " (";
+    message += detail;
+    message += ")";
+  }
+  return AbortedError(std::move(message));
+}
+
+}  // namespace rr::wasm

@@ -1,0 +1,106 @@
+// Core WebAssembly type definitions: value types, function types, limits,
+// and the runtime Value representation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rr::wasm {
+
+// Binary encodings per the Wasm 1.0 spec.
+enum class ValType : uint8_t {
+  kI32 = 0x7f,
+  kI64 = 0x7e,
+  kF32 = 0x7d,
+  kF64 = 0x7c,
+};
+
+std::string_view ValTypeName(ValType t);
+Result<ValType> ValTypeFromByte(uint8_t byte);
+
+struct FuncType {
+  std::vector<ValType> params;
+  std::vector<ValType> results;
+
+  bool operator==(const FuncType& other) const = default;
+
+  std::string ToString() const;
+};
+
+// Memory limits in 64 KiB pages.
+struct Limits {
+  uint32_t min_pages = 0;
+  bool has_max = false;
+  uint32_t max_pages = 0;
+
+  bool operator==(const Limits& other) const = default;
+};
+
+inline constexpr uint32_t kWasmPageSize = 64 * 1024;
+// Hard cap on linear memory growth: 2 GiB (32768 pages). Keeps runaway guest
+// allocations from exhausting the benchmark host.
+inline constexpr uint32_t kDefaultMaxPages = 32768;
+
+// A runtime value. Tagged so host functions can type-check arguments.
+struct Value {
+  ValType type = ValType::kI32;
+  union {
+    int32_t i32;
+    int64_t i64;
+    float f32;
+    double f64;
+  };
+
+  Value() : i64(0) {}
+
+  static Value I32(int32_t v) {
+    Value out;
+    out.type = ValType::kI32;
+    out.i32 = v;
+    return out;
+  }
+  static Value I64(int64_t v) {
+    Value out;
+    out.type = ValType::kI64;
+    out.i64 = v;
+    return out;
+  }
+  static Value F32(float v) {
+    Value out;
+    out.type = ValType::kF32;
+    out.f32 = v;
+    return out;
+  }
+  static Value F64(double v) {
+    Value out;
+    out.type = ValType::kF64;
+    out.f64 = v;
+    return out;
+  }
+
+  uint32_t AsU32() const { return static_cast<uint32_t>(i32); }
+  uint64_t AsU64() const { return static_cast<uint64_t>(i64); }
+
+  std::string ToString() const;
+};
+
+// Reasons a Wasm computation can trap. Mirrors the spec's trap conditions.
+enum class TrapKind {
+  kUnreachable,
+  kMemoryOutOfBounds,
+  kIntegerDivideByZero,
+  kIntegerOverflow,
+  kInvalidConversion,
+  kStackExhausted,
+  kFuelExhausted,
+  kHostError,
+};
+
+std::string_view TrapKindName(TrapKind kind);
+
+Status TrapToStatus(TrapKind kind, std::string detail = {});
+
+}  // namespace rr::wasm

@@ -1,0 +1,201 @@
+#include "workload/guest_serde.h"
+
+#include "runtime/function.h"
+#include "wasm/builder.h"
+
+namespace rr::workload {
+namespace {
+
+using wasm::CodeEmitter;
+using wasm::Opcode;
+using wasm::ValType;
+
+constexpr int32_t kQuote = '"';
+constexpr int32_t kBackslash = '\\';
+constexpr int32_t kNewline = '\n';
+constexpr int32_t kLetterN = 'n';
+
+// Locals: 0=src 1=len 2=dst (params), 3=i, 4=o, 5=c.
+constexpr uint32_t kSrc = 0, kLen = 1, kDst = 2, kI = 3, kO = 4, kC = 5;
+
+// Emits: dst[o] = <value on stack produced by `value`>; ++o.
+template <typename EmitValue>
+void EmitStoreAndAdvance(CodeEmitter& code, EmitValue value) {
+  code.LocalGet(kDst).LocalGet(kO).I32Add();
+  value();
+  code.I32Store8();
+  code.LocalGet(kO).I32Const(1).I32Add().LocalSet(kO);
+}
+
+CodeEmitter BuildEscapeBody() {
+  CodeEmitter code;
+  code.Block();  // exit target (depth 1 inside the loop)
+  code.Loop();
+  // while (i < len)
+  code.LocalGet(kI).LocalGet(kLen).Op(Opcode::kI32GeU).BrIf(1);
+  // c = src[i]
+  code.LocalGet(kSrc).LocalGet(kI).I32Add().I32Load8U().LocalSet(kC);
+  // if (c == '"' || c == '\\') emit backslash + c
+  code.LocalGet(kC).I32Const(kQuote).Op(Opcode::kI32Eq);
+  code.LocalGet(kC).I32Const(kBackslash).Op(Opcode::kI32Eq);
+  code.Op(Opcode::kI32Or);
+  code.If();
+  EmitStoreAndAdvance(code, [&] { code.I32Const(kBackslash); });
+  EmitStoreAndAdvance(code, [&] { code.LocalGet(kC); });
+  code.Else();
+  // else if (c == '\n') emit backslash + 'n'
+  code.LocalGet(kC).I32Const(kNewline).Op(Opcode::kI32Eq);
+  code.If();
+  EmitStoreAndAdvance(code, [&] { code.I32Const(kBackslash); });
+  EmitStoreAndAdvance(code, [&] { code.I32Const(kLetterN); });
+  code.Else();
+  // else copy verbatim
+  EmitStoreAndAdvance(code, [&] { code.LocalGet(kC); });
+  code.End();
+  code.End();
+  // ++i; continue
+  code.LocalGet(kI).I32Const(1).I32Add().LocalSet(kI);
+  code.Br(0);
+  code.End();  // loop
+  code.End();  // block
+  code.LocalGet(kO);
+  code.End();
+  return code;
+}
+
+CodeEmitter BuildUnescapeBody() {
+  CodeEmitter code;
+  code.Block();
+  code.Loop();
+  code.LocalGet(kI).LocalGet(kLen).Op(Opcode::kI32GeU).BrIf(1);
+  code.LocalGet(kSrc).LocalGet(kI).I32Add().I32Load8U().LocalSet(kC);
+  // if (c == '\\') consume the escape
+  code.LocalGet(kC).I32Const(kBackslash).Op(Opcode::kI32Eq);
+  code.If();
+  {
+    // ++i; c = src[i]
+    code.LocalGet(kI).I32Const(1).I32Add().LocalSet(kI);
+    code.LocalGet(kSrc).LocalGet(kI).I32Add().I32Load8U().LocalSet(kC);
+    // 'n' -> newline, everything else is itself ('\\', '"').
+    code.LocalGet(kC).I32Const(kLetterN).Op(Opcode::kI32Eq);
+    code.If();
+    EmitStoreAndAdvance(code, [&] { code.I32Const(kNewline); });
+    code.Else();
+    EmitStoreAndAdvance(code, [&] { code.LocalGet(kC); });
+    code.End();
+  }
+  code.Else();
+  EmitStoreAndAdvance(code, [&] { code.LocalGet(kC); });
+  code.End();
+  code.LocalGet(kI).I32Const(1).I32Add().LocalSet(kI);
+  code.Br(0);
+  code.End();
+  code.End();
+  code.LocalGet(kO);
+  code.End();
+  return code;
+}
+
+Result<uint32_t> CallSerde(runtime::WasmSandbox& sandbox, std::string_view name,
+                           uint32_t src, uint32_t len, uint32_t dst) {
+  std::vector<wasm::Value> args = {
+      wasm::Value::I32(static_cast<int32_t>(src)),
+      wasm::Value::I32(static_cast<int32_t>(len)),
+      wasm::Value::I32(static_cast<int32_t>(dst))};
+  RR_ASSIGN_OR_RETURN(const std::vector<wasm::Value> results,
+                      sandbox.instance().CallExport(name, args));
+  return results[0].AsU32();
+}
+
+}  // namespace
+
+Bytes BuildGuestSerdeModuleBinary(uint32_t initial_pages) {
+  wasm::ModuleBuilder builder;
+  builder.SetMemory({.min_pages = initial_pages,
+                     .has_max = true,
+                     .max_pages = wasm::kDefaultMaxPages});
+
+  // Standard function-module ABI stubs (allocator wired by WasmSandbox).
+  CodeEmitter alloc_stub;
+  alloc_stub.Unreachable().End();
+  builder.ExportFunction(
+      std::string(runtime::kExportAllocate),
+      builder.AddFunction({{ValType::kI32}, {ValType::kI32}}, {}, alloc_stub));
+  CodeEmitter dealloc_stub;
+  dealloc_stub.Unreachable().End();
+  builder.ExportFunction(
+      std::string(runtime::kExportDeallocate),
+      builder.AddFunction({{ValType::kI32}, {}}, {}, dealloc_stub));
+  CodeEmitter handle_stub;
+  handle_stub.Unreachable().End();
+  builder.ExportFunction(
+      std::string(runtime::kExportHandle),
+      builder.AddFunction({{ValType::kI32, ValType::kI32}, {ValType::kI64}}, {},
+                          handle_stub));
+
+  const wasm::FuncType serde_type{{ValType::kI32, ValType::kI32, ValType::kI32},
+                                  {ValType::kI32}};
+  const std::vector<ValType> locals = {ValType::kI32, ValType::kI32,
+                                       ValType::kI32};  // i, o, c
+  builder.ExportFunction("escape",
+                         builder.AddFunction(serde_type, locals, BuildEscapeBody()));
+  builder.ExportFunction(
+      "unescape", builder.AddFunction(serde_type, locals, BuildUnescapeBody()));
+  builder.ExportMemory("memory");
+  return builder.Encode();
+}
+
+Result<std::unique_ptr<GuestSerde>> GuestSerde::Create() {
+  runtime::FunctionSpec spec;
+  spec.name = "guest-serde";
+  spec.workflow = "guest-serde";
+  RR_ASSIGN_OR_RETURN(auto sandbox, runtime::WasmSandbox::Create(
+                                        spec, BuildGuestSerdeModuleBinary()));
+  return std::unique_ptr<GuestSerde>(new GuestSerde(std::move(sandbox)));
+}
+
+Result<uint32_t> GuestSerde::EscapeInSandbox(runtime::WasmSandbox& sandbox,
+                                             uint32_t src, uint32_t len,
+                                             uint32_t dst) {
+  return CallSerde(sandbox, "escape", src, len, dst);
+}
+
+Result<uint32_t> GuestSerde::UnescapeInSandbox(runtime::WasmSandbox& sandbox,
+                                               uint32_t src, uint32_t len,
+                                               uint32_t dst) {
+  return CallSerde(sandbox, "unescape", src, len, dst);
+}
+
+Result<Bytes> GuestSerde::Escape(ByteSpan input) {
+  const uint32_t len = static_cast<uint32_t>(input.size());
+  RR_ASSIGN_OR_RETURN(const uint32_t src,
+                      sandbox_->AllocateMemory(std::max<uint32_t>(1, len)));
+  RR_RETURN_IF_ERROR(sandbox_->WriteMemoryHost(src, input));
+  RR_ASSIGN_OR_RETURN(const uint32_t dst,
+                      sandbox_->AllocateMemory(std::max<uint32_t>(1, 2 * len)));
+  RR_ASSIGN_OR_RETURN(const uint32_t out_len,
+                      EscapeInSandbox(*sandbox_, src, len, dst));
+  Bytes out(out_len);
+  RR_RETURN_IF_ERROR(sandbox_->ReadMemoryHost(dst, out));
+  RR_RETURN_IF_ERROR(sandbox_->DeallocateMemory(src));
+  RR_RETURN_IF_ERROR(sandbox_->DeallocateMemory(dst));
+  return out;
+}
+
+Result<Bytes> GuestSerde::Unescape(ByteSpan input) {
+  const uint32_t len = static_cast<uint32_t>(input.size());
+  RR_ASSIGN_OR_RETURN(const uint32_t src,
+                      sandbox_->AllocateMemory(std::max<uint32_t>(1, len)));
+  RR_RETURN_IF_ERROR(sandbox_->WriteMemoryHost(src, input));
+  RR_ASSIGN_OR_RETURN(const uint32_t dst,
+                      sandbox_->AllocateMemory(std::max<uint32_t>(1, len)));
+  RR_ASSIGN_OR_RETURN(const uint32_t out_len,
+                      UnescapeInSandbox(*sandbox_, src, len, dst));
+  Bytes out(out_len);
+  RR_RETURN_IF_ERROR(sandbox_->ReadMemoryHost(dst, out));
+  RR_RETURN_IF_ERROR(sandbox_->DeallocateMemory(src));
+  RR_RETURN_IF_ERROR(sandbox_->DeallocateMemory(dst));
+  return out;
+}
+
+}  // namespace rr::workload

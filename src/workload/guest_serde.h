@@ -1,0 +1,61 @@
+// Guest-side (bytecode) serialization kernels.
+//
+// The paper's WasmEdge baseline serializes *inside the Wasm VM*, and its
+// reported serialization share (up to 60% of execution, Fig. 2b) reflects
+// interpreter-mode execution. These modules implement the byte-level JSON
+// string escape/unescape — the dominant cost of serializing a large body —
+// as genuine WebAssembly bytecode, executed by rr::wasm's interpreter. The
+// WasmEdge driver's "interpreted serialization" option routes the body
+// through them, reproducing the interpreter-era cost regime.
+//
+// Exports (standard function-module ABI memory layout):
+//   escape(src: i32, len: i32, dst: i32) -> i32    escaped length
+//   unescape(src: i32, len: i32, dst: i32) -> i32  unescaped length
+//
+// Escape rules (the subset JSON needs for the workload's bodies): '"' and
+// '\\' become two-byte sequences; '\n' becomes "\n"; everything else copies
+// verbatim. `dst` must have room for 2*len bytes.
+#pragma once
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "runtime/wasm_sandbox.h"
+
+namespace rr::workload {
+
+// Builds the escape/unescape module binary (real .wasm bytes).
+Bytes BuildGuestSerdeModuleBinary(uint32_t initial_pages = 32);
+
+// Convenience wrapper owning an instantiated guest-serde module whose
+// memory is managed by a GuestAllocator.
+class GuestSerde {
+ public:
+  static Result<std::unique_ptr<GuestSerde>> Create();
+
+  // Escapes `input` inside the guest: stages it into linear memory, runs the
+  // interpreted `escape` export, and returns the escaped bytes.
+  Result<Bytes> Escape(ByteSpan input);
+  Result<Bytes> Unescape(ByteSpan input);
+
+  // Runs `escape` on data already resident in an existing sandbox's memory,
+  // writing into a caller-allocated destination region. Used by the
+  // WasmEdge driver where body and VM already exist.
+  static Result<uint32_t> EscapeInSandbox(runtime::WasmSandbox& sandbox,
+                                          uint32_t src, uint32_t len,
+                                          uint32_t dst);
+  static Result<uint32_t> UnescapeInSandbox(runtime::WasmSandbox& sandbox,
+                                            uint32_t src, uint32_t len,
+                                            uint32_t dst);
+
+  uint64_t instructions_executed() const {
+    return sandbox_->instance().instructions_executed();
+  }
+
+ private:
+  explicit GuestSerde(std::unique_ptr<runtime::WasmSandbox> sandbox)
+      : sandbox_(std::move(sandbox)) {}
+
+  std::unique_ptr<runtime::WasmSandbox> sandbox_;
+};
+
+}  // namespace rr::workload

@@ -1,0 +1,92 @@
+#include "workload/image.h"
+
+#include <array>
+
+#include "common/rng.h"
+
+namespace rr::workload {
+
+Image MakeTestImage(uint32_t width, uint32_t height, uint64_t seed) {
+  Image image;
+  image.width = width;
+  image.height = height;
+  image.rgba.resize(static_cast<size_t>(width) * height * 4);
+  Rng rng(seed);
+  size_t i = 0;
+  for (uint32_t y = 0; y < height; ++y) {
+    for (uint32_t x = 0; x < width; ++x) {
+      const uint8_t noise = static_cast<uint8_t>(rng.NextBelow(32));
+      image.rgba[i++] = static_cast<uint8_t>((x * 255) / std::max(1u, width - 1));
+      image.rgba[i++] = static_cast<uint8_t>((y * 255) / std::max(1u, height - 1));
+      image.rgba[i++] = static_cast<uint8_t>((x ^ y) & 0xff);
+      image.rgba[i++] = static_cast<uint8_t>(255 - noise);
+    }
+  }
+  return image;
+}
+
+Result<Image> DownscaleHalf(const Image& input) {
+  if (input.width < 2 || input.height < 2) {
+    return InvalidArgumentError("image too small to downscale");
+  }
+  if (input.rgba.size() != static_cast<size_t>(input.width) * input.height * 4) {
+    return InvalidArgumentError("image buffer size mismatch");
+  }
+  Image out;
+  out.width = input.width / 2;
+  out.height = input.height / 2;
+  out.rgba.resize(static_cast<size_t>(out.width) * out.height * 4);
+
+  const auto at = [&](uint32_t x, uint32_t y, uint32_t c) -> uint32_t {
+    return input.rgba[(static_cast<size_t>(y) * input.width + x) * 4 + c];
+  };
+  size_t o = 0;
+  for (uint32_t y = 0; y < out.height; ++y) {
+    for (uint32_t x = 0; x < out.width; ++x) {
+      for (uint32_t c = 0; c < 4; ++c) {
+        const uint32_t sum = at(2 * x, 2 * y, c) + at(2 * x + 1, 2 * y, c) +
+                             at(2 * x, 2 * y + 1, c) + at(2 * x + 1, 2 * y + 1, c);
+        out.rgba[o++] = static_cast<uint8_t>(sum / 4);
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::array<uint64_t, 256>> LuminanceHistogram(const Image& input) {
+  if (input.rgba.size() != static_cast<size_t>(input.width) * input.height * 4) {
+    return InvalidArgumentError("image buffer size mismatch");
+  }
+  std::array<uint64_t, 256> bins{};
+  for (size_t i = 0; i + 3 < input.rgba.size(); i += 4) {
+    // Integer BT.601 luma.
+    const uint32_t luma = (299 * input.rgba[i] + 587 * input.rgba[i + 1] +
+                           114 * input.rgba[i + 2]) /
+                          1000;
+    ++bins[luma > 255 ? 255 : luma];
+  }
+  return bins;
+}
+
+Bytes EncodeImage(const Image& image) {
+  Bytes out(8 + image.rgba.size());
+  StoreLE<uint32_t>(out.data(), image.width);
+  StoreLE<uint32_t>(out.data() + 4, image.height);
+  std::copy(image.rgba.begin(), image.rgba.end(), out.begin() + 8);
+  return out;
+}
+
+Result<Image> DecodeImage(ByteSpan data) {
+  if (data.size() < 8) return DataLossError("image header truncated");
+  Image image;
+  image.width = LoadLE<uint32_t>(data.data());
+  image.height = LoadLE<uint32_t>(data.data() + 4);
+  const uint64_t expected = static_cast<uint64_t>(image.width) * image.height * 4;
+  if (data.size() - 8 != expected) {
+    return InvalidArgumentError("image payload size mismatch");
+  }
+  image.rgba.assign(data.begin() + 8, data.end());
+  return image;
+}
+
+}  // namespace rr::workload

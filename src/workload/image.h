@@ -1,0 +1,37 @@
+// Tiny image-processing kernels for the "Resize Image" workload of Fig. 2a
+// and the ML-style image pipeline example. Self-contained RGBA buffers —
+// the paper's motivating edge workload is frame extraction + resize +
+// inference over ephemeral image data (§1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace rr::workload {
+
+struct Image {
+  uint32_t width = 0;
+  uint32_t height = 0;
+  Bytes rgba;  // width * height * 4
+
+  size_t byte_size() const { return rgba.size(); }
+};
+
+// Deterministic synthetic frame (gradient + seeded noise).
+Image MakeTestImage(uint32_t width, uint32_t height, uint64_t seed = 1);
+
+// 2x2 box-filter downscale (the classic thumbnail kernel).
+Result<Image> DownscaleHalf(const Image& input);
+
+// Greyscale luminance histogram, 256 bins — the "analytics" stage.
+Result<std::array<uint64_t, 256>> LuminanceHistogram(const Image& input);
+
+// Serializes an image to a self-describing byte buffer and back (raw, no
+// compression: the payload the pipeline ships between functions).
+Bytes EncodeImage(const Image& image);
+Result<Image> DecodeImage(ByteSpan data);
+
+}  // namespace rr::workload

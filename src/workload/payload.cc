@@ -1,0 +1,63 @@
+#include "workload/payload.h"
+
+#include "common/rng.h"
+
+namespace rr::workload {
+
+std::string MakeBody(size_t size, uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + size);
+  // Block-structured text: cheaper to generate than per-char while still
+  // exercising the serializer's escape scanning over every byte.
+  static constexpr std::string_view kBlock =
+      "{\"sensor\":\"cam-07\",\"frame\":1234,\"ts\":99182737,\"vals\":[0.12,"
+      "3.4,5.21,9.01],\"tag\":\"edge-ingest\"} ";
+  std::string body;
+  body.reserve(size);
+  while (body.size() + kBlock.size() <= size) {
+    body.append(kBlock);
+    // Perturb one character per block so content is not trivially compressible.
+    body[body.size() - 2] =
+        static_cast<char>('a' + static_cast<char>(rng.NextBelow(26)));
+  }
+  while (body.size() < size) {
+    body.push_back(static_cast<char>('a' + static_cast<char>(rng.NextBelow(26))));
+  }
+  return body;
+}
+
+serde::Record MakeRecord(size_t body_size, uint64_t id) {
+  serde::Record record;
+  record.id = id;
+  record.source = "function-a";
+  record.destination = "function-b";
+  record.timestamp_ns = 1700000000ull * 1000000000ull + id;
+  record.content_type = "application/json";
+  record.body = MakeBody(body_size, id);
+  return record;
+}
+
+uint64_t BodyChecksum(ByteSpan body) { return Fnv1a(body); }
+
+uint64_t SampledChecksum(ByteSpan body) {
+  constexpr size_t kEdge = 4096;
+  uint64_t h = 0xcbf29ce484222325ULL ^ body.size();
+  const auto mix = [&h](ByteSpan chunk) {
+    h ^= Fnv1a(chunk);
+    h *= 0x100000001b3ULL;
+  };
+  if (body.size() <= 2 * kEdge) {
+    mix(body);
+    return h;
+  }
+  mix(body.first(kEdge));
+  mix(body.last(kEdge));
+  // 16 strided 64-byte probes through the interior.
+  const size_t stride = (body.size() - 2 * kEdge) / 16;
+  for (size_t i = 0; i < 16; ++i) {
+    const size_t at = kEdge + i * stride;
+    mix(body.subspan(at, std::min<size_t>(64, body.size() - at)));
+  }
+  return h;
+}
+
+}  // namespace rr::workload

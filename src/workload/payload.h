@@ -1,0 +1,31 @@
+// Deterministic payload generation for the evaluation workloads.
+//
+// §6.1: payloads are "serialized strings ... reflecting structured data
+// commonly exchanged between serverless functions". Bodies are printable
+// text (JSON-escape-light, like real structured data), generated
+// deterministically so every runtime moves byte-identical data.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.h"
+#include "serde/record.h"
+
+namespace rr::workload {
+
+// Body of exactly `size` bytes, deterministic in (size, seed).
+std::string MakeBody(size_t size, uint64_t seed = 1);
+
+// A fully-populated record around a generated body.
+serde::Record MakeRecord(size_t body_size, uint64_t id = 1);
+
+// Checksum used by consumer functions to prove they received the payload.
+uint64_t BodyChecksum(ByteSpan body);
+
+// O(1)-ish integrity probe for the benchmark hot path: hashes the length,
+// the first and last 4 KiB, and strided samples. Detects truncation,
+// reordering and boundary corruption without an O(n) scan inside the timed
+// section (full-scan verification stays in the unit/integration tests).
+uint64_t SampledChecksum(ByteSpan body);
+
+}  // namespace rr::workload

@@ -1,0 +1,54 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace rr {
+namespace {
+
+TEST(BytesTest, StringRoundTrip) {
+  const std::string s = "hello roadrunner";
+  const Bytes b = ToBytes(s);
+  EXPECT_EQ(ToString(b), s);
+  EXPECT_EQ(AsStringView(b), s);
+}
+
+TEST(BytesTest, LoadStoreLittleEndian) {
+  uint8_t buf[8] = {};
+  StoreLE<uint32_t>(buf, 0x11223344);
+  EXPECT_EQ(buf[0], 0x44);
+  EXPECT_EQ(buf[3], 0x11);
+  EXPECT_EQ(LoadLE<uint32_t>(buf), 0x11223344u);
+
+  StoreLE<uint64_t>(buf, 0x0102030405060708ULL);
+  EXPECT_EQ(LoadLE<uint64_t>(buf), 0x0102030405060708ULL);
+}
+
+TEST(BytesTest, Fnv1aKnownValues) {
+  // FNV-1a of empty input is the offset basis.
+  EXPECT_EQ(Fnv1a({}), 0xcbf29ce484222325ULL);
+  // Differs for different content.
+  EXPECT_NE(Fnv1a(AsBytes("a")), Fnv1a(AsBytes("b")));
+  // Deterministic.
+  EXPECT_EQ(Fnv1a(AsBytes("payload")), Fnv1a(AsBytes("payload")));
+}
+
+TEST(BytesTest, FormatSize) {
+  EXPECT_EQ(FormatSize(512), "512 B");
+  EXPECT_EQ(FormatSize(1536), "1.50 KB");
+  EXPECT_EQ(FormatSize(100ull * 1024 * 1024), "100.00 MB");
+}
+
+TEST(BytesTest, HexDumpTruncates) {
+  Bytes data(100, 0xab);
+  const std::string dump = HexDump(data, 4);
+  EXPECT_EQ(dump, "ab ab ab ab ...");
+}
+
+TEST(BytesTest, AppendBytes) {
+  Bytes out = ToBytes("ab");
+  AppendBytes(out, AsBytes("cd"));
+  EXPECT_EQ(ToString(out), "abcd");
+}
+
+}  // namespace
+}  // namespace rr

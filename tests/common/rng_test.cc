@@ -1,0 +1,59 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rr {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, FillCoversWholeBuffer) {
+  Rng rng(11);
+  Bytes buf(37, 0);  // odd size exercises the tail path
+  rng.Fill(buf);
+  // Statistically impossible for all bytes to stay zero.
+  int nonzero = 0;
+  for (uint8_t b : buf) nonzero += b != 0;
+  EXPECT_GT(nonzero, 20);
+}
+
+TEST(RngTest, NextStringAlphabet) {
+  Rng rng(13);
+  const std::string s = rng.NextString(500);
+  EXPECT_EQ(s.size(), 500u);
+  for (char c : s) {
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == ' ')
+        << "unexpected char: " << c;
+  }
+}
+
+}  // namespace
+}  // namespace rr

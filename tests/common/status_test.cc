@@ -1,0 +1,85 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace rr {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = InvalidArgumentError("bad payload");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad payload");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad payload");
+}
+
+TEST(StatusTest, ErrnoMapping) {
+  EXPECT_EQ(ErrnoToStatus(EINVAL, "x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ErrnoToStatus(ENOENT, "x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(ErrnoToStatus(EPIPE, "x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(ErrnoToStatus(ECONNREFUSED, "x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(ErrnoToStatus(ETIMEDOUT, "x").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(ErrnoToStatus(EIO, "x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(NotFoundError("gone"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Status FailsIfNegative(int x) {
+  if (x < 0) return InvalidArgumentError("negative");
+  return Status::Ok();
+}
+
+Status Chained(int x) {
+  RR_RETURN_IF_ERROR(FailsIfNegative(x));
+  return Status::Ok();
+}
+
+Result<int> Doubled(int x) {
+  if (x < 0) return InvalidArgumentError("negative");
+  return 2 * x;
+}
+
+Result<int> UsesAssign(int x) {
+  RR_ASSIGN_OR_RETURN(const int d, Doubled(x));
+  return d + 1;
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Chained(1).ok());
+  EXPECT_EQ(Chained(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  ASSERT_TRUE(UsesAssign(3).ok());
+  EXPECT_EQ(*UsesAssign(3), 7);
+  EXPECT_EQ(UsesAssign(-3).status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace rr

@@ -1,0 +1,60 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace rr {
+namespace {
+
+TEST(StringsTest, Split) {
+  const auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringsTest, SplitNoSeparator) {
+  const auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringsTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  x \t\r\n"), "x");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace("a b"), "a b");
+}
+
+TEST(StringsTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("Content-Length", "content-length"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+  EXPECT_FALSE(EqualsIgnoreCase("x", "y"));
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+}
+
+TEST(StringsTest, ParseUint64) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUint64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &v));
+  EXPECT_EQ(v, UINT64_MAX);
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &v));  // overflow
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("12a", &v));
+  EXPECT_FALSE(ParseUint64("-1", &v));
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("http://x", "http://"));
+  EXPECT_FALSE(StartsWith("ftp://x", "http://"));
+  EXPECT_FALSE(StartsWith("ht", "http"));
+}
+
+}  // namespace
+}  // namespace rr

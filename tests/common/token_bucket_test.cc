@@ -1,0 +1,44 @@
+#include "common/token_bucket.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+
+namespace rr {
+namespace {
+
+TEST(TokenBucketTest, BurstPassesImmediately) {
+  TokenBucket bucket(1e6, 1024);
+  const Stopwatch timer;
+  bucket.Consume(1024);
+  EXPECT_LT(timer.ElapsedMillis(), 50.0);
+}
+
+TEST(TokenBucketTest, SustainedRateIsEnforced) {
+  // 1 MB/s, consume 200 KB beyond the 100 KB burst => at least ~100 ms.
+  TokenBucket bucket(1'000'000, 100'000);
+  const Stopwatch timer;
+  bucket.Consume(300'000);
+  EXPECT_GE(timer.ElapsedMillis(), 150.0);  // (300-100)KB / 1MBps = 200ms nominal
+  EXPECT_LT(timer.ElapsedMillis(), 2000.0);
+}
+
+TEST(TokenBucketTest, TryConsumeDoesNotBlock) {
+  TokenBucket bucket(1000, 100);
+  EXPECT_TRUE(bucket.TryConsume(100));
+  EXPECT_FALSE(bucket.TryConsume(100));  // bucket drained
+  const Stopwatch timer;
+  (void)bucket.TryConsume(1000);
+  EXPECT_LT(timer.ElapsedMillis(), 10.0);
+}
+
+TEST(TokenBucketTest, RefillsOverTime) {
+  TokenBucket bucket(100'000, 1000);
+  ASSERT_TRUE(bucket.TryConsume(1000));
+  EXPECT_FALSE(bucket.TryConsume(1000));
+  PreciseSleep(std::chrono::milliseconds(20));  // ~2000 tokens refilled, cap 1000
+  EXPECT_TRUE(bucket.TryConsume(1000));
+}
+
+}  // namespace
+}  // namespace rr

@@ -1,0 +1,315 @@
+// Channel tests: user-space, kernel-space and network transfer in both copy
+// modes, including trust enforcement and failure injection.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/rng.h"
+#include "core/kernel_channel.h"
+#include "core/network_channel.h"
+#include "core/user_channel.h"
+#include "runtime/function.h"
+
+namespace rr::core {
+namespace {
+
+runtime::FunctionSpec Spec(const std::string& name,
+                           const std::string& workflow = "wf",
+                           const std::string& tenant = "default") {
+  runtime::FunctionSpec spec;
+  spec.name = name;
+  spec.workflow = workflow;
+  spec.tenant = tenant;
+  return spec;
+}
+
+const Bytes& Binary() {
+  static const Bytes binary = runtime::BuildFunctionModuleBinary();
+  return binary;
+}
+
+std::unique_ptr<Shim> MakeShim(const std::string& name,
+                               const std::string& workflow = "wf",
+                               const std::string& tenant = "default") {
+  auto shim = Shim::Create(Spec(name, workflow, tenant), Binary());
+  EXPECT_TRUE(shim.ok()) << shim.status();
+  if (shim.ok()) {
+    EXPECT_TRUE((*shim)
+                    ->Deploy([](ByteSpan input) -> Result<Bytes> {
+                      return Bytes(input.begin(), input.end());
+                    })
+                    .ok());
+  }
+  return shim.ok() ? std::move(*shim) : nullptr;
+}
+
+// Stages bytes as a source function's output region.
+MemoryRegion Stage(Shim& shim, ByteSpan data) {
+  auto addr = shim.data().allocate_memory(
+      std::max<uint32_t>(1, static_cast<uint32_t>(data.size())));
+  EXPECT_TRUE(addr.ok());
+  EXPECT_TRUE(shim.data().write_memory_host(data, *addr).ok());
+  return {*addr, static_cast<uint32_t>(data.size())};
+}
+
+// ---------------------------------------------------------------------------
+// User space
+// ---------------------------------------------------------------------------
+
+TEST(UserChannelTest, TransfersBytesBetweenModules) {
+  runtime::WasmVm vm("wf");
+  auto a = Shim::CreateInVm(vm, Spec("a"), Binary());
+  auto b = Shim::CreateInVm(vm, Spec("b"), Binary());
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  const MemoryRegion staged = Stage(**a, AsBytes("user space bytes"));
+  auto channel = UserSpaceChannel::Create(a->get(), b->get());
+  ASSERT_TRUE(channel.ok()) << channel.status();
+  auto delivered = channel->Transfer(staged);
+  ASSERT_TRUE(delivered.ok()) << delivered.status();
+
+  auto view = (*b)->data().read_memory_host(delivered->address,
+                                            delivered->length);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(AsStringView(*view), "user space bytes");
+  EXPECT_EQ(channel->bytes_transferred(), 16u);
+}
+
+TEST(UserChannelTest, CrossWorkflowDenied) {
+  auto a = MakeShim("a", "workflow-1");
+  auto b = MakeShim("b", "workflow-2");
+  auto channel = UserSpaceChannel::Create(a.get(), b.get());
+  ASSERT_FALSE(channel.ok());
+  EXPECT_EQ(channel.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST(UserChannelTest, CrossTenantDenied) {
+  auto a = MakeShim("a", "wf", "tenant-1");
+  auto b = MakeShim("b", "wf", "tenant-2");
+  auto channel = UserSpaceChannel::Create(a.get(), b.get());
+  ASSERT_FALSE(channel.ok());
+  EXPECT_EQ(channel.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST(UserChannelTest, TransferAndInvokeRunsTarget) {
+  runtime::WasmVm vm("wf");
+  auto a = Shim::CreateInVm(vm, Spec("a"), Binary());
+  auto b = Shim::CreateInVm(vm, Spec("b"), Binary());
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE((*b)
+                  ->Deploy([](ByteSpan input) -> Result<Bytes> {
+                    return ToBytes("got " + std::to_string(input.size()));
+                  })
+                  .ok());
+  const MemoryRegion staged = Stage(**a, AsBytes("12345"));
+  auto channel = UserSpaceChannel::Create(a->get(), b->get());
+  ASSERT_TRUE(channel.ok());
+  auto outcome = channel->TransferAndInvoke(staged);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  auto view = (*b)->OutputView(outcome->output);
+  EXPECT_EQ(AsStringView(*view), "got 5");
+}
+
+TEST(UserChannelTest, UnstagedRegionDenied) {
+  runtime::WasmVm vm("wf");
+  auto a = Shim::CreateInVm(vm, Spec("a"), Binary());
+  auto b = Shim::CreateInVm(vm, Spec("b"), Binary());
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto channel = UserSpaceChannel::Create(a->get(), b->get());
+  ASSERT_TRUE(channel.ok());
+  // Region never registered in a.
+  auto delivered = channel->Transfer(MemoryRegion{1024, 64});
+  ASSERT_FALSE(delivered.ok());
+  EXPECT_EQ(delivered.status().code(), StatusCode::kPermissionDenied);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel space
+// ---------------------------------------------------------------------------
+
+class KernelChannelModes : public ::testing::TestWithParam<CopyMode> {};
+
+TEST_P(KernelChannelModes, RoundTripOverUnixSocket) {
+  auto a = MakeShim("a");
+  auto b = MakeShim("b");
+  auto pair = MakeKernelChannelPair();
+  ASSERT_TRUE(pair.ok());
+
+  Rng rng(17);
+  Bytes payload(300 * 1024);
+  rng.Fill(payload);
+  const MemoryRegion staged = Stage(*a, payload);
+
+  Status send_status;
+  std::thread sender([&] {
+    send_status = pair->first.Send(*a, staged, GetParam());
+  });
+  auto delivered = pair->second.ReceiveInto(*b, GetParam());
+  sender.join();
+  ASSERT_TRUE(send_status.ok()) << send_status;
+  ASSERT_TRUE(delivered.ok()) << delivered.status();
+
+  auto view = b->data().read_memory_host(delivered->address, delivered->length);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(Fnv1a(*view), Fnv1a(payload));
+  EXPECT_EQ(pair->first.bytes_sent(), payload.size());
+  EXPECT_EQ(pair->second.bytes_received(), payload.size());
+}
+
+TEST_P(KernelChannelModes, TimingAttributionConsistent) {
+  auto a = MakeShim("a");
+  auto b = MakeShim("b");
+  auto pair = MakeKernelChannelPair();
+  ASSERT_TRUE(pair.ok());
+  const MemoryRegion staged = Stage(*a, Bytes(1 << 20, 0x55));
+
+  Status send_status;
+  std::thread sender([&] { send_status = pair->first.Send(*a, staged, GetParam()); });
+  auto delivered = pair->second.ReceiveInto(*b, GetParam());
+  sender.join();
+  ASSERT_TRUE(send_status.ok() && delivered.ok());
+
+  const TransferTiming& send_timing = pair->first.last_timing();
+  const TransferTiming& recv_timing = pair->second.last_timing();
+  EXPECT_GT(send_timing.transfer.count(), 0);
+  EXPECT_GT(recv_timing.transfer.count(), 0);
+  if (GetParam() == CopyMode::kShimStaging) {
+    // Staging copies must be visible as Wasm VM I/O on both sides.
+    EXPECT_GT(send_timing.wasm_io.count(), 0);
+    EXPECT_GT(recv_timing.wasm_io.count(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, KernelChannelModes,
+                         ::testing::Values(CopyMode::kShimStaging,
+                                           CopyMode::kDirectGuest));
+
+TEST(KernelChannelTest, ListenerAcceptsNamedSocket) {
+  const std::string path = "@rr-kernel-chan-" + std::to_string(::getpid());
+  auto listener = KernelChannelListener::Bind(path);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+
+  auto a = MakeShim("a");
+  auto b = MakeShim("b");
+
+  std::thread connector([&] {
+    auto sender = KernelChannelSender::Connect(path);
+    ASSERT_TRUE(sender.ok());
+    const MemoryRegion staged = Stage(*a, AsBytes("via named socket"));
+    ASSERT_TRUE(sender->Send(*a, staged).ok());
+  });
+  auto receiver = listener->Accept();
+  ASSERT_TRUE(receiver.ok());
+  auto delivered = receiver->ReceiveInto(*b);
+  connector.join();
+  ASSERT_TRUE(delivered.ok()) << delivered.status();
+  auto view = b->data().read_memory_host(delivered->address, delivered->length);
+  EXPECT_EQ(AsStringView(*view), "via named socket");
+}
+
+TEST(KernelChannelTest, PeerDisappearanceSurfacesError) {
+  auto b = MakeShim("b");
+  auto pair = MakeKernelChannelPair();
+  ASSERT_TRUE(pair.ok());
+  {
+    // Sender goes away mid-frame: write the header then drop the connection.
+    KernelChannelSender dead = std::move(pair->first);
+    (void)dead;  // destroyed here
+  }
+  auto delivered = pair->second.ReceiveInto(*b);
+  EXPECT_FALSE(delivered.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Network
+// ---------------------------------------------------------------------------
+
+class NetworkChannelModes : public ::testing::TestWithParam<CopyMode> {};
+
+TEST_P(NetworkChannelModes, RoundTripOverTcp) {
+  auto a = MakeShim("a");
+  auto b = MakeShim("b");
+  auto listener = NetworkChannelListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  auto sender = NetworkChannelSender::Connect("127.0.0.1", listener->port());
+  ASSERT_TRUE(sender.ok());
+  auto receiver = listener->Accept();
+  ASSERT_TRUE(receiver.ok());
+
+  Rng rng(23);
+  Bytes payload(2 * 1024 * 1024 + 333);
+  rng.Fill(payload);
+  const MemoryRegion staged = Stage(*a, payload);
+
+  Status send_status;
+  std::thread send_thread([&] {
+    send_status = sender->Send(*a, staged, GetParam());
+  });
+  auto delivered = receiver->ReceiveInto(*b, GetParam());
+  send_thread.join();
+  ASSERT_TRUE(send_status.ok()) << send_status;
+  ASSERT_TRUE(delivered.ok()) << delivered.status();
+
+  auto view = b->data().read_memory_host(delivered->address, delivered->length);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(Fnv1a(*view), Fnv1a(payload));
+}
+
+TEST_P(NetworkChannelModes, BackToBackTransfersDoNotCorrupt) {
+  // Regression guard for the vmsplice page-reuse hazard: consecutive sends
+  // reusing the staging buffer must not corrupt earlier frames.
+  auto a = MakeShim("a");
+  auto b = MakeShim("b");
+  auto listener = NetworkChannelListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  auto sender = NetworkChannelSender::Connect("127.0.0.1", listener->port());
+  auto receiver = listener->Accept();
+  ASSERT_TRUE(sender.ok() && receiver.ok());
+
+  for (int round = 0; round < 5; ++round) {
+    Bytes payload(512 * 1024, static_cast<uint8_t>('A' + round));
+    const MemoryRegion staged = Stage(*a, payload);
+    Status send_status;
+    std::thread send_thread([&] {
+      send_status = sender->Send(*a, staged, GetParam());
+    });
+    auto delivered = receiver->ReceiveInto(*b, GetParam());
+    send_thread.join();
+    ASSERT_TRUE(send_status.ok() && delivered.ok());
+    auto view = b->data().read_memory_host(delivered->address, delivered->length);
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(Fnv1a(*view), Fnv1a(payload)) << "round " << round;
+    ASSERT_TRUE(b->ReleaseRegion(*delivered).ok());
+    ASSERT_TRUE(a->data().deallocate_memory(staged.address).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, NetworkChannelModes,
+                         ::testing::Values(CopyMode::kShimStaging,
+                                           CopyMode::kDirectGuest));
+
+TEST(NetworkChannelTest, ImplausibleHeaderRejected) {
+  auto b = MakeShim("b");
+  auto listener = NetworkChannelListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  auto raw = osal::TcpConnect("127.0.0.1", listener->port());
+  ASSERT_TRUE(raw.ok());
+  auto receiver = listener->Accept();
+  ASSERT_TRUE(receiver.ok());
+
+  uint8_t header[8];
+  StoreLE<uint64_t>(header, UINT64_MAX);
+  ASSERT_TRUE(raw->Send(ByteSpan(header, 8)).ok());
+  auto delivered = receiver->ReceiveInto(*b);
+  ASSERT_FALSE(delivered.ok());
+  EXPECT_EQ(delivered.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(NetworkChannelTest, VirtualDataHoseReportsSpliceUse) {
+  auto hose = VirtualDataHose::Create();
+  ASSERT_TRUE(hose.ok());
+  EXPECT_TRUE(hose->using_splice());  // this kernel supports it (probed)
+}
+
+}  // namespace
+}  // namespace rr::core

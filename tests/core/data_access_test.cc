@@ -1,0 +1,151 @@
+// Tests for the Table 1 API surface and the §3.1 security rules
+// (pre-registered regions, bounds checks, isolation).
+#include "core/data_access.h"
+
+#include <gtest/gtest.h>
+
+#include "runtime/function.h"
+
+namespace rr::core {
+namespace {
+
+class DataAccessTest : public ::testing::Test {
+ protected:
+  DataAccessTest() {
+    const Bytes binary = runtime::BuildFunctionModuleBinary();
+    runtime::FunctionSpec spec;
+    spec.name = "fn";
+    spec.workflow = "wf";
+    auto sandbox = runtime::WasmSandbox::Create(spec, binary);
+    EXPECT_TRUE(sandbox.ok()) << sandbox.status();
+    sandbox_ = std::move(*sandbox);
+    data_ = std::make_unique<DataAccess>(sandbox_.get());
+  }
+
+  std::unique_ptr<runtime::WasmSandbox> sandbox_;
+  std::unique_ptr<DataAccess> data_;
+};
+
+TEST_F(DataAccessTest, AllocateRegistersRegion) {
+  auto addr = data_->allocate_memory(256);
+  ASSERT_TRUE(addr.ok()) << addr.status();
+  EXPECT_TRUE(data_->IsRegistered(*addr, 256));
+  EXPECT_TRUE(data_->IsRegistered(*addr + 10, 100));  // nested access ok
+  EXPECT_FALSE(data_->IsRegistered(*addr, 257));      // past the region
+}
+
+TEST_F(DataAccessTest, WriteThenReadThroughShimApis) {
+  auto addr = data_->allocate_memory(64);
+  ASSERT_TRUE(addr.ok());
+  ASSERT_TRUE(data_->write_memory_host(AsBytes("table one"), *addr).ok());
+  auto view = data_->read_memory_host(*addr, 9);
+  ASSERT_TRUE(view.ok()) << view.status();
+  EXPECT_EQ(AsStringView(*view), "table one");
+
+  auto guest_copy = data_->read_memory_wasm(*addr, 9);
+  ASSERT_TRUE(guest_copy.ok());
+  EXPECT_EQ(ToString(*guest_copy), "table one");
+}
+
+TEST_F(DataAccessTest, UnregisteredAccessDenied) {
+  // Address 128 is valid memory but was never registered: the shim must be
+  // refused (§3.1: access restricted to pre-registered regions).
+  auto read = data_->read_memory_host(128, 8);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kPermissionDenied);
+
+  const Status write = data_->write_memory_host(AsBytes("x"), 128);
+  EXPECT_EQ(write.code(), StatusCode::kPermissionDenied);
+
+  EXPECT_EQ(data_->send_to_host(128, 8).code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(data_->deallocate_memory(128).code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(DataAccessTest, AccessStraddlingRegionsDenied) {
+  auto a = data_->allocate_memory(64);
+  auto b = data_->allocate_memory(64);
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Regions are adjacent in the heap but the shim may not read across them
+  // with a single span.
+  const uint32_t lo = std::min(*a, *b);
+  EXPECT_FALSE(data_->IsRegistered(lo, 130));
+  EXPECT_FALSE(data_->read_memory_host(lo, 130).ok());
+}
+
+TEST_F(DataAccessTest, DeallocateRevokesAccess) {
+  auto addr = data_->allocate_memory(64);
+  ASSERT_TRUE(addr.ok());
+  ASSERT_TRUE(data_->deallocate_memory(*addr).ok());
+  EXPECT_FALSE(data_->IsRegistered(*addr, 64));
+  EXPECT_FALSE(data_->read_memory_host(*addr, 8).ok());
+}
+
+TEST_F(DataAccessTest, LocateMemoryRegionFromAliasingSpan) {
+  auto addr = data_->allocate_memory(32);
+  ASSERT_TRUE(addr.ok());
+  ASSERT_TRUE(data_->write_memory_host(AsBytes("locate me!"), *addr).ok());
+  auto view = sandbox_->SliceMemory(*addr, 10);
+  ASSERT_TRUE(view.ok());
+
+  auto region = data_->locate_memory_region(*view);
+  ASSERT_TRUE(region.ok()) << region.status();
+  EXPECT_EQ(region->address, *addr);
+  EXPECT_EQ(region->length, 10u);
+}
+
+TEST_F(DataAccessTest, LocateRejectsForeignPointers) {
+  const Bytes host_buffer(64, 0x7f);
+  auto region = data_->locate_memory_region(host_buffer);
+  ASSERT_FALSE(region.ok());
+  EXPECT_EQ(region.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DataAccessTest, SendToHostStagesOutput) {
+  auto addr = data_->allocate_memory(16);
+  ASSERT_TRUE(addr.ok());
+  EXPECT_FALSE(data_->TakeStagedOutput().has_value());
+  ASSERT_TRUE(data_->send_to_host(*addr, 16).ok());
+  auto staged = data_->TakeStagedOutput();
+  ASSERT_TRUE(staged.has_value());
+  EXPECT_EQ(staged->address, *addr);
+  EXPECT_EQ(staged->length, 16u);
+  // Consumed: a second take yields nothing.
+  EXPECT_FALSE(data_->TakeStagedOutput().has_value());
+}
+
+TEST_F(DataAccessTest, DeallocateClearsStagedOutput) {
+  auto addr = data_->allocate_memory(16);
+  ASSERT_TRUE(addr.ok());
+  ASSERT_TRUE(data_->send_to_host(*addr, 16).ok());
+  ASSERT_TRUE(data_->deallocate_memory(*addr).ok());
+  EXPECT_FALSE(data_->TakeStagedOutput().has_value());
+}
+
+TEST_F(DataAccessTest, RegisterRegionBoundsChecked) {
+  const uint32_t memory_size =
+      static_cast<uint32_t>(sandbox_->instance().memory()->byte_size());
+  EXPECT_FALSE(data_->RegisterRegion({memory_size - 4, 8}).ok());
+  EXPECT_TRUE(data_->RegisterRegion({memory_size - 8, 8}).ok());
+}
+
+TEST_F(DataAccessTest, TwoSandboxesAreIsolated) {
+  // A second function's DataAccess cannot read regions of the first, even
+  // with identical addresses: each goes through its own linear memory.
+  const Bytes binary = runtime::BuildFunctionModuleBinary();
+  runtime::FunctionSpec spec;
+  spec.name = "other";
+  spec.workflow = "wf";
+  auto other_sandbox = runtime::WasmSandbox::Create(spec, binary);
+  ASSERT_TRUE(other_sandbox.ok());
+  DataAccess other((*other_sandbox).get());
+
+  auto addr = data_->allocate_memory(32);
+  ASSERT_TRUE(addr.ok());
+  ASSERT_TRUE(data_->write_memory_host(AsBytes("private!"), *addr).ok());
+
+  // Same numeric address, different sandbox: not registered there.
+  EXPECT_FALSE(other.read_memory_host(*addr, 8).ok());
+}
+
+}  // namespace
+}  // namespace rr::core

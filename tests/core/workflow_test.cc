@@ -1,0 +1,194 @@
+#include "core/workflow.h"
+
+#include <gtest/gtest.h>
+
+#include "runtime/function.h"
+
+namespace rr::core {
+namespace {
+
+runtime::FunctionSpec Spec(const std::string& name,
+                           const std::string& workflow = "wf") {
+  runtime::FunctionSpec spec;
+  spec.name = name;
+  spec.workflow = workflow;
+  return spec;
+}
+
+const Bytes& Binary() {
+  static const Bytes binary = runtime::BuildFunctionModuleBinary();
+  return binary;
+}
+
+TEST(ModeSelectionTest, PlacementDrivesMode) {
+  const Location vm_a{"n1", "vm1"};
+  const Location vm_a2{"n1", "vm1"};
+  const Location vm_b{"n1", "vm2"};
+  const Location dedicated{"n1", ""};
+  const Location remote{"n2", "vm1"};
+
+  EXPECT_EQ(SelectMode(vm_a, vm_a2), TransferMode::kUserSpace);
+  EXPECT_EQ(SelectMode(vm_a, vm_b), TransferMode::kKernelSpace);
+  EXPECT_EQ(SelectMode(vm_a, dedicated), TransferMode::kKernelSpace);
+  EXPECT_EQ(SelectMode(dedicated, dedicated), TransferMode::kKernelSpace);
+  EXPECT_EQ(SelectMode(vm_a, remote), TransferMode::kNetwork);
+}
+
+TEST(ModeSelectionTest, EmptyVmNeverCountsAsShared) {
+  // Two dedicated VMs ("" ids) on one node are distinct sandboxes.
+  const Location a{"n1", ""};
+  const Location b{"n1", ""};
+  EXPECT_EQ(SelectMode(a, b), TransferMode::kKernelSpace);
+}
+
+TEST(ModeSelectionTest, Names) {
+  EXPECT_EQ(TransferModeName(TransferMode::kUserSpace), "user-space");
+  EXPECT_EQ(TransferModeName(TransferMode::kKernelSpace), "kernel-space");
+  EXPECT_EQ(TransferModeName(TransferMode::kNetwork), "network");
+}
+
+class WorkflowManagerTest : public ::testing::Test {
+ protected:
+  // Uppercase / suffix handlers to make hop order observable.
+  static runtime::NativeHandler Tagger(const std::string& tag) {
+    return [tag](ByteSpan input) -> Result<Bytes> {
+      std::string out(AsStringView(input));
+      out += "|" + tag;
+      return ToBytes(out);
+    };
+  }
+
+  std::unique_ptr<Shim> AddFunction(WorkflowManager& manager,
+                                    const std::string& name, Location location,
+                                    runtime::WasmVm* vm = nullptr) {
+    auto shim = vm ? Shim::CreateInVm(*vm, Spec(name), Binary())
+                   : Shim::Create(Spec(name), Binary());
+    EXPECT_TRUE(shim.ok()) << shim.status();
+    EXPECT_TRUE((*shim)->Deploy(Tagger(name)).ok());
+    Endpoint endpoint;
+    endpoint.shim = shim->get();
+    endpoint.location = std::move(location);
+    EXPECT_TRUE(manager.Register(endpoint).ok());
+    return std::move(*shim);
+  }
+};
+
+TEST_F(WorkflowManagerTest, UserSpaceChain) {
+  WorkflowManager manager("wf");
+  runtime::WasmVm vm("wf");
+  auto a = AddFunction(manager, "a", {"n1", "vm1"}, &vm);
+  auto b = AddFunction(manager, "b", {"n1", "vm1"}, &vm);
+  auto c = AddFunction(manager, "c", {"n1", "vm1"}, &vm);
+
+  auto result = manager.RunChain({"a", "b", "c"}, AsBytes("in"));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(ToString(*result), "in|a|b|c");
+}
+
+TEST_F(WorkflowManagerTest, KernelSpaceChain) {
+  WorkflowManager manager("wf");
+  auto a = AddFunction(manager, "a", {"n1", ""});
+  auto b = AddFunction(manager, "b", {"n1", ""});
+  ASSERT_TRUE(*manager.ModeBetween("a", "b") == TransferMode::kKernelSpace);
+
+  auto result = manager.RunChain({"a", "b"}, AsBytes("x"));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(ToString(*result), "x|a|b");
+}
+
+TEST_F(WorkflowManagerTest, NetworkChain) {
+  WorkflowManager manager("wf");
+  auto a = AddFunction(manager, "a", {"n1", ""});
+  auto b = AddFunction(manager, "b", {"n2", ""});
+  ASSERT_TRUE(*manager.ModeBetween("a", "b") == TransferMode::kNetwork);
+
+  auto result = manager.RunChain({"a", "b"}, AsBytes("remote"));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(ToString(*result), "remote|a|b");
+}
+
+TEST_F(WorkflowManagerTest, MixedPlacementChain) {
+  WorkflowManager manager("wf");
+  runtime::WasmVm vm("wf");
+  auto a = AddFunction(manager, "a", {"n1", "vm1"}, &vm);
+  auto b = AddFunction(manager, "b", {"n1", "vm1"}, &vm);
+  auto c = AddFunction(manager, "c", {"n1", ""});
+  auto d = AddFunction(manager, "d", {"n2", ""});
+
+  EXPECT_EQ(*manager.ModeBetween("a", "b"), TransferMode::kUserSpace);
+  EXPECT_EQ(*manager.ModeBetween("b", "c"), TransferMode::kKernelSpace);
+  EXPECT_EQ(*manager.ModeBetween("c", "d"), TransferMode::kNetwork);
+
+  auto result = manager.RunChain({"a", "b", "c", "d"}, AsBytes("0"));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(ToString(*result), "0|a|b|c|d");
+}
+
+TEST_F(WorkflowManagerTest, RepeatedChainsReuseHops) {
+  WorkflowManager manager("wf");
+  auto a = AddFunction(manager, "a", {"n1", ""});
+  auto b = AddFunction(manager, "b", {"n1", ""});
+  for (int i = 0; i < 5; ++i) {
+    auto result = manager.RunChain({"a", "b"}, AsBytes("r" + std::to_string(i)));
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(ToString(*result), "r" + std::to_string(i) + "|a|b");
+  }
+  EXPECT_EQ(a->invocations(), 5u);
+  EXPECT_EQ(b->invocations(), 5u);
+}
+
+TEST_F(WorkflowManagerTest, UnknownFunctionRejected) {
+  WorkflowManager manager("wf");
+  auto a = AddFunction(manager, "a", {"n1", ""});
+  auto result = manager.RunChain({"a", "ghost"}, AsBytes("x"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(WorkflowManagerTest, EmptyChainRejected) {
+  WorkflowManager manager("wf");
+  EXPECT_FALSE(manager.RunChain({}, AsBytes("x")).ok());
+}
+
+TEST_F(WorkflowManagerTest, ForeignWorkflowRegistrationDenied) {
+  WorkflowManager manager("wf");
+  auto shim = Shim::Create(Spec("intruder", "other"), Binary());
+  ASSERT_TRUE(shim.ok());
+  Endpoint endpoint;
+  endpoint.shim = shim->get();
+  endpoint.location = {"n1", ""};
+  const Status status = manager.Register(endpoint);
+  EXPECT_EQ(status.code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(WorkflowManagerTest, DuplicateRegistrationDenied) {
+  WorkflowManager manager("wf");
+  auto a = AddFunction(manager, "a", {"n1", ""});
+  Endpoint endpoint;
+  endpoint.shim = a.get();
+  endpoint.location = {"n1", ""};
+  EXPECT_EQ(manager.Register(endpoint).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(WorkflowManagerTest, HandlerFailureMidChainPropagates) {
+  WorkflowManager manager("wf");
+  auto a = AddFunction(manager, "a", {"n1", ""});
+  auto bad = Shim::Create(Spec("bad"), Binary());
+  ASSERT_TRUE(bad.ok());
+  ASSERT_TRUE((*bad)
+                  ->Deploy([](ByteSpan) -> Result<Bytes> {
+                    return InternalError("function crashed");
+                  })
+                  .ok());
+  Endpoint endpoint;
+  endpoint.shim = bad->get();
+  endpoint.location = {"n1", ""};
+  ASSERT_TRUE(manager.Register(endpoint).ok());
+
+  auto result = manager.RunChain({"a", "bad"}, AsBytes("x"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("function crashed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rr::core

@@ -1,0 +1,119 @@
+#include "http/http.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace rr::http {
+namespace {
+
+TEST(HeadersTest, CaseInsensitiveLookup) {
+  Headers headers;
+  headers["Content-Length"] = "5";
+  EXPECT_EQ(headers.count("content-length"), 1u);
+  EXPECT_EQ(headers.count("CONTENT-LENGTH"), 1u);
+  EXPECT_EQ(headers.count("X-Other"), 0u);
+}
+
+TEST(EncodeTest, RequestWireFormat) {
+  Request request;
+  request.method = "POST";
+  request.target = "/fn/echo";
+  request.headers["Content-Type"] = "application/json";
+  request.body = ToBytes("{}");
+  const std::string wire = ToString(EncodeRequest(request));
+  EXPECT_TRUE(wire.starts_with("POST /fn/echo HTTP/1.1\r\n"));
+  EXPECT_NE(wire.find("Content-Type: application/json\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 2\r\n"), std::string::npos);
+  EXPECT_TRUE(wire.ends_with("\r\n\r\n{}"));
+}
+
+TEST(EncodeTest, ExplicitContentLengthNotDuplicated) {
+  Request request;
+  request.headers["Content-Length"] = "0";
+  const std::string wire = ToString(EncodeRequest(request));
+  EXPECT_EQ(wire.find("Content-Length"), wire.rfind("Content-Length"));
+}
+
+// Exchanges one message over a socketpair and parses it back.
+template <typename Message, typename WriteFn, typename ReadFn>
+Result<Message> WireRoundTrip(const Message& message, WriteFn write, ReadFn read) {
+  auto pair = osal::ConnectedPair();
+  if (!pair.ok()) return pair.status();
+  std::thread writer([&] { (void)write(pair->first, message); });
+  auto parsed = read(pair->second);
+  writer.join();
+  return parsed;
+}
+
+TEST(ParseTest, RequestRoundTrip) {
+  Request request;
+  request.method = "POST";
+  request.target = "/invoke";
+  request.headers["X-Trace"] = "abc123";
+  request.body = ToBytes("the payload");
+  auto parsed = WireRoundTrip(request, WriteRequest, ReadRequest);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->method, "POST");
+  EXPECT_EQ(parsed->target, "/invoke");
+  EXPECT_EQ(parsed->headers["x-trace"], "abc123");
+  EXPECT_EQ(parsed->body, request.body);
+}
+
+TEST(ParseTest, ResponseRoundTrip) {
+  Response response;
+  response.status_code = 404;
+  response.reason = "Not Found";
+  response.body = ToBytes("nope");
+  auto parsed = WireRoundTrip(response, WriteResponse, ReadResponse);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->status_code, 404);
+  EXPECT_EQ(ToString(parsed->body), "nope");
+}
+
+TEST(ParseTest, LargeBodySpanningManyReads) {
+  Request request;
+  request.method = "POST";
+  request.body.resize(3 * 1024 * 1024);
+  for (size_t i = 0; i < request.body.size(); ++i) {
+    request.body[i] = static_cast<uint8_t>(i * 31);
+  }
+  auto parsed = WireRoundTrip(request, WriteRequest, ReadRequest);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(Fnv1a(parsed->body), Fnv1a(request.body));
+}
+
+TEST(ParseTest, MalformedRequestLineRejected) {
+  auto pair = osal::ConnectedPair();
+  ASSERT_TRUE(pair.ok());
+  ASSERT_TRUE(pair->first.Send(AsBytes("NOT A REQUEST\r\n\r\n")).ok());
+  EXPECT_FALSE(ReadRequest(pair->second).ok());
+}
+
+TEST(ParseTest, BadContentLengthRejected) {
+  auto pair = osal::ConnectedPair();
+  ASSERT_TRUE(pair.ok());
+  ASSERT_TRUE(pair->first
+                  .Send(AsBytes("GET / HTTP/1.1\r\nContent-Length: banana\r\n\r\n"))
+                  .ok());
+  EXPECT_FALSE(ReadRequest(pair->second).ok());
+}
+
+TEST(ParseTest, BadStatusCodeRejected) {
+  auto pair = osal::ConnectedPair();
+  ASSERT_TRUE(pair.ok());
+  ASSERT_TRUE(pair->first.Send(AsBytes("HTTP/1.1 9999 Weird\r\n\r\n")).ok());
+  EXPECT_FALSE(ReadResponse(pair->second).ok());
+}
+
+TEST(ParseTest, ClosedConnectionIsUnavailable) {
+  auto pair = osal::ConnectedPair();
+  ASSERT_TRUE(pair.ok());
+  pair->first.Close();
+  auto parsed = ReadRequest(pair->second);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace rr::http

@@ -1,0 +1,116 @@
+#include "http/server.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace rr::http {
+namespace {
+
+Response EchoHandler(const Request& request) {
+  Response response;
+  response.headers["X-Target"] = request.target;
+  response.body = request.body;
+  return response;
+}
+
+TEST(ServerTest, ServesSingleRequest) {
+  auto server = Server::Start(0, EchoHandler);
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  Request request;
+  request.method = "POST";
+  request.target = "/echo";
+  request.body = ToBytes("ping");
+  auto response = Fetch("127.0.0.1", (*server)->port(), request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status_code, 200);
+  EXPECT_EQ(ToString(response->body), "ping");
+  EXPECT_EQ(response->headers["x-target"], "/echo");
+  EXPECT_EQ((*server)->requests_served(), 1u);
+}
+
+TEST(ServerTest, KeepAliveServesManyRequestsOnOneConnection) {
+  auto server = Server::Start(0, EchoHandler);
+  ASSERT_TRUE(server.ok());
+  auto client = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+
+  for (int i = 0; i < 10; ++i) {
+    Request request;
+    request.method = "POST";
+    request.body = ToBytes("req-" + std::to_string(i));
+    auto response = client->RoundTrip(request);
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(ToString(response->body), "req-" + std::to_string(i));
+  }
+  EXPECT_EQ((*server)->requests_served(), 10u);
+}
+
+TEST(ServerTest, ConcurrentConnections) {
+  auto server = Server::Start(0, EchoHandler);
+  ASSERT_TRUE(server.ok());
+  constexpr int kThreads = 8;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      Request request;
+      request.method = "POST";
+      request.body = ToBytes(std::string(10000, static_cast<char>('a' + t)));
+      auto response = Fetch("127.0.0.1", (*server)->port(), request);
+      if (!response.ok() || response->body != request.body) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ((*server)->requests_served(), static_cast<uint64_t>(kThreads));
+}
+
+TEST(ServerTest, ConnectionCloseHeaderHonored) {
+  auto server = Server::Start(0, EchoHandler);
+  ASSERT_TRUE(server.ok());
+  auto conn = osal::TcpConnect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(conn.ok());
+  Request request;
+  request.headers["Connection"] = "close";
+  ASSERT_TRUE(WriteRequest(*conn, request).ok());
+  auto response = ReadResponse(*conn);
+  ASSERT_TRUE(response.ok());
+  // Server must close: next read returns EOF.
+  Bytes probe(1);
+  auto n = conn->ReceiveSome(probe);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+}
+
+TEST(ServerTest, ShutdownIsIdempotentAndJoinsWorkers) {
+  auto server = Server::Start(0, EchoHandler);
+  ASSERT_TRUE(server.ok());
+  (void)Fetch("127.0.0.1", (*server)->port(), Request{});
+  (*server)->Shutdown();
+  (*server)->Shutdown();  // second call is a no-op
+  // New connections are refused or reset after shutdown.
+  auto conn = osal::TcpConnect("127.0.0.1", (*server)->port());
+  if (conn.ok()) {
+    Request request;
+    EXPECT_FALSE(WriteRequest(*conn, request).ok() &&
+                 ReadResponse(*conn).ok());
+  }
+}
+
+TEST(ServerTest, HandlerErrorsSurfaceAsResponses) {
+  auto server = Server::Start(0, [](const Request&) {
+    return Response{500, "Internal Server Error", {}, ToBytes("boom")};
+  });
+  ASSERT_TRUE(server.ok());
+  auto response = Fetch("127.0.0.1", (*server)->port(), Request{});
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status_code, 500);
+  EXPECT_EQ(ToString(response->body), "boom");
+}
+
+}  // namespace
+}  // namespace rr::http

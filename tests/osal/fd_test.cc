@@ -1,0 +1,90 @@
+#include "osal/fd.h"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+namespace rr::osal {
+namespace {
+
+TEST(UniqueFdTest, ClosesOnDestruction) {
+  int raw = -1;
+  {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    UniqueFd a(fds[0]);
+    UniqueFd b(fds[1]);
+    raw = fds[0];
+    EXPECT_TRUE(a.valid());
+  }
+  // fd should now be closed: fcntl fails with EBADF.
+  EXPECT_EQ(::fcntl(raw, F_GETFD), -1);
+  EXPECT_EQ(errno, EBADF);
+}
+
+TEST(UniqueFdTest, MoveTransfersOwnership) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  UniqueFd a(fds[0]);
+  UniqueFd keeper(fds[1]);
+  UniqueFd b(std::move(a));
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.get(), fds[0]);
+}
+
+TEST(UniqueFdTest, ReleaseDetaches) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  UniqueFd b(fds[1]);
+  int raw;
+  {
+    UniqueFd a(fds[0]);
+    raw = a.Release();
+    EXPECT_FALSE(a.valid());
+  }
+  EXPECT_NE(::fcntl(raw, F_GETFD), -1);  // still open
+  ::close(raw);
+}
+
+TEST(FdIoTest, WriteAllThenReadExact) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  UniqueFd rd(fds[0]), wr(fds[1]);
+
+  const Bytes payload = ToBytes("the quick brown fox");
+  ASSERT_TRUE(WriteAll(wr.get(), payload).ok());
+
+  Bytes out(payload.size());
+  ASSERT_TRUE(ReadExact(rd.get(), out).ok());
+  EXPECT_EQ(out, payload);
+}
+
+TEST(FdIoTest, ReadExactReportsEof) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  UniqueFd rd(fds[0]);
+  {
+    UniqueFd wr(fds[1]);
+    ASSERT_TRUE(WriteAll(wr.get(), AsBytes("ab")).ok());
+  }  // write end closed
+  Bytes out(10);
+  const Status s = ReadExact(rd.get(), out);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+}
+
+TEST(FdIoTest, ReadToEnd) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  UniqueFd rd(fds[0]);
+  {
+    UniqueFd wr(fds[1]);
+    ASSERT_TRUE(WriteAll(wr.get(), AsBytes("hello")).ok());
+  }
+  Bytes out;
+  ASSERT_TRUE(ReadToEnd(rd.get(), out).ok());
+  EXPECT_EQ(ToString(out), "hello");
+}
+
+}  // namespace
+}  // namespace rr::osal

@@ -1,0 +1,41 @@
+#include "osal/pipe.h"
+
+#include <gtest/gtest.h>
+
+namespace rr::osal {
+namespace {
+
+TEST(PipeTest, CreateAndTransfer) {
+  auto pipe = Pipe::Create();
+  ASSERT_TRUE(pipe.ok()) << pipe.status();
+  ASSERT_TRUE(WriteAll(pipe->write_fd(), AsBytes("data hose")).ok());
+  Bytes out(9);
+  ASSERT_TRUE(ReadExact(pipe->read_fd(), out).ok());
+  EXPECT_EQ(ToString(out), "data hose");
+}
+
+TEST(PipeTest, ReportsCapacity) {
+  auto pipe = Pipe::Create();
+  ASSERT_TRUE(pipe.ok());
+  EXPECT_GE(pipe->capacity(), 4096u);  // at least one page
+}
+
+TEST(PipeTest, CustomCapacityBestEffort) {
+  auto pipe = Pipe::Create(1 << 20);
+  ASSERT_TRUE(pipe.ok());
+  // The kernel may clamp, but the fcntl round-trip must report something sane.
+  EXPECT_GE(pipe->capacity(), 4096u);
+}
+
+TEST(PipeTest, CloseWriteSignalsEof) {
+  auto pipe = Pipe::Create();
+  ASSERT_TRUE(pipe.ok());
+  ASSERT_TRUE(WriteAll(pipe->write_fd(), AsBytes("x")).ok());
+  pipe->CloseWrite();
+  Bytes out;
+  ASSERT_TRUE(ReadToEnd(pipe->read_fd(), out).ok());
+  EXPECT_EQ(ToString(out), "x");
+}
+
+}  // namespace
+}  // namespace rr::osal

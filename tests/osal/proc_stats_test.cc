@@ -1,0 +1,63 @@
+#include "osal/proc_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rr::osal {
+namespace {
+
+// Burns user-space CPU deterministically.
+volatile uint64_t g_sink = 0;
+void BurnUserCpu(int iterations) {
+  uint64_t x = 1;
+  for (int i = 0; i < iterations; ++i) x = x * 6364136223846793005ULL + 1;
+  g_sink = x;
+}
+
+TEST(ProcStatsTest, UserCpuAdvancesUnderLoad) {
+  const CpuTimes before = ProcessCpuTimes();
+  BurnUserCpu(50'000'000);
+  const CpuTimes after = ProcessCpuTimes();
+  const CpuTimes delta = after - before;
+  EXPECT_GT(delta.user.count(), 0);
+}
+
+TEST(ProcStatsTest, ThreadTimesSubsetOfProcess) {
+  BurnUserCpu(10'000'000);
+  const CpuTimes thread = ThreadCpuTimes();
+  const CpuTimes process = ProcessCpuTimes();
+  EXPECT_LE(thread.total().count(), process.total().count() + 1'000'000);
+}
+
+TEST(ProcStatsTest, ResidentMemoryVisible) {
+  EXPECT_GT(ResidentSetBytes(), 1024u * 1024);  // any live process has >1MB RSS
+  EXPECT_GE(PeakResidentSetBytes(), ResidentSetBytes() / 2);
+}
+
+TEST(ProcStatsTest, RssGrowsWithAllocation) {
+  const uint64_t before = ResidentSetBytes();
+  std::vector<uint8_t> ballast(64 * 1024 * 1024);
+  // Touch every page so it becomes resident.
+  for (size_t i = 0; i < ballast.size(); i += 4096) ballast[i] = 1;
+  const uint64_t after = ResidentSetBytes();
+  EXPECT_GT(after, before + 32 * 1024 * 1024);
+}
+
+TEST(ProcStatsTest, ComputeUsagePercentages) {
+  CpuTimes delta;
+  delta.user = std::chrono::milliseconds(250);
+  delta.kernel = std::chrono::milliseconds(250);
+  const CpuUsage usage = ComputeUsage(delta, std::chrono::seconds(1));
+  EXPECT_NEAR(usage.user_pct, 25.0, 0.01);
+  EXPECT_NEAR(usage.kernel_pct, 25.0, 0.01);
+  EXPECT_NEAR(usage.total_pct, 50.0, 0.01);
+}
+
+TEST(ProcStatsTest, ComputeUsageZeroWall) {
+  const CpuUsage usage = ComputeUsage(CpuTimes{}, Nanos(0));
+  EXPECT_EQ(usage.total_pct, 0.0);
+}
+
+}  // namespace
+}  // namespace rr::osal

@@ -1,0 +1,107 @@
+#include "runtime/oci_bundle.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "runtime/function.h"
+#include "runtime/wasm_sandbox.h"
+
+namespace rr::runtime {
+namespace {
+
+class OciBundleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "/tmp/rr-bundle-test-" + std::to_string(::getpid()) + "-" +
+           std::to_string(counter_++);
+  }
+  void TearDown() override {
+    ::unlink((dir_ + "/config.json").c_str());
+    ::unlink((dir_ + "/function.wasm").c_str());
+    ::rmdir(dir_.c_str());
+  }
+
+  BundleConfig MakeConfig() {
+    BundleConfig config;
+    config.spec.name = "resize";
+    config.spec.workflow = "vision";
+    config.spec.tenant = "team-x";
+    config.spec.memory_limit_pages = 1024;
+    config.kind = ArtifactKind::kWasmModule;
+    config.artifact_file = "function.wasm";
+    return config;
+  }
+
+  std::string dir_;
+  static int counter_;
+};
+
+int OciBundleTest::counter_ = 0;
+
+TEST_F(OciBundleTest, WriteAndLoadRoundTrip) {
+  const Bytes artifact = BuildFunctionModuleBinary();
+  ASSERT_TRUE(WriteBundle(dir_, MakeConfig(), artifact).ok());
+
+  auto loaded = LoadBundle(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->config.spec.name, "resize");
+  EXPECT_EQ(loaded->config.spec.workflow, "vision");
+  EXPECT_EQ(loaded->config.spec.tenant, "team-x");
+  EXPECT_EQ(loaded->config.spec.memory_limit_pages, 1024u);
+  EXPECT_EQ(loaded->config.kind, ArtifactKind::kWasmModule);
+  EXPECT_EQ(loaded->artifact, artifact);
+}
+
+TEST_F(OciBundleTest, LoadedArtifactInstantiates) {
+  // End-to-end lifecycle (§3.2.5): write bundle -> load -> create VM.
+  ASSERT_TRUE(WriteBundle(dir_, MakeConfig(), BuildFunctionModuleBinary()).ok());
+  auto loaded = LoadBundle(dir_);
+  ASSERT_TRUE(loaded.ok());
+  auto sandbox = WasmSandbox::Create(loaded->config.spec, loaded->artifact);
+  ASSERT_TRUE(sandbox.ok()) << sandbox.status();
+  EXPECT_EQ((*sandbox)->name(), "resize");
+}
+
+TEST_F(OciBundleTest, CorruptedArtifactFailsClosed) {
+  ASSERT_TRUE(WriteBundle(dir_, MakeConfig(), BuildFunctionModuleBinary()).ok());
+  // Flip one byte of the artifact.
+  FILE* f = std::fopen((dir_ + "/function.wasm").c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 10, SEEK_SET);
+  std::fputc(0xFF, f);
+  std::fclose(f);
+
+  auto loaded = LoadBundle(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(OciBundleTest, MissingBundleReported) {
+  auto loaded = LoadBundle("/tmp/does-not-exist-rr-bundle");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(OciBundleTest, PathEscapeRejected) {
+  BundleConfig config = MakeConfig();
+  config.artifact_file = "../evil.wasm";
+  EXPECT_FALSE(WriteBundle(dir_, config, BuildFunctionModuleBinary()).ok());
+}
+
+TEST_F(OciBundleTest, ContainerImageKindPreserved) {
+  BundleConfig config = MakeConfig();
+  config.kind = ArtifactKind::kContainerImage;
+  config.artifact_file = "function.wasm";  // filename reused for simplicity
+  const Bytes blob(1024, 0xcd);
+  ASSERT_TRUE(WriteBundle(dir_, config, blob).ok());
+  auto loaded = LoadBundle(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->config.kind, ArtifactKind::kContainerImage);
+  EXPECT_EQ(loaded->artifact, blob);
+}
+
+}  // namespace
+}  // namespace rr::runtime

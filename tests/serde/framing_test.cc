@@ -1,0 +1,118 @@
+#include "serde/framing.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/rng.h"
+
+namespace rr::serde {
+namespace {
+
+TEST(FramingTest, RoundTripSingleFrame) {
+  auto pair = osal::ConnectedPair();
+  ASSERT_TRUE(pair.ok());
+  ASSERT_TRUE(WriteFrame(pair->first, AsBytes("frame-1")).ok());
+  auto frame = ReadFrame(pair->second);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_EQ(ToString(*frame), "frame-1");
+}
+
+TEST(FramingTest, EmptyFrame) {
+  auto pair = osal::ConnectedPair();
+  ASSERT_TRUE(pair.ok());
+  ASSERT_TRUE(WriteFrame(pair->first, {}).ok());
+  auto frame = ReadFrame(pair->second);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_TRUE(frame->empty());
+}
+
+TEST(FramingTest, MultipleFramesPreserveBoundaries) {
+  auto pair = osal::ConnectedPair();
+  ASSERT_TRUE(pair.ok());
+  ASSERT_TRUE(WriteFrame(pair->first, AsBytes("a")).ok());
+  ASSERT_TRUE(WriteFrame(pair->first, AsBytes("bb")).ok());
+  ASSERT_TRUE(WriteFrame(pair->first, AsBytes("ccc")).ok());
+  EXPECT_EQ(ToString(*ReadFrame(pair->second)), "a");
+  EXPECT_EQ(ToString(*ReadFrame(pair->second)), "bb");
+  EXPECT_EQ(ToString(*ReadFrame(pair->second)), "ccc");
+}
+
+TEST(FramingTest, PartsConcatenateWithoutCopy) {
+  auto pair = osal::ConnectedPair();
+  ASSERT_TRUE(pair.ok());
+  ASSERT_TRUE(
+      WriteFrameParts(pair->first, {AsBytes("head|"), AsBytes("body")}).ok());
+  auto frame = ReadFrame(pair->second);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(ToString(*frame), "head|body");
+}
+
+TEST(FramingTest, LargeFrameAcrossSocketBuffer) {
+  auto pair = osal::ConnectedPair();
+  ASSERT_TRUE(pair.ok());
+  Rng rng(5);
+  Bytes payload(2 * 1024 * 1024);
+  rng.Fill(payload);
+
+  std::thread writer([&] {
+    ASSERT_TRUE(WriteFrame(pair->first, payload).ok());
+  });
+  auto frame = ReadFrame(pair->second);
+  writer.join();
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_EQ(Fnv1a(*frame), Fnv1a(payload));
+}
+
+TEST(FramingTest, CorruptHeaderRejected) {
+  auto pair = osal::ConnectedPair();
+  ASSERT_TRUE(pair.ok());
+  uint8_t bogus[8];
+  StoreLE<uint64_t>(bogus, UINT64_MAX);  // implausible length
+  ASSERT_TRUE(pair->first.Send(ByteSpan(bogus, 8)).ok());
+  auto frame = ReadFrame(pair->second);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(FramingTest, PeerCloseMidFrameDetected) {
+  auto pair = osal::ConnectedPair();
+  ASSERT_TRUE(pair.ok());
+  uint8_t header[8];
+  StoreLE<uint64_t>(header, 100);
+  ASSERT_TRUE(pair->first.Send(ByteSpan(header, 8)).ok());
+  ASSERT_TRUE(pair->first.Send(AsBytes("short")).ok());
+  pair->first.Close();
+  EXPECT_FALSE(ReadFrame(pair->second).ok());
+}
+
+TEST(FramingTest, ReadFrameIntoPlacesAtCallerDestination) {
+  auto pair = osal::ConnectedPair();
+  ASSERT_TRUE(pair.ok());
+  ASSERT_TRUE(WriteFrame(pair->first, AsBytes("destination")).ok());
+
+  Bytes arena(32, 0);
+  uint64_t announced = 0;
+  ASSERT_TRUE(ReadFrameInto(pair->second,
+                            [&](uint64_t length) -> Result<MutableByteSpan> {
+                              announced = length;
+                              return MutableByteSpan(arena.data(), length);
+                            })
+                  .ok());
+  EXPECT_EQ(announced, 11u);
+  EXPECT_EQ(ToString(ByteSpan(arena.data(), 11)), "destination");
+}
+
+TEST(FramingTest, ReadFrameIntoPlacementFailurePropagates) {
+  auto pair = osal::ConnectedPair();
+  ASSERT_TRUE(pair.ok());
+  ASSERT_TRUE(WriteFrame(pair->first, AsBytes("x")).ok());
+  const Status status = ReadFrameInto(
+      pair->second, [&](uint64_t) -> Result<MutableByteSpan> {
+        return ResourceExhaustedError("no room in guest memory");
+      });
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace rr::serde

@@ -1,0 +1,118 @@
+#include "serde/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rr::serde {
+namespace {
+
+TEST(JsonEncodeTest, Scalars) {
+  EXPECT_EQ(JsonEncode(JsonValue(nullptr)), "null");
+  EXPECT_EQ(JsonEncode(JsonValue(true)), "true");
+  EXPECT_EQ(JsonEncode(JsonValue(false)), "false");
+  EXPECT_EQ(JsonEncode(JsonValue(42)), "42");
+  EXPECT_EQ(JsonEncode(JsonValue(-7)), "-7");
+  EXPECT_EQ(JsonEncode(JsonValue(2.5)), "2.5");
+  EXPECT_EQ(JsonEncode(JsonValue("hi")), "\"hi\"");
+}
+
+TEST(JsonEncodeTest, StringEscapes) {
+  EXPECT_EQ(JsonEncode(JsonValue("a\"b\\c")), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(JsonEncode(JsonValue("tab\there")), "\"tab\\there\"");
+  EXPECT_EQ(JsonEncode(JsonValue(std::string("\x01", 1))), "\"\\u0001\"");
+  EXPECT_EQ(JsonEncode(JsonValue("line\nfeed")), "\"line\\nfeed\"");
+}
+
+TEST(JsonEncodeTest, NestedStructures) {
+  JsonObject inner;
+  inner.emplace("k", JsonValue(1));
+  JsonArray arr;
+  arr.emplace_back(JsonValue(std::move(inner)));
+  arr.emplace_back(JsonValue("x"));
+  JsonObject root;
+  root.emplace("items", JsonValue(std::move(arr)));
+  EXPECT_EQ(JsonEncode(JsonValue(std::move(root))),
+            "{\"items\":[{\"k\":1},\"x\"]}");
+}
+
+TEST(JsonEncodeTest, NonFiniteBecomesNull) {
+  EXPECT_EQ(JsonEncode(JsonValue(std::nan(""))), "null");
+  EXPECT_EQ(JsonEncode(JsonValue(1.0 / 0.0)), "null");
+}
+
+TEST(JsonDecodeTest, Scalars) {
+  EXPECT_TRUE(JsonDecode("null")->is_null());
+  EXPECT_EQ(JsonDecode("true")->as_bool(), true);
+  EXPECT_EQ(JsonDecode("-12.5")->as_number(), -12.5);
+  EXPECT_EQ(JsonDecode("\"abc\"")->as_string(), "abc");
+  EXPECT_EQ(JsonDecode("1e3")->as_number(), 1000);
+}
+
+TEST(JsonDecodeTest, WhitespaceTolerated) {
+  auto v = JsonDecode(" { \"a\" : [ 1 , 2 ] } ");
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ((*v)["a"].as_array().size(), 2u);
+}
+
+TEST(JsonDecodeTest, EscapesDecoded) {
+  auto v = JsonDecode("\"a\\\"b\\\\c\\n\\u0041\"");
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->as_string(), "a\"b\\c\nA");
+}
+
+TEST(JsonDecodeTest, UnicodeEscapeUtf8) {
+  auto v = JsonDecode("\"\\u00e9\\u20ac\"");  // é €
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->as_string(), "\xc3\xa9\xe2\x82\xac");
+}
+
+class JsonRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonRoundTrip, EncodeDecodeStable) {
+  auto first = JsonDecode(GetParam());
+  ASSERT_TRUE(first.ok()) << first.status();
+  const std::string encoded = JsonEncode(*first);
+  auto second = JsonDecode(encoded);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(*first, *second);
+  EXPECT_EQ(encoded, JsonEncode(*second));  // canonical fixed point
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Documents, JsonRoundTrip,
+    ::testing::Values("{}", "[]", "[1,2,3]", "{\"a\":{\"b\":{\"c\":[null]}}}",
+                      "{\"text\":\"quote \\\" backslash \\\\\"}",
+                      "[true,false,null,0,-1,3.25]",
+                      "{\"empty_string\":\"\",\"zero\":0}"));
+
+class JsonRejects : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonRejects, MalformedInput) {
+  EXPECT_FALSE(JsonDecode(GetParam()).ok()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, JsonRejects,
+    ::testing::Values("", "{", "}", "[1,", "{\"a\":}", "{\"a\" 1}", "tru",
+                      "\"unterminated", "[1] trailing", "{\"a\":1,}",
+                      "\"bad\\escape\"", "\"\\u12g4\"", "nan", "+1"));
+
+TEST(JsonDecodeTest, DepthLimitEnforced) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  EXPECT_FALSE(JsonDecode(deep, /*max_depth=*/64).ok());
+  EXPECT_TRUE(JsonDecode(deep, /*max_depth=*/128).ok());
+}
+
+TEST(JsonValueTest, ObjectIndexOperator) {
+  auto v = JsonDecode("{\"a\":1}");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ((*v)["a"].as_number(), 1);
+  EXPECT_TRUE((*v)["missing"].is_null());
+  EXPECT_TRUE(JsonValue(3)["x"].is_null());  // non-object
+}
+
+}  // namespace
+}  // namespace rr::serde

@@ -1,0 +1,133 @@
+#include "serde/record.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace rr::serde {
+namespace {
+
+Record SampleRecord() {
+  Record record;
+  record.id = 99;
+  record.source = "fn-a";
+  record.destination = "fn-b";
+    // JSON numbers are IEEE doubles: integers must stay below 2^53.
+  record.timestamp_ns = 1700000000123456ULL;
+  record.content_type = "application/json";
+  record.body = "payload with \"quotes\" and \\slashes\\ and\nnewlines";
+  return record;
+}
+
+TEST(RecordJsonTest, RoundTrip) {
+  const Record record = SampleRecord();
+  const std::string json = SerializeRecord(record);
+  auto decoded = DeserializeRecord(json);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, record);
+}
+
+TEST(RecordJsonTest, BinaryUnsafeBodySurvives) {
+  Record record = SampleRecord();
+  record.body.clear();
+  for (int i = 1; i < 256; ++i) record.body.push_back(static_cast<char>(i));
+  auto decoded = DeserializeRecord(SerializeRecord(record));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->body, record.body);
+}
+
+TEST(RecordJsonTest, MissingFieldRejected) {
+  EXPECT_FALSE(DeserializeRecord("{\"id\":1}").ok());
+  EXPECT_FALSE(DeserializeRecord("[]").ok());
+  EXPECT_FALSE(DeserializeRecord("{\"id\":\"not-a-number\",\"source\":\"\","
+                                 "\"destination\":\"\",\"timestamp_ns\":0,"
+                                 "\"content_type\":\"\",\"body\":\"\"}")
+                   .ok());
+}
+
+TEST(RecordBinaryTest, RoundTrip) {
+  const Record record = SampleRecord();
+  const Bytes encoded = EncodeRecordBinary(record);
+  auto decoded = DecodeRecordBinary(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, record);
+}
+
+TEST(RecordBinaryTest, BinaryIsSmallerThanJsonForEscapyBodies) {
+  Record record = SampleRecord();
+  record.body = std::string(10000, '"');  // worst case for JSON escaping
+  const Bytes binary = EncodeRecordBinary(record);
+  const std::string json = SerializeRecord(record);
+  EXPECT_LT(binary.size(), json.size() / 1.8);
+}
+
+TEST(RecordBinaryTest, TruncationRejected) {
+  Bytes encoded = EncodeRecordBinary(SampleRecord());
+  for (const size_t keep : {size_t{0}, size_t{7}, size_t{20}, encoded.size() - 1}) {
+    EXPECT_FALSE(DecodeRecordBinary(ByteSpan(encoded.data(), keep)).ok())
+        << "kept " << keep;
+  }
+}
+
+TEST(RecordBinaryTest, TrailingBytesRejected) {
+  Bytes encoded = EncodeRecordBinary(SampleRecord());
+  encoded.push_back(0);
+  EXPECT_FALSE(DecodeRecordBinary(encoded).ok());
+}
+
+TEST(RecordBinaryTest, ImplausibleFieldLengthRejected) {
+  Bytes encoded = EncodeRecordBinary(SampleRecord());
+  // Corrupt the source-field length (offset 16) to a huge value.
+  StoreLE<uint64_t>(encoded.data() + 16, uint64_t{1} << 40);
+  EXPECT_FALSE(DecodeRecordBinary(encoded).ok());
+}
+
+TEST(RecordHeaderTest, RoundTripCarriesBodyLengthOnly) {
+  const Record record = SampleRecord();
+  const Bytes header = EncodeRecordHeader(record);
+  // The header must be O(metadata): far smaller than the record body for
+  // large payloads.
+  EXPECT_LT(header.size(), 200u);
+
+  auto decoded = DecodeRecordHeader(header);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->id, record.id);
+  EXPECT_EQ(decoded->source, record.source);
+  EXPECT_EQ(decoded->destination, record.destination);
+  EXPECT_EQ(decoded->content_type, record.content_type);
+  EXPECT_EQ(decoded->body_length, record.body.size());
+}
+
+TEST(RecordHeaderTest, HeaderSizeIndependentOfBody) {
+  Record small = SampleRecord();
+  Record big = SampleRecord();
+  big.body = std::string(10 << 20, 'x');
+  EXPECT_EQ(EncodeRecordHeader(small).size(), EncodeRecordHeader(big).size());
+}
+
+class RecordPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RecordPropertyTest, RandomRecordsRoundTripBothCodecs) {
+  Rng rng(GetParam());
+  Record record;
+  record.id = rng.Next() & ((uint64_t{1} << 52) - 1);
+  record.timestamp_ns = rng.Next() & ((uint64_t{1} << 52) - 1);
+  record.source = rng.NextString(rng.NextBelow(64));
+  record.destination = rng.NextString(rng.NextBelow(64));
+  record.content_type = rng.NextString(rng.NextBelow(32));
+  record.body = rng.NextString(rng.NextBelow(4096));
+
+  auto via_json = DeserializeRecord(SerializeRecord(record));
+  ASSERT_TRUE(via_json.ok()) << via_json.status();
+  EXPECT_EQ(*via_json, record);
+
+  auto via_binary = DecodeRecordBinary(EncodeRecordBinary(record));
+  ASSERT_TRUE(via_binary.ok()) << via_binary.status();
+  EXPECT_EQ(*via_binary, record);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecordPropertyTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{21}));
+
+}  // namespace
+}  // namespace rr::serde

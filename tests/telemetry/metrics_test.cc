@@ -1,0 +1,79 @@
+#include "telemetry/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace rr::telemetry {
+namespace {
+
+TEST(SummarizeTest, EmptyInput) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0);
+}
+
+TEST(SummarizeTest, SingleSample) {
+  const Summary s = Summarize({42.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.mean, 42.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.min, 42.0);
+  EXPECT_EQ(s.max, 42.0);
+  EXPECT_EQ(s.p50, 42.0);
+}
+
+TEST(SummarizeTest, KnownStatistics) {
+  const Summary s = Summarize({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.1380899, 1e-6);  // sample stddev
+  EXPECT_EQ(s.min, 2.0);
+  EXPECT_EQ(s.max, 9.0);
+}
+
+TEST(SummarizeTest, PercentilesInterpolate) {
+  const Summary s = Summarize({10, 20, 30, 40});
+  EXPECT_DOUBLE_EQ(s.p50, 25.0);
+  EXPECT_NEAR(s.p95, 38.5, 1e-9);
+}
+
+TEST(SummarizeTest, UnsortedInputHandled) {
+  const Summary s = Summarize({9, 1, 5});
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 9.0);
+  EXPECT_EQ(s.p50, 5.0);
+}
+
+TEST(ThroughputTest, ExtrapolatesSubSecondOperations) {
+  // §6.1b: sub-second operations are extrapolated to a one-second rate.
+  EXPECT_DOUBLE_EQ(ThroughputRps(std::chrono::milliseconds(100)), 10.0);
+  EXPECT_DOUBLE_EQ(ThroughputRps(std::chrono::milliseconds(10)), 100.0);
+  EXPECT_DOUBLE_EQ(ThroughputRps(std::chrono::seconds(2)), 0.5);
+  EXPECT_EQ(ThroughputRps(Nanos(0)), 0.0);
+}
+
+TEST(LatencyBreakdownTest, Accumulates) {
+  LatencyBreakdown a;
+  a.total = Nanos(100);
+  a.transfer = Nanos(60);
+  a.serialization = Nanos(30);
+  a.wasm_io = Nanos(10);
+  LatencyBreakdown b = a;
+  b += a;
+  EXPECT_EQ(b.total.count(), 200);
+  EXPECT_EQ(b.transfer.count(), 120);
+  EXPECT_EQ(b.accounted().count(), 200);
+}
+
+TEST(ResourceProbeTest, MeasuresBusyLoop) {
+  ResourceProbe probe;
+  probe.Start();
+  volatile uint64_t x = 1;
+  const Stopwatch timer;
+  while (timer.ElapsedMillis() < 50) x = x * 3 + 1;
+  probe.Stop();
+  EXPECT_GE(ToMillis(probe.wall()), 45.0);
+  EXPECT_GT(probe.usage().total_pct, 30.0);  // busy loop burns CPU
+  EXPECT_GT(probe.rss_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace rr::telemetry

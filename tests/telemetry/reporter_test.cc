@@ -1,0 +1,54 @@
+#include "telemetry/reporter.h"
+
+#include <gtest/gtest.h>
+
+namespace rr::telemetry {
+namespace {
+
+TEST(TableTest, AlignsColumns) {
+  Table table({"Name", "Value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"long-name", "22"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("| Name      | Value |"), std::string::npos);
+  EXPECT_NE(out.find("| a         | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| long-name | 22    |"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsPadded) {
+  Table table({"A", "B", "C"});
+  table.AddRow({"only"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("only"), std::string::npos);
+  // Three columns rendered even though the row had one cell.
+  const size_t last_line = out.rfind("| only");
+  EXPECT_EQ(std::count(out.begin() + last_line, out.end(), '|'), 4);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table table({"x", "y"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"3", "4"});
+  EXPECT_EQ(table.RenderCsv(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(FormatTest, Seconds) {
+  EXPECT_EQ(FormatSeconds(2.5), "2.500 s");
+  EXPECT_EQ(FormatSeconds(0.0125), "12.500 ms");
+  EXPECT_EQ(FormatSeconds(45e-6), "45.0 us");
+  EXPECT_EQ(FormatSeconds(120e-9), "120 ns");
+}
+
+TEST(FormatTest, Rps) {
+  EXPECT_EQ(FormatRps(12.345), "12.35");
+  EXPECT_EQ(FormatRps(1234), "1234");
+  EXPECT_EQ(FormatRps(123456), "1.23e+05");
+}
+
+TEST(FormatTest, PercentAndMB) {
+  EXPECT_EQ(FormatPercent(12.345), "12.35%");
+  EXPECT_EQ(FormatMB(10 * 1024 * 1024), "10.0");
+}
+
+}  // namespace
+}  // namespace rr::telemetry

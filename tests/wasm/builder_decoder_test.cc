@@ -1,0 +1,157 @@
+// Round-trip tests: ModuleBuilder -> Encode() -> DecodeModule().
+#include <gtest/gtest.h>
+
+#include "wasm/builder.h"
+#include "wasm/decoder.h"
+
+namespace rr::wasm {
+namespace {
+
+TEST(BuilderTest, EmitsWasmMagic) {
+  ModuleBuilder builder;
+  const Bytes binary = builder.Encode();
+  ASSERT_GE(binary.size(), 8u);
+  EXPECT_EQ(binary[0], 0x00);
+  EXPECT_EQ(binary[1], 0x61);  // 'a'
+  EXPECT_EQ(binary[2], 0x73);  // 's'
+  EXPECT_EQ(binary[3], 0x6d);  // 'm'
+  EXPECT_EQ(binary[4], 0x01);  // version 1
+}
+
+TEST(BuilderTest, TypeDeduplication) {
+  ModuleBuilder builder;
+  const FuncType type{{ValType::kI32}, {ValType::kI32}};
+  EXPECT_EQ(builder.AddType(type), 0u);
+  EXPECT_EQ(builder.AddType(type), 0u);
+  EXPECT_EQ(builder.AddType({{}, {}}), 1u);
+}
+
+TEST(RoundTripTest, EmptyModule) {
+  ModuleBuilder builder;
+  auto module = DecodeModule(builder.Encode());
+  ASSERT_TRUE(module.ok()) << module.status();
+  EXPECT_EQ(module->num_functions(), 0u);
+  EXPECT_FALSE(module->memory.has_value());
+}
+
+TEST(RoundTripTest, FullFeaturedModule) {
+  ModuleBuilder builder;
+  const uint32_t host_log =
+      builder.AddImport("env", "log", {{ValType::kI32}, {}});
+
+  CodeEmitter body;
+  body.LocalGet(0).LocalGet(1).Op(Opcode::kI32Add).Call(host_log);
+  body.LocalGet(0).End();
+  const uint32_t add_and_log = builder.AddFunction(
+      {{ValType::kI32, ValType::kI32}, {ValType::kI32}}, {}, body);
+
+  builder.SetMemory({.min_pages = 1, .has_max = true, .max_pages = 4});
+  builder.AddGlobal(ValType::kI64, true, Value::I64(-5));
+  builder.ExportFunction("add_and_log", add_and_log);
+  builder.ExportMemory("memory");
+  builder.AddData(64, ToBytes("static data"));
+
+  const Bytes binary = builder.Encode();
+  auto module = DecodeModule(binary);
+  ASSERT_TRUE(module.ok()) << module.status();
+
+  EXPECT_EQ(module->imports.size(), 1u);
+  EXPECT_EQ(module->imports[0].module, "env");
+  EXPECT_EQ(module->imports[0].name, "log");
+  EXPECT_EQ(module->functions.size(), 1u);
+  ASSERT_TRUE(module->memory.has_value());
+  EXPECT_EQ(module->memory->min_pages, 1u);
+  EXPECT_EQ(module->memory->max_pages, 4u);
+  ASSERT_EQ(module->globals.size(), 1u);
+  EXPECT_EQ(module->globals[0].init.i64, -5);
+  EXPECT_TRUE(module->globals[0].is_mutable);
+  ASSERT_EQ(module->data.size(), 1u);
+  EXPECT_EQ(module->data[0].offset, 64u);
+  EXPECT_EQ(ToString(module->data[0].bytes), "static data");
+
+  const Export* e = module->FindExport("add_and_log", ExportKind::kFunction);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->index, add_and_log);
+  const FuncType* type = module->function_type(e->index);
+  ASSERT_NE(type, nullptr);
+  EXPECT_EQ(type->params.size(), 2u);
+}
+
+TEST(RoundTripTest, LocalsRunLengthGrouping) {
+  ModuleBuilder builder;
+  CodeEmitter body;
+  body.End();
+  builder.AddFunction({{}, {}},
+                      {ValType::kI32, ValType::kI32, ValType::kF64,
+                       ValType::kI32},
+                      body);
+  auto module = DecodeModule(builder.Encode());
+  ASSERT_TRUE(module.ok()) << module.status();
+  ASSERT_EQ(module->functions.size(), 1u);
+  const auto& locals = module->functions[0].locals;
+  ASSERT_EQ(locals.size(), 4u);
+  EXPECT_EQ(locals[0], ValType::kI32);
+  EXPECT_EQ(locals[2], ValType::kF64);
+  EXPECT_EQ(locals[3], ValType::kI32);
+}
+
+TEST(RoundTripTest, FloatConstsPreserved) {
+  ModuleBuilder builder;
+  builder.AddGlobal(ValType::kF64, false, Value::F64(3.14159));
+  builder.AddGlobal(ValType::kF32, false, Value::F32(-2.5f));
+  auto module = DecodeModule(builder.Encode());
+  ASSERT_TRUE(module.ok()) << module.status();
+  EXPECT_DOUBLE_EQ(module->globals[0].init.f64, 3.14159);
+  EXPECT_FLOAT_EQ(module->globals[1].init.f32, -2.5f);
+}
+
+TEST(DecoderTest, RejectsBadMagic) {
+  const Bytes garbage = {0xde, 0xad, 0xbe, 0xef, 1, 0, 0, 0};
+  EXPECT_FALSE(DecodeModule(garbage).ok());
+}
+
+TEST(DecoderTest, RejectsBadVersion) {
+  Bytes binary = {0x00, 0x61, 0x73, 0x6d, 0x02, 0x00, 0x00, 0x00};
+  auto result = DecodeModule(binary);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(DecoderTest, RejectsTruncatedBinary) {
+  ModuleBuilder builder;
+  builder.SetMemory({.min_pages = 1});
+  Bytes binary = builder.Encode();
+  binary.pop_back();
+  EXPECT_FALSE(DecodeModule(binary).ok());
+}
+
+TEST(DecoderTest, RejectsOutOfOrderSections) {
+  // memory section (5) followed by type section (1).
+  Bytes binary = {0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00,
+                  5,    3,    1,   0x00, 1,          // memory section
+                  1,    1,    0};                    // type section, 0 types
+  auto result = DecodeModule(binary);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(DecoderTest, SkipsCustomSections) {
+  ModuleBuilder builder;
+  builder.SetMemory({.min_pages = 1});
+  Bytes binary = builder.Encode();
+  // Append a custom section (id 0) with arbitrary payload.
+  binary.push_back(0);
+  binary.push_back(5);
+  for (uint8_t b : {1, 2, 3, 4, 5}) binary.push_back(b);
+  auto module = DecodeModule(binary);
+  ASSERT_TRUE(module.ok()) << module.status();
+  EXPECT_TRUE(module->memory.has_value());
+}
+
+TEST(DecoderTest, RejectsExportOfMissingFunction) {
+  ModuleBuilder builder;
+  builder.ExportFunction("ghost", 3);
+  EXPECT_FALSE(DecodeModule(builder.Encode()).ok());
+}
+
+}  // namespace
+}  // namespace rr::wasm

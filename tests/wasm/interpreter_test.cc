@@ -1,0 +1,435 @@
+// Execution tests for the interpreter, written against real encoded wasm
+// binaries (builder -> decode -> instantiate -> call).
+#include <gtest/gtest.h>
+
+#include "wasm/builder.h"
+#include "wasm/decoder.h"
+#include "wasm/instance.h"
+
+namespace rr::wasm {
+namespace {
+
+// Builds, encodes, decodes, and instantiates a single-function module.
+std::unique_ptr<Instance> MakeInstance(ModuleBuilder& builder,
+                                       const ImportResolver& imports = {},
+                                       InstanceConfig config = {}) {
+  auto module = DecodeModule(builder.Encode());
+  EXPECT_TRUE(module.ok()) << module.status();
+  if (!module.ok()) return nullptr;
+  auto instance = Instance::Instantiate(std::move(*module), imports, config);
+  EXPECT_TRUE(instance.ok()) << instance.status();
+  if (!instance.ok()) return nullptr;
+  return std::move(*instance);
+}
+
+Result<int32_t> CallI32(Instance& instance, std::string_view name,
+                        std::vector<Value> args) {
+  auto results = instance.CallExport(name, args);
+  if (!results.ok()) return results.status();
+  EXPECT_EQ(results->size(), 1u);
+  return (*results)[0].i32;
+}
+
+TEST(InterpreterTest, AddTwoNumbers) {
+  ModuleBuilder builder;
+  CodeEmitter body;
+  body.LocalGet(0).LocalGet(1).Op(Opcode::kI32Add).End();
+  const uint32_t f = builder.AddFunction(
+      {{ValType::kI32, ValType::kI32}, {ValType::kI32}}, {}, body);
+  builder.ExportFunction("add", f);
+  auto instance = MakeInstance(builder);
+  ASSERT_NE(instance, nullptr);
+  auto result = CallI32(*instance, "add", {Value::I32(40), Value::I32(2)});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(InterpreterTest, IfElseWithResult) {
+  // f(x) = x > 10 ? 100 : -100
+  ModuleBuilder builder;
+  CodeEmitter body;
+  body.LocalGet(0).I32Const(10).Op(Opcode::kI32GtS);
+  body.If(ValType::kI32).I32Const(100).Else().I32Const(-100).End();
+  body.End();
+  const uint32_t f =
+      builder.AddFunction({{ValType::kI32}, {ValType::kI32}}, {}, body);
+  builder.ExportFunction("clamp", f);
+  auto instance = MakeInstance(builder);
+  ASSERT_NE(instance, nullptr);
+  EXPECT_EQ(*CallI32(*instance, "clamp", {Value::I32(11)}), 100);
+  EXPECT_EQ(*CallI32(*instance, "clamp", {Value::I32(10)}), -100);
+}
+
+TEST(InterpreterTest, LoopSumToN) {
+  // sum = 0; i = 0; loop { if i >= n break; sum += i; i++ } return sum
+  ModuleBuilder builder;
+  CodeEmitter body;
+  // locals: 1 = sum, 2 = i
+  body.Block();                                         // depth 1: exit
+  body.Loop();                                          // depth 0 inside
+  body.LocalGet(2).LocalGet(0).Op(Opcode::kI32GeS).BrIf(1);
+  body.LocalGet(1).LocalGet(2).Op(Opcode::kI32Add).LocalSet(1);
+  body.LocalGet(2).I32Const(1).Op(Opcode::kI32Add).LocalSet(2);
+  body.Br(0);
+  body.End();  // loop
+  body.End();  // block
+  body.LocalGet(1).End();
+  const uint32_t f = builder.AddFunction({{ValType::kI32}, {ValType::kI32}},
+                                         {ValType::kI32, ValType::kI32}, body);
+  builder.ExportFunction("sum", f);
+  auto instance = MakeInstance(builder);
+  ASSERT_NE(instance, nullptr);
+  EXPECT_EQ(*CallI32(*instance, "sum", {Value::I32(10)}), 45);
+  EXPECT_EQ(*CallI32(*instance, "sum", {Value::I32(0)}), 0);
+  EXPECT_EQ(*CallI32(*instance, "sum", {Value::I32(1000)}), 499500);
+}
+
+TEST(InterpreterTest, RecursiveFactorial) {
+  ModuleBuilder builder;
+  CodeEmitter body;
+  // f(n) = n <= 1 ? 1 : n * f(n-1); function index 0.
+  body.LocalGet(0).I32Const(1).Op(Opcode::kI32LeS);
+  body.If(ValType::kI32);
+  body.I32Const(1);
+  body.Else();
+  body.LocalGet(0);
+  body.LocalGet(0).I32Const(1).Op(Opcode::kI32Sub).Call(0);
+  body.Op(Opcode::kI32Mul);
+  body.End();
+  body.End();
+  const uint32_t f =
+      builder.AddFunction({{ValType::kI32}, {ValType::kI32}}, {}, body);
+  builder.ExportFunction("fact", f);
+  auto instance = MakeInstance(builder);
+  ASSERT_NE(instance, nullptr);
+  EXPECT_EQ(*CallI32(*instance, "fact", {Value::I32(5)}), 120);
+  EXPECT_EQ(*CallI32(*instance, "fact", {Value::I32(12)}), 479001600);
+}
+
+TEST(InterpreterTest, BrTableDispatch) {
+  // switch(x) { case 0: 10; case 1: 20; default: 30 }
+  ModuleBuilder builder;
+  CodeEmitter body;
+  body.Block();          // depth 2 outer (returns via local)
+  body.Block();          // depth 1 -> case 1
+  body.Block();          // depth 0 -> case 0
+  body.LocalGet(0).BrTable({0, 1}, 2);
+  body.End();
+  body.I32Const(10).LocalSet(1).Br(1);
+  body.End();
+  body.I32Const(20).LocalSet(1).Br(0);
+  body.End();
+  // default: local1 stays 0 -> use 30 when local1 == 0? Simpler: default falls
+  // through with local1 unset; set 30 if zero.
+  body.LocalGet(1).I32Eqz();
+  body.If();
+  body.I32Const(30).LocalSet(1);
+  body.End();
+  body.LocalGet(1).End();
+  const uint32_t f = builder.AddFunction({{ValType::kI32}, {ValType::kI32}},
+                                         {ValType::kI32}, body);
+  builder.ExportFunction("dispatch", f);
+  auto instance = MakeInstance(builder);
+  ASSERT_NE(instance, nullptr);
+  EXPECT_EQ(*CallI32(*instance, "dispatch", {Value::I32(0)}), 10);
+  EXPECT_EQ(*CallI32(*instance, "dispatch", {Value::I32(1)}), 20);
+  EXPECT_EQ(*CallI32(*instance, "dispatch", {Value::I32(2)}), 30);
+  EXPECT_EQ(*CallI32(*instance, "dispatch", {Value::I32(99)}), 30);
+}
+
+TEST(InterpreterTest, MemoryLoadStore) {
+  ModuleBuilder builder;
+  builder.SetMemory({.min_pages = 1});
+  CodeEmitter body;
+  body.LocalGet(0).LocalGet(1).I32Store();  // mem[addr] = value
+  body.LocalGet(0).I32Load();               // return mem[addr]
+  body.End();
+  const uint32_t f = builder.AddFunction(
+      {{ValType::kI32, ValType::kI32}, {ValType::kI32}}, {}, body);
+  builder.ExportFunction("store_load", f);
+  auto instance = MakeInstance(builder);
+  ASSERT_NE(instance, nullptr);
+  EXPECT_EQ(*CallI32(*instance, "store_load", {Value::I32(128), Value::I32(7)}), 7);
+  // Host sees the guest's store through the memory interface.
+  auto loaded = instance->memory()->Load<uint32_t>(128);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, 7u);
+}
+
+TEST(InterpreterTest, MemoryGrowAndSize) {
+  ModuleBuilder builder;
+  builder.SetMemory({.min_pages = 1, .has_max = true, .max_pages = 3});
+  CodeEmitter body;
+  body.LocalGet(0).MemoryGrow().Drop().MemorySize().End();
+  const uint32_t f =
+      builder.AddFunction({{ValType::kI32}, {ValType::kI32}}, {}, body);
+  builder.ExportFunction("grow", f);
+  auto instance = MakeInstance(builder);
+  ASSERT_NE(instance, nullptr);
+  EXPECT_EQ(*CallI32(*instance, "grow", {Value::I32(2)}), 3);
+  EXPECT_EQ(*CallI32(*instance, "grow", {Value::I32(5)}), 3);  // refused
+}
+
+TEST(InterpreterTest, DataSegmentsAppliedAtInstantiation) {
+  ModuleBuilder builder;
+  builder.SetMemory({.min_pages = 1});
+  builder.AddData(32, ToBytes("wasm"));
+  CodeEmitter body;
+  body.LocalGet(0).I32Load8U().End();
+  const uint32_t f =
+      builder.AddFunction({{ValType::kI32}, {ValType::kI32}}, {}, body);
+  builder.ExportFunction("peek", f);
+  auto instance = MakeInstance(builder);
+  ASSERT_NE(instance, nullptr);
+  EXPECT_EQ(*CallI32(*instance, "peek", {Value::I32(32)}), 'w');
+  EXPECT_EQ(*CallI32(*instance, "peek", {Value::I32(35)}), 'm');
+}
+
+TEST(InterpreterTest, GlobalsReadWrite) {
+  ModuleBuilder builder;
+  builder.AddGlobal(ValType::kI32, true, Value::I32(100));
+  CodeEmitter body;
+  body.GlobalGet(0).LocalGet(0).Op(Opcode::kI32Add).GlobalSet(0);
+  body.GlobalGet(0).End();
+  const uint32_t f =
+      builder.AddFunction({{ValType::kI32}, {ValType::kI32}}, {}, body);
+  builder.ExportFunction("bump", f);
+  auto instance = MakeInstance(builder);
+  ASSERT_NE(instance, nullptr);
+  EXPECT_EQ(*CallI32(*instance, "bump", {Value::I32(5)}), 105);
+  EXPECT_EQ(*CallI32(*instance, "bump", {Value::I32(5)}), 110);  // state persists
+  EXPECT_EQ(instance->global(0).i32, 110);
+}
+
+TEST(InterpreterTest, HostImportCalled) {
+  ModuleBuilder builder;
+  const uint32_t host_double =
+      builder.AddImport("env", "double", {{ValType::kI32}, {ValType::kI32}});
+  CodeEmitter body;
+  body.LocalGet(0).Call(host_double).I32Const(1).Op(Opcode::kI32Add).End();
+  const uint32_t f =
+      builder.AddFunction({{ValType::kI32}, {ValType::kI32}}, {}, body);
+  builder.ExportFunction("double_plus_one", f);
+
+  ImportResolver imports;
+  int call_count = 0;
+  imports.Register("env", "double", {{ValType::kI32}, {ValType::kI32}},
+                   [&call_count](Instance&, std::span<const Value> args,
+                                 std::span<Value> results) -> Status {
+                     ++call_count;
+                     results[0] = Value::I32(args[0].i32 * 2);
+                     return Status::Ok();
+                   });
+
+  auto instance = MakeInstance(builder, imports);
+  ASSERT_NE(instance, nullptr);
+  EXPECT_EQ(*CallI32(*instance, "double_plus_one", {Value::I32(20)}), 41);
+  EXPECT_EQ(call_count, 1);
+  EXPECT_EQ(instance->host_calls(), 1u);
+}
+
+TEST(InterpreterTest, UnresolvedImportFailsClosed) {
+  ModuleBuilder builder;
+  builder.AddImport("env", "missing", {{}, {}});
+  auto module = DecodeModule(builder.Encode());
+  ASSERT_TRUE(module.ok());
+  auto instance = Instance::Instantiate(std::move(*module), ImportResolver{});
+  ASSERT_FALSE(instance.ok());
+  EXPECT_EQ(instance.status().code(), StatusCode::kNotFound);
+}
+
+TEST(InterpreterTest, ImportSignatureMismatchRejected) {
+  ModuleBuilder builder;
+  builder.AddImport("env", "f", {{ValType::kI32}, {}});
+  ImportResolver imports;
+  imports.Register("env", "f", {{ValType::kI64}, {}},
+                   [](Instance&, std::span<const Value>, std::span<Value>) {
+                     return Status::Ok();
+                   });
+  auto module = DecodeModule(builder.Encode());
+  ASSERT_TRUE(module.ok());
+  auto instance = Instance::Instantiate(std::move(*module), imports);
+  ASSERT_FALSE(instance.ok());
+  EXPECT_EQ(instance.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(InterpreterTest, DivideByZeroTraps) {
+  ModuleBuilder builder;
+  CodeEmitter body;
+  body.LocalGet(0).LocalGet(1).Op(Opcode::kI32DivS).End();
+  const uint32_t f = builder.AddFunction(
+      {{ValType::kI32, ValType::kI32}, {ValType::kI32}}, {}, body);
+  builder.ExportFunction("div", f);
+  auto instance = MakeInstance(builder);
+  ASSERT_NE(instance, nullptr);
+  EXPECT_EQ(*CallI32(*instance, "div", {Value::I32(10), Value::I32(3)}), 3);
+  auto trap = CallI32(*instance, "div", {Value::I32(10), Value::I32(0)});
+  ASSERT_FALSE(trap.ok());
+  EXPECT_NE(trap.status().message().find("divide by zero"), std::string::npos);
+
+  auto overflow = CallI32(*instance, "div", {Value::I32(INT32_MIN), Value::I32(-1)});
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_NE(overflow.status().message().find("overflow"), std::string::npos);
+}
+
+TEST(InterpreterTest, OutOfBoundsAccessTraps) {
+  ModuleBuilder builder;
+  builder.SetMemory({.min_pages = 1});
+  CodeEmitter body;
+  body.LocalGet(0).I32Load().End();
+  const uint32_t f =
+      builder.AddFunction({{ValType::kI32}, {ValType::kI32}}, {}, body);
+  builder.ExportFunction("peek", f);
+  auto instance = MakeInstance(builder);
+  ASSERT_NE(instance, nullptr);
+  auto trap = CallI32(*instance, "peek",
+                      {Value::I32(static_cast<int32_t>(kWasmPageSize))});
+  ASSERT_FALSE(trap.ok());
+  EXPECT_NE(trap.status().message().find("out of bounds"), std::string::npos);
+}
+
+TEST(InterpreterTest, UnreachableTraps) {
+  ModuleBuilder builder;
+  CodeEmitter body;
+  body.Unreachable().End();
+  const uint32_t f = builder.AddFunction({{}, {}}, {}, body);
+  builder.ExportFunction("boom", f);
+  auto instance = MakeInstance(builder);
+  ASSERT_NE(instance, nullptr);
+  auto result = instance->CallExport("boom", {});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("unreachable"), std::string::npos);
+}
+
+TEST(InterpreterTest, StackExhaustionTraps) {
+  // Infinite recursion must hit the call-depth limit, not the C++ stack.
+  ModuleBuilder builder;
+  CodeEmitter body;
+  body.Call(0).End();
+  const uint32_t f = builder.AddFunction({{}, {}}, {}, body);
+  builder.ExportFunction("recurse", f);
+  auto instance = MakeInstance(builder, {}, {.max_call_depth = 64});
+  ASSERT_NE(instance, nullptr);
+  auto result = instance->CallExport("recurse", {});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("stack exhausted"), std::string::npos);
+}
+
+TEST(InterpreterTest, FuelMeteringStopsInfiniteLoop) {
+  ModuleBuilder builder;
+  CodeEmitter body;
+  body.Loop().Br(0).End().End();
+  const uint32_t f = builder.AddFunction({{}, {}}, {}, body);
+  builder.ExportFunction("spin", f);
+  auto instance = MakeInstance(builder, {}, {.fuel = 10'000});
+  ASSERT_NE(instance, nullptr);
+  auto result = instance->CallExport("spin", {});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("fuel"), std::string::npos);
+  EXPECT_EQ(instance->fuel_remaining().value(), 0u);
+}
+
+TEST(InterpreterTest, MemoryCopyAndFillOpcodes) {
+  ModuleBuilder builder;
+  builder.SetMemory({.min_pages = 1});
+  builder.AddData(0, ToBytes("hello"));
+  CodeEmitter body;
+  // memory.copy(dst=100, src=0, len=5); memory.fill(dst=105, 33, 3)
+  body.I32Const(100).I32Const(0).I32Const(5).MemoryCopy();
+  body.I32Const(105).I32Const(33).I32Const(3).MemoryFill();
+  body.End();
+  const uint32_t f = builder.AddFunction({{}, {}}, {}, body);
+  builder.ExportFunction("run", f);
+  auto instance = MakeInstance(builder);
+  ASSERT_NE(instance, nullptr);
+  ASSERT_TRUE(instance->CallExport("run", {}).ok());
+  auto view = instance->memory()->Slice(100, 8);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(AsStringView(*view), "hello!!!");
+}
+
+TEST(InterpreterTest, I64AndFloatArithmetic) {
+  ModuleBuilder builder;
+  CodeEmitter body;
+  // (i64) a*b + (a >> 3)
+  body.LocalGet(0).LocalGet(1).Op(Opcode::kI64Mul);
+  body.LocalGet(0).I64Const(3).Op(Opcode::kI64ShrU);
+  body.Op(Opcode::kI64Add).End();
+  const uint32_t f = builder.AddFunction(
+      {{ValType::kI64, ValType::kI64}, {ValType::kI64}}, {}, body);
+  builder.ExportFunction("mix", f);
+
+  CodeEmitter fbody;
+  fbody.LocalGet(0).LocalGet(1).Op(Opcode::kF64Mul).Op(Opcode::kF64Sqrt).End();
+  const uint32_t g = builder.AddFunction(
+      {{ValType::kF64, ValType::kF64}, {ValType::kF64}}, {}, fbody);
+  builder.ExportFunction("geomean", g);
+
+  auto instance = MakeInstance(builder);
+  ASSERT_NE(instance, nullptr);
+
+  auto r1 = instance->CallExport("mix", {{Value::I64(1000), Value::I64(3)}});
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ((*r1)[0].i64, 3000 + 125);
+
+  auto r2 = instance->CallExport("geomean", {{Value::F64(4.0), Value::F64(9.0)}});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_DOUBLE_EQ((*r2)[0].f64, 6.0);
+}
+
+TEST(InterpreterTest, SelectAndComparisons) {
+  ModuleBuilder builder;
+  CodeEmitter body;  // max(a, b)
+  body.LocalGet(0).LocalGet(1);
+  body.LocalGet(0).LocalGet(1).Op(Opcode::kI32GtS);
+  body.Select().End();
+  const uint32_t f = builder.AddFunction(
+      {{ValType::kI32, ValType::kI32}, {ValType::kI32}}, {}, body);
+  builder.ExportFunction("max", f);
+  auto instance = MakeInstance(builder);
+  ASSERT_NE(instance, nullptr);
+  EXPECT_EQ(*CallI32(*instance, "max", {Value::I32(3), Value::I32(9)}), 9);
+  EXPECT_EQ(*CallI32(*instance, "max", {Value::I32(-3), Value::I32(-9)}), -3);
+}
+
+TEST(InterpreterTest, NativeBodyOverride) {
+  // AOT simulation: replace a bytecode body with native code of the same
+  // type; callers cannot tell the difference.
+  ModuleBuilder builder;
+  CodeEmitter body;
+  body.I32Const(-1).End();  // bytecode version returns -1
+  const uint32_t f = builder.AddFunction({{ValType::kI32}, {ValType::kI32}}, {}, body);
+  builder.ExportFunction("work", f);
+  auto instance = MakeInstance(builder);
+  ASSERT_NE(instance, nullptr);
+
+  EXPECT_EQ(*CallI32(*instance, "work", {Value::I32(5)}), -1);
+  ASSERT_TRUE(instance
+                  ->RegisterNativeBody(
+                      "work",
+                      [](Instance&, std::span<const Value> args,
+                         std::span<Value> results) -> Status {
+                        results[0] = Value::I32(args[0].i32 * 10);
+                        return Status::Ok();
+                      })
+                  .ok());
+  EXPECT_EQ(*CallI32(*instance, "work", {Value::I32(5)}), 50);
+}
+
+TEST(InterpreterTest, ArgumentTypeCheckingAtBoundary) {
+  ModuleBuilder builder;
+  CodeEmitter body;
+  body.LocalGet(0).End();
+  const uint32_t f = builder.AddFunction({{ValType::kI32}, {ValType::kI32}}, {}, body);
+  builder.ExportFunction("id", f);
+  auto instance = MakeInstance(builder);
+  ASSERT_NE(instance, nullptr);
+
+  EXPECT_FALSE(instance->CallExport("id", {}).ok());  // arity
+  std::vector<Value> wrong = {Value::I64(1)};
+  EXPECT_FALSE(instance->CallExport("id", wrong).ok());  // type
+  EXPECT_FALSE(instance->CallExport("nope", {}).ok());   // name
+}
+
+}  // namespace
+}  // namespace rr::wasm

@@ -1,0 +1,90 @@
+#include "wasm/leb128.h"
+
+#include <gtest/gtest.h>
+
+namespace rr::wasm {
+namespace {
+
+class LebU32RoundTrip : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(LebU32RoundTrip, EncodesAndDecodes) {
+  Bytes buf;
+  AppendLebU32(buf, GetParam());
+  ByteReader reader(buf);
+  auto decoded = reader.ReadLebU32();
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, GetParam());
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, LebU32RoundTrip,
+                         ::testing::Values(0u, 1u, 127u, 128u, 255u, 16384u,
+                                           624485u, UINT32_MAX));
+
+class LebS64RoundTrip : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(LebS64RoundTrip, EncodesAndDecodes) {
+  Bytes buf;
+  AppendLebS64(buf, GetParam());
+  ByteReader reader(buf);
+  auto decoded = reader.ReadLebS64();
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, LebS64RoundTrip,
+                         ::testing::Values(int64_t{0}, int64_t{1}, int64_t{-1},
+                                           int64_t{63}, int64_t{64}, int64_t{-64},
+                                           int64_t{-65}, int64_t{INT32_MAX},
+                                           int64_t{INT32_MIN}, INT64_MAX,
+                                           INT64_MIN));
+
+TEST(LebTest, S32RangeEnforced) {
+  Bytes buf;
+  AppendLebS64(buf, int64_t{INT32_MAX} + 1);
+  ByteReader reader(buf);
+  EXPECT_FALSE(reader.ReadLebS32().ok());
+}
+
+TEST(LebTest, TruncatedFails) {
+  Bytes buf;
+  AppendLebU32(buf, 300);  // two bytes
+  buf.pop_back();
+  ByteReader reader(buf);
+  EXPECT_FALSE(reader.ReadLebU32().ok());
+}
+
+TEST(LebTest, OverlongU32Rejected) {
+  // 6 continuation bytes is malformed for u32.
+  const Bytes buf = {0x80, 0x80, 0x80, 0x80, 0x80, 0x01};
+  ByteReader reader(buf);
+  EXPECT_FALSE(reader.ReadLebU32().ok());
+}
+
+TEST(ByteReaderTest, FixedWidthReads) {
+  Bytes buf = {0x01, 0x02, 0x03, 0x04, 0xaa, 0xbb, 0xcc, 0xdd, 0x11, 0x22, 0x33,
+               0x44, 0x55, 0x66, 0x77, 0x88};
+  ByteReader reader(buf);
+  auto u32 = reader.ReadFixedU32();
+  ASSERT_TRUE(u32.ok());
+  EXPECT_EQ(*u32, 0x04030201u);
+  ASSERT_TRUE(reader.Skip(4).ok());
+  auto u64 = reader.ReadFixedU64();
+  ASSERT_TRUE(u64.ok());
+  EXPECT_EQ(*u64, 0x8877665544332211ULL);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ByteReaderTest, SpanAndPosition) {
+  Bytes buf = {1, 2, 3, 4, 5};
+  ByteReader reader(buf);
+  auto span = reader.ReadSpan(3);
+  ASSERT_TRUE(span.ok());
+  EXPECT_EQ(span->size(), 3u);
+  EXPECT_EQ(reader.position(), 3u);
+  EXPECT_EQ(reader.remaining(), 2u);
+  EXPECT_FALSE(reader.ReadSpan(3).ok());
+}
+
+}  // namespace
+}  // namespace rr::wasm

@@ -1,0 +1,183 @@
+// Negative tests for the validator (compiler.cc): ill-typed modules must be
+// rejected at instantiation, never executed.
+#include <gtest/gtest.h>
+
+#include "wasm/builder.h"
+#include "wasm/compiler.h"
+#include "wasm/decoder.h"
+
+namespace rr::wasm {
+namespace {
+
+// Builds a module around a single body and attempts compilation.
+Status TryCompile(const FuncType& type, std::vector<ValType> locals,
+                  const CodeEmitter& body, bool with_memory = false) {
+  ModuleBuilder builder;
+  if (with_memory) builder.SetMemory({.min_pages = 1});
+  builder.AddFunction(type, std::move(locals), body);
+  auto compiled = CompileModule(builder.module());
+  return compiled.ok() ? Status::Ok() : compiled.status();
+}
+
+TEST(ValidationTest, StackUnderflowRejected) {
+  CodeEmitter body;
+  body.Op(Opcode::kI32Add).End();  // nothing on stack
+  EXPECT_FALSE(TryCompile({{}, {}}, {}, body).ok());
+}
+
+TEST(ValidationTest, TypeMismatchRejected) {
+  CodeEmitter body;
+  body.I32Const(1).I64Const(2).Op(Opcode::kI32Add).End();
+  EXPECT_FALSE(TryCompile({{}, {}}, {}, body).ok());
+}
+
+TEST(ValidationTest, WrongResultTypeRejected) {
+  CodeEmitter body;
+  body.I64Const(1).End();  // function declares i32 result
+  EXPECT_FALSE(TryCompile({{}, {ValType::kI32}}, {}, body).ok());
+}
+
+TEST(ValidationTest, MissingResultRejected) {
+  CodeEmitter body;
+  body.End();
+  EXPECT_FALSE(TryCompile({{}, {ValType::kI32}}, {}, body).ok());
+}
+
+TEST(ValidationTest, LeftoverValuesRejected) {
+  CodeEmitter body;
+  body.I32Const(1).I32Const(2).End();  // void function, two leftovers
+  EXPECT_FALSE(TryCompile({{}, {}}, {}, body).ok());
+}
+
+TEST(ValidationTest, LocalIndexOutOfRangeRejected) {
+  CodeEmitter body;
+  body.LocalGet(3).Drop().End();
+  EXPECT_FALSE(TryCompile({{ValType::kI32}, {}}, {ValType::kI32}, body).ok());
+}
+
+TEST(ValidationTest, LocalTypeMismatchRejected) {
+  CodeEmitter body;
+  body.I64Const(1).LocalSet(0).End();  // local 0 is i32 (param)
+  EXPECT_FALSE(TryCompile({{ValType::kI32}, {}}, {}, body).ok());
+}
+
+TEST(ValidationTest, BranchDepthOutOfRangeRejected) {
+  CodeEmitter body;
+  body.Block().Br(5).End().End();
+  EXPECT_FALSE(TryCompile({{}, {}}, {}, body).ok());
+}
+
+TEST(ValidationTest, BranchValueTypeMismatchRejected) {
+  CodeEmitter body;
+  body.Block(ValType::kI32).I64Const(1).Br(0).End().Drop().End();
+  EXPECT_FALSE(TryCompile({{}, {}}, {}, body).ok());
+}
+
+TEST(ValidationTest, IfWithResultButNoElseRejected) {
+  CodeEmitter body;
+  body.I32Const(1).If(ValType::kI32).I32Const(2).End().Drop().End();
+  EXPECT_FALSE(TryCompile({{}, {}}, {}, body).ok());
+}
+
+TEST(ValidationTest, ElseWithoutIfRejected) {
+  CodeEmitter body;
+  body.Block().Else().End().End();
+  EXPECT_FALSE(TryCompile({{}, {}}, {}, body).ok());
+}
+
+TEST(ValidationTest, MemoryOpWithoutMemoryRejected) {
+  CodeEmitter body;
+  body.I32Const(0).I32Load().Drop().End();
+  EXPECT_FALSE(TryCompile({{}, {}}, {}, body, /*with_memory=*/false).ok());
+  EXPECT_TRUE(TryCompile({{}, {}}, {}, body, /*with_memory=*/true).ok());
+}
+
+TEST(ValidationTest, OveralignedAccessRejected) {
+  CodeEmitter body;
+  body.I32Const(0).MemOp(Opcode::kI32Load, 0, /*align=*/3).Drop().End();
+  EXPECT_FALSE(TryCompile({{}, {}}, {}, body, true).ok());
+}
+
+TEST(ValidationTest, GlobalSetOnImmutableRejected) {
+  ModuleBuilder builder;
+  builder.AddGlobal(ValType::kI32, false, Value::I32(1));
+  CodeEmitter body;
+  body.I32Const(2).GlobalSet(0).End();
+  builder.AddFunction({{}, {}}, {}, body);
+  EXPECT_FALSE(CompileModule(builder.module()).ok());
+}
+
+TEST(ValidationTest, CallIndexOutOfRangeRejected) {
+  CodeEmitter body;
+  body.Call(7).End();
+  EXPECT_FALSE(TryCompile({{}, {}}, {}, body).ok());
+}
+
+TEST(ValidationTest, CallArgumentTypeMismatchRejected) {
+  ModuleBuilder builder;
+  CodeEmitter callee;
+  callee.End();
+  const uint32_t target = builder.AddFunction({{ValType::kI64}, {}}, {}, callee);
+  CodeEmitter caller;
+  caller.I32Const(1).Call(target).End();
+  builder.AddFunction({{}, {}}, {}, caller);
+  EXPECT_FALSE(CompileModule(builder.module()).ok());
+}
+
+TEST(ValidationTest, SelectOperandMismatchRejected) {
+  CodeEmitter body;
+  body.I32Const(1).I64Const(2).I32Const(1).Select().Drop().End();
+  EXPECT_FALSE(TryCompile({{}, {}}, {}, body).ok());
+}
+
+TEST(ValidationTest, UnreachableCodeIsPolymorphic) {
+  // After `unreachable`, an add with no operands must validate (spec
+  // polymorphism) — the classic dead-code case emitted by LLVM.
+  CodeEmitter body;
+  body.Unreachable().Op(Opcode::kI32Add).Drop().End();
+  EXPECT_TRUE(TryCompile({{}, {}}, {}, body).ok());
+}
+
+TEST(ValidationTest, DeadCodeAfterBranchIsPolymorphic) {
+  CodeEmitter body;
+  body.Block().Br(0).Op(Opcode::kI32Add).Drop().End().End();
+  EXPECT_TRUE(TryCompile({{}, {}}, {}, body).ok());
+}
+
+TEST(ValidationTest, BodyWithoutEndRejected) {
+  ModuleBuilder builder;
+  CodeEmitter body;
+  body.I32Const(1).Drop();  // no End()
+  builder.AddFunction({{}, {}}, {}, body);
+  // The decoder refuses bodies that do not end with `end`; compile the IR
+  // directly to exercise the compiler's own guard.
+  auto compiled = CompileModule(builder.module());
+  EXPECT_FALSE(compiled.ok());
+}
+
+TEST(ValidationTest, ValidNestedControlFlowAccepted) {
+  CodeEmitter body;
+  body.Block();
+  body.Loop();
+  body.LocalGet(0).I32Eqz().BrIf(1);
+  body.LocalGet(0).I32Const(1).Op(Opcode::kI32Sub).LocalSet(0);
+  body.I32Const(1).If().Br(1).Else().Nop().End();
+  body.End();
+  body.End();
+  body.End();
+  EXPECT_TRUE(TryCompile({{ValType::kI32}, {}}, {}, body).ok());
+}
+
+TEST(ValidationTest, MaxStackTracked) {
+  ModuleBuilder builder;
+  CodeEmitter body;
+  body.I32Const(1).I32Const(2).I32Const(3).I32Const(4);
+  body.Op(Opcode::kI32Add).Op(Opcode::kI32Add).Op(Opcode::kI32Add).End();
+  builder.AddFunction({{}, {ValType::kI32}}, {}, body);
+  auto compiled = CompileModule(builder.module());
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  EXPECT_EQ((*compiled)[0].max_stack, 4u);
+}
+
+}  // namespace
+}  // namespace rr::wasm

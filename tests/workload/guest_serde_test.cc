@@ -1,0 +1,119 @@
+// The escape/unescape kernels are genuine interpreted bytecode: these tests
+// double as heavy interpreter integration tests (loops, nested ifs, byte
+// loads/stores over megabytes of linear memory).
+#include "workload/guest_serde.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "serde/json.h"
+#include "workload/payload.h"
+
+namespace rr::workload {
+namespace {
+
+std::unique_ptr<GuestSerde> MakeSerde() {
+  auto serde = GuestSerde::Create();
+  EXPECT_TRUE(serde.ok()) << serde.status();
+  return serde.ok() ? std::move(*serde) : nullptr;
+}
+
+TEST(GuestSerdeTest, PlainBytesPassThrough) {
+  auto serde = MakeSerde();
+  ASSERT_NE(serde, nullptr);
+  auto escaped = serde->Escape(AsBytes("hello world 123"));
+  ASSERT_TRUE(escaped.ok()) << escaped.status();
+  EXPECT_EQ(ToString(*escaped), "hello world 123");
+}
+
+TEST(GuestSerdeTest, EscapesQuotesBackslashesNewlines) {
+  auto serde = MakeSerde();
+  ASSERT_NE(serde, nullptr);
+  auto escaped = serde->Escape(AsBytes("a\"b\\c\nd"));
+  ASSERT_TRUE(escaped.ok()) << escaped.status();
+  EXPECT_EQ(ToString(*escaped), "a\\\"b\\\\c\\nd");
+}
+
+TEST(GuestSerdeTest, EmptyInput) {
+  auto serde = MakeSerde();
+  ASSERT_NE(serde, nullptr);
+  auto escaped = serde->Escape({});
+  ASSERT_TRUE(escaped.ok()) << escaped.status();
+  EXPECT_TRUE(escaped->empty());
+}
+
+TEST(GuestSerdeTest, RoundTripThroughUnescape) {
+  auto serde = MakeSerde();
+  ASSERT_NE(serde, nullptr);
+  const std::string original = "line1\nline2 \"quoted\" back\\slash end";
+  auto escaped = serde->Escape(AsBytes(original));
+  ASSERT_TRUE(escaped.ok());
+  auto restored = serde->Unescape(*escaped);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(ToString(*restored), original);
+}
+
+TEST(GuestSerdeTest, MatchesHostJsonEscaperOnWorkloadBodies) {
+  // The interpreted escaper must produce byte-identical output to the host
+  // JSON encoder (modulo the enclosing quotes) for the benchmark bodies.
+  auto serde = MakeSerde();
+  ASSERT_NE(serde, nullptr);
+  const std::string body = MakeBody(20000, 11);
+  auto escaped = serde->Escape(AsBytes(body));
+  ASSERT_TRUE(escaped.ok());
+
+  const std::string host_escaped = serde::JsonEncode(serde::JsonValue(body));
+  ASSERT_GE(host_escaped.size(), 2u);
+  EXPECT_EQ(ToString(*escaped),
+            host_escaped.substr(1, host_escaped.size() - 2));
+}
+
+TEST(GuestSerdeTest, ExecutesInInterpreterNotNative) {
+  auto serde = MakeSerde();
+  ASSERT_NE(serde, nullptr);
+  const uint64_t before = serde->instructions_executed();
+  ASSERT_TRUE(serde->Escape(AsBytes(std::string(1000, 'x'))).ok());
+  const uint64_t executed = serde->instructions_executed() - before;
+  // At least a handful of bytecode instructions per input byte.
+  EXPECT_GT(executed, 10'000u);
+}
+
+class GuestSerdePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GuestSerdePropertyTest, RandomPrintableBodiesRoundTrip) {
+  auto serde = MakeSerde();
+  ASSERT_NE(serde, nullptr);
+  Rng rng(GetParam());
+  std::string body;
+  const size_t size = 1 + rng.NextBelow(8192);
+  static constexpr char kChars[] = "abc\"\\\n xyz0123";
+  for (size_t i = 0; i < size; ++i) {
+    body.push_back(kChars[rng.NextBelow(sizeof(kChars) - 1)]);
+  }
+  auto escaped = serde->Escape(AsBytes(body));
+  ASSERT_TRUE(escaped.ok());
+  auto restored = serde->Unescape(*escaped);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(ToString(*restored), body);
+
+  // Cross-check against the host escaper.
+  const std::string host = serde::JsonEncode(serde::JsonValue(body));
+  EXPECT_EQ(ToString(*escaped), host.substr(1, host.size() - 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GuestSerdePropertyTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{13}));
+
+TEST(GuestSerdeTest, MegabyteBodyThroughInterpreter) {
+  auto serde = MakeSerde();
+  ASSERT_NE(serde, nullptr);
+  const std::string body = MakeBody(1 << 20, 3);
+  auto escaped = serde->Escape(AsBytes(body));
+  ASSERT_TRUE(escaped.ok()) << escaped.status();
+  auto restored = serde->Unescape(*escaped);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(Fnv1a(*restored), Fnv1a(AsBytes(body)));
+}
+
+}  // namespace
+}  // namespace rr::workload
