@@ -1,0 +1,20 @@
+#include "core/endpoint.h"
+
+namespace rr::core {
+
+std::string_view TransferModeName(TransferMode mode) {
+  switch (mode) {
+    case TransferMode::kUserSpace: return "user-space";
+    case TransferMode::kKernelSpace: return "kernel-space";
+    case TransferMode::kNetwork: return "network";
+  }
+  return "?";
+}
+
+TransferMode SelectMode(const Location& source, const Location& target) {
+  if (source.SameVm(target)) return TransferMode::kUserSpace;
+  if (source.SameNode(target)) return TransferMode::kKernelSpace;
+  return TransferMode::kNetwork;
+}
+
+}  // namespace rr::core

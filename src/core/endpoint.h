@@ -1,0 +1,46 @@
+// Placement-driven communication-mode selection.
+//
+// "Roadrunner optimizes communication regardless of the scheduler's
+// decisions" (§2.2): the orchestrator places functions wherever it likes;
+// given the resulting placement, the shim picks the cheapest mode —
+// user space within one VM, kernel space within one host, network across
+// hosts (§3.2.3, §7 Benefits and Trade-Offs).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/shim.h"
+
+namespace rr::core {
+
+enum class TransferMode { kUserSpace, kKernelSpace, kNetwork };
+
+std::string_view TransferModeName(TransferMode mode);
+
+// Where a function instance lives, as the orchestrator reports it.
+struct Location {
+  std::string node;  // host identity
+  std::string vm;    // Wasm VM identity within the node ("" = dedicated VM)
+
+  bool SameVm(const Location& other) const {
+    return node == other.node && !vm.empty() && vm == other.vm;
+  }
+  bool SameNode(const Location& other) const { return node == other.node; }
+};
+
+// Picks the cheapest mode the placement allows (Table of §7 trade-offs).
+TransferMode SelectMode(const Location& source, const Location& target);
+
+// A registered function instance: its shim plus placement and (for remote
+// placements) the ingress address of its node. A non-zero port means the
+// function is reached through its node's NodeAgent ingress; port 0 means
+// transfers may establish an in-process loopback hop on demand.
+struct Endpoint {
+  Shim* shim = nullptr;
+  Location location;
+  std::string host = "127.0.0.1";  // network-mode ingress
+  uint16_t port = 0;
+};
+
+}  // namespace rr::core

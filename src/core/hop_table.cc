@@ -1,0 +1,160 @@
+#include "core/hop_table.h"
+
+#include <thread>
+
+#include "core/node_agent.h"
+
+namespace rr::core {
+
+Result<HopTable::KernelHop*> HopTable::Kernel(const std::string& source,
+                                              const std::string& target) {
+  KernelHop* hop;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    hop = kernel_hops_.try_emplace(PairKey{source, target},
+                                   std::make_unique<KernelHop>())
+              .first->second.get();
+  }
+  // Establish under the hop's own mutex: concurrent first-use of distinct
+  // pairs connects in parallel instead of serializing on the table lock.
+  std::lock_guard<std::mutex> hop_lock(hop->mutex);
+  if (!hop->sender.has_value()) {
+    RR_ASSIGN_OR_RETURN(auto pair, MakeKernelChannelPair());
+    hop->sender.emplace(std::move(pair.first));
+    hop->receiver.emplace(std::move(pair.second));
+  }
+  return hop;
+}
+
+Result<HopTable::NetworkHop*> HopTable::Network(const std::string& source,
+                                                const Endpoint& target) {
+  NetworkHop* hop;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    hop = network_hops_.try_emplace(PairKey{source, target.shim->name()},
+                                    std::make_unique<NetworkHop>())
+              .first->second.get();
+  }
+  std::lock_guard<std::mutex> hop_lock(hop->mutex);
+  if (!hop->sender.has_value()) {
+    if (target.port == 0) {
+      // No external ingress registered: create a loopback listener on demand
+      // (the in-process stand-in for the remote node's shim port).
+      RR_ASSIGN_OR_RETURN(NetworkChannelListener listener,
+                          NetworkChannelListener::Bind(0));
+      RR_ASSIGN_OR_RETURN(
+          NetworkChannelSender sender,
+          NetworkChannelSender::Connect(target.host, listener.port()));
+      RR_ASSIGN_OR_RETURN(NetworkChannelReceiver receiver, listener.Accept());
+      hop->sender.emplace(std::move(sender));
+      hop->receiver.emplace(std::move(receiver));
+    } else {
+      // Route through the target node's agent: the preamble names the
+      // function, the agent hands the connection to its shim's receiver.
+      RR_ASSIGN_OR_RETURN(
+          NetworkChannelSender sender,
+          ConnectToRemoteFunction(target.host, target.port, target.shim->name()));
+      hop->sender.emplace(std::move(sender));
+    }
+  }
+  return hop;
+}
+
+size_t HopTable::Evict(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t evicted = 0;
+  const auto involves = [&name](const PairKey& key) {
+    return key.first == name || key.second == name;
+  };
+  for (auto it = kernel_hops_.begin(); it != kernel_hops_.end();) {
+    if (involves(it->first)) {
+      it = kernel_hops_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = network_hops_.begin(); it != network_hops_.end();) {
+    if (involves(it->first)) {
+      it = network_hops_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+size_t HopTable::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return kernel_hops_.size() + network_hops_.size();
+}
+
+namespace {
+
+// The two shims are distinct sandboxes; run the send concurrently so a
+// payload larger than the kernel socket buffer cannot self-deadlock.
+template <typename Sender, typename Receiver>
+Result<MemoryRegion> SendAndReceive(Sender& sender, Receiver& receiver,
+                                    Endpoint& source, const MemoryRegion& region,
+                                    Endpoint& target, TransferTiming* timing) {
+  Status send_status;
+  std::thread send_thread(
+      [&] { send_status = sender.Send(*source.shim, region); });
+  auto delivered = receiver.ReceiveInto(*target.shim);
+  send_thread.join();
+  RR_RETURN_IF_ERROR(send_status);
+  if (delivered.ok() && timing != nullptr) {
+    *timing += sender.last_timing();
+    *timing += receiver.last_timing();
+  }
+  return delivered;
+}
+
+}  // namespace
+
+Result<MemoryRegion> ForwardOverHop(HopTable& hops, Endpoint& source,
+                                    const MemoryRegion& region, Endpoint& target,
+                                    TransferTiming* timing) {
+  switch (SelectMode(source.location, target.location)) {
+    case TransferMode::kUserSpace: {
+      RR_ASSIGN_OR_RETURN(UserSpaceChannel channel,
+                          UserSpaceChannel::Create(source.shim, target.shim));
+      return channel.Transfer(region);
+    }
+    case TransferMode::kKernelSpace: {
+      RR_ASSIGN_OR_RETURN(
+          HopTable::KernelHop* const hop,
+          hops.Kernel(source.shim->name(), target.shim->name()));
+      std::lock_guard<std::mutex> lock(hop->mutex);
+      return SendAndReceive(*hop->sender, *hop->receiver, source, region,
+                            target, timing);
+    }
+    case TransferMode::kNetwork: {
+      if (target.port != 0) {
+        // Checked before connecting: a failed operation must not park a
+        // worker on the remote agent.
+        return FailedPreconditionError(
+            "delivery through a NodeAgent ingress is invoke-coupled; "
+            "the remote agent receives and invokes (dag::DagExecutor "
+            "handles this path)");
+      }
+      RR_ASSIGN_OR_RETURN(HopTable::NetworkHop* const hop,
+                          hops.Network(source.shim->name(), target));
+      std::lock_guard<std::mutex> lock(hop->mutex);
+      return SendAndReceive(*hop->sender, *hop->receiver, source, region,
+                            target, timing);
+    }
+  }
+  return InternalError("unreachable transfer mode");
+}
+
+Result<InvokeOutcome> ForwardAndInvoke(HopTable& hops, Endpoint& source,
+                                       const MemoryRegion& region,
+                                       Endpoint& target, TransferTiming* timing) {
+  RR_ASSIGN_OR_RETURN(const MemoryRegion delivered,
+                      ForwardOverHop(hops, source, region, target, timing));
+  return target.shim->InvokeOnRegion(delivered);
+}
+
+}  // namespace rr::core

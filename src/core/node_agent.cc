@@ -51,6 +51,9 @@ void NodeAgent::Shutdown() {
   std::vector<std::thread> workers;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    // Unblock workers parked in a receive on a still-open channel (senders
+    // cached in a HopTable may outlive the agent).
+    for (const int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
     workers.swap(workers_);
   }
   for (std::thread& worker : workers) {
@@ -87,25 +90,47 @@ void NodeAgent::AcceptLoop() {
 }
 
 void NodeAgent::ServeConnection(osal::Connection conn) {
+  const int fd = conn.fd();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_.load()) return;  // raced with Shutdown: drop, don't serve
+    active_fds_.insert(fd);
+  }
+  // Untrack before the connection closes (returns below destroy it after the
+  // call), so Shutdown never shuts down a recycled descriptor.
+  const auto untrack = [this, fd] {
+    std::lock_guard<std::mutex> lock(mutex_);
+    active_fds_.erase(fd);
+  };
+
   auto name = ReadPreamble(conn);
   if (!name.ok()) {
     RR_LOG(Warning) << "node agent: bad preamble: " << name.status();
+    untrack();
     return;
   }
 
   Entry entry;
+  bool found = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = functions_.find(*name);
-    if (it == functions_.end()) {
-      RR_LOG(Warning) << "node agent: no such function: " << *name;
-      return;  // connection dropped: remote sees EOF/reset
+    if (it != functions_.end()) {
+      entry = it->second;
+      found = true;
     }
-    entry = it->second;
+  }
+  if (!found) {
+    RR_LOG(Warning) << "node agent: no such function: " << *name;
+    untrack();
+    return;  // connection dropped: remote sees EOF/reset
   }
 
   auto receiver = NetworkChannelReceiver::FromConnection(std::move(conn));
-  if (!receiver.ok()) return;
+  if (!receiver.ok()) {
+    untrack();
+    return;
+  }
 
   // One channel, many transfers: loop until the peer closes.
   while (!stopping_.load()) {
@@ -115,7 +140,7 @@ void NodeAgent::ServeConnection(osal::Connection conn) {
           outcome.status().code() != StatusCode::kUnavailable) {
         RR_LOG(Debug) << "node agent: transfer ended: " << outcome.status();
       }
-      return;
+      break;
     }
     transfers_completed_.fetch_add(1, std::memory_order_relaxed);
     if (entry.on_delivery) {
@@ -125,6 +150,7 @@ void NodeAgent::ServeConnection(osal::Connection conn) {
       (void)entry.shim->ReleaseRegion(outcome->output);
     }
   }
+  untrack();
 }
 
 Result<NetworkChannelSender> ConnectToRemoteFunction(const std::string& host,

@@ -15,6 +15,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <thread>
 
 #include "core/network_channel.h"
@@ -63,6 +64,9 @@ class NodeAgent {
   osal::TcpListener listener_;
   std::mutex mutex_;
   std::map<std::string, Entry> functions_;
+  // Accepted-connection fds, tracked so Shutdown can unblock workers parked
+  // in a receive (a peer that never closes must not wedge teardown).
+  std::set<int> active_fds_;
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> transfers_completed_{0};
   std::thread accept_thread_;

@@ -1,23 +1,6 @@
 #include "core/workflow.h"
 
-#include <thread>
-
 namespace rr::core {
-
-std::string_view TransferModeName(TransferMode mode) {
-  switch (mode) {
-    case TransferMode::kUserSpace: return "user-space";
-    case TransferMode::kKernelSpace: return "kernel-space";
-    case TransferMode::kNetwork: return "network";
-  }
-  return "?";
-}
-
-TransferMode SelectMode(const Location& source, const Location& target) {
-  if (source.SameVm(target)) return TransferMode::kUserSpace;
-  if (source.SameNode(target)) return TransferMode::kKernelSpace;
-  return TransferMode::kNetwork;
-}
 
 Status WorkflowManager::Register(Endpoint endpoint) {
   if (endpoint.shim == nullptr) {
@@ -34,6 +17,16 @@ Status WorkflowManager::Register(Endpoint endpoint) {
   return Status::Ok();
 }
 
+Status WorkflowManager::Unregister(const std::string& name) {
+  if (endpoints_.erase(name) == 0) {
+    return NotFoundError("unknown function: " + name);
+  }
+  // Cached hops hold live connections whose peer shim is going away; a
+  // re-registered replacement must reconnect, not inherit them.
+  hops_.Evict(name);
+  return Status::Ok();
+}
+
 Result<Endpoint*> WorkflowManager::Find(const std::string& name) {
   const auto it = endpoints_.find(name);
   if (it == endpoints_.end()) return NotFoundError("unknown function: " + name);
@@ -47,72 +40,6 @@ Result<TransferMode> WorkflowManager::ModeBetween(const std::string& source,
   return SelectMode(a->location, b->location);
 }
 
-Result<InvokeOutcome> WorkflowManager::ForwardAndInvoke(
-    Endpoint& source, const MemoryRegion& region, Endpoint& target) {
-  const TransferMode mode = SelectMode(source.location, target.location);
-  switch (mode) {
-    case TransferMode::kUserSpace: {
-      RR_ASSIGN_OR_RETURN(UserSpaceChannel channel,
-                          UserSpaceChannel::Create(source.shim, target.shim));
-      return channel.TransferAndInvoke(region);
-    }
-    case TransferMode::kKernelSpace: {
-      const auto key = std::make_pair(source.shim->name(), target.shim->name());
-      auto it = kernel_hops_.find(key);
-      if (it == kernel_hops_.end()) {
-        RR_ASSIGN_OR_RETURN(auto pair, MakeKernelChannelPair());
-        it = kernel_hops_
-                 .emplace(key, KernelHop{std::move(pair.first),
-                                         std::move(pair.second)})
-                 .first;
-      }
-      // The two shims are distinct sandboxes; run the send concurrently so a
-      // payload larger than the kernel socket buffer cannot self-deadlock.
-      Status send_status;
-      std::thread sender([&] {
-        send_status = it->second.sender.Send(*source.shim, region);
-      });
-      auto outcome = it->second.receiver.ReceiveAndInvoke(*target.shim);
-      sender.join();
-      RR_RETURN_IF_ERROR(send_status);
-      return outcome;
-    }
-    case TransferMode::kNetwork: {
-      const auto key = std::make_pair(source.shim->name(), target.shim->name());
-      auto it = network_hops_.find(key);
-      if (it == network_hops_.end()) {
-        // Establish the hop through the target's ingress. When no external
-        // ingress is registered, create a loopback listener on demand (the
-        // in-process stand-in for the remote node's shim port).
-        if (target.port == 0) {
-          RR_ASSIGN_OR_RETURN(NetworkChannelListener listener,
-                              NetworkChannelListener::Bind(0));
-          RR_ASSIGN_OR_RETURN(
-              NetworkChannelSender sender,
-              NetworkChannelSender::Connect(target.host, listener.port()));
-          RR_ASSIGN_OR_RETURN(NetworkChannelReceiver receiver, listener.Accept());
-          it = network_hops_
-                   .emplace(key, NetworkHop{std::move(sender), std::move(receiver)})
-                   .first;
-        } else {
-          return UnimplementedError(
-              "external network ingress requires the node-level relay; use "
-              "NetworkChannelListener on the target node");
-        }
-      }
-      Status send_status;
-      std::thread sender([&] {
-        send_status = it->second.sender.Send(*source.shim, region);
-      });
-      auto outcome = it->second.receiver.ReceiveAndInvoke(*target.shim);
-      sender.join();
-      RR_RETURN_IF_ERROR(send_status);
-      return outcome;
-    }
-  }
-  return InternalError("unreachable transfer mode");
-}
-
 Result<Bytes> WorkflowManager::RunChain(const std::vector<std::string>& names,
                                         ByteSpan input) {
   if (names.empty()) return InvalidArgumentError("empty chain");
@@ -123,8 +50,8 @@ Result<Bytes> WorkflowManager::RunChain(const std::vector<std::string>& names,
 
   for (size_t i = 1; i < names.size(); ++i) {
     RR_ASSIGN_OR_RETURN(Endpoint* const next, Find(names[i]));
-    RR_ASSIGN_OR_RETURN(outcome,
-                        ForwardAndInvoke(*current, outcome.output, *next));
+    RR_ASSIGN_OR_RETURN(
+        outcome, ForwardAndInvoke(hops_, *current, outcome.output, *next));
     current = next;
   }
 

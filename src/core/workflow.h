@@ -1,50 +1,19 @@
-// Workflow registry and communication-mode selection.
+// Workflow registry and linear-chain execution.
 //
-// "Roadrunner optimizes communication regardless of the scheduler's
-// decisions" (§2.2): the orchestrator places functions wherever it likes;
-// given the resulting placement, the shim picks the cheapest mode —
-// user space within one VM, kernel space within one host, network across
-// hosts (§3.2.3, §7 Benefits and Trade-Offs).
+// WorkflowManager owns the registry of one workflow's function endpoints and
+// the HopTable of established channels between them. RunChain executes the
+// paper's linear pipelines; DAG-shaped workflows are executed over the same
+// registry and hop cache by dag::DagExecutor (src/dag/executor.h).
 #pragma once
 
 #include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "core/kernel_channel.h"
-#include "core/network_channel.h"
-#include "core/shim.h"
-#include "core/user_channel.h"
+#include "core/endpoint.h"
+#include "core/hop_table.h"
 
 namespace rr::core {
-
-enum class TransferMode { kUserSpace, kKernelSpace, kNetwork };
-
-std::string_view TransferModeName(TransferMode mode);
-
-// Where a function instance lives, as the orchestrator reports it.
-struct Location {
-  std::string node;  // host identity
-  std::string vm;    // Wasm VM identity within the node ("" = dedicated VM)
-
-  bool SameVm(const Location& other) const {
-    return node == other.node && !vm.empty() && vm == other.vm;
-  }
-  bool SameNode(const Location& other) const { return node == other.node; }
-};
-
-// Picks the cheapest mode the placement allows (Table of §7 trade-offs).
-TransferMode SelectMode(const Location& source, const Location& target);
-
-// A registered function instance: its shim plus placement and (for remote
-// placements) the ingress address of its node.
-struct Endpoint {
-  Shim* shim = nullptr;
-  Location location;
-  std::string host = "127.0.0.1";  // network-mode ingress
-  uint16_t port = 0;
-};
 
 // WorkflowManager executes chains by selecting a mode per hop. It owns no
 // sandboxes — shims are registered by the platform integration — and is the
@@ -54,6 +23,11 @@ class WorkflowManager {
   explicit WorkflowManager(std::string workflow) : workflow_(std::move(workflow)) {}
 
   Status Register(Endpoint endpoint);
+
+  // Removes a function and evicts every cached hop it participates in, so a
+  // replacement shim registered under the same name starts from fresh
+  // channels instead of inheriting connections to the dead sandbox.
+  Status Unregister(const std::string& name);
 
   Result<Endpoint*> Find(const std::string& name);
 
@@ -66,25 +40,16 @@ class WorkflowManager {
   Result<TransferMode> ModeBetween(const std::string& source,
                                    const std::string& target);
 
+  // The shared cache of established hops (exposed so DAG executors drive the
+  // same connections RunChain does).
+  HopTable& hops() { return hops_; }
+
+  const std::string& workflow() const { return workflow_; }
+
  private:
-  // One cached duplex hop between two co-located or remote functions.
-  struct KernelHop {
-    KernelChannelSender sender;
-    KernelChannelReceiver receiver;
-  };
-  struct NetworkHop {
-    NetworkChannelSender sender;
-    NetworkChannelReceiver receiver;
-  };
-
-  Result<InvokeOutcome> ForwardAndInvoke(Endpoint& source,
-                                         const MemoryRegion& region,
-                                         Endpoint& target);
-
   std::string workflow_;
   std::map<std::string, Endpoint> endpoints_;
-  std::map<std::pair<std::string, std::string>, KernelHop> kernel_hops_;
-  std::map<std::pair<std::string, std::string>, NetworkHop> network_hops_;
+  HopTable hops_;
 };
 
 }  // namespace rr::core

@@ -1,0 +1,135 @@
+#include "dag/dag.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace rr::dag {
+
+Result<size_t> Dag::IndexOf(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) return NotFoundError("unknown DAG node: " + name);
+  return it->second;
+}
+
+size_t DagBuilder::NodeIndex(const std::string& name) {
+  const auto it = index_.find(name);
+  return it == index_.end() ? SIZE_MAX : it->second;
+}
+
+DagBuilder& DagBuilder::AddNode(const std::string& name) {
+  if (!first_error_.ok()) return *this;
+  if (name.empty()) {
+    first_error_ = InvalidArgumentError(name_ + ": empty node name");
+    return *this;
+  }
+  if (!index_.emplace(name, nodes_.size()).second) {
+    first_error_ = AlreadyExistsError(name_ + ": duplicate node: " + name);
+    return *this;
+  }
+  nodes_.push_back(DagNode{name, {}, {}});
+  return *this;
+}
+
+DagBuilder& DagBuilder::AddEdge(const std::string& from, const std::string& to) {
+  if (!first_error_.ok()) return *this;
+  const size_t from_index = NodeIndex(from);
+  const size_t to_index = NodeIndex(to);
+  if (from_index == SIZE_MAX || to_index == SIZE_MAX) {
+    first_error_ = NotFoundError(name_ + ": edge references unknown node: " +
+                                 (from_index == SIZE_MAX ? from : to));
+    return *this;
+  }
+  if (from_index == to_index) {
+    first_error_ = InvalidArgumentError(name_ + ": self-edge on " + from);
+    return *this;
+  }
+  const auto& succs = nodes_[from_index].succs;
+  if (std::find(succs.begin(), succs.end(), to_index) != succs.end()) {
+    first_error_ = AlreadyExistsError(name_ + ": duplicate edge " + from +
+                                      " -> " + to);
+    return *this;
+  }
+  nodes_[from_index].succs.push_back(to_index);
+  nodes_[to_index].preds.push_back(from_index);
+  edges_.emplace_back(from_index, to_index);
+  return *this;
+}
+
+DagBuilder& DagBuilder::Chain(const std::vector<std::string>& names) {
+  for (size_t i = 0; i < names.size(); ++i) {
+    AddNode(names[i]);
+    if (i > 0) AddEdge(names[i - 1], names[i]);
+  }
+  return *this;
+}
+
+DagBuilder& DagBuilder::FanOut(const std::string& from,
+                               const std::vector<std::string>& to) {
+  for (const std::string& target : to) {
+    AddNode(target);
+    AddEdge(from, target);
+  }
+  return *this;
+}
+
+DagBuilder& DagBuilder::FanIn(const std::vector<std::string>& from,
+                              const std::string& to) {
+  AddNode(to);
+  for (const std::string& source : from) AddEdge(source, to);
+  return *this;
+}
+
+Result<Dag> DagBuilder::Build(Options options) const {
+  RR_RETURN_IF_ERROR(first_error_);
+  if (nodes_.empty()) return InvalidArgumentError(name_ + ": empty DAG");
+
+  // Kahn's algorithm: repeatedly consume in-degree-0 nodes. Anything left
+  // unconsumed sits on a cycle.
+  std::vector<size_t> in_degree(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) in_degree[i] = nodes_[i].preds.size();
+
+  std::deque<size_t> ready;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (in_degree[i] == 0) ready.push_back(i);
+  }
+
+  std::vector<size_t> topo;
+  topo.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const size_t current = ready.front();
+    ready.pop_front();
+    topo.push_back(current);
+    for (const size_t succ : nodes_[current].succs) {
+      if (--in_degree[succ] == 0) ready.push_back(succ);
+    }
+  }
+  if (topo.size() != nodes_.size()) {
+    std::string cyclic;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (in_degree[i] > 0) cyclic += (cyclic.empty() ? "" : ", ") + nodes_[i].name;
+    }
+    return InvalidArgumentError(name_ + ": cycle through {" + cyclic + "}");
+  }
+
+  Dag dag;
+  dag.nodes_ = nodes_;
+  dag.index_ = index_;
+  dag.topo_order_ = std::move(topo);
+  dag.edge_count_ = edges_.size();
+  for (size_t i = 0; i < dag.nodes_.size(); ++i) {
+    if (dag.nodes_[i].preds.empty()) dag.sources_.push_back(i);
+    if (dag.nodes_[i].succs.empty()) dag.sinks_.push_back(i);
+  }
+  if (options.require_single_source && dag.sources_.size() != 1) {
+    return InvalidArgumentError(
+        name_ + ": expected exactly one source, found " +
+        std::to_string(dag.sources_.size()));
+  }
+  if (options.require_single_sink && dag.sinks_.size() != 1) {
+    return InvalidArgumentError(name_ + ": expected exactly one sink, found " +
+                                std::to_string(dag.sinks_.size()));
+  }
+  return dag;
+}
+
+}  // namespace rr::dag

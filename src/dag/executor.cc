@@ -1,0 +1,361 @@
+#include "dag/executor.h"
+
+#include <atomic>
+#include <cstring>
+#include <optional>
+
+namespace rr::dag {
+
+using core::Endpoint;
+using core::InvokeOutcome;
+using core::MemoryRegion;
+using core::TransferTiming;
+
+// Per-node execution state. `remaining_consumers` counts successors that
+// still need this node's output region; the consumer that decrements it to
+// zero releases the region, so fan-out never frees under a concurrent reader
+// and steady-state memory stays bounded by the DAG's live frontier.
+struct DagExecutor::NodeRun {
+  Endpoint* endpoint = nullptr;
+  InvokeOutcome outcome;
+  bool has_outcome = false;
+  bool released = false;
+  std::atomic<size_t> remaining_consumers{0};
+};
+
+struct DagExecutor::StatsState {
+  telemetry::DagRunStats* out = nullptr;
+  std::mutex mutex;
+  std::optional<TimePoint> phase_start;
+  TimePoint phase_end{};
+
+  // Called immediately before an edge transfer: the first caller anchors the
+  // transfer phase, so `transfer_phase` spans first edge start to last edge
+  // completion across all concurrent branches.
+  void MarkPhaseStart() {
+    if (out == nullptr) return;
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!phase_start.has_value()) phase_start = Now();
+  }
+
+  void Record(const std::string& source, const std::string& target,
+              core::TransferMode mode, uint64_t bytes, Nanos latency,
+              Nanos wasm_io) {
+    if (out == nullptr) return;
+    std::lock_guard<std::mutex> lock(mutex);
+    phase_end = std::max(phase_end, Now());
+    out->edges.push_back(telemetry::EdgeSample{
+        source, target, std::string(core::TransferModeName(mode)), bytes,
+        latency, wasm_io});
+  }
+};
+
+Result<Bytes> DagExecutor::Execute(const Dag& dag, ByteSpan input,
+                                   telemetry::DagRunStats* stats) {
+  std::lock_guard<std::mutex> execute_lock(execute_mutex_);
+  const Stopwatch total_timer;
+  if (stats != nullptr) *stats = telemetry::DagRunStats{};
+
+  std::vector<NodeRun> runs(dag.size());
+  for (size_t i = 0; i < dag.size(); ++i) {
+    RR_ASSIGN_OR_RETURN(Endpoint* const endpoint,
+                        manager_->Find(dag.node(i).name));
+    runs[i].endpoint = endpoint;
+    runs[i].remaining_consumers.store(dag.node(i).succs.size(),
+                                      std::memory_order_relaxed);
+  }
+  // Open a fresh delivery epoch: anything a cancelled earlier run never
+  // claimed is released, not inherited.
+  const uint64_t run_id = run_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  PurgeStaleDeliveries(run_id);
+
+  StatsState stats_state;
+  stats_state.out = stats;
+
+  Status status = scheduler_.Run(dag, [&](size_t index) {
+    return RunNode(dag, index, runs, input, stats_state);
+  });
+
+  Bytes result;
+  if (status.ok()) {
+    for (const size_t sink : dag.sinks()) {
+      NodeRun& run = runs[sink];
+      auto view = run.endpoint->shim->OutputView(run.outcome.output);
+      if (!view.ok()) {
+        status = view.status();
+        break;
+      }
+      result.insert(result.end(), view->begin(), view->end());
+    }
+  }
+  // Release every still-live output region: the sinks on the normal path,
+  // every completed node when the run was cancelled mid-flight.
+  for (NodeRun& run : runs) {
+    if (run.has_outcome && !run.released) {
+      (void)run.endpoint->shim->ReleaseRegion(run.outcome.output);
+      run.released = true;
+    }
+  }
+  RR_RETURN_IF_ERROR(status);
+
+  if (stats != nullptr) {
+    stats->total = total_timer.Elapsed();
+    if (stats_state.phase_start.has_value()) {
+      stats->transfer_phase = stats_state.phase_end - *stats_state.phase_start;
+    }
+  }
+  return result;
+}
+
+Status DagExecutor::RunNode(const Dag& dag, size_t index,
+                            std::vector<NodeRun>& runs, ByteSpan input,
+                            StatsState& stats) {
+  const DagNode& node = dag.node(index);
+  NodeRun& run = runs[index];
+  Endpoint& target = *run.endpoint;
+
+  // Sources take the workflow input through platform ingress.
+  if (node.preds.empty()) {
+    RR_ASSIGN_OR_RETURN(run.outcome, target.shim->DeliverAndInvoke(input));
+    run.has_outcome = true;
+    return Status::Ok();
+  }
+
+  // The agent ingress only carries edges the placement makes network anyway:
+  // a co-located predecessor keeps its user/kernel fast path even when the
+  // target node publishes an ingress port.
+  if (target.port != 0) {
+    bool all_network = true;
+    for (const size_t pred : node.preds) {
+      if (core::SelectMode(runs[pred].endpoint->location, target.location) !=
+          core::TransferMode::kNetwork) {
+        all_network = false;
+        break;
+      }
+    }
+    if (all_network) return RunRemoteNode(dag, index, runs, stats);
+  }
+
+  // Local (or loopback-network) target: deliver each predecessor's payload
+  // over its own mode-selected hop, then invoke once.
+  std::vector<MemoryRegion> delivered;
+  delivered.reserve(node.preds.size());
+  const auto release_delivered = [&] {
+    for (const MemoryRegion& part : delivered) {
+      (void)target.shim->ReleaseRegion(part);
+    }
+  };
+  for (const size_t pred : node.preds) {
+    Endpoint& source = *runs[pred].endpoint;
+    TransferTiming timing;
+    stats.MarkPhaseStart();
+    const Stopwatch edge_timer;
+    auto region = core::ForwardOverHop(manager_->hops(), source,
+                                       runs[pred].outcome.output, target,
+                                       &timing);
+    if (!region.ok()) {
+      release_delivered();
+      return region.status();
+    }
+    stats.Record(source.shim->name(), target.shim->name(),
+                 core::SelectMode(source.location, target.location),
+                 region->length, edge_timer.Elapsed(), timing.wasm_io);
+    delivered.push_back(*region);
+  }
+  ReleaseConsumedPreds(node, runs);
+
+  MemoryRegion input_region = delivered.front();
+  if (delivered.size() > 1) {
+    // Fan-in: concatenate the delivered payloads, in edge-declaration order,
+    // into one fresh region; the join consumes a single contiguous input.
+    uint64_t total = 0;
+    for (const MemoryRegion& part : delivered) total += part.length;
+    if (total > UINT32_MAX) {
+      release_delivered();
+      return ResourceExhaustedError("fan-in input exceeds 32-bit guest memory");
+    }
+    auto merged = target.shim->PrepareInput(static_cast<uint32_t>(total));
+    if (!merged.ok()) {
+      release_delivered();
+      return merged.status();
+    }
+    auto merged_span = target.shim->InputSpan(*merged);
+    if (!merged_span.ok()) {
+      release_delivered();
+      (void)target.shim->ReleaseRegion(*merged);
+      return merged_span.status();
+    }
+    size_t offset = 0;
+    for (const MemoryRegion& part : delivered) {
+      auto part_view = target.shim->OutputView(part);
+      if (!part_view.ok()) {
+        release_delivered();
+        (void)target.shim->ReleaseRegion(*merged);
+        return part_view.status();
+      }
+      std::memcpy(merged_span->data() + offset, part_view->data(),
+                  part_view->size());
+      offset += part_view->size();
+    }
+    release_delivered();
+    input_region = *merged;
+  }
+
+  auto outcome = target.shim->InvokeOnRegion(input_region);
+  if (!outcome.ok()) {
+    // A successful invoke consumes the input region; a failed one leaves it
+    // allocated in the target's sandbox.
+    (void)target.shim->ReleaseRegion(input_region);
+    return outcome.status();
+  }
+  run.outcome = *outcome;
+  run.has_outcome = true;
+  return Status::Ok();
+}
+
+Status DagExecutor::RunRemoteNode(const Dag& dag, size_t index,
+                                  std::vector<NodeRun>& runs,
+                                  StatsState& stats) {
+  const DagNode& node = dag.node(index);
+  NodeRun& run = runs[index];
+  Endpoint& target = *run.endpoint;
+
+  // One connection per join point: the hop is keyed by the first predecessor
+  // and routed through the target node's agent with a function preamble.
+  Endpoint& first_pred = *runs[node.preds.front()].endpoint;
+  RR_ASSIGN_OR_RETURN(core::HopTable::NetworkHop* const hop,
+                      manager_->hops().Network(first_pred.shim->name(), target));
+
+  stats.MarkPhaseStart();
+  const Stopwatch edge_timer;
+  TransferTiming timing;
+  std::vector<uint64_t> part_bytes;
+  part_bytes.reserve(node.preds.size());
+  {
+    std::lock_guard<std::mutex> lock(hop->mutex);
+    if (node.preds.size() == 1) {
+      const MemoryRegion& payload = runs[node.preds.front()].outcome.output;
+      RR_RETURN_IF_ERROR(hop->sender->Send(*first_pred.shim, payload));
+      timing += hop->sender->last_timing();
+      part_bytes.push_back(payload.length);
+    } else {
+      // Fan-in into a remote ingress: the agent invokes on every received
+      // frame, so the join's input must travel as ONE frame — merge the
+      // predecessor payloads host-side before sending.
+      Bytes merged;
+      for (const size_t pred : node.preds) {
+        auto view = runs[pred].endpoint->shim->OutputView(
+            runs[pred].outcome.output);
+        if (!view.ok()) return view.status();
+        merged.insert(merged.end(), view->begin(), view->end());
+        part_bytes.push_back(view->size());
+      }
+      RR_RETURN_IF_ERROR(hop->sender->SendBytes(merged));
+    }
+  }
+  ReleaseConsumedPreds(node, runs);
+
+  // The remote agent performs Algorithm 1's receive+invoke; its delivery
+  // callback (DeliverySink, registered with the agent) completes the edge.
+  auto outcome = WaitForDelivery(target.shim->name(),
+                                 run_id_.load(std::memory_order_relaxed));
+  if (!outcome.ok()) {
+    // Tear the channel down with the failed transfer: the agent-side worker
+    // dies with the connection, so a frame still in flight is dropped
+    // instead of surfacing later as an unattributable delivery.
+    manager_->hops().Evict(target.shim->name());
+    return outcome.status();
+  }
+  run.outcome = *outcome;
+  run.has_outcome = true;
+
+  // Edge latency spans send to delivery confirmation (the remote invoke is
+  // part of the edge on this path). A merged frame reports the shared wall
+  // time per contributing edge, with each edge's own byte count.
+  const Nanos latency = edge_timer.Elapsed();
+  for (size_t i = 0; i < node.preds.size(); ++i) {
+    stats.Record(runs[node.preds[i]].endpoint->shim->name(),
+                 target.shim->name(), core::TransferMode::kNetwork,
+                 part_bytes[i], latency, timing.wasm_io);
+  }
+  return Status::Ok();
+}
+
+Result<InvokeOutcome> DagExecutor::WaitForDelivery(const std::string& function,
+                                                   uint64_t run_id) {
+  std::unique_lock<std::mutex> lock(mail_mutex_);
+  for (;;) {
+    const bool delivered = mail_cv_.wait_for(lock, remote_deadline_, [&] {
+      const auto it = mailbox_.find(function);
+      return it != mailbox_.end() && !it->second.empty();
+    });
+    if (!delivered) {
+      return DeadlineExceededError("no delivery from node agent for function " +
+                                   function);
+    }
+    std::deque<Delivery>& queue = mailbox_[function];
+    const Delivery delivery = queue.front();
+    queue.pop_front();
+    if (delivery.run_id == run_id) return delivery.outcome;
+    // A prior run's late delivery: release its output and keep waiting. The
+    // deadline intentionally restarts — a stale frame proves the channel is
+    // alive.
+    lock.unlock();
+    ReleaseDelivery(function, delivery.outcome);
+    lock.lock();
+  }
+}
+
+void DagExecutor::PurgeStaleDeliveries(uint64_t current_run_id) {
+  std::vector<std::pair<std::string, InvokeOutcome>> stale;
+  {
+    std::lock_guard<std::mutex> lock(mail_mutex_);
+    for (auto& [function, queue] : mailbox_) {
+      for (auto it = queue.begin(); it != queue.end();) {
+        if (it->run_id != current_run_id) {
+          stale.emplace_back(function, it->outcome);
+          it = queue.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  for (const auto& [function, outcome] : stale) {
+    ReleaseDelivery(function, outcome);
+  }
+}
+
+void DagExecutor::ReleaseDelivery(const std::string& function,
+                                  const InvokeOutcome& outcome) {
+  auto endpoint = manager_->Find(function);
+  if (endpoint.ok()) {
+    (void)(*endpoint)->shim->ReleaseRegion(outcome.output);
+  }
+}
+
+core::NodeAgent::DeliveryCallback DagExecutor::DeliverySink() {
+  return [this](const std::string& function, const InvokeOutcome& outcome) {
+    {
+      std::lock_guard<std::mutex> lock(mail_mutex_);
+      mailbox_[function].push_back(
+          Delivery{run_id_.load(std::memory_order_relaxed), outcome});
+    }
+    mail_cv_.notify_all();
+  };
+}
+
+// Transfers are complete: drop each predecessor's claim; the last consumer
+// releases the output region.
+void DagExecutor::ReleaseConsumedPreds(const DagNode& node,
+                                       std::vector<NodeRun>& runs) {
+  for (const size_t pred : node.preds) {
+    NodeRun& p = runs[pred];
+    if (p.remaining_consumers.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      (void)p.endpoint->shim->ReleaseRegion(p.outcome.output);
+      p.released = true;
+    }
+  }
+}
+
+}  // namespace rr::dag

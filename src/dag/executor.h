@@ -1,0 +1,102 @@
+// DagExecutor: executes a validated Dag over a WorkflowManager's registry.
+//
+// Per edge it selects the cheapest transfer mode the placement allows (user /
+// kernel / network, §3.2.3) and moves the predecessor's output region through
+// the shared HopTable — the same cached channels RunChain uses. Fan-out
+// replicates one output region to every successor (each over its own hop,
+// concurrently, on the scheduler's worker pool); fan-in delivers every
+// predecessor's payload into the join function's linear memory, concatenates
+// them in edge-declaration order, and invokes the join exactly once.
+//
+// Functions behind a remote NodeAgent ingress (Endpoint::port != 0) are
+// invoke-coupled: the agent's receiver performs Algorithm 1's receive+invoke
+// on its node. For those targets the executor sends one frame (predecessor
+// payloads merged host-side for fan-in) and waits for the agent's delivery
+// callback — wire DeliverySink() into NodeAgent::RegisterFunction to route
+// outcomes back.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/node_agent.h"
+#include "core/workflow.h"
+#include "dag/dag.h"
+#include "dag/scheduler.h"
+#include "telemetry/metrics.h"
+
+namespace rr::dag {
+
+class DagExecutor {
+ public:
+  // `manager` must outlive the executor. 0 workers = hardware concurrency.
+  explicit DagExecutor(core::WorkflowManager* manager, size_t workers = 0)
+      : manager_(manager), scheduler_(workers) {}
+
+  // Runs the DAG: `input` is delivered to every source node; the sink
+  // functions' outputs (concatenated in declaration order when there are
+  // several sinks) are materialized as the result. Per-edge transfer
+  // latencies land in `stats` when non-null. On any node failure the run
+  // cancels — downstream nodes never execute — and the first error returns.
+  //
+  // Executions serialize on an internal mutex. A remote-delivery deadline
+  // failure evicts the hop, so the agent-side worker dies with the
+  // connection and a frame still in flight is dropped; a delivery that
+  // already arrived is released by the next Execute's purge. Residual
+  // window (the agent's wire protocol carries no per-transfer token): a
+  // remote invoke that completes between the timeout and the next run's
+  // send for the same function can still be claimed by that run.
+  Result<Bytes> Execute(const Dag& dag, ByteSpan input,
+                        telemetry::DagRunStats* stats = nullptr);
+
+  // Delivery callback for NodeAgent-registered functions: routes the remote
+  // invoke's outcome back into the executor so the DAG can continue past the
+  // remote node. The executor must outlive the agent's use of the callback.
+  core::NodeAgent::DeliveryCallback DeliverySink();
+
+  // How long a remote (NodeAgent) delivery may take before the edge fails
+  // with kDeadlineExceeded. Generous by default: paper-scale payloads cross
+  // an emulated 100 Mbps link.
+  void set_remote_deadline(Nanos deadline) { remote_deadline_ = deadline; }
+
+  size_t worker_count() const { return scheduler_.worker_count(); }
+
+ private:
+  struct NodeRun;
+  struct StatsState;
+
+  Status RunNode(const Dag& dag, size_t index, std::vector<NodeRun>& runs,
+                 ByteSpan input, StatsState& stats);
+  static void ReleaseConsumedPreds(const DagNode& node,
+                                   std::vector<NodeRun>& runs);
+  Status RunRemoteNode(const Dag& dag, size_t index, std::vector<NodeRun>& runs,
+                       StatsState& stats);
+  Result<core::InvokeOutcome> WaitForDelivery(const std::string& function,
+                                              uint64_t run_id);
+  void PurgeStaleDeliveries(uint64_t current_run_id);
+  void ReleaseDelivery(const std::string& function,
+                       const core::InvokeOutcome& outcome);
+
+  core::WorkflowManager* manager_;
+  DagScheduler scheduler_;
+  std::mutex execute_mutex_;  // one Execute at a time (mailbox epoch)
+
+  // Mailbox for outcomes delivered by remote NodeAgents, stamped with the
+  // run they arrived during so stale deliveries are released, not claimed.
+  struct Delivery {
+    uint64_t run_id;
+    core::InvokeOutcome outcome;
+  };
+  std::mutex mail_mutex_;
+  std::condition_variable mail_cv_;
+  std::map<std::string, std::deque<Delivery>> mailbox_;
+  std::atomic<uint64_t> run_id_{0};
+  Nanos remote_deadline_ = std::chrono::seconds(60);
+};
+
+}  // namespace rr::dag

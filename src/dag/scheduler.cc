@@ -1,0 +1,91 @@
+#include "dag/scheduler.h"
+
+#include <algorithm>
+
+namespace rr::dag {
+
+DagScheduler::DagScheduler(size_t workers) {
+  if (workers == 0) {
+    workers = std::max<size_t>(2, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+DagScheduler::~DagScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+Status DagScheduler::Run(const Dag& dag, const NodeFn& fn) {
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    dag_ = &dag;
+    fn_ = &fn;
+    remaining_preds_.assign(dag.size(), 0);
+    for (size_t i = 0; i < dag.size(); ++i) {
+      remaining_preds_[i] = dag.node(i).preds.size();
+    }
+    ready_.assign(dag.sources().begin(), dag.sources().end());
+    in_flight_ = 0;
+    cancelled_ = false;
+    first_error_ = Status::Ok();
+  }
+  work_cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return ready_.empty() && in_flight_ == 0; });
+  dag_ = nullptr;
+  fn_ = nullptr;
+  return first_error_;
+}
+
+void DagScheduler::WorkerLoop() {
+  for (;;) {
+    size_t node;
+    const NodeFn* fn;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock,
+                    [this] { return stopping_ || (dag_ != nullptr && !ready_.empty()); });
+      if (stopping_) return;
+      node = ready_.front();
+      ready_.pop_front();
+      ++in_flight_;
+      fn = fn_;
+    }
+
+    const Status status = (*fn)(node);
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (!status.ok()) {
+        if (first_error_.ok()) {
+          first_error_ = Status(status.code(), "node " + dag_->node(node).name +
+                                                   ": " + status.message());
+        }
+        cancelled_ = true;
+        ready_.clear();
+      } else if (!cancelled_) {
+        for (const size_t succ : dag_->node(node).succs) {
+          if (--remaining_preds_[succ] == 0) ready_.push_back(succ);
+        }
+      }
+      if (ready_.empty() && in_flight_ == 0) {
+        done_cv_.notify_all();
+      } else if (!ready_.empty()) {
+        work_cv_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace rr::dag

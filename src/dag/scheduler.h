@@ -1,0 +1,66 @@
+// DagScheduler: dependency-ordered dispatch onto a fixed worker pool.
+//
+// A node becomes ready when every predecessor completed successfully; ready
+// nodes are dispatched to the pool in topological wavefronts, so independent
+// branches (fan-out replicas, parallel pipelines) execute concurrently while
+// joins wait for all of their inputs. The pool is fixed at construction:
+// workflow width never translates into unbounded thread creation.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "dag/dag.h"
+
+namespace rr::dag {
+
+class DagScheduler {
+ public:
+  // The per-node task: invoked exactly once per node, possibly concurrently
+  // with other nodes' tasks. A non-OK return cancels the run.
+  using NodeFn = std::function<Status(size_t node_index)>;
+
+  // 0 = one worker per hardware thread (at least 2, so single-core hosts
+  // still overlap a slow hop with an independent branch).
+  explicit DagScheduler(size_t workers = 0);
+  ~DagScheduler();
+
+  DagScheduler(const DagScheduler&) = delete;
+  DagScheduler& operator=(const DagScheduler&) = delete;
+
+  // Runs every node of `dag` respecting its edges and returns the first
+  // error, if any. On failure no further nodes are dispatched (in-flight
+  // tasks finish); downstream nodes never run. One Run at a time — callers
+  // serialize on an internal mutex.
+  Status Run(const Dag& dag, const NodeFn& fn);
+
+  size_t worker_count() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex run_mutex_;  // serializes Run calls
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool stopping_ = false;
+
+  // State of the active run (valid while dag_ != nullptr).
+  const Dag* dag_ = nullptr;
+  const NodeFn* fn_ = nullptr;
+  std::deque<size_t> ready_;
+  std::vector<size_t> remaining_preds_;
+  size_t in_flight_ = 0;
+  bool cancelled_ = false;
+  Status first_error_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rr::dag

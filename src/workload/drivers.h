@@ -58,4 +58,16 @@ Result<std::unique_ptr<ChainDriver>> MakeRoadrunnerNetworkDriver(DriverOptions o
 Result<std::unique_ptr<ChainDriver>> MakeRunCDriver(DriverOptions options = {});
 Result<std::unique_ptr<ChainDriver>> MakeWasmEdgeDriver(DriverOptions options = {});
 
+// DAG-engine variants of the Roadrunner fan-out drivers (Figs. 9, 10): the
+// a -> {b_1..b_N} experiment expressed as a real DAG and executed by
+// dag::DagExecutor over a WorkflowManager registry — per-edge mode selection
+// and the parallel hop scheduler replace the drivers' hand-rolled transfer
+// loops. The network variant routes every edge through a NodeAgent ingress
+// (optionally behind the emulated link). The timed section is the executor's
+// transfer phase (first edge start to last edge completion); `copy_mode` is
+// fixed at the paper's shim staging.
+Result<std::unique_ptr<ChainDriver>> MakeRoadrunnerDagUserDriver(DriverOptions options = {});
+Result<std::unique_ptr<ChainDriver>> MakeRoadrunnerDagKernelDriver(DriverOptions options = {});
+Result<std::unique_ptr<ChainDriver>> MakeRoadrunnerDagNetworkDriver(DriverOptions options = {});
+
 }  // namespace rr::workload

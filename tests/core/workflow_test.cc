@@ -170,6 +170,53 @@ TEST_F(WorkflowManagerTest, DuplicateRegistrationDenied) {
   EXPECT_EQ(manager.Register(endpoint).code(), StatusCode::kAlreadyExists);
 }
 
+TEST_F(WorkflowManagerTest, UnregisterEvictsCachedHops) {
+  WorkflowManager manager("wf");
+  auto a = AddFunction(manager, "a", {"n1", ""});
+  auto b = AddFunction(manager, "b", {"n1", ""});
+
+  auto result = manager.RunChain({"a", "b"}, AsBytes("x"));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(manager.hops().size(), 1u);  // the a->b kernel hop is cached
+
+  ASSERT_TRUE(manager.Unregister("b").ok());
+  EXPECT_EQ(manager.hops().size(), 0u);
+  EXPECT_FALSE(manager.RunChain({"a", "b"}, AsBytes("x")).ok());
+
+  // A replacement shim under the same name starts from fresh channels.
+  auto replacement = Shim::Create(Spec("b"), Binary());
+  ASSERT_TRUE(replacement.ok());
+  ASSERT_TRUE((*replacement)->Deploy(Tagger("B-v2")).ok());
+  Endpoint endpoint;
+  endpoint.shim = replacement->get();
+  endpoint.location = {"n1", ""};
+  ASSERT_TRUE(manager.Register(endpoint).ok());
+
+  result = manager.RunChain({"a", "b"}, AsBytes("y"));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(ToString(*result), "y|a|B-v2");
+  EXPECT_EQ(manager.hops().size(), 1u);
+}
+
+TEST_F(WorkflowManagerTest, UnregisterEvictsHopsInBothDirections) {
+  WorkflowManager manager("wf");
+  auto a = AddFunction(manager, "a", {"n1", ""});
+  auto b = AddFunction(manager, "b", {"n1", ""});
+  auto c = AddFunction(manager, "c", {"n2", ""});
+
+  // Establish b as both a target (a->b) and a source (b->c).
+  ASSERT_TRUE(manager.RunChain({"a", "b", "c"}, AsBytes("x")).ok());
+  EXPECT_EQ(manager.hops().size(), 2u);
+
+  ASSERT_TRUE(manager.Unregister("b").ok());
+  EXPECT_EQ(manager.hops().size(), 0u);
+}
+
+TEST_F(WorkflowManagerTest, UnregisterUnknownFunctionFails) {
+  WorkflowManager manager("wf");
+  EXPECT_EQ(manager.Unregister("ghost").code(), StatusCode::kNotFound);
+}
+
 TEST_F(WorkflowManagerTest, HandlerFailureMidChainPropagates) {
   WorkflowManager manager("wf");
   auto a = AddFunction(manager, "a", {"n1", ""});

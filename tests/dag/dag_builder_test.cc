@@ -1,0 +1,151 @@
+#include "dag/dag.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace rr::dag {
+namespace {
+
+// Index of `name` within the built dag's topo order.
+size_t TopoPos(const Dag& dag, const std::string& name) {
+  const auto index = dag.IndexOf(name);
+  EXPECT_TRUE(index.ok()) << index.status();
+  const auto& order = dag.topo_order();
+  const auto it = std::find(order.begin(), order.end(), *index);
+  EXPECT_NE(it, order.end());
+  return static_cast<size_t>(it - order.begin());
+}
+
+TEST(DagBuilderTest, DiamondTopoOrderRespectsEdges) {
+  DagBuilder builder("diamond");
+  builder.AddNode("a").AddNode("b").AddNode("c").AddNode("d");
+  builder.AddEdge("a", "b").AddEdge("a", "c").AddEdge("b", "d").AddEdge("c", "d");
+  auto dag = builder.Build();
+  ASSERT_TRUE(dag.ok()) << dag.status();
+
+  EXPECT_EQ(dag->size(), 4u);
+  EXPECT_EQ(dag->edge_count(), 4u);
+  EXPECT_LT(TopoPos(*dag, "a"), TopoPos(*dag, "b"));
+  EXPECT_LT(TopoPos(*dag, "a"), TopoPos(*dag, "c"));
+  EXPECT_LT(TopoPos(*dag, "b"), TopoPos(*dag, "d"));
+  EXPECT_LT(TopoPos(*dag, "c"), TopoPos(*dag, "d"));
+
+  ASSERT_EQ(dag->sources().size(), 1u);
+  EXPECT_EQ(dag->node(dag->sources()[0]).name, "a");
+  ASSERT_EQ(dag->sinks().size(), 1u);
+  EXPECT_EQ(dag->node(dag->sinks()[0]).name, "d");
+}
+
+TEST(DagBuilderTest, ConveniencesBuildDiamond) {
+  DagBuilder builder;
+  builder.AddNode("a").FanOut("a", {"b", "c"}).FanIn({"b", "c"}, "d");
+  auto dag = builder.Build(DagBuilder::Options{.require_single_source = true,
+                                               .require_single_sink = true});
+  ASSERT_TRUE(dag.ok()) << dag.status();
+  EXPECT_EQ(dag->size(), 4u);
+  EXPECT_EQ(dag->edge_count(), 4u);
+}
+
+TEST(DagBuilderTest, ChainBuildsLinearPipeline) {
+  auto dag = DagBuilder().Chain({"a", "b", "c"}).Build();
+  ASSERT_TRUE(dag.ok()) << dag.status();
+  EXPECT_EQ(dag->topo_order().size(), 3u);
+  EXPECT_EQ(dag->node(dag->topo_order()[0]).name, "a");
+  EXPECT_EQ(dag->node(dag->topo_order()[2]).name, "c");
+}
+
+TEST(DagBuilderTest, CycleRejected) {
+  DagBuilder builder("cyclic");
+  builder.Chain({"a", "b", "c"}).AddEdge("c", "a");
+  auto dag = builder.Build();
+  ASSERT_FALSE(dag.ok());
+  EXPECT_EQ(dag.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(dag.status().message().find("cycle"), std::string::npos);
+}
+
+TEST(DagBuilderTest, TwoNodeCycleRejected) {
+  auto dag = DagBuilder().Chain({"a", "b"}).AddEdge("b", "a").Build();
+  ASSERT_FALSE(dag.ok());
+  EXPECT_NE(dag.status().message().find("cycle"), std::string::npos);
+}
+
+TEST(DagBuilderTest, InnerCycleNamesOnlyCyclicNodes) {
+  DagBuilder builder;
+  builder.Chain({"head", "x", "y"}).AddEdge("y", "x").AddNode("tail")
+      .AddEdge("y", "tail");
+  auto dag = builder.Build();
+  ASSERT_FALSE(dag.ok());
+  EXPECT_NE(dag.status().message().find("x"), std::string::npos);
+  EXPECT_EQ(dag.status().message().find("head"), std::string::npos);
+}
+
+TEST(DagBuilderTest, SelfEdgeRejected) {
+  auto dag = DagBuilder().AddNode("a").AddEdge("a", "a").Build();
+  ASSERT_FALSE(dag.ok());
+  EXPECT_EQ(dag.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DagBuilderTest, UnknownEdgeEndpointRejected) {
+  auto dag = DagBuilder().AddNode("a").AddEdge("a", "ghost").Build();
+  ASSERT_FALSE(dag.ok());
+  EXPECT_EQ(dag.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(dag.status().message().find("ghost"), std::string::npos);
+}
+
+TEST(DagBuilderTest, DuplicateNodeRejected) {
+  auto dag = DagBuilder().AddNode("a").AddNode("a").Build();
+  ASSERT_FALSE(dag.ok());
+  EXPECT_EQ(dag.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DagBuilderTest, DuplicateEdgeRejected) {
+  auto dag =
+      DagBuilder().Chain({"a", "b"}).AddEdge("a", "b").Build();
+  ASSERT_FALSE(dag.ok());
+  EXPECT_EQ(dag.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DagBuilderTest, EmptyDagRejected) {
+  EXPECT_FALSE(DagBuilder().Build().ok());
+}
+
+TEST(DagBuilderTest, FirstErrorWinsAcrossChainedCalls) {
+  DagBuilder builder;
+  builder.AddEdge("nope", "nada").AddNode("a").AddNode("a");
+  auto dag = builder.Build();
+  ASSERT_FALSE(dag.ok());
+  EXPECT_EQ(dag.status().code(), StatusCode::kNotFound);  // the edge error
+}
+
+TEST(DagBuilderTest, SingleSourceSinkOptionsEnforced) {
+  DagBuilder two_sources;
+  two_sources.AddNode("a").AddNode("b").FanIn({"a", "b"}, "c");
+  EXPECT_TRUE(two_sources.Build().ok());
+  EXPECT_FALSE(
+      two_sources.Build(DagBuilder::Options{.require_single_source = true}).ok());
+
+  DagBuilder two_sinks;
+  two_sinks.AddNode("a").FanOut("a", {"b", "c"});
+  EXPECT_TRUE(two_sinks.Build().ok());
+  EXPECT_FALSE(
+      two_sinks.Build(DagBuilder::Options{.require_single_sink = true}).ok());
+}
+
+TEST(DagBuilderTest, FanInPreservesEdgeDeclarationOrder) {
+  DagBuilder builder;
+  builder.AddNode("s3").AddNode("s1").AddNode("s2");
+  builder.FanIn({"s1", "s2", "s3"}, "join");
+  auto dag = builder.Build();
+  ASSERT_TRUE(dag.ok()) << dag.status();
+  const auto join = dag->IndexOf("join");
+  ASSERT_TRUE(join.ok());
+  const auto& preds = dag->node(*join).preds;
+  ASSERT_EQ(preds.size(), 3u);
+  EXPECT_EQ(dag->node(preds[0]).name, "s1");
+  EXPECT_EQ(dag->node(preds[1]).name, "s2");
+  EXPECT_EQ(dag->node(preds[2]).name, "s3");
+}
+
+}  // namespace
+}  // namespace rr::dag

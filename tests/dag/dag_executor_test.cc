@@ -1,0 +1,369 @@
+#include "dag/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/node_agent.h"
+#include "dag/dag.h"
+#include "runtime/function.h"
+
+namespace rr::dag {
+namespace {
+
+using core::Endpoint;
+using core::Location;
+using core::Shim;
+using core::WorkflowManager;
+
+runtime::FunctionSpec Spec(const std::string& name) {
+  runtime::FunctionSpec spec;
+  spec.name = name;
+  spec.workflow = "wf";
+  return spec;
+}
+
+const Bytes& Binary() {
+  static const Bytes binary = runtime::BuildFunctionModuleBinary();
+  return binary;
+}
+
+class DagExecutorTest : public ::testing::Test {
+ protected:
+  // Suffix handlers make hop order and fan-in concatenation observable.
+  static runtime::NativeHandler Tagger(const std::string& tag) {
+    return [tag](ByteSpan input) -> Result<Bytes> {
+      std::string out(AsStringView(input));
+      out += "|" + tag;
+      return ToBytes(out);
+    };
+  }
+
+  std::unique_ptr<Shim> AddFunction(WorkflowManager& manager,
+                                    const std::string& name, Location location,
+                                    runtime::WasmVm* vm = nullptr,
+                                    uint16_t port = 0,
+                                    runtime::NativeHandler handler = nullptr) {
+    auto shim = vm ? Shim::CreateInVm(*vm, Spec(name), Binary())
+                   : Shim::Create(Spec(name), Binary());
+    EXPECT_TRUE(shim.ok()) << shim.status();
+    EXPECT_TRUE(
+        (*shim)->Deploy(handler ? std::move(handler) : Tagger(name)).ok());
+    Endpoint endpoint;
+    endpoint.shim = shim->get();
+    endpoint.location = std::move(location);
+    endpoint.port = port;
+    EXPECT_TRUE(manager.Register(endpoint).ok());
+    return std::move(*shim);
+  }
+};
+
+TEST_F(DagExecutorTest, DiamondUserSpace) {
+  WorkflowManager manager("wf");
+  runtime::WasmVm vm("wf");
+  auto a = AddFunction(manager, "a", {"n1", "vm1"}, &vm);
+  auto b = AddFunction(manager, "b", {"n1", "vm1"}, &vm);
+  auto c = AddFunction(manager, "c", {"n1", "vm1"}, &vm);
+  auto d = AddFunction(manager, "d", {"n1", "vm1"}, &vm);
+
+  auto dag = DagBuilder("diamond")
+                 .AddNode("a")
+                 .FanOut("a", {"b", "c"})
+                 .FanIn({"b", "c"}, "d")
+                 .Build();
+  ASSERT_TRUE(dag.ok()) << dag.status();
+
+  DagExecutor executor(&manager);
+  auto result = executor.Execute(*dag, AsBytes("in"));
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Fan-in concatenates predecessor payloads in edge-declaration order.
+  EXPECT_EQ(ToString(*result), "in|a|bin|a|c|d");
+  EXPECT_EQ(a->invocations(), 1u);
+  EXPECT_EQ(b->invocations(), 1u);
+  EXPECT_EQ(c->invocations(), 1u);
+  EXPECT_EQ(d->invocations(), 1u);
+}
+
+TEST_F(DagExecutorTest, DiamondMixedModesRecordsPerEdgeStats) {
+  WorkflowManager manager("wf");
+  runtime::WasmVm vm("wf");
+  auto a = AddFunction(manager, "a", {"n1", "vm1"}, &vm);
+  auto b = AddFunction(manager, "b", {"n1", "vm1"}, &vm);  // user-space from a
+  auto c = AddFunction(manager, "c", {"n1", ""});          // kernel-space from a
+  auto d = AddFunction(manager, "d", {"n2", ""});          // network from b and c
+
+  auto dag = DagBuilder("mixed")
+                 .AddNode("a")
+                 .FanOut("a", {"b", "c"})
+                 .FanIn({"b", "c"}, "d")
+                 .Build();
+  ASSERT_TRUE(dag.ok()) << dag.status();
+
+  DagExecutor executor(&manager);
+  telemetry::DagRunStats stats;
+  auto result = executor.Execute(*dag, AsBytes("x"), &stats);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(ToString(*result), "x|a|bx|a|c|d");
+
+  ASSERT_EQ(stats.edges.size(), 4u);
+  const auto mode_of = [&](const std::string& source,
+                           const std::string& target) -> std::string {
+    for (const auto& edge : stats.edges) {
+      if (edge.source == source && edge.target == target) return edge.mode;
+    }
+    return "<missing>";
+  };
+  EXPECT_EQ(mode_of("a", "b"), "user-space");
+  EXPECT_EQ(mode_of("a", "c"), "kernel-space");
+  EXPECT_EQ(mode_of("b", "d"), "network");
+  EXPECT_EQ(mode_of("c", "d"), "network");
+  for (const auto& edge : stats.edges) {
+    EXPECT_GT(edge.bytes, 0u) << edge.source << "->" << edge.target;
+    EXPECT_GT(edge.latency.count(), 0) << edge.source << "->" << edge.target;
+  }
+  EXPECT_GE(stats.total.count(), stats.transfer_phase.count());
+  EXPECT_GT(stats.transfer_phase.count(), 0);
+  EXPECT_EQ(stats.bytes_moved(),
+            std::string("x|a|b").size() + std::string("x|a|c").size() +
+                2 * std::string("x|a").size());
+}
+
+TEST_F(DagExecutorTest, WideFanOutIntranode) {
+  constexpr size_t kFanout = 8;
+  WorkflowManager manager("wf");
+  auto source = AddFunction(manager, "src", {"n1", ""});
+
+  std::vector<std::unique_ptr<Shim>> targets;
+  DagBuilder builder("fanout");
+  builder.AddNode("src");
+  std::vector<std::string> names;
+  for (size_t i = 0; i < kFanout; ++i) {
+    names.push_back("b" + std::to_string(i));
+    targets.push_back(AddFunction(manager, names.back(), {"n1", ""}));
+  }
+  builder.FanOut("src", names);
+  auto dag = builder.Build();
+  ASSERT_TRUE(dag.ok()) << dag.status();
+
+  DagExecutor executor(&manager, /*workers=*/4);
+  telemetry::DagRunStats stats;
+  auto result = executor.Execute(*dag, AsBytes("p"), &stats);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  // All eight sinks' outputs, concatenated in declaration order.
+  std::string expected;
+  for (size_t i = 0; i < kFanout; ++i) {
+    expected += "p|src|b" + std::to_string(i);
+  }
+  EXPECT_EQ(ToString(*result), expected);
+  EXPECT_EQ(source->invocations(), 1u);
+  for (const auto& target : targets) EXPECT_EQ(target->invocations(), 1u);
+  ASSERT_EQ(stats.edges.size(), kFanout);
+  for (const auto& edge : stats.edges) EXPECT_EQ(edge.mode, "kernel-space");
+}
+
+TEST_F(DagExecutorTest, InternodeFanOutViaNodeAgent) {
+  constexpr size_t kFanout = 4;
+  WorkflowManager manager("wf");
+  auto source = AddFunction(manager, "src", {"n1", ""});
+
+  // The "remote" node: an in-process NodeAgent owning the target functions'
+  // ingress. Deliveries route back into the executor through its sink.
+  auto agent = core::NodeAgent::Start(0);
+  ASSERT_TRUE(agent.ok()) << agent.status();
+
+  DagExecutor executor(&manager, /*workers=*/4);
+
+  std::vector<std::unique_ptr<Shim>> targets;
+  DagBuilder builder("internode");
+  builder.AddNode("src");
+  std::vector<std::string> names;
+  for (size_t i = 0; i < kFanout; ++i) {
+    names.push_back("r" + std::to_string(i));
+    targets.push_back(AddFunction(manager, names.back(), {"n2", ""},
+                                  /*vm=*/nullptr, (*agent)->port()));
+    ASSERT_TRUE(
+        (*agent)->RegisterFunction(targets.back().get(), executor.DeliverySink())
+            .ok());
+  }
+  builder.FanOut("src", names);
+  auto dag = builder.Build();
+  ASSERT_TRUE(dag.ok()) << dag.status();
+
+  telemetry::DagRunStats stats;
+  auto result = executor.Execute(*dag, AsBytes("w"), &stats);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  std::string expected;
+  for (size_t i = 0; i < kFanout; ++i) expected += "w|src|r" + std::to_string(i);
+  EXPECT_EQ(ToString(*result), expected);
+  EXPECT_EQ((*agent)->transfers_completed(), kFanout);
+  ASSERT_EQ(stats.edges.size(), kFanout);
+  for (const auto& edge : stats.edges) EXPECT_EQ(edge.mode, "network");
+}
+
+TEST_F(DagExecutorTest, InternodeDiamondJoinBehindNodeAgent) {
+  WorkflowManager manager("wf");
+  runtime::WasmVm vm("wf");
+  auto a = AddFunction(manager, "a", {"n1", "vm1"}, &vm);
+  auto b = AddFunction(manager, "b", {"n1", "vm1"}, &vm);
+  auto c = AddFunction(manager, "c", {"n1", "vm1"}, &vm);
+
+  auto agent = core::NodeAgent::Start(0);
+  ASSERT_TRUE(agent.ok()) << agent.status();
+  DagExecutor executor(&manager);
+  // The join function lives on the remote node: its input is the merged
+  // fan-in payload, delivered as one frame through the agent.
+  auto d = AddFunction(manager, "d", {"n2", ""}, nullptr, (*agent)->port());
+  ASSERT_TRUE((*agent)->RegisterFunction(d.get(), executor.DeliverySink()).ok());
+
+  auto dag = DagBuilder("remote-join")
+                 .AddNode("a")
+                 .FanOut("a", {"b", "c"})
+                 .FanIn({"b", "c"}, "d")
+                 .Build();
+  ASSERT_TRUE(dag.ok()) << dag.status();
+
+  auto result = executor.Execute(*dag, AsBytes("q"));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(ToString(*result), "q|a|bq|a|c|d");
+  EXPECT_EQ(d->invocations(), 1u);
+}
+
+TEST_F(DagExecutorTest, CoLocatedEndpointsKeepFastPathDespiteIngressPort) {
+  // Real deployments register every function with its node's ingress port;
+  // placement still decides the mode, so a co-located edge must stay on the
+  // kernel fast path instead of looping through the agent.
+  WorkflowManager manager("wf");
+  auto a = AddFunction(manager, "a", {"n1", ""});
+  auto b = AddFunction(manager, "b", {"n1", ""}, nullptr, /*port=*/1);
+
+  auto dag = DagBuilder().Chain({"a", "b"}).Build();
+  ASSERT_TRUE(dag.ok()) << dag.status();
+  DagExecutor executor(&manager);
+  telemetry::DagRunStats stats;
+  auto result = executor.Execute(*dag, AsBytes("x"), &stats);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(ToString(*result), "x|a|b");
+  ASSERT_EQ(stats.edges.size(), 1u);
+  EXPECT_EQ(stats.edges[0].mode, "kernel-space");
+}
+
+TEST_F(DagExecutorTest, FanInConcatenatesInEdgeDeclarationOrder) {
+  WorkflowManager manager("wf");
+  auto s1 = AddFunction(manager, "s1", {"n1", ""});
+  auto s2 = AddFunction(manager, "s2", {"n1", ""});
+  auto s3 = AddFunction(manager, "s3", {"n1", ""});
+  auto join = AddFunction(manager, "join", {"n1", ""});
+
+  auto dag = DagBuilder("join3")
+                 .AddNode("s1")
+                 .AddNode("s2")
+                 .AddNode("s3")
+                 .FanIn({"s1", "s2", "s3"}, "join")
+                 .Build();
+  ASSERT_TRUE(dag.ok()) << dag.status();
+
+  DagExecutor executor(&manager);
+  auto result = executor.Execute(*dag, AsBytes("x"));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(ToString(*result), "x|s1x|s2x|s3|join");
+  EXPECT_EQ(join->invocations(), 1u);
+}
+
+TEST_F(DagExecutorTest, LinearChainMatchesRunChain) {
+  WorkflowManager manager("wf");
+  auto a = AddFunction(manager, "a", {"n1", ""});
+  auto b = AddFunction(manager, "b", {"n1", ""});
+  auto c = AddFunction(manager, "c", {"n2", ""});
+
+  auto chain_result = manager.RunChain({"a", "b", "c"}, AsBytes("z"));
+  ASSERT_TRUE(chain_result.ok()) << chain_result.status();
+
+  auto dag = DagBuilder().Chain({"a", "b", "c"}).Build();
+  ASSERT_TRUE(dag.ok()) << dag.status();
+  DagExecutor executor(&manager);
+  auto dag_result = executor.Execute(*dag, AsBytes("z"));
+  ASSERT_TRUE(dag_result.ok()) << dag_result.status();
+  EXPECT_EQ(ToString(*dag_result), ToString(*chain_result));
+}
+
+TEST_F(DagExecutorTest, BranchFailureCancelsDownstream) {
+  WorkflowManager manager("wf");
+  auto a = AddFunction(manager, "a", {"n1", ""});
+  auto b = AddFunction(manager, "b", {"n1", ""});
+  auto c = AddFunction(manager, "c", {"n1", ""}, nullptr, 0,
+                       [](ByteSpan) -> Result<Bytes> {
+                         return InternalError("branch exploded");
+                       });
+  auto d = AddFunction(manager, "d", {"n1", ""});
+
+  auto dag = DagBuilder("failing")
+                 .AddNode("a")
+                 .FanOut("a", {"b", "c"})
+                 .FanIn({"b", "c"}, "d")
+                 .Build();
+  ASSERT_TRUE(dag.ok()) << dag.status();
+
+  DagExecutor executor(&manager);
+  auto result = executor.Execute(*dag, AsBytes("x"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("node c"), std::string::npos);
+  EXPECT_NE(result.status().message().find("branch exploded"), std::string::npos);
+  // The join never ran: its failing predecessor cancelled the wavefront.
+  EXPECT_EQ(d->invocations(), 0u);
+}
+
+TEST_F(DagExecutorTest, UnregisteredNodeFailsFast) {
+  WorkflowManager manager("wf");
+  auto a = AddFunction(manager, "a", {"n1", ""});
+  auto dag = DagBuilder().Chain({"a", "ghost"}).Build();
+  ASSERT_TRUE(dag.ok()) << dag.status();
+  DagExecutor executor(&manager);
+  auto result = executor.Execute(*dag, AsBytes("x"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(a->invocations(), 0u);  // validation precedes any dispatch
+}
+
+TEST_F(DagExecutorTest, RemoteDeliveryTimesOutWhenAgentDropsFunction) {
+  WorkflowManager manager("wf");
+  auto a = AddFunction(manager, "a", {"n1", ""});
+
+  auto agent = core::NodeAgent::Start(0);
+  ASSERT_TRUE(agent.ok()) << agent.status();
+  // "b" is addressed through the agent but never registered there: the agent
+  // drops the connection, no delivery callback ever fires.
+  auto b = AddFunction(manager, "b", {"n2", ""}, nullptr, (*agent)->port());
+
+  auto dag = DagBuilder().Chain({"a", "b"}).Build();
+  ASSERT_TRUE(dag.ok()) << dag.status();
+  DagExecutor executor(&manager);
+  executor.set_remote_deadline(std::chrono::milliseconds(200));
+  auto result = executor.Execute(*dag, AsBytes("x"));
+  ASSERT_FALSE(result.ok());
+}
+
+TEST_F(DagExecutorTest, RepeatedExecutionsReuseHops) {
+  WorkflowManager manager("wf");
+  auto a = AddFunction(manager, "a", {"n1", ""});
+  auto b = AddFunction(manager, "b", {"n1", ""});
+  auto c = AddFunction(manager, "c", {"n1", ""});
+
+  auto dag = DagBuilder()
+                 .AddNode("a")
+                 .FanOut("a", {"b", "c"})
+                 .Build();
+  ASSERT_TRUE(dag.ok()) << dag.status();
+  DagExecutor executor(&manager);
+  for (int i = 0; i < 3; ++i) {
+    auto result = executor.Execute(*dag, AsBytes("r" + std::to_string(i)));
+    ASSERT_TRUE(result.ok()) << result.status();
+  }
+  EXPECT_EQ(manager.hops().size(), 2u);  // one kernel hop per fan-out edge
+  EXPECT_EQ(a->invocations(), 3u);
+  EXPECT_EQ(b->invocations(), 3u);
+}
+
+}  // namespace
+}  // namespace rr::dag
