@@ -1,5 +1,6 @@
 // DAG pipeline: a diamond workflow (split -> {edge-detect, blur} -> compose)
-// executed by the DAG engine with per-edge mode selection.
+// submitted through api::Runtime and executed by the DAG engine with
+// per-edge mode selection.
 //
 // Placement puts `split` and `edge-detect` in one Wasm VM (user-space edge),
 // `blur` in a dedicated sandbox on the same node (kernel-space edge), and
@@ -10,9 +11,8 @@
 //   $ ./dag_pipeline
 #include <cstdio>
 
-#include "core/workflow.h"
+#include "api/runtime.h"
 #include "dag/dag.h"
-#include "dag/executor.h"
 #include "runtime/function.h"
 
 using namespace rr;
@@ -72,12 +72,12 @@ int main() {
   if (!compose.ok()) return Fail(compose.status());
 
   // --- placement-driven registry -------------------------------------------
-  core::WorkflowManager manager("pipeline");
-  const auto add = [&manager](core::Shim* shim, core::Location location) {
+  api::Runtime rt("pipeline");
+  const auto add = [&rt](core::Shim* shim, core::Location location) {
     core::Endpoint endpoint;
     endpoint.shim = shim;
     endpoint.location = std::move(location);
-    return manager.Register(endpoint);
+    return rt.Register(endpoint);
   };
   Status status = add(split->get(), {"node-1", "vm-1"});
   if (status.ok()) status = add(edges->get(), {"node-1", "vm-1"});
@@ -94,10 +94,11 @@ int main() {
                                                  .require_single_sink = true});
   if (!dag.ok()) return Fail(dag.status());
 
-  dag::DagExecutor executor(&manager);
-  telemetry::DagRunStats stats;
-  auto result = executor.Execute(*dag, AsBytes("photo-0042"), &stats);
+  auto invocation = rt.Submit(api::DagSpec{*dag}, AsBytes("photo-0042"));
+  if (!invocation.ok()) return Fail(invocation.status());
+  const Result<Bytes>& result = (*invocation)->Wait();
   if (!result.ok()) return Fail(result.status());
+  const telemetry::DagRunStats& stats = (*invocation)->stats().dag;
 
   std::printf("request : photo-0042\n");
   std::printf("response: %.*s\n", static_cast<int>(result->size()),

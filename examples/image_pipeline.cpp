@@ -1,14 +1,17 @@
 // ML-style image pipeline (the paper's motivating edge-cloud scenario, §1):
 //   ingest -> frame extract -> resize -> "inference" (histogram classifier)
-// Four Wasm functions chained by the WorkflowManager; placement puts the
-// first three in one VM (user-space hops) and the classifier in its own
-// sandbox on the same node (kernel-space hop) — mode selection is automatic.
+// Four Wasm functions submitted as one chain through api::Runtime; placement
+// puts the first three in one VM (user-space hops) and the classifier in its
+// own sandbox on the same node (kernel-space hop) — mode selection is
+// automatic, and every frame is in flight concurrently: Submit returns a
+// handle at once, results are collected with Wait.
 //
 //   $ ./image_pipeline [frames]
 #include <cstdio>
+#include <vector>
 
+#include "api/runtime.h"
 #include "common/strings.h"
-#include "core/workflow.h"
 #include "runtime/function.h"
 #include "workload/image.h"
 
@@ -103,7 +106,7 @@ int main(int argc, char** argv) {
   (void)(*resize)->Deploy(Resize);
   (void)(*classify)->Deploy(Classify);
 
-  core::WorkflowManager workflow("vision-pipeline");
+  api::Runtime rt("vision-pipeline");
   const core::Location shared_vm{"edge-node-1", "vm-0"};
   const core::Location own_sandbox{"edge-node-1", ""};
   for (auto& [shim, location] :
@@ -115,30 +118,40 @@ int main(int argc, char** argv) {
     core::Endpoint endpoint;
     endpoint.shim = shim;
     endpoint.location = location;
-    if (const Status s = workflow.Register(endpoint); !s.ok()) return Fail(s);
+    if (const Status s = rt.Register(endpoint); !s.ok()) return Fail(s);
   }
 
   std::printf("pipeline: ingest -> extract -> resize -> classify\n");
   for (const auto& [a, b] : {std::pair{"ingest", "extract"},
                              std::pair{"extract", "resize"},
                              std::pair{"resize", "classify"}}) {
-    auto mode = workflow.ModeBetween(a, b);
+    auto mode = rt.manager().ModeBetween(a, b);
     if (!mode.ok()) return Fail(mode.status());
     std::printf("  hop %-10s -> %-10s mode=%s\n", a, b,
                 std::string(core::TransferModeName(*mode)).c_str());
   }
 
+  // Submit every frame up front — the runtime keeps them all in flight —
+  // then collect results in submission order.
+  const api::ChainSpec chain{{"ingest", "extract", "resize", "classify"}};
+  std::vector<std::shared_ptr<api::Invocation>> invocations;
+  std::vector<size_t> frame_bytes;
   for (int i = 0; i < frames; ++i) {
     const Image frame =
         workload::MakeTestImage(1280, 720, static_cast<uint64_t>(i + 1));
     const Bytes encoded = workload::EncodeImage(frame);
-    const Stopwatch timer;
-    auto result = workflow.RunChain({"ingest", "extract", "resize", "classify"},
-                                    encoded);
+    auto invocation = rt.Submit(chain, encoded);
+    if (!invocation.ok()) return Fail(invocation.status());
+    invocations.push_back(std::move(*invocation));
+    frame_bytes.push_back(encoded.size());
+  }
+  for (size_t i = 0; i < invocations.size(); ++i) {
+    const Result<Bytes>& result = invocations[i]->Wait();
     if (!result.ok()) return Fail(result.status());
-    std::printf("frame %d (%s in): %s  [%.2f ms]\n", i,
-                FormatSize(encoded.size()).c_str(), ToString(*result).c_str(),
-                timer.ElapsedMillis());
+    const api::RunStats& stats = invocations[i]->stats();
+    std::printf("frame %zu (%s in): %s  [queued %.2f ms, ran %.2f ms]\n", i,
+                FormatSize(frame_bytes[i]).c_str(), ToString(*result).c_str(),
+                ToMillis(stats.queued), ToMillis(stats.total));
   }
   return 0;
 }

@@ -1,0 +1,136 @@
+#include "api/runtime.h"
+
+#include <algorithm>
+
+namespace rr::api {
+
+bool Invocation::Done() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return done_;
+}
+
+const Result<Bytes>& Invocation::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return done_; });
+  return result_;
+}
+
+bool Invocation::WaitFor(Nanos timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return cv_.wait_for(lock, timeout, [this] { return done_; });
+}
+
+Runtime::Runtime(std::string workflow) : Runtime(std::move(workflow), Options{}) {}
+
+Runtime::Runtime(std::string workflow, Options options)
+    : manager_(std::move(workflow)), executor_(&manager_, options.dag_workers) {
+  executor_.set_remote_deadline(options.remote_deadline);
+  size_t drivers = options.max_in_flight;
+  if (drivers == 0) {
+    drivers = std::max<size_t>(8, std::thread::hardware_concurrency());
+  }
+  drivers_.reserve(drivers);
+  for (size_t i = 0; i < drivers; ++i) {
+    drivers_.emplace_back([this] { DriverLoop(); });
+  }
+}
+
+Runtime::~Runtime() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  // Drivers drain the queue before exiting: every handle ever returned by
+  // Submit completes, so a Wait() can never hang on teardown.
+  for (std::thread& driver : drivers_) driver.join();
+}
+
+Status Runtime::Register(core::Endpoint endpoint) {
+  return manager_.Register(std::move(endpoint));
+}
+
+Status Runtime::Unregister(const std::string& name) {
+  return manager_.Unregister(name);
+}
+
+Result<std::shared_ptr<Invocation>> Runtime::Submit(const ChainSpec& spec,
+                                                    ByteSpan input) {
+  // A chain is a linear DAG; one executor serves both shapes.
+  dag::DagBuilder builder("chain");
+  RR_ASSIGN_OR_RETURN(dag::Dag dag, builder.Chain(spec.functions).Build());
+  return Enqueue(std::move(dag), input);
+}
+
+Result<std::shared_ptr<Invocation>> Runtime::Submit(const DagSpec& spec,
+                                                    ByteSpan input) {
+  return Enqueue(spec.dag, input);
+}
+
+Result<std::shared_ptr<Invocation>> Runtime::Enqueue(dag::Dag dag,
+                                                     ByteSpan input) {
+  // Validate now, not at execution: a rejected Submit is visible at the call
+  // site, a failed background run only at Wait().
+  for (const dag::DagNode& node : dag.nodes()) {
+    RR_RETURN_IF_ERROR(manager_.Find(node.name).status());
+  }
+  auto invocation = std::shared_ptr<Invocation>(new Invocation(
+      next_id_.fetch_add(1, std::memory_order_relaxed), std::move(dag),
+      Bytes(input.begin(), input.end())));
+  invocation->submitted_ = Now();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      return UnavailableError("runtime is shutting down");
+    }
+    queue_.push_back(invocation);
+  }
+  work_cv_.notify_one();
+  return invocation;
+}
+
+void Runtime::DriverLoop() {
+  for (;;) {
+    std::shared_ptr<Invocation> invocation;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      invocation = std::move(queue_.front());
+      queue_.pop_front();
+      ++executing_;
+    }
+
+    const TimePoint started = Now();
+    RunStats stats;
+    stats.queued = started - invocation->submitted_;
+    Result<Bytes> result =
+        executor_.Execute(invocation->dag_, invocation->input_, &stats.dag);
+    stats.total = Now() - started;
+
+    // Retire from the in-flight count before publishing completion, so a
+    // caller returning from Wait() observes in_flight() without this run.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --executing_;
+    }
+    {
+      std::lock_guard<std::mutex> lock(invocation->mutex_);
+      invocation->stats_ = std::move(stats);
+      invocation->result_ = std::move(result);
+      invocation->done_ = true;
+    }
+    invocation->cv_.notify_all();
+  }
+}
+
+core::NodeAgent::DeliveryCallback Runtime::DeliverySink() {
+  return executor_.DeliverySink();
+}
+
+size_t Runtime::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size() + executing_;
+}
+
+}  // namespace rr::api

@@ -1,0 +1,148 @@
+// rr::api::Runtime — the unified asynchronous invocation API.
+//
+// One façade over the whole middleware: register endpoints once, then
+// Submit(ChainSpec | DagSpec, input) returns an Invocation handle
+// immediately. Any number of invocations proceed concurrently over the
+// shared hop cache (established channels are reused across runs and across
+// in-flight invocations), the shared DAG worker pool, and the polymorphic
+// Transport layer — callers never touch WorkflowManager::RunChain,
+// dag::DagExecutor, or per-hop plumbing directly (those remain as deprecated
+// synchronous entry points for one release).
+//
+//   api::Runtime rt("wf");
+//   rt.Register(endpoint_a); rt.Register(endpoint_b); ...
+//   auto inv = rt.Submit(api::ChainSpec{{"a", "b", "c"}}, input);
+//   ... // submit more; all run concurrently
+//   const Result<Bytes>& out = (*inv)->Wait();
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/node_agent.h"
+#include "core/workflow.h"
+#include "dag/dag.h"
+#include "dag/executor.h"
+#include "telemetry/metrics.h"
+
+namespace rr::api {
+
+// A linear pipeline: f1 -> f2 -> ... -> fn (every name registered).
+struct ChainSpec {
+  std::vector<std::string> functions;
+};
+
+// An arbitrary fan-out/fan-in workflow, validated by dag::DagBuilder.
+struct DagSpec {
+  dag::Dag dag;
+};
+
+// Wall-clock accounting of one submitted run.
+struct RunStats {
+  Nanos queued{0};              // Submit() -> execution start
+  Nanos total{0};               // execution start -> completion
+  telemetry::DagRunStats dag;   // per-edge samples of the run
+};
+
+// A future-like handle to one submitted run. Thread-safe; share freely.
+class Invocation {
+ public:
+  uint64_t id() const { return id_; }
+
+  bool Done() const;
+
+  // Blocks until the run completes and returns its result: the sink
+  // functions' outputs, concatenated in declaration order. The reference
+  // stays valid for the Invocation's lifetime.
+  const Result<Bytes>& Wait();
+
+  // Bounded wait; true when the run completed within `timeout`.
+  bool WaitFor(Nanos timeout);
+
+  // Valid once Done() — meaningless while the run is in flight.
+  const RunStats& stats() const { return stats_; }
+
+ private:
+  friend class Runtime;
+  Invocation(uint64_t id, dag::Dag dag, Bytes input)
+      : id_(id), dag_(std::move(dag)), input_(std::move(input)) {}
+
+  const uint64_t id_;
+  dag::Dag dag_;
+  Bytes input_;
+  TimePoint submitted_{};
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  Result<Bytes> result_{Bytes{}};
+  RunStats stats_;
+};
+
+class Runtime {
+ public:
+  struct Options {
+    // Invocations driven concurrently (queued beyond this). 0 = one driver
+    // per hardware thread, at least 8 so a burst of submissions overlaps
+    // even on small hosts.
+    size_t max_in_flight = 0;
+    // DAG scheduler worker pool, shared by every in-flight run. 0 = one per
+    // hardware thread.
+    size_t dag_workers = 0;
+    // Deadline for one remote (NodeAgent) delivery.
+    Nanos remote_deadline = std::chrono::seconds(60);
+  };
+
+  explicit Runtime(std::string workflow);
+  Runtime(std::string workflow, Options options);
+
+  // Drains: blocks until every submitted invocation has completed.
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // Control plane. Not safe to call while a run uses the affected endpoint.
+  Status Register(core::Endpoint endpoint);
+  Status Unregister(const std::string& name);
+
+  // Submits a run and returns its handle immediately. The input bytes are
+  // copied; the caller's buffer may be reused at once. Specs are validated
+  // here (shape + every function registered), so a returned handle always
+  // corresponds to a run that will execute.
+  Result<std::shared_ptr<Invocation>> Submit(const ChainSpec& spec,
+                                             ByteSpan input);
+  Result<std::shared_ptr<Invocation>> Submit(const DagSpec& spec,
+                                             ByteSpan input);
+
+  // Delivery callback to wire into NodeAgent::RegisterFunction for every
+  // function reached through a remote agent ingress.
+  core::NodeAgent::DeliveryCallback DeliverySink();
+
+  // The underlying registry + hop cache (control plane, telemetry, tests).
+  core::WorkflowManager& manager() { return manager_; }
+
+  size_t in_flight() const;
+
+ private:
+  Result<std::shared_ptr<Invocation>> Enqueue(dag::Dag dag, ByteSpan input);
+  void DriverLoop();
+
+  core::WorkflowManager manager_;
+  dag::DagExecutor executor_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Invocation>> queue_;
+  size_t executing_ = 0;
+  bool stopping_ = false;
+  std::atomic<uint64_t> next_id_{1};
+  std::vector<std::thread> drivers_;
+};
+
+}  // namespace rr::api

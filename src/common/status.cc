@@ -21,6 +21,7 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kDataLoss: return "DATA_LOSS";
     case StatusCode::kAborted: return "ABORTED";
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kTokenMismatch: return "TOKEN_MISMATCH";
   }
   return "UNKNOWN";
 }
@@ -48,6 +49,7 @@ Status UnavailableError(std::string m) { return {StatusCode::kUnavailable, std::
 Status DataLossError(std::string m) { return {StatusCode::kDataLoss, std::move(m)}; }
 Status AbortedError(std::string m) { return {StatusCode::kAborted, std::move(m)}; }
 Status DeadlineExceededError(std::string m) { return {StatusCode::kDeadlineExceeded, std::move(m)}; }
+Status TokenMismatchError(std::string m) { return {StatusCode::kTokenMismatch, std::move(m)}; }
 
 Status ErrnoToStatus(int err, std::string_view context) {
   std::string message(context);

@@ -28,6 +28,10 @@ enum class StatusCode {
   kDataLoss,
   kAborted,
   kDeadlineExceeded,
+  // A transfer completion arrived whose correlation token matches no pending
+  // transfer (late delivery from a timed-out or cancelled run). Distinct from
+  // kDataLoss: the payload is intact, it just belongs to nobody.
+  kTokenMismatch,
 };
 
 std::string_view StatusCodeName(StatusCode code);
@@ -72,6 +76,7 @@ Status UnavailableError(std::string message);
 Status DataLossError(std::string message);
 Status AbortedError(std::string message);
 Status DeadlineExceededError(std::string message);
+Status TokenMismatchError(std::string message);
 
 // Builds a Status from the current errno (or an explicit one).
 Status ErrnoToStatus(int err, std::string_view context);

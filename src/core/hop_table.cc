@@ -1,160 +1,87 @@
 #include "core/hop_table.h"
 
-#include <thread>
-
-#include "core/node_agent.h"
+#include <vector>
 
 namespace rr::core {
 
-Result<HopTable::KernelHop*> HopTable::Kernel(const std::string& source,
-                                              const std::string& target) {
-  KernelHop* hop;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    hop = kernel_hops_.try_emplace(PairKey{source, target},
-                                   std::make_unique<KernelHop>())
-              .first->second.get();
-  }
-  // Establish under the hop's own mutex: concurrent first-use of distinct
-  // pairs connects in parallel instead of serializing on the table lock.
-  std::lock_guard<std::mutex> hop_lock(hop->mutex);
-  if (!hop->sender.has_value()) {
-    RR_ASSIGN_OR_RETURN(auto pair, MakeKernelChannelPair());
-    hop->sender.emplace(std::move(pair.first));
-    hop->receiver.emplace(std::move(pair.second));
-  }
-  return hop;
+HopTable::HopTable() {
+  (void)RegisterTransport(MakeUserSpaceTransport());
+  (void)RegisterTransport(MakeKernelTransport());
+  (void)RegisterTransport(MakeNetworkTransport());
 }
 
-Result<HopTable::NetworkHop*> HopTable::Network(const std::string& source,
-                                                const Endpoint& target) {
-  NetworkHop* hop;
+Status HopTable::RegisterTransport(std::unique_ptr<Transport> transport) {
+  if (transport == nullptr) return InvalidArgumentError("null transport");
+  std::lock_guard<std::mutex> lock(mutex_);
+  transports_[transport->mode()] = std::move(transport);
+  return Status::Ok();
+}
+
+Result<std::shared_ptr<Hop>> HopTable::Get(Endpoint& source,
+                                           const Endpoint& target) {
+  const TransferMode mode = SelectMode(source.location, target.location);
+  std::shared_ptr<Slot> slot;
+  std::shared_ptr<Transport> transport;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    hop = network_hops_.try_emplace(PairKey{source, target.shim->name()},
-                                    std::make_unique<NetworkHop>())
-              .first->second.get();
-  }
-  std::lock_guard<std::mutex> hop_lock(hop->mutex);
-  if (!hop->sender.has_value()) {
-    if (target.port == 0) {
-      // No external ingress registered: create a loopback listener on demand
-      // (the in-process stand-in for the remote node's shim port).
-      RR_ASSIGN_OR_RETURN(NetworkChannelListener listener,
-                          NetworkChannelListener::Bind(0));
-      RR_ASSIGN_OR_RETURN(
-          NetworkChannelSender sender,
-          NetworkChannelSender::Connect(target.host, listener.port()));
-      RR_ASSIGN_OR_RETURN(NetworkChannelReceiver receiver, listener.Accept());
-      hop->sender.emplace(std::move(sender));
-      hop->receiver.emplace(std::move(receiver));
-    } else {
-      // Route through the target node's agent: the preamble names the
-      // function, the agent hands the connection to its shim's receiver.
-      RR_ASSIGN_OR_RETURN(
-          NetworkChannelSender sender,
-          ConnectToRemoteFunction(target.host, target.port, target.shim->name()));
-      hop->sender.emplace(std::move(sender));
+    const auto it = transports_.find(mode);
+    if (it == transports_.end()) {
+      return UnimplementedError(std::string("no transport registered for ") +
+                                std::string(TransferModeName(mode)));
     }
+    transport = it->second;
+    slot = slots_
+               .try_emplace(PairKey{source.shim->name(), target.shim->name()},
+                            std::make_shared<Slot>())
+               .first->second;
   }
-  return hop;
+  // Establish under the slot's own mutex: concurrent first-use of distinct
+  // pairs connects in parallel instead of serializing on the table lock.
+  std::lock_guard<std::mutex> slot_lock(slot->mutex);
+  if (slot->hop == nullptr) {
+    RR_ASSIGN_OR_RETURN(std::unique_ptr<Hop> hop,
+                        transport->Connect(source, target));
+    slot->hop = std::move(hop);
+  }
+  return slot->hop;
 }
 
 size_t HopTable::Evict(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  size_t evicted = 0;
-  const auto involves = [&name](const PairKey& key) {
-    return key.first == name || key.second == name;
-  };
-  for (auto it = kernel_hops_.begin(); it != kernel_hops_.end();) {
-    if (involves(it->first)) {
-      it = kernel_hops_.erase(it);
-      ++evicted;
-    } else {
-      ++it;
+  std::vector<std::shared_ptr<Hop>> evicted;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = slots_.begin(); it != slots_.end();) {
+      if (it->first.first == name || it->first.second == name) {
+        if (it->second->hop != nullptr) evicted.push_back(it->second->hop);
+        it = slots_.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
-  for (auto it = network_hops_.begin(); it != network_hops_.end();) {
-    if (involves(it->first)) {
-      it = network_hops_.erase(it);
-      ++evicted;
-    } else {
-      ++it;
-    }
-  }
-  return evicted;
+  // Close outside the table lock: shutting a wire down must not stall
+  // unrelated pairs' Get calls.
+  for (const std::shared_ptr<Hop>& hop : evicted) hop->Close();
+  return evicted.size();
 }
 
 size_t HopTable::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return kernel_hops_.size() + network_hops_.size();
+  return slots_.size();
 }
-
-namespace {
-
-// The two shims are distinct sandboxes; run the send concurrently so a
-// payload larger than the kernel socket buffer cannot self-deadlock.
-template <typename Sender, typename Receiver>
-Result<MemoryRegion> SendAndReceive(Sender& sender, Receiver& receiver,
-                                    Endpoint& source, const MemoryRegion& region,
-                                    Endpoint& target, TransferTiming* timing) {
-  Status send_status;
-  std::thread send_thread(
-      [&] { send_status = sender.Send(*source.shim, region); });
-  auto delivered = receiver.ReceiveInto(*target.shim);
-  send_thread.join();
-  RR_RETURN_IF_ERROR(send_status);
-  if (delivered.ok() && timing != nullptr) {
-    *timing += sender.last_timing();
-    *timing += receiver.last_timing();
-  }
-  return delivered;
-}
-
-}  // namespace
 
 Result<MemoryRegion> ForwardOverHop(HopTable& hops, Endpoint& source,
                                     const MemoryRegion& region, Endpoint& target,
                                     TransferTiming* timing) {
-  switch (SelectMode(source.location, target.location)) {
-    case TransferMode::kUserSpace: {
-      RR_ASSIGN_OR_RETURN(UserSpaceChannel channel,
-                          UserSpaceChannel::Create(source.shim, target.shim));
-      return channel.Transfer(region);
-    }
-    case TransferMode::kKernelSpace: {
-      RR_ASSIGN_OR_RETURN(
-          HopTable::KernelHop* const hop,
-          hops.Kernel(source.shim->name(), target.shim->name()));
-      std::lock_guard<std::mutex> lock(hop->mutex);
-      return SendAndReceive(*hop->sender, *hop->receiver, source, region,
-                            target, timing);
-    }
-    case TransferMode::kNetwork: {
-      if (target.port != 0) {
-        // Checked before connecting: a failed operation must not park a
-        // worker on the remote agent.
-        return FailedPreconditionError(
-            "delivery through a NodeAgent ingress is invoke-coupled; "
-            "the remote agent receives and invokes (dag::DagExecutor "
-            "handles this path)");
-      }
-      RR_ASSIGN_OR_RETURN(HopTable::NetworkHop* const hop,
-                          hops.Network(source.shim->name(), target));
-      std::lock_guard<std::mutex> lock(hop->mutex);
-      return SendAndReceive(*hop->sender, *hop->receiver, source, region,
-                            target, timing);
-    }
-  }
-  return InternalError("unreachable transfer mode");
+  RR_ASSIGN_OR_RETURN(const std::shared_ptr<Hop> hop, hops.Get(source, target));
+  return hop->Forward(source, region, target, timing);
 }
 
 Result<InvokeOutcome> ForwardAndInvoke(HopTable& hops, Endpoint& source,
                                        const MemoryRegion& region,
                                        Endpoint& target, TransferTiming* timing) {
-  RR_ASSIGN_OR_RETURN(const MemoryRegion delivered,
-                      ForwardOverHop(hops, source, region, target, timing));
-  return target.shim->InvokeOnRegion(delivered);
+  RR_ASSIGN_OR_RETURN(const std::shared_ptr<Hop> hop, hops.Get(source, target));
+  return hop->ForwardAndInvoke(source, region, target, timing);
 }
 
 }  // namespace rr::core

@@ -1,63 +1,52 @@
-// HopTable: the per-pair cache of established kernel/network hops, shared by
-// every executor that moves data between registered functions.
+// HopTable: the per-pair cache of established hops, shared by every executor
+// that moves data between registered functions.
 //
-// Historically this cache (and the ForwardAndInvoke switch over the three
-// transfer modes) lived as private members of WorkflowManager, which limited
-// execution to linear chains. Extracted here, the same connected channels
-// back chains (WorkflowManager::RunChain), DAG executions (dag::DagExecutor),
-// and anything a future scheduler dreams up — hops connect lazily on first
-// use and persist across runs, so steady-state transfers never pay connection
-// setup.
+// Historically this cache held parallel KernelHop/NetworkHop structs and the
+// mode switch lived in a free ForwardAndInvoke — every new backend meant
+// touching every executor. The table now fronts the polymorphic Transport
+// layer (core/transport.h): placement selects the mode, the mode's Transport
+// establishes a Hop on a pair's first use, and executors speak only the Hop
+// interface. Hops persist across runs, so steady-state transfers never pay
+// connection setup, and additional backends register without executor
+// changes.
 #pragma once
 
 #include <map>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
 
 #include "core/endpoint.h"
-#include "core/kernel_channel.h"
-#include "core/network_channel.h"
-#include "core/user_channel.h"
+#include "core/transport.h"
 
 namespace rr::core {
 
 class HopTable {
  public:
-  // One cached duplex hop between two co-located or remote functions. The
-  // per-hop mutex serializes establishment and concurrent transfers over the
-  // same pair (DAG branches run in parallel; distinct pairs never contend,
-  // and connection setup never blocks the table-wide lock). The channel
-  // halves are engaged once the hop is established.
-  struct KernelHop {
-    std::mutex mutex;
-    std::optional<KernelChannelSender> sender;
-    std::optional<KernelChannelReceiver> receiver;
-  };
-  // A network hop's receiver half is present only for in-process loopback
-  // hops (target port 0). Hops through a remote NodeAgent ingress hold just
-  // the sender: receive + invoke happen on the remote node.
-  struct NetworkHop {
-    std::mutex mutex;
-    std::optional<NetworkChannelSender> sender;
-    std::optional<NetworkChannelReceiver> receiver;
-  };
+  // Installs the three built-in transports (user / kernel / network).
+  HopTable();
 
-  // Returns the cached hop for (source, target), connecting it first if
-  // needed. Pointers stay valid until the hop is evicted.
-  Result<KernelHop*> Kernel(const std::string& source, const std::string& target);
+  // Installs `transport` as the backend for its mode, replacing the built-in.
+  // Safe while transfers are in flight: an establishment already running on
+  // the old backend completes on it (shared ownership), and
+  // already-established hops keep serving until evicted — callers that swap
+  // a backend mid-flight should Evict the affected endpoints.
+  Status RegisterTransport(std::unique_ptr<Transport> transport);
 
-  // For a target with an external ingress (port != 0) the hop connects
-  // through the target node's agent with a routing preamble; otherwise an
-  // in-process loopback listener stands in for the remote shim port.
-  Result<NetworkHop*> Network(const std::string& source, const Endpoint& target);
+  // Returns the cached hop for (source → target), establishing it through
+  // the placement-selected transport on first use. Establishment of distinct
+  // pairs proceeds in parallel (per-slot mutex, not the table-wide lock).
+  // The returned reference is shared: a concurrent Evict closes the hop's
+  // wire but the object outlives every holder, so in-flight transfers fail
+  // cleanly instead of touching freed memory.
+  Result<std::shared_ptr<Hop>> Get(Endpoint& source, const Endpoint& target);
 
-  // Drops every cached hop whose source or target is `name`. Must be called
-  // when an endpoint's shim is replaced or unregistered, so no hop keeps a
-  // connection whose peer no longer exists. A control-plane operation: the
-  // caller must ensure no transfer is in flight on the evicted endpoint.
-  // Returns the number evicted.
+  // Drops (and Close()s) every cached hop whose source or target is `name`,
+  // so no hop keeps a connection whose peer is being replaced (control
+  // plane) or has proven dead (a remote delivery timeout). Transfers still
+  // in flight on an evicted hop fail with the closed wire and release their
+  // shared ownership; the next Get establishes a fresh hop. Returns the
+  // number evicted.
   size_t Evict(const std::string& name);
 
   size_t size() const;
@@ -65,24 +54,28 @@ class HopTable {
  private:
   using PairKey = std::pair<std::string, std::string>;
 
+  // One cache slot per pair. The slot mutex serializes establishment so
+  // concurrent first-use of distinct pairs connects in parallel instead of
+  // serializing on the table lock. Shared ownership: an Evict racing an
+  // establishment detaches the slot from the map and the straggler's hop
+  // dies with its last user.
+  struct Slot {
+    std::mutex mutex;
+    std::shared_ptr<Hop> hop;
+  };
+
   mutable std::mutex mutex_;
-  std::map<PairKey, std::unique_ptr<KernelHop>> kernel_hops_;
-  std::map<PairKey, std::unique_ptr<NetworkHop>> network_hops_;
+  std::map<TransferMode, std::shared_ptr<Transport>> transports_;
+  std::map<PairKey, std::shared_ptr<Slot>> slots_;
 };
 
-// Delivers `region` (the source function's output) into the target function's
-// linear memory over the placement-selected mode, without invoking the
-// target. Used for fan-in, where every predecessor's payload lands before the
-// join function runs once. Fails for targets behind a remote NodeAgent
-// ingress, whose delivery is invoke-coupled (the agent runs Algorithm 1's
-// receive+invoke); callers handle that path themselves.
-// `timing`, when non-null, receives the channel's wasm-io/transfer split.
+// DEPRECATED(one release): thin wrappers over HopTable::Get + the Hop
+// interface, kept so pre-Runtime call sites compile. New code should hold
+// the hop and call Forward / ForwardAndInvoke on it directly.
 Result<MemoryRegion> ForwardOverHop(HopTable& hops, Endpoint& source,
                                     const MemoryRegion& region, Endpoint& target,
                                     TransferTiming* timing = nullptr);
 
-// Forward + invoke the target once on the delivered payload: the per-hop
-// building block of RunChain and of single-predecessor DAG nodes.
 Result<InvokeOutcome> ForwardAndInvoke(HopTable& hops, Endpoint& source,
                                        const MemoryRegion& region,
                                        Endpoint& target,

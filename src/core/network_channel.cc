@@ -43,12 +43,12 @@ Result<NetworkChannelSender> NetworkChannelSender::FromConnection(
 }
 
 Status NetworkChannelSender::Send(Shim& source, const MemoryRegion& region,
-                                  CopyMode mode) {
+                                  CopyMode mode, uint64_t token) {
   timing_ = {};
   if (mode == CopyMode::kDirectGuest) {
     RR_ASSIGN_OR_RETURN(const ByteSpan view, source.OutputView(region));
     const Stopwatch transfer_timer;
-    RR_RETURN_IF_ERROR(SendBytes(view));
+    RR_RETURN_IF_ERROR(SendBytes(view, token));
     timing_.transfer = transfer_timer.Elapsed();
     return Status::Ok();
   }
@@ -59,21 +59,22 @@ Status NetworkChannelSender::Send(Shim& source, const MemoryRegion& region,
   RR_RETURN_IF_ERROR(source.sandbox().ReadMemoryHost(region.address, staged));
   timing_.wasm_io = io_timer.Elapsed();
   const Stopwatch transfer_timer;
-  RR_RETURN_IF_ERROR(SendBytes(staged));
+  RR_RETURN_IF_ERROR(SendBytes(staged, token));
   timing_.transfer = transfer_timer.Elapsed();
   return Status::Ok();
 }
 
-Status NetworkChannelSender::SendBytes(ByteSpan data) {
-  // Length header first (8 bytes), then the body through the hose. The body
-  // pages are referenced, not copied, on the way into the kernel, so the
-  // sender must not reuse them until the receiver confirms delivery: the
-  // protocol ends with a 1-byte ack. (SIOCOUTQ draining is NOT sufficient —
-  // on loopback the receive queue's skbs still reference the spliced pages
-  // until the peer's read(2).)
-  uint8_t header[8];
+Status NetworkChannelSender::SendBytes(ByteSpan data, uint64_t token) {
+  // Frame header first (16 bytes: length + correlation token), then the body
+  // through the hose. The body pages are referenced, not copied, on the way
+  // into the kernel, so the sender must not reuse them until the receiver
+  // confirms delivery: the protocol ends with a 1-byte ack. (SIOCOUTQ
+  // draining is NOT sufficient — on loopback the receive queue's skbs still
+  // reference the spliced pages until the peer's read(2).)
+  uint8_t header[16];
   StoreLE<uint64_t>(header, data.size());
-  RR_RETURN_IF_ERROR(conn_.Send(ByteSpan(header, 8)));
+  StoreLE<uint64_t>(header + 8, token);
+  RR_RETURN_IF_ERROR(conn_.Send(ByteSpan(header, 16)));
   RR_RETURN_IF_ERROR(hose_.SendThrough(conn_.fd(), data));
   uint8_t ack = 0;
   RR_RETURN_IF_ERROR(conn_.Receive(MutableByteSpan(&ack, 1)));
@@ -91,15 +92,23 @@ Result<NetworkChannelReceiver> NetworkChannelReceiver::FromConnection(
   return NetworkChannelReceiver(std::move(conn), std::move(hose));
 }
 
-Result<MemoryRegion> NetworkChannelReceiver::ReceiveInto(Shim& target,
-                                                         CopyMode mode) {
-  timing_ = {};
-  uint8_t header[8];
-  RR_RETURN_IF_ERROR(conn_.Receive(MutableByteSpan(header, 8)));
-  const uint64_t length = LoadLE<uint64_t>(header);
-  if (length > serde::kMaxFrameBytes || length > UINT32_MAX) {
+Result<FrameInfo> NetworkChannelReceiver::ReceiveHeader() {
+  uint8_t header[16];
+  RR_RETURN_IF_ERROR(conn_.Receive(MutableByteSpan(header, 16)));
+  FrameInfo frame;
+  frame.length = LoadLE<uint64_t>(header);
+  frame.token = LoadLE<uint64_t>(header + 8);
+  if (frame.length > serde::kMaxFrameBytes || frame.length > UINT32_MAX) {
     return DataLossError("network channel: implausible frame length");
   }
+  return frame;
+}
+
+Result<MemoryRegion> NetworkChannelReceiver::ReceiveBody(const FrameInfo& frame,
+                                                         Shim& target,
+                                                         CopyMode mode) {
+  timing_ = {};
+  const uint64_t length = frame.length;
 
   if (mode == CopyMode::kDirectGuest) {
     // allocate_memory(length) in the target, then splice the payload from
@@ -133,9 +142,19 @@ Result<MemoryRegion> NetworkChannelReceiver::ReceiveInto(Shim& target,
   return region;
 }
 
+Result<MemoryRegion> NetworkChannelReceiver::ReceiveInto(Shim& target,
+                                                         CopyMode mode,
+                                                         uint64_t* token) {
+  RR_ASSIGN_OR_RETURN(const FrameInfo frame, ReceiveHeader());
+  if (token != nullptr) *token = frame.token;
+  return ReceiveBody(frame, target, mode);
+}
+
 Result<InvokeOutcome> NetworkChannelReceiver::ReceiveAndInvoke(Shim& target,
-                                                               CopyMode mode) {
-  RR_ASSIGN_OR_RETURN(const MemoryRegion region, ReceiveInto(target, mode));
+                                                               CopyMode mode,
+                                                               uint64_t* token) {
+  RR_ASSIGN_OR_RETURN(const MemoryRegion region,
+                      ReceiveInto(target, mode, token));
   return target.InvokeOnRegion(region);
 }
 

@@ -7,8 +7,12 @@
 //   source shim: read_memory_host -> vmsplice -> pipe -> splice -> socket
 //   target shim: socket -> splice -> pipe -> read -> write into Wasm VM
 //
-// A fixed binary header (frame length) precedes the payload; Roadrunner
-// serializes O(metadata), never the body.
+// A fixed binary header (frame length + per-transfer correlation token)
+// precedes the payload; Roadrunner serializes O(metadata), never the body.
+// The token lets invoke-coupled receivers (NodeAgent) attribute each
+// completion to exactly the transfer that requested it — a late completion
+// from a timed-out run can no longer be mis-claimed by the next run. Token 0
+// means untracked (receive-coupled transfers that complete synchronously).
 #pragma once
 
 #include <string>
@@ -56,10 +60,16 @@ class NetworkChannelSender {
   // Algorithm 1, source side: read_memory_host on the region, then
   // vmsplice+splice through the hose. kShimStaging stages the region in a
   // shim buffer first (the paper's implementation); kDirectGuest vmsplices
-  // the linear-memory pages themselves.
+  // the linear-memory pages themselves. `token` stamps the frame header.
   Status Send(Shim& source, const MemoryRegion& region,
-              CopyMode mode = CopyMode::kShimStaging);
-  Status SendBytes(ByteSpan data);
+              CopyMode mode = CopyMode::kShimStaging, uint64_t token = 0);
+  Status SendBytes(ByteSpan data, uint64_t token = 0);
+
+  // Kills the wire without destroying the sender: a Send already in flight
+  // (possibly on another thread) fails with EPIPE, and the peer's receiver
+  // sees EOF. Used by hop eviction, where in-flight users still hold the
+  // hop.
+  void ShutdownWire() { conn_.ShutdownBoth(); }
 
   uint64_t bytes_sent() const { return bytes_sent_; }
   bool using_splice() const { return hose_.using_splice(); }
@@ -75,16 +85,33 @@ class NetworkChannelSender {
   TransferTiming timing_;
 };
 
+// The fixed 16-byte frame header preceding every payload.
+struct FrameInfo {
+  uint64_t length = 0;
+  uint64_t token = 0;
+};
+
 class NetworkChannelReceiver {
  public:
   static Result<NetworkChannelReceiver> FromConnection(osal::Connection conn);
 
+  // Two-phase receive: blocks for the next frame's header alone. Lets an
+  // agent park here without holding the target shim, then serialize the body
+  // delivery + invoke under the shim's lock (ReceiveBody).
+  Result<FrameInfo> ReceiveHeader();
+  Result<MemoryRegion> ReceiveBody(const FrameInfo& frame, Shim& target,
+                                   CopyMode mode = CopyMode::kShimStaging);
+
   // Algorithm 1, target side: splice from the socket into the hose,
   // allocate_memory(length) in the target, write into its linear memory.
+  // One-shot header+body; `token`, when non-null, receives the frame's
+  // correlation token.
   Result<MemoryRegion> ReceiveInto(Shim& target,
-                                   CopyMode mode = CopyMode::kShimStaging);
+                                   CopyMode mode = CopyMode::kShimStaging,
+                                   uint64_t* token = nullptr);
   Result<InvokeOutcome> ReceiveAndInvoke(Shim& target,
-                                         CopyMode mode = CopyMode::kShimStaging);
+                                         CopyMode mode = CopyMode::kShimStaging,
+                                         uint64_t* token = nullptr);
 
   uint64_t bytes_received() const { return bytes_received_; }
   const TransferTiming& last_timing() const { return timing_; }

@@ -132,21 +132,36 @@ void NodeAgent::ServeConnection(osal::Connection conn) {
     return;
   }
 
-  // One channel, many transfers: loop until the peer closes.
+  // One channel, many transfers: loop until the peer closes. The header is
+  // awaited without the shim lock (a parked idle channel must not block
+  // other channels' deliveries into the same function); body delivery and
+  // invoke serialize on the shim, so concurrent connections to one function
+  // interleave whole transfers, never partial ones.
   while (!stopping_.load()) {
-    auto outcome = receiver->ReceiveAndInvoke(*entry.shim);
-    if (!outcome.ok()) {
-      if (outcome.status().code() != StatusCode::kDataLoss &&
-          outcome.status().code() != StatusCode::kUnavailable) {
-        RR_LOG(Debug) << "node agent: transfer ended: " << outcome.status();
+    auto frame = receiver->ReceiveHeader();
+    if (!frame.ok()) {
+      if (frame.status().code() != StatusCode::kDataLoss &&
+          frame.status().code() != StatusCode::kUnavailable) {
+        RR_LOG(Debug) << "node agent: transfer ended: " << frame.status();
       }
+      break;
+    }
+    Result<InvokeOutcome> outcome = [&]() -> Result<InvokeOutcome> {
+      std::lock_guard<std::mutex> shim_lock(entry.shim->exec_mutex());
+      RR_ASSIGN_OR_RETURN(const MemoryRegion region,
+                          receiver->ReceiveBody(*frame, *entry.shim));
+      return entry.shim->InvokeOnRegion(region);
+    }();
+    if (!outcome.ok()) {
+      RR_LOG(Debug) << "node agent: transfer ended: " << outcome.status();
       break;
     }
     transfers_completed_.fetch_add(1, std::memory_order_relaxed);
     if (entry.on_delivery) {
-      entry.on_delivery(*name, *outcome);
+      entry.on_delivery(*name, *outcome, frame->token);
     } else {
       // Nobody consumes the output: release it to keep the heap bounded.
+      std::lock_guard<std::mutex> shim_lock(entry.shim->exec_mutex());
       (void)entry.shim->ReleaseRegion(outcome->output);
     }
   }

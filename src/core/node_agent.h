@@ -26,9 +26,11 @@ namespace rr::core {
 class NodeAgent {
  public:
   // Called after a payload has been delivered and the function invoked; the
-  // outcome's output region lives in the function's sandbox.
-  using DeliveryCallback =
-      std::function<void(const std::string& function, const InvokeOutcome&)>;
+  // outcome's output region lives in the function's sandbox. `token` is the
+  // frame's correlation token: the consumer matches the completion to the
+  // exact transfer that sent it (0 = sender did not track the transfer).
+  using DeliveryCallback = std::function<void(
+      const std::string& function, const InvokeOutcome&, uint64_t token)>;
 
   // Binds the node ingress on 127.0.0.1:port (0 = ephemeral).
   static Result<std::unique_ptr<NodeAgent>> Start(uint16_t port);

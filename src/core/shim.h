@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 
 #include "common/clock.h"
 #include "core/data_access.h"
@@ -92,6 +93,14 @@ class Shim {
   DataAccess& data() { return data_; }
   runtime::WasmSandbox& sandbox() { return *sandbox_; }
 
+  // Serializes multi-step use of this shim (deliver + invoke, transfer in,
+  // merge, egress) across concurrent workflow invocations. The sandbox and
+  // DataAccess are not internally synchronized; every executor-side sequence
+  // that touches a shim's memory or invokes it must hold this mutex. Sites
+  // that need both ends of a hop take the two mutexes with std::scoped_lock
+  // (never one-then-the-other), so lock order cannot deadlock.
+  std::mutex& exec_mutex() { return exec_mutex_; }
+
   uint64_t invocations() const { return invocations_; }
 
  private:
@@ -103,6 +112,7 @@ class Shim {
   std::unique_ptr<runtime::WasmSandbox> owned_sandbox_;  // null in shared-VM mode
   runtime::WasmSandbox* sandbox_;
   DataAccess data_;
+  std::mutex exec_mutex_;
   uint64_t invocations_ = 0;
 };
 

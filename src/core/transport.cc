@@ -1,0 +1,248 @@
+#include "core/transport.h"
+
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "core/kernel_channel.h"
+#include "core/network_channel.h"
+#include "core/node_agent.h"
+#include "core/user_channel.h"
+
+namespace rr::core {
+
+namespace {
+
+// Locks both endpoint shims for the duration of a transfer. scoped_lock's
+// deadlock-avoidance handles opposing pairs (a->b vs b->a); the degenerate
+// self-hop (same shim both sides) locks once.
+class PairLock {
+ public:
+  PairLock(Shim& source, Shim& target) {
+    if (&source == &target) {
+      single_.emplace(source.exec_mutex());
+    } else {
+      both_.emplace(source.exec_mutex(), target.exec_mutex());
+    }
+  }
+
+ private:
+  std::optional<std::lock_guard<std::mutex>> single_;
+  std::optional<std::scoped_lock<std::mutex, std::mutex>> both_;
+};
+
+// The two shims are distinct sandboxes; run the send concurrently so a
+// payload larger than the kernel socket buffer cannot self-deadlock.
+template <typename Sender, typename Receiver>
+Result<MemoryRegion> SendAndReceive(Sender& sender, Receiver& receiver,
+                                    Endpoint& source, const MemoryRegion& region,
+                                    Endpoint& target, TransferTiming* timing) {
+  Status send_status;
+  std::thread send_thread(
+      [&] { send_status = sender.Send(*source.shim, region); });
+  auto delivered = receiver.ReceiveInto(*target.shim);
+  send_thread.join();
+  RR_RETURN_IF_ERROR(send_status);
+  if (delivered.ok() && timing != nullptr) {
+    *timing += sender.last_timing();
+    *timing += receiver.last_timing();
+  }
+  return delivered;
+}
+
+// --- user space -------------------------------------------------------------
+// Channel construction is two pointer assignments; the hop holds no wire
+// state, only the pair's serialization point.
+class UserSpaceHop : public Hop {
+ public:
+  TransferMode mode() const override { return TransferMode::kUserSpace; }
+
+  Result<MemoryRegion> Forward(Endpoint& source, const MemoryRegion& region,
+                               Endpoint& target,
+                               TransferTiming* timing) override {
+    PairLock lock(*source.shim, *target.shim);
+    RR_ASSIGN_OR_RETURN(UserSpaceChannel channel,
+                        UserSpaceChannel::Create(source.shim, target.shim));
+    (void)timing;  // one in-process copy; no kernel/socket phase to split out
+    return channel.Transfer(region);
+  }
+};
+
+class UserSpaceTransport : public Transport {
+ public:
+  TransferMode mode() const override { return TransferMode::kUserSpace; }
+
+  Result<std::unique_ptr<Hop>> Connect(Endpoint& source,
+                                       const Endpoint& target) override {
+    // Validate the trust precondition once, at establishment.
+    RR_RETURN_IF_ERROR(
+        UserSpaceChannel::Create(source.shim, target.shim).status());
+    return std::unique_ptr<Hop>(new UserSpaceHop());
+  }
+};
+
+// --- kernel space -----------------------------------------------------------
+class KernelHop : public Hop {
+ public:
+  KernelHop(KernelChannelSender sender, KernelChannelReceiver receiver)
+      : sender_(std::move(sender)), receiver_(std::move(receiver)) {}
+
+  TransferMode mode() const override { return TransferMode::kKernelSpace; }
+
+  Result<MemoryRegion> Forward(Endpoint& source, const MemoryRegion& region,
+                               Endpoint& target,
+                               TransferTiming* timing) override {
+    std::lock_guard<std::mutex> hop_lock(mutex_);
+    PairLock shims(*source.shim, *target.shim);
+    return SendAndReceive(sender_, receiver_, source, region, target, timing);
+  }
+
+ private:
+  std::mutex mutex_;  // serializes concurrent transfers over this pair's wire
+  KernelChannelSender sender_;
+  KernelChannelReceiver receiver_;
+};
+
+class KernelTransport : public Transport {
+ public:
+  TransferMode mode() const override { return TransferMode::kKernelSpace; }
+
+  Result<std::unique_ptr<Hop>> Connect(Endpoint& /*source*/,
+                                       const Endpoint& /*target*/) override {
+    RR_ASSIGN_OR_RETURN(auto pair, MakeKernelChannelPair());
+    return std::unique_ptr<Hop>(
+        new KernelHop(std::move(pair.first), std::move(pair.second)));
+  }
+};
+
+// --- network ----------------------------------------------------------------
+// Two shapes, chosen by the target's ingress at Connect time: a loopback hop
+// (target port 0) holds both channel halves in-process and behaves like a
+// kernel hop over TCP; an agent hop (port != 0) holds just the sender — the
+// remote NodeAgent owns receive + invoke (§4.3, Algorithm 1).
+class NetworkLoopbackHop : public Hop {
+ public:
+  NetworkLoopbackHop(NetworkChannelSender sender, NetworkChannelReceiver receiver)
+      : sender_(std::move(sender)), receiver_(std::move(receiver)) {}
+
+  TransferMode mode() const override { return TransferMode::kNetwork; }
+
+  Result<MemoryRegion> Forward(Endpoint& source, const MemoryRegion& region,
+                               Endpoint& target,
+                               TransferTiming* timing) override {
+    std::lock_guard<std::mutex> hop_lock(mutex_);
+    PairLock shims(*source.shim, *target.shim);
+    return SendAndReceive(sender_, receiver_, source, region, target, timing);
+  }
+
+ private:
+  std::mutex mutex_;
+  NetworkChannelSender sender_;
+  NetworkChannelReceiver receiver_;
+};
+
+class NetworkAgentHop : public Hop {
+ public:
+  explicit NetworkAgentHop(NetworkChannelSender sender)
+      : sender_(std::move(sender)) {}
+
+  TransferMode mode() const override { return TransferMode::kNetwork; }
+  bool invoke_coupled() const override { return true; }
+
+  Result<MemoryRegion> Forward(Endpoint& /*source*/,
+                               const MemoryRegion& /*region*/,
+                               Endpoint& /*target*/,
+                               TransferTiming* /*timing*/) override {
+    return FailedPreconditionError(
+        "delivery through a NodeAgent ingress is invoke-coupled; Dispatch the "
+        "frame and consume the agent's delivery callback");
+  }
+
+  Status Dispatch(Endpoint& source, const MemoryRegion& region, uint64_t token,
+                  TransferTiming* timing) override {
+    std::lock_guard<std::mutex> hop_lock(mutex_);
+    std::lock_guard<std::mutex> shim_lock(source.shim->exec_mutex());
+    RR_RETURN_IF_ERROR(
+        sender_.Send(*source.shim, region, CopyMode::kShimStaging, token));
+    if (timing != nullptr) *timing += sender_.last_timing();
+    return Status::Ok();
+  }
+
+  Status DispatchBytes(ByteSpan payload, uint64_t token) override {
+    std::lock_guard<std::mutex> hop_lock(mutex_);
+    return sender_.SendBytes(payload, token);
+  }
+
+  // Deliberately lock-free: eviction closes hops that may have a Dispatch
+  // blocked on mutex_ (that is the point — a delivery timed out), so Close
+  // must not queue behind them. shutdown(2) is safe against concurrent I/O
+  // on the descriptor; the blocked send fails with EPIPE and the agent-side
+  // worker dies with the connection, dropping any frame still in flight.
+  void Close() override { sender_.ShutdownWire(); }
+
+ private:
+  std::mutex mutex_;
+  NetworkChannelSender sender_;
+};
+
+class NetworkTransport : public Transport {
+ public:
+  TransferMode mode() const override { return TransferMode::kNetwork; }
+
+  Result<std::unique_ptr<Hop>> Connect(Endpoint& /*source*/,
+                                       const Endpoint& target) override {
+    if (target.port == 0) {
+      // No external ingress registered: create a loopback listener on demand
+      // (the in-process stand-in for the remote node's shim port).
+      RR_ASSIGN_OR_RETURN(NetworkChannelListener listener,
+                          NetworkChannelListener::Bind(0));
+      RR_ASSIGN_OR_RETURN(
+          NetworkChannelSender sender,
+          NetworkChannelSender::Connect(target.host, listener.port()));
+      RR_ASSIGN_OR_RETURN(NetworkChannelReceiver receiver, listener.Accept());
+      return std::unique_ptr<Hop>(
+          new NetworkLoopbackHop(std::move(sender), std::move(receiver)));
+    }
+    // Route through the target node's agent: the preamble names the
+    // function, the agent hands the connection to its shim's receiver.
+    RR_ASSIGN_OR_RETURN(
+        NetworkChannelSender sender,
+        ConnectToRemoteFunction(target.host, target.port, target.shim->name()));
+    return std::unique_ptr<Hop>(new NetworkAgentHop(std::move(sender)));
+  }
+};
+
+}  // namespace
+
+Result<InvokeOutcome> Hop::ForwardAndInvoke(Endpoint& source,
+                                            const MemoryRegion& region,
+                                            Endpoint& target,
+                                            TransferTiming* timing) {
+  RR_ASSIGN_OR_RETURN(const MemoryRegion delivered,
+                      Forward(source, region, target, timing));
+  std::lock_guard<std::mutex> shim_lock(target.shim->exec_mutex());
+  return target.shim->InvokeOnRegion(delivered);
+}
+
+Status Hop::Dispatch(Endpoint& /*source*/, const MemoryRegion& /*region*/,
+                     uint64_t /*token*/, TransferTiming* /*timing*/) {
+  return FailedPreconditionError(
+      "hop is not invoke-coupled; use Forward/ForwardAndInvoke");
+}
+
+Status Hop::DispatchBytes(ByteSpan /*payload*/, uint64_t /*token*/) {
+  return FailedPreconditionError(
+      "hop is not invoke-coupled; use Forward/ForwardAndInvoke");
+}
+
+std::unique_ptr<Transport> MakeUserSpaceTransport() {
+  return std::make_unique<UserSpaceTransport>();
+}
+std::unique_ptr<Transport> MakeKernelTransport() {
+  return std::make_unique<KernelTransport>();
+}
+std::unique_ptr<Transport> MakeNetworkTransport() {
+  return std::make_unique<NetworkTransport>();
+}
+
+}  // namespace rr::core

@@ -1,0 +1,87 @@
+// The polymorphic transport layer: one `Transport`/`Hop` interface over the
+// three placement-selected transfer mechanisms (user space, kernel space,
+// network — §3.2.3), so executors move data without ever switching on the
+// mode and future backends (shared-memory ring, RDMA-sim, ...) plug into the
+// HopTable without touching executor code.
+//
+// A Transport knows how to *establish* a channel for its mode; a Hop is one
+// established, cached channel between a (source, target) pair. Hops are
+// internally synchronized: concurrent workflow invocations may forward over
+// the same hop, and each hop serializes its own wire while taking both
+// endpoint shims' exec mutexes (std::scoped_lock, so cross-pair lock order
+// cannot deadlock) for the duration of a transfer.
+#pragma once
+
+#include <memory>
+
+#include "core/endpoint.h"
+
+namespace rr::core {
+
+// One cached duplex channel between a source and a target function.
+class Hop {
+ public:
+  virtual ~Hop() = default;
+
+  virtual TransferMode mode() const = 0;
+
+  // True when delivery and invocation are fused on the far side: the frame
+  // lands at a remote NodeAgent whose worker performs Algorithm 1's
+  // receive+invoke. Such hops cannot Forward (deliver-only); they Dispatch,
+  // and the outcome returns through the agent's delivery callback.
+  virtual bool invoke_coupled() const { return false; }
+
+  // Delivers `region` (the source function's output) into the target
+  // function's linear memory without invoking it — the fan-in building
+  // block. Fails with kFailedPrecondition on invoke-coupled hops.
+  virtual Result<MemoryRegion> Forward(Endpoint& source,
+                                       const MemoryRegion& region,
+                                       Endpoint& target,
+                                       TransferTiming* timing = nullptr) = 0;
+
+  // Forward + invoke the target once on the delivered payload: the per-hop
+  // building block of chains and single-predecessor DAG nodes.
+  virtual Result<InvokeOutcome> ForwardAndInvoke(Endpoint& source,
+                                                 const MemoryRegion& region,
+                                                 Endpoint& target,
+                                                 TransferTiming* timing = nullptr);
+
+  // Invoke-coupled dispatch: sends the source's output region as one frame
+  // stamped with the per-transfer correlation `token`. The remote agent
+  // receives, invokes, and reports the outcome (with the token) through its
+  // delivery callback. Fails with kFailedPrecondition on local hops, whose
+  // transfers complete synchronously.
+  virtual Status Dispatch(Endpoint& source, const MemoryRegion& region,
+                          uint64_t token, TransferTiming* timing = nullptr);
+
+  // Invoke-coupled dispatch of a host-resident payload (a fan-in's
+  // predecessor outputs merged into one frame).
+  virtual Status DispatchBytes(ByteSpan payload, uint64_t token);
+
+  // Kills the underlying wire (idempotent) without invalidating the object:
+  // the HopTable calls this on eviction while other runs may still hold the
+  // hop, so implementations must tolerate transfers in flight — those fail
+  // with the dead channel and the object dies with its last shared owner.
+  virtual void Close() {}
+};
+
+// A transport backend: establishes hops for one transfer mode.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual TransferMode mode() const = 0;
+
+  // Establishes a channel between two registered endpoints. Called lazily on
+  // a pair's first transfer; the returned hop is cached by the HopTable and
+  // reused by every subsequent run.
+  virtual Result<std::unique_ptr<Hop>> Connect(Endpoint& source,
+                                               const Endpoint& target) = 0;
+};
+
+// The built-in backends (installed by HopTable's constructor).
+std::unique_ptr<Transport> MakeUserSpaceTransport();
+std::unique_ptr<Transport> MakeKernelTransport();
+std::unique_ptr<Transport> MakeNetworkTransport();
+
+}  // namespace rr::core

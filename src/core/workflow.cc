@@ -11,6 +11,7 @@ Status WorkflowManager::Register(Endpoint endpoint) {
                                  " is not part of workflow " + workflow_);
   }
   const std::string name = endpoint.shim->name();
+  std::lock_guard<std::mutex> lock(mutex_);
   if (!endpoints_.emplace(name, std::move(endpoint)).second) {
     return AlreadyExistsError("function already registered: " + name);
   }
@@ -18,8 +19,11 @@ Status WorkflowManager::Register(Endpoint endpoint) {
 }
 
 Status WorkflowManager::Unregister(const std::string& name) {
-  if (endpoints_.erase(name) == 0) {
-    return NotFoundError("unknown function: " + name);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (endpoints_.erase(name) == 0) {
+      return NotFoundError("unknown function: " + name);
+    }
   }
   // Cached hops hold live connections whose peer shim is going away; a
   // re-registered replacement must reconnect, not inherit them.
@@ -28,6 +32,7 @@ Status WorkflowManager::Unregister(const std::string& name) {
 }
 
 Result<Endpoint*> WorkflowManager::Find(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = endpoints_.find(name);
   if (it == endpoints_.end()) return NotFoundError("unknown function: " + name);
   return &it->second;
@@ -45,17 +50,30 @@ Result<Bytes> WorkflowManager::RunChain(const std::vector<std::string>& names,
   if (names.empty()) return InvalidArgumentError("empty chain");
 
   RR_ASSIGN_OR_RETURN(Endpoint* current, Find(names[0]));
-  RR_ASSIGN_OR_RETURN(InvokeOutcome outcome,
-                      current->shim->DeliverAndInvoke(input));
+  InvokeOutcome outcome;
+  {
+    std::lock_guard<std::mutex> shim_lock(current->shim->exec_mutex());
+    RR_ASSIGN_OR_RETURN(outcome, current->shim->DeliverAndInvoke(input));
+  }
 
   for (size_t i = 1; i < names.size(); ++i) {
     RR_ASSIGN_OR_RETURN(Endpoint* const next, Find(names[i]));
-    RR_ASSIGN_OR_RETURN(
-        outcome, ForwardAndInvoke(hops_, *current, outcome.output, *next));
+    RR_ASSIGN_OR_RETURN(const std::shared_ptr<Hop> hop,
+                        hops_.Get(*current, *next));
+    if (hop->invoke_coupled()) {
+      return FailedPreconditionError(
+          "chain hop " + names[i] +
+          " is behind a NodeAgent ingress; submit the chain through "
+          "api::Runtime, whose executor consumes the agent's delivery "
+          "callback");
+    }
+    RR_ASSIGN_OR_RETURN(outcome,
+                        hop->ForwardAndInvoke(*current, outcome.output, *next));
     current = next;
   }
 
   // Materialize the final function's output for the platform egress.
+  std::lock_guard<std::mutex> shim_lock(current->shim->exec_mutex());
   RR_ASSIGN_OR_RETURN(const ByteSpan view,
                       current->shim->OutputView(outcome.output));
   Bytes result(view.begin(), view.end());

@@ -1,12 +1,13 @@
 // Workflow registry and linear-chain execution.
 //
 // WorkflowManager owns the registry of one workflow's function endpoints and
-// the HopTable of established channels between them. RunChain executes the
-// paper's linear pipelines; DAG-shaped workflows are executed over the same
-// registry and hop cache by dag::DagExecutor (src/dag/executor.h).
+// the HopTable of established hops between them. It is the substrate the
+// async façade (api::Runtime) executes over; DAG-shaped workflows run over
+// the same registry and hop cache via dag::DagExecutor (src/dag/executor.h).
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,10 @@ namespace rr::core {
 // WorkflowManager executes chains by selecting a mode per hop. It owns no
 // sandboxes — shims are registered by the platform integration — and is the
 // piece an orchestrator (Knative/OpenFaaS/...) would drive.
+//
+// Registration is a control-plane operation; Register/Unregister must not
+// race a run that uses the affected endpoint. Lookups and transfers from
+// concurrent invocations are safe.
 class WorkflowManager {
  public:
   explicit WorkflowManager(std::string workflow) : workflow_(std::move(workflow)) {}
@@ -31,23 +36,26 @@ class WorkflowManager {
 
   Result<Endpoint*> Find(const std::string& name);
 
-  // Delivers `input` to the first function, then forwards each function's
-  // output to the next via the selected mode, returning the final output
-  // bytes. Kernel/network hops connect lazily and are cached per pair.
+  // DEPRECATED(one release): synchronous, one-run-at-a-time chain execution.
+  // Use api::Runtime::Submit(ChainSpec, input), which runs the same hops
+  // asynchronously with many invocations in flight. Delivers `input` to the
+  // first function, then forwards each function's output to the next via the
+  // selected mode, returning the final output bytes.
   Result<Bytes> RunChain(const std::vector<std::string>& names, ByteSpan input);
 
-  // The mode that RunChain will use between two registered functions.
+  // The mode that a transfer will use between two registered functions.
   Result<TransferMode> ModeBetween(const std::string& source,
                                    const std::string& target);
 
   // The shared cache of established hops (exposed so DAG executors drive the
-  // same connections RunChain does).
+  // same connections chains do).
   HopTable& hops() { return hops_; }
 
   const std::string& workflow() const { return workflow_; }
 
  private:
   std::string workflow_;
+  std::mutex mutex_;  // guards endpoints_ (map nodes themselves are stable)
   std::map<std::string, Endpoint> endpoints_;
   HopTable hops_;
 };

@@ -1,12 +1,14 @@
 #include "dag/executor.h"
 
-#include <atomic>
 #include <cstring>
 #include <optional>
+
+#include "common/log.h"
 
 namespace rr::dag {
 
 using core::Endpoint;
+using core::Hop;
 using core::InvokeOutcome;
 using core::MemoryRegion;
 using core::TransferTiming;
@@ -52,7 +54,6 @@ struct DagExecutor::StatsState {
 
 Result<Bytes> DagExecutor::Execute(const Dag& dag, ByteSpan input,
                                    telemetry::DagRunStats* stats) {
-  std::lock_guard<std::mutex> execute_lock(execute_mutex_);
   const Stopwatch total_timer;
   if (stats != nullptr) *stats = telemetry::DagRunStats{};
 
@@ -64,10 +65,6 @@ Result<Bytes> DagExecutor::Execute(const Dag& dag, ByteSpan input,
     runs[i].remaining_consumers.store(dag.node(i).succs.size(),
                                       std::memory_order_relaxed);
   }
-  // Open a fresh delivery epoch: anything a cancelled earlier run never
-  // claimed is released, not inherited.
-  const uint64_t run_id = run_id_.fetch_add(1, std::memory_order_relaxed) + 1;
-  PurgeStaleDeliveries(run_id);
 
   StatsState stats_state;
   stats_state.out = stats;
@@ -80,6 +77,7 @@ Result<Bytes> DagExecutor::Execute(const Dag& dag, ByteSpan input,
   if (status.ok()) {
     for (const size_t sink : dag.sinks()) {
       NodeRun& run = runs[sink];
+      std::lock_guard<std::mutex> shim_lock(run.endpoint->shim->exec_mutex());
       auto view = run.endpoint->shim->OutputView(run.outcome.output);
       if (!view.ok()) {
         status = view.status();
@@ -92,6 +90,7 @@ Result<Bytes> DagExecutor::Execute(const Dag& dag, ByteSpan input,
   // every completed node when the run was cancelled mid-flight.
   for (NodeRun& run : runs) {
     if (run.has_outcome && !run.released) {
+      std::lock_guard<std::mutex> shim_lock(run.endpoint->shim->exec_mutex());
       (void)run.endpoint->shim->ReleaseRegion(run.outcome.output);
       run.released = true;
     }
@@ -116,24 +115,38 @@ Status DagExecutor::RunNode(const Dag& dag, size_t index,
 
   // Sources take the workflow input through platform ingress.
   if (node.preds.empty()) {
+    std::lock_guard<std::mutex> shim_lock(target.shim->exec_mutex());
     RR_ASSIGN_OR_RETURN(run.outcome, target.shim->DeliverAndInvoke(input));
     run.has_outcome = true;
     return Status::Ok();
   }
 
-  // The agent ingress only carries edges the placement makes network anyway:
-  // a co-located predecessor keeps its user/kernel fast path even when the
-  // target node publishes an ingress port.
-  if (target.port != 0) {
-    bool all_network = true;
-    for (const size_t pred : node.preds) {
-      if (core::SelectMode(runs[pred].endpoint->location, target.location) !=
-          core::TransferMode::kNetwork) {
-        all_network = false;
-        break;
-      }
-    }
-    if (all_network) return RunRemoteNode(dag, index, runs, stats);
+  // Establish every predecessor's hop up front; all of them must agree on
+  // coupling. An invoke-coupled hop (remote NodeAgent ingress) carries the
+  // whole node — one dispatched frame, outcome via the agent's delivery
+  // callback — while local hops deliver then invoke here. The agent ingress
+  // only carries edges the placement makes network anyway, so a co-located
+  // predecessor keeps its user/kernel fast path even when the target
+  // publishes an ingress port; a genuinely mixed predecessor set is
+  // rejected regardless of edge-declaration order. Holding the shared_ptrs
+  // for the node's duration keeps every hop alive across a concurrent
+  // eviction (the transfer then fails on the closed wire, cleanly).
+  std::vector<std::shared_ptr<Hop>> pred_hops;
+  pred_hops.reserve(node.preds.size());
+  size_t coupled = 0;
+  for (const size_t pred : node.preds) {
+    RR_ASSIGN_OR_RETURN(std::shared_ptr<Hop> hop,
+                        manager_->hops().Get(*runs[pred].endpoint, target));
+    if (hop->invoke_coupled()) ++coupled;
+    pred_hops.push_back(std::move(hop));
+  }
+  if (coupled == node.preds.size()) {
+    return RunRemoteNode(dag, index, runs, *pred_hops.front(), stats);
+  }
+  if (coupled != 0) {
+    return FailedPreconditionError(
+        "node " + node.name +
+        " mixes invoke-coupled (agent ingress) and local predecessors");
   }
 
   // Local (or loopback-network) target: deliver each predecessor's payload
@@ -141,18 +154,19 @@ Status DagExecutor::RunNode(const Dag& dag, size_t index,
   std::vector<MemoryRegion> delivered;
   delivered.reserve(node.preds.size());
   const auto release_delivered = [&] {
+    std::lock_guard<std::mutex> shim_lock(target.shim->exec_mutex());
     for (const MemoryRegion& part : delivered) {
       (void)target.shim->ReleaseRegion(part);
     }
   };
-  for (const size_t pred : node.preds) {
+  for (size_t i = 0; i < node.preds.size(); ++i) {
+    const size_t pred = node.preds[i];
     Endpoint& source = *runs[pred].endpoint;
     TransferTiming timing;
     stats.MarkPhaseStart();
     const Stopwatch edge_timer;
-    auto region = core::ForwardOverHop(manager_->hops(), source,
-                                       runs[pred].outcome.output, target,
-                                       &timing);
+    Result<MemoryRegion> region = pred_hops[i]->Forward(
+        source, runs[pred].outcome.output, target, &timing);
     if (!region.ok()) {
       release_delivered();
       return region.status();
@@ -164,24 +178,32 @@ Status DagExecutor::RunNode(const Dag& dag, size_t index,
   }
   ReleaseConsumedPreds(node, runs);
 
+  // Everything below touches only the target shim: the delivered parts
+  // already live in its linear memory. One lock hold covers merge + invoke.
+  std::lock_guard<std::mutex> shim_lock(target.shim->exec_mutex());
   MemoryRegion input_region = delivered.front();
   if (delivered.size() > 1) {
     // Fan-in: concatenate the delivered payloads, in edge-declaration order,
     // into one fresh region; the join consumes a single contiguous input.
+    const auto release_parts = [&] {
+      for (const MemoryRegion& part : delivered) {
+        (void)target.shim->ReleaseRegion(part);
+      }
+    };
     uint64_t total = 0;
     for (const MemoryRegion& part : delivered) total += part.length;
     if (total > UINT32_MAX) {
-      release_delivered();
+      release_parts();
       return ResourceExhaustedError("fan-in input exceeds 32-bit guest memory");
     }
     auto merged = target.shim->PrepareInput(static_cast<uint32_t>(total));
     if (!merged.ok()) {
-      release_delivered();
+      release_parts();
       return merged.status();
     }
     auto merged_span = target.shim->InputSpan(*merged);
     if (!merged_span.ok()) {
-      release_delivered();
+      release_parts();
       (void)target.shim->ReleaseRegion(*merged);
       return merged_span.status();
     }
@@ -189,7 +211,7 @@ Status DagExecutor::RunNode(const Dag& dag, size_t index,
     for (const MemoryRegion& part : delivered) {
       auto part_view = target.shim->OutputView(part);
       if (!part_view.ok()) {
-        release_delivered();
+        release_parts();
         (void)target.shim->ReleaseRegion(*merged);
         return part_view.status();
       }
@@ -197,7 +219,7 @@ Status DagExecutor::RunNode(const Dag& dag, size_t index,
                   part_view->size());
       offset += part_view->size();
     }
-    release_delivered();
+    release_parts();
     input_region = *merged;
   }
 
@@ -214,55 +236,70 @@ Status DagExecutor::RunNode(const Dag& dag, size_t index,
 }
 
 Status DagExecutor::RunRemoteNode(const Dag& dag, size_t index,
-                                  std::vector<NodeRun>& runs,
+                                  std::vector<NodeRun>& runs, Hop& hop,
                                   StatsState& stats) {
   const DagNode& node = dag.node(index);
   NodeRun& run = runs[index];
   Endpoint& target = *run.endpoint;
 
-  // One connection per join point: the hop is keyed by the first predecessor
-  // and routed through the target node's agent with a function preamble.
-  Endpoint& first_pred = *runs[node.preds.front()].endpoint;
-  RR_ASSIGN_OR_RETURN(core::HopTable::NetworkHop* const hop,
-                      manager_->hops().Network(first_pred.shim->name(), target));
+  // Register the pending slot before the frame leaves: the agent's callback
+  // may fire before Dispatch even returns.
+  const uint64_t token = next_token_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mail_mutex_);
+    pending_.emplace(token, Pending{});
+  }
+  const auto abandon = [&] {
+    std::lock_guard<std::mutex> lock(mail_mutex_);
+    pending_.erase(token);
+  };
 
   stats.MarkPhaseStart();
   const Stopwatch edge_timer;
   TransferTiming timing;
   std::vector<uint64_t> part_bytes;
   part_bytes.reserve(node.preds.size());
-  {
-    std::lock_guard<std::mutex> lock(hop->mutex);
-    if (node.preds.size() == 1) {
-      const MemoryRegion& payload = runs[node.preds.front()].outcome.output;
-      RR_RETURN_IF_ERROR(hop->sender->Send(*first_pred.shim, payload));
-      timing += hop->sender->last_timing();
-      part_bytes.push_back(payload.length);
-    } else {
-      // Fan-in into a remote ingress: the agent invokes on every received
-      // frame, so the join's input must travel as ONE frame — merge the
-      // predecessor payloads host-side before sending.
-      Bytes merged;
-      for (const size_t pred : node.preds) {
-        auto view = runs[pred].endpoint->shim->OutputView(
-            runs[pred].outcome.output);
-        if (!view.ok()) return view.status();
-        merged.insert(merged.end(), view->begin(), view->end());
-        part_bytes.push_back(view->size());
+  if (node.preds.size() == 1) {
+    Endpoint& pred = *runs[node.preds.front()].endpoint;
+    const MemoryRegion& payload = runs[node.preds.front()].outcome.output;
+    const Status sent = hop.Dispatch(pred, payload, token, &timing);
+    if (!sent.ok()) {
+      abandon();
+      return sent;
+    }
+    part_bytes.push_back(payload.length);
+  } else {
+    // Fan-in into a remote ingress: the agent invokes on every received
+    // frame, so the join's input must travel as ONE frame — merge the
+    // predecessor payloads host-side before dispatching.
+    Bytes merged;
+    for (const size_t pred : node.preds) {
+      core::Shim& shim = *runs[pred].endpoint->shim;
+      std::lock_guard<std::mutex> shim_lock(shim.exec_mutex());
+      auto view = shim.OutputView(runs[pred].outcome.output);
+      if (!view.ok()) {
+        abandon();
+        return view.status();
       }
-      RR_RETURN_IF_ERROR(hop->sender->SendBytes(merged));
+      merged.insert(merged.end(), view->begin(), view->end());
+      part_bytes.push_back(view->size());
+    }
+    const Status sent = hop.DispatchBytes(merged, token);
+    if (!sent.ok()) {
+      abandon();
+      return sent;
     }
   }
   ReleaseConsumedPreds(node, runs);
 
   // The remote agent performs Algorithm 1's receive+invoke; its delivery
   // callback (DeliverySink, registered with the agent) completes the edge.
-  auto outcome = WaitForDelivery(target.shim->name(),
-                                 run_id_.load(std::memory_order_relaxed));
+  auto outcome = WaitForDelivery(target.shim->name(), token);
   if (!outcome.ok()) {
     // Tear the channel down with the failed transfer: the agent-side worker
-    // dies with the connection, so a frame still in flight is dropped
-    // instead of surfacing later as an unattributable delivery.
+    // dies with the connection, so a frame still in flight is dropped. A
+    // completion that nonetheless arrives later matches no pending token and
+    // is rejected (kTokenMismatch) with its output released.
     manager_->hops().Evict(target.shim->name());
     return outcome.status();
   }
@@ -282,66 +319,56 @@ Status DagExecutor::RunRemoteNode(const Dag& dag, size_t index,
 }
 
 Result<InvokeOutcome> DagExecutor::WaitForDelivery(const std::string& function,
-                                                   uint64_t run_id) {
+                                                   uint64_t token) {
   std::unique_lock<std::mutex> lock(mail_mutex_);
-  for (;;) {
-    const bool delivered = mail_cv_.wait_for(lock, remote_deadline_, [&] {
-      const auto it = mailbox_.find(function);
-      return it != mailbox_.end() && !it->second.empty();
-    });
-    if (!delivered) {
-      return DeadlineExceededError("no delivery from node agent for function " +
-                                   function);
-    }
-    std::deque<Delivery>& queue = mailbox_[function];
-    const Delivery delivery = queue.front();
-    queue.pop_front();
-    if (delivery.run_id == run_id) return delivery.outcome;
-    // A prior run's late delivery: release its output and keep waiting. The
-    // deadline intentionally restarts — a stale frame proves the channel is
-    // alive.
-    lock.unlock();
-    ReleaseDelivery(function, delivery.outcome);
-    lock.lock();
+  const bool delivered = mail_cv_.wait_for(lock, remote_deadline_, [&] {
+    const auto it = pending_.find(token);
+    return it != pending_.end() && it->second.fulfilled;
+  });
+  if (!delivered) {
+    pending_.erase(token);
+    return DeadlineExceededError("no delivery from node agent for function " +
+                                 function + " (token " +
+                                 std::to_string(token) + ")");
   }
+  const InvokeOutcome outcome = pending_.at(token).outcome;
+  pending_.erase(token);
+  return outcome;
 }
 
-void DagExecutor::PurgeStaleDeliveries(uint64_t current_run_id) {
-  std::vector<std::pair<std::string, InvokeOutcome>> stale;
+Status DagExecutor::DeliverOutcome(const std::string& function,
+                                   const InvokeOutcome& outcome,
+                                   uint64_t token) {
   {
     std::lock_guard<std::mutex> lock(mail_mutex_);
-    for (auto& [function, queue] : mailbox_) {
-      for (auto it = queue.begin(); it != queue.end();) {
-        if (it->run_id != current_run_id) {
-          stale.emplace_back(function, it->outcome);
-          it = queue.erase(it);
-        } else {
-          ++it;
-        }
-      }
+    const auto it = pending_.find(token);
+    if (it != pending_.end() && !it->second.fulfilled) {
+      it->second.fulfilled = true;
+      it->second.outcome = outcome;
+      mail_cv_.notify_all();
+      return Status::Ok();
     }
   }
-  for (const auto& [function, outcome] : stale) {
-    ReleaseDelivery(function, outcome);
-  }
-}
-
-void DagExecutor::ReleaseDelivery(const std::string& function,
-                                  const InvokeOutcome& outcome) {
+  // Nobody is waiting on this token: the transfer timed out, its run was
+  // cancelled, or the sender never tracked it. Release the orphaned output
+  // so the remote function's heap stays bounded.
   auto endpoint = manager_->Find(function);
   if (endpoint.ok()) {
+    std::lock_guard<std::mutex> shim_lock((*endpoint)->shim->exec_mutex());
     (void)(*endpoint)->shim->ReleaseRegion(outcome.output);
   }
+  return TokenMismatchError("delivery for function " + function + " carries token " +
+                            std::to_string(token) +
+                            " matching no pending transfer");
 }
 
 core::NodeAgent::DeliveryCallback DagExecutor::DeliverySink() {
-  return [this](const std::string& function, const InvokeOutcome& outcome) {
-    {
-      std::lock_guard<std::mutex> lock(mail_mutex_);
-      mailbox_[function].push_back(
-          Delivery{run_id_.load(std::memory_order_relaxed), outcome});
+  return [this](const std::string& function, const InvokeOutcome& outcome,
+                uint64_t token) {
+    const Status status = DeliverOutcome(function, outcome, token);
+    if (!status.ok()) {
+      RR_LOG(Debug) << "dag executor: rejected delivery: " << status;
     }
-    mail_cv_.notify_all();
   };
 }
 
@@ -352,6 +379,7 @@ void DagExecutor::ReleaseConsumedPreds(const DagNode& node,
   for (const size_t pred : node.preds) {
     NodeRun& p = runs[pred];
     if (p.remaining_consumers.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> shim_lock(p.endpoint->shim->exec_mutex());
       (void)p.endpoint->shim->ReleaseRegion(p.outcome.output);
       p.released = true;
     }

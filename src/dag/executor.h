@@ -1,25 +1,30 @@
 // DagExecutor: executes a validated Dag over a WorkflowManager's registry.
 //
-// Per edge it selects the cheapest transfer mode the placement allows (user /
-// kernel / network, §3.2.3) and moves the predecessor's output region through
-// the shared HopTable — the same cached channels RunChain uses. Fan-out
-// replicates one output region to every successor (each over its own hop,
-// concurrently, on the scheduler's worker pool); fan-in delivers every
-// predecessor's payload into the join function's linear memory, concatenates
-// them in edge-declaration order, and invokes the join exactly once.
+// Per edge it obtains the placement-selected hop from the shared HopTable
+// (the same cached channels chains use) and speaks only the polymorphic Hop
+// interface — no transfer-mode switches live here. Fan-out replicates one
+// output region to every successor (each over its own hop, concurrently, on
+// the scheduler's worker pool); fan-in delivers every predecessor's payload
+// into the join function's linear memory, concatenates them in
+// edge-declaration order, and invokes the join exactly once.
 //
-// Functions behind a remote NodeAgent ingress (Endpoint::port != 0) are
-// invoke-coupled: the agent's receiver performs Algorithm 1's receive+invoke
-// on its node. For those targets the executor sends one frame (predecessor
-// payloads merged host-side for fan-in) and waits for the agent's delivery
-// callback — wire DeliverySink() into NodeAgent::RegisterFunction to route
-// outcomes back.
+// Functions behind a remote NodeAgent ingress are served by invoke-coupled
+// hops: the executor Dispatches one frame (predecessor payloads merged
+// host-side for fan-in) stamped with a fresh correlation token, and the
+// agent's delivery callback — wire DeliverySink() into
+// NodeAgent::RegisterFunction — completes the transfer. Tokens make the
+// attribution exact: a completion belonging to a timed-out or cancelled
+// transfer matches no pending token and is rejected with kTokenMismatch
+// (and its output released), never claimed by a later run.
+//
+// Execute is reentrant: concurrent executions (api::Runtime keeps many
+// invocations in flight) share the worker pool, the hop cache, and the
+// delivery mailbox; per-run state lives on the caller's stack.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <mutex>
 #include <string>
@@ -43,14 +48,7 @@ class DagExecutor {
   // several sinks) are materialized as the result. Per-edge transfer
   // latencies land in `stats` when non-null. On any node failure the run
   // cancels — downstream nodes never execute — and the first error returns.
-  //
-  // Executions serialize on an internal mutex. A remote-delivery deadline
-  // failure evicts the hop, so the agent-side worker dies with the
-  // connection and a frame still in flight is dropped; a delivery that
-  // already arrived is released by the next Execute's purge. Residual
-  // window (the agent's wire protocol carries no per-transfer token): a
-  // remote invoke that completes between the timeout and the next run's
-  // send for the same function can still be claimed by that run.
+  // Safe to call from many threads at once.
   Result<Bytes> Execute(const Dag& dag, ByteSpan input,
                         telemetry::DagRunStats* stats = nullptr);
 
@@ -58,6 +56,14 @@ class DagExecutor {
   // invoke's outcome back into the executor so the DAG can continue past the
   // remote node. The executor must outlive the agent's use of the callback.
   core::NodeAgent::DeliveryCallback DeliverySink();
+
+  // Routes one remote completion to the transfer that dispatched `token`.
+  // Returns kTokenMismatch — releasing the outcome's output region — when no
+  // transfer is waiting on the token (late completion of a timed-out edge, a
+  // cancelled run, or an untracked sender). Exposed for DeliverySink and for
+  // protocol tests.
+  Status DeliverOutcome(const std::string& function,
+                        const core::InvokeOutcome& outcome, uint64_t token);
 
   // How long a remote (NodeAgent) delivery may take before the edge fails
   // with kDeadlineExceeded. Generous by default: paper-scale payloads cross
@@ -75,27 +81,24 @@ class DagExecutor {
   static void ReleaseConsumedPreds(const DagNode& node,
                                    std::vector<NodeRun>& runs);
   Status RunRemoteNode(const Dag& dag, size_t index, std::vector<NodeRun>& runs,
-                       StatsState& stats);
+                       core::Hop& hop, StatsState& stats);
   Result<core::InvokeOutcome> WaitForDelivery(const std::string& function,
-                                              uint64_t run_id);
-  void PurgeStaleDeliveries(uint64_t current_run_id);
-  void ReleaseDelivery(const std::string& function,
-                       const core::InvokeOutcome& outcome);
+                                              uint64_t token);
 
   core::WorkflowManager* manager_;
   DagScheduler scheduler_;
-  std::mutex execute_mutex_;  // one Execute at a time (mailbox epoch)
 
-  // Mailbox for outcomes delivered by remote NodeAgents, stamped with the
-  // run they arrived during so stale deliveries are released, not claimed.
-  struct Delivery {
-    uint64_t run_id;
+  // Pending invoke-coupled transfers, keyed by correlation token. A slot is
+  // registered before its frame is dispatched and erased by the waiter
+  // (fulfilled or timed out); completions matching no slot are rejected.
+  struct Pending {
+    bool fulfilled = false;
     core::InvokeOutcome outcome;
   };
   std::mutex mail_mutex_;
   std::condition_variable mail_cv_;
-  std::map<std::string, std::deque<Delivery>> mailbox_;
-  std::atomic<uint64_t> run_id_{0};
+  std::map<uint64_t, Pending> pending_;
+  std::atomic<uint64_t> next_token_{1};
   Nanos remote_deadline_ = std::chrono::seconds(60);
 };
 

@@ -24,66 +24,62 @@ DagScheduler::~DagScheduler() {
 }
 
 Status DagScheduler::Run(const Dag& dag, const NodeFn& fn) {
-  std::lock_guard<std::mutex> run_lock(run_mutex_);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    dag_ = &dag;
-    fn_ = &fn;
-    remaining_preds_.assign(dag.size(), 0);
-    for (size_t i = 0; i < dag.size(); ++i) {
-      remaining_preds_[i] = dag.node(i).preds.size();
-    }
-    ready_.assign(dag.sources().begin(), dag.sources().end());
-    in_flight_ = 0;
-    cancelled_ = false;
-    first_error_ = Status::Ok();
+  RunState state;
+  state.dag = &dag;
+  state.fn = &fn;
+  state.remaining_preds.resize(dag.size());
+  for (size_t i = 0; i < dag.size(); ++i) {
+    state.remaining_preds[i] = dag.node(i).preds.size();
   }
-  work_cv_.notify_all();
 
   std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [this] { return ready_.empty() && in_flight_ == 0; });
-  dag_ = nullptr;
-  fn_ = nullptr;
-  return first_error_;
+  for (const size_t source : dag.sources()) {
+    queue_.emplace_back(&state, source);
+  }
+  state.outstanding = dag.sources().size();
+  work_cv_.notify_all();
+
+  // A validated Dag is non-empty, so outstanding starts > 0 and reaches 0
+  // exactly when every reachable (non-cancelled) node has finished.
+  done_cv_.wait(lock, [&state] { return state.outstanding == 0; });
+  return state.first_error;
 }
 
 void DagScheduler::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    size_t node;
-    const NodeFn* fn;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock,
-                    [this] { return stopping_ || (dag_ != nullptr && !ready_.empty()); });
-      if (stopping_) return;
-      node = ready_.front();
-      ready_.pop_front();
-      ++in_flight_;
-      fn = fn_;
+    work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (stopping_) return;
+    auto [state, node] = queue_.front();
+    queue_.pop_front();
+
+    Status status;
+    if (!state->cancelled) {
+      lock.unlock();
+      status = (*state->fn)(node);
+      lock.lock();
     }
+    // else: the run failed while this node sat queued — retire it unrun.
 
-    const Status status = (*fn)(node);
-
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      --in_flight_;
-      if (!status.ok()) {
-        if (first_error_.ok()) {
-          first_error_ = Status(status.code(), "node " + dag_->node(node).name +
-                                                   ": " + status.message());
-        }
-        cancelled_ = true;
-        ready_.clear();
-      } else if (!cancelled_) {
-        for (const size_t succ : dag_->node(node).succs) {
-          if (--remaining_preds_[succ] == 0) ready_.push_back(succ);
+    if (!status.ok()) {
+      if (state->first_error.ok()) {
+        state->first_error =
+            Status(status.code(), "node " + state->dag->node(node).name + ": " +
+                                      status.message());
+      }
+      state->cancelled = true;
+    } else if (!state->cancelled) {
+      for (const size_t succ : state->dag->node(node).succs) {
+        if (--state->remaining_preds[succ] == 0) {
+          queue_.emplace_back(state, succ);
+          ++state->outstanding;
         }
       }
-      if (ready_.empty() && in_flight_ == 0) {
-        done_cv_.notify_all();
-      } else if (!ready_.empty()) {
-        work_cv_.notify_all();
-      }
+    }
+    if (--state->outstanding == 0) {
+      done_cv_.notify_all();
+    } else if (!queue_.empty()) {
+      work_cv_.notify_all();
     }
   }
 }

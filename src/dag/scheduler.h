@@ -5,6 +5,11 @@
 // branches (fan-out replicas, parallel pipelines) execute concurrently while
 // joins wait for all of their inputs. The pool is fixed at construction:
 // workflow width never translates into unbounded thread creation.
+//
+// Run is reentrant: any number of concurrent runs (api::Runtime keeps many
+// invocations in flight) share the one pool, their ready nodes interleaved
+// in one queue. Each run's bookkeeping lives on its caller's stack, so runs
+// never contend on anything but the queue lock.
 #pragma once
 
 #include <condition_variable>
@@ -34,31 +39,32 @@ class DagScheduler {
   DagScheduler& operator=(const DagScheduler&) = delete;
 
   // Runs every node of `dag` respecting its edges and returns the first
-  // error, if any. On failure no further nodes are dispatched (in-flight
-  // tasks finish); downstream nodes never run. One Run at a time — callers
-  // serialize on an internal mutex.
+  // error, if any. On failure no further nodes of that run are dispatched
+  // (in-flight tasks finish); downstream nodes never run. Blocks the caller
+  // until the run completes; concurrent callers share the worker pool.
   Status Run(const Dag& dag, const NodeFn& fn);
 
   size_t worker_count() const { return workers_.size(); }
 
  private:
-  void WorkerLoop();
+  // Bookkeeping of one Run, stack-allocated by the caller; workers reach it
+  // through the queue entries. Guarded by mutex_.
+  struct RunState {
+    const Dag* dag = nullptr;
+    const NodeFn* fn = nullptr;
+    std::vector<size_t> remaining_preds;
+    size_t outstanding = 0;  // queued + executing nodes of this run
+    bool cancelled = false;
+    Status first_error;
+  };
 
-  std::mutex run_mutex_;  // serializes Run calls
+  void WorkerLoop();
 
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   bool stopping_ = false;
-
-  // State of the active run (valid while dag_ != nullptr).
-  const Dag* dag_ = nullptr;
-  const NodeFn* fn_ = nullptr;
-  std::deque<size_t> ready_;
-  std::vector<size_t> remaining_preds_;
-  size_t in_flight_ = 0;
-  bool cancelled_ = false;
-  Status first_error_;
+  std::deque<std::pair<RunState*, size_t>> queue_;
 
   std::vector<std::thread> workers_;
 };

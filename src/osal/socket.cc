@@ -1,6 +1,7 @@
 #include "osal/socket.h"
 
 #include <arpa/inet.h>
+#include <csignal>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -15,6 +16,28 @@
 
 namespace rr::osal {
 
+namespace {
+
+// A peer that resets mid-transfer must surface as EPIPE, not kill the
+// process. sendmsg takes MSG_NOSIGNAL per call, but the splice(2) hose path
+// has no per-call opt-out, so the first connection opts the process out of
+// SIGPIPE once. (Only the disposition for this one signal changes, and only
+// from the default-terminate; an application handler installed first is
+// left alone.)
+void IgnoreSigpipeOnce() {
+  static const bool ignored = [] {
+    struct sigaction current {};
+    if (::sigaction(SIGPIPE, nullptr, &current) == 0 &&
+        current.sa_handler == SIG_DFL) {
+      ::signal(SIGPIPE, SIG_IGN);
+    }
+    return true;
+  }();
+  (void)ignored;
+}
+
+}  // namespace
+
 Status Connection::SendParts(std::initializer_list<ByteSpan> parts) {
   std::vector<iovec> iov;
   iov.reserve(parts.size());
@@ -24,11 +47,13 @@ Status Connection::SendParts(std::initializer_list<ByteSpan> parts) {
   }
   size_t at = 0;
   while (at < iov.size()) {
-    const ssize_t n = ::writev(fd_.get(), iov.data() + at,
-                               static_cast<int>(iov.size() - at));
+    msghdr msg{};
+    msg.msg_iov = iov.data() + at;
+    msg.msg_iovlen = iov.size() - at;
+    const ssize_t n = ::sendmsg(fd_.get(), &msg, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return ErrnoToStatus(errno, "writev");
+      return ErrnoToStatus(errno, "sendmsg");
     }
     // Advance past fully-written iovecs; trim a partially-written one.
     size_t written = static_cast<size_t>(n);
@@ -59,6 +84,8 @@ void Connection::SetNoDelay(bool enabled) {
   const int flag = enabled ? 1 : 0;
   (void)::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &flag, sizeof(flag));
 }
+
+void Connection::ShutdownBoth() { ::shutdown(fd_.get(), SHUT_RDWR); }
 
 Status Connection::ShutdownWrite() {
   if (::shutdown(fd_.get(), SHUT_WR) != 0) {
@@ -93,6 +120,7 @@ Result<TcpListener> TcpListener::Bind(uint16_t port) {
 }
 
 Result<Connection> TcpListener::Accept() {
+  IgnoreSigpipeOnce();
   while (true) {
     const int conn = ::accept4(fd_.get(), nullptr, nullptr, SOCK_CLOEXEC);
     if (conn < 0) {
@@ -104,6 +132,7 @@ Result<Connection> TcpListener::Accept() {
 }
 
 Result<Connection> TcpConnect(const std::string& host, uint16_t port) {
+  IgnoreSigpipeOnce();
   UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
   if (!fd.valid()) return ErrnoToStatus(errno, "socket(AF_INET)");
 
@@ -166,6 +195,7 @@ UnixListener::~UnixListener() {
 }
 
 Result<Connection> UnixListener::Accept() {
+  IgnoreSigpipeOnce();
   while (true) {
     const int conn = ::accept4(fd_.get(), nullptr, nullptr, SOCK_CLOEXEC);
     if (conn < 0) {
@@ -177,6 +207,7 @@ Result<Connection> UnixListener::Accept() {
 }
 
 Result<Connection> UnixConnect(const std::string& path) {
+  IgnoreSigpipeOnce();
   UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
   if (!fd.valid()) return ErrnoToStatus(errno, "socket(AF_UNIX)");
 
@@ -191,6 +222,7 @@ Result<Connection> UnixConnect(const std::string& path) {
 }
 
 Result<std::pair<Connection, Connection>> ConnectedPair() {
+  IgnoreSigpipeOnce();
   int fds[2];
   if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds) != 0) {
     return ErrnoToStatus(errno, "socketpair");

@@ -38,6 +38,11 @@ class Connection {
   // Shuts down the write side, signalling EOF to the peer.
   Status ShutdownWrite();
 
+  // Shuts down both directions without closing the descriptor: a thread
+  // blocked sending or receiving on this connection fails immediately
+  // (EPIPE / EOF) instead of hanging on a wire its owner has abandoned.
+  void ShutdownBoth();
+
   void Close() { fd_.Reset(); }
   UniqueFd TakeFd() { return std::move(fd_); }
 

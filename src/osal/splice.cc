@@ -30,10 +30,11 @@ Status VmspliceAll(int pipe_write_fd, ByteSpan data) {
   return Status::Ok();
 }
 
-Result<size_t> SpliceOnce(int in_fd, int out_fd, size_t len) {
+Result<size_t> SpliceOnce(int in_fd, int out_fd, size_t len, bool more) {
   while (true) {
     const ssize_t n = ::splice(in_fd, nullptr, out_fd, nullptr, len,
-                               SPLICE_F_MOVE | SPLICE_F_MORE);
+                               more ? (SPLICE_F_MOVE | SPLICE_F_MORE)
+                                    : SPLICE_F_MOVE);
     if (n < 0) {
       if (errno == EINTR) continue;
       return ErrnoToStatus(errno, "splice");
@@ -42,10 +43,11 @@ Result<size_t> SpliceOnce(int in_fd, int out_fd, size_t len) {
   }
 }
 
-Status SpliceExact(int in_fd, int out_fd, size_t len) {
+Status SpliceExact(int in_fd, int out_fd, size_t len, bool more) {
   size_t moved = 0;
   while (moved < len) {
-    RR_ASSIGN_OR_RETURN(const size_t n, SpliceOnce(in_fd, out_fd, len - moved));
+    RR_ASSIGN_OR_RETURN(const size_t n,
+                        SpliceOnce(in_fd, out_fd, len - moved, more));
     if (n == 0) {
       return DataLossError("splice EOF after " + std::to_string(moved) +
                            " of " + std::to_string(len) + " bytes");
@@ -71,7 +73,10 @@ Status HoseSend(Pipe& pipe, int out_fd, ByteSpan data) {
   while (offset < data.size()) {
     const size_t n = std::min(chunk_size, data.size() - offset);
     RR_RETURN_IF_ERROR(VmspliceAll(pipe.write_fd(), data.subspan(offset, n)));
-    RR_RETURN_IF_ERROR(SpliceExact(pipe.read_fd(), out_fd, n));
+    // SPLICE_F_MORE only while further chunks follow: corking the final chunk
+    // parks small payloads behind TCP's ~200 ms cork timer.
+    RR_RETURN_IF_ERROR(SpliceExact(pipe.read_fd(), out_fd, n,
+                                   /*more=*/offset + n < data.size()));
     offset += n;
   }
   return Status::Ok();

@@ -22,12 +22,16 @@ namespace rr::osal {
 Status VmspliceAll(int pipe_write_fd, ByteSpan data);
 
 // Moves up to `len` bytes from `in_fd` to `out_fd` where at least one side is
-// a pipe. Returns bytes moved (0 on EOF).
-Result<size_t> SpliceOnce(int in_fd, int out_fd, size_t len);
+// a pipe. Returns bytes moved (0 on EOF). `more` sets SPLICE_F_MORE, telling
+// a TCP `out_fd` that further data follows immediately; it must be false on
+// the final chunk of a message — SPLICE_F_MORE acts like MSG_MORE and corks
+// the segment (overriding TCP_NODELAY) until the ~200 ms cork timer fires,
+// which is exactly the loopback small-transfer stall this flag once caused.
+Result<size_t> SpliceOnce(int in_fd, int out_fd, size_t len, bool more = false);
 
 // Moves exactly `len` bytes, looping over partial transfers. Fails with
-// kDataLoss if EOF arrives early.
-Status SpliceExact(int in_fd, int out_fd, size_t len);
+// kDataLoss if EOF arrives early. `more` as in SpliceOnce.
+Status SpliceExact(int in_fd, int out_fd, size_t len, bool more = false);
 
 // True when both splice and vmsplice are operational in this environment
 // (probed once; some sandboxes filter these syscalls).

@@ -9,8 +9,8 @@
 #include "core/node_agent.h"
 #include "core/user_channel.h"
 #include "core/workflow.h"
+#include "api/runtime.h"
 #include "dag/dag.h"
-#include "dag/executor.h"
 #include "http/server.h"
 #include "osal/socket.h"
 #include "runtime/function.h"
@@ -358,9 +358,10 @@ class RoadrunnerNetworkDriver : public ChainDriver {
 
 // ---------------------------------------------------------------------------
 // Roadrunner (DAG engine): the same fan-out experiment as the drivers above,
-// but expressed as a real DAG (a -> {b_1..b_N}) and executed by the dag
-// subsystem — WorkflowManager registry, per-edge SelectMode, parallel hop
-// scheduler — instead of a hand-rolled transfer loop.
+// but expressed as a real DAG (a -> {b_1..b_N}) submitted through the
+// api::Runtime façade — one Submit per run, the outcome consumed through the
+// Invocation handle — so the bench exercises the exact path applications
+// use: registry, per-edge hop selection, parallel hop scheduler.
 // ---------------------------------------------------------------------------
 
 class RoadrunnerDagDriver : public ChainDriver {
@@ -375,6 +376,13 @@ class RoadrunnerDagDriver : public ChainDriver {
     auto driver = std::make_unique<RoadrunnerDagDriver>(placement);
     driver->options_ = options;
     driver->binary_ = runtime::BuildFunctionModuleBinary();
+
+    api::Runtime::Options runtime_options;
+    // Enough workers that paper-scale fan-out keeps every hop in flight.
+    runtime_options.dag_workers =
+        std::max<size_t>(4, std::min<size_t>(options.fanout, 32));
+    driver->runtime_ = std::make_unique<api::Runtime>("bench-workflow",
+                                                      runtime_options);
 
     core::Location source_location, target_location;
     uint16_t target_port = 0;
@@ -413,7 +421,7 @@ class RoadrunnerDagDriver : public ChainDriver {
       endpoint.shim = shim;
       endpoint.location = location;
       endpoint.port = port;
-      return driver->manager_.Register(endpoint);
+      return driver->runtime_->Register(endpoint);
     };
 
     // The source's "output" is the payload itself: identity handler, so every
@@ -433,11 +441,6 @@ class RoadrunnerDagDriver : public ChainDriver {
       return out;
     };
 
-    // Enough workers that paper-scale fan-out keeps every hop in flight.
-    driver->executor_ = std::make_unique<dag::DagExecutor>(
-        &driver->manager_,
-        std::max<size_t>(4, std::min<size_t>(options.fanout, 32)));
-
     dag::DagBuilder builder("fanout");
     builder.AddNode("fn-a");
     std::vector<std::string> names;
@@ -449,7 +452,7 @@ class RoadrunnerDagDriver : public ChainDriver {
           add_endpoint(target.get(), target_location, target_port));
       if (driver->agent_ != nullptr) {
         RR_RETURN_IF_ERROR(driver->agent_->RegisterFunction(
-            target.get(), driver->executor_->DeliverySink()));
+            target.get(), driver->runtime_->DeliverySink()));
       }
       driver->targets_.push_back(std::move(target));
     }
@@ -473,12 +476,14 @@ class RoadrunnerDagDriver : public ChainDriver {
     const std::string& body = bodies_.Get(payload_bytes);
     const uint64_t checksum = SampledChecksum(AsBytes(body));
 
-    telemetry::DagRunStats stats;
     telemetry::ResourceProbe probe;
     probe.Start();
-    auto result = executor_->Execute(*dag_, AsBytes(body), &stats);
+    auto invocation = runtime_->Submit(api::DagSpec{*dag_}, AsBytes(body));
+    RR_RETURN_IF_ERROR(invocation.status());
+    const Result<Bytes>& result = (*invocation)->Wait();
     probe.Stop();
     RR_RETURN_IF_ERROR(result.status());
+    const telemetry::DagRunStats& stats = (*invocation)->stats().dag;
 
     // Every sink acknowledged with the payload checksum.
     if (result->size() != 8 * targets_.size()) {
@@ -510,14 +515,13 @@ class RoadrunnerDagDriver : public ChainDriver {
   DriverOptions options_;
   Bytes binary_;
   runtime::WasmVm vm_{"bench-workflow"};
-  core::WorkflowManager manager_{"bench-workflow"};
   std::unique_ptr<Shim> source_;
   std::vector<std::unique_ptr<Shim>> targets_;
-  std::unique_ptr<dag::DagExecutor> executor_;
+  std::unique_ptr<api::Runtime> runtime_;
   std::optional<dag::Dag> dag_;
-  // Declared after the executor, shims, and manager so teardown runs link ->
-  // agent first: the agent joins its workers (which call the executor's
-  // delivery sink and invoke target shims) before any of those die.
+  // Declared after the runtime and shims so teardown runs link -> agent
+  // first: the agent joins its workers (which call the runtime's delivery
+  // sink and invoke target shims) before any of those die.
   std::unique_ptr<core::NodeAgent> agent_;
   std::unique_ptr<netsim::ShapedLink> link_;
   BodyCache bodies_;

@@ -297,12 +297,41 @@ TEST(NetworkChannelTest, ImplausibleHeaderRejected) {
   auto receiver = listener->Accept();
   ASSERT_TRUE(receiver.ok());
 
-  uint8_t header[8];
+  uint8_t header[16];
   StoreLE<uint64_t>(header, UINT64_MAX);
-  ASSERT_TRUE(raw->Send(ByteSpan(header, 8)).ok());
+  StoreLE<uint64_t>(header + 8, 0);  // correlation token
+  ASSERT_TRUE(raw->Send(ByteSpan(header, 16)).ok());
   auto delivered = receiver->ReceiveInto(*b);
   ASSERT_FALSE(delivered.ok());
   EXPECT_EQ(delivered.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(NetworkChannelTest, TinyLoopbackTransferIsNotStalled) {
+  // Regression guard for the ~200 ms small-transfer stall: SPLICE_F_MORE on
+  // the final chunk corked the frame behind TCP's cork timer (and the 1-byte
+  // delivery ack then waited out delayed-ack interplay). A tiny transfer
+  // over loopback must complete in milliseconds; 40 ms leaves generous slack
+  // for a loaded CI host.
+  auto a = MakeShim("a");
+  auto b = MakeShim("b");
+  auto listener = NetworkChannelListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  auto sender = NetworkChannelSender::Connect("127.0.0.1", listener->port());
+  auto receiver = listener->Accept();
+  ASSERT_TRUE(sender.ok() && receiver.ok());
+
+  const Bytes payload = ToBytes("ping");
+  const MemoryRegion staged = Stage(*a, payload);
+  const Stopwatch timer;
+  Status send_status;
+  std::thread send_thread([&] { send_status = sender->Send(*a, staged); });
+  auto delivered = receiver->ReceiveInto(*b);
+  send_thread.join();
+  const Nanos elapsed = timer.Elapsed();
+  ASSERT_TRUE(send_status.ok()) << send_status;
+  ASSERT_TRUE(delivered.ok()) << delivered.status();
+  EXPECT_LT(elapsed, std::chrono::milliseconds(40))
+      << "tiny loopback transfer took " << ToMillis(elapsed) << " ms";
 }
 
 TEST(NetworkChannelTest, VirtualDataHoseReportsSpliceUse) {

@@ -63,7 +63,8 @@ TEST(NodeAgentTest, RoutesTransferToNamedFunction) {
   ASSERT_TRUE((*agent)
                   ->RegisterFunction(
                       target.get(),
-                      [&](const std::string&, const InvokeOutcome& outcome) {
+                      [&](const std::string&, const InvokeOutcome& outcome,
+                          uint64_t /*token*/) {
                         auto view = target->OutputView(outcome.output);
                         std::lock_guard<std::mutex> lock(mutex);
                         delivered_payload = std::string(AsStringView(*view));
@@ -106,6 +107,10 @@ TEST(NodeAgentTest, MultipleTransfersOnOneChannel) {
     ASSERT_TRUE(sender->Send(*source, staged).ok()) << "round " << i;
     ASSERT_TRUE(source->data().deallocate_memory(staged.address).ok());
   }
+  // The delivery ack precedes the worker's invoke + counter bump, and the
+  // worker touches the target shim until it is joined — shut down before
+  // asserting (and before the shims die).
+  (*agent)->Shutdown();
   EXPECT_EQ((*agent)->transfers_completed(), 5u);
 }
 

@@ -344,6 +344,23 @@ TEST_F(DagExecutorTest, RemoteDeliveryTimesOutWhenAgentDropsFunction) {
   ASSERT_FALSE(result.ok());
 }
 
+TEST_F(DagExecutorTest, DeliveryWithUnknownTokenRejectedAndReleased) {
+  // A completion whose correlation token matches no pending transfer — a
+  // late delivery from a timed-out or cancelled run — must be rejected with
+  // the distinct kTokenMismatch code and its output region released, never
+  // claimed by a later run.
+  WorkflowManager manager("wf");
+  auto b = AddFunction(manager, "b", {"n1", ""});
+  DagExecutor executor(&manager);
+
+  auto outcome = b->DeliverAndInvoke(AsBytes("stale"));
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  const Status status = executor.DeliverOutcome("b", *outcome, /*token=*/777);
+  EXPECT_EQ(status.code(), StatusCode::kTokenMismatch) << status;
+  // The orphaned output was released: releasing it again must fail.
+  EXPECT_FALSE(b->ReleaseRegion(outcome->output).ok());
+}
+
 TEST_F(DagExecutorTest, RepeatedExecutionsReuseHops) {
   WorkflowManager manager("wf");
   auto a = AddFunction(manager, "a", {"n1", ""});
