@@ -4,9 +4,9 @@
 // once, then any mix of chains and DAGs is submitted concurrently —
 // Submit(spec, input) returns an Invocation handle immediately, execution
 // proceeds on the runtime's drivers over the shared hop cache, and Wait()
-// collects each result. This replaces driving WorkflowManager::RunChain or
-// dag::DagExecutor directly (both remain as deprecated synchronous entry
-// points for one release).
+// collects each result as a zero-copy buffer. (The old synchronous entries —
+// WorkflowManager::RunChain, direct dag::DagExecutor — are gone; this is
+// the API.)
 //
 //   $ ./async_fanout [requests]
 #include <cstdio>
@@ -93,7 +93,9 @@ int main(int argc, char** argv) {
 
   std::vector<std::shared_ptr<api::Invocation>> invocations;
   for (int i = 0; i < requests; ++i) {
-    const Bytes input = ToBytes("req-" + std::to_string(i));
+    // A Buffer submit shares the input's chunks with the run — no copy at
+    // the API boundary, however many runs one buffer feeds.
+    const rr::Buffer input = rr::Buffer::FromString("req-" + std::to_string(i));
     auto invocation = (i % 2 == 0) ? rt.Submit(fanout, input)
                                    : rt.Submit(chain, input);
     if (!invocation.ok()) return Fail(invocation.status());
@@ -103,7 +105,7 @@ int main(int argc, char** argv) {
               rt.in_flight());
 
   for (const auto& invocation : invocations) {
-    const Result<Bytes>& result = invocation->Wait();
+    const Result<rr::Buffer>& result = invocation->Wait();
     if (!result.ok()) return Fail(result.status());
     const api::RunStats& stats = invocation->stats();
     std::printf("  run %2llu -> %-28s [queued %6.2f ms, ran %6.2f ms]\n",

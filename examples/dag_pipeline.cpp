@@ -96,13 +96,12 @@ int main() {
 
   auto invocation = rt.Submit(api::DagSpec{*dag}, AsBytes("photo-0042"));
   if (!invocation.ok()) return Fail(invocation.status());
-  const Result<Bytes>& result = (*invocation)->Wait();
+  const Result<rr::Buffer>& result = (*invocation)->Wait();
   if (!result.ok()) return Fail(result.status());
   const telemetry::DagRunStats& stats = (*invocation)->stats().dag;
 
   std::printf("request : photo-0042\n");
-  std::printf("response: %.*s\n", static_cast<int>(result->size()),
-              reinterpret_cast<const char*>(result->data()));
+  std::printf("response: %s\n", ToString(*result).c_str());
   std::printf("\nper-edge transfers (%zu edges, transfer phase %.3f ms):\n",
               stats.edges.size(), ToMillis(stats.transfer_phase));
   std::printf("  %-14s %-14s %-13s %9s %12s\n", "source", "target", "mode",

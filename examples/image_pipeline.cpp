@@ -146,7 +146,7 @@ int main(int argc, char** argv) {
     frame_bytes.push_back(encoded.size());
   }
   for (size_t i = 0; i < invocations.size(); ++i) {
-    const Result<Bytes>& result = invocations[i]->Wait();
+    const Result<rr::Buffer>& result = invocations[i]->Wait();
     if (!result.ok()) return Fail(result.status());
     const api::RunStats& stats = invocations[i]->stats();
     std::printf("frame %zu (%s in): %s  [queued %.2f ms, ran %.2f ms]\n", i,

@@ -9,10 +9,23 @@ bool Invocation::Done() const {
   return done_;
 }
 
-const Result<Bytes>& Invocation::Wait() {
+const Result<rr::Buffer>& Invocation::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [this] { return done_; });
   return result_;
+}
+
+const Result<Bytes>& Invocation::WaitBytes() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return done_; });
+  if (!bytes_result_.has_value()) {
+    if (result_.ok()) {
+      bytes_result_.emplace(result_->ToBytes());
+    } else {
+      bytes_result_.emplace(result_.status());
+    }
+  }
+  return *bytes_result_;
 }
 
 bool Invocation::WaitFor(Nanos timeout) {
@@ -55,20 +68,30 @@ Status Runtime::Unregister(const std::string& name) {
 }
 
 Result<std::shared_ptr<Invocation>> Runtime::Submit(const ChainSpec& spec,
-                                                    ByteSpan input) {
+                                                    rr::Buffer input) {
   // A chain is a linear DAG; one executor serves both shapes.
   dag::DagBuilder builder("chain");
   RR_ASSIGN_OR_RETURN(dag::Dag dag, builder.Chain(spec.functions).Build());
-  return Enqueue(std::move(dag), input);
+  return Enqueue(std::move(dag), std::move(input));
+}
+
+Result<std::shared_ptr<Invocation>> Runtime::Submit(const DagSpec& spec,
+                                                    rr::Buffer input) {
+  return Enqueue(spec.dag, std::move(input));
+}
+
+Result<std::shared_ptr<Invocation>> Runtime::Submit(const ChainSpec& spec,
+                                                    ByteSpan input) {
+  return Submit(spec, rr::Buffer::Copy(input));
 }
 
 Result<std::shared_ptr<Invocation>> Runtime::Submit(const DagSpec& spec,
                                                     ByteSpan input) {
-  return Enqueue(spec.dag, input);
+  return Submit(spec, rr::Buffer::Copy(input));
 }
 
 Result<std::shared_ptr<Invocation>> Runtime::Enqueue(dag::Dag dag,
-                                                     ByteSpan input) {
+                                                     rr::Buffer input) {
   // Validate now, not at execution: a rejected Submit is visible at the call
   // site, a failed background run only at Wait().
   for (const dag::DagNode& node : dag.nodes()) {
@@ -76,7 +99,7 @@ Result<std::shared_ptr<Invocation>> Runtime::Enqueue(dag::Dag dag,
   }
   auto invocation = std::shared_ptr<Invocation>(new Invocation(
       next_id_.fetch_add(1, std::memory_order_relaxed), std::move(dag),
-      Bytes(input.begin(), input.end())));
+      std::move(input)));
   invocation->submitted_ = Now();
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -104,7 +127,7 @@ void Runtime::DriverLoop() {
     const TimePoint started = Now();
     RunStats stats;
     stats.queued = started - invocation->submitted_;
-    Result<Bytes> result =
+    Result<rr::Buffer> result =
         executor_.Execute(invocation->dag_, invocation->input_, &stats.dag);
     stats.total = Now() - started;
 

@@ -5,21 +5,29 @@
 // immediately. Any number of invocations proceed concurrently over the
 // shared hop cache (established channels are reused across runs and across
 // in-flight invocations), the shared DAG worker pool, and the polymorphic
-// Transport layer — callers never touch WorkflowManager::RunChain,
-// dag::DagExecutor, or per-hop plumbing directly (those remain as deprecated
-// synchronous entry points for one release).
+// Transport layer — callers never touch WorkflowManager, dag::DagExecutor,
+// or per-hop plumbing directly (the deprecated synchronous entries,
+// WorkflowManager::RunChain and the direct DagExecutor::Execute, are gone;
+// Submit is the only way to run a workflow).
+//
+// Payloads ride the zero-copy plane end to end: Submit(spec, rr::Buffer)
+// shares the caller's chunks with every in-flight run (no per-submit copy —
+// submitting the same 64 MiB input N times costs one buffer), and Wait()
+// returns the sink outputs as a Buffer whose chunks are the sinks' egressed
+// bytes, concatenated by reference.
 //
 //   api::Runtime rt("wf");
 //   rt.Register(endpoint_a); rt.Register(endpoint_b); ...
 //   auto inv = rt.Submit(api::ChainSpec{{"a", "b", "c"}}, input);
 //   ... // submit more; all run concurrently
-//   const Result<Bytes>& out = (*inv)->Wait();
+//   const Result<rr::Buffer>& out = (*inv)->Wait();
 #pragma once
 
 #include <condition_variable>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -57,9 +65,15 @@ class Invocation {
   bool Done() const;
 
   // Blocks until the run completes and returns its result: the sink
-  // functions' outputs, concatenated in declaration order. The reference
-  // stays valid for the Invocation's lifetime.
-  const Result<Bytes>& Wait();
+  // functions' outputs, concatenated in declaration order (by chunk sharing
+  // — no merge copy). The reference stays valid for the Invocation's
+  // lifetime.
+  const Result<rr::Buffer>& Wait();
+
+  // DEPRECATED(one release): the Bytes compatibility shim. Materializes the
+  // buffer result into a contiguous vector (one copy, cached). New code
+  // should consume Wait()'s buffer.
+  const Result<Bytes>& WaitBytes();
 
   // Bounded wait; true when the run completed within `timeout`.
   bool WaitFor(Nanos timeout);
@@ -69,18 +83,19 @@ class Invocation {
 
  private:
   friend class Runtime;
-  Invocation(uint64_t id, dag::Dag dag, Bytes input)
+  Invocation(uint64_t id, dag::Dag dag, rr::Buffer input)
       : id_(id), dag_(std::move(dag)), input_(std::move(input)) {}
 
   const uint64_t id_;
   dag::Dag dag_;
-  Bytes input_;
+  rr::Buffer input_;
   TimePoint submitted_{};
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool done_ = false;
-  Result<Bytes> result_{Bytes{}};
+  Result<rr::Buffer> result_{rr::Buffer{}};
+  std::optional<Result<Bytes>> bytes_result_;  // WaitBytes's lazy cache
   RunStats stats_;
 };
 
@@ -111,10 +126,16 @@ class Runtime {
   Status Register(core::Endpoint endpoint);
   Status Unregister(const std::string& name);
 
-  // Submits a run and returns its handle immediately. The input bytes are
-  // copied; the caller's buffer may be reused at once. Specs are validated
-  // here (shape + every function registered), so a returned handle always
-  // corresponds to a run that will execute.
+  // Submits a run and returns its handle immediately. The Buffer overloads
+  // share the caller's chunks — zero copies at Submit, however many runs the
+  // same buffer feeds; the ByteSpan overloads copy once into the plane so
+  // the caller's span may be reused at once. Specs are validated here (shape
+  // + every function registered), so a returned handle always corresponds to
+  // a run that will execute.
+  Result<std::shared_ptr<Invocation>> Submit(const ChainSpec& spec,
+                                             rr::Buffer input);
+  Result<std::shared_ptr<Invocation>> Submit(const DagSpec& spec,
+                                             rr::Buffer input);
   Result<std::shared_ptr<Invocation>> Submit(const ChainSpec& spec,
                                              ByteSpan input);
   Result<std::shared_ptr<Invocation>> Submit(const DagSpec& spec,
@@ -130,7 +151,7 @@ class Runtime {
   size_t in_flight() const;
 
  private:
-  Result<std::shared_ptr<Invocation>> Enqueue(dag::Dag dag, ByteSpan input);
+  Result<std::shared_ptr<Invocation>> Enqueue(dag::Dag dag, rr::Buffer input);
   void DriverLoop();
 
   core::WorkflowManager manager_;

@@ -1,0 +1,169 @@
+// The zero-copy payload plane: ref-counted, slice-able byte buffers.
+//
+// `Buffer` is the middleware's currency for payload bytes that live on the
+// host side of the Wasm boundary: workflow inputs, egressed function
+// outputs, merged fan-in frames, and run results. `BufferView` is its
+// borrowed, possibly-segmented counterpart for zero-copy reads (gather
+// writes into guest memory, vectored writes onto a wire).
+//
+// ## Ownership rules
+//
+//  * A Buffer is a sequence of *chunks*. Each chunk references immutable
+//    storage through a shared owner (`std::shared_ptr<const void>`); copying
+//    a Buffer, slicing it, or appending it to another Buffer shares that
+//    storage — a refcount bump, never a byte copy. Storage dies with the
+//    last Buffer referencing it.
+//  * Chunk bytes are immutable once the Buffer escapes its creator. The only
+//    writable window is the creation-time span handed out by
+//    `ForOverwrite`, which the creator must fill before sharing the Buffer
+//    (this is how a guest region is egressed directly into a chunk).
+//  * `Slice` and `Append` are O(chunks), never O(bytes): an N-way fan-out
+//    hands the same chunks to every successor, and a fan-in result is the
+//    concatenation of its predecessors' chunks without a merge allocation.
+//
+// ## Aliasing rules
+//
+//  * A BufferView borrows: it holds raw spans over storage it does not keep
+//    alive. A view over a Buffer is valid only while that Buffer (or another
+//    Buffer sharing the same chunks) is alive and unmodified; a view over a
+//    plain span follows that span's lifetime. Views are for call-scoped
+//    reads — never store one beyond the payload it was taken from.
+//  * Buffers never alias guest linear memory: guest bytes enter the plane
+//    through exactly one egress copy (see core::Payload), after which the
+//    chunk is stable regardless of guest re-entry or memory growth.
+//
+// ## Copy accounting
+//
+// Every deep copy performed through the plane (Copy/AppendCopy/CopyTo/
+// ToBytes/ToString, plus externally-filled chunks reported via
+// `CountExternalCopy`) adds to a process-wide counter. Tests and benchmarks
+// read `TotalBytesCopied` deltas to assert copy complexity — e.g. that an
+// N-way fan-out moves O(1) payload copies through the plane, not O(N).
+// Guest-boundary traffic (delivery into linear memory) is *not* a plane
+// copy; it is the Wasm VM I/O cost tracked per sandbox.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace rr {
+
+class Buffer {
+ public:
+  Buffer() = default;
+
+  // Deep-copies `data` into one freshly allocated chunk (counted).
+  static Buffer Copy(ByteSpan data);
+
+  // Adopts a vector's storage without copying.
+  static Buffer Adopt(Bytes&& data);
+
+  // Shares existing storage without copying.
+  static Buffer Wrap(std::shared_ptr<const Bytes> storage);
+
+  static Buffer FromString(std::string_view s) { return Copy(AsBytes(s)); }
+
+  // Allocates one uninitialized chunk and exposes it through `fill` for the
+  // creator to populate (e.g. a guest egress read) before the Buffer is
+  // shared. The fill itself is not auto-counted: callers performing a
+  // payload copy report it with CountExternalCopy.
+  static Buffer ForOverwrite(size_t size, MutableByteSpan* fill);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // --- chunk iteration (vectored I/O, gather writes) ------------------------
+  size_t chunk_count() const { return chunks_.size(); }
+  ByteSpan chunk(size_t i) const { return {chunks_[i].data, chunks_[i].size}; }
+
+  // --- zero-copy structure ops ---------------------------------------------
+  // Sub-range sharing the underlying chunks. O(chunks), no byte copies.
+  Buffer Slice(size_t offset, size_t length) const;
+
+  // Concatenation by chunk sharing. O(other.chunks), no byte copies.
+  void Append(const Buffer& other);
+  void Append(Bytes&& data) { Append(Adopt(std::move(data))); }
+
+  // Appends a deep copy of `data` (counted).
+  void AppendCopy(ByteSpan data) { Append(Copy(data)); }
+
+  // --- materialization (counted deep copies) -------------------------------
+  bool IsFlat() const { return chunks_.size() <= 1; }
+  // The single contiguous span; requires IsFlat(). Zero-copy.
+  ByteSpan Flat() const;
+  // Gathers the chunks into `out` (out.size() must equal size()).
+  void CopyTo(MutableByteSpan out) const;
+  Bytes ToBytes() const;
+  std::string ToString() const;
+
+  // Shared-ownership count of the first chunk's storage (0 when empty).
+  // Observability for tests: fan-out sharing shows up as a use_count bump.
+  long storage_use_count() const;
+
+  // --- process-wide plane accounting ---------------------------------------
+  static uint64_t TotalBytesCopied();
+  static uint64_t TotalBytesAllocated();
+  // Reports a payload copy performed outside the Buffer API into a plane
+  // chunk or out of one (guest egress into ForOverwrite storage, channel
+  // staging into a frame).
+  static void CountExternalCopy(size_t bytes);
+
+ private:
+  struct Chunk {
+    std::shared_ptr<const void> owner;
+    const uint8_t* data = nullptr;
+    size_t size = 0;
+  };
+
+  std::vector<Chunk> chunks_;
+  size_t size_ = 0;
+};
+
+// A borrowed, possibly-segmented read-only view of payload bytes. See the
+// aliasing rules above: views never own storage and must not outlive it.
+class BufferView {
+ public:
+  BufferView() = default;
+  BufferView(ByteSpan span) {  // NOLINT: intentional implicit borrow
+    Append(span);
+  }
+  BufferView(const Buffer& buffer) {  // NOLINT: intentional implicit borrow
+    Append(buffer);
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  size_t segment_count() const { return segments_.size(); }
+  ByteSpan segment(size_t i) const { return segments_[i]; }
+
+  void Append(ByteSpan span);
+  void Append(const Buffer& buffer);
+  void Append(const BufferView& other);
+
+  // Sub-range over the same borrowed storage. O(segments).
+  BufferView Slice(size_t offset, size_t length) const;
+
+  bool IsFlat() const { return segments_.size() <= 1; }
+  ByteSpan Flat() const;
+
+  // Gathers the segments into `out` (out.size() must equal size());
+  // counted as a plane copy.
+  void CopyTo(MutableByteSpan out) const;
+  Bytes ToBytes() const;
+  std::string ToString() const;
+
+ private:
+  std::vector<ByteSpan> segments_;
+  size_t size_ = 0;
+};
+
+inline std::string ToString(const Buffer& buffer) { return buffer.ToString(); }
+inline std::string ToString(const BufferView& view) { return view.ToString(); }
+
+}  // namespace rr

@@ -79,6 +79,21 @@ Status DataAccess::write_memory_host(ByteSpan data, uint32_t address) {
   return sandbox_->WriteMemoryHost(address, data);
 }
 
+Status DataAccess::write_memory_host(const rr::BufferView& data,
+                                     uint32_t address) {
+  if (!IsRegistered(address, static_cast<uint32_t>(data.size()))) {
+    return PermissionDeniedError(
+        "write_memory_host: region not pre-registered (shim access denied)");
+  }
+  uint32_t offset = 0;
+  for (size_t i = 0; i < data.segment_count(); ++i) {
+    const ByteSpan segment = data.segment(i);
+    RR_RETURN_IF_ERROR(sandbox_->WriteMemoryHost(address + offset, segment));
+    offset += static_cast<uint32_t>(segment.size());
+  }
+  return Status::Ok();
+}
+
 Status DataAccess::RegisterRegion(MemoryRegion region) {
   if (!sandbox_->instance().memory()->InBounds(region.address, region.length)) {
     return OutOfRangeError("region exceeds linear memory bounds");

@@ -17,6 +17,7 @@
 #include <map>
 #include <optional>
 
+#include "common/buffer.h"
 #include "common/bytes.h"
 #include "common/status.h"
 #include "runtime/wasm_sandbox.h"
@@ -69,8 +70,11 @@ class DataAccess {
   // bounds; returns a zero-copy view valid until the next guest re-entry.
   Result<ByteSpan> read_memory_host(uint32_t address, uint32_t len);
 
-  // Writes data into the Wasm VM at a pre-registered destination.
+  // Writes data into the Wasm VM at a pre-registered destination. The
+  // BufferView overload gather-writes a segmented payload (the zero-copy
+  // plane's chunks) without assembling a contiguous host copy first.
   Status write_memory_host(ByteSpan data, uint32_t address);
+  Status write_memory_host(const rr::BufferView& data, uint32_t address);
 
   // --- region registry ------------------------------------------------------
   // Registers an externally-created region (e.g. handler output located via

@@ -70,18 +70,4 @@ size_t HopTable::size() const {
   return slots_.size();
 }
 
-Result<MemoryRegion> ForwardOverHop(HopTable& hops, Endpoint& source,
-                                    const MemoryRegion& region, Endpoint& target,
-                                    TransferTiming* timing) {
-  RR_ASSIGN_OR_RETURN(const std::shared_ptr<Hop> hop, hops.Get(source, target));
-  return hop->Forward(source, region, target, timing);
-}
-
-Result<InvokeOutcome> ForwardAndInvoke(HopTable& hops, Endpoint& source,
-                                       const MemoryRegion& region,
-                                       Endpoint& target, TransferTiming* timing) {
-  RR_ASSIGN_OR_RETURN(const std::shared_ptr<Hop> hop, hops.Get(source, target));
-  return hop->ForwardAndInvoke(source, region, target, timing);
-}
-
 }  // namespace rr::core

@@ -69,16 +69,4 @@ class HopTable {
   std::map<PairKey, std::shared_ptr<Slot>> slots_;
 };
 
-// DEPRECATED(one release): thin wrappers over HopTable::Get + the Hop
-// interface, kept so pre-Runtime call sites compile. New code should hold
-// the hop and call Forward / ForwardAndInvoke on it directly.
-Result<MemoryRegion> ForwardOverHop(HopTable& hops, Endpoint& source,
-                                    const MemoryRegion& region, Endpoint& target,
-                                    TransferTiming* timing = nullptr);
-
-Result<InvokeOutcome> ForwardAndInvoke(HopTable& hops, Endpoint& source,
-                                       const MemoryRegion& region,
-                                       Endpoint& target,
-                                       TransferTiming* timing = nullptr);
-
 }  // namespace rr::core

@@ -39,21 +39,34 @@ Status KernelChannelSender::SendBytes(ByteSpan data) {
   return Status::Ok();
 }
 
-Result<MemoryRegion> KernelChannelReceiver::ReceiveInto(Shim& target,
-                                                        CopyMode mode) {
+Status KernelChannelSender::SendBytes(const rr::BufferView& payload) {
   timing_ = {};
+  const Stopwatch transfer_timer;
+  RR_RETURN_IF_ERROR(serde::WriteFrame(conn_, payload));
+  timing_.transfer = transfer_timer.Elapsed();
+  bytes_sent_ += payload.size();
+  return Status::Ok();
+}
+
+Result<MemoryRegion> KernelChannelReceiver::ReceiveInto(Shim& target,
+                                                        CopyMode mode,
+                                                        const RegionPlacer* place) {
+  timing_ = {};
+  const auto place_region = [&](uint64_t length) -> Result<MemoryRegion> {
+    if (length > UINT32_MAX) {
+      return InvalidArgumentError("frame exceeds 32-bit guest memory");
+    }
+    if (place != nullptr) return (*place)(static_cast<uint32_t>(length));
+    return target.PrepareInput(static_cast<uint32_t>(length));
+  };
   MemoryRegion delivered;
   if (mode == CopyMode::kDirectGuest) {
     const Stopwatch transfer_timer;
     Nanos alloc_time{0};
     RR_RETURN_IF_ERROR(serde::ReadFrameInto(
         conn_, [&](uint64_t length) -> Result<MutableByteSpan> {
-          if (length > UINT32_MAX) {
-            return InvalidArgumentError("frame exceeds 32-bit guest memory");
-          }
           const Stopwatch alloc_timer;
-          RR_ASSIGN_OR_RETURN(delivered,
-                              target.PrepareInput(static_cast<uint32_t>(length)));
+          RR_ASSIGN_OR_RETURN(delivered, place_region(length));
           auto span = target.InputSpan(delivered);
           alloc_time = alloc_timer.Elapsed();
           return span;
@@ -66,12 +79,8 @@ Result<MemoryRegion> KernelChannelReceiver::ReceiveInto(Shim& target,
     const Stopwatch transfer_timer;
     RR_ASSIGN_OR_RETURN(const Bytes staged, serde::ReadFrame(conn_));
     timing_.transfer = transfer_timer.Elapsed();
-    if (staged.size() > UINT32_MAX) {
-      return InvalidArgumentError("frame exceeds 32-bit guest memory");
-    }
     const Stopwatch io_timer;
-    RR_ASSIGN_OR_RETURN(delivered,
-                        target.PrepareInput(static_cast<uint32_t>(staged.size())));
+    RR_ASSIGN_OR_RETURN(delivered, place_region(staged.size()));
     RR_RETURN_IF_ERROR(target.data().write_memory_host(staged, delivered.address));
     timing_.wasm_io = io_timer.Elapsed();
   }

@@ -26,8 +26,11 @@ class KernelChannelSender {
   Status Send(Shim& source, const MemoryRegion& region,
               CopyMode mode = CopyMode::kShimStaging);
 
-  // Raw-bytes variant used when the payload is already host-resident.
+  // Raw-bytes variant used when the payload is already host-resident. The
+  // BufferView overload performs one vectored write over the payload's
+  // shared chunks — no staging copy, no assembly.
   Status SendBytes(ByteSpan data);
+  Status SendBytes(const rr::BufferView& payload);
 
   uint64_t bytes_sent() const { return bytes_sent_; }
   const TransferTiming& last_timing() const { return timing_; }
@@ -51,8 +54,11 @@ class KernelChannelReceiver {
   // target function, and deliver the payload into its linear memory.
   // kShimStaging receives into a shim buffer then write_memory_host copies
   // it in; kDirectGuest reads from the kernel straight into the guest pages.
+  // A non-null `place` overrides the allocation: the payload lands in the
+  // region it returns (a slice of a fan-in gather region).
   Result<MemoryRegion> ReceiveInto(Shim& target,
-                                   CopyMode mode = CopyMode::kShimStaging);
+                                   CopyMode mode = CopyMode::kShimStaging,
+                                   const RegionPlacer* place = nullptr);
 
   // Receive + run the target function.
   Result<InvokeOutcome> ReceiveAndInvoke(Shim& target,

@@ -65,23 +65,31 @@ Status NetworkChannelSender::Send(Shim& source, const MemoryRegion& region,
 }
 
 Status NetworkChannelSender::SendBytes(ByteSpan data, uint64_t token) {
+  return SendBuffer(rr::BufferView(data), token);
+}
+
+Status NetworkChannelSender::SendBuffer(const rr::BufferView& payload,
+                                        uint64_t token) {
   // Frame header first (16 bytes: length + correlation token), then the body
-  // through the hose. The body pages are referenced, not copied, on the way
-  // into the kernel, so the sender must not reuse them until the receiver
-  // confirms delivery: the protocol ends with a 1-byte ack. (SIOCOUTQ
-  // draining is NOT sufficient — on loopback the receive queue's skbs still
-  // reference the spliced pages until the peer's read(2).)
+  // through the hose, chunk by chunk — the hose references each chunk's
+  // pages, never copies or reassembles them. The sender must not reuse the
+  // pages until the receiver confirms delivery: the protocol ends with a
+  // 1-byte ack. (SIOCOUTQ draining is NOT sufficient — on loopback the
+  // receive queue's skbs still reference the spliced pages until the peer's
+  // read(2).)
   uint8_t header[16];
-  StoreLE<uint64_t>(header, data.size());
+  StoreLE<uint64_t>(header, payload.size());
   StoreLE<uint64_t>(header + 8, token);
   RR_RETURN_IF_ERROR(conn_.Send(ByteSpan(header, 16)));
-  RR_RETURN_IF_ERROR(hose_.SendThrough(conn_.fd(), data));
+  for (size_t i = 0; i < payload.segment_count(); ++i) {
+    RR_RETURN_IF_ERROR(hose_.SendThrough(conn_.fd(), payload.segment(i)));
+  }
   uint8_t ack = 0;
   RR_RETURN_IF_ERROR(conn_.Receive(MutableByteSpan(&ack, 1)));
   if (ack != kDeliveryAck) {
     return DataLossError("network channel: bad delivery ack");
   }
-  bytes_sent_ += data.size();
+  bytes_sent_ += payload.size();
   return Status::Ok();
 }
 
@@ -106,16 +114,20 @@ Result<FrameInfo> NetworkChannelReceiver::ReceiveHeader() {
 
 Result<MemoryRegion> NetworkChannelReceiver::ReceiveBody(const FrameInfo& frame,
                                                          Shim& target,
-                                                         CopyMode mode) {
+                                                         CopyMode mode,
+                                                         const RegionPlacer* place) {
   timing_ = {};
   const uint64_t length = frame.length;
+  const auto place_region = [&]() -> Result<MemoryRegion> {
+    if (place != nullptr) return (*place)(static_cast<uint32_t>(length));
+    return target.PrepareInput(static_cast<uint32_t>(length));
+  };
 
   if (mode == CopyMode::kDirectGuest) {
     // allocate_memory(length) in the target, then splice the payload from
     // the socket into its linear-memory slice directly.
     const Stopwatch alloc_timer;
-    RR_ASSIGN_OR_RETURN(const MemoryRegion region,
-                        target.PrepareInput(static_cast<uint32_t>(length)));
+    RR_ASSIGN_OR_RETURN(const MemoryRegion region, place_region());
     RR_ASSIGN_OR_RETURN(MutableByteSpan dest, target.InputSpan(region));
     timing_.wasm_io = alloc_timer.Elapsed();
     const Stopwatch transfer_timer;
@@ -134,8 +146,7 @@ Result<MemoryRegion> NetworkChannelReceiver::ReceiveBody(const FrameInfo& frame,
   RR_RETURN_IF_ERROR(conn_.Send(ByteSpan(&kDeliveryAck, 1)));
   timing_.transfer = transfer_timer.Elapsed();
   const Stopwatch io_timer;
-  RR_ASSIGN_OR_RETURN(const MemoryRegion region,
-                      target.PrepareInput(static_cast<uint32_t>(length)));
+  RR_ASSIGN_OR_RETURN(const MemoryRegion region, place_region());
   RR_RETURN_IF_ERROR(target.data().write_memory_host(staged, region.address));
   timing_.wasm_io = io_timer.Elapsed();
   bytes_received_ += length;
@@ -144,10 +155,11 @@ Result<MemoryRegion> NetworkChannelReceiver::ReceiveBody(const FrameInfo& frame,
 
 Result<MemoryRegion> NetworkChannelReceiver::ReceiveInto(Shim& target,
                                                          CopyMode mode,
-                                                         uint64_t* token) {
+                                                         uint64_t* token,
+                                                         const RegionPlacer* place) {
   RR_ASSIGN_OR_RETURN(const FrameInfo frame, ReceiveHeader());
   if (token != nullptr) *token = frame.token;
-  return ReceiveBody(frame, target, mode);
+  return ReceiveBody(frame, target, mode, place);
 }
 
 Result<InvokeOutcome> NetworkChannelReceiver::ReceiveAndInvoke(Shim& target,

@@ -65,6 +65,11 @@ class NetworkChannelSender {
               CopyMode mode = CopyMode::kShimStaging, uint64_t token = 0);
   Status SendBytes(ByteSpan data, uint64_t token = 0);
 
+  // Host-resident payload from the zero-copy plane: one frame whose body is
+  // hosed chunk by chunk straight from the shared storage — no staging copy,
+  // no assembly of segmented (fan-in) payloads.
+  Status SendBuffer(const rr::BufferView& payload, uint64_t token = 0);
+
   // Kills the wire without destroying the sender: a Send already in flight
   // (possibly on another thread) fails with EPIPE, and the peer's receiver
   // sees EOF. Used by hop eviction, where in-flight users still hold the
@@ -100,15 +105,18 @@ class NetworkChannelReceiver {
   // delivery + invoke under the shim's lock (ReceiveBody).
   Result<FrameInfo> ReceiveHeader();
   Result<MemoryRegion> ReceiveBody(const FrameInfo& frame, Shim& target,
-                                   CopyMode mode = CopyMode::kShimStaging);
+                                   CopyMode mode = CopyMode::kShimStaging,
+                                   const RegionPlacer* place = nullptr);
 
   // Algorithm 1, target side: splice from the socket into the hose,
   // allocate_memory(length) in the target, write into its linear memory.
   // One-shot header+body; `token`, when non-null, receives the frame's
-  // correlation token.
+  // correlation token. A non-null `place` overrides the allocation: the
+  // payload lands in the region it returns (a fan-in gather slice).
   Result<MemoryRegion> ReceiveInto(Shim& target,
                                    CopyMode mode = CopyMode::kShimStaging,
-                                   uint64_t* token = nullptr);
+                                   uint64_t* token = nullptr,
+                                   const RegionPlacer* place = nullptr);
   Result<InvokeOutcome> ReceiveAndInvoke(Shim& target,
                                          CopyMode mode = CopyMode::kShimStaging,
                                          uint64_t* token = nullptr);

@@ -1,0 +1,80 @@
+// Payload: the executor-side handle to one function-output's bytes.
+//
+// A payload starts *guest-resident* — it owns the producer's registered
+// output region — and becomes *host-resident* on first Materialize(): one
+// read_memory_host egress into a ref-counted rr::Buffer chunk, after which
+// the guest region is released (guest heap pressure ends at egress) and
+// every holder shares the same immutable chunk. Copying a Payload is a
+// refcount bump; an N-way fan-out hands the same handle to N successors and
+// the plane performs exactly one egress copy, not N.
+//
+// Hops pick the cheapest access per transfer: a user-space hop forwards a
+// still-guest-resident payload with the classic single guest-to-guest copy
+// (no host buffer at all), while kernel/network hops and fan-outs
+// materialize once and then read the shared chunks with zero further copies.
+//
+// Concurrency: Materialize is internally synchronized and idempotent. The
+// guest_shim()/guest_region() fast-path accessors are for a payload's single
+// consumer (the executor materializes before sharing a payload with more
+// than one); they must be used under the source shim's exec mutex.
+//
+// The last handle to a never-materialized payload releases the guest region
+// (taking the source shim's exec mutex) — so a cancelled run cleans up its
+// frontier without executor bookkeeping. Never destroy a guest-resident
+// Payload while holding that shim's exec mutex.
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "common/buffer.h"
+#include "core/shim.h"
+
+namespace rr::core {
+
+class Payload {
+ public:
+  Payload() = default;
+
+  // Host-resident payload over an existing buffer (workflow input, merged
+  // fan-in frame). Shares the buffer's chunks.
+  explicit Payload(rr::Buffer buffer);
+
+  // Adopts a guest output region: the payload owns the region and releases
+  // it at egress or with the last handle.
+  static Payload FromGuest(Shim* shim, MemoryRegion region);
+
+  size_t size() const;
+
+  // True while the bytes still live (only) in the producer's linear memory.
+  bool guest_resident() const;
+
+  // Single-consumer fast path (see header comment). Null when host-resident.
+  Shim* guest_shim() const;
+  const MemoryRegion* guest_region() const;
+
+  // The host-resident bytes. The first call egresses the guest region (one
+  // read_memory_host under the source shim's exec mutex, duration added to
+  // *wasm_io when non-null, bytes counted as the plane's payload copy) and
+  // releases it; later calls return the shared chunk for free.
+  Result<rr::Buffer> Materialize(Nanos* wasm_io = nullptr) const;
+
+  // Drops this handle's claim without reading the bytes.
+  void Reset() { state_.reset(); }
+
+ private:
+  struct State {
+    ~State();
+
+    std::mutex mutex;
+    Shim* shim = nullptr;       // non-null while a guest region is held
+    MemoryRegion region{};
+    rr::Buffer buffer;
+    bool materialized = false;  // buffer holds the bytes
+    size_t size = 0;
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace rr::core

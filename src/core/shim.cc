@@ -21,10 +21,28 @@ Result<std::unique_ptr<Shim>> Shim::CreateInVm(
 }
 
 Result<InvokeOutcome> Shim::DeliverAndInvoke(ByteSpan input) {
+  return DeliverAndInvoke(rr::BufferView(input));
+}
+
+Result<InvokeOutcome> Shim::DeliverAndInvoke(const rr::BufferView& input) {
+  if (input.size() > UINT32_MAX) {
+    return ResourceExhaustedError("input exceeds 32-bit guest memory");
+  }
   RR_ASSIGN_OR_RETURN(const MemoryRegion in_region,
                       PrepareInput(static_cast<uint32_t>(input.size())));
-  RR_RETURN_IF_ERROR(data_.write_memory_host(input, in_region.address));
+  const Status written = WriteInput(in_region, input);
+  if (!written.ok()) {
+    (void)ReleaseRegion(in_region);
+    return written;
+  }
   return InvokeOnRegion(in_region);
+}
+
+Status Shim::WriteInput(const MemoryRegion& region, const rr::BufferView& data) {
+  if (data.size() != region.length) {
+    return InvalidArgumentError("payload length does not match input region");
+  }
+  return data_.write_memory_host(data, region.address);
 }
 
 Result<MemoryRegion> Shim::PrepareInput(uint32_t length) {

@@ -5,15 +5,23 @@
 // all function ingress and egress").
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <mutex>
 
+#include "common/buffer.h"
 #include "common/clock.h"
 #include "core/data_access.h"
 #include "runtime/function.h"
 #include "runtime/wasm_sandbox.h"
 
 namespace rr::core {
+
+// Chooses where a delivered payload lands in a target's linear memory: given
+// the payload length, returns a destination region covered by an existing
+// registration — e.g. one slice of a fan-in gather region. Receivers fall
+// back to a fresh PrepareInput allocation when no placer is given.
+using RegionPlacer = std::function<Result<MemoryRegion>(uint32_t length)>;
 
 // Result of delivering data into a function: where its output lives.
 struct InvokeOutcome {
@@ -70,7 +78,14 @@ class Shim {
   // --- ingress --------------------------------------------------------------
   // Copies `input` into freshly allocated guest memory, invokes the function,
   // and registers its output region. One guest-boundary copy in, zero out.
+  // The BufferView overload gather-writes a segmented payload (shared chunks
+  // of the zero-copy plane) without assembling a contiguous host copy first.
   Result<InvokeOutcome> DeliverAndInvoke(ByteSpan input);
+  Result<InvokeOutcome> DeliverAndInvoke(const rr::BufferView& input);
+
+  // Gather-writes `data` into `region` (lengths must match): the guest-side
+  // half of a zero-copy delivery, one write_memory_host per segment.
+  Status WriteInput(const MemoryRegion& region, const rr::BufferView& data);
 
   // Two-phase ingress for channels that want to write the payload directly
   // into guest memory (kernel/network receive paths): allocate, let the

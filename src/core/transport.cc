@@ -13,9 +13,9 @@ namespace rr::core {
 
 namespace {
 
-// Locks both endpoint shims for the duration of a transfer. scoped_lock's
-// deadlock-avoidance handles opposing pairs (a->b vs b->a); the degenerate
-// self-hop (same shim both sides) locks once.
+// Locks both endpoint shims for the duration of a guest-direct transfer.
+// scoped_lock's deadlock-avoidance handles opposing pairs (a->b vs b->a);
+// the degenerate self-hop (same shim both sides) locks once.
 class PairLock {
  public:
   PairLock(Shim& source, Shim& target) {
@@ -31,22 +31,34 @@ class PairLock {
   std::optional<std::scoped_lock<std::mutex, std::mutex>> both_;
 };
 
-// The two shims are distinct sandboxes; run the send concurrently so a
-// payload larger than the kernel socket buffer cannot self-deadlock.
-template <typename Sender, typename Receiver>
-Result<MemoryRegion> SendAndReceive(Sender& sender, Receiver& receiver,
-                                    Endpoint& source, const MemoryRegion& region,
-                                    Endpoint& target, TransferTiming* timing) {
+// Pins a fan-in gather slice as the receive destination: the frame length
+// must match the slice the executor carved out of the merged region.
+RegionPlacer SlicePlacer(const MemoryRegion into) {
+  return [into](uint32_t length) -> Result<MemoryRegion> {
+    if (length != into.length) {
+      return InternalError("fan-in slice length mismatch: frame carries " +
+                           std::to_string(length) + " bytes for a " +
+                           std::to_string(into.length) + "-byte slice");
+    }
+    return into;
+  };
+}
+
+// Wire transfer of a host-resident payload: the sender streams the shared
+// chunks (no source shim involvement — egress already happened at
+// materialization) while the receiver delivers into the target's memory.
+// Send and receive run concurrently so a payload larger than the kernel
+// socket buffer cannot self-deadlock.
+template <typename SendFn, typename Receiver>
+Result<MemoryRegion> WireTransfer(SendFn&& send, Receiver&& receive,
+                                  TransferTiming* timing,
+                                  const TransferTiming& egress) {
   Status send_status;
-  std::thread send_thread(
-      [&] { send_status = sender.Send(*source.shim, region); });
-  auto delivered = receiver.ReceiveInto(*target.shim);
+  std::thread send_thread([&] { send_status = send(); });
+  auto delivered = receive();
   send_thread.join();
   RR_RETURN_IF_ERROR(send_status);
-  if (delivered.ok() && timing != nullptr) {
-    *timing += sender.last_timing();
-    *timing += receiver.last_timing();
-  }
+  if (delivered.ok() && timing != nullptr) *timing += egress;
   return delivered;
 }
 
@@ -55,17 +67,40 @@ Result<MemoryRegion> SendAndReceive(Sender& sender, Receiver& receiver,
 // state, only the pair's serialization point.
 class UserSpaceHop : public Hop {
  public:
-  TransferMode mode() const override { return TransferMode::kUserSpace; }
-
-  Result<MemoryRegion> Forward(Endpoint& source, const MemoryRegion& region,
-                               Endpoint& target,
-                               TransferTiming* timing) override {
-    PairLock lock(*source.shim, *target.shim);
-    RR_ASSIGN_OR_RETURN(UserSpaceChannel channel,
-                        UserSpaceChannel::Create(source.shim, target.shim));
+  Result<MemoryRegion> Forward(const Payload& payload, Endpoint& target,
+                               TransferTiming* timing,
+                               const MemoryRegion* into) override {
     (void)timing;  // one in-process copy; no kernel/socket phase to split out
-    return channel.Transfer(region);
+    if (payload.guest_resident()) {
+      // Classic §4.1 path: the single user-space copy between the two
+      // linear memories, straight from the producer's registered region.
+      Shim& source = *payload.guest_shim();
+      PairLock lock(source, *target.shim);
+      RR_ASSIGN_OR_RETURN(UserSpaceChannel channel,
+                          UserSpaceChannel::Create(&source, target.shim));
+      return channel.Transfer(*payload.guest_region(), into);
+    }
+    // Host-resident payload (a fan-out's shared chunk): the hand-off was a
+    // refcount bump; the only byte movement left is the unavoidable
+    // guest-boundary write into the target, gathered over the chunks.
+    RR_ASSIGN_OR_RETURN(const rr::Buffer buffer, payload.Materialize());
+    std::lock_guard<std::mutex> lock(target.shim->exec_mutex());
+    MemoryRegion dest;
+    if (into != nullptr) {
+      dest = *into;
+    } else {
+      RR_ASSIGN_OR_RETURN(
+          dest, target.shim->PrepareInput(static_cast<uint32_t>(buffer.size())));
+    }
+    const Status written = target.shim->WriteInput(dest, buffer);
+    if (!written.ok()) {
+      if (into == nullptr) (void)target.shim->ReleaseRegion(dest);
+      return written;
+    }
+    return dest;
   }
+
+  TransferMode mode() const override { return TransferMode::kUserSpace; }
 };
 
 class UserSpaceTransport : public Transport {
@@ -89,12 +124,30 @@ class KernelHop : public Hop {
 
   TransferMode mode() const override { return TransferMode::kKernelSpace; }
 
-  Result<MemoryRegion> Forward(Endpoint& source, const MemoryRegion& region,
-                               Endpoint& target,
-                               TransferTiming* timing) override {
+  Result<MemoryRegion> Forward(const Payload& payload, Endpoint& target,
+                               TransferTiming* timing,
+                               const MemoryRegion* into) override {
+    // Egress (or the free refcounted read) happens before any lock: the
+    // source shim serves other runs while this pair's wire is busy.
+    TransferTiming egress{};
+    RR_ASSIGN_OR_RETURN(const rr::Buffer buffer,
+                        payload.Materialize(&egress.wasm_io));
     std::lock_guard<std::mutex> hop_lock(mutex_);
-    PairLock shims(*source.shim, *target.shim);
-    return SendAndReceive(sender_, receiver_, source, region, target, timing);
+    std::lock_guard<std::mutex> target_lock(target.shim->exec_mutex());
+    const RegionPlacer placer = into != nullptr ? SlicePlacer(*into) : nullptr;
+    const rr::BufferView view(buffer);
+    auto delivered = WireTransfer(
+        [&] { return sender_.SendBytes(view); },
+        [&] {
+          return receiver_.ReceiveInto(*target.shim, CopyMode::kShimStaging,
+                                       into != nullptr ? &placer : nullptr);
+        },
+        timing, egress);
+    if (delivered.ok() && timing != nullptr) {
+      *timing += sender_.last_timing();
+      *timing += receiver_.last_timing();
+    }
+    return delivered;
   }
 
  private:
@@ -127,12 +180,29 @@ class NetworkLoopbackHop : public Hop {
 
   TransferMode mode() const override { return TransferMode::kNetwork; }
 
-  Result<MemoryRegion> Forward(Endpoint& source, const MemoryRegion& region,
-                               Endpoint& target,
-                               TransferTiming* timing) override {
+  Result<MemoryRegion> Forward(const Payload& payload, Endpoint& target,
+                               TransferTiming* timing,
+                               const MemoryRegion* into) override {
+    TransferTiming egress{};
+    RR_ASSIGN_OR_RETURN(const rr::Buffer buffer,
+                        payload.Materialize(&egress.wasm_io));
     std::lock_guard<std::mutex> hop_lock(mutex_);
-    PairLock shims(*source.shim, *target.shim);
-    return SendAndReceive(sender_, receiver_, source, region, target, timing);
+    std::lock_guard<std::mutex> target_lock(target.shim->exec_mutex());
+    const RegionPlacer placer = into != nullptr ? SlicePlacer(*into) : nullptr;
+    const rr::BufferView view(buffer);
+    auto delivered = WireTransfer(
+        [&] { return sender_.SendBuffer(view); },
+        [&] {
+          return receiver_.ReceiveInto(*target.shim, CopyMode::kShimStaging,
+                                       /*token=*/nullptr,
+                                       into != nullptr ? &placer : nullptr);
+        },
+        timing, egress);
+    if (delivered.ok() && timing != nullptr) {
+      *timing += sender_.last_timing();
+      *timing += receiver_.last_timing();
+    }
+    return delivered;
   }
 
  private:
@@ -149,28 +219,25 @@ class NetworkAgentHop : public Hop {
   TransferMode mode() const override { return TransferMode::kNetwork; }
   bool invoke_coupled() const override { return true; }
 
-  Result<MemoryRegion> Forward(Endpoint& /*source*/,
-                               const MemoryRegion& /*region*/,
-                               Endpoint& /*target*/,
-                               TransferTiming* /*timing*/) override {
+  Result<MemoryRegion> Forward(const Payload& /*payload*/, Endpoint& /*target*/,
+                               TransferTiming* /*timing*/,
+                               const MemoryRegion* /*into*/) override {
     return FailedPreconditionError(
         "delivery through a NodeAgent ingress is invoke-coupled; Dispatch the "
         "frame and consume the agent's delivery callback");
   }
 
-  Status Dispatch(Endpoint& source, const MemoryRegion& region, uint64_t token,
+  Status Dispatch(const Payload& payload, uint64_t token,
                   TransferTiming* timing) override {
+    TransferTiming egress{};
+    RR_ASSIGN_OR_RETURN(const rr::Buffer buffer,
+                        payload.Materialize(&egress.wasm_io));
     std::lock_guard<std::mutex> hop_lock(mutex_);
-    std::lock_guard<std::mutex> shim_lock(source.shim->exec_mutex());
-    RR_RETURN_IF_ERROR(
-        sender_.Send(*source.shim, region, CopyMode::kShimStaging, token));
-    if (timing != nullptr) *timing += sender_.last_timing();
+    const Stopwatch transfer_timer;
+    RR_RETURN_IF_ERROR(sender_.SendBuffer(buffer, token));
+    egress.transfer = transfer_timer.Elapsed();
+    if (timing != nullptr) *timing += egress;
     return Status::Ok();
-  }
-
-  Status DispatchBytes(ByteSpan payload, uint64_t token) override {
-    std::lock_guard<std::mutex> hop_lock(mutex_);
-    return sender_.SendBytes(payload, token);
   }
 
   // Deliberately lock-free: eviction closes hops that may have a Dispatch
@@ -214,23 +281,23 @@ class NetworkTransport : public Transport {
 
 }  // namespace
 
-Result<InvokeOutcome> Hop::ForwardAndInvoke(Endpoint& source,
-                                            const MemoryRegion& region,
+Result<InvokeOutcome> Hop::ForwardAndInvoke(const Payload& payload,
                                             Endpoint& target,
                                             TransferTiming* timing) {
   RR_ASSIGN_OR_RETURN(const MemoryRegion delivered,
-                      Forward(source, region, target, timing));
+                      Forward(payload, target, timing));
   std::lock_guard<std::mutex> shim_lock(target.shim->exec_mutex());
-  return target.shim->InvokeOnRegion(delivered);
+  auto outcome = target.shim->InvokeOnRegion(delivered);
+  if (!outcome.ok()) {
+    // A successful invoke consumes the input region; a failed one leaves it
+    // allocated in the target's sandbox.
+    (void)target.shim->ReleaseRegion(delivered);
+  }
+  return outcome;
 }
 
-Status Hop::Dispatch(Endpoint& /*source*/, const MemoryRegion& /*region*/,
-                     uint64_t /*token*/, TransferTiming* /*timing*/) {
-  return FailedPreconditionError(
-      "hop is not invoke-coupled; use Forward/ForwardAndInvoke");
-}
-
-Status Hop::DispatchBytes(ByteSpan /*payload*/, uint64_t /*token*/) {
+Status Hop::Dispatch(const Payload& /*payload*/, uint64_t /*token*/,
+                     TransferTiming* /*timing*/) {
   return FailedPreconditionError(
       "hop is not invoke-coupled; use Forward/ForwardAndInvoke");
 }

@@ -5,16 +5,24 @@
 // HopTable without touching executor code.
 //
 // A Transport knows how to *establish* a channel for its mode; a Hop is one
-// established, cached channel between a (source, target) pair. Hops are
-// internally synchronized: concurrent workflow invocations may forward over
-// the same hop, and each hop serializes its own wire while taking both
-// endpoint shims' exec mutexes (std::scoped_lock, so cross-pair lock order
-// cannot deadlock) for the duration of a transfer.
+// established, cached channel between a (source, target) pair. Hops speak
+// the zero-copy payload plane (core/payload.h): a guest-resident payload
+// takes the mode's classic source-side path (the single user-space copy /
+// shim staging), while a host-resident payload — the shared chunk an N-way
+// fan-out hands to every successor — is read zero-copy from its ref-counted
+// storage, with network backends performing vectored writes over the chunks.
+//
+// Hops are internally synchronized: concurrent workflow invocations may
+// forward over the same hop. Because the payload plane materializes source
+// bytes *before* the wire phase, a transfer holds only the target shim's
+// exec mutex while the wire moves data — the producer is free to serve other
+// runs concurrently.
 #pragma once
 
 #include <memory>
 
 #include "core/endpoint.h"
+#include "core/payload.h"
 
 namespace rr::core {
 
@@ -31,32 +39,30 @@ class Hop {
   // and the outcome returns through the agent's delivery callback.
   virtual bool invoke_coupled() const { return false; }
 
-  // Delivers `region` (the source function's output) into the target
-  // function's linear memory without invoking it — the fan-in building
-  // block. Fails with kFailedPrecondition on invoke-coupled hops.
-  virtual Result<MemoryRegion> Forward(Endpoint& source,
-                                       const MemoryRegion& region,
-                                       Endpoint& target,
-                                       TransferTiming* timing = nullptr) = 0;
+  // Delivers `payload` into the target function's linear memory without
+  // invoking it — the fan-in building block. When `into` is non-null it
+  // names a destination region of exactly payload.size() bytes covered by an
+  // existing registration (one slice of a fan-in gather region); otherwise
+  // the hop allocates a fresh input region. Fails with kFailedPrecondition
+  // on invoke-coupled hops.
+  virtual Result<MemoryRegion> Forward(const Payload& payload, Endpoint& target,
+                                       TransferTiming* timing = nullptr,
+                                       const MemoryRegion* into = nullptr) = 0;
 
   // Forward + invoke the target once on the delivered payload: the per-hop
   // building block of chains and single-predecessor DAG nodes.
-  virtual Result<InvokeOutcome> ForwardAndInvoke(Endpoint& source,
-                                                 const MemoryRegion& region,
+  virtual Result<InvokeOutcome> ForwardAndInvoke(const Payload& payload,
                                                  Endpoint& target,
                                                  TransferTiming* timing = nullptr);
 
-  // Invoke-coupled dispatch: sends the source's output region as one frame
-  // stamped with the per-transfer correlation `token`. The remote agent
-  // receives, invokes, and reports the outcome (with the token) through its
-  // delivery callback. Fails with kFailedPrecondition on local hops, whose
-  // transfers complete synchronously.
-  virtual Status Dispatch(Endpoint& source, const MemoryRegion& region,
-                          uint64_t token, TransferTiming* timing = nullptr);
-
-  // Invoke-coupled dispatch of a host-resident payload (a fan-in's
-  // predecessor outputs merged into one frame).
-  virtual Status DispatchBytes(ByteSpan payload, uint64_t token);
+  // Invoke-coupled dispatch: sends the payload as one frame stamped with the
+  // per-transfer correlation `token` (a segmented fan-in payload travels as
+  // one frame, vectored over its chunks). The remote agent receives,
+  // invokes, and reports the outcome (with the token) through its delivery
+  // callback. Fails with kFailedPrecondition on local hops, whose transfers
+  // complete synchronously.
+  virtual Status Dispatch(const Payload& payload, uint64_t token,
+                          TransferTiming* timing = nullptr);
 
   // Kills the underlying wire (idempotent) without invalidating the object:
   // the HopTable calls this on eviction while other runs may still hold the

@@ -16,18 +16,29 @@ Result<UserSpaceChannel> UserSpaceChannel::Create(Shim* source, Shim* target) {
   return UserSpaceChannel(source, target);
 }
 
-Result<MemoryRegion> UserSpaceChannel::Transfer(const MemoryRegion& source_region) {
+Result<MemoryRegion> UserSpaceChannel::Transfer(const MemoryRegion& source_region,
+                                                const MemoryRegion* into) {
   // 1-2: locate + read the source data (zero-copy view via the shim).
   RR_ASSIGN_OR_RETURN(const ByteSpan source_view,
                       source_->OutputView(source_region));
 
-  // 3-4: allocate in the target for the incoming data.
-  RR_ASSIGN_OR_RETURN(const MemoryRegion dest,
-                      target_->PrepareInput(source_region.length));
+  // 3-4: allocate in the target for the incoming data (or land in the
+  // caller's pre-registered gather slice).
+  MemoryRegion dest;
+  if (into != nullptr) {
+    if (into->length != source_region.length) {
+      return InvalidArgumentError("destination slice length mismatch");
+    }
+    dest = *into;
+  } else {
+    RR_ASSIGN_OR_RETURN(dest, target_->PrepareInput(source_region.length));
+  }
   RR_ASSIGN_OR_RETURN(MutableByteSpan dest_span, target_->InputSpan(dest));
 
   // 5: write — the single user-space copy between the two linear memories.
-  std::memcpy(dest_span.data(), source_view.data(), source_view.size());
+  if (!source_view.empty()) {
+    std::memcpy(dest_span.data(), source_view.data(), source_view.size());
+  }
   bytes_transferred_ += source_view.size();
   return dest;
 }

@@ -16,7 +16,10 @@ class UserSpaceChannel {
 
   // Executes steps 1..5 of Fig. 4a: locate in source, read via shim,
   // allocate in target, write. Returns the delivered region in the target.
-  Result<MemoryRegion> Transfer(const MemoryRegion& source_region);
+  // A non-null `into` (a pre-registered slice of exactly the source length,
+  // e.g. one leg of a fan-in gather region) replaces the allocation.
+  Result<MemoryRegion> Transfer(const MemoryRegion& source_region,
+                                const MemoryRegion* into = nullptr);
 
   // Transfer + invoke the target function on the delivered data.
   Result<InvokeOutcome> TransferAndInvoke(const MemoryRegion& source_region);

@@ -45,40 +45,4 @@ Result<TransferMode> WorkflowManager::ModeBetween(const std::string& source,
   return SelectMode(a->location, b->location);
 }
 
-Result<Bytes> WorkflowManager::RunChain(const std::vector<std::string>& names,
-                                        ByteSpan input) {
-  if (names.empty()) return InvalidArgumentError("empty chain");
-
-  RR_ASSIGN_OR_RETURN(Endpoint* current, Find(names[0]));
-  InvokeOutcome outcome;
-  {
-    std::lock_guard<std::mutex> shim_lock(current->shim->exec_mutex());
-    RR_ASSIGN_OR_RETURN(outcome, current->shim->DeliverAndInvoke(input));
-  }
-
-  for (size_t i = 1; i < names.size(); ++i) {
-    RR_ASSIGN_OR_RETURN(Endpoint* const next, Find(names[i]));
-    RR_ASSIGN_OR_RETURN(const std::shared_ptr<Hop> hop,
-                        hops_.Get(*current, *next));
-    if (hop->invoke_coupled()) {
-      return FailedPreconditionError(
-          "chain hop " + names[i] +
-          " is behind a NodeAgent ingress; submit the chain through "
-          "api::Runtime, whose executor consumes the agent's delivery "
-          "callback");
-    }
-    RR_ASSIGN_OR_RETURN(outcome,
-                        hop->ForwardAndInvoke(*current, outcome.output, *next));
-    current = next;
-  }
-
-  // Materialize the final function's output for the platform egress.
-  std::lock_guard<std::mutex> shim_lock(current->shim->exec_mutex());
-  RR_ASSIGN_OR_RETURN(const ByteSpan view,
-                      current->shim->OutputView(outcome.output));
-  Bytes result(view.begin(), view.end());
-  RR_RETURN_IF_ERROR(current->shim->ReleaseRegion(outcome.output));
-  return result;
-}
-
 }  // namespace rr::core

@@ -1,9 +1,11 @@
-// Workflow registry and linear-chain execution.
+// Workflow registry: one workflow's function endpoints plus the HopTable of
+// established hops between them.
 //
-// WorkflowManager owns the registry of one workflow's function endpoints and
-// the HopTable of established hops between them. It is the substrate the
-// async façade (api::Runtime) executes over; DAG-shaped workflows run over
-// the same registry and hop cache via dag::DagExecutor (src/dag/executor.h).
+// WorkflowManager is the control-plane substrate the async façade
+// (api::Runtime) executes over — chains and DAG-shaped workflows both run
+// through Runtime::Submit on this registry and hop cache. (The former
+// synchronous RunChain entry is gone; Submit(ChainSpec, input) is the
+// replacement.)
 #pragma once
 
 #include <map>
@@ -16,9 +18,9 @@
 
 namespace rr::core {
 
-// WorkflowManager executes chains by selecting a mode per hop. It owns no
-// sandboxes — shims are registered by the platform integration — and is the
-// piece an orchestrator (Knative/OpenFaaS/...) would drive.
+// WorkflowManager owns no sandboxes — shims are registered by the platform
+// integration — and is the piece an orchestrator (Knative/OpenFaaS/...)
+// would drive.
 //
 // Registration is a control-plane operation; Register/Unregister must not
 // race a run that uses the affected endpoint. Lookups and transfers from
@@ -35,13 +37,6 @@ class WorkflowManager {
   Status Unregister(const std::string& name);
 
   Result<Endpoint*> Find(const std::string& name);
-
-  // DEPRECATED(one release): synchronous, one-run-at-a-time chain execution.
-  // Use api::Runtime::Submit(ChainSpec, input), which runs the same hops
-  // asynchronously with many invocations in flight. Delivers `input` to the
-  // first function, then forwards each function's output to the next via the
-  // selected mode, returning the final output bytes.
-  Result<Bytes> RunChain(const std::vector<std::string>& names, ByteSpan input);
 
   // The mode that a transfer will use between two registered functions.
   Result<TransferMode> ModeBetween(const std::string& source,

@@ -1,6 +1,5 @@
 #include "dag/executor.h"
 
-#include <cstring>
 #include <optional>
 
 #include "common/log.h"
@@ -11,17 +10,24 @@ using core::Endpoint;
 using core::Hop;
 using core::InvokeOutcome;
 using core::MemoryRegion;
+using core::Payload;
 using core::TransferTiming;
 
-// Per-node execution state. `remaining_consumers` counts successors that
-// still need this node's output region; the consumer that decrements it to
-// zero releases the region, so fan-out never frees under a concurrent reader
-// and steady-state memory stays bounded by the DAG's live frontier.
+// Per-node execution state. The node's output lives in `payload` — a
+// ref-counted handle on the zero-copy plane. `remaining_consumers` counts
+// successors that still need it; the consumer that decrements it to zero
+// drops the node's claim, and the payload's own refcount releases the
+// storage (a still-guest-resident region, or the shared host chunk) with the
+// last holder, so fan-out never frees under a concurrent reader and
+// steady-state memory stays bounded by the DAG's live frontier. A cancelled
+// run cleans up the same way when the runs vector unwinds.
 struct DagExecutor::NodeRun {
   Endpoint* endpoint = nullptr;
-  InvokeOutcome outcome;
-  bool has_outcome = false;
-  bool released = false;
+  Payload payload;
+  // Guest-egress time of an eager (fan-out) materialization, amortized over
+  // the successor edges' wasm_io samples — the per-edge staging read it
+  // replaced was timed per edge.
+  Nanos egress_wasm_io{0};
   std::atomic<size_t> remaining_consumers{0};
 };
 
@@ -52,8 +58,8 @@ struct DagExecutor::StatsState {
   }
 };
 
-Result<Bytes> DagExecutor::Execute(const Dag& dag, ByteSpan input,
-                                   telemetry::DagRunStats* stats) {
+Result<rr::Buffer> DagExecutor::Execute(const Dag& dag, const rr::Buffer& input,
+                                        telemetry::DagRunStats* stats) {
   const Stopwatch total_timer;
   if (stats != nullptr) *stats = telemetry::DagRunStats{};
 
@@ -73,26 +79,20 @@ Result<Bytes> DagExecutor::Execute(const Dag& dag, ByteSpan input,
     return RunNode(dag, index, runs, input, stats_state);
   });
 
-  Bytes result;
+  // Assemble the result by chunk sharing: each sink's output is egressed
+  // exactly once (here, if it was not already host-resident) and the
+  // concatenation borrows the chunks — no merge allocation. Every other
+  // still-live payload (a cancelled run's frontier) releases through its
+  // handle when `runs` unwinds.
+  rr::Buffer result;
   if (status.ok()) {
     for (const size_t sink : dag.sinks()) {
-      NodeRun& run = runs[sink];
-      std::lock_guard<std::mutex> shim_lock(run.endpoint->shim->exec_mutex());
-      auto view = run.endpoint->shim->OutputView(run.outcome.output);
-      if (!view.ok()) {
-        status = view.status();
+      auto sink_buffer = runs[sink].payload.Materialize();
+      if (!sink_buffer.ok()) {
+        status = sink_buffer.status();
         break;
       }
-      result.insert(result.end(), view->begin(), view->end());
-    }
-  }
-  // Release every still-live output region: the sinks on the normal path,
-  // every completed node when the run was cancelled mid-flight.
-  for (NodeRun& run : runs) {
-    if (run.has_outcome && !run.released) {
-      std::lock_guard<std::mutex> shim_lock(run.endpoint->shim->exec_mutex());
-      (void)run.endpoint->shim->ReleaseRegion(run.outcome.output);
-      run.released = true;
+      result.Append(*sink_buffer);
     }
   }
   RR_RETURN_IF_ERROR(status);
@@ -107,18 +107,22 @@ Result<Bytes> DagExecutor::Execute(const Dag& dag, ByteSpan input,
 }
 
 Status DagExecutor::RunNode(const Dag& dag, size_t index,
-                            std::vector<NodeRun>& runs, ByteSpan input,
+                            std::vector<NodeRun>& runs, const rr::Buffer& input,
                             StatsState& stats) {
   const DagNode& node = dag.node(index);
   NodeRun& run = runs[index];
   Endpoint& target = *run.endpoint;
 
-  // Sources take the workflow input through platform ingress.
+  // Sources take the workflow input through platform ingress: a gather write
+  // of the shared input chunks — the submit-side plane never copied them.
   if (node.preds.empty()) {
-    std::lock_guard<std::mutex> shim_lock(target.shim->exec_mutex());
-    RR_ASSIGN_OR_RETURN(run.outcome, target.shim->DeliverAndInvoke(input));
-    run.has_outcome = true;
-    return Status::Ok();
+    InvokeOutcome outcome;
+    {
+      std::lock_guard<std::mutex> shim_lock(target.shim->exec_mutex());
+      RR_ASSIGN_OR_RETURN(outcome,
+                          target.shim->DeliverAndInvoke(rr::BufferView(input)));
+    }
+    return FinishNode(dag, index, runs, outcome);
   }
 
   // Establish every predecessor's hop up front; all of them must agree on
@@ -148,91 +152,97 @@ Status DagExecutor::RunNode(const Dag& dag, size_t index,
         "node " + node.name +
         " mixes invoke-coupled (agent ingress) and local predecessors");
   }
+  return RunLocalNode(dag, index, runs, pred_hops, stats);
+}
 
-  // Local (or loopback-network) target: deliver each predecessor's payload
-  // over its own mode-selected hop, then invoke once.
-  std::vector<MemoryRegion> delivered;
-  delivered.reserve(node.preds.size());
-  const auto release_delivered = [&] {
-    std::lock_guard<std::mutex> shim_lock(target.shim->exec_mutex());
-    for (const MemoryRegion& part : delivered) {
-      (void)target.shim->ReleaseRegion(part);
-    }
+Status DagExecutor::RunLocalNode(
+    const Dag& dag, size_t index, std::vector<NodeRun>& runs,
+    const std::vector<std::shared_ptr<Hop>>& pred_hops, StatsState& stats) {
+  const DagNode& node = dag.node(index);
+  NodeRun& run = runs[index];
+  Endpoint& target = *run.endpoint;
+
+  // This edge's share of the predecessor's eager-egress time (zero when the
+  // payload stayed guest-resident — the hop then times its own egress).
+  const auto egress_share = [&](size_t pred) {
+    return runs[pred].egress_wasm_io /
+           static_cast<int64_t>(dag.node(pred).succs.size());
   };
-  for (size_t i = 0; i < node.preds.size(); ++i) {
-    const size_t pred = node.preds[i];
-    Endpoint& source = *runs[pred].endpoint;
+
+  MemoryRegion input_region;
+  if (node.preds.size() == 1) {
+    // Single predecessor: the guest-direct fast path (a still-guest-resident
+    // payload moves with the mode's classic single copy; a shared fan-out
+    // chunk is gathered straight into the fresh input region).
+    const size_t pred = node.preds.front();
+    const Payload payload = runs[pred].payload;
     TransferTiming timing;
     stats.MarkPhaseStart();
     const Stopwatch edge_timer;
-    Result<MemoryRegion> region = pred_hops[i]->Forward(
-        source, runs[pred].outcome.output, target, &timing);
-    if (!region.ok()) {
-      release_delivered();
-      return region.status();
+    Result<MemoryRegion> delivered =
+        pred_hops.front()->Forward(payload, target, &timing);
+    RR_RETURN_IF_ERROR(delivered.status());
+    stats.Record(runs[pred].endpoint->shim->name(), target.shim->name(),
+                 pred_hops.front()->mode(), delivered->length,
+                 edge_timer.Elapsed(), timing.wasm_io + egress_share(pred));
+    input_region = *delivered;
+  } else {
+    // Fan-in: one gather region of the summed predecessor sizes, every leg
+    // delivered over its own placement-selected hop directly into its slice
+    // (edge-declaration order) — no per-predecessor staging regions, no
+    // intermediate merge allocation, no merge copy.
+    uint64_t total = 0;
+    for (const size_t pred : node.preds) total += runs[pred].payload.size();
+    if (total > UINT32_MAX) {
+      return ResourceExhaustedError("fan-in input exceeds 32-bit guest memory");
     }
-    stats.Record(source.shim->name(), target.shim->name(),
-                 core::SelectMode(source.location, target.location),
-                 region->length, edge_timer.Elapsed(), timing.wasm_io);
-    delivered.push_back(*region);
+    MemoryRegion merged;
+    {
+      std::lock_guard<std::mutex> shim_lock(target.shim->exec_mutex());
+      RR_ASSIGN_OR_RETURN(merged,
+                          target.shim->PrepareInput(static_cast<uint32_t>(total)));
+    }
+    const auto release_merged = [&] {
+      std::lock_guard<std::mutex> shim_lock(target.shim->exec_mutex());
+      (void)target.shim->ReleaseRegion(merged);
+    };
+    uint32_t offset = 0;
+    for (size_t i = 0; i < node.preds.size(); ++i) {
+      const size_t pred = node.preds[i];
+      const Payload payload = runs[pred].payload;
+      const MemoryRegion slice{merged.address + offset,
+                               static_cast<uint32_t>(payload.size())};
+      TransferTiming timing;
+      stats.MarkPhaseStart();
+      const Stopwatch edge_timer;
+      Result<MemoryRegion> delivered =
+          pred_hops[i]->Forward(payload, target, &timing, &slice);
+      if (!delivered.ok()) {
+        release_merged();
+        return delivered.status();
+      }
+      stats.Record(runs[pred].endpoint->shim->name(), target.shim->name(),
+                   pred_hops[i]->mode(), slice.length, edge_timer.Elapsed(),
+                   timing.wasm_io + egress_share(pred));
+      offset += slice.length;
+    }
+    input_region = merged;
   }
   ReleaseConsumedPreds(node, runs);
 
-  // Everything below touches only the target shim: the delivered parts
-  // already live in its linear memory. One lock hold covers merge + invoke.
-  std::lock_guard<std::mutex> shim_lock(target.shim->exec_mutex());
-  MemoryRegion input_region = delivered.front();
-  if (delivered.size() > 1) {
-    // Fan-in: concatenate the delivered payloads, in edge-declaration order,
-    // into one fresh region; the join consumes a single contiguous input.
-    const auto release_parts = [&] {
-      for (const MemoryRegion& part : delivered) {
-        (void)target.shim->ReleaseRegion(part);
-      }
-    };
-    uint64_t total = 0;
-    for (const MemoryRegion& part : delivered) total += part.length;
-    if (total > UINT32_MAX) {
-      release_parts();
-      return ResourceExhaustedError("fan-in input exceeds 32-bit guest memory");
+  InvokeOutcome outcome;
+  {
+    std::lock_guard<std::mutex> shim_lock(target.shim->exec_mutex());
+    auto invoked = target.shim->InvokeOnRegion(input_region);
+    if (!invoked.ok()) {
+      // A successful invoke consumes the input region; a failed one leaves
+      // it allocated in the target's sandbox.
+      (void)target.shim->ReleaseRegion(input_region);
+      return invoked.status();
     }
-    auto merged = target.shim->PrepareInput(static_cast<uint32_t>(total));
-    if (!merged.ok()) {
-      release_parts();
-      return merged.status();
-    }
-    auto merged_span = target.shim->InputSpan(*merged);
-    if (!merged_span.ok()) {
-      release_parts();
-      (void)target.shim->ReleaseRegion(*merged);
-      return merged_span.status();
-    }
-    size_t offset = 0;
-    for (const MemoryRegion& part : delivered) {
-      auto part_view = target.shim->OutputView(part);
-      if (!part_view.ok()) {
-        release_parts();
-        (void)target.shim->ReleaseRegion(*merged);
-        return part_view.status();
-      }
-      std::memcpy(merged_span->data() + offset, part_view->data(),
-                  part_view->size());
-      offset += part_view->size();
-    }
-    release_parts();
-    input_region = *merged;
+    outcome = *invoked;
   }
-
-  auto outcome = target.shim->InvokeOnRegion(input_region);
-  if (!outcome.ok()) {
-    // A successful invoke consumes the input region; a failed one leaves it
-    // allocated in the target's sandbox.
-    (void)target.shim->ReleaseRegion(input_region);
-    return outcome.status();
-  }
-  run.outcome = *outcome;
-  run.has_outcome = true;
-  return Status::Ok();
+  return FinishNode(dag, index, runs, outcome);
 }
 
 Status DagExecutor::RunRemoteNode(const Dag& dag, size_t index,
@@ -259,36 +269,31 @@ Status DagExecutor::RunRemoteNode(const Dag& dag, size_t index,
   TransferTiming timing;
   std::vector<uint64_t> part_bytes;
   part_bytes.reserve(node.preds.size());
+  Payload frame;
   if (node.preds.size() == 1) {
-    Endpoint& pred = *runs[node.preds.front()].endpoint;
-    const MemoryRegion& payload = runs[node.preds.front()].outcome.output;
-    const Status sent = hop.Dispatch(pred, payload, token, &timing);
-    if (!sent.ok()) {
-      abandon();
-      return sent;
-    }
-    part_bytes.push_back(payload.length);
+    frame = runs[node.preds.front()].payload;
+    part_bytes.push_back(frame.size());
   } else {
     // Fan-in into a remote ingress: the agent invokes on every received
-    // frame, so the join's input must travel as ONE frame — merge the
-    // predecessor payloads host-side before dispatching.
-    Bytes merged;
+    // frame, so the join's input must travel as ONE frame — the predecessor
+    // chunks are concatenated by reference and vectored onto the wire, with
+    // no host-side merge copy.
+    rr::Buffer merged;
     for (const size_t pred : node.preds) {
-      core::Shim& shim = *runs[pred].endpoint->shim;
-      std::lock_guard<std::mutex> shim_lock(shim.exec_mutex());
-      auto view = shim.OutputView(runs[pred].outcome.output);
-      if (!view.ok()) {
+      auto part = runs[pred].payload.Materialize(&timing.wasm_io);
+      if (!part.ok()) {
         abandon();
-        return view.status();
+        return part.status();
       }
-      merged.insert(merged.end(), view->begin(), view->end());
-      part_bytes.push_back(view->size());
+      merged.Append(*part);
+      part_bytes.push_back(part->size());
     }
-    const Status sent = hop.DispatchBytes(merged, token);
-    if (!sent.ok()) {
-      abandon();
-      return sent;
-    }
+    frame = Payload(std::move(merged));
+  }
+  const Status sent = hop.Dispatch(frame, token, &timing);
+  if (!sent.ok()) {
+    abandon();
+    return sent;
   }
   ReleaseConsumedPreds(node, runs);
 
@@ -303,17 +308,34 @@ Status DagExecutor::RunRemoteNode(const Dag& dag, size_t index,
     manager_->hops().Evict(target.shim->name());
     return outcome.status();
   }
-  run.outcome = *outcome;
-  run.has_outcome = true;
 
   // Edge latency spans send to delivery confirmation (the remote invoke is
   // part of the edge on this path). A merged frame reports the shared wall
   // time per contributing edge, with each edge's own byte count.
   const Nanos latency = edge_timer.Elapsed();
   for (size_t i = 0; i < node.preds.size(); ++i) {
-    stats.Record(runs[node.preds[i]].endpoint->shim->name(),
-                 target.shim->name(), core::TransferMode::kNetwork,
-                 part_bytes[i], latency, timing.wasm_io);
+    const size_t pred = node.preds[i];
+    stats.Record(runs[pred].endpoint->shim->name(), target.shim->name(),
+                 core::TransferMode::kNetwork, part_bytes[i], latency,
+                 timing.wasm_io + runs[pred].egress_wasm_io /
+                                      static_cast<int64_t>(
+                                          dag.node(pred).succs.size()));
+  }
+  return FinishNode(dag, index, runs, *outcome);
+}
+
+// Publishes the node's output on the payload plane. A node with more than
+// one successor egresses NOW — one copy into an immutable shared chunk, the
+// guest region released before any successor runs — so N-way fan-out is
+// O(1) payload copies and the successors only ever bump a refcount.
+Status DagExecutor::FinishNode(const Dag& dag, size_t index,
+                               std::vector<NodeRun>& runs,
+                               core::InvokeOutcome outcome) {
+  NodeRun& run = runs[index];
+  run.payload = Payload::FromGuest(run.endpoint->shim, outcome.output);
+  if (dag.node(index).succs.size() > 1) {
+    RR_RETURN_IF_ERROR(
+        run.payload.Materialize(&run.egress_wasm_io).status());
   }
   return Status::Ok();
 }
@@ -372,16 +394,14 @@ core::NodeAgent::DeliveryCallback DagExecutor::DeliverySink() {
   };
 }
 
-// Transfers are complete: drop each predecessor's claim; the last consumer
-// releases the output region.
+// Transfers are complete: drop each predecessor's claim; the payload's
+// refcount releases the storage with its last holder.
 void DagExecutor::ReleaseConsumedPreds(const DagNode& node,
                                        std::vector<NodeRun>& runs) {
   for (const size_t pred : node.preds) {
     NodeRun& p = runs[pred];
     if (p.remaining_consumers.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> shim_lock(p.endpoint->shim->exec_mutex());
-      (void)p.endpoint->shim->ReleaseRegion(p.outcome.output);
-      p.released = true;
+      p.payload.Reset();
     }
   }
 }

@@ -2,24 +2,38 @@
 //
 // Per edge it obtains the placement-selected hop from the shared HopTable
 // (the same cached channels chains use) and speaks only the polymorphic Hop
-// interface — no transfer-mode switches live here. Fan-out replicates one
-// output region to every successor (each over its own hop, concurrently, on
-// the scheduler's worker pool); fan-in delivers every predecessor's payload
-// into the join function's linear memory, concatenates them in
-// edge-declaration order, and invokes the join exactly once.
+// interface — no transfer-mode switches live here. Payloads move on the
+// zero-copy plane (core/payload.h):
+//
+//  * Fan-out shares ONE immutable buffer across all successors: the
+//    producer's output is egressed exactly once and every successor's
+//    delivery reads the same ref-counted chunk, so an N-way fan-out performs
+//    O(1) payload copies — and the successors' ingress writes proceed in
+//    parallel on the scheduler's workers because the producer's shim is no
+//    longer locked during the wire phase.
+//  * Fan-in gathers predecessor payloads directly into ONE pre-allocated
+//    region of the join function's memory (each leg delivered over its own
+//    placement-selected hop into its slice, in edge-declaration order) —
+//    the old per-predecessor staging regions and the intermediate merge
+//    allocation are gone. The join is invoked exactly once.
+//  * A single-successor edge keeps the guest-direct fast path: the payload
+//    stays guest-resident and a user-space hop performs the classic single
+//    copy between the two linear memories.
 //
 // Functions behind a remote NodeAgent ingress are served by invoke-coupled
-// hops: the executor Dispatches one frame (predecessor payloads merged
-// host-side for fan-in) stamped with a fresh correlation token, and the
-// agent's delivery callback — wire DeliverySink() into
-// NodeAgent::RegisterFunction — completes the transfer. Tokens make the
+// hops: the executor Dispatches one frame (a fan-in's predecessor chunks
+// vectored into one frame without a host merge copy) stamped with a fresh
+// correlation token, and the agent's delivery callback — wire DeliverySink()
+// into NodeAgent::RegisterFunction — completes the transfer. Tokens make the
 // attribution exact: a completion belonging to a timed-out or cancelled
 // transfer matches no pending token and is rejected with kTokenMismatch
 // (and its output released), never claimed by a later run.
 //
-// Execute is reentrant: concurrent executions (api::Runtime keeps many
+// Execution is reentrant: concurrent runs (api::Runtime keeps many
 // invocations in flight) share the worker pool, the hop cache, and the
-// delivery mailbox; per-run state lives on the caller's stack.
+// delivery mailbox; per-run state lives on the caller's stack. There is no
+// public synchronous entry — api::Runtime::Submit is the way to run a DAG
+// (the former direct Execute entry is gone with WorkflowManager::RunChain).
 #pragma once
 
 #include <atomic>
@@ -30,10 +44,15 @@
 #include <string>
 
 #include "core/node_agent.h"
+#include "core/payload.h"
 #include "core/workflow.h"
 #include "dag/dag.h"
 #include "dag/scheduler.h"
 #include "telemetry/metrics.h"
+
+namespace rr::api {
+class Runtime;
+}  // namespace rr::api
 
 namespace rr::dag {
 
@@ -42,15 +61,6 @@ class DagExecutor {
   // `manager` must outlive the executor. 0 workers = hardware concurrency.
   explicit DagExecutor(core::WorkflowManager* manager, size_t workers = 0)
       : manager_(manager), scheduler_(workers) {}
-
-  // Runs the DAG: `input` is delivered to every source node; the sink
-  // functions' outputs (concatenated in declaration order when there are
-  // several sinks) are materialized as the result. Per-edge transfer
-  // latencies land in `stats` when non-null. On any node failure the run
-  // cancels — downstream nodes never execute — and the first error returns.
-  // Safe to call from many threads at once.
-  Result<Bytes> Execute(const Dag& dag, ByteSpan input,
-                        telemetry::DagRunStats* stats = nullptr);
 
   // Delivery callback for NodeAgent-registered functions: routes the remote
   // invoke's outcome back into the executor so the DAG can continue past the
@@ -73,15 +83,32 @@ class DagExecutor {
   size_t worker_count() const { return scheduler_.worker_count(); }
 
  private:
+  friend class rr::api::Runtime;
+
   struct NodeRun;
   struct StatsState;
 
+  // Runs the DAG: `input` is shared (never copied) with every source node;
+  // the sink functions' outputs (concatenated in declaration order when
+  // there are several sinks, by chunk sharing) are returned as one buffer.
+  // On any node failure the run cancels — downstream nodes never execute —
+  // and the first error returns; the payload plane's refcounts release every
+  // still-live output. Safe to call from many threads at once; reachable
+  // only through api::Runtime::Submit.
+  Result<rr::Buffer> Execute(const Dag& dag, const rr::Buffer& input,
+                             telemetry::DagRunStats* stats = nullptr);
+
   Status RunNode(const Dag& dag, size_t index, std::vector<NodeRun>& runs,
-                 ByteSpan input, StatsState& stats);
-  static void ReleaseConsumedPreds(const DagNode& node,
-                                   std::vector<NodeRun>& runs);
+                 const rr::Buffer& input, StatsState& stats);
+  Status RunLocalNode(const Dag& dag, size_t index, std::vector<NodeRun>& runs,
+                      const std::vector<std::shared_ptr<core::Hop>>& pred_hops,
+                      StatsState& stats);
   Status RunRemoteNode(const Dag& dag, size_t index, std::vector<NodeRun>& runs,
                        core::Hop& hop, StatsState& stats);
+  Status FinishNode(const Dag& dag, size_t index, std::vector<NodeRun>& runs,
+                    core::InvokeOutcome outcome);
+  static void ReleaseConsumedPreds(const DagNode& node,
+                                   std::vector<NodeRun>& runs);
   Result<core::InvokeOutcome> WaitForDelivery(const std::string& function,
                                               uint64_t token);
 

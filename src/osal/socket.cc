@@ -38,10 +38,11 @@ void IgnoreSigpipeOnce() {
 
 }  // namespace
 
-Status Connection::SendParts(std::initializer_list<ByteSpan> parts) {
+Status Connection::SendParts(const ByteSpan* parts, size_t count) {
   std::vector<iovec> iov;
-  iov.reserve(parts.size());
-  for (const ByteSpan part : parts) {
+  iov.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const ByteSpan part = parts[i];
     if (part.empty()) continue;
     iov.push_back({const_cast<uint8_t*>(part.data()), part.size()});
   }

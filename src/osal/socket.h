@@ -26,8 +26,12 @@ class Connection {
   Status Receive(MutableByteSpan out) { return ReadExact(fd_.get(), out); }
 
   // Gathered send (writev): transmits the concatenation of `parts` without
-  // assembling an intermediate buffer.
-  Status SendParts(std::initializer_list<ByteSpan> parts);
+  // assembling an intermediate buffer. The pointer/count form serves dynamic
+  // segment lists (e.g. a multi-chunk payload buffer).
+  Status SendParts(std::initializer_list<ByteSpan> parts) {
+    return SendParts(parts.begin(), parts.size());
+  }
+  Status SendParts(const ByteSpan* parts, size_t count);
 
   // Single read(2), returning the number of bytes read (0 at EOF).
   Result<size_t> ReceiveSome(MutableByteSpan out);

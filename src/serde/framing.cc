@@ -6,6 +6,21 @@ Status WriteFrame(osal::Connection& conn, ByteSpan payload) {
   return WriteFrameParts(conn, {payload});
 }
 
+Status WriteFrame(osal::Connection& conn, const rr::BufferView& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return InvalidArgumentError("frame exceeds maximum size");
+  }
+  uint8_t header[8];
+  StoreLE<uint64_t>(header, payload.size());
+  std::vector<ByteSpan> parts;
+  parts.reserve(payload.segment_count() + 1);
+  parts.push_back(ByteSpan(header, 8));
+  for (size_t i = 0; i < payload.segment_count(); ++i) {
+    parts.push_back(payload.segment(i));
+  }
+  return conn.SendParts(parts.data(), parts.size());
+}
+
 Status WriteFrameParts(osal::Connection& conn,
                        std::initializer_list<ByteSpan> parts) {
   uint64_t total = 0;

@@ -8,6 +8,7 @@
 #include <functional>
 #include <initializer_list>
 
+#include "common/buffer.h"
 #include "common/bytes.h"
 #include "common/status.h"
 #include "osal/socket.h"
@@ -18,6 +19,11 @@ namespace rr::serde {
 inline constexpr uint64_t kMaxFrameBytes = uint64_t{4} * 1024 * 1024 * 1024;
 
 Status WriteFrame(osal::Connection& conn, ByteSpan payload);
+
+// Vectored frame write over a segmented payload view: header + every chunk
+// in one gathered send, no intermediate assembly (the zero-copy plane's wire
+// egress).
+Status WriteFrame(osal::Connection& conn, const rr::BufferView& payload);
 
 // Writes a frame whose payload is the concatenation of `parts` (scatter
 // write without assembling an intermediate buffer).

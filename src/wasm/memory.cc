@@ -27,7 +27,9 @@ Status LinearMemory::Read(uint64_t addr, MutableByteSpan out) const {
                         "host read [" + std::to_string(addr) + ", +" +
                             std::to_string(out.size()) + ")");
   }
-  std::memcpy(out.data(), bytes_.data() + addr, out.size());
+  // memcpy requires non-null pointers even for n=0, and an empty span's
+  // data() is null (zero-length payloads are legal on the data plane).
+  if (!out.empty()) std::memcpy(out.data(), bytes_.data() + addr, out.size());
   host_bytes_read_.fetch_add(out.size(), std::memory_order_relaxed);
   return Status::Ok();
 }
@@ -38,7 +40,7 @@ Status LinearMemory::Write(uint64_t addr, ByteSpan data) {
                         "host write [" + std::to_string(addr) + ", +" +
                             std::to_string(data.size()) + ")");
   }
-  std::memcpy(bytes_.data() + addr, data.data(), data.size());
+  if (!data.empty()) std::memcpy(bytes_.data() + addr, data.data(), data.size());
   host_bytes_written_.fetch_add(data.size(), std::memory_order_relaxed);
   return Status::Ok();
 }

@@ -480,7 +480,7 @@ class RoadrunnerDagDriver : public ChainDriver {
     probe.Start();
     auto invocation = runtime_->Submit(api::DagSpec{*dag_}, AsBytes(body));
     RR_RETURN_IF_ERROR(invocation.status());
-    const Result<Bytes>& result = (*invocation)->Wait();
+    const Result<rr::Buffer>& result = (*invocation)->Wait();
     probe.Stop();
     RR_RETURN_IF_ERROR(result.status());
     const telemetry::DagRunStats& stats = (*invocation)->stats().dag;
@@ -490,8 +490,9 @@ class RoadrunnerDagDriver : public ChainDriver {
       return DataLossError("dag fan-out returned " +
                            std::to_string(result->size()) + " ack bytes");
     }
+    const Bytes acks = result->ToBytes();
     for (size_t i = 0; i < targets_.size(); ++i) {
-      if (LoadLE<uint64_t>(result->data() + 8 * i) != checksum) {
+      if (LoadLE<uint64_t>(acks.data() + 8 * i) != checksum) {
         return DataLossError("target " + std::to_string(i) +
                              " received a corrupted payload");
       }

@@ -67,12 +67,16 @@ TEST_F(RuntimeTest, SubmitChainReturnsHandleAndResult) {
 
   auto invocation = rt.Submit(ChainSpec{{"a", "b"}}, AsBytes("in"));
   ASSERT_TRUE(invocation.ok()) << invocation.status();
-  const Result<Bytes>& result = (*invocation)->Wait();
+  const Result<rr::Buffer>& result = (*invocation)->Wait();
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(ToString(*result), "in|a|b");
   EXPECT_TRUE((*invocation)->Done());
   // Wait after completion returns the same stored result.
   EXPECT_EQ(ToString(*(*invocation)->Wait()), "in|a|b");
+  // The deprecated Bytes shim materializes the same bytes (cached copy).
+  const Result<Bytes>& bytes = (*invocation)->WaitBytes();
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(ToString(*bytes), "in|a|b");
 }
 
 TEST_F(RuntimeTest, SubmitValidatesBeforeExecution) {
@@ -108,7 +112,7 @@ TEST_F(RuntimeTest, ManyChainInvocationsInFlightConcurrently) {
   }
 
   for (size_t i = 0; i < kInFlight; ++i) {
-    const Result<Bytes>& result = invocations[i]->Wait();
+    const Result<rr::Buffer>& result = invocations[i]->Wait();
     ASSERT_TRUE(result.ok()) << "run " << i << ": " << result.status();
     EXPECT_EQ(ToString(*result), "req-" + std::to_string(i) + "|a|b|c");
   }
@@ -144,7 +148,7 @@ TEST_F(RuntimeTest, ManyDagInvocationsInFlightConcurrently) {
     invocations.push_back(std::move(*invocation));
   }
   for (size_t i = 0; i < kInFlight; ++i) {
-    const Result<Bytes>& result = invocations[i]->Wait();
+    const Result<rr::Buffer>& result = invocations[i]->Wait();
     ASSERT_TRUE(result.ok()) << "run " << i << ": " << result.status();
     const std::string in = "d" + std::to_string(i);
     EXPECT_EQ(ToString(*result), in + "|a|b" + in + "|a|c|d");
@@ -176,7 +180,7 @@ TEST_F(RuntimeTest, MixedChainAndDagSubmissionsInterleave) {
     invocations.push_back(std::move(*invocation));
   }
   for (int i = 0; i < 12; ++i) {
-    const Result<Bytes>& result = invocations[i]->Wait();
+    const Result<rr::Buffer>& result = invocations[i]->Wait();
     ASSERT_TRUE(result.ok()) << "run " << i << ": " << result.status();
     const std::string in = "f" + std::to_string(i);
     EXPECT_EQ(ToString(*result),
@@ -210,7 +214,7 @@ TEST_F(RuntimeTest, WaitForTimesOutWhileInFlightThenCompletes) {
   // A zero-timeout WaitFor cannot block; whatever it reports, the full Wait
   // must complete with the run's result.
   (void)(*invocation)->WaitFor(Nanos{0});
-  const Result<Bytes>& result = (*invocation)->Wait();
+  const Result<rr::Buffer>& result = (*invocation)->Wait();
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(ToString(*result), "t|a");
 }
@@ -236,7 +240,7 @@ TEST_F(RuntimeTest, RemoteAgentTargetsUnderConcurrency) {
     invocations.push_back(std::move(*invocation));
   }
   for (size_t i = 0; i < kInFlight; ++i) {
-    const Result<Bytes>& result = invocations[i]->Wait();
+    const Result<rr::Buffer>& result = invocations[i]->Wait();
     ASSERT_TRUE(result.ok()) << "run " << i << ": " << result.status();
     EXPECT_EQ(ToString(*result), "r" + std::to_string(i) + "|a|b");
   }
@@ -268,7 +272,7 @@ TEST_F(RuntimeTest, ConcurrentRemoteTimeoutsEvictSafely) {
     invocations.push_back(std::move(*invocation));
   }
   for (size_t i = 0; i < kInFlight; ++i) {
-    const Result<Bytes>& result = invocations[i]->Wait();
+    const Result<rr::Buffer>& result = invocations[i]->Wait();
     EXPECT_FALSE(result.ok()) << "run " << i;
   }
   (*agent)->Shutdown();
@@ -292,7 +296,7 @@ TEST_F(RuntimeTest, DestructionDrainsSubmittedInvocations) {
   }
   for (int i = 0; i < 6; ++i) {
     EXPECT_TRUE(invocations[i]->Done());
-    const Result<Bytes>& result = invocations[i]->Wait();
+    const Result<rr::Buffer>& result = invocations[i]->Wait();
     ASSERT_TRUE(result.ok()) << result.status();
     EXPECT_EQ(ToString(*result), "x" + std::to_string(i) + "|a|b");
   }

@@ -1,0 +1,146 @@
+#include "common/buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace rr {
+namespace {
+
+TEST(BufferTest, EmptyBuffer) {
+  Buffer buffer;
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.chunk_count(), 0u);
+  EXPECT_TRUE(buffer.IsFlat());
+  EXPECT_TRUE(buffer.Flat().empty());
+  EXPECT_TRUE(buffer.ToBytes().empty());
+  EXPECT_EQ(buffer.storage_use_count(), 0);
+}
+
+TEST(BufferTest, CopyIsDeepAndCounted) {
+  Bytes data = ToBytes("hello payload plane");
+  const uint64_t copied_before = Buffer::TotalBytesCopied();
+  Buffer buffer = Buffer::Copy(data);
+  EXPECT_EQ(Buffer::TotalBytesCopied() - copied_before, data.size());
+  data[0] = 'X';  // the buffer owns its storage
+  EXPECT_EQ(buffer.ToString(), "hello payload plane");
+}
+
+TEST(BufferTest, AdoptDoesNotCopy) {
+  const uint64_t copied_before = Buffer::TotalBytesCopied();
+  Buffer buffer = Buffer::Adopt(ToBytes("adopted"));
+  EXPECT_EQ(Buffer::TotalBytesCopied(), copied_before);
+  EXPECT_EQ(buffer.ToString(), "adopted");
+}
+
+TEST(BufferTest, SharingIsRefcountNotCopy) {
+  Buffer original = Buffer::FromString("shared-bytes");
+  EXPECT_EQ(original.storage_use_count(), 1);
+
+  const uint64_t copied_before = Buffer::TotalBytesCopied();
+  Buffer a = original;          // copy ctor: chunk sharing
+  Buffer b = original.Slice(0, original.size());
+  EXPECT_EQ(Buffer::TotalBytesCopied(), copied_before);
+  EXPECT_EQ(original.storage_use_count(), 3);
+  EXPECT_EQ(a.ToString(), "shared-bytes");
+  EXPECT_EQ(b.ToString(), "shared-bytes");
+}
+
+TEST(BufferTest, SliceIsZeroCopyAndBounded) {
+  Buffer buffer = Buffer::FromString("0123456789");
+  const uint64_t copied_before = Buffer::TotalBytesCopied();
+  EXPECT_EQ(buffer.Slice(2, 5).ToString(), "23456");
+  EXPECT_EQ(buffer.Slice(8, 100).ToString(), "89");   // clamped
+  EXPECT_TRUE(buffer.Slice(100, 5).empty());          // past the end
+  EXPECT_TRUE(buffer.Slice(3, 0).empty());
+  // Slicing shares chunks; only the ToString materializations copied.
+  EXPECT_EQ(Buffer::TotalBytesCopied() - copied_before, 5u + 2u);
+}
+
+TEST(BufferTest, AppendSharesChunks) {
+  Buffer a = Buffer::FromString("head|");
+  Buffer b = Buffer::FromString("tail");
+  const uint64_t copied_before = Buffer::TotalBytesCopied();
+  Buffer joined = a;
+  joined.Append(b);
+  EXPECT_EQ(Buffer::TotalBytesCopied(), copied_before);
+  EXPECT_EQ(joined.size(), 9u);
+  EXPECT_EQ(joined.chunk_count(), 2u);
+  EXPECT_FALSE(joined.IsFlat());
+  EXPECT_EQ(joined.ToString(), "head|tail");
+  // Slices across the chunk boundary still stitch correctly.
+  EXPECT_EQ(joined.Slice(3, 4).ToString(), "d|ta");
+}
+
+TEST(BufferTest, SelfAppendDoublesContent) {
+  Buffer buffer = Buffer::FromString("ab");
+  buffer.Append(Buffer::FromString("cd"));
+  buffer.Append(buffer);
+  EXPECT_EQ(buffer.size(), 8u);
+  EXPECT_EQ(buffer.chunk_count(), 4u);
+  EXPECT_EQ(buffer.ToString(), "abcdabcd");
+}
+
+TEST(BufferTest, ForOverwriteExposesFillSpan) {
+  MutableByteSpan fill;
+  Buffer buffer = Buffer::ForOverwrite(4, &fill);
+  ASSERT_EQ(fill.size(), 4u);
+  fill[0] = 'a';
+  fill[1] = 'b';
+  fill[2] = 'c';
+  fill[3] = 'd';
+  EXPECT_EQ(buffer.ToString(), "abcd");
+}
+
+TEST(BufferTest, CopyToGathersChunks) {
+  Buffer joined = Buffer::FromString("ab");
+  joined.Append(Buffer::FromString("cdef"));
+  Bytes out(6);
+  joined.CopyTo(out);
+  EXPECT_EQ(ToString(ByteSpan(out)), "abcdef");
+}
+
+TEST(BufferViewTest, BorrowsBufferChunks) {
+  Buffer joined = Buffer::FromString("seg1|");
+  joined.Append(Buffer::FromString("seg2"));
+  BufferView view(joined);
+  EXPECT_EQ(view.size(), 9u);
+  EXPECT_EQ(view.segment_count(), 2u);
+  EXPECT_EQ(view.ToString(), "seg1|seg2");
+}
+
+TEST(BufferViewTest, SliceAcrossSegments) {
+  BufferView view;
+  view.Append(AsBytes("alpha"));
+  view.Append(AsBytes("beta"));
+  view.Append(AsBytes("gamma"));
+  EXPECT_EQ(view.Slice(3, 8).ToString(), "habetaga");
+  EXPECT_EQ(view.Slice(0, view.size()).ToString(), "alphabetagamma");
+  EXPECT_TRUE(view.Slice(50, 3).empty());
+}
+
+TEST(BufferViewTest, EmptySegmentsAreDropped) {
+  BufferView view;
+  view.Append(ByteSpan{});
+  view.Append(AsBytes("x"));
+  view.Append(ByteSpan{});
+  EXPECT_EQ(view.segment_count(), 1u);
+  EXPECT_EQ(view.size(), 1u);
+}
+
+TEST(BufferViewTest, FlatViews) {
+  BufferView empty;
+  EXPECT_TRUE(empty.IsFlat());
+  EXPECT_TRUE(empty.Flat().empty());
+  BufferView one(AsBytes("solo"));
+  EXPECT_TRUE(one.IsFlat());
+  EXPECT_EQ(AsStringView(one.Flat()), "solo");
+}
+
+TEST(BufferStatsTest, ExternalCopiesAreCounted) {
+  const uint64_t before = Buffer::TotalBytesCopied();
+  Buffer::CountExternalCopy(123);
+  EXPECT_EQ(Buffer::TotalBytesCopied() - before, 123u);
+}
+
+}  // namespace
+}  // namespace rr

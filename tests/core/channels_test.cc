@@ -340,5 +340,94 @@ TEST(NetworkChannelTest, VirtualDataHoseReportsSpliceUse) {
   EXPECT_TRUE(hose->using_splice());  // this kernel supports it (probed)
 }
 
+TEST(NetworkChannelTest, SegmentedBufferLargerThanPipeTravelsAsOneFrame) {
+  // A fan-in payload on the zero-copy plane is a multi-chunk buffer; the
+  // sender must hose every chunk of the frame in order, including chunks
+  // bigger than the pipe's 1 MiB capacity, and the receiver must see one
+  // contiguous delivery.
+  auto listener = NetworkChannelListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  auto sender = NetworkChannelSender::Connect("127.0.0.1", listener->port());
+  ASSERT_TRUE(sender.ok());
+  auto receiver = listener->Accept();
+  ASSERT_TRUE(receiver.ok());
+
+  Bytes big(3 * 1024 * 1024);
+  Rng rng(42);
+  rng.Fill(big);
+  rr::Buffer payload = rr::Buffer::FromString("head|");
+  payload.AppendCopy(big);
+  payload.AppendCopy(AsBytes("|tail"));
+  ASSERT_EQ(payload.chunk_count(), 3u);
+  const uint64_t expected_checksum = Fnv1a(payload.ToBytes());
+
+  auto target = MakeShim("sink");
+  Status send_status;
+  const rr::BufferView view(payload);
+  std::thread send_thread(
+      [&] { send_status = sender->SendBuffer(view, /*token=*/7); });
+  uint64_t token = 0;
+  auto delivered = receiver->ReceiveInto(*target, CopyMode::kShimStaging, &token);
+  send_thread.join();
+  ASSERT_TRUE(send_status.ok()) << send_status;
+  ASSERT_TRUE(delivered.ok()) << delivered.status();
+  EXPECT_EQ(token, 7u);
+  EXPECT_EQ(delivered->length, payload.size());
+  auto received = target->OutputView(*delivered);
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(Fnv1a(*received), expected_checksum);
+}
+
+TEST(KernelChannelTest, SegmentedBufferVectoredOverUnixSocket) {
+  auto pair = MakeKernelChannelPair();
+  ASSERT_TRUE(pair.ok());
+  auto target = MakeShim("sink");
+
+  rr::Buffer payload = rr::Buffer::FromString("alpha|");
+  payload.AppendCopy(AsBytes("beta|"));
+  payload.AppendCopy(AsBytes("gamma"));
+
+  Status send_status;
+  const rr::BufferView view(payload);
+  std::thread send_thread([&] { send_status = pair->first.SendBytes(view); });
+  auto delivered = pair->second.ReceiveInto(*target);
+  send_thread.join();
+  ASSERT_TRUE(send_status.ok()) << send_status;
+  ASSERT_TRUE(delivered.ok()) << delivered.status();
+  auto received = target->OutputView(*delivered);
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(AsStringView(*received), "alpha|beta|gamma");
+}
+
+TEST(KernelChannelTest, PlacerDeliversIntoProvidedSlice) {
+  // The fan-in gather path: the receiver lands the frame in a caller-chosen
+  // slice of a larger pre-registered region instead of a fresh allocation.
+  auto pair = MakeKernelChannelPair();
+  ASSERT_TRUE(pair.ok());
+  auto target = MakeShim("join");
+
+  RegionPlacer slice_placer;
+  MemoryRegion gather = Stage(*target, AsBytes("0123456789"));
+  const MemoryRegion slice{gather.address + 2, 5};
+  slice_placer = [&slice](uint32_t length) -> Result<MemoryRegion> {
+    if (length != slice.length) return InternalError("length mismatch");
+    return slice;
+  };
+
+  Status send_status;
+  std::thread send_thread(
+      [&] { send_status = pair->first.SendBytes(AsBytes("SLICE")); });
+  auto delivered =
+      pair->second.ReceiveInto(*target, CopyMode::kShimStaging, &slice_placer);
+  send_thread.join();
+  ASSERT_TRUE(send_status.ok()) << send_status;
+  ASSERT_TRUE(delivered.ok()) << delivered.status();
+  EXPECT_EQ(delivered->address, slice.address);
+
+  auto whole = target->data().read_memory_host(gather.address, gather.length);
+  ASSERT_TRUE(whole.ok());
+  EXPECT_EQ(AsStringView(*whole), "01SLICE789");
+}
+
 }  // namespace
 }  // namespace rr::core

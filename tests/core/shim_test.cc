@@ -102,7 +102,7 @@ TEST(ShimTest, EmptyInputSupported) {
                     return ToBytes(std::to_string(input.size()));
                   })
                   .ok());
-  auto outcome = shim->DeliverAndInvoke({});
+  auto outcome = shim->DeliverAndInvoke(ByteSpan{});
   ASSERT_TRUE(outcome.ok()) << outcome.status();
   auto view = shim->OutputView(outcome->output);
   EXPECT_EQ(AsStringView(*view), "0");

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "api/runtime.h"
 #include "runtime/function.h"
 
 namespace rr::core {
@@ -47,6 +48,9 @@ TEST(ModeSelectionTest, Names) {
   EXPECT_EQ(TransferModeName(TransferMode::kNetwork), "network");
 }
 
+// Chains run through api::Runtime::Submit — the former synchronous
+// WorkflowManager::RunChain entry is gone — over a WorkflowManager registry
+// the runtime owns (rt.manager() exposes it for hop-cache assertions).
 class WorkflowManagerTest : public ::testing::Test {
  protected:
   // Uppercase / suffix handlers to make hop order observable.
@@ -58,8 +62,8 @@ class WorkflowManagerTest : public ::testing::Test {
     };
   }
 
-  std::unique_ptr<Shim> AddFunction(WorkflowManager& manager,
-                                    const std::string& name, Location location,
+  std::unique_ptr<Shim> AddFunction(api::Runtime& rt, const std::string& name,
+                                    Location location,
                                     runtime::WasmVm* vm = nullptr) {
     auto shim = vm ? Shim::CreateInVm(*vm, Spec(name), Binary())
                    : Shim::Create(Spec(name), Binary());
@@ -68,86 +72,95 @@ class WorkflowManagerTest : public ::testing::Test {
     Endpoint endpoint;
     endpoint.shim = shim->get();
     endpoint.location = std::move(location);
-    EXPECT_TRUE(manager.Register(endpoint).ok());
+    EXPECT_TRUE(rt.Register(endpoint).ok());
     return std::move(*shim);
+  }
+
+  static Result<rr::Buffer> RunChain(api::Runtime& rt,
+                                     const std::vector<std::string>& names,
+                                     ByteSpan input) {
+    RR_ASSIGN_OR_RETURN(const std::shared_ptr<api::Invocation> invocation,
+                        rt.Submit(api::ChainSpec{names}, input));
+    return invocation->Wait();
   }
 };
 
 TEST_F(WorkflowManagerTest, UserSpaceChain) {
-  WorkflowManager manager("wf");
+  api::Runtime rt("wf");
   runtime::WasmVm vm("wf");
-  auto a = AddFunction(manager, "a", {"n1", "vm1"}, &vm);
-  auto b = AddFunction(manager, "b", {"n1", "vm1"}, &vm);
-  auto c = AddFunction(manager, "c", {"n1", "vm1"}, &vm);
+  auto a = AddFunction(rt, "a", {"n1", "vm1"}, &vm);
+  auto b = AddFunction(rt, "b", {"n1", "vm1"}, &vm);
+  auto c = AddFunction(rt, "c", {"n1", "vm1"}, &vm);
 
-  auto result = manager.RunChain({"a", "b", "c"}, AsBytes("in"));
+  auto result = RunChain(rt, {"a", "b", "c"}, AsBytes("in"));
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(ToString(*result), "in|a|b|c");
 }
 
 TEST_F(WorkflowManagerTest, KernelSpaceChain) {
-  WorkflowManager manager("wf");
-  auto a = AddFunction(manager, "a", {"n1", ""});
-  auto b = AddFunction(manager, "b", {"n1", ""});
-  ASSERT_TRUE(*manager.ModeBetween("a", "b") == TransferMode::kKernelSpace);
+  api::Runtime rt("wf");
+  auto a = AddFunction(rt, "a", {"n1", ""});
+  auto b = AddFunction(rt, "b", {"n1", ""});
+  ASSERT_TRUE(*rt.manager().ModeBetween("a", "b") == TransferMode::kKernelSpace);
 
-  auto result = manager.RunChain({"a", "b"}, AsBytes("x"));
+  auto result = RunChain(rt, {"a", "b"}, AsBytes("x"));
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(ToString(*result), "x|a|b");
 }
 
 TEST_F(WorkflowManagerTest, NetworkChain) {
-  WorkflowManager manager("wf");
-  auto a = AddFunction(manager, "a", {"n1", ""});
-  auto b = AddFunction(manager, "b", {"n2", ""});
-  ASSERT_TRUE(*manager.ModeBetween("a", "b") == TransferMode::kNetwork);
+  api::Runtime rt("wf");
+  auto a = AddFunction(rt, "a", {"n1", ""});
+  auto b = AddFunction(rt, "b", {"n2", ""});
+  ASSERT_TRUE(*rt.manager().ModeBetween("a", "b") == TransferMode::kNetwork);
 
-  auto result = manager.RunChain({"a", "b"}, AsBytes("remote"));
+  auto result = RunChain(rt, {"a", "b"}, AsBytes("remote"));
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(ToString(*result), "remote|a|b");
 }
 
 TEST_F(WorkflowManagerTest, MixedPlacementChain) {
-  WorkflowManager manager("wf");
+  api::Runtime rt("wf");
   runtime::WasmVm vm("wf");
-  auto a = AddFunction(manager, "a", {"n1", "vm1"}, &vm);
-  auto b = AddFunction(manager, "b", {"n1", "vm1"}, &vm);
-  auto c = AddFunction(manager, "c", {"n1", ""});
-  auto d = AddFunction(manager, "d", {"n2", ""});
+  auto a = AddFunction(rt, "a", {"n1", "vm1"}, &vm);
+  auto b = AddFunction(rt, "b", {"n1", "vm1"}, &vm);
+  auto c = AddFunction(rt, "c", {"n1", ""});
+  auto d = AddFunction(rt, "d", {"n2", ""});
 
-  EXPECT_EQ(*manager.ModeBetween("a", "b"), TransferMode::kUserSpace);
-  EXPECT_EQ(*manager.ModeBetween("b", "c"), TransferMode::kKernelSpace);
-  EXPECT_EQ(*manager.ModeBetween("c", "d"), TransferMode::kNetwork);
+  EXPECT_EQ(*rt.manager().ModeBetween("a", "b"), TransferMode::kUserSpace);
+  EXPECT_EQ(*rt.manager().ModeBetween("b", "c"), TransferMode::kKernelSpace);
+  EXPECT_EQ(*rt.manager().ModeBetween("c", "d"), TransferMode::kNetwork);
 
-  auto result = manager.RunChain({"a", "b", "c", "d"}, AsBytes("0"));
+  auto result = RunChain(rt, {"a", "b", "c", "d"}, AsBytes("0"));
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(ToString(*result), "0|a|b|c|d");
 }
 
 TEST_F(WorkflowManagerTest, RepeatedChainsReuseHops) {
-  WorkflowManager manager("wf");
-  auto a = AddFunction(manager, "a", {"n1", ""});
-  auto b = AddFunction(manager, "b", {"n1", ""});
+  api::Runtime rt("wf");
+  auto a = AddFunction(rt, "a", {"n1", ""});
+  auto b = AddFunction(rt, "b", {"n1", ""});
   for (int i = 0; i < 5; ++i) {
-    auto result = manager.RunChain({"a", "b"}, AsBytes("r" + std::to_string(i)));
+    auto result = RunChain(rt, {"a", "b"}, AsBytes("r" + std::to_string(i)));
     ASSERT_TRUE(result.ok()) << result.status();
     EXPECT_EQ(ToString(*result), "r" + std::to_string(i) + "|a|b");
   }
   EXPECT_EQ(a->invocations(), 5u);
   EXPECT_EQ(b->invocations(), 5u);
+  EXPECT_EQ(rt.manager().hops().size(), 1u);
 }
 
 TEST_F(WorkflowManagerTest, UnknownFunctionRejected) {
-  WorkflowManager manager("wf");
-  auto a = AddFunction(manager, "a", {"n1", ""});
-  auto result = manager.RunChain({"a", "ghost"}, AsBytes("x"));
+  api::Runtime rt("wf");
+  auto a = AddFunction(rt, "a", {"n1", ""});
+  auto result = RunChain(rt, {"a", "ghost"}, AsBytes("x"));
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
 }
 
 TEST_F(WorkflowManagerTest, EmptyChainRejected) {
-  WorkflowManager manager("wf");
-  EXPECT_FALSE(manager.RunChain({}, AsBytes("x")).ok());
+  api::Runtime rt("wf");
+  EXPECT_FALSE(RunChain(rt, {}, AsBytes("x")).ok());
 }
 
 TEST_F(WorkflowManagerTest, ForeignWorkflowRegistrationDenied) {
@@ -162,26 +175,26 @@ TEST_F(WorkflowManagerTest, ForeignWorkflowRegistrationDenied) {
 }
 
 TEST_F(WorkflowManagerTest, DuplicateRegistrationDenied) {
-  WorkflowManager manager("wf");
-  auto a = AddFunction(manager, "a", {"n1", ""});
+  api::Runtime rt("wf");
+  auto a = AddFunction(rt, "a", {"n1", ""});
   Endpoint endpoint;
   endpoint.shim = a.get();
   endpoint.location = {"n1", ""};
-  EXPECT_EQ(manager.Register(endpoint).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(rt.Register(endpoint).code(), StatusCode::kAlreadyExists);
 }
 
 TEST_F(WorkflowManagerTest, UnregisterEvictsCachedHops) {
-  WorkflowManager manager("wf");
-  auto a = AddFunction(manager, "a", {"n1", ""});
-  auto b = AddFunction(manager, "b", {"n1", ""});
+  api::Runtime rt("wf");
+  auto a = AddFunction(rt, "a", {"n1", ""});
+  auto b = AddFunction(rt, "b", {"n1", ""});
 
-  auto result = manager.RunChain({"a", "b"}, AsBytes("x"));
+  auto result = RunChain(rt, {"a", "b"}, AsBytes("x"));
   ASSERT_TRUE(result.ok()) << result.status();
-  EXPECT_EQ(manager.hops().size(), 1u);  // the a->b kernel hop is cached
+  EXPECT_EQ(rt.manager().hops().size(), 1u);  // the a->b kernel hop is cached
 
-  ASSERT_TRUE(manager.Unregister("b").ok());
-  EXPECT_EQ(manager.hops().size(), 0u);
-  EXPECT_FALSE(manager.RunChain({"a", "b"}, AsBytes("x")).ok());
+  ASSERT_TRUE(rt.Unregister("b").ok());
+  EXPECT_EQ(rt.manager().hops().size(), 0u);
+  EXPECT_FALSE(RunChain(rt, {"a", "b"}, AsBytes("x")).ok());
 
   // A replacement shim under the same name starts from fresh channels.
   auto replacement = Shim::Create(Spec("b"), Binary());
@@ -190,26 +203,26 @@ TEST_F(WorkflowManagerTest, UnregisterEvictsCachedHops) {
   Endpoint endpoint;
   endpoint.shim = replacement->get();
   endpoint.location = {"n1", ""};
-  ASSERT_TRUE(manager.Register(endpoint).ok());
+  ASSERT_TRUE(rt.Register(endpoint).ok());
 
-  result = manager.RunChain({"a", "b"}, AsBytes("y"));
+  result = RunChain(rt, {"a", "b"}, AsBytes("y"));
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(ToString(*result), "y|a|B-v2");
-  EXPECT_EQ(manager.hops().size(), 1u);
+  EXPECT_EQ(rt.manager().hops().size(), 1u);
 }
 
 TEST_F(WorkflowManagerTest, UnregisterEvictsHopsInBothDirections) {
-  WorkflowManager manager("wf");
-  auto a = AddFunction(manager, "a", {"n1", ""});
-  auto b = AddFunction(manager, "b", {"n1", ""});
-  auto c = AddFunction(manager, "c", {"n2", ""});
+  api::Runtime rt("wf");
+  auto a = AddFunction(rt, "a", {"n1", ""});
+  auto b = AddFunction(rt, "b", {"n1", ""});
+  auto c = AddFunction(rt, "c", {"n2", ""});
 
   // Establish b as both a target (a->b) and a source (b->c).
-  ASSERT_TRUE(manager.RunChain({"a", "b", "c"}, AsBytes("x")).ok());
-  EXPECT_EQ(manager.hops().size(), 2u);
+  ASSERT_TRUE(RunChain(rt, {"a", "b", "c"}, AsBytes("x")).ok());
+  EXPECT_EQ(rt.manager().hops().size(), 2u);
 
-  ASSERT_TRUE(manager.Unregister("b").ok());
-  EXPECT_EQ(manager.hops().size(), 0u);
+  ASSERT_TRUE(rt.Unregister("b").ok());
+  EXPECT_EQ(rt.manager().hops().size(), 0u);
 }
 
 TEST_F(WorkflowManagerTest, UnregisterUnknownFunctionFails) {
@@ -218,8 +231,8 @@ TEST_F(WorkflowManagerTest, UnregisterUnknownFunctionFails) {
 }
 
 TEST_F(WorkflowManagerTest, HandlerFailureMidChainPropagates) {
-  WorkflowManager manager("wf");
-  auto a = AddFunction(manager, "a", {"n1", ""});
+  api::Runtime rt("wf");
+  auto a = AddFunction(rt, "a", {"n1", ""});
   auto bad = Shim::Create(Spec("bad"), Binary());
   ASSERT_TRUE(bad.ok());
   ASSERT_TRUE((*bad)
@@ -230,9 +243,9 @@ TEST_F(WorkflowManagerTest, HandlerFailureMidChainPropagates) {
   Endpoint endpoint;
   endpoint.shim = bad->get();
   endpoint.location = {"n1", ""};
-  ASSERT_TRUE(manager.Register(endpoint).ok());
+  ASSERT_TRUE(rt.Register(endpoint).ok());
 
-  auto result = manager.RunChain({"a", "bad"}, AsBytes("x"));
+  auto result = RunChain(rt, {"a", "bad"}, AsBytes("x"));
   ASSERT_FALSE(result.ok());
   EXPECT_NE(result.status().message().find("function crashed"), std::string::npos);
 }

@@ -1,9 +1,13 @@
+// DAG engine behavior, driven through api::Runtime::Submit — the only
+// execution entry since the direct synchronous DagExecutor::Execute was
+// removed with WorkflowManager::RunChain.
 #include "dag/executor.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 
+#include "api/runtime.h"
 #include "core/node_agent.h"
 #include "dag/dag.h"
 #include "runtime/function.h"
@@ -39,8 +43,14 @@ class DagExecutorTest : public ::testing::Test {
     };
   }
 
-  std::unique_ptr<Shim> AddFunction(WorkflowManager& manager,
-                                    const std::string& name, Location location,
+  static api::Runtime::Options Options(size_t dag_workers = 0) {
+    api::Runtime::Options options;
+    options.dag_workers = dag_workers;
+    return options;
+  }
+
+  std::unique_ptr<Shim> AddFunction(api::Runtime& rt, const std::string& name,
+                                    Location location,
                                     runtime::WasmVm* vm = nullptr,
                                     uint16_t port = 0,
                                     runtime::NativeHandler handler = nullptr) {
@@ -53,18 +63,29 @@ class DagExecutorTest : public ::testing::Test {
     endpoint.shim = shim->get();
     endpoint.location = std::move(location);
     endpoint.port = port;
-    EXPECT_TRUE(manager.Register(endpoint).ok());
+    EXPECT_TRUE(rt.Register(endpoint).ok());
     return std::move(*shim);
+  }
+
+  // Submits the DAG and waits; per-edge stats land in the invocation.
+  static Result<rr::Buffer> Execute(
+      api::Runtime& rt, const Dag& dag, ByteSpan input,
+      telemetry::DagRunStats* stats = nullptr) {
+    RR_ASSIGN_OR_RETURN(const std::shared_ptr<api::Invocation> invocation,
+                        rt.Submit(api::DagSpec{dag}, input));
+    Result<rr::Buffer> result = invocation->Wait();
+    if (stats != nullptr) *stats = invocation->stats().dag;
+    return result;
   }
 };
 
 TEST_F(DagExecutorTest, DiamondUserSpace) {
-  WorkflowManager manager("wf");
+  api::Runtime rt("wf");
   runtime::WasmVm vm("wf");
-  auto a = AddFunction(manager, "a", {"n1", "vm1"}, &vm);
-  auto b = AddFunction(manager, "b", {"n1", "vm1"}, &vm);
-  auto c = AddFunction(manager, "c", {"n1", "vm1"}, &vm);
-  auto d = AddFunction(manager, "d", {"n1", "vm1"}, &vm);
+  auto a = AddFunction(rt, "a", {"n1", "vm1"}, &vm);
+  auto b = AddFunction(rt, "b", {"n1", "vm1"}, &vm);
+  auto c = AddFunction(rt, "c", {"n1", "vm1"}, &vm);
+  auto d = AddFunction(rt, "d", {"n1", "vm1"}, &vm);
 
   auto dag = DagBuilder("diamond")
                  .AddNode("a")
@@ -73,8 +94,7 @@ TEST_F(DagExecutorTest, DiamondUserSpace) {
                  .Build();
   ASSERT_TRUE(dag.ok()) << dag.status();
 
-  DagExecutor executor(&manager);
-  auto result = executor.Execute(*dag, AsBytes("in"));
+  auto result = Execute(rt, *dag, AsBytes("in"));
   ASSERT_TRUE(result.ok()) << result.status();
   // Fan-in concatenates predecessor payloads in edge-declaration order.
   EXPECT_EQ(ToString(*result), "in|a|bin|a|c|d");
@@ -85,12 +105,12 @@ TEST_F(DagExecutorTest, DiamondUserSpace) {
 }
 
 TEST_F(DagExecutorTest, DiamondMixedModesRecordsPerEdgeStats) {
-  WorkflowManager manager("wf");
+  api::Runtime rt("wf");
   runtime::WasmVm vm("wf");
-  auto a = AddFunction(manager, "a", {"n1", "vm1"}, &vm);
-  auto b = AddFunction(manager, "b", {"n1", "vm1"}, &vm);  // user-space from a
-  auto c = AddFunction(manager, "c", {"n1", ""});          // kernel-space from a
-  auto d = AddFunction(manager, "d", {"n2", ""});          // network from b and c
+  auto a = AddFunction(rt, "a", {"n1", "vm1"}, &vm);
+  auto b = AddFunction(rt, "b", {"n1", "vm1"}, &vm);  // user-space from a
+  auto c = AddFunction(rt, "c", {"n1", ""});          // kernel-space from a
+  auto d = AddFunction(rt, "d", {"n2", ""});          // network from b and c
 
   auto dag = DagBuilder("mixed")
                  .AddNode("a")
@@ -99,9 +119,8 @@ TEST_F(DagExecutorTest, DiamondMixedModesRecordsPerEdgeStats) {
                  .Build();
   ASSERT_TRUE(dag.ok()) << dag.status();
 
-  DagExecutor executor(&manager);
   telemetry::DagRunStats stats;
-  auto result = executor.Execute(*dag, AsBytes("x"), &stats);
+  auto result = Execute(rt, *dag, AsBytes("x"), &stats);
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(ToString(*result), "x|a|bx|a|c|d");
 
@@ -130,8 +149,8 @@ TEST_F(DagExecutorTest, DiamondMixedModesRecordsPerEdgeStats) {
 
 TEST_F(DagExecutorTest, WideFanOutIntranode) {
   constexpr size_t kFanout = 8;
-  WorkflowManager manager("wf");
-  auto source = AddFunction(manager, "src", {"n1", ""});
+  api::Runtime rt("wf", Options(/*dag_workers=*/4));
+  auto source = AddFunction(rt, "src", {"n1", ""});
 
   std::vector<std::unique_ptr<Shim>> targets;
   DagBuilder builder("fanout");
@@ -139,15 +158,14 @@ TEST_F(DagExecutorTest, WideFanOutIntranode) {
   std::vector<std::string> names;
   for (size_t i = 0; i < kFanout; ++i) {
     names.push_back("b" + std::to_string(i));
-    targets.push_back(AddFunction(manager, names.back(), {"n1", ""}));
+    targets.push_back(AddFunction(rt, names.back(), {"n1", ""}));
   }
   builder.FanOut("src", names);
   auto dag = builder.Build();
   ASSERT_TRUE(dag.ok()) << dag.status();
 
-  DagExecutor executor(&manager, /*workers=*/4);
   telemetry::DagRunStats stats;
-  auto result = executor.Execute(*dag, AsBytes("p"), &stats);
+  auto result = Execute(rt, *dag, AsBytes("p"), &stats);
   ASSERT_TRUE(result.ok()) << result.status();
 
   // All eight sinks' outputs, concatenated in declaration order.
@@ -164,15 +182,13 @@ TEST_F(DagExecutorTest, WideFanOutIntranode) {
 
 TEST_F(DagExecutorTest, InternodeFanOutViaNodeAgent) {
   constexpr size_t kFanout = 4;
-  WorkflowManager manager("wf");
-  auto source = AddFunction(manager, "src", {"n1", ""});
+  api::Runtime rt("wf", Options(/*dag_workers=*/4));
+  auto source = AddFunction(rt, "src", {"n1", ""});
 
   // The "remote" node: an in-process NodeAgent owning the target functions'
   // ingress. Deliveries route back into the executor through its sink.
   auto agent = core::NodeAgent::Start(0);
   ASSERT_TRUE(agent.ok()) << agent.status();
-
-  DagExecutor executor(&manager, /*workers=*/4);
 
   std::vector<std::unique_ptr<Shim>> targets;
   DagBuilder builder("internode");
@@ -180,10 +196,10 @@ TEST_F(DagExecutorTest, InternodeFanOutViaNodeAgent) {
   std::vector<std::string> names;
   for (size_t i = 0; i < kFanout; ++i) {
     names.push_back("r" + std::to_string(i));
-    targets.push_back(AddFunction(manager, names.back(), {"n2", ""},
+    targets.push_back(AddFunction(rt, names.back(), {"n2", ""},
                                   /*vm=*/nullptr, (*agent)->port()));
     ASSERT_TRUE(
-        (*agent)->RegisterFunction(targets.back().get(), executor.DeliverySink())
+        (*agent)->RegisterFunction(targets.back().get(), rt.DeliverySink())
             .ok());
   }
   builder.FanOut("src", names);
@@ -191,7 +207,7 @@ TEST_F(DagExecutorTest, InternodeFanOutViaNodeAgent) {
   ASSERT_TRUE(dag.ok()) << dag.status();
 
   telemetry::DagRunStats stats;
-  auto result = executor.Execute(*dag, AsBytes("w"), &stats);
+  auto result = Execute(rt, *dag, AsBytes("w"), &stats);
   ASSERT_TRUE(result.ok()) << result.status();
 
   std::string expected;
@@ -203,19 +219,18 @@ TEST_F(DagExecutorTest, InternodeFanOutViaNodeAgent) {
 }
 
 TEST_F(DagExecutorTest, InternodeDiamondJoinBehindNodeAgent) {
-  WorkflowManager manager("wf");
+  api::Runtime rt("wf");
   runtime::WasmVm vm("wf");
-  auto a = AddFunction(manager, "a", {"n1", "vm1"}, &vm);
-  auto b = AddFunction(manager, "b", {"n1", "vm1"}, &vm);
-  auto c = AddFunction(manager, "c", {"n1", "vm1"}, &vm);
+  auto a = AddFunction(rt, "a", {"n1", "vm1"}, &vm);
+  auto b = AddFunction(rt, "b", {"n1", "vm1"}, &vm);
+  auto c = AddFunction(rt, "c", {"n1", "vm1"}, &vm);
 
   auto agent = core::NodeAgent::Start(0);
   ASSERT_TRUE(agent.ok()) << agent.status();
-  DagExecutor executor(&manager);
   // The join function lives on the remote node: its input is the merged
   // fan-in payload, delivered as one frame through the agent.
-  auto d = AddFunction(manager, "d", {"n2", ""}, nullptr, (*agent)->port());
-  ASSERT_TRUE((*agent)->RegisterFunction(d.get(), executor.DeliverySink()).ok());
+  auto d = AddFunction(rt, "d", {"n2", ""}, nullptr, (*agent)->port());
+  ASSERT_TRUE((*agent)->RegisterFunction(d.get(), rt.DeliverySink()).ok());
 
   auto dag = DagBuilder("remote-join")
                  .AddNode("a")
@@ -224,7 +239,7 @@ TEST_F(DagExecutorTest, InternodeDiamondJoinBehindNodeAgent) {
                  .Build();
   ASSERT_TRUE(dag.ok()) << dag.status();
 
-  auto result = executor.Execute(*dag, AsBytes("q"));
+  auto result = Execute(rt, *dag, AsBytes("q"));
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(ToString(*result), "q|a|bq|a|c|d");
   EXPECT_EQ(d->invocations(), 1u);
@@ -234,15 +249,14 @@ TEST_F(DagExecutorTest, CoLocatedEndpointsKeepFastPathDespiteIngressPort) {
   // Real deployments register every function with its node's ingress port;
   // placement still decides the mode, so a co-located edge must stay on the
   // kernel fast path instead of looping through the agent.
-  WorkflowManager manager("wf");
-  auto a = AddFunction(manager, "a", {"n1", ""});
-  auto b = AddFunction(manager, "b", {"n1", ""}, nullptr, /*port=*/1);
+  api::Runtime rt("wf");
+  auto a = AddFunction(rt, "a", {"n1", ""});
+  auto b = AddFunction(rt, "b", {"n1", ""}, nullptr, /*port=*/1);
 
   auto dag = DagBuilder().Chain({"a", "b"}).Build();
   ASSERT_TRUE(dag.ok()) << dag.status();
-  DagExecutor executor(&manager);
   telemetry::DagRunStats stats;
-  auto result = executor.Execute(*dag, AsBytes("x"), &stats);
+  auto result = Execute(rt, *dag, AsBytes("x"), &stats);
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(ToString(*result), "x|a|b");
   ASSERT_EQ(stats.edges.size(), 1u);
@@ -250,11 +264,11 @@ TEST_F(DagExecutorTest, CoLocatedEndpointsKeepFastPathDespiteIngressPort) {
 }
 
 TEST_F(DagExecutorTest, FanInConcatenatesInEdgeDeclarationOrder) {
-  WorkflowManager manager("wf");
-  auto s1 = AddFunction(manager, "s1", {"n1", ""});
-  auto s2 = AddFunction(manager, "s2", {"n1", ""});
-  auto s3 = AddFunction(manager, "s3", {"n1", ""});
-  auto join = AddFunction(manager, "join", {"n1", ""});
+  api::Runtime rt("wf");
+  auto s1 = AddFunction(rt, "s1", {"n1", ""});
+  auto s2 = AddFunction(rt, "s2", {"n1", ""});
+  auto s3 = AddFunction(rt, "s3", {"n1", ""});
+  auto join = AddFunction(rt, "join", {"n1", ""});
 
   auto dag = DagBuilder("join3")
                  .AddNode("s1")
@@ -264,39 +278,39 @@ TEST_F(DagExecutorTest, FanInConcatenatesInEdgeDeclarationOrder) {
                  .Build();
   ASSERT_TRUE(dag.ok()) << dag.status();
 
-  DagExecutor executor(&manager);
-  auto result = executor.Execute(*dag, AsBytes("x"));
+  auto result = Execute(rt, *dag, AsBytes("x"));
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(ToString(*result), "x|s1x|s2x|s3|join");
   EXPECT_EQ(join->invocations(), 1u);
 }
 
-TEST_F(DagExecutorTest, LinearChainMatchesRunChain) {
-  WorkflowManager manager("wf");
-  auto a = AddFunction(manager, "a", {"n1", ""});
-  auto b = AddFunction(manager, "b", {"n1", ""});
-  auto c = AddFunction(manager, "c", {"n2", ""});
+TEST_F(DagExecutorTest, LinearChainMatchesChainSpec) {
+  api::Runtime rt("wf");
+  auto a = AddFunction(rt, "a", {"n1", ""});
+  auto b = AddFunction(rt, "b", {"n1", ""});
+  auto c = AddFunction(rt, "c", {"n2", ""});
 
-  auto chain_result = manager.RunChain({"a", "b", "c"}, AsBytes("z"));
+  auto chain_invocation = rt.Submit(api::ChainSpec{{"a", "b", "c"}}, AsBytes("z"));
+  ASSERT_TRUE(chain_invocation.ok()) << chain_invocation.status();
+  const Result<rr::Buffer>& chain_result = (*chain_invocation)->Wait();
   ASSERT_TRUE(chain_result.ok()) << chain_result.status();
 
   auto dag = DagBuilder().Chain({"a", "b", "c"}).Build();
   ASSERT_TRUE(dag.ok()) << dag.status();
-  DagExecutor executor(&manager);
-  auto dag_result = executor.Execute(*dag, AsBytes("z"));
+  auto dag_result = Execute(rt, *dag, AsBytes("z"));
   ASSERT_TRUE(dag_result.ok()) << dag_result.status();
   EXPECT_EQ(ToString(*dag_result), ToString(*chain_result));
 }
 
 TEST_F(DagExecutorTest, BranchFailureCancelsDownstream) {
-  WorkflowManager manager("wf");
-  auto a = AddFunction(manager, "a", {"n1", ""});
-  auto b = AddFunction(manager, "b", {"n1", ""});
-  auto c = AddFunction(manager, "c", {"n1", ""}, nullptr, 0,
+  api::Runtime rt("wf");
+  auto a = AddFunction(rt, "a", {"n1", ""});
+  auto b = AddFunction(rt, "b", {"n1", ""});
+  auto c = AddFunction(rt, "c", {"n1", ""}, nullptr, 0,
                        [](ByteSpan) -> Result<Bytes> {
                          return InternalError("branch exploded");
                        });
-  auto d = AddFunction(manager, "d", {"n1", ""});
+  auto d = AddFunction(rt, "d", {"n1", ""});
 
   auto dag = DagBuilder("failing")
                  .AddNode("a")
@@ -305,8 +319,7 @@ TEST_F(DagExecutorTest, BranchFailureCancelsDownstream) {
                  .Build();
   ASSERT_TRUE(dag.ok()) << dag.status();
 
-  DagExecutor executor(&manager);
-  auto result = executor.Execute(*dag, AsBytes("x"));
+  auto result = Execute(rt, *dag, AsBytes("x"));
   ASSERT_FALSE(result.ok());
   EXPECT_NE(result.status().message().find("node c"), std::string::npos);
   EXPECT_NE(result.status().message().find("branch exploded"), std::string::npos);
@@ -315,32 +328,31 @@ TEST_F(DagExecutorTest, BranchFailureCancelsDownstream) {
 }
 
 TEST_F(DagExecutorTest, UnregisteredNodeFailsFast) {
-  WorkflowManager manager("wf");
-  auto a = AddFunction(manager, "a", {"n1", ""});
+  api::Runtime rt("wf");
+  auto a = AddFunction(rt, "a", {"n1", ""});
   auto dag = DagBuilder().Chain({"a", "ghost"}).Build();
   ASSERT_TRUE(dag.ok()) << dag.status();
-  DagExecutor executor(&manager);
-  auto result = executor.Execute(*dag, AsBytes("x"));
+  auto result = Execute(rt, *dag, AsBytes("x"));
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
   EXPECT_EQ(a->invocations(), 0u);  // validation precedes any dispatch
 }
 
 TEST_F(DagExecutorTest, RemoteDeliveryTimesOutWhenAgentDropsFunction) {
-  WorkflowManager manager("wf");
-  auto a = AddFunction(manager, "a", {"n1", ""});
+  api::Runtime::Options options;
+  options.remote_deadline = std::chrono::milliseconds(200);
+  api::Runtime rt("wf", options);
+  auto a = AddFunction(rt, "a", {"n1", ""});
 
   auto agent = core::NodeAgent::Start(0);
   ASSERT_TRUE(agent.ok()) << agent.status();
   // "b" is addressed through the agent but never registered there: the agent
   // drops the connection, no delivery callback ever fires.
-  auto b = AddFunction(manager, "b", {"n2", ""}, nullptr, (*agent)->port());
+  auto b = AddFunction(rt, "b", {"n2", ""}, nullptr, (*agent)->port());
 
   auto dag = DagBuilder().Chain({"a", "b"}).Build();
   ASSERT_TRUE(dag.ok()) << dag.status();
-  DagExecutor executor(&manager);
-  executor.set_remote_deadline(std::chrono::milliseconds(200));
-  auto result = executor.Execute(*dag, AsBytes("x"));
+  auto result = Execute(rt, *dag, AsBytes("x"));
   ASSERT_FALSE(result.ok());
 }
 
@@ -348,36 +360,42 @@ TEST_F(DagExecutorTest, DeliveryWithUnknownTokenRejectedAndReleased) {
   // A completion whose correlation token matches no pending transfer — a
   // late delivery from a timed-out or cancelled run — must be rejected with
   // the distinct kTokenMismatch code and its output region released, never
-  // claimed by a later run.
+  // claimed by a later run. Exercised on a bare executor: DeliverOutcome is
+  // the protocol surface NodeAgent sinks feed.
   WorkflowManager manager("wf");
-  auto b = AddFunction(manager, "b", {"n1", ""});
+  auto b = Shim::Create(Spec("b"), Binary());
+  ASSERT_TRUE(b.ok()) << b.status();
+  ASSERT_TRUE((*b)->Deploy(Tagger("b")).ok());
+  Endpoint endpoint;
+  endpoint.shim = b->get();
+  endpoint.location = {"n1", ""};
+  ASSERT_TRUE(manager.Register(endpoint).ok());
   DagExecutor executor(&manager);
 
-  auto outcome = b->DeliverAndInvoke(AsBytes("stale"));
+  auto outcome = (*b)->DeliverAndInvoke(AsBytes("stale"));
   ASSERT_TRUE(outcome.ok()) << outcome.status();
   const Status status = executor.DeliverOutcome("b", *outcome, /*token=*/777);
   EXPECT_EQ(status.code(), StatusCode::kTokenMismatch) << status;
   // The orphaned output was released: releasing it again must fail.
-  EXPECT_FALSE(b->ReleaseRegion(outcome->output).ok());
+  EXPECT_FALSE((*b)->ReleaseRegion(outcome->output).ok());
 }
 
 TEST_F(DagExecutorTest, RepeatedExecutionsReuseHops) {
-  WorkflowManager manager("wf");
-  auto a = AddFunction(manager, "a", {"n1", ""});
-  auto b = AddFunction(manager, "b", {"n1", ""});
-  auto c = AddFunction(manager, "c", {"n1", ""});
+  api::Runtime rt("wf");
+  auto a = AddFunction(rt, "a", {"n1", ""});
+  auto b = AddFunction(rt, "b", {"n1", ""});
+  auto c = AddFunction(rt, "c", {"n1", ""});
 
   auto dag = DagBuilder()
                  .AddNode("a")
                  .FanOut("a", {"b", "c"})
                  .Build();
   ASSERT_TRUE(dag.ok()) << dag.status();
-  DagExecutor executor(&manager);
   for (int i = 0; i < 3; ++i) {
-    auto result = executor.Execute(*dag, AsBytes("r" + std::to_string(i)));
+    auto result = Execute(rt, *dag, AsBytes("r" + std::to_string(i)));
     ASSERT_TRUE(result.ok()) << result.status();
   }
-  EXPECT_EQ(manager.hops().size(), 2u);  // one kernel hop per fan-out edge
+  EXPECT_EQ(rt.manager().hops().size(), 2u);  // one kernel hop per fan-out edge
   EXPECT_EQ(a->invocations(), 3u);
   EXPECT_EQ(b->invocations(), 3u);
 }

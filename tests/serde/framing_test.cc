@@ -21,7 +21,7 @@ TEST(FramingTest, RoundTripSingleFrame) {
 TEST(FramingTest, EmptyFrame) {
   auto pair = osal::ConnectedPair();
   ASSERT_TRUE(pair.ok());
-  ASSERT_TRUE(WriteFrame(pair->first, {}).ok());
+  ASSERT_TRUE(WriteFrame(pair->first, ByteSpan{}).ok());
   auto frame = ReadFrame(pair->second);
   ASSERT_TRUE(frame.ok()) << frame.status();
   EXPECT_TRUE(frame->empty());
