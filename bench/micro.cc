@@ -323,4 +323,26 @@ BENCHMARK(BM_DagFanoutBytesCopied)->RangeMultiplier(2)->Range(1, 16)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN: `--json` maps onto google-
+// benchmark's JSON reporter, so every bench binary in this repo shares one
+// machine-readable flag (CI redirects it to a BENCH_*.json artifact).
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc) + 1);
+  static char json_format[] = "--benchmark_format=json";
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") {
+      args.push_back(json_format);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -17,4 +17,18 @@ TransferMode SelectMode(const Location& source, const Location& target) {
   return TransferMode::kNetwork;
 }
 
+Result<ShimLease> Endpoint::Lease() {
+  if (pool != nullptr) return pool->Lease();
+  if (shim == nullptr) {
+    return FailedPreconditionError("endpoint has neither pool nor shim");
+  }
+  // Pool-less endpoint (built outside a WorkflowManager): adopt per call
+  // rather than caching into `pool` — a member write here would race
+  // concurrent Lease() calls on a shared endpoint. Overlapping leases share
+  // one pool through the adoption memo; once the last lease drops, the memo
+  // expires and a later call rebuilds the (cheap, 1-instance wrapper) pool.
+  RR_ASSIGN_OR_RETURN(std::shared_ptr<ShimPool> adopted, ShimPool::Adopt(shim));
+  return adopted->Lease();
+}
+
 }  // namespace rr::core

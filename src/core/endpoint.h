@@ -7,10 +7,12 @@
 // hosts (§3.2.3, §7 Benefits and Trade-Offs).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <string_view>
 
 #include "core/shim.h"
+#include "core/shim_pool.h"
 
 namespace rr::core {
 
@@ -32,15 +34,29 @@ struct Location {
 // Picks the cheapest mode the placement allows (Table of §7 trade-offs).
 TransferMode SelectMode(const Location& source, const Location& target);
 
-// A registered function instance: its shim plus placement and (for remote
+// A registered function: its instance pool plus placement and (for remote
 // placements) the ingress address of its node. A non-zero port means the
 // function is reached through its node's NodeAgent ingress; port 0 means
 // transfers may establish an in-process loopback hop on demand.
+//
+// `shim` is the function's identity/prototype instance — name, spec, and
+// trust checks read it. `pool` is the per-function instance pool every
+// invocation leases from; registering a bare Endpoint{shim} (the pre-pool
+// API) adopts the shim as a fixed pool of 1, which reproduces the old
+// serialized behavior. Setting `pool` alone is enough: `shim` defaults to
+// the pool's prototype.
 struct Endpoint {
   Shim* shim = nullptr;
+  std::shared_ptr<ShimPool> pool;
   Location location;
   std::string host = "127.0.0.1";  // network-mode ingress
   uint16_t port = 0;
+
+  // Leases an instance for one node invocation (see ShimPool::Lease). A
+  // pool-less endpoint adopts its shim per call (memoized, so every call
+  // reaches the same pool), so endpoints built outside a WorkflowManager
+  // keep working — without mutating the endpoint, which may be shared.
+  Result<ShimLease> Lease();
 };
 
 }  // namespace rr::core

@@ -61,14 +61,23 @@ void NodeAgent::Shutdown() {
   }
 }
 
-Status NodeAgent::RegisterFunction(Shim* shim, DeliveryCallback on_delivery) {
-  if (shim == nullptr) return InvalidArgumentError("null shim");
+Status NodeAgent::RegisterFunction(std::shared_ptr<ShimPool> pool,
+                                   DeliveryCallback on_delivery) {
+  if (pool == nullptr) return InvalidArgumentError("null pool");
+  const std::string name = pool->name();
   std::lock_guard<std::mutex> lock(mutex_);
-  if (!functions_.emplace(shim->name(), Entry{shim, std::move(on_delivery)})
+  if (!functions_
+           .emplace(name, Entry{std::move(pool), std::move(on_delivery)})
            .second) {
-    return AlreadyExistsError("function already registered: " + shim->name());
+    return AlreadyExistsError("function already registered: " + name);
   }
   return Status::Ok();
+}
+
+Status NodeAgent::RegisterFunction(Shim* shim, DeliveryCallback on_delivery) {
+  if (shim == nullptr) return InvalidArgumentError("null shim");
+  RR_ASSIGN_OR_RETURN(std::shared_ptr<ShimPool> pool, ShimPool::Adopt(shim));
+  return RegisterFunction(std::move(pool), std::move(on_delivery));
 }
 
 Status NodeAgent::UnregisterFunction(const std::string& name) {
@@ -133,10 +142,11 @@ void NodeAgent::ServeConnection(osal::Connection conn) {
   }
 
   // One channel, many transfers: loop until the peer closes. The header is
-  // awaited without the shim lock (a parked idle channel must not block
-  // other channels' deliveries into the same function); body delivery and
-  // invoke serialize on the shim, so concurrent connections to one function
-  // interleave whole transfers, never partial ones.
+  // awaited without holding an instance (a parked idle channel must not
+  // starve the function's pool); each frame then leases its own instance
+  // for the receive+invoke, so concurrent connections to one function
+  // execute whole transfers in parallel across the pool — up to its
+  // max_instances — instead of serializing on one VM.
   while (!stopping_.load()) {
     auto frame = receiver->ReceiveHeader();
     if (!frame.ok()) {
@@ -146,11 +156,27 @@ void NodeAgent::ServeConnection(osal::Connection conn) {
       }
       break;
     }
+    auto lease = entry.pool->Lease();
+    if (!lease.ok()) {
+      // Without an instance the body cannot be drained, so the channel
+      // desyncs: tear it down and let the sender fail cleanly.
+      RR_LOG(Warning) << "node agent: no instance for " << *name << ": "
+                      << lease.status();
+      break;
+    }
     Result<InvokeOutcome> outcome = [&]() -> Result<InvokeOutcome> {
-      std::lock_guard<std::mutex> shim_lock(entry.shim->exec_mutex());
+      // The exec mutex synchronizes the delivery + invoke against readers of
+      // regions earlier invocations left resident in this instance.
+      std::lock_guard<std::mutex> shim_lock((*lease)->exec_mutex());
       RR_ASSIGN_OR_RETURN(const MemoryRegion region,
-                          receiver->ReceiveBody(*frame, *entry.shim));
-      return entry.shim->InvokeOnRegion(region);
+                          receiver->ReceiveBody(*frame, **lease));
+      auto invoked = (*lease)->InvokeOnRegion(region);
+      if (!invoked.ok()) {
+        // A failed invoke leaves the input region allocated; this instance
+        // returns to the pool and lives on, so the region must not leak.
+        (void)(*lease)->ReleaseRegion(region);
+      }
+      return invoked;
     }();
     if (!outcome.ok()) {
       RR_LOG(Debug) << "node agent: transfer ended: " << outcome.status();
@@ -158,11 +184,12 @@ void NodeAgent::ServeConnection(osal::Connection conn) {
     }
     transfers_completed_.fetch_add(1, std::memory_order_relaxed);
     if (entry.on_delivery) {
-      entry.on_delivery(*name, *outcome, frame->token);
+      entry.on_delivery(*name, *outcome, frame->token, std::move(*lease));
     } else {
-      // Nobody consumes the output: release it to keep the heap bounded.
-      std::lock_guard<std::mutex> shim_lock(entry.shim->exec_mutex());
-      (void)entry.shim->ReleaseRegion(outcome->output);
+      // Nobody consumes the output: release it to keep the heap bounded
+      // (the lease returns the instance when it goes out of scope).
+      std::lock_guard<std::mutex> shim_lock((*lease)->exec_mutex());
+      (void)(*lease)->ReleaseRegion(outcome->output);
     }
   }
   untrack();

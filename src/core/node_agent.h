@@ -9,6 +9,11 @@
 //
 // This completes WorkflowManager's remote path: register remote functions
 // with the target node's agent address and transfers route themselves.
+//
+// Instance pools: each registered function is backed by a ShimPool, and
+// every received frame leases its own instance for the receive+invoke — so
+// concurrent connections into one function no longer serialize whole
+// transfers behind a single VM, they fan out across the pool.
 #pragma once
 
 #include <atomic>
@@ -20,17 +25,22 @@
 
 #include "core/network_channel.h"
 #include "core/shim.h"
+#include "core/shim_pool.h"
 
 namespace rr::core {
 
 class NodeAgent {
  public:
-  // Called after a payload has been delivered and the function invoked; the
-  // outcome's output region lives in the function's sandbox. `token` is the
-  // frame's correlation token: the consumer matches the completion to the
-  // exact transfer that sent it (0 = sender did not track the transfer).
-  using DeliveryCallback = std::function<void(
-      const std::string& function, const InvokeOutcome&, uint64_t token)>;
+  // Called after a payload has been delivered and the function invoked. The
+  // outcome's output region lives in `instance` — the pool lease the agent
+  // acquired for this frame; the consumer keeps it until the output is
+  // egressed or released (dropping it returns the instance to the pool).
+  // `token` is the frame's correlation token: the consumer matches the
+  // completion to the exact transfer that sent it (0 = sender did not track
+  // the transfer).
+  using DeliveryCallback =
+      std::function<void(const std::string& function, InvokeOutcome outcome,
+                         uint64_t token, ShimLease instance)>;
 
   // Binds the node ingress on 127.0.0.1:port (0 = ephemeral).
   static Result<std::unique_ptr<NodeAgent>> Start(uint16_t port);
@@ -42,8 +52,12 @@ class NodeAgent {
 
   uint16_t port() const { return listener_.port(); }
 
-  // Makes a local function reachable from remote nodes. The shim must
-  // outlive the agent (or be unregistered first).
+  // Makes a local function reachable from remote nodes. The pool overload
+  // shares ownership; the bare-shim overload adopts the shim as a pool of 1
+  // (memoized — a WorkflowManager registration of the same shim shares it),
+  // and the shim must outlive the agent (or be unregistered first).
+  Status RegisterFunction(std::shared_ptr<ShimPool> pool,
+                          DeliveryCallback on_delivery = {});
   Status RegisterFunction(Shim* shim, DeliveryCallback on_delivery = {});
   Status UnregisterFunction(const std::string& name);
 
@@ -59,7 +73,7 @@ class NodeAgent {
   void ServeConnection(osal::Connection conn);
 
   struct Entry {
-    Shim* shim;
+    std::shared_ptr<ShimPool> pool;
     DeliveryCallback on_delivery;
   };
 

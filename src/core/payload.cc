@@ -15,10 +15,10 @@ Payload::Payload(rr::Buffer buffer) : state_(std::make_shared<State>()) {
   state_->size = state_->buffer.size();
 }
 
-Payload Payload::FromGuest(Shim* shim, MemoryRegion region) {
+Payload Payload::FromGuest(Shim* instance, MemoryRegion region) {
   Payload payload;
   payload.state_ = std::make_shared<State>();
-  payload.state_->shim = shim;
+  payload.state_->shim = instance;
   payload.state_->region = region;
   payload.state_->size = region.length;
   return payload;
@@ -50,6 +50,9 @@ Result<rr::Buffer> Payload::Materialize(Nanos* wasm_io) const {
   MutableByteSpan fill;
   rr::Buffer buffer = rr::Buffer::ForOverwrite(state_->region.length, &fill);
   {
+    // The instance may be mid-invocation for another run (the pool re-leased
+    // it after the producing invocation returned); its exec mutex
+    // synchronizes this region read against that guest activity.
     std::lock_guard<std::mutex> shim_lock(shim->exec_mutex());
     if (!fill.empty()) {
       const Stopwatch egress_timer;

@@ -16,12 +16,19 @@
 // Concurrency: Materialize is internally synchronized and idempotent. The
 // guest_shim()/guest_region() fast-path accessors are for a payload's single
 // consumer (the executor materializes before sharing a payload with more
-// than one); they must be used under the source shim's exec mutex.
+// than one); every touch of the owning instance's memory happens under that
+// instance's exec mutex.
 //
-// The last handle to a never-materialized payload releases the guest region
-// (taking the source shim's exec mutex) — so a cancelled run cleans up its
-// frontier without executor bookkeeping. Never destroy a guest-resident
-// Payload while holding that shim's exec mutex.
+// A guest-resident payload pins its owning pool INSTANCE — the specific
+// sandbox whose linear memory holds the region — but deliberately not the
+// instance's pool lease: the producing invocation returns its instance to
+// the pool immediately, and a region-consuming reader later synchronizes
+// with whatever invocation the pool admitted next through the instance's
+// exec mutex. (Holding the lease itself across scheduler dispatch
+// boundaries would deadlock a bounded pool against the bounded worker set:
+// the successor that frees the instance may never get a worker.) The last
+// handle to a never-materialized payload releases the guest region, so a
+// cancelled run cleans up its frontier without executor bookkeeping.
 #pragma once
 
 #include <memory>
@@ -40,9 +47,11 @@ class Payload {
   // fan-in frame). Shares the buffer's chunks.
   explicit Payload(rr::Buffer buffer);
 
-  // Adopts a guest output region: the payload owns the region and releases
-  // it at egress or with the last handle.
-  static Payload FromGuest(Shim* shim, MemoryRegion region);
+  // Adopts a guest output region in `instance` (the pool instance whose
+  // invocation produced it): the payload owns the region and releases it at
+  // egress or with the last handle. `instance` must outlive the payload (its
+  // pool does; the instance may serve other invocations in the meantime).
+  static Payload FromGuest(Shim* instance, MemoryRegion region);
 
   size_t size() const;
 

@@ -59,7 +59,7 @@ Result<MutableByteSpan> Shim::InputSpan(const MemoryRegion& region) {
 }
 
 Result<InvokeOutcome> Shim::InvokeOnRegion(const MemoryRegion& region) {
-  ++invocations_;
+  invocations_.fetch_add(1, std::memory_order_relaxed);
   RR_ASSIGN_OR_RETURN(const runtime::WasmSandbox::InvokeResult result,
                       sandbox_->InvokeInPlace(region.address, region.length));
   // The function's output is a fresh allocator region; register it for shim

@@ -5,6 +5,7 @@
 // all function ingress and egress").
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -108,15 +109,23 @@ class Shim {
   DataAccess& data() { return data_; }
   runtime::WasmSandbox& sandbox() { return *sandbox_; }
 
-  // Serializes multi-step use of this shim (deliver + invoke, transfer in,
-  // merge, egress) across concurrent workflow invocations. The sandbox and
-  // DataAccess are not internally synchronized; every executor-side sequence
-  // that touches a shim's memory or invokes it must hold this mutex. Sites
-  // that need both ends of a hop take the two mutexes with std::scoped_lock
-  // (never one-then-the-other), so lock order cannot deadlock.
+  // The memory-plane guard of ONE pool instance. Historically this was a
+  // function's global serialization point: the function owned a single VM,
+  // so every invocation of every concurrent run queued here. With instance
+  // pools (core/shim_pool.h) a shim is one of N leased instances — routing
+  // makes the mutex uncontended for invocation work — and the mutex's
+  // remaining job is the memory plane: a payload whose guest region still
+  // lives in this instance synchronizes its reads/release against whatever
+  // invocation the pool admitted next. Sites that need both ends of a hop
+  // take the two mutexes with std::scoped_lock (never one-then-the-other),
+  // so lock order cannot deadlock.
   std::mutex& exec_mutex() { return exec_mutex_; }
 
-  uint64_t invocations() const { return invocations_; }
+  // Atomic rather than mutex-guarded: pool aggregation and tests read it
+  // outside any instance lock.
+  uint64_t invocations() const {
+    return invocations_.load(std::memory_order_relaxed);
+  }
 
  private:
   Shim(std::unique_ptr<runtime::WasmSandbox> owned, runtime::WasmSandbox* module)
@@ -128,7 +137,7 @@ class Shim {
   runtime::WasmSandbox* sandbox_;
   DataAccess data_;
   std::mutex exec_mutex_;
-  uint64_t invocations_ = 0;
+  std::atomic<uint64_t> invocations_{0};
 };
 
 }  // namespace rr::core

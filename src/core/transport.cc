@@ -13,9 +13,13 @@ namespace rr::core {
 
 namespace {
 
-// Locks both endpoint shims for the duration of a guest-direct transfer.
-// scoped_lock's deadlock-avoidance handles opposing pairs (a->b vs b->a);
-// the degenerate self-hop (same shim both sides) locks once.
+// Locks both instances' memory planes for the duration of a guest-direct
+// transfer: the source instance may already be mid-invocation for another
+// run (its pool re-leased it after the producing invocation returned), and
+// the target is the caller's leased instance, whose memory a payload
+// consumer of an OLDER region may touch concurrently. scoped_lock's
+// deadlock-avoidance handles opposing pairs (a->b vs b->a); the degenerate
+// self-hop (same instance both sides) locks once.
 class PairLock {
  public:
   PairLock(Shim& source, Shim& target) {
@@ -64,10 +68,12 @@ Result<MemoryRegion> WireTransfer(SendFn&& send, Receiver&& receive,
 
 // --- user space -------------------------------------------------------------
 // Channel construction is two pointer assignments; the hop holds no wire
-// state, only the pair's serialization point.
+// state at all. Exclusivity of both linear memories comes from the pool
+// layer: the caller leased `target`, and a guest-resident payload's source
+// instance is pinned by the payload.
 class UserSpaceHop : public Hop {
  public:
-  Result<MemoryRegion> Forward(const Payload& payload, Endpoint& target,
+  Result<MemoryRegion> Forward(const Payload& payload, Shim& target,
                                TransferTiming* timing,
                                const MemoryRegion* into) override {
     (void)timing;  // one in-process copy; no kernel/socket phase to split out
@@ -75,26 +81,26 @@ class UserSpaceHop : public Hop {
       // Classic §4.1 path: the single user-space copy between the two
       // linear memories, straight from the producer's registered region.
       Shim& source = *payload.guest_shim();
-      PairLock lock(source, *target.shim);
+      PairLock lock(source, target);
       RR_ASSIGN_OR_RETURN(UserSpaceChannel channel,
-                          UserSpaceChannel::Create(&source, target.shim));
+                          UserSpaceChannel::Create(&source, &target));
       return channel.Transfer(*payload.guest_region(), into);
     }
     // Host-resident payload (a fan-out's shared chunk): the hand-off was a
     // refcount bump; the only byte movement left is the unavoidable
     // guest-boundary write into the target, gathered over the chunks.
     RR_ASSIGN_OR_RETURN(const rr::Buffer buffer, payload.Materialize());
-    std::lock_guard<std::mutex> lock(target.shim->exec_mutex());
+    std::lock_guard<std::mutex> lock(target.exec_mutex());
     MemoryRegion dest;
     if (into != nullptr) {
       dest = *into;
     } else {
       RR_ASSIGN_OR_RETURN(
-          dest, target.shim->PrepareInput(static_cast<uint32_t>(buffer.size())));
+          dest, target.PrepareInput(static_cast<uint32_t>(buffer.size())));
     }
-    const Status written = target.shim->WriteInput(dest, buffer);
+    const Status written = target.WriteInput(dest, buffer);
     if (!written.ok()) {
-      if (into == nullptr) (void)target.shim->ReleaseRegion(dest);
+      if (into == nullptr) (void)target.ReleaseRegion(dest);
       return written;
     }
     return dest;
@@ -124,22 +130,22 @@ class KernelHop : public Hop {
 
   TransferMode mode() const override { return TransferMode::kKernelSpace; }
 
-  Result<MemoryRegion> Forward(const Payload& payload, Endpoint& target,
+  Result<MemoryRegion> Forward(const Payload& payload, Shim& target,
                                TransferTiming* timing,
                                const MemoryRegion* into) override {
-    // Egress (or the free refcounted read) happens before any lock: the
-    // source shim serves other runs while this pair's wire is busy.
+    // Egress (or the free refcounted read) happens before the wire lock: the
+    // source instance serves other runs while this pair's wire is busy.
     TransferTiming egress{};
     RR_ASSIGN_OR_RETURN(const rr::Buffer buffer,
                         payload.Materialize(&egress.wasm_io));
     std::lock_guard<std::mutex> hop_lock(mutex_);
-    std::lock_guard<std::mutex> target_lock(target.shim->exec_mutex());
+    std::lock_guard<std::mutex> target_lock(target.exec_mutex());
     const RegionPlacer placer = into != nullptr ? SlicePlacer(*into) : nullptr;
     const rr::BufferView view(buffer);
     auto delivered = WireTransfer(
         [&] { return sender_.SendBytes(view); },
         [&] {
-          return receiver_.ReceiveInto(*target.shim, CopyMode::kShimStaging,
+          return receiver_.ReceiveInto(target, CopyMode::kShimStaging,
                                        into != nullptr ? &placer : nullptr);
         },
         timing, egress);
@@ -180,20 +186,20 @@ class NetworkLoopbackHop : public Hop {
 
   TransferMode mode() const override { return TransferMode::kNetwork; }
 
-  Result<MemoryRegion> Forward(const Payload& payload, Endpoint& target,
+  Result<MemoryRegion> Forward(const Payload& payload, Shim& target,
                                TransferTiming* timing,
                                const MemoryRegion* into) override {
     TransferTiming egress{};
     RR_ASSIGN_OR_RETURN(const rr::Buffer buffer,
                         payload.Materialize(&egress.wasm_io));
     std::lock_guard<std::mutex> hop_lock(mutex_);
-    std::lock_guard<std::mutex> target_lock(target.shim->exec_mutex());
+    std::lock_guard<std::mutex> target_lock(target.exec_mutex());
     const RegionPlacer placer = into != nullptr ? SlicePlacer(*into) : nullptr;
     const rr::BufferView view(buffer);
     auto delivered = WireTransfer(
         [&] { return sender_.SendBuffer(view); },
         [&] {
-          return receiver_.ReceiveInto(*target.shim, CopyMode::kShimStaging,
+          return receiver_.ReceiveInto(target, CopyMode::kShimStaging,
                                        /*token=*/nullptr,
                                        into != nullptr ? &placer : nullptr);
         },
@@ -219,7 +225,7 @@ class NetworkAgentHop : public Hop {
   TransferMode mode() const override { return TransferMode::kNetwork; }
   bool invoke_coupled() const override { return true; }
 
-  Result<MemoryRegion> Forward(const Payload& /*payload*/, Endpoint& /*target*/,
+  Result<MemoryRegion> Forward(const Payload& /*payload*/, Shim& /*target*/,
                                TransferTiming* /*timing*/,
                                const MemoryRegion* /*into*/) override {
     return FailedPreconditionError(
@@ -282,16 +288,16 @@ class NetworkTransport : public Transport {
 }  // namespace
 
 Result<InvokeOutcome> Hop::ForwardAndInvoke(const Payload& payload,
-                                            Endpoint& target,
+                                            Shim& target,
                                             TransferTiming* timing) {
   RR_ASSIGN_OR_RETURN(const MemoryRegion delivered,
                       Forward(payload, target, timing));
-  std::lock_guard<std::mutex> shim_lock(target.shim->exec_mutex());
-  auto outcome = target.shim->InvokeOnRegion(delivered);
+  std::lock_guard<std::mutex> shim_lock(target.exec_mutex());
+  auto outcome = target.InvokeOnRegion(delivered);
   if (!outcome.ok()) {
     // A successful invoke consumes the input region; a failed one leaves it
     // allocated in the target's sandbox.
-    (void)target.shim->ReleaseRegion(delivered);
+    (void)target.ReleaseRegion(delivered);
   }
   return outcome;
 }

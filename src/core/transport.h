@@ -13,10 +13,12 @@
 // storage, with network backends performing vectored writes over the chunks.
 //
 // Hops are internally synchronized: concurrent workflow invocations may
-// forward over the same hop. Because the payload plane materializes source
-// bytes *before* the wire phase, a transfer holds only the target shim's
-// exec mutex while the wire moves data — the producer is free to serve other
-// runs concurrently.
+// forward over the same hop (a hop's single wire is what they serialize
+// on). Callers pass the *leased* target instance into Forward — the pool
+// layer routes concurrent transfers into one function onto distinct
+// instances, so they proceed in parallel; each instance's exec mutex is
+// taken only around the memory-plane phase, synchronizing against payload
+// readers of regions still resident in that instance.
 #pragma once
 
 #include <memory>
@@ -39,20 +41,23 @@ class Hop {
   // and the outcome returns through the agent's delivery callback.
   virtual bool invoke_coupled() const { return false; }
 
-  // Delivers `payload` into the target function's linear memory without
-  // invoking it — the fan-in building block. When `into` is non-null it
-  // names a destination region of exactly payload.size() bytes covered by an
-  // existing registration (one slice of a fan-in gather region); otherwise
-  // the hop allocates a fresh input region. Fails with kFailedPrecondition
-  // on invoke-coupled hops.
-  virtual Result<MemoryRegion> Forward(const Payload& payload, Endpoint& target,
+  // Delivers `payload` into `target`'s linear memory without invoking it —
+  // the fan-in building block. `target` is the instance the caller leased
+  // from the target function's pool (the lease outlives the call). When
+  // `into` is non-null it names a destination region of exactly
+  // payload.size() bytes covered by an existing registration (one slice of a
+  // fan-in gather region); otherwise the hop allocates a fresh input region.
+  // Fails with kFailedPrecondition on invoke-coupled hops.
+  virtual Result<MemoryRegion> Forward(const Payload& payload, Shim& target,
                                        TransferTiming* timing = nullptr,
                                        const MemoryRegion* into = nullptr) = 0;
 
-  // Forward + invoke the target once on the delivered payload: the per-hop
-  // building block of chains and single-predecessor DAG nodes.
+  // Forward + invoke the leased target instance once on the delivered
+  // payload: the per-hop building block of chains and single-predecessor DAG
+  // nodes. The outcome's output region lives in `target` — keep the lease
+  // until it is consumed.
   virtual Result<InvokeOutcome> ForwardAndInvoke(const Payload& payload,
-                                                 Endpoint& target,
+                                                 Shim& target,
                                                  TransferTiming* timing = nullptr);
 
   // Invoke-coupled dispatch: sends the payload as one frame stamped with the

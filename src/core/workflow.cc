@@ -3,8 +3,20 @@
 namespace rr::core {
 
 Status WorkflowManager::Register(Endpoint endpoint) {
+  if (endpoint.shim == nullptr && endpoint.pool != nullptr) {
+    endpoint.shim = endpoint.pool->prototype();
+  }
   if (endpoint.shim == nullptr) {
-    return InvalidArgumentError("endpoint without shim");
+    return InvalidArgumentError("endpoint without shim or pool");
+  }
+  if (endpoint.pool == nullptr) {
+    // Bare-shim registration (the pre-pool API): adopt it as a fixed pool of
+    // one instance, binding registration-time behavior to the old serialized
+    // semantics. Adoption is memoized, so a NodeAgent wrapping the same shim
+    // shares this pool.
+    auto adopted = ShimPool::Adopt(endpoint.shim);
+    if (!adopted.ok()) return adopted.status();
+    endpoint.pool = *adopted;
   }
   if (endpoint.shim->spec().workflow != workflow_) {
     return PermissionDeniedError("function " + endpoint.shim->name() +

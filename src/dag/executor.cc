@@ -11,6 +11,8 @@ using core::Hop;
 using core::InvokeOutcome;
 using core::MemoryRegion;
 using core::Payload;
+using core::Shim;
+using core::ShimLease;
 using core::TransferTiming;
 
 // Per-node execution state. The node's output lives in `payload` — a
@@ -50,11 +52,16 @@ struct DagExecutor::StatsState {
               core::TransferMode mode, uint64_t bytes, Nanos latency,
               Nanos wasm_io) {
     if (out == nullptr) return;
+    // Timestamp and sample construction (three string copies) stay outside
+    // the lock: with many concurrent runs recording edges, the critical
+    // section is just a comparison and a vector push.
+    const TimePoint now = Now();
+    telemetry::EdgeSample sample{source, target,
+                                 std::string(core::TransferModeName(mode)),
+                                 bytes, latency, wasm_io};
     std::lock_guard<std::mutex> lock(mutex);
-    phase_end = std::max(phase_end, Now());
-    out->edges.push_back(telemetry::EdgeSample{
-        source, target, std::string(core::TransferModeName(mode)), bytes,
-        latency, wasm_io});
+    phase_end = std::max(phase_end, now);
+    out->edges.push_back(std::move(sample));
   }
 };
 
@@ -115,14 +122,18 @@ Status DagExecutor::RunNode(const Dag& dag, size_t index,
 
   // Sources take the workflow input through platform ingress: a gather write
   // of the shared input chunks — the submit-side plane never copied them.
+  // The lease admits this run into the function's pool; concurrent submits
+  // of the same workflow land on distinct warm instances, so their
+  // invocations overlap instead of queuing on one VM.
   if (node.preds.empty()) {
+    RR_ASSIGN_OR_RETURN(ShimLease lease, target.Lease());
     InvokeOutcome outcome;
     {
-      std::lock_guard<std::mutex> shim_lock(target.shim->exec_mutex());
+      std::lock_guard<std::mutex> shim_lock(lease->exec_mutex());
       RR_ASSIGN_OR_RETURN(outcome,
-                          target.shim->DeliverAndInvoke(rr::BufferView(input)));
+                          lease->DeliverAndInvoke(rr::BufferView(input)));
     }
-    return FinishNode(dag, index, runs, outcome);
+    return FinishNode(dag, index, runs, lease.get(), outcome);
   }
 
   // Establish every predecessor's hop up front; all of them must agree on
@@ -169,6 +180,15 @@ Status DagExecutor::RunLocalNode(
            static_cast<int64_t>(dag.node(pred).succs.size());
   };
 
+  // ONE lease spans the whole node invocation — the gather-region prepare,
+  // every leg's delivery, and the invoke all land in the same instance. The
+  // lease is released when this function returns (never held across a
+  // scheduler dispatch boundary, which could starve bounded pools); the
+  // node's output region stays behind in the instance, read later under its
+  // exec mutex.
+  RR_ASSIGN_OR_RETURN(ShimLease lease, target.Lease());
+  Shim& instance = *lease;
+
   MemoryRegion input_region;
   if (node.preds.size() == 1) {
     // Single predecessor: the guest-direct fast path (a still-guest-resident
@@ -180,7 +200,7 @@ Status DagExecutor::RunLocalNode(
     stats.MarkPhaseStart();
     const Stopwatch edge_timer;
     Result<MemoryRegion> delivered =
-        pred_hops.front()->Forward(payload, target, &timing);
+        pred_hops.front()->Forward(payload, instance, &timing);
     RR_RETURN_IF_ERROR(delivered.status());
     stats.Record(runs[pred].endpoint->shim->name(), target.shim->name(),
                  pred_hops.front()->mode(), delivered->length,
@@ -198,14 +218,10 @@ Status DagExecutor::RunLocalNode(
     }
     MemoryRegion merged;
     {
-      std::lock_guard<std::mutex> shim_lock(target.shim->exec_mutex());
+      std::lock_guard<std::mutex> shim_lock(instance.exec_mutex());
       RR_ASSIGN_OR_RETURN(merged,
-                          target.shim->PrepareInput(static_cast<uint32_t>(total)));
+                          instance.PrepareInput(static_cast<uint32_t>(total)));
     }
-    const auto release_merged = [&] {
-      std::lock_guard<std::mutex> shim_lock(target.shim->exec_mutex());
-      (void)target.shim->ReleaseRegion(merged);
-    };
     uint32_t offset = 0;
     for (size_t i = 0; i < node.preds.size(); ++i) {
       const size_t pred = node.preds[i];
@@ -216,9 +232,10 @@ Status DagExecutor::RunLocalNode(
       stats.MarkPhaseStart();
       const Stopwatch edge_timer;
       Result<MemoryRegion> delivered =
-          pred_hops[i]->Forward(payload, target, &timing, &slice);
+          pred_hops[i]->Forward(payload, instance, &timing, &slice);
       if (!delivered.ok()) {
-        release_merged();
+        std::lock_guard<std::mutex> shim_lock(instance.exec_mutex());
+        (void)instance.ReleaseRegion(merged);
         return delivered.status();
       }
       stats.Record(runs[pred].endpoint->shim->name(), target.shim->name(),
@@ -232,17 +249,17 @@ Status DagExecutor::RunLocalNode(
 
   InvokeOutcome outcome;
   {
-    std::lock_guard<std::mutex> shim_lock(target.shim->exec_mutex());
-    auto invoked = target.shim->InvokeOnRegion(input_region);
+    std::lock_guard<std::mutex> shim_lock(instance.exec_mutex());
+    auto invoked = instance.InvokeOnRegion(input_region);
     if (!invoked.ok()) {
       // A successful invoke consumes the input region; a failed one leaves
       // it allocated in the target's sandbox.
-      (void)target.shim->ReleaseRegion(input_region);
+      (void)instance.ReleaseRegion(input_region);
       return invoked.status();
     }
     outcome = *invoked;
   }
-  return FinishNode(dag, index, runs, outcome);
+  return FinishNode(dag, index, runs, &instance, outcome);
 }
 
 Status DagExecutor::RunRemoteNode(const Dag& dag, size_t index,
@@ -298,15 +315,16 @@ Status DagExecutor::RunRemoteNode(const Dag& dag, size_t index,
   ReleaseConsumedPreds(node, runs);
 
   // The remote agent performs Algorithm 1's receive+invoke; its delivery
-  // callback (DeliverySink, registered with the agent) completes the edge.
-  auto outcome = WaitForDelivery(target.shim->name(), token);
-  if (!outcome.ok()) {
+  // callback (DeliverySink, registered with the agent) completes the edge,
+  // handing over the agent-side instance lease with the outcome.
+  auto completion = WaitForDelivery(target.shim->name(), token);
+  if (!completion.ok()) {
     // Tear the channel down with the failed transfer: the agent-side worker
     // dies with the connection, so a frame still in flight is dropped. A
     // completion that nonetheless arrives later matches no pending token and
     // is rejected (kTokenMismatch) with its output released.
     manager_->hops().Evict(target.shim->name());
-    return outcome.status();
+    return completion.status();
   }
 
   // Edge latency spans send to delivery confirmation (the remote invoke is
@@ -321,18 +339,24 @@ Status DagExecutor::RunRemoteNode(const Dag& dag, size_t index,
                                       static_cast<int64_t>(
                                           dag.node(pred).succs.size()));
   }
-  return FinishNode(dag, index, runs, *outcome);
+  // The completion's lease is dropped when this frame returns — the agent-
+  // side instance goes back to its pool; the output region it still hosts is
+  // pinned by the node's payload and read under the instance's exec mutex.
+  return FinishNode(dag, index, runs, completion->instance.get(),
+                    completion->outcome);
 }
 
-// Publishes the node's output on the payload plane. A node with more than
-// one successor egresses NOW — one copy into an immutable shared chunk, the
+// Publishes the node's output on the payload plane: the payload records the
+// pool instance whose memory holds the region. A node with more than one
+// successor egresses NOW — one copy into an immutable shared chunk, the
 // guest region released before any successor runs — so N-way fan-out is
 // O(1) payload copies and the successors only ever bump a refcount.
 Status DagExecutor::FinishNode(const Dag& dag, size_t index,
                                std::vector<NodeRun>& runs,
+                               core::Shim* instance,
                                core::InvokeOutcome outcome) {
   NodeRun& run = runs[index];
-  run.payload = Payload::FromGuest(run.endpoint->shim, outcome.output);
+  run.payload = Payload::FromGuest(instance, outcome.output);
   if (dag.node(index).succs.size() > 1) {
     RR_RETURN_IF_ERROR(
         run.payload.Materialize(&run.egress_wasm_io).status());
@@ -340,8 +364,8 @@ Status DagExecutor::FinishNode(const Dag& dag, size_t index,
   return Status::Ok();
 }
 
-Result<InvokeOutcome> DagExecutor::WaitForDelivery(const std::string& function,
-                                                   uint64_t token) {
+Result<DagExecutor::RemoteCompletion> DagExecutor::WaitForDelivery(
+    const std::string& function, uint64_t token) {
   std::unique_lock<std::mutex> lock(mail_mutex_);
   const bool delivered = mail_cv_.wait_for(lock, remote_deadline_, [&] {
     const auto it = pending_.find(token);
@@ -353,31 +377,33 @@ Result<InvokeOutcome> DagExecutor::WaitForDelivery(const std::string& function,
                                  function + " (token " +
                                  std::to_string(token) + ")");
   }
-  const InvokeOutcome outcome = pending_.at(token).outcome;
+  RemoteCompletion completion{pending_.at(token).outcome,
+                              std::move(pending_.at(token).instance)};
   pending_.erase(token);
-  return outcome;
+  return completion;
 }
 
 Status DagExecutor::DeliverOutcome(const std::string& function,
-                                   const InvokeOutcome& outcome,
-                                   uint64_t token) {
+                                   core::InvokeOutcome outcome, uint64_t token,
+                                   core::ShimLease instance) {
   {
     std::lock_guard<std::mutex> lock(mail_mutex_);
     const auto it = pending_.find(token);
     if (it != pending_.end() && !it->second.fulfilled) {
       it->second.fulfilled = true;
       it->second.outcome = outcome;
+      it->second.instance = std::move(instance);
       mail_cv_.notify_all();
       return Status::Ok();
     }
   }
   // Nobody is waiting on this token: the transfer timed out, its run was
   // cancelled, or the sender never tracked it. Release the orphaned output
-  // so the remote function's heap stays bounded.
-  auto endpoint = manager_->Find(function);
-  if (endpoint.ok()) {
-    std::lock_guard<std::mutex> shim_lock((*endpoint)->shim->exec_mutex());
-    (void)(*endpoint)->shim->ReleaseRegion(outcome.output);
+  // so the remote function's heap stays bounded (dropping the lease then
+  // returns the instance to its pool).
+  if (instance) {
+    std::lock_guard<std::mutex> shim_lock(instance->exec_mutex());
+    (void)instance->ReleaseRegion(outcome.output);
   }
   return TokenMismatchError("delivery for function " + function + " carries token " +
                             std::to_string(token) +
@@ -385,9 +411,10 @@ Status DagExecutor::DeliverOutcome(const std::string& function,
 }
 
 core::NodeAgent::DeliveryCallback DagExecutor::DeliverySink() {
-  return [this](const std::string& function, const InvokeOutcome& outcome,
-                uint64_t token) {
-    const Status status = DeliverOutcome(function, outcome, token);
+  return [this](const std::string& function, InvokeOutcome outcome,
+                uint64_t token, ShimLease instance) {
+    const Status status =
+        DeliverOutcome(function, std::move(outcome), token, std::move(instance));
     if (!status.ok()) {
       RR_LOG(Debug) << "dag executor: rejected delivery: " << status;
     }

@@ -68,12 +68,15 @@ class DagExecutor {
   core::NodeAgent::DeliveryCallback DeliverySink();
 
   // Routes one remote completion to the transfer that dispatched `token`.
-  // Returns kTokenMismatch — releasing the outcome's output region — when no
-  // transfer is waiting on the token (late completion of a timed-out edge, a
-  // cancelled run, or an untracked sender). Exposed for DeliverySink and for
-  // protocol tests.
+  // `instance` is the agent-side pool lease holding the outcome's output
+  // region; a matched completion hands it to the waiting transfer (which
+  // pins it in the node's payload), an unmatched one — late completion of a
+  // timed-out edge, a cancelled run, or an untracked sender — returns
+  // kTokenMismatch, releasing the output region and the instance. Exposed
+  // for DeliverySink and for protocol tests.
   Status DeliverOutcome(const std::string& function,
-                        const core::InvokeOutcome& outcome, uint64_t token);
+                        core::InvokeOutcome outcome, uint64_t token,
+                        core::ShimLease instance);
 
   // How long a remote (NodeAgent) delivery may take before the edge fails
   // with kDeadlineExceeded. Generous by default: paper-scale payloads cross
@@ -98,6 +101,13 @@ class DagExecutor {
   Result<rr::Buffer> Execute(const Dag& dag, const rr::Buffer& input,
                              telemetry::DagRunStats* stats = nullptr);
 
+  // One remote completion: the outcome plus the agent-side instance lease
+  // holding its output region.
+  struct RemoteCompletion {
+    core::InvokeOutcome outcome;
+    core::ShimLease instance;
+  };
+
   Status RunNode(const Dag& dag, size_t index, std::vector<NodeRun>& runs,
                  const rr::Buffer& input, StatsState& stats);
   Status RunLocalNode(const Dag& dag, size_t index, std::vector<NodeRun>& runs,
@@ -106,11 +116,11 @@ class DagExecutor {
   Status RunRemoteNode(const Dag& dag, size_t index, std::vector<NodeRun>& runs,
                        core::Hop& hop, StatsState& stats);
   Status FinishNode(const Dag& dag, size_t index, std::vector<NodeRun>& runs,
-                    core::InvokeOutcome outcome);
+                    core::Shim* instance, core::InvokeOutcome outcome);
   static void ReleaseConsumedPreds(const DagNode& node,
                                    std::vector<NodeRun>& runs);
-  Result<core::InvokeOutcome> WaitForDelivery(const std::string& function,
-                                              uint64_t token);
+  Result<RemoteCompletion> WaitForDelivery(const std::string& function,
+                                           uint64_t token);
 
   core::WorkflowManager* manager_;
   DagScheduler scheduler_;
@@ -121,6 +131,7 @@ class DagExecutor {
   struct Pending {
     bool fulfilled = false;
     core::InvokeOutcome outcome;
+    core::ShimLease instance;
   };
   std::mutex mail_mutex_;
   std::condition_variable mail_cv_;

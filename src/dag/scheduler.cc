@@ -35,9 +35,11 @@ Status DagScheduler::Run(const Dag& dag, const NodeFn& fn) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (const size_t source : dag.sources()) {
     queue_.emplace_back(&state, source);
+    // One wakeup per enqueued item: notify_all would stampede the whole
+    // pool through the mutex for a run that may have a single source.
+    work_cv_.notify_one();
   }
   state.outstanding = dag.sources().size();
-  work_cv_.notify_all();
 
   // A validated Dag is non-empty, so outstanding starts > 0 and reaches 0
   // exactly when every reachable (non-cancelled) node has finished.
@@ -73,13 +75,15 @@ void DagScheduler::WorkerLoop() {
         if (--state->remaining_preds[succ] == 0) {
           queue_.emplace_back(state, succ);
           ++state->outstanding;
+          // This worker keeps draining without a wakeup (its wait predicate
+          // sees the non-empty queue), so one notify per NEW item is enough
+          // to engage exactly as many extra workers as there is work.
+          work_cv_.notify_one();
         }
       }
     }
     if (--state->outstanding == 0) {
       done_cv_.notify_all();
-    } else if (!queue_.empty()) {
-      work_cv_.notify_all();
     }
   }
 }

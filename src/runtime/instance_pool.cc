@@ -1,0 +1,119 @@
+#include "runtime/instance_pool.h"
+
+#include <algorithm>
+
+namespace rr::runtime {
+
+void InstancePool::Lease::Release() {
+  if (instance_ != nullptr) {
+    pool_->ReleaseInstance(instance_);
+  }
+  pool_ = nullptr;
+  instance_ = nullptr;
+}
+
+Result<std::unique_ptr<InstancePool>> InstancePool::Create(Factory factory,
+                                                           PoolOptions options) {
+  if (factory == nullptr) {
+    return InvalidArgumentError("instance pool requires a factory");
+  }
+  if (options.max_instances == 0) {
+    return InvalidArgumentError("instance pool requires max_instances >= 1");
+  }
+  options.min_warm = std::clamp<size_t>(options.min_warm, 1,
+                                        options.max_instances);
+  auto pool = std::unique_ptr<InstancePool>(
+      new InstancePool(std::move(factory), options));
+  for (size_t i = 0; i < options.min_warm; ++i) {
+    RR_ASSIGN_OR_RETURN(std::unique_ptr<Instance> instance, pool->factory_());
+    if (instance == nullptr) {
+      return InternalError("instance pool factory returned null");
+    }
+    pool->idle_.push_back(instance.get());
+    pool->instances_.push_back(std::move(instance));
+  }
+  return pool;
+}
+
+InstancePool::~InstancePool() = default;
+
+Result<InstancePool::Lease> InstancePool::Acquire() {
+  // One deadline for the whole call: the wait loop may wake and lose the
+  // freed instance to a competing acquirer any number of times, and each
+  // retry must consume the remaining budget, not restart it.
+  const TimePoint deadline = Now() + options_.acquire_timeout;
+  bool counted_wait = false;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (!idle_.empty()) {
+      // LIFO: the most recently released instance is the cache-warm one.
+      Instance* const instance = idle_.back();
+      idle_.pop_back();
+      ++leases_;
+      return Lease(this, instance);
+    }
+    if (instances_.size() + growing_ < options_.max_instances) {
+      // Lazy growth. Reserve the slot under the lock but run the factory
+      // (sandbox instantiation — milliseconds) outside it, so releases and
+      // idle hand-offs proceed while the new instance is built.
+      ++growing_;
+      lock.unlock();
+      auto instance = factory_();
+      lock.lock();
+      --growing_;
+      if (!instance.ok() || *instance == nullptr) {
+        // The reserved slot is capacity again: wake a waiter so it can
+        // retry the growth (or take an instance released meanwhile).
+        idle_cv_.notify_one();
+        if (!instance.ok()) return instance.status();
+        return InternalError("instance pool factory returned null");
+      }
+      Instance* const raw = instance->get();
+      instances_.push_back(std::move(*instance));
+      ++grows_;
+      ++leases_;
+      return Lease(this, raw);
+    }
+    if (!counted_wait) {
+      counted_wait = true;  // one blocked Acquire = one wait, however many retries
+      ++waits_;
+    }
+    if (!idle_cv_.wait_until(lock, deadline, [this] {
+          return !idle_.empty() ||
+                 instances_.size() + growing_ < options_.max_instances;
+        })) {
+      return DeadlineExceededError(
+          "instance pool exhausted: all " +
+          std::to_string(options_.max_instances) +
+          " instances stayed leased past the acquire timeout");
+    }
+  }
+}
+
+void InstancePool::ReleaseInstance(Instance* instance) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    idle_.push_back(instance);
+  }
+  idle_cv_.notify_one();
+}
+
+void InstancePool::ForEachInstance(const std::function<void(Instance&)>& fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<Instance>& instance : instances_) {
+    fn(*instance);
+  }
+}
+
+PoolMetrics InstancePool::metrics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PoolMetrics metrics;
+  metrics.leases = leases_;
+  metrics.waits = waits_;
+  metrics.grows = grows_;
+  metrics.size = instances_.size();
+  metrics.idle = idle_.size();
+  return metrics;
+}
+
+}  // namespace rr::runtime

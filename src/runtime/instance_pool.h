@@ -1,0 +1,157 @@
+// Per-function Wasm instance pools (the "replicate the execution container"
+// remedy of middleware for parallel execution of legacy applications): a
+// registered function no longer owns ONE sandbox that every invocation
+// serializes on — it owns a bounded pool of warm instances, and each
+// invocation leases one for exactly as long as it needs it.
+//
+// The pool is deliberately generic: it manages opaque `Instance` slots
+// produced by a caller-supplied factory, so the runtime layer stays ignorant
+// of shim-side state (core::Shim wraps each slot with its DataAccess region
+// registry; see core/shim_pool.h). Policy:
+//
+//   * `min_warm` instances are created eagerly at construction — the warm
+//     set. Growth beyond it is lazy: an Acquire that finds no idle instance
+//     creates a new one, up to `max_instances`.
+//   * Reuse is LIFO: the most recently released instance is handed out
+//     first, so a hot instance's guest pages and allocator state stay warm
+//     in cache instead of round-robining through cold replicas.
+//   * When all `max_instances` are leased, Acquire blocks (bounded by
+//     `acquire_timeout`) until a lease returns — the pool is the concurrency
+//     limiter, replacing the old per-shim exec_mutex with N-way admission.
+//
+// A Lease is the RAII handle of one exclusive hold: while it lives, no other
+// Acquire can hand out the same instance, which is what makes unsynchronized
+// use of the instance's sandbox safe. Releases (and destruction) return the
+// instance LIFO.
+//
+// Thread safety: Acquire/metrics/ForEachInstance are safe from any thread.
+// The pool must outlive every lease (core::ShimPool guarantees this by
+// handing out shared ownership).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace rr::runtime {
+
+// Sizing knobs of one function's pool.
+struct PoolOptions {
+  // Instances created eagerly at pool construction (clamped to >= 1 so the
+  // prototype instance always exists, and <= max_instances).
+  size_t min_warm = 1;
+  // Hard cap on instances alive; Acquire blocks when all are leased. 1 =
+  // the pre-pool behavior: every invocation of the function serializes.
+  size_t max_instances = 1;
+  // How long an Acquire may wait for a busy pool before failing with
+  // kDeadlineExceeded — turns a pathological lease cycle into an error
+  // instead of a hang.
+  Nanos acquire_timeout = std::chrono::seconds(60);
+};
+
+// Pool telemetry, cheap enough to read per-bench-iteration.
+struct PoolMetrics {
+  uint64_t leases = 0;  // successful Acquires
+  uint64_t waits = 0;   // Acquires that had to block for a busy instance
+  uint64_t grows = 0;   // instances created lazily beyond the warm set
+  size_t size = 0;      // instances currently alive
+  size_t idle = 0;      // instances parked in the free list
+};
+
+class InstancePool {
+ public:
+  // One pooled slot. Concrete subclasses bundle a Wasm sandbox with whatever
+  // per-instance state its owner needs (core::Shim).
+  class Instance {
+   public:
+    virtual ~Instance() = default;
+  };
+
+  // Produces one fresh instance; invoked at construction (warm set) and on
+  // lazy growth — the latter OUTSIDE the pool lock, possibly from several
+  // Acquiring threads at once, so factories must synchronize any state they
+  // share.
+  using Factory = std::function<Result<std::unique_ptr<Instance>>()>;
+
+  // RAII exclusive hold on one instance; returns it (LIFO) on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept { *this = std::move(other); }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Release();
+        pool_ = other.pool_;
+        instance_ = other.instance_;
+        other.pool_ = nullptr;
+        other.instance_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { Release(); }
+
+    Instance* get() const { return instance_; }
+    explicit operator bool() const { return instance_ != nullptr; }
+
+    // Early return to the pool; the lease becomes empty.
+    void Release();
+
+   private:
+    friend class InstancePool;
+    Lease(InstancePool* pool, Instance* instance)
+        : pool_(pool), instance_(instance) {}
+
+    InstancePool* pool_ = nullptr;
+    Instance* instance_ = nullptr;
+  };
+
+  // Creates the pool and its `min_warm` warm set (factory failures fail the
+  // construction, so a live pool always has at least one instance).
+  static Result<std::unique_ptr<InstancePool>> Create(Factory factory,
+                                                      PoolOptions options);
+
+  ~InstancePool();
+
+  InstancePool(const InstancePool&) = delete;
+  InstancePool& operator=(const InstancePool&) = delete;
+
+  // Leases an idle instance (LIFO), growing the pool when none is idle and
+  // size < max_instances, else blocking until a lease returns. Fails with
+  // kDeadlineExceeded after `acquire_timeout`.
+  Result<Lease> Acquire();
+
+  // Visits every instance, idle or leased, under the pool lock. Control
+  // plane only (e.g. deploying a handler to the warm set): must not race
+  // in-flight leases that touch the same instances.
+  void ForEachInstance(const std::function<void(Instance&)>& fn);
+
+  PoolMetrics metrics() const;
+  size_t capacity() const { return options_.max_instances; }
+
+ private:
+  InstancePool(Factory factory, PoolOptions options)
+      : factory_(std::move(factory)), options_(options) {}
+
+  void ReleaseInstance(Instance* instance);
+
+  const Factory factory_;
+  const PoolOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable idle_cv_;
+  std::vector<std::unique_ptr<Instance>> instances_;  // all alive, any state
+  std::vector<Instance*> idle_;                       // LIFO free list
+  size_t growing_ = 0;  // reserved slots whose factory runs off-lock
+  uint64_t leases_ = 0;
+  uint64_t waits_ = 0;
+  uint64_t grows_ = 0;
+};
+
+}  // namespace rr::runtime

@@ -137,18 +137,25 @@ Result<WasmSandbox*> WasmVm::AddModule(FunctionSpec spec, ByteSpan wasm_binary,
         "'/tenant '" + spec.tenant + "', VM hosts '" + workflow_ + "'/'" +
         tenant_ + "'");
   }
-  if (modules_.count(spec.name) != 0) {
-    return AlreadyExistsError("module already loaded: " + spec.name);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (modules_.count(spec.name) != 0) {
+      return AlreadyExistsError("module already loaded: " + spec.name);
+    }
   }
   const std::string name = spec.name;
   RR_ASSIGN_OR_RETURN(auto sandbox,
                       WasmSandbox::Create(std::move(spec), wasm_binary, options));
   WasmSandbox* raw = sandbox.get();
-  modules_.emplace(name, std::move(sandbox));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!modules_.emplace(name, std::move(sandbox)).second) {
+    return AlreadyExistsError("module already loaded: " + name);
+  }
   return raw;
 }
 
 WasmSandbox* WasmVm::Find(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = modules_.find(name);
   return it == modules_.end() ? nullptr : it->second.get();
 }

@@ -5,6 +5,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/bytes.h"
@@ -94,6 +95,11 @@ class WasmSandbox {
 // A Wasm VM hosting the modules of one workflow ("multiple Wasm modules"
 // sharing a process, Fig. 1b). The VM enforces the trust precondition: every
 // module added must belong to the same workflow and tenant.
+//
+// The module table is internally synchronized: instance pools grow lazily
+// (AddModule) while other modules of the VM are mid-invocation. The modules
+// themselves are not — exclusivity of one module's use comes from its
+// pool's lease.
 class WasmVm {
  public:
   explicit WasmVm(std::string workflow, std::string tenant = "default")
@@ -106,11 +112,15 @@ class WasmVm {
   WasmSandbox* Find(const std::string& name);
 
   const std::string& workflow() const { return workflow_; }
-  size_t module_count() const { return modules_.size(); }
+  size_t module_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return modules_.size();
+  }
 
  private:
   std::string workflow_;
   std::string tenant_;
+  mutable std::mutex mutex_;  // guards modules_ (the sandboxes are stable)
   std::map<std::string, std::unique_ptr<WasmSandbox>> modules_;
 };
 

@@ -63,12 +63,12 @@ TEST(NodeAgentTest, RoutesTransferToNamedFunction) {
   ASSERT_TRUE((*agent)
                   ->RegisterFunction(
                       target.get(),
-                      [&](const std::string&, const InvokeOutcome& outcome,
-                          uint64_t /*token*/) {
-                        auto view = target->OutputView(outcome.output);
+                      [&](const std::string&, InvokeOutcome outcome,
+                          uint64_t /*token*/, core::ShimLease instance) {
+                        auto view = instance->OutputView(outcome.output);
                         std::lock_guard<std::mutex> lock(mutex);
                         delivered_payload = std::string(AsStringView(*view));
-                        (void)target->ReleaseRegion(outcome.output);
+                        (void)instance->ReleaseRegion(outcome.output);
                       })
                   .ok());
 

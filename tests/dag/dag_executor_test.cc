@@ -374,7 +374,13 @@ TEST_F(DagExecutorTest, DeliveryWithUnknownTokenRejectedAndReleased) {
 
   auto outcome = (*b)->DeliverAndInvoke(AsBytes("stale"));
   ASSERT_TRUE(outcome.ok()) << outcome.status();
-  const Status status = executor.DeliverOutcome("b", *outcome, /*token=*/777);
+  // An agent-side delivery always carries the instance lease that holds the
+  // outcome's region; lease the (adopted, size-1) pool the way an agent
+  // would.
+  auto lease = (*manager.Find("b"))->Lease();
+  ASSERT_TRUE(lease.ok()) << lease.status();
+  const Status status =
+      executor.DeliverOutcome("b", *outcome, /*token=*/777, std::move(*lease));
   EXPECT_EQ(status.code(), StatusCode::kTokenMismatch) << status;
   // The orphaned output was released: releasing it again must fail.
   EXPECT_FALSE((*b)->ReleaseRegion(outcome->output).ok());

@@ -227,17 +227,24 @@ TEST_F(PayloadPlaneTest, HopForwardAndInvokeRunsTargetAndReleasesOnFailure) {
   const core::Payload payload(rr::Buffer::FromString("ping"));
   auto ok_hop = manager.hops().Get(*src, *ok_ep);
   ASSERT_TRUE(ok_hop.ok()) << ok_hop.status();
-  auto outcome = (*ok_hop)->ForwardAndInvoke(payload, *ok_ep);
+  // ForwardAndInvoke targets a leased pool instance; the lease stays held
+  // until the outcome's output region has been consumed.
+  auto ok_lease = ok_ep->Lease();
+  ASSERT_TRUE(ok_lease.ok()) << ok_lease.status();
+  auto outcome = (*ok_hop)->ForwardAndInvoke(payload, **ok_lease);
   ASSERT_TRUE(outcome.ok()) << outcome.status();
   auto view = ok_target->OutputView(outcome->output);
   ASSERT_TRUE(view.ok());
   EXPECT_EQ(AsStringView(*view), "ping|ok");
   ASSERT_TRUE(ok_target->ReleaseRegion(outcome->output).ok());
+  ok_lease->Release();
 
   auto bad_hop = manager.hops().Get(*src, *bad_ep);
   ASSERT_TRUE(bad_hop.ok()) << bad_hop.status();
   const size_t regions_before = bad_target->data().registered_region_count();
-  auto failed = (*bad_hop)->ForwardAndInvoke(payload, *bad_ep);
+  auto bad_lease = bad_ep->Lease();
+  ASSERT_TRUE(bad_lease.ok()) << bad_lease.status();
+  auto failed = (*bad_hop)->ForwardAndInvoke(payload, **bad_lease);
   ASSERT_FALSE(failed.ok());
   EXPECT_NE(failed.status().message().find("handler exploded"),
             std::string::npos);
