@@ -38,6 +38,8 @@ Runtime::Runtime(std::string workflow) : Runtime(std::move(workflow), Options{})
 Runtime::Runtime(std::string workflow, Options options)
     : manager_(std::move(workflow)), executor_(&manager_, options.dag_workers) {
   executor_.set_remote_deadline(options.remote_deadline);
+  manager_.hops().set_wire_options(
+      core::TransportOptions{options.transfer_deadline});
   size_t drivers = options.max_in_flight;
   if (drivers == 0) {
     drivers = std::max<size_t>(8, std::thread::hardware_concurrency());

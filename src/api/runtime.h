@@ -109,8 +109,14 @@ class Runtime {
     // DAG scheduler worker pool, shared by every in-flight run. 0 = one per
     // hardware thread.
     size_t dag_workers = 0;
-    // Deadline for one remote (NodeAgent) delivery.
+    // Deadline for one remote (NodeAgent) delivery: Dispatch to completion
+    // callback, including the remote invoke.
     Nanos remote_deadline = std::chrono::seconds(60);
+    // Bound on one wire transfer's blocking waits (header/body/ack), applied
+    // to every hop this runtime establishes (core::TransportOptions). A
+    // receiver that dies mid-body or never acks fails the edge with
+    // kDeadlineExceeded within this bound. Non-positive = unbounded.
+    Nanos transfer_deadline = std::chrono::seconds(30);
   };
 
   explicit Runtime(std::string workflow);

@@ -128,6 +128,9 @@ void Buffer::CopyTo(MutableByteSpan out) const {
   assert(out.size() == size_);
   size_t offset = 0;
   for (const Chunk& chunk : chunks_) {
+    // memcpy requires non-null pointers even for n=0; zero-length chunks
+    // (and an empty destination's null data()) are legal on the data plane.
+    if (chunk.size == 0) continue;
     std::memcpy(out.data() + offset, chunk.data, chunk.size);
     offset += chunk.size;
   }
@@ -200,6 +203,9 @@ void BufferView::CopyTo(MutableByteSpan out) const {
   assert(out.size() == size_);
   size_t offset = 0;
   for (const ByteSpan segment : segments_) {
+    // As in Buffer::CopyTo: memcpy rejects null pointers even for n=0, and
+    // zero-length segments carry a null data().
+    if (segment.empty()) continue;
     std::memcpy(out.data() + offset, segment.data(), segment.size());
     offset += segment.size();
   }

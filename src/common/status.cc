@@ -67,6 +67,11 @@ Status ErrnoToStatus(int err, std::string_view context) {
     case EPIPE:
     case ECONNRESET: return {StatusCode::kDataLoss, std::move(message)};
     case EAGAIN:
+    // A connection that aborted in the accept queue (or a half-open protocol
+    // error) is the peer's transient failure, not the listener's: callers
+    // like NodeAgent::AcceptLoop retry these instead of dying.
+    case ECONNABORTED:
+    case EPROTO:
     case ECONNREFUSED: return {StatusCode::kUnavailable, std::move(message)};
     case ETIMEDOUT: return {StatusCode::kDeadlineExceeded, std::move(message)};
     default: return {StatusCode::kInternal, std::move(message)};

@@ -10,6 +10,16 @@ HopTable::HopTable() {
   (void)RegisterTransport(MakeNetworkTransport());
 }
 
+void HopTable::set_wire_options(TransportOptions options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  wire_options_ = options;
+}
+
+TransportOptions HopTable::wire_options() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return wire_options_;
+}
+
 Status HopTable::RegisterTransport(std::unique_ptr<Transport> transport) {
   if (transport == nullptr) return InvalidArgumentError("null transport");
   std::lock_guard<std::mutex> lock(mutex_);
@@ -22,6 +32,7 @@ Result<std::shared_ptr<Hop>> HopTable::Get(Endpoint& source,
   const TransferMode mode = SelectMode(source.location, target.location);
   std::shared_ptr<Slot> slot;
   std::shared_ptr<Transport> transport;
+  TransportOptions options;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = transports_.find(mode);
@@ -30,6 +41,7 @@ Result<std::shared_ptr<Hop>> HopTable::Get(Endpoint& source,
                                 std::string(TransferModeName(mode)));
     }
     transport = it->second;
+    options = wire_options_;
     slot = slots_
                .try_emplace(PairKey{source.shim->name(), target.shim->name()},
                             std::make_shared<Slot>())
@@ -40,7 +52,7 @@ Result<std::shared_ptr<Hop>> HopTable::Get(Endpoint& source,
   std::lock_guard<std::mutex> slot_lock(slot->mutex);
   if (slot->hop == nullptr) {
     RR_ASSIGN_OR_RETURN(std::unique_ptr<Hop> hop,
-                        transport->Connect(source, target));
+                        transport->Connect(source, target, options));
     slot->hop = std::move(hop);
   }
   return slot->hop;

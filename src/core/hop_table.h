@@ -26,6 +26,13 @@ class HopTable {
   // Installs the three built-in transports (user / kernel / network).
   HopTable();
 
+  // Sets the wire options (per-transfer deadlines) applied to hops
+  // established from now on. Already-established hops keep the options they
+  // connected with — Evict the affected pairs to re-establish. api::Runtime
+  // threads its Options here before any hop exists.
+  void set_wire_options(TransportOptions options);
+  TransportOptions wire_options() const;
+
   // Installs `transport` as the backend for its mode, replacing the built-in.
   // Safe while transfers are in flight: an establishment already running on
   // the old backend completes on it (shared ownership), and
@@ -65,6 +72,7 @@ class HopTable {
   };
 
   mutable std::mutex mutex_;
+  TransportOptions wire_options_;
   std::map<TransferMode, std::shared_ptr<Transport>> transports_;
   std::map<PairKey, std::shared_ptr<Slot>> slots_;
 };

@@ -1,5 +1,7 @@
 #include "core/kernel_channel.h"
 
+#include "core/region_guard.h"
+
 namespace rr::core {
 
 Result<KernelChannelSender> KernelChannelSender::Connect(
@@ -60,6 +62,12 @@ Result<MemoryRegion> KernelChannelReceiver::ReceiveInto(Shim& target,
     return target.PrepareInput(static_cast<uint32_t>(length));
   };
   MemoryRegion delivered;
+  // Reclaims a freshly placed region on any failure between placement and
+  // hand-off (a frame read dying mid-body, a rejected guest write) — the
+  // target instance outlives the failed transfer, so the region must not
+  // stay allocated. Placer-provided regions (fan-in slices) belong to the
+  // caller and are never released here.
+  RegionGuard guard;
   if (mode == CopyMode::kDirectGuest) {
     const Stopwatch transfer_timer;
     Nanos alloc_time{0};
@@ -67,6 +75,7 @@ Result<MemoryRegion> KernelChannelReceiver::ReceiveInto(Shim& target,
         conn_, [&](uint64_t length) -> Result<MutableByteSpan> {
           const Stopwatch alloc_timer;
           RR_ASSIGN_OR_RETURN(delivered, place_region(length));
+          if (place == nullptr) guard = RegionGuard(&target, delivered);
           auto span = target.InputSpan(delivered);
           alloc_time = alloc_timer.Elapsed();
           return span;
@@ -81,17 +90,24 @@ Result<MemoryRegion> KernelChannelReceiver::ReceiveInto(Shim& target,
     timing_.transfer = transfer_timer.Elapsed();
     const Stopwatch io_timer;
     RR_ASSIGN_OR_RETURN(delivered, place_region(staged.size()));
+    if (place == nullptr) guard = RegionGuard(&target, delivered);
     RR_RETURN_IF_ERROR(target.data().write_memory_host(staged, delivered.address));
     timing_.wasm_io = io_timer.Elapsed();
   }
   bytes_received_ += delivered.length;
+  guard.Dismiss();
   return delivered;
 }
 
 Result<InvokeOutcome> KernelChannelReceiver::ReceiveAndInvoke(Shim& target,
                                                               CopyMode mode) {
   RR_ASSIGN_OR_RETURN(const MemoryRegion region, ReceiveInto(target, mode));
-  return target.InvokeOnRegion(region);
+  RegionGuard guard(&target, region);
+  auto outcome = target.InvokeOnRegion(region);
+  // A successful invoke consumes the input; a failed one leaves it placed —
+  // the guard reclaims it so the instance's heap stays bounded.
+  if (outcome.ok()) guard.Dismiss();
+  return outcome;
 }
 
 Result<KernelChannelListener> KernelChannelListener::Bind(

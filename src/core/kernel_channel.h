@@ -32,6 +32,11 @@ class KernelChannelSender {
   Status SendBytes(ByteSpan data);
   Status SendBytes(const rr::BufferView& payload);
 
+  // Arms SO_RCVTIMEO/SO_SNDTIMEO on the socket: a transfer whose peer makes
+  // no progress for `timeout` fails with kDeadlineExceeded instead of
+  // wedging the worker. Non-positive disarms.
+  Status SetWireDeadline(Nanos timeout) { return conn_.SetIoTimeouts(timeout); }
+
   uint64_t bytes_sent() const { return bytes_sent_; }
   const TransferTiming& last_timing() const { return timing_; }
 
@@ -63,6 +68,9 @@ class KernelChannelReceiver {
   // Receive + run the target function.
   Result<InvokeOutcome> ReceiveAndInvoke(Shim& target,
                                          CopyMode mode = CopyMode::kShimStaging);
+
+  // As on the sender: bounds a stalled peer with kDeadlineExceeded.
+  Status SetWireDeadline(Nanos timeout) { return conn_.SetIoTimeouts(timeout); }
 
   uint64_t bytes_received() const { return bytes_received_; }
   const TransferTiming& last_timing() const { return timing_; }

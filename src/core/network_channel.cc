@@ -1,32 +1,48 @@
 #include "core/network_channel.h"
 
+#include <algorithm>
+
 #include "serde/framing.h"
 
 namespace rr::core {
 
-// Terminates every network transfer: receiver -> sender, confirming the
-// payload left the kernel's queues (vmsplice page-reuse protocol).
-constexpr uint8_t kDeliveryAck = 0xA5;
+namespace {
+
+// Terminates every network transfer: receiver -> sender, a status-bearing
+// ack frame confirming the payload durably landed (or why it did not).
+//   [u8 magic][u8 status code][u16 LE detail length][detail bytes]
+constexpr uint8_t kAckMagic = 0xA6;
+constexpr size_t kAckHeaderBytes = 4;
+// Detail strings are diagnostics, not payload: truncated hard so a
+// misbehaving receiver cannot balloon the ack.
+constexpr size_t kMaxAckDetail = 512;
+
+constexpr uint8_t kMaxWireStatusCode =
+    static_cast<uint8_t>(StatusCode::kTokenMismatch);
+
+}  // namespace
 
 Result<VirtualDataHose> VirtualDataHose::Create(size_t pipe_capacity) {
   RR_ASSIGN_OR_RETURN(osal::Pipe pipe, osal::Pipe::Create(pipe_capacity));
   return VirtualDataHose(std::move(pipe));
 }
 
-Status VirtualDataHose::SendThrough(int socket_fd, ByteSpan data) {
+Status VirtualDataHose::SendThrough(int socket_fd, ByteSpan data,
+                                    TimePoint deadline) {
   bytes_moved_ += data.size();
   if (use_splice_) {
-    return osal::HoseSend(pipe_, socket_fd, data);
+    return osal::HoseSend(pipe_, socket_fd, data, deadline);
   }
-  return osal::WriteAll(socket_fd, data);
+  return osal::WriteAllDeadline(socket_fd, data, deadline);
 }
 
-Status VirtualDataHose::ReceiveThrough(int socket_fd, MutableByteSpan out) {
+Status VirtualDataHose::ReceiveThrough(int socket_fd, MutableByteSpan out,
+                                       TimePoint deadline) {
   bytes_moved_ += out.size();
   if (use_splice_) {
-    return osal::HoseReceive(pipe_, socket_fd, out);
+    return osal::HoseReceive(pipe_, socket_fd, out, deadline);
   }
-  return osal::ReadExact(socket_fd, out);
+  return osal::ReadExactDeadline(socket_fd, out, deadline);
 }
 
 Result<NetworkChannelSender> NetworkChannelSender::Connect(
@@ -73,24 +89,63 @@ Status NetworkChannelSender::SendBuffer(const rr::BufferView& payload,
   // Frame header first (16 bytes: length + correlation token), then the body
   // through the hose, chunk by chunk — the hose references each chunk's
   // pages, never copies or reassembles them. The sender must not reuse the
-  // pages until the receiver confirms delivery: the protocol ends with a
-  // 1-byte ack. (SIOCOUTQ draining is NOT sufficient — on loopback the
-  // receive queue's skbs still reference the spliced pages until the peer's
-  // read(2).)
-  uint8_t header[16];
-  StoreLE<uint64_t>(header, payload.size());
-  StoreLE<uint64_t>(header + 8, token);
-  RR_RETURN_IF_ERROR(conn_.Send(ByteSpan(header, 16)));
-  for (size_t i = 0; i < payload.segment_count(); ++i) {
-    RR_RETURN_IF_ERROR(hose_.SendThrough(conn_.fd(), payload.segment(i)));
+  // pages until the receiver confirms delivery: the protocol ends with the
+  // receiver's status-bearing ack frame. (SIOCOUTQ draining is NOT
+  // sufficient — on loopback the receive queue's skbs still reference the
+  // spliced pages until the peer's read(2).) Every blocking wait is bounded
+  // by the transfer deadline.
+  const TimePoint deadline = osal::DeadlineAfter(transfer_deadline_);
+  Status status = [&]() -> Status {
+    uint8_t header[16];
+    StoreLE<uint64_t>(header, payload.size());
+    StoreLE<uint64_t>(header + 8, token);
+    RR_RETURN_IF_ERROR(conn_.Send(ByteSpan(header, 16), deadline));
+    for (size_t i = 0; i < payload.segment_count(); ++i) {
+      RR_RETURN_IF_ERROR(
+          hose_.SendThrough(conn_.fd(), payload.segment(i), deadline));
+    }
+    return Status::Ok();
+  }();
+  bool ack_decoded = false;
+  if (status.ok()) status = ReadAck(deadline, &ack_decoded);
+  if (!status.ok() && !ack_decoded) {
+    // The transfer died without a decoded ack: the wire is dead, or — after
+    // a deadline expiry with the frame (partially) on the wire — the ack
+    // stream is indeterminate, and a LATER transfer on this channel would
+    // consume THIS transfer's stale ack and be mis-attributed. Kill the
+    // channel so subsequent sends fail typed instead of desyncing; callers
+    // (hop eviction / reconnection) establish a fresh one. A decoded error
+    // ack proves the channel is synchronized — it stays usable.
+    ShutdownWire();
   }
-  uint8_t ack = 0;
-  RR_RETURN_IF_ERROR(conn_.Receive(MutableByteSpan(&ack, 1)));
-  if (ack != kDeliveryAck) {
-    return DataLossError("network channel: bad delivery ack");
-  }
+  RR_RETURN_IF_ERROR(status);
   bytes_sent_ += payload.size();
   return Status::Ok();
+}
+
+Status NetworkChannelSender::ReadAck(TimePoint deadline, bool* ack_decoded) {
+  uint8_t header[kAckHeaderBytes];
+  RR_RETURN_IF_ERROR(
+      conn_.Receive(MutableByteSpan(header, kAckHeaderBytes), deadline));
+  if (header[0] != kAckMagic || header[1] > kMaxWireStatusCode) {
+    return DataLossError("network channel: bad delivery ack");
+  }
+  const StatusCode code = static_cast<StatusCode>(header[1]);
+  const uint16_t detail_length = LoadLE<uint16_t>(header + 2);
+  if (detail_length > kMaxAckDetail) {
+    return DataLossError("network channel: implausible ack detail length");
+  }
+  std::string detail;
+  if (detail_length > 0) {
+    detail.resize(detail_length);
+    RR_RETURN_IF_ERROR(conn_.Receive(
+        MutableByteSpan(reinterpret_cast<uint8_t*>(detail.data()),
+                        detail.size()),
+        deadline));
+  }
+  *ack_decoded = true;
+  if (code == StatusCode::kOk) return Status::Ok();
+  return Status(code, "remote delivery failed: " + detail);
 }
 
 Result<NetworkChannelReceiver> NetworkChannelReceiver::FromConnection(
@@ -100,9 +155,9 @@ Result<NetworkChannelReceiver> NetworkChannelReceiver::FromConnection(
   return NetworkChannelReceiver(std::move(conn), std::move(hose));
 }
 
-Result<FrameInfo> NetworkChannelReceiver::ReceiveHeader() {
+Result<FrameInfo> NetworkChannelReceiver::ReceiveHeader(TimePoint deadline) {
   uint8_t header[16];
-  RR_RETURN_IF_ERROR(conn_.Receive(MutableByteSpan(header, 16)));
+  RR_RETURN_IF_ERROR(conn_.Receive(MutableByteSpan(header, 16), deadline));
   FrameInfo frame;
   frame.length = LoadLE<uint64_t>(header);
   frame.token = LoadLE<uint64_t>(header + 8);
@@ -112,52 +167,129 @@ Result<FrameInfo> NetworkChannelReceiver::ReceiveHeader() {
   return frame;
 }
 
-Result<MemoryRegion> NetworkChannelReceiver::ReceiveBody(const FrameInfo& frame,
-                                                         Shim& target,
-                                                         CopyMode mode,
-                                                         const RegionPlacer* place) {
+Status NetworkChannelReceiver::SendAck(const Status& status,
+                                       TimePoint deadline) {
+  const std::string& message = status.message();
+  const size_t detail_length = std::min(message.size(), kMaxAckDetail);
+  uint8_t header[kAckHeaderBytes];
+  header[0] = kAckMagic;
+  header[1] = static_cast<uint8_t>(status.code());
+  StoreLE<uint16_t>(header + 2, static_cast<uint16_t>(detail_length));
+  const ByteSpan parts[] = {
+      ByteSpan(header, kAckHeaderBytes),
+      ByteSpan(reinterpret_cast<const uint8_t*>(message.data()),
+               detail_length)};
+  return conn_.SendParts(parts, 2, deadline);
+}
+
+Status NetworkChannelReceiver::DrainBody(uint64_t length, TimePoint deadline) {
+  uint8_t scratch[64 * 1024];
+  uint64_t drained = 0;
+  while (drained < length) {
+    const size_t want =
+        static_cast<size_t>(std::min<uint64_t>(sizeof(scratch), length - drained));
+    RR_RETURN_IF_ERROR(conn_.Receive(MutableByteSpan(scratch, want), deadline));
+    drained += want;
+  }
+  return Status::Ok();
+}
+
+Status NetworkChannelReceiver::DrainAndReject(uint64_t body_length,
+                                              const Status& reason,
+                                              TimePoint deadline,
+                                              bool* rejected_in_sync) {
+  RR_RETURN_IF_ERROR(DrainBody(body_length, deadline));
+  RR_RETURN_IF_ERROR(SendAck(reason, deadline));
+  if (rejected_in_sync != nullptr) *rejected_in_sync = true;
+  return Status::Ok();
+}
+
+Status NetworkChannelReceiver::RejectBody(const FrameInfo& frame,
+                                          const Status& reason) {
+  return DrainAndReject(frame.length, reason,
+                        osal::DeadlineAfter(transfer_deadline_), nullptr);
+}
+
+Result<MemoryRegion> NetworkChannelReceiver::ReceiveBody(
+    const FrameInfo& frame, Shim& target, CopyMode mode,
+    const RegionPlacer* place, bool* rejected_in_sync) {
   timing_ = {};
+  if (rejected_in_sync != nullptr) *rejected_in_sync = false;
+  const TimePoint deadline = osal::DeadlineAfter(transfer_deadline_);
   const uint64_t length = frame.length;
   const auto place_region = [&]() -> Result<MemoryRegion> {
     if (place != nullptr) return (*place)(static_cast<uint32_t>(length));
     return target.PrepareInput(static_cast<uint32_t>(length));
   };
+  // Fails the frame while keeping the channel in sync: the body (still
+  // entirely on the wire at the call sites below) is drained and `failure`
+  // returns to the sender as a typed error ack. If the drain or ack itself
+  // fails, the channel is dead and rejected_in_sync stays false.
+  const auto reject_in_sync = [&](const Status& failure) -> Status {
+    (void)DrainAndReject(length, failure, deadline, rejected_in_sync);
+    return failure;
+  };
 
   if (mode == CopyMode::kDirectGuest) {
     // allocate_memory(length) in the target, then splice the payload from
-    // the socket into its linear-memory slice directly.
+    // the socket into its linear-memory slice directly. Placement precedes
+    // the body here, so a placement failure drains the wire before acking.
     const Stopwatch alloc_timer;
-    RR_ASSIGN_OR_RETURN(const MemoryRegion region, place_region());
-    RR_ASSIGN_OR_RETURN(MutableByteSpan dest, target.InputSpan(region));
+    auto region = place_region();
+    if (!region.ok()) return reject_in_sync(region.status());
+    RegionGuard guard(place == nullptr ? &target : nullptr, *region);
+    auto dest = target.InputSpan(*region);
+    if (!dest.ok()) return reject_in_sync(dest.status());
     timing_.wasm_io = alloc_timer.Elapsed();
     const Stopwatch transfer_timer;
-    RR_RETURN_IF_ERROR(hose_.ReceiveThrough(conn_.fd(), dest));
-    RR_RETURN_IF_ERROR(conn_.Send(ByteSpan(&kDeliveryAck, 1)));
+    // A mid-body failure desyncs the channel (an unknown count of payload
+    // bytes was consumed): no ack — the guard releases the region and the
+    // caller tears the wire down; the sender fails on its own deadline/EOF.
+    RR_RETURN_IF_ERROR(hose_.ReceiveThrough(conn_.fd(), *dest, deadline));
+    RR_RETURN_IF_ERROR(SendAck(Status::Ok(), deadline));
     timing_.transfer = transfer_timer.Elapsed();
     bytes_received_ += length;
-    return region;
+    guard.Dismiss();
+    return *region;
   }
 
   // Paper path (Algorithm 1 target): splice into the hose, land in a shim
-  // buffer (transfer), then allocate + write_memory_host into the VM.
+  // buffer (transfer), then allocate + write_memory_host into the VM. The
+  // ack moves AFTER the payload durably landed — a placement or write
+  // failure now reaches the sender as a typed error instead of a recorded
+  // success, and the staged body keeps the channel in sync for the next
+  // frame.
   Bytes staged(length);
   const Stopwatch transfer_timer;
-  RR_RETURN_IF_ERROR(hose_.ReceiveThrough(conn_.fd(), staged));
-  RR_RETURN_IF_ERROR(conn_.Send(ByteSpan(&kDeliveryAck, 1)));
+  RR_RETURN_IF_ERROR(hose_.ReceiveThrough(conn_.fd(), staged, deadline));
   timing_.transfer = transfer_timer.Elapsed();
   const Stopwatch io_timer;
-  RR_ASSIGN_OR_RETURN(const MemoryRegion region, place_region());
-  RR_RETURN_IF_ERROR(target.data().write_memory_host(staged, region.address));
+  auto region = place_region();
+  if (!region.ok()) {
+    // Body already staged (drain length 0): the refusal is just the ack.
+    (void)DrainAndReject(0, region.status(), deadline, rejected_in_sync);
+    return region.status();
+  }
+  RegionGuard guard(place == nullptr ? &target : nullptr, *region);
+  const Status written = target.data().write_memory_host(staged, region->address);
+  if (!written.ok()) {
+    (void)DrainAndReject(0, written, deadline, rejected_in_sync);
+    return written;
+  }
+  RR_RETURN_IF_ERROR(SendAck(Status::Ok(), deadline));
   timing_.wasm_io = io_timer.Elapsed();
   bytes_received_ += length;
-  return region;
+  guard.Dismiss();
+  return *region;
 }
 
 Result<MemoryRegion> NetworkChannelReceiver::ReceiveInto(Shim& target,
                                                          CopyMode mode,
                                                          uint64_t* token,
                                                          const RegionPlacer* place) {
-  RR_ASSIGN_OR_RETURN(const FrameInfo frame, ReceiveHeader());
+  RR_ASSIGN_OR_RETURN(
+      const FrameInfo frame,
+      ReceiveHeader(osal::DeadlineAfter(transfer_deadline_)));
   if (token != nullptr) *token = frame.token;
   return ReceiveBody(frame, target, mode, place);
 }
@@ -167,7 +299,12 @@ Result<InvokeOutcome> NetworkChannelReceiver::ReceiveAndInvoke(Shim& target,
                                                                uint64_t* token) {
   RR_ASSIGN_OR_RETURN(const MemoryRegion region,
                       ReceiveInto(target, mode, token));
-  return target.InvokeOnRegion(region);
+  RegionGuard guard(&target, region);
+  auto outcome = target.InvokeOnRegion(region);
+  // A successful invoke consumes the input region; a failed one leaves it
+  // allocated in the target's sandbox — the guard reclaims it.
+  if (outcome.ok()) guard.Dismiss();
+  return outcome;
 }
 
 Result<NetworkChannelListener> NetworkChannelListener::Bind(uint16_t port) {

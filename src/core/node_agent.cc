@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 
 #include "common/log.h"
+#include "core/region_guard.h"
 
 namespace rr::core {
 namespace {
@@ -35,9 +36,24 @@ Result<std::string> ReadPreamble(osal::Connection& conn) {
 
 }  // namespace
 
+bool IsTransientAcceptError(const Status& status) {
+  // kResourceExhausted: EMFILE/ENFILE/ENOMEM — the node is out of fds or
+  // memory *right now*; connections already being served will finish and
+  // free them. kUnavailable: ECONNABORTED/EPROTO/EAGAIN — the failure
+  // belongs to one aborted peer, not the listener.
+  return status.code() == StatusCode::kResourceExhausted ||
+         status.code() == StatusCode::kUnavailable;
+}
+
 Result<std::unique_ptr<NodeAgent>> NodeAgent::Start(uint16_t port) {
+  return Start(port, Options());
+}
+
+Result<std::unique_ptr<NodeAgent>> NodeAgent::Start(uint16_t port,
+                                                    Options options) {
   RR_ASSIGN_OR_RETURN(osal::TcpListener listener, osal::TcpListener::Bind(port));
-  auto agent = std::unique_ptr<NodeAgent>(new NodeAgent(std::move(listener)));
+  auto agent = std::unique_ptr<NodeAgent>(
+      new NodeAgent(std::move(listener), options));
   agent->accept_thread_ = std::thread([raw = agent.get()] { raw->AcceptLoop(); });
   return agent;
 }
@@ -48,15 +64,16 @@ void NodeAgent::Shutdown() {
   if (stopping_.exchange(true)) return;
   ::shutdown(listener_.fd(), SHUT_RDWR);
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> workers;
+  std::map<uint64_t, std::thread> workers;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     // Unblock workers parked in a receive on a still-open channel (senders
     // cached in a HopTable may outlive the agent).
     for (const int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
     workers.swap(workers_);
+    finished_.clear();
   }
-  for (std::thread& worker : workers) {
+  for (auto& [id, worker] : workers) {
     if (worker.joinable()) worker.join();
   }
 }
@@ -88,13 +105,58 @@ Status NodeAgent::UnregisterFunction(const std::string& name) {
   return Status::Ok();
 }
 
+size_t NodeAgent::live_workers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return workers_.size();
+}
+
+void NodeAgent::ReapFinished() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const uint64_t id : finished_) {
+      const auto it = workers_.find(id);
+      if (it == workers_.end()) continue;  // Shutdown already swiped the map
+      done.push_back(std::move(it->second));
+      workers_.erase(it);
+    }
+    finished_.clear();
+  }
+  // Join outside the lock: a worker announcing its own completion needs it.
+  for (std::thread& worker : done) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
 void NodeAgent::AcceptLoop() {
   while (!stopping_.load()) {
+    // Reap between accepts: with periodic traffic the worker map tracks the
+    // live connection count, not the all-time connection count.
+    ReapFinished();
     auto conn = listener_.Accept();
-    if (!conn.ok()) return;
+    if (!conn.ok()) {
+      if (stopping_.load()) return;
+      if (!IsTransientAcceptError(conn.status())) {
+        RR_LOG(Warning) << "node agent: accept failed fatally: "
+                        << conn.status();
+        return;
+      }
+      // EMFILE and friends: back off a beat (finishing connections release
+      // fds; reaping at the loop head releases their threads) and retry.
+      RR_LOG(Warning) << "node agent: transient accept error (retrying): "
+                      << conn.status();
+      PreciseSleep(std::chrono::milliseconds(10));
+      continue;
+    }
     std::lock_guard<std::mutex> lock(mutex_);
-    workers_.emplace_back(
-        [this, c = std::move(*conn)]() mutable { ServeConnection(std::move(c)); });
+    if (stopping_.load()) return;
+    const uint64_t id = next_worker_id_++;
+    workers_.emplace(
+        id, std::thread([this, id, c = std::move(*conn)]() mutable {
+          ServeConnection(std::move(c));
+          std::lock_guard<std::mutex> finish_lock(mutex_);
+          finished_.push_back(id);
+        }));
   }
 }
 
@@ -140,6 +202,7 @@ void NodeAgent::ServeConnection(osal::Connection conn) {
     untrack();
     return;
   }
+  receiver->set_transfer_deadline(options_.transfer_deadline);
 
   // One channel, many transfers: loop until the peer closes. The header is
   // awaited without holding an instance (a parked idle channel must not
@@ -158,28 +221,52 @@ void NodeAgent::ServeConnection(osal::Connection conn) {
     }
     auto lease = entry.pool->Lease();
     if (!lease.ok()) {
-      // Without an instance the body cannot be drained, so the channel
-      // desyncs: tear it down and let the sender fail cleanly.
-      RR_LOG(Warning) << "node agent: no instance for " << *name << ": "
-                      << lease.status();
-      break;
+      // Pool exhausted: refuse the frame on a channel that stays alive —
+      // drain the body, send the typed error ack. The sender's transfer
+      // fails with kResourceExhausted; the connection (and every other
+      // transfer queued behind it) survives the spike.
+      const Status refusal = ResourceExhaustedError(
+          "no instance available for " + *name + ": " +
+          lease.status().message());
+      // Count BEFORE the ack leaves: a sender that observed the typed error
+      // must also observe the count (it may not if the peer died mid-refusal
+      // — then the count records the attempt, which failed either way).
+      transfers_refused_.fetch_add(1, std::memory_order_relaxed);
+      if (!receiver->RejectBody(*frame, refusal).ok()) {
+        // Could not even drain: the channel is desynced, tear it down.
+        RR_LOG(Warning) << "node agent: refusing frame failed for " << *name;
+        break;
+      }
+      RR_LOG(Debug) << "node agent: refused frame for " << *name << ": "
+                    << refusal;
+      continue;
     }
+    bool rejected_in_sync = false;
+    bool delivered = false;
     Result<InvokeOutcome> outcome = [&]() -> Result<InvokeOutcome> {
       // The exec mutex synchronizes the delivery + invoke against readers of
       // regions earlier invocations left resident in this instance.
       std::lock_guard<std::mutex> shim_lock((*lease)->exec_mutex());
-      RR_ASSIGN_OR_RETURN(const MemoryRegion region,
-                          receiver->ReceiveBody(*frame, **lease));
+      RR_ASSIGN_OR_RETURN(
+          const MemoryRegion region,
+          receiver->ReceiveBody(*frame, **lease, CopyMode::kShimStaging,
+                                /*place=*/nullptr, &rejected_in_sync));
+      delivered = true;
+      // A failed invoke leaves the input region allocated; this instance
+      // returns to the pool and lives on, so the region must not leak.
+      RegionGuard guard(lease->get(), region);
       auto invoked = (*lease)->InvokeOnRegion(region);
-      if (!invoked.ok()) {
-        // A failed invoke leaves the input region allocated; this instance
-        // returns to the pool and lives on, so the region must not leak.
-        (void)(*lease)->ReleaseRegion(region);
-      }
+      if (invoked.ok()) guard.Dismiss();
       return invoked;
     }();
     if (!outcome.ok()) {
-      RR_LOG(Debug) << "node agent: transfer ended: " << outcome.status();
+      RR_LOG(Debug) << "node agent: transfer failed: " << outcome.status();
+      // The channel stayed synchronized in two cases: a receiver-side
+      // rejection that drained the body and error-acked it, and an invoke
+      // that failed after the payload landed (delivery already acked). Both
+      // leave the wire healthy — keep serving this connection's other
+      // transfers. Anything else desynced the channel: tear it down.
+      if (rejected_in_sync || delivered) continue;
       break;
     }
     transfers_completed_.fetch_add(1, std::memory_order_relaxed);

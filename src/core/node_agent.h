@@ -14,6 +14,24 @@
 // every received frame leases its own instance for the receive+invoke — so
 // concurrent connections into one function no longer serialize whole
 // transfers behind a single VM, they fan out across the pool.
+//
+// Production shape (the failure-hardened plane):
+//  * The accept loop survives transient errors — EMFILE/ENFILE under fd
+//    pressure, ECONNABORTED from a peer that gave up in the queue — by
+//    backing off and retrying; it exits only on shutdown or a hard listener
+//    error.
+//  * Finished connection threads are reaped as the agent runs (each worker
+//    announces completion; the accept loop joins the announced ones before
+//    the next accept) instead of accumulating one zombie per connection
+//    until Shutdown.
+//  * A frame that cannot be served — the function's pool is exhausted —
+//    is drained and refused with a typed error ack (kResourceExhausted) on a
+//    channel that stays alive, so one saturated function degrades gracefully
+//    instead of killing every sender's connection.
+//  * Body receives are deadline-bounded (AgentOptions::transfer_deadline):
+//    a sender that dies mid-body frees the worker within the bound. The
+//    header wait stays unbounded by design — an idle channel parks there.
+//  * No receive/invoke failure leaks a placed guest region (RegionGuard).
 #pragma once
 
 #include <atomic>
@@ -22,6 +40,7 @@
 #include <memory>
 #include <set>
 #include <thread>
+#include <vector>
 
 #include "core/network_channel.h"
 #include "core/shim.h"
@@ -29,8 +48,19 @@
 
 namespace rr::core {
 
+// True for accept(2) failures an ingress should ride out (fd exhaustion,
+// aborted handshakes) rather than die on. Exposed for tests.
+bool IsTransientAcceptError(const Status& status);
+
 class NodeAgent {
  public:
+  struct Options {
+    // Bounds one frame's body receive (and its ack write). The sender-side
+    // transfer deadline is the other half of the bound; together they
+    // guarantee a wedged peer frees the worker. Non-positive = unbounded.
+    Nanos transfer_deadline = std::chrono::seconds(30);
+  };
+
   // Called after a payload has been delivered and the function invoked. The
   // outcome's output region lives in `instance` — the pool lease the agent
   // acquired for this frame; the consumer keeps it until the output is
@@ -44,6 +74,8 @@ class NodeAgent {
 
   // Binds the node ingress on 127.0.0.1:port (0 = ephemeral).
   static Result<std::unique_ptr<NodeAgent>> Start(uint16_t port);
+  static Result<std::unique_ptr<NodeAgent>> Start(uint16_t port,
+                                                  Options options);
 
   ~NodeAgent();
 
@@ -63,14 +95,26 @@ class NodeAgent {
 
   uint64_t transfers_completed() const { return transfers_completed_.load(); }
 
+  // Frames refused with a typed error ack on a live channel (pool
+  // exhausted): each one failed exactly one sender-side transfer.
+  uint64_t transfers_refused() const { return transfers_refused_.load(); }
+
+  // Connection threads currently tracked (serving or awaiting reap).
+  // Observability for the reaping behavior; not a synchronization point.
+  size_t live_workers() const;
+
   void Shutdown();
 
  private:
-  explicit NodeAgent(osal::TcpListener listener)
-      : listener_(std::move(listener)) {}
+  NodeAgent(osal::TcpListener listener, Options options)
+      : listener_(std::move(listener)), options_(options) {}
 
   void AcceptLoop();
   void ServeConnection(osal::Connection conn);
+
+  // Joins every worker whose ServeConnection has announced completion.
+  // Called from the accept loop between accepts and from Shutdown.
+  void ReapFinished();
 
   struct Entry {
     std::shared_ptr<ShimPool> pool;
@@ -78,15 +122,21 @@ class NodeAgent {
   };
 
   osal::TcpListener listener_;
-  std::mutex mutex_;
+  const Options options_;
+  mutable std::mutex mutex_;
   std::map<std::string, Entry> functions_;
   // Accepted-connection fds, tracked so Shutdown can unblock workers parked
   // in a receive (a peer that never closes must not wedge teardown).
   std::set<int> active_fds_;
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> transfers_completed_{0};
+  std::atomic<uint64_t> transfers_refused_{0};
   std::thread accept_thread_;
-  std::vector<std::thread> workers_;
+  // Workers keyed by id; a worker pushes its id to finished_ when its
+  // connection ends, and ReapFinished joins+erases those entries.
+  std::map<uint64_t, std::thread> workers_;
+  std::vector<uint64_t> finished_;
+  uint64_t next_worker_id_ = 0;
 };
 
 // Sender-side counterpart: connects to a remote NodeAgent (optionally

@@ -7,6 +7,7 @@
 #include "core/kernel_channel.h"
 #include "core/network_channel.h"
 #include "core/node_agent.h"
+#include "core/region_guard.h"
 #include "core/user_channel.h"
 
 namespace rr::core {
@@ -92,17 +93,16 @@ class UserSpaceHop : public Hop {
     RR_ASSIGN_OR_RETURN(const rr::Buffer buffer, payload.Materialize());
     std::lock_guard<std::mutex> lock(target.exec_mutex());
     MemoryRegion dest;
+    RegionGuard guard;
     if (into != nullptr) {
-      dest = *into;
+      dest = *into;  // caller-owned fan-in slice: never released here
     } else {
       RR_ASSIGN_OR_RETURN(
           dest, target.PrepareInput(static_cast<uint32_t>(buffer.size())));
+      guard = RegionGuard(&target, dest);
     }
-    const Status written = target.WriteInput(dest, buffer);
-    if (!written.ok()) {
-      if (into == nullptr) (void)target.ReleaseRegion(dest);
-      return written;
-    }
+    RR_RETURN_IF_ERROR(target.WriteInput(dest, buffer));
+    guard.Dismiss();
     return dest;
   }
 
@@ -114,8 +114,10 @@ class UserSpaceTransport : public Transport {
   TransferMode mode() const override { return TransferMode::kUserSpace; }
 
   Result<std::unique_ptr<Hop>> Connect(Endpoint& source,
-                                       const Endpoint& target) override {
-    // Validate the trust precondition once, at establishment.
+                                       const Endpoint& target,
+                                       const TransportOptions& /*options*/) override {
+    // Validate the trust precondition once, at establishment. (No wire, no
+    // deadline: the transfer is two in-process memory operations.)
     RR_RETURN_IF_ERROR(
         UserSpaceChannel::Create(source.shim, target.shim).status());
     return std::unique_ptr<Hop>(new UserSpaceHop());
@@ -167,8 +169,11 @@ class KernelTransport : public Transport {
   TransferMode mode() const override { return TransferMode::kKernelSpace; }
 
   Result<std::unique_ptr<Hop>> Connect(Endpoint& /*source*/,
-                                       const Endpoint& /*target*/) override {
+                                       const Endpoint& /*target*/,
+                                       const TransportOptions& options) override {
     RR_ASSIGN_OR_RETURN(auto pair, MakeKernelChannelPair());
+    RR_RETURN_IF_ERROR(pair.first.SetWireDeadline(options.transfer_deadline));
+    RR_RETURN_IF_ERROR(pair.second.SetWireDeadline(options.transfer_deadline));
     return std::unique_ptr<Hop>(
         new KernelHop(std::move(pair.first), std::move(pair.second)));
   }
@@ -185,6 +190,7 @@ class NetworkLoopbackHop : public Hop {
       : sender_(std::move(sender)), receiver_(std::move(receiver)) {}
 
   TransferMode mode() const override { return TransferMode::kNetwork; }
+  bool healthy() const override { return sender_.wire_ok(); }
 
   Result<MemoryRegion> Forward(const Payload& payload, Shim& target,
                                TransferTiming* timing,
@@ -224,6 +230,7 @@ class NetworkAgentHop : public Hop {
 
   TransferMode mode() const override { return TransferMode::kNetwork; }
   bool invoke_coupled() const override { return true; }
+  bool healthy() const override { return sender_.wire_ok(); }
 
   Result<MemoryRegion> Forward(const Payload& /*payload*/, Shim& /*target*/,
                                TransferTiming* /*timing*/,
@@ -263,7 +270,8 @@ class NetworkTransport : public Transport {
   TransferMode mode() const override { return TransferMode::kNetwork; }
 
   Result<std::unique_ptr<Hop>> Connect(Endpoint& /*source*/,
-                                       const Endpoint& target) override {
+                                       const Endpoint& target,
+                                       const TransportOptions& options) override {
     if (target.port == 0) {
       // No external ingress registered: create a loopback listener on demand
       // (the in-process stand-in for the remote node's shim port).
@@ -273,6 +281,8 @@ class NetworkTransport : public Transport {
           NetworkChannelSender sender,
           NetworkChannelSender::Connect(target.host, listener.port()));
       RR_ASSIGN_OR_RETURN(NetworkChannelReceiver receiver, listener.Accept());
+      sender.set_transfer_deadline(options.transfer_deadline);
+      receiver.set_transfer_deadline(options.transfer_deadline);
       return std::unique_ptr<Hop>(
           new NetworkLoopbackHop(std::move(sender), std::move(receiver)));
     }
@@ -281,6 +291,7 @@ class NetworkTransport : public Transport {
     RR_ASSIGN_OR_RETURN(
         NetworkChannelSender sender,
         ConnectToRemoteFunction(target.host, target.port, target.shim->name()));
+    sender.set_transfer_deadline(options.transfer_deadline);
     return std::unique_ptr<Hop>(new NetworkAgentHop(std::move(sender)));
   }
 };
@@ -293,12 +304,11 @@ Result<InvokeOutcome> Hop::ForwardAndInvoke(const Payload& payload,
   RR_ASSIGN_OR_RETURN(const MemoryRegion delivered,
                       Forward(payload, target, timing));
   std::lock_guard<std::mutex> shim_lock(target.exec_mutex());
+  // A successful invoke consumes the input region; a failed one leaves it
+  // allocated in the target's sandbox — the guard reclaims it.
+  RegionGuard guard(&target, delivered);
   auto outcome = target.InvokeOnRegion(delivered);
-  if (!outcome.ok()) {
-    // A successful invoke consumes the input region; a failed one leaves it
-    // allocated in the target's sandbox.
-    (void)target.ReleaseRegion(delivered);
-  }
+  if (outcome.ok()) guard.Dismiss();
   return outcome;
 }
 

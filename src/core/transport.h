@@ -28,6 +28,24 @@
 
 namespace rr::core {
 
+// Wire-behavior knobs a transport applies to the hops it establishes.
+// Threaded HopTable -> Transport::Connect so api::Runtime::Options can set
+// them once for every channel of a workflow.
+struct TransportOptions {
+  // Bound on one transfer's blocking waits (header/body/ack on the network
+  // plane; peer-idle timeout on the kernel plane). A dead or stalled peer
+  // surfaces as kDeadlineExceeded within this bound instead of hanging the
+  // transfer. Non-positive = unbounded.
+  //
+  // On the network plane this is an ABSOLUTE per-transfer bound, armed at
+  // frame start — not a progress bound like the kernel plane's socket
+  // timeouts. Size it to the largest frame you expect over the slowest
+  // link (a multi-GiB frame over a slow WAN legitimately takes minutes);
+  // the 30 s default comfortably covers paper-scale payloads on the
+  // emulated 100 Mbps testbed.
+  Nanos transfer_deadline = std::chrono::seconds(30);
+};
+
 // One cached duplex channel between a source and a target function.
 class Hop {
  public:
@@ -69,6 +87,14 @@ class Hop {
   virtual Status Dispatch(const Payload& payload, uint64_t token,
                           TransferTiming* timing = nullptr);
 
+  // False once the hop's underlying wire has died — torn down by Close, or
+  // killed by a transfer that failed without a decoded ack. A failed
+  // transfer on a healthy hop (a typed in-sync refusal, e.g. the remote
+  // pool was exhausted) leaves healthy() true: callers must NOT evict such
+  // hops, or they collapse the other transfers sharing the channel.
+  // Wireless hops are always healthy.
+  virtual bool healthy() const { return true; }
+
   // Kills the underlying wire (idempotent) without invalidating the object:
   // the HopTable calls this on eviction while other runs may still hold the
   // hop, so implementations must tolerate transfers in flight — those fail
@@ -85,9 +111,11 @@ class Transport {
 
   // Establishes a channel between two registered endpoints. Called lazily on
   // a pair's first transfer; the returned hop is cached by the HopTable and
-  // reused by every subsequent run.
-  virtual Result<std::unique_ptr<Hop>> Connect(Endpoint& source,
-                                               const Endpoint& target) = 0;
+  // reused by every subsequent run. `options` carries the table's wire
+  // options (deadlines) for the hop to apply.
+  virtual Result<std::unique_ptr<Hop>> Connect(
+      Endpoint& source, const Endpoint& target,
+      const TransportOptions& options) = 0;
 };
 
 // The built-in backends (installed by HopTable's constructor).

@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "common/log.h"
+#include "core/region_guard.h"
 
 namespace rr::dag {
 
@@ -180,6 +181,14 @@ Status DagExecutor::RunLocalNode(
            static_cast<int64_t>(dag.node(pred).succs.size());
   };
 
+  // A Forward whose wire died (a deadline expiry without a decoded ack shut
+  // a network loopback hop's channel down) leaves the hop dead in the
+  // cache: evict so the next run re-establishes instead of failing forever.
+  // Wireless (user/kernel) hops and typed in-sync refusals stay cached.
+  const auto evict_if_dead = [&](Hop& hop) {
+    if (!hop.healthy()) manager_->hops().Evict(target.shim->name());
+  };
+
   // ONE lease spans the whole node invocation — the gather-region prepare,
   // every leg's delivery, and the invoke all land in the same instance. The
   // lease is released when this function returns (never held across a
@@ -201,7 +210,10 @@ Status DagExecutor::RunLocalNode(
     const Stopwatch edge_timer;
     Result<MemoryRegion> delivered =
         pred_hops.front()->Forward(payload, instance, &timing);
-    RR_RETURN_IF_ERROR(delivered.status());
+    if (!delivered.ok()) {
+      evict_if_dead(*pred_hops.front());
+      return delivered.status();
+    }
     stats.Record(runs[pred].endpoint->shim->name(), target.shim->name(),
                  pred_hops.front()->mode(), delivered->length,
                  edge_timer.Elapsed(), timing.wasm_io + egress_share(pred));
@@ -217,10 +229,15 @@ Status DagExecutor::RunLocalNode(
       return ResourceExhaustedError("fan-in input exceeds 32-bit guest memory");
     }
     MemoryRegion merged;
+    // The gather region must not outlive a failed fan-in: any leg's failure
+    // releases the whole merged allocation (under the instance's exec mutex
+    // — the guard itself takes no locks) before the error propagates.
+    core::RegionGuard merged_guard;
     {
       std::lock_guard<std::mutex> shim_lock(instance.exec_mutex());
       RR_ASSIGN_OR_RETURN(merged,
                           instance.PrepareInput(static_cast<uint32_t>(total)));
+      merged_guard = core::RegionGuard(&instance, merged);
     }
     uint32_t offset = 0;
     for (size_t i = 0; i < node.preds.size(); ++i) {
@@ -234,8 +251,9 @@ Status DagExecutor::RunLocalNode(
       Result<MemoryRegion> delivered =
           pred_hops[i]->Forward(payload, instance, &timing, &slice);
       if (!delivered.ok()) {
+        evict_if_dead(*pred_hops[i]);
         std::lock_guard<std::mutex> shim_lock(instance.exec_mutex());
-        (void)instance.ReleaseRegion(merged);
+        (void)merged_guard.ReleaseNow();
         return delivered.status();
       }
       stats.Record(runs[pred].endpoint->shim->name(), target.shim->name(),
@@ -243,6 +261,7 @@ Status DagExecutor::RunLocalNode(
                    timing.wasm_io + egress_share(pred));
       offset += slice.length;
     }
+    merged_guard.Dismiss();  // ownership continues as the node's input region
     input_region = merged;
   }
   ReleaseConsumedPreds(node, runs);
@@ -250,13 +269,13 @@ Status DagExecutor::RunLocalNode(
   InvokeOutcome outcome;
   {
     std::lock_guard<std::mutex> shim_lock(instance.exec_mutex());
+    // A successful invoke consumes the input region; a failed one leaves it
+    // allocated in the target's sandbox — the guard reclaims it (we hold the
+    // exec mutex for the guard's whole scope).
+    core::RegionGuard input_guard(&instance, input_region);
     auto invoked = instance.InvokeOnRegion(input_region);
-    if (!invoked.ok()) {
-      // A successful invoke consumes the input region; a failed one leaves
-      // it allocated in the target's sandbox.
-      (void)instance.ReleaseRegion(input_region);
-      return invoked.status();
-    }
+    if (!invoked.ok()) return invoked.status();
+    input_guard.Dismiss();
     outcome = *invoked;
   }
   return FinishNode(dag, index, runs, &instance, outcome);
@@ -310,6 +329,14 @@ Status DagExecutor::RunRemoteNode(const Dag& dag, size_t index,
   const Status sent = hop.Dispatch(frame, token, &timing);
   if (!sent.ok()) {
     abandon();
+    // A dispatch that killed its wire (the sender shuts the channel down
+    // whenever a transfer dies without a decoded ack, so a stale ack can
+    // never be mis-attributed to a later transfer) leaves the hop dead in
+    // the cache: evict it so the next run establishes a fresh channel
+    // instead of failing forever. A typed in-sync refusal (remote pool
+    // exhausted, placement failure) leaves the hop healthy — do NOT evict,
+    // the other transfers sharing this channel are unaffected.
+    if (!hop.healthy()) manager_->hops().Evict(target.shim->name());
     return sent;
   }
   ReleaseConsumedPreds(node, runs);

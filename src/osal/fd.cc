@@ -6,12 +6,25 @@
 
 namespace rr::osal {
 
+namespace {
+
+// These helpers serve blocking descriptors, where EAGAIN has exactly one
+// source: an armed SO_RCVTIMEO/SO_SNDTIMEO (Connection::SetIoTimeouts)
+// expired with the peer making no progress. That is a deadline, not a
+// generic unavailability.
+bool IsIoTimeout(int err) { return err == EAGAIN || err == EWOULDBLOCK; }
+
+}  // namespace
+
 Status WriteAll(int fd, ByteSpan data) {
   size_t written = 0;
   while (written < data.size()) {
     const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (IsIoTimeout(errno)) {
+        return DeadlineExceededError("write stalled past the I/O timeout");
+      }
       return ErrnoToStatus(errno, "write");
     }
     written += static_cast<size_t>(n);
@@ -25,6 +38,9 @@ Status ReadExact(int fd, MutableByteSpan out) {
     const ssize_t n = ::read(fd, out.data() + done, out.size() - done);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (IsIoTimeout(errno)) {
+        return DeadlineExceededError("read stalled past the I/O timeout");
+      }
       return ErrnoToStatus(errno, "read");
     }
     if (n == 0) {

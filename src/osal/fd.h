@@ -44,10 +44,14 @@ class UniqueFd {
   int fd_ = -1;
 };
 
-// Writes the entire span, retrying on EINTR and short writes.
+// Writes the entire span, retrying on EINTR and short writes. On a blocking
+// fd, EAGAIN can only mean an armed SO_SNDTIMEO expired (see
+// Connection::SetIoTimeouts) and surfaces as kDeadlineExceeded.
 Status WriteAll(int fd, ByteSpan data);
 
-// Reads exactly `out.size()` bytes; fails with kDataLoss on premature EOF.
+// Reads exactly `out.size()` bytes; fails with kDataLoss on premature EOF
+// and kDeadlineExceeded when an armed SO_RCVTIMEO expires (EAGAIN on a
+// blocking fd).
 Status ReadExact(int fd, MutableByteSpan out);
 
 // Reads until EOF, appending to `out`.

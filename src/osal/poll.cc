@@ -1,0 +1,52 @@
+#include "osal/poll.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <limits>
+
+namespace rr::osal {
+
+namespace {
+
+Status WaitEvent(int fd, short events, TimePoint deadline, const char* what) {
+  while (true) {
+    int timeout_ms = -1;
+    if (deadline != kNoDeadline) {
+      const Nanos remaining = deadline - Now();
+      if (remaining <= Nanos{0}) {
+        return DeadlineExceededError(std::string(what) +
+                                     ": transfer deadline expired");
+      }
+      // Round up so a sub-millisecond remainder still polls once instead of
+      // spinning with timeout 0; clamp so a far-future deadline (> ~24.8
+      // days of int milliseconds) cannot overflow into poll's "negative =
+      // infinite" — the loop re-checks the deadline after each round.
+      const int64_t ms =
+          std::chrono::ceil<std::chrono::milliseconds>(remaining).count();
+      timeout_ms = static_cast<int>(
+          std::min<int64_t>(ms, std::numeric_limits<int>::max()));
+    }
+    pollfd pfd{fd, events, 0};
+    const int n = ::poll(&pfd, 1, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoToStatus(errno, "poll");
+    }
+    if (n == 0) continue;  // timed out this round; the deadline check decides
+    return Status::Ok();
+  }
+}
+
+}  // namespace
+
+Status WaitReadable(int fd, TimePoint deadline) {
+  return WaitEvent(fd, POLLIN, deadline, "wait readable");
+}
+
+Status WaitWritable(int fd, TimePoint deadline) {
+  return WaitEvent(fd, POLLOUT, deadline, "wait writable");
+}
+
+}  // namespace rr::osal

@@ -1,0 +1,40 @@
+// Deadline-bounded readiness waits over poll(2).
+//
+// The failure-hardened wire plane bounds every blocking socket wait —
+// header, body chunk, delivery ack — against a per-transfer deadline, so a
+// peer that dies or stalls mid-transfer surfaces as kDeadlineExceeded
+// instead of a hang. The primitives here gate each blocking syscall: poll
+// for readiness with the remaining time, then perform the I/O (which, for a
+// stream socket that polled ready, completes without blocking when combined
+// with MSG_DONTWAIT or a partial-progress call like splice).
+#pragma once
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace rr::osal {
+
+// The "unbounded" sentinel: waits gated by kNoDeadline block forever, which
+// keeps deadline-threaded code paths uniform (an idle NodeAgent channel
+// parks on its next frame header with no bound by design).
+inline constexpr TimePoint kNoDeadline = TimePoint::max();
+
+// Converts a relative timeout into an absolute deadline. Non-positive
+// timeouts mean unbounded, and a timeout too large for the clock's range
+// (e.g. Nanos::max() meaning "effectively unbounded") clamps to unbounded
+// instead of overflowing into an already-expired deadline.
+inline TimePoint DeadlineAfter(Nanos timeout) {
+  if (timeout <= Nanos{0}) return kNoDeadline;
+  const TimePoint now = Now();
+  if (timeout >= kNoDeadline - now) return kNoDeadline;
+  return now + timeout;
+}
+
+// Blocks until `fd` is readable (resp. writable) or the deadline expires;
+// kDeadlineExceeded on expiry. POLLERR/POLLHUP count as ready: the
+// subsequent I/O call surfaces the actual error (EPIPE, EOF, ...), which is
+// more precise than anything poll reports.
+Status WaitReadable(int fd, TimePoint deadline);
+Status WaitWritable(int fd, TimePoint deadline);
+
+}  // namespace rr::osal

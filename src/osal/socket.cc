@@ -5,6 +5,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -38,7 +39,8 @@ void IgnoreSigpipeOnce() {
 
 }  // namespace
 
-Status Connection::SendParts(const ByteSpan* parts, size_t count) {
+Status Connection::SendParts(const ByteSpan* parts, size_t count,
+                             TimePoint deadline) {
   std::vector<iovec> iov;
   iov.reserve(count);
   for (size_t i = 0; i < count; ++i) {
@@ -46,14 +48,23 @@ Status Connection::SendParts(const ByteSpan* parts, size_t count) {
     if (part.empty()) continue;
     iov.push_back({const_cast<uint8_t*>(part.data()), part.size()});
   }
+  const bool bounded = deadline != kNoDeadline;
   size_t at = 0;
   while (at < iov.size()) {
+    if (bounded) RR_RETURN_IF_ERROR(WaitWritable(fd_.get(), deadline));
     msghdr msg{};
     msg.msg_iov = iov.data() + at;
     msg.msg_iovlen = iov.size() - at;
-    const ssize_t n = ::sendmsg(fd_.get(), &msg, MSG_NOSIGNAL);
+    const ssize_t n = ::sendmsg(fd_.get(), &msg,
+                                MSG_NOSIGNAL | (bounded ? MSG_DONTWAIT : 0));
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (bounded && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Unbounded + blocking fd: EAGAIN can only be an armed SO_SNDTIMEO
+        // expiring — the same deadline mapping WriteAll applies.
+        return DeadlineExceededError("sendmsg stalled past the I/O timeout");
+      }
       return ErrnoToStatus(errno, "sendmsg");
     }
     // Advance past fully-written iovecs; trim a partially-written one.
@@ -70,6 +81,50 @@ Status Connection::SendParts(const ByteSpan* parts, size_t count) {
   return Status::Ok();
 }
 
+Status WriteAllDeadline(int fd, ByteSpan data, TimePoint deadline) {
+  if (deadline == kNoDeadline) return WriteAll(fd, data);
+  size_t written = 0;
+  while (written < data.size()) {
+    RR_RETURN_IF_ERROR(WaitWritable(fd, deadline));
+    const ssize_t n = ::send(fd, data.data() + written, data.size() - written,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return ErrnoToStatus(errno, "send");
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status ReadExactDeadline(int fd, MutableByteSpan out, TimePoint deadline) {
+  if (deadline == kNoDeadline) return ReadExact(fd, out);
+  size_t done = 0;
+  while (done < out.size()) {
+    RR_RETURN_IF_ERROR(WaitReadable(fd, deadline));
+    const ssize_t n =
+        ::recv(fd, out.data() + done, out.size() - done, MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return ErrnoToStatus(errno, "recv");
+    }
+    if (n == 0) {
+      return DataLossError("unexpected EOF after " + std::to_string(done) +
+                           " of " + std::to_string(out.size()) + " bytes");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status Connection::Send(ByteSpan data, TimePoint deadline) {
+  return WriteAllDeadline(fd_.get(), data, deadline);
+}
+
+Status Connection::Receive(MutableByteSpan out, TimePoint deadline) {
+  return ReadExactDeadline(fd_.get(), out, deadline);
+}
+
 Result<size_t> Connection::ReceiveSome(MutableByteSpan out) {
   while (true) {
     const ssize_t n = ::read(fd_.get(), out.data(), out.size());
@@ -84,6 +139,26 @@ Result<size_t> Connection::ReceiveSome(MutableByteSpan out) {
 void Connection::SetNoDelay(bool enabled) {
   const int flag = enabled ? 1 : 0;
   (void)::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &flag, sizeof(flag));
+}
+
+Status Connection::SetIoTimeouts(Nanos timeout) {
+  timeval tv{};
+  if (timeout > Nanos{0}) {
+    const auto usec =
+        std::chrono::duration_cast<std::chrono::microseconds>(timeout);
+    tv.tv_sec = static_cast<time_t>(usec.count() / 1000000);
+    tv.tv_usec = static_cast<suseconds_t>(usec.count() % 1000000);
+    // Sub-microsecond timeouts round to the smallest armed value rather than
+    // the "disarmed" zero.
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  }
+  if (::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return ErrnoToStatus(errno, "setsockopt(SO_RCVTIMEO)");
+  }
+  if (::setsockopt(fd_.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return ErrnoToStatus(errno, "setsockopt(SO_SNDTIMEO)");
+  }
+  return Status::Ok();
 }
 
 void Connection::ShutdownBoth() { ::shutdown(fd_.get(), SHUT_RDWR); }

@@ -67,25 +67,42 @@ size_t HoseChunkSize(const Pipe& pipe) {
 
 }  // namespace
 
-Status HoseSend(Pipe& pipe, int out_fd, ByteSpan data) {
+Status HoseSend(Pipe& pipe, int out_fd, ByteSpan data, TimePoint deadline) {
   const size_t chunk_size = HoseChunkSize(pipe);
+  const bool bounded = deadline != kNoDeadline;
   size_t offset = 0;
   while (offset < data.size()) {
     const size_t n = std::min(chunk_size, data.size() - offset);
     RR_RETURN_IF_ERROR(VmspliceAll(pipe.write_fd(), data.subspan(offset, n)));
     // SPLICE_F_MORE only while further chunks follow: corking the final chunk
     // parks small payloads behind TCP's ~200 ms cork timer.
-    RR_RETURN_IF_ERROR(SpliceExact(pipe.read_fd(), out_fd, n,
-                                   /*more=*/offset + n < data.size()));
+    const bool more = offset + n < data.size();
+    size_t drained = 0;
+    while (drained < n) {
+      // Writability-gated: splice to a socket with buffer space moves a
+      // partial count and returns instead of blocking, so each iteration
+      // makes progress or times out.
+      if (bounded) RR_RETURN_IF_ERROR(WaitWritable(out_fd, deadline));
+      RR_ASSIGN_OR_RETURN(
+          const size_t m, SpliceOnce(pipe.read_fd(), out_fd, n - drained, more));
+      if (m == 0) {
+        return DataLossError("splice EOF after " + std::to_string(drained) +
+                             " of " + std::to_string(n) + " bytes");
+      }
+      drained += m;
+    }
     offset += n;
   }
   return Status::Ok();
 }
 
-Status HoseReceive(Pipe& pipe, int in_fd, MutableByteSpan out) {
+Status HoseReceive(Pipe& pipe, int in_fd, MutableByteSpan out,
+                   TimePoint deadline) {
   const size_t chunk_size = HoseChunkSize(pipe);
+  const bool bounded = deadline != kNoDeadline;
   size_t moved = 0;
   while (moved < out.size()) {
+    if (bounded) RR_RETURN_IF_ERROR(WaitReadable(in_fd, deadline));
     const size_t want = std::min(chunk_size, out.size() - moved);
     RR_ASSIGN_OR_RETURN(const size_t n, SpliceOnce(in_fd, pipe.write_fd(), want));
     if (n == 0) {

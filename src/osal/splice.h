@@ -10,6 +10,7 @@
 #include "common/bytes.h"
 #include "common/clock.h"
 #include "common/status.h"
+#include "osal/poll.h"
 
 namespace rr::osal {
 
@@ -48,13 +49,21 @@ class Pipe;
 // immediately splice it onward, and repeat — the canonical sender loop for
 // the vmsplice+splice zero-copy pattern.
 
-// data (user pages) -> pipe -> out_fd (socket or other fd).
-Status HoseSend(Pipe& pipe, int out_fd, ByteSpan data);
+// data (user pages) -> pipe -> out_fd (socket or other fd). The socket-side
+// splice is gated on writability against `deadline` (kNoDeadline =
+// unbounded), so a receiver that stops draining fails the transfer with
+// kDeadlineExceeded instead of wedging the sender. The pipe side needs no
+// gate: each chunk is vmspliced into an empty pipe and fully drained before
+// the next.
+Status HoseSend(Pipe& pipe, int out_fd, ByteSpan data,
+                TimePoint deadline = kNoDeadline);
 
 // in_fd (socket) -> pipe -> out (user buffer). The final pipe-to-buffer move
 // is a copy: this is precisely why the paper's mechanism is *near*-zero copy
-// on the receive side.
-Status HoseReceive(Pipe& pipe, int in_fd, MutableByteSpan out);
+// on the receive side. The socket-side splice is gated on readability
+// against `deadline`, bounding a sender that stalls mid-body.
+Status HoseReceive(Pipe& pipe, int in_fd, MutableByteSpan out,
+                   TimePoint deadline = kNoDeadline);
 
 // Blocks until the socket's send queue is empty (SIOCOUTQ reaches zero).
 //
