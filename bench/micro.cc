@@ -15,6 +15,8 @@
 #include "common/buffer.h"
 #include "common/rng.h"
 #include "dag/dag.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "osal/pipe.h"
 #include "osal/socket.h"
 #include "osal/splice.h"
@@ -320,6 +322,120 @@ void BM_DagFanoutBytesCopied(benchmark::State& state) {
 }
 BENCHMARK(BM_DagFanoutBytesCopied)->RangeMultiplier(2)->Range(1, 16)
     ->Unit(benchmark::kMillisecond);
+
+// --- ablation 6: observability overhead -------------------------------------
+// The instrumentation rides the hot path everywhere (spans in the DAG
+// engine, counters in every channel), so its disabled cost must be noise.
+// Primitives first, then the end-to-end guard: the SAME instrumented 3-node
+// chain, tracing off vs on — BENCH_observability.json records both and CI
+// checks the disabled path stays within 2% of a run.
+
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  // A plain disabled Span still works as a timer (its End() feeds the
+  // telemetry plane), so it pays the clock reads.
+  obs::SetTracingEnabled(false);
+  for (auto _ : state) {
+    obs::Span span("bench", "probe");
+    benchmark::DoNotOptimize(span.Elapsed());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+void BM_ObsGuardedSpanDisabled(benchmark::State& state) {
+  // The guarded form used on hot-path sites whose duration nobody consumes:
+  // disabled cost is one relaxed atomic load, no clock read, no name built.
+  obs::SetTracingEnabled(false);
+  for (auto _ : state) {
+    RR_TRACE_SPAN(span, "bench", "probe");
+    benchmark::DoNotOptimize(span.has_value());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsGuardedSpanDisabled);
+
+void BM_ObsSpanEnabled(benchmark::State& state) {
+  obs::SetTracingEnabled(true);
+  for (auto _ : state) {
+    obs::Span span("bench", "probe");
+    benchmark::DoNotOptimize(span.context().span_id);
+  }
+  obs::SetTracingEnabled(false);
+  obs::Tracer::Get().Clear();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsSpanEnabled);
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  obs::Counter* counter =
+      obs::Registry::Get().counter("rr_bench_probe_total", "bench probe");
+  for (auto _ : state) counter->Inc();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::Histogram* histogram = obs::Registry::Get().histogram(
+      "rr_bench_probe_seconds", "bench probe");
+  double value = 1e-6;
+  for (auto _ : state) {
+    histogram->Observe(value);
+    value = value < 1.0 ? value * 1.5 : 1e-6;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+// End-to-end: one run of an instrumented user-space 3-node chain.
+// Arg(0) = tracing disabled (the every-deployment default), Arg(1) = full
+// span recording. Identical code path otherwise.
+void BM_ObsChainRun(benchmark::State& state) {
+  const bool tracing = state.range(0) != 0;
+
+  runtime::FunctionSpec spec;
+  spec.workflow = "bm-obs";
+  const Bytes binary = runtime::BuildFunctionModuleBinary();
+  api::Runtime rt("bm-obs");
+  runtime::WasmVm vm("bm-obs");
+  std::vector<std::unique_ptr<core::Shim>> shims;
+  const auto add = [&](const std::string& name) -> Status {
+    spec.name = name;
+    RR_ASSIGN_OR_RETURN(auto shim, core::Shim::CreateInVm(vm, spec, binary));
+    RR_RETURN_IF_ERROR(shim->Deploy([](ByteSpan input) -> Result<Bytes> {
+      return Bytes(input.begin(), input.end());
+    }));
+    core::Endpoint endpoint;
+    endpoint.shim = shim.get();
+    endpoint.location = {"n1", "vm1"};
+    RR_RETURN_IF_ERROR(rt.Register(endpoint));
+    shims.push_back(std::move(shim));
+    return Status::Ok();
+  };
+  Status setup = Status::Ok();
+  for (const char* name : {"s0", "s1", "s2"}) {
+    if (setup.ok()) setup = add(name);
+  }
+  if (!setup.ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+
+  obs::SetTracingEnabled(tracing);
+  const api::ChainSpec chain{{"s0", "s1", "s2"}};
+  const rr::Buffer input = rr::Buffer::FromString(std::string(4096, 'x'));
+  for (auto _ : state) {
+    auto invocation = rt.Submit(chain, input);
+    if (!invocation.ok() || !(*invocation)->Wait().ok()) {
+      state.SkipWithError("run failed");
+      break;
+    }
+  }
+  obs::SetTracingEnabled(false);
+  obs::Tracer::Get().Clear();
+  state.SetLabel(tracing ? "tracing=on" : "tracing=off");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsChainRun)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -33,6 +33,7 @@
 #include "core/shim_pool.h"
 #include "runtime/function.h"
 #include "runtime/instance_pool.h"
+#include "telemetry/metrics.h"
 #include "telemetry/reporter.h"
 
 namespace {
@@ -79,6 +80,9 @@ struct Measurement {
   size_t submits = 0;
   int reps = 0;
   double wall_ms = 0;        // mean per rep: submit burst -> last Wait
+  double p50_ms = 0;         // per-rep wall-time distribution
+  double p95_ms = 0;
+  double p99_ms = 0;
   double runs_per_sec = 0;   // aggregate throughput
   double speedup = 1.0;      // vs. this mode's pool-size-1 row
   runtime::PoolMetrics pool;  // source function's pool, post-run
@@ -151,18 +155,23 @@ Result<Measurement> MeasurePoint(Mode mode, size_t pool_size,
   };
 
   RR_RETURN_IF_ERROR(run_burst().status());  // warm-up: connect, first leases
-  Nanos total{0};
+  std::vector<double> rep_ms;
+  rep_ms.reserve(static_cast<size_t>(reps));
   for (int r = 0; r < reps; ++r) {
     RR_ASSIGN_OR_RETURN(const Nanos elapsed, run_burst());
-    total += elapsed;
+    rep_ms.push_back(ToMillis(elapsed));
   }
+  const telemetry::Summary wall = telemetry::Summarize(rep_ms);
 
   Measurement point;
   point.mode = ModeName(mode);
   point.pool_size = pool_size;
   point.submits = config.submits;
   point.reps = reps;
-  point.wall_ms = std::chrono::duration<double, std::milli>(total).count() / reps;
+  point.wall_ms = wall.mean;
+  point.p50_ms = wall.p50;
+  point.p95_ms = wall.p95;
+  point.p99_ms = wall.p99;
   point.runs_per_sec =
       point.wall_ms > 0
           ? static_cast<double>(config.submits) / (point.wall_ms / 1000.0)
@@ -174,12 +183,14 @@ Result<Measurement> MeasurePoint(Mode mode, size_t pool_size,
 void PrintTable(const std::vector<Measurement>& points, bool csv) {
   rr::telemetry::PrintBanner(
       "Aggregate throughput: concurrent submits of one shared 3-node chain");
-  rr::telemetry::Table table({"Mode", "Pool", "Submits", "Wall (ms)", "Runs/s",
-                              "Speedup vs pool=1", "Leases", "Waits", "Grows"});
+  rr::telemetry::Table table({"Mode", "Pool", "Submits", "Wall (ms)",
+                              "p99 (ms)", "Runs/s", "Speedup vs pool=1",
+                              "Leases", "Waits", "Grows"});
   for (const Measurement& point : points) {
     table.AddRow({point.mode, std::to_string(point.pool_size),
                   std::to_string(point.submits),
                   StrFormat("%.1f", point.wall_ms),
+                  StrFormat("%.1f", point.p99_ms),
                   StrFormat("%.1f", point.runs_per_sec),
                   StrFormat("%.2fx", point.speedup),
                   std::to_string(point.pool.leases),
@@ -199,11 +210,13 @@ void PrintJson(const std::vector<Measurement>& points,
     const Measurement& point = points[i];
     std::printf(
         "    {\"mode\": \"%s\", \"pool_size\": %zu, \"submits\": %zu, "
-        "\"reps\": %d, \"wall_ms\": %.3f, \"runs_per_sec\": %.3f, "
+        "\"reps\": %d, \"wall_ms\": %.3f, \"p50_ms\": %.3f, "
+        "\"p95_ms\": %.3f, \"p99_ms\": %.3f, \"runs_per_sec\": %.3f, "
         "\"speedup_vs_pool1\": %.3f, \"pool_leases\": %" PRIu64
         ", \"pool_waits\": %" PRIu64 ", \"pool_grows\": %" PRIu64 "}%s\n",
         point.mode.c_str(), point.pool_size, point.submits, point.reps,
-        point.wall_ms, point.runs_per_sec, point.speedup, point.pool.leases,
+        point.wall_ms, point.p50_ms, point.p95_ms, point.p99_ms,
+        point.runs_per_sec, point.speedup, point.pool.leases,
         point.pool.waits, point.pool.grows,
         i + 1 < points.size() ? "," : "");
   }

@@ -1,0 +1,148 @@
+// Observability tour: run a remote (NodeAgent) chain with tracing on and an
+// introspection endpoint serving, then export the stitched trace.
+//
+//   $ ./observability                       # run, print summary, exit
+//   $ ./observability --trace-out=trace.json
+//   $ ./observability --port=9464 --serve-ms=30000 &
+//   $ curl localhost:9464/metrics           # Prometheus text
+//   $ curl localhost:9464/healthz           # {"status":"ok",...}
+//   $ curl localhost:9464/trace > trace.json  # load in Perfetto
+//
+// The chain's first function runs in this process; the second lives behind
+// a NodeAgent ingress, so its input crosses a real TCP frame — the exported
+// trace shows the agent-side ingress/invoke spans stitched under the same
+// trace id the Submit minted, which is the cross-process story in one
+// process's ring buffer.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "api/runtime.h"
+#include "core/node_agent.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/function.h"
+
+using namespace rr;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "observability failed: %s\n",
+               status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint16_t port = 0;
+  int serve_ms = 0;
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--port=", 0) == 0) {
+      port = static_cast<uint16_t>(std::atoi(arg.c_str() + 7));
+    } else if (arg.rfind("--serve-ms=", 0) == 0) {
+      serve_ms = std::atoi(arg.c_str() + 11);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
+    }
+  }
+
+  // 1. A runtime with the observability plane on: spans recorded, /metrics
+  //    + /healthz + /trace served (127.0.0.1 only).
+  api::Runtime::Options options;
+  options.tracing = true;
+  options.serve_introspection = true;
+  options.introspection_port = port;
+  api::Runtime rt("obs-demo", options);
+  if (rt.introspection_port() == 0) {
+    return Fail(UnavailableError("introspection endpoint did not start"));
+  }
+
+  const Bytes binary = runtime::BuildFunctionModuleBinary();
+  runtime::FunctionSpec spec;
+  spec.workflow = "obs-demo";
+
+  // 2. "extract" runs in this process.
+  spec.name = "extract";
+  auto extract = core::Shim::Create(spec, binary);
+  if (!extract.ok()) return Fail(extract.status());
+  Status status = (*extract)->Deploy([](ByteSpan input) -> Result<Bytes> {
+    Bytes out(input.begin(), input.end());
+    out.push_back('!');
+    return out;
+  });
+  if (!status.ok()) return Fail(status);
+  core::Endpoint ingress;
+  ingress.shim = extract->get();
+  ingress.location = {"node-a", ""};
+  if (!(status = rt.Register(ingress)).ok()) return Fail(status);
+
+  // 3. "transform" lives behind a NodeAgent ingress on another node: its
+  //    input arrives as a wire frame carrying the trace context extension.
+  auto agent = core::NodeAgent::Start(0);
+  if (!agent.ok()) return Fail(agent.status());
+  spec.name = "transform";
+  auto transform = core::Shim::Create(spec, binary);
+  if (!transform.ok()) return Fail(transform.status());
+  status = (*transform)->Deploy([](ByteSpan input) -> Result<Bytes> {
+    Bytes out(input.begin(), input.end());
+    for (auto& c : out) c = static_cast<uint8_t>(std::toupper(c));
+    return out;
+  });
+  if (!status.ok()) return Fail(status);
+  core::Endpoint remote;
+  remote.shim = transform->get();
+  remote.location = {"node-b", ""};
+  remote.port = (*agent)->port();
+  if (!(status = rt.Register(remote)).ok()) return Fail(status);
+  if (!(status = (*agent)->RegisterFunction(transform->get(),
+                                            rt.DeliverySink()))
+           .ok()) {
+    return Fail(status);
+  }
+
+  // 4. A few traced runs.
+  uint64_t last_trace_id = 0;
+  for (int i = 0; i < 4; ++i) {
+    auto run = rt.Submit(api::ChainSpec{{"extract", "transform"}},
+                         AsBytes("payload-" + std::to_string(i)));
+    if (!run.ok()) return Fail(run.status());
+    const Result<rr::Buffer>& result = (*run)->Wait();
+    if (!result.ok()) return Fail(result.status());
+    last_trace_id = (*run)->trace_id();
+  }
+
+  std::printf("introspection: http://127.0.0.1:%u  (/metrics /healthz /trace)\n",
+              rt.introspection_port());
+  std::printf("last trace id: %016llx\n",
+              static_cast<unsigned long long>(last_trace_id));
+  std::printf("spans recorded: %llu\n",
+              static_cast<unsigned long long>(obs::Tracer::Get().recorded()));
+
+  // 5. Export the stitched trace (Perfetto / chrome://tracing loadable).
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out, std::ios::binary);
+    out << obs::ExportChromeTrace();
+    if (!out.good()) {
+      return Fail(UnavailableError("could not write " + trace_out));
+    }
+    std::printf("trace written: %s\n", trace_out.c_str());
+  }
+
+  // 6. Optionally keep serving so external scrapers (curl, Prometheus) can
+  //    hit the endpoint — the CI smoke test does exactly that.
+  if (serve_ms > 0) {
+    std::printf("serving for %d ms...\n", serve_ms);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(serve_ms));
+  }
+
+  (*agent)->Shutdown();
+  return 0;
+}

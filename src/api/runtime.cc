@@ -2,7 +2,42 @@
 
 #include <algorithm>
 
+#include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace rr::api {
+namespace {
+
+obs::Counter& SubmitTotal() {
+  static obs::Counter* counter = obs::Registry::Get().counter(
+      "rr_submit_total", "Runs accepted by api::Runtime::Submit");
+  return *counter;
+}
+
+obs::Gauge& InFlightRuns() {
+  static obs::Gauge* gauge = obs::Registry::Get().gauge(
+      "rr_inflight_runs", "Submitted runs not yet completed (queued + executing)");
+  return *gauge;
+}
+
+obs::Histogram& SubmitLatency() {
+  static obs::Histogram* histogram = obs::Registry::Get().histogram(
+      "rr_submit_latency_seconds",
+      "Submit-to-completion latency of a run (queue wait included)");
+  return *histogram;
+}
+
+// Eager registration: a scrape right after startup sees the submit series
+// at zero instead of missing.
+const bool g_api_metrics_registered = [] {
+  SubmitTotal();
+  InFlightRuns();
+  SubmitLatency();
+  return true;
+}();
+
+}  // namespace
 
 bool Invocation::Done() const {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -40,6 +75,29 @@ Runtime::Runtime(std::string workflow, Options options)
   executor_.set_remote_deadline(options.remote_deadline);
   manager_.hops().set_wire_options(
       core::TransportOptions{options.transfer_deadline});
+  if (options.tracing) {
+    if (options.trace_capacity > 0) {
+      obs::Tracer::Get().SetCapacity(options.trace_capacity);
+    }
+    obs::SetTracingEnabled(true);
+  }
+  if (options.serve_introspection) {
+    obs::IntrospectionServer::Options intro;
+    intro.port = options.introspection_port;
+    intro.health_fields = [this] {
+      return std::vector<std::pair<std::string, int64_t>>{
+          {"in_flight", static_cast<int64_t>(in_flight())}};
+    };
+    auto server = obs::IntrospectionServer::Start(std::move(intro));
+    if (server.ok()) {
+      introspection_ = std::move(*server);
+    } else {
+      // Introspection is an accessory: a bind failure (port taken) must not
+      // take the data plane down with it.
+      RR_LOG(Warning) << "runtime: introspection endpoint failed to start: "
+                      << server.status();
+    }
+  }
   size_t drivers = options.max_in_flight;
   if (drivers == 0) {
     drivers = std::max<size_t>(8, std::thread::hardware_concurrency());
@@ -51,6 +109,9 @@ Runtime::Runtime(std::string workflow, Options options)
 }
 
 Runtime::~Runtime() {
+  // Stop serving introspection first: its handler reads in_flight() off this
+  // object, which must still be fully alive for every in-flight request.
+  introspection_.reset();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
@@ -102,6 +163,9 @@ Result<std::shared_ptr<Invocation>> Runtime::Enqueue(dag::Dag dag,
   auto invocation = std::shared_ptr<Invocation>(new Invocation(
       next_id_.fetch_add(1, std::memory_order_relaxed), std::move(dag),
       std::move(input)));
+  // Submit mints the run's trace id: everything the run touches — driver,
+  // DAG workers, wire frames, the remote agent's process — spans under it.
+  if (obs::TracingEnabled()) invocation->trace_id_ = obs::NewTraceId();
   invocation->submitted_ = Now();
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -110,6 +174,8 @@ Result<std::shared_ptr<Invocation>> Runtime::Enqueue(dag::Dag dag,
     }
     queue_.push_back(invocation);
   }
+  SubmitTotal().Inc();
+  InFlightRuns().Add(1);
   work_cv_.notify_one();
   return invocation;
 }
@@ -129,9 +195,20 @@ void Runtime::DriverLoop() {
     const TimePoint started = Now();
     RunStats stats;
     stats.queued = started - invocation->submitted_;
-    Result<rr::Buffer> result =
-        executor_.Execute(invocation->dag_, invocation->input_, &stats.dag);
+    Result<rr::Buffer> result{rr::Buffer{}};
+    {
+      // The run executes under the trace id Submit minted: the run span is
+      // the root, and the executor re-installs this context on every DAG
+      // worker that picks up one of the run's nodes.
+      obs::ScopedTraceContext trace_ctx(
+          obs::SpanContext{invocation->trace_id_, 0});
+      RR_TRACE_SPAN(run_span, "api",
+                    "run:" + std::to_string(invocation->id_));
+      result =
+          executor_.Execute(invocation->dag_, invocation->input_, &stats.dag);
+    }
     stats.total = Now() - started;
+    SubmitLatency().Observe(ToSeconds(stats.queued + stats.total));
 
     // Retire from the in-flight count before publishing completion, so a
     // caller returning from Wait() observes in_flight() without this run.
@@ -139,6 +216,7 @@ void Runtime::DriverLoop() {
       std::lock_guard<std::mutex> lock(mutex_);
       --executing_;
     }
+    InFlightRuns().Sub(1);
     {
       std::lock_guard<std::mutex> lock(invocation->mutex_);
       invocation->stats_ = std::move(stats);

@@ -36,6 +36,7 @@
 #include "core/workflow.h"
 #include "dag/dag.h"
 #include "dag/executor.h"
+#include "obs/introspect.h"
 #include "telemetry/metrics.h"
 
 namespace rr::api {
@@ -61,6 +62,11 @@ struct RunStats {
 class Invocation {
  public:
   uint64_t id() const { return id_; }
+
+  // The trace id Submit minted for this run (0 when tracing was off at
+  // submit time). Every span of the run — including remote-agent spans on
+  // other processes — carries this id; grep it in logs, find it in /trace.
+  uint64_t trace_id() const { return trace_id_; }
 
   bool Done() const;
 
@@ -89,6 +95,7 @@ class Invocation {
   const uint64_t id_;
   dag::Dag dag_;
   rr::Buffer input_;
+  uint64_t trace_id_ = 0;
   TimePoint submitted_{};
 
   mutable std::mutex mutex_;
@@ -117,6 +124,18 @@ class Runtime {
     // receiver that dies mid-body or never acks fails the edge with
     // kDeadlineExceeded within this bound. Non-positive = unbounded.
     Nanos transfer_deadline = std::chrono::seconds(30);
+    // Enables invocation tracing process-wide: Submit mints a trace id per
+    // run, spans record into the obs::Tracer ring, frames carry the trace
+    // context to remote agents. Off by default — the disabled instrumentation
+    // costs one clock read per span site.
+    bool tracing = false;
+    // Ring capacity for finished spans when tracing is on (0 = keep the
+    // tracer's current capacity).
+    size_t trace_capacity = 0;
+    // Serves GET /metrics (Prometheus text), /healthz (JSON), and /trace
+    // (Chrome trace JSON) on 127.0.0.1:introspection_port. Off by default.
+    bool serve_introspection = false;
+    uint16_t introspection_port = 0;  // 0 = ephemeral; read introspection_port()
   };
 
   explicit Runtime(std::string workflow);
@@ -156,12 +175,21 @@ class Runtime {
 
   size_t in_flight() const;
 
+  // The introspection endpoint's bound port; 0 when not serving (option off,
+  // or the bind failed — which is logged, not fatal).
+  uint16_t introspection_port() const {
+    return introspection_ != nullptr ? introspection_->port() : 0;
+  }
+
  private:
   Result<std::shared_ptr<Invocation>> Enqueue(dag::Dag dag, rr::Buffer input);
   void DriverLoop();
 
   core::WorkflowManager manager_;
   dag::DagExecutor executor_;
+  // Reset at the top of the destructor, before anything else tears down:
+  // the request handler reads in_flight() off this runtime.
+  std::unique_ptr<obs::IntrospectionServer> introspection_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;

@@ -1,15 +1,18 @@
 #include "common/log.h"
 
+#include <sys/time.h>
+
 #include <atomic>
+#include <cinttypes>
 #include <cstdio>
 #include <cstring>
-#include <mutex>
+#include <ctime>
 
 namespace rr {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
-std::mutex g_log_mutex;
+thread_local uint64_t t_trace_id = 0;
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -32,17 +35,55 @@ const char* Basename(const char* path) {
 LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
+int CurrentThreadTag() {
+  static std::atomic<int> next{0};
+  thread_local const int tag = next.fetch_add(1, std::memory_order_relaxed);
+  return tag;
+}
+
+uint64_t LogTraceId() { return t_trace_id; }
+void SetLogTraceId(uint64_t trace_id) { t_trace_id = trace_id; }
+
 namespace internal {
 
-LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
-  stream_ << "[" << LevelTag(level) << " " << Basename(file) << ":" << line << "] ";
+std::string FormatLogPrefix(LogLevel level, const char* file, int line,
+                            int thread_tag, uint64_t trace_id) {
+  struct timeval tv;
+  ::gettimeofday(&tv, nullptr);
+  struct tm parts;
+  const time_t seconds = tv.tv_sec;
+  ::gmtime_r(&seconds, &parts);
+  char buffer[160];
+  int written = std::snprintf(
+      buffer, sizeof(buffer),
+      "[%s %04d-%02d-%02d %02d:%02d:%02d.%03d t%d %s:%d", LevelTag(level),
+      parts.tm_year + 1900, parts.tm_mon + 1, parts.tm_mday, parts.tm_hour,
+      parts.tm_min, parts.tm_sec, static_cast<int>(tv.tv_usec / 1000),
+      thread_tag, Basename(file), line);
+  if (written < 0) written = 0;
+  std::string prefix(buffer, static_cast<size_t>(written));
+  if (trace_id != 0) {
+    std::snprintf(buffer, sizeof(buffer), " trace=%016" PRIx64, trace_id);
+    prefix += buffer;
+  }
+  prefix += "] ";
+  return prefix;
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << FormatLogPrefix(level, file, line, CurrentThreadTag(),
+                             LogTraceId());
 }
 
 LogMessage::~LogMessage() {
-  std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::fputs(stream_.str().c_str(), stderr);
-  std::fputc('\n', stderr);
-  if (level_ == LogLevel::kError) std::fflush(stderr);
+  // One write per line: the whole message (newline included) goes to stderr
+  // in a single fwrite, so concurrent threads' lines never interleave
+  // mid-line (stderr is unbuffered — one fwrite is one write(2)).
+  stream_ << '\n';
+  const std::string line = stream_.str();
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  (void)level_;
 }
 
 }  // namespace internal

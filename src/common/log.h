@@ -1,7 +1,15 @@
 // Minimal leveled logger. Serverless shims log to stderr; the orchestrating
 // benchmark harness raises the level to keep bench output clean.
+//
+// Each line is emitted as ONE write to stderr (concurrent threads never
+// interleave mid-line) and carries a wall-clock timestamp, a small
+// per-process thread tag, and — when the thread is inside a trace span —
+// the active trace id, so log lines correlate with exported traces:
+//
+//   [I 2026-08-07 12:34:56.789 t3 shim.cc:42 trace=1f3a9c00d2e45b01] ...
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string_view>
 
@@ -11,6 +19,16 @@ enum class LogLevel { kDebug = 0, kInfo, kWarning, kError, kOff };
 
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+// Small dense per-process thread tag (0, 1, 2, ... in first-log order),
+// printed as t<N>. Also used by the tracing plane as the span tid.
+int CurrentThreadTag();
+
+// The calling thread's trace id for log correlation (0 = none). Written by
+// the tracing plane (obs/trace) whenever a span context is installed;
+// common/ stays free of an obs dependency by owning just the slot.
+uint64_t LogTraceId();
+void SetLogTraceId(uint64_t trace_id);
 
 namespace internal {
 
@@ -32,6 +50,11 @@ class LogMessage {
   LogLevel level_;
   std::ostringstream stream_;
 };
+
+// The line prefix (everything up to and including the "] "). Split out so
+// tests can pin the format without capturing stderr.
+std::string FormatLogPrefix(LogLevel level, const char* file, int line,
+                            int thread_tag, uint64_t trace_id);
 
 // Swallows the streamed expression when the level is filtered out.
 struct LogMessageVoidify {

@@ -1,8 +1,28 @@
 #include "core/kernel_channel.h"
 
 #include "core/region_guard.h"
+#include "obs/metrics.h"
 
 namespace rr::core {
+namespace {
+
+// Channel traffic by mode: one family, one series per transfer mechanism
+// (`mode="kernel"` here, "user"/"network" in their channels).
+obs::Counter& KernelBytesSent() {
+  static obs::Counter* counter = obs::Registry::Get().counter(
+      "rr_channel_bytes_total", "Payload bytes moved through data channels",
+      {{"mode", "kernel"}, {"direction", "sent"}});
+  return *counter;
+}
+
+obs::Counter& KernelBytesReceived() {
+  static obs::Counter* counter = obs::Registry::Get().counter(
+      "rr_channel_bytes_total", "Payload bytes moved through data channels",
+      {{"mode", "kernel"}, {"direction", "received"}});
+  return *counter;
+}
+
+}  // namespace
 
 Result<KernelChannelSender> KernelChannelSender::Connect(
     const std::string& socket_path) {
@@ -32,12 +52,14 @@ Status KernelChannelSender::Send(Shim& source, const MemoryRegion& region,
     timing_.transfer = transfer_timer.Elapsed();
   }
   bytes_sent_ += region.length;
+  KernelBytesSent().Inc(region.length);
   return Status::Ok();
 }
 
 Status KernelChannelSender::SendBytes(ByteSpan data) {
   RR_RETURN_IF_ERROR(serde::WriteFrame(conn_, data));
   bytes_sent_ += data.size();
+  KernelBytesSent().Inc(data.size());
   return Status::Ok();
 }
 
@@ -47,6 +69,7 @@ Status KernelChannelSender::SendBytes(const rr::BufferView& payload) {
   RR_RETURN_IF_ERROR(serde::WriteFrame(conn_, payload));
   timing_.transfer = transfer_timer.Elapsed();
   bytes_sent_ += payload.size();
+  KernelBytesSent().Inc(payload.size());
   return Status::Ok();
 }
 
@@ -95,6 +118,7 @@ Result<MemoryRegion> KernelChannelReceiver::ReceiveInto(Shim& target,
     timing_.wasm_io = io_timer.Elapsed();
   }
   bytes_received_ += delivered.length;
+  KernelBytesReceived().Inc(delivered.length);
   guard.Dismiss();
   return delivered;
 }

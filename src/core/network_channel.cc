@@ -2,11 +2,66 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serde/framing.h"
 
 namespace rr::core {
 
 namespace {
+
+obs::Counter& WireBytesSent() {
+  static obs::Counter* counter = obs::Registry::Get().counter(
+      "rr_wire_bytes_sent_total", "Payload bytes sent over network channels");
+  return *counter;
+}
+
+obs::Counter& WireBytesReceived() {
+  static obs::Counter* counter = obs::Registry::Get().counter(
+      "rr_wire_bytes_received_total",
+      "Payload bytes received over network channels");
+  return *counter;
+}
+
+obs::Counter& WireFramesSent() {
+  static obs::Counter* counter = obs::Registry::Get().counter(
+      "rr_wire_frames_sent_total", "Frames sent over network channels");
+  return *counter;
+}
+
+obs::Counter& WireErrorAcks() {
+  static obs::Counter* counter = obs::Registry::Get().counter(
+      "rr_wire_error_acks_total",
+      "Non-OK delivery acks sent by channel receivers");
+  return *counter;
+}
+
+obs::Counter& WireDeadlineExpiries() {
+  static obs::Counter* counter = obs::Registry::Get().counter(
+      "rr_wire_deadline_expiries_total",
+      "Transfers that hit their per-transfer deadline");
+  return *counter;
+}
+
+obs::Counter& WireChannelKills() {
+  static obs::Counter* counter = obs::Registry::Get().counter(
+      "rr_wire_channel_kills_total",
+      "Sender channels killed by ShutdownWire (eviction or desync)");
+  return *counter;
+}
+
+// Error-path counters only increment when something goes wrong; registering
+// the families eagerly makes every scrape expose them at zero, so absence
+// of errors and absence of instrumentation are distinguishable.
+const bool g_wire_metrics_registered = [] {
+  WireBytesSent();
+  WireBytesReceived();
+  WireFramesSent();
+  WireErrorAcks();
+  WireDeadlineExpiries();
+  WireChannelKills();
+  return true;
+}();
 
 // Terminates every network transfer: receiver -> sender, a status-bearing
 // ack frame confirming the payload durably landed (or why it did not).
@@ -96,10 +151,26 @@ Status NetworkChannelSender::SendBuffer(const rr::BufferView& payload,
   // by the transfer deadline.
   const TimePoint deadline = osal::DeadlineAfter(transfer_deadline_);
   Status status = [&]() -> Status {
-    uint8_t header[16];
-    StoreLE<uint64_t>(header, payload.size());
+    // Header: 16 fixed bytes, plus the trace-context extension when the
+    // sending thread is inside a span and tracing is on. The flag rides the
+    // length field's (guaranteed-zero) high bit, so receivers that predate
+    // the extension — and frames from senders with tracing off — stay wire
+    // compatible.
+    uint8_t header[32];
+    size_t header_len = 16;
+    uint64_t length_field = payload.size();
+    if (obs::TracingEnabled()) {
+      const obs::SpanContext ctx = obs::CurrentSpanContext();
+      if (ctx.valid()) {
+        length_field |= kFrameTraceFlag;
+        StoreLE<uint64_t>(header + 16, ctx.trace_id);
+        StoreLE<uint64_t>(header + 24, ctx.span_id);
+        header_len = 32;
+      }
+    }
+    StoreLE<uint64_t>(header, length_field);
     StoreLE<uint64_t>(header + 8, token);
-    RR_RETURN_IF_ERROR(conn_.Send(ByteSpan(header, 16), deadline));
+    RR_RETURN_IF_ERROR(conn_.Send(ByteSpan(header, header_len), deadline));
     for (size_t i = 0; i < payload.segment_count(); ++i) {
       RR_RETURN_IF_ERROR(
           hose_.SendThrough(conn_.fd(), payload.segment(i), deadline));
@@ -108,6 +179,9 @@ Status NetworkChannelSender::SendBuffer(const rr::BufferView& payload,
   }();
   bool ack_decoded = false;
   if (status.ok()) status = ReadAck(deadline, &ack_decoded);
+  if (status.code() == StatusCode::kDeadlineExceeded) {
+    WireDeadlineExpiries().Inc();
+  }
   if (!status.ok() && !ack_decoded) {
     // The transfer died without a decoded ack: the wire is dead, or — after
     // a deadline expiry with the frame (partially) on the wire — the ack
@@ -120,7 +194,15 @@ Status NetworkChannelSender::SendBuffer(const rr::BufferView& payload,
   }
   RR_RETURN_IF_ERROR(status);
   bytes_sent_ += payload.size();
+  WireBytesSent().Inc(payload.size());
+  WireFramesSent().Inc();
   return Status::Ok();
+}
+
+void NetworkChannelSender::ShutdownWire() {
+  wire_ok_.store(false, std::memory_order_relaxed);
+  conn_.ShutdownBoth();
+  WireChannelKills().Inc();
 }
 
 Status NetworkChannelSender::ReadAck(TimePoint deadline, bool* ack_decoded) {
@@ -159,16 +241,28 @@ Result<FrameInfo> NetworkChannelReceiver::ReceiveHeader(TimePoint deadline) {
   uint8_t header[16];
   RR_RETURN_IF_ERROR(conn_.Receive(MutableByteSpan(header, 16), deadline));
   FrameInfo frame;
-  frame.length = LoadLE<uint64_t>(header);
+  const uint64_t length_field = LoadLE<uint64_t>(header);
+  frame.length = length_field & ~kFrameTraceFlag;
   frame.token = LoadLE<uint64_t>(header + 8);
   if (frame.length > serde::kMaxFrameBytes || frame.length > UINT32_MAX) {
     return DataLossError("network channel: implausible frame length");
+  }
+  if (length_field & kFrameTraceFlag) {
+    // Trace-context extension. A zero trace id is tolerated (the frame just
+    // carries no usable context); a read failure is a desync like any other
+    // truncated header.
+    uint8_t extension[16];
+    RR_RETURN_IF_ERROR(
+        conn_.Receive(MutableByteSpan(extension, 16), deadline));
+    frame.trace_id = LoadLE<uint64_t>(extension);
+    frame.parent_span = LoadLE<uint64_t>(extension + 8);
   }
   return frame;
 }
 
 Status NetworkChannelReceiver::SendAck(const Status& status,
                                        TimePoint deadline) {
+  if (!status.ok()) WireErrorAcks().Inc();
   const std::string& message = status.message();
   const size_t detail_length = std::min(message.size(), kMaxAckDetail);
   uint8_t header[kAckHeaderBytes];
@@ -249,6 +343,7 @@ Result<MemoryRegion> NetworkChannelReceiver::ReceiveBody(
     RR_RETURN_IF_ERROR(SendAck(Status::Ok(), deadline));
     timing_.transfer = transfer_timer.Elapsed();
     bytes_received_ += length;
+    WireBytesReceived().Inc(length);
     guard.Dismiss();
     return *region;
   }
@@ -279,6 +374,7 @@ Result<MemoryRegion> NetworkChannelReceiver::ReceiveBody(
   RR_RETURN_IF_ERROR(SendAck(Status::Ok(), deadline));
   timing_.wasm_io = io_timer.Elapsed();
   bytes_received_ += length;
+  WireBytesReceived().Inc(length);
   guard.Dismiss();
   return *region;
 }

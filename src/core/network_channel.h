@@ -135,10 +135,7 @@ class NetworkChannelSender {
   // (possibly on another thread) fails with EPIPE, and the peer's receiver
   // sees EOF. Used by hop eviction, where in-flight users still hold the
   // hop.
-  void ShutdownWire() {
-    wire_ok_.store(false, std::memory_order_relaxed);
-    conn_.ShutdownBoth();
-  }
+  void ShutdownWire();
 
   // False once the wire died — torn down explicitly, or killed by a
   // transfer that failed without a decoded ack (indeterminate ack stream).
@@ -171,10 +168,21 @@ class NetworkChannelSender {
   TransferTiming timing_;
 };
 
-// The fixed 16-byte frame header preceding every payload.
+// Flag bit on the frame header's length field signalling a trace-context
+// extension. The length is validated to fit kMaxFrameBytes (< 2^32), so the
+// high bits of the wire field are guaranteed zero on legacy frames — a
+// legacy peer's frames parse unchanged, and a frame carrying the flag is
+// followed by 16 extra header bytes: [u64 trace id][u64 parent span id].
+constexpr uint64_t kFrameTraceFlag = 1ull << 63;
+
+// The frame header preceding every payload: 16 fixed bytes (length +
+// correlation token), plus the optional 16-byte trace-context extension
+// (kFrameTraceFlag). trace_id 0 = no context (legacy frame, or tracing off).
 struct FrameInfo {
   uint64_t length = 0;
   uint64_t token = 0;
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
 };
 
 class NetworkChannelReceiver {

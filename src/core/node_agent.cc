@@ -4,9 +4,48 @@
 
 #include "common/log.h"
 #include "core/region_guard.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rr::core {
 namespace {
+
+obs::Counter& AgentAcceptRetries() {
+  static obs::Counter* counter = obs::Registry::Get().counter(
+      "rr_agent_accept_retries_total",
+      "Transient accept errors the agent backed off and retried");
+  return *counter;
+}
+
+obs::Gauge& AgentLiveWorkers() {
+  static obs::Gauge* gauge = obs::Registry::Get().gauge(
+      "rr_agent_live_workers", "Connection worker threads currently alive");
+  return *gauge;
+}
+
+obs::Counter& AgentTransfersRefused() {
+  static obs::Counter* counter = obs::Registry::Get().counter(
+      "rr_agent_transfers_refused_total",
+      "Frames refused with a typed error ack (pool exhausted)");
+  return *counter;
+}
+
+obs::Counter& AgentTransfersCompleted() {
+  static obs::Counter* counter = obs::Registry::Get().counter(
+      "rr_agent_transfers_completed_total",
+      "Frames delivered and invoked to completion");
+  return *counter;
+}
+
+// Eager registration: agent series appear in scrapes at zero, before any
+// connection or refusal has happened.
+const bool g_agent_metrics_registered = [] {
+  AgentAcceptRetries();
+  AgentLiveWorkers();
+  AgentTransfersRefused();
+  AgentTransfersCompleted();
+  return true;
+}();
 
 // Routing preamble: [u16 LE name length][name bytes]. Kept fixed and tiny —
 // routing metadata, never payload.
@@ -143,6 +182,7 @@ void NodeAgent::AcceptLoop() {
       }
       // EMFILE and friends: back off a beat (finishing connections release
       // fds; reaping at the loop head releases their threads) and retry.
+      AgentAcceptRetries().Inc();
       RR_LOG(Warning) << "node agent: transient accept error (retrying): "
                       << conn.status();
       PreciseSleep(std::chrono::milliseconds(10));
@@ -153,7 +193,9 @@ void NodeAgent::AcceptLoop() {
     const uint64_t id = next_worker_id_++;
     workers_.emplace(
         id, std::thread([this, id, c = std::move(*conn)]() mutable {
+          AgentLiveWorkers().Add(1);
           ServeConnection(std::move(c));
+          AgentLiveWorkers().Sub(1);
           std::lock_guard<std::mutex> finish_lock(mutex_);
           finished_.push_back(id);
         }));
@@ -232,6 +274,7 @@ void NodeAgent::ServeConnection(osal::Connection conn) {
       // must also observe the count (it may not if the peer died mid-refusal
       // — then the count records the attempt, which failed either way).
       transfers_refused_.fetch_add(1, std::memory_order_relaxed);
+      AgentTransfersRefused().Inc();
       if (!receiver->RejectBody(*frame, refusal).ok()) {
         // Could not even drain: the channel is desynced, tear it down.
         RR_LOG(Warning) << "node agent: refusing frame failed for " << *name;
@@ -244,18 +287,29 @@ void NodeAgent::ServeConnection(osal::Connection conn) {
     bool rejected_in_sync = false;
     bool delivered = false;
     Result<InvokeOutcome> outcome = [&]() -> Result<InvokeOutcome> {
+      // The frame's trace context (decoded from the header extension, {0,0}
+      // on legacy frames) is installed for the whole receive+invoke: the
+      // remote-side spans join the SENDER's trace, which is what stitches a
+      // cross-process chain into one trace. Tolerates absent/zero context —
+      // spans then open their own trace as usual.
+      obs::ScopedTraceContext frame_ctx(
+          obs::SpanContext{frame->trace_id, frame->parent_span});
       // The exec mutex synchronizes the delivery + invoke against readers of
       // regions earlier invocations left resident in this instance.
       std::lock_guard<std::mutex> shim_lock((*lease)->exec_mutex());
+      RR_TRACE_SPAN(ingress_span, "agent", "ingress:" + *name);
       RR_ASSIGN_OR_RETURN(
           const MemoryRegion region,
           receiver->ReceiveBody(*frame, **lease, CopyMode::kShimStaging,
                                 /*place=*/nullptr, &rejected_in_sync));
+      if (ingress_span) ingress_span->End();
       delivered = true;
       // A failed invoke leaves the input region allocated; this instance
       // returns to the pool and lives on, so the region must not leak.
       RegionGuard guard(lease->get(), region);
+      RR_TRACE_SPAN(invoke_span, "agent", "invoke:" + *name);
       auto invoked = (*lease)->InvokeOnRegion(region);
+      if (invoke_span) invoke_span->End();
       if (invoked.ok()) guard.Dismiss();
       return invoked;
     }();
@@ -270,6 +324,7 @@ void NodeAgent::ServeConnection(osal::Connection conn) {
       break;
     }
     transfers_completed_.fetch_add(1, std::memory_order_relaxed);
+    AgentTransfersCompleted().Inc();
     if (entry.on_delivery) {
       entry.on_delivery(*name, *outcome, frame->token, std::move(*lease));
     } else {

@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "core/region_guard.h"
+#include "obs/trace.h"
 
 namespace rr::dag {
 
@@ -83,7 +84,12 @@ Result<rr::Buffer> DagExecutor::Execute(const Dag& dag, const rr::Buffer& input,
   StatsState stats_state;
   stats_state.out = stats;
 
+  // Node tasks execute on the scheduler's pool threads; re-install the
+  // submitting thread's trace context there so every node/edge span joins
+  // the run's trace instead of opening orphan traces per worker.
+  const obs::SpanContext run_ctx = obs::CurrentSpanContext();
   Status status = scheduler_.Run(dag, [&](size_t index) {
+    obs::ScopedTraceContext ctx(run_ctx);
     return RunNode(dag, index, runs, input, stats_state);
   });
 
@@ -131,6 +137,7 @@ Status DagExecutor::RunNode(const Dag& dag, size_t index,
     InvokeOutcome outcome;
     {
       std::lock_guard<std::mutex> shim_lock(lease->exec_mutex());
+      RR_TRACE_SPAN(node_span, "dag", "node:" + node.name);
       RR_ASSIGN_OR_RETURN(outcome,
                           lease->DeliverAndInvoke(rr::BufferView(input)));
     }
@@ -207,16 +214,24 @@ Status DagExecutor::RunLocalNode(
     const Payload payload = runs[pred].payload;
     TransferTiming timing;
     stats.MarkPhaseStart();
+    // While tracing, the edge span doubles as the stats timer (End() returns
+    // the transfer's wall time); with tracing off the Stopwatch serves the
+    // EdgeSample alone and the span site costs one atomic load.
+    RR_TRACE_SPAN(edge_span, "dag",
+                  "edge:" + runs[pred].endpoint->shim->name() + "->" +
+                      target.shim->name());
     const Stopwatch edge_timer;
     Result<MemoryRegion> delivered =
         pred_hops.front()->Forward(payload, instance, &timing);
+    const Nanos edge_latency =
+        edge_span ? edge_span->End() : edge_timer.Elapsed();
     if (!delivered.ok()) {
       evict_if_dead(*pred_hops.front());
       return delivered.status();
     }
     stats.Record(runs[pred].endpoint->shim->name(), target.shim->name(),
                  pred_hops.front()->mode(), delivered->length,
-                 edge_timer.Elapsed(), timing.wasm_io + egress_share(pred));
+                 edge_latency, timing.wasm_io + egress_share(pred));
     input_region = *delivered;
   } else {
     // Fan-in: one gather region of the summed predecessor sizes, every leg
@@ -247,9 +262,14 @@ Status DagExecutor::RunLocalNode(
                                static_cast<uint32_t>(payload.size())};
       TransferTiming timing;
       stats.MarkPhaseStart();
+      RR_TRACE_SPAN(edge_span, "dag",
+                    "edge:" + runs[pred].endpoint->shim->name() + "->" +
+                        target.shim->name());
       const Stopwatch edge_timer;
       Result<MemoryRegion> delivered =
           pred_hops[i]->Forward(payload, instance, &timing, &slice);
+      const Nanos edge_latency =
+          edge_span ? edge_span->End() : edge_timer.Elapsed();
       if (!delivered.ok()) {
         evict_if_dead(*pred_hops[i]);
         std::lock_guard<std::mutex> shim_lock(instance.exec_mutex());
@@ -257,7 +277,7 @@ Status DagExecutor::RunLocalNode(
         return delivered.status();
       }
       stats.Record(runs[pred].endpoint->shim->name(), target.shim->name(),
-                   pred_hops[i]->mode(), slice.length, edge_timer.Elapsed(),
+                   pred_hops[i]->mode(), slice.length, edge_latency,
                    timing.wasm_io + egress_share(pred));
       offset += slice.length;
     }
@@ -273,7 +293,9 @@ Status DagExecutor::RunLocalNode(
     // allocated in the target's sandbox — the guard reclaims it (we hold the
     // exec mutex for the guard's whole scope).
     core::RegionGuard input_guard(&instance, input_region);
+    RR_TRACE_SPAN(node_span, "dag", "node:" + node.name);
     auto invoked = instance.InvokeOnRegion(input_region);
+    if (node_span) node_span->End();
     if (!invoked.ok()) return invoked.status();
     input_guard.Dismiss();
     outcome = *invoked;
@@ -301,6 +323,14 @@ Status DagExecutor::RunRemoteNode(const Dag& dag, size_t index,
   };
 
   stats.MarkPhaseStart();
+  // The whole remote edge (frame assembly, dispatch, remote invoke, delivery
+  // wait) is one span; its duration is the EdgeSample latency (Stopwatch
+  // fallback with tracing off). Dispatch and the ack wait get child spans
+  // below — the dispatch span's context rides the frame's header, so the
+  // agent's remote-side spans join this trace.
+  RR_TRACE_SPAN(edge_span, "dag",
+                "edge:" + runs[node.preds.front()].endpoint->shim->name() +
+                    "->" + target.shim->name());
   const Stopwatch edge_timer;
   TransferTiming timing;
   std::vector<uint64_t> part_bytes;
@@ -326,7 +356,9 @@ Status DagExecutor::RunRemoteNode(const Dag& dag, size_t index,
     }
     frame = Payload(std::move(merged));
   }
+  RR_TRACE_SPAN(dispatch_span, "dag", "dispatch:" + node.name);
   const Status sent = hop.Dispatch(frame, token, &timing);
+  if (dispatch_span) dispatch_span->End();
   if (!sent.ok()) {
     abandon();
     // A dispatch that killed its wire (the sender shuts the channel down
@@ -344,7 +376,9 @@ Status DagExecutor::RunRemoteNode(const Dag& dag, size_t index,
   // The remote agent performs Algorithm 1's receive+invoke; its delivery
   // callback (DeliverySink, registered with the agent) completes the edge,
   // handing over the agent-side instance lease with the outcome.
+  RR_TRACE_SPAN(ack_span, "dag", "ack_wait:" + node.name);
   auto completion = WaitForDelivery(target.shim->name(), token);
+  if (ack_span) ack_span->End();
   if (!completion.ok()) {
     // Tear the channel down with the failed transfer: the agent-side worker
     // dies with the connection, so a frame still in flight is dropped. A
@@ -357,7 +391,7 @@ Status DagExecutor::RunRemoteNode(const Dag& dag, size_t index,
   // Edge latency spans send to delivery confirmation (the remote invoke is
   // part of the edge on this path). A merged frame reports the shared wall
   // time per contributing edge, with each edge's own byte count.
-  const Nanos latency = edge_timer.Elapsed();
+  const Nanos latency = edge_span ? edge_span->End() : edge_timer.Elapsed();
   for (size_t i = 0; i < node.preds.size(); ++i) {
     const size_t pred = node.preds[i];
     stats.Record(runs[pred].endpoint->shim->name(), target.shim->name(),
@@ -385,6 +419,7 @@ Status DagExecutor::FinishNode(const Dag& dag, size_t index,
   NodeRun& run = runs[index];
   run.payload = Payload::FromGuest(instance, outcome.output);
   if (dag.node(index).succs.size() > 1) {
+    RR_TRACE_SPAN(egress_span, "dag", "egress:" + dag.node(index).name);
     RR_RETURN_IF_ERROR(
         run.payload.Materialize(&run.egress_wasm_io).status());
   }

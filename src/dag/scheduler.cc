@@ -2,7 +2,20 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace rr::dag {
+namespace {
+
+// Level of the shared ready queue: nodes dispatched but not yet picked up.
+// Sampled under the queue lock, so Set always publishes a consistent depth.
+obs::Gauge& QueueDepth() {
+  static obs::Gauge* gauge = obs::Registry::Get().gauge(
+      "rr_dag_queue_depth", "Ready DAG nodes waiting for a pool worker");
+  return *gauge;
+}
+
+}  // namespace
 
 DagScheduler::DagScheduler(size_t workers) {
   if (workers == 0) {
@@ -40,6 +53,7 @@ Status DagScheduler::Run(const Dag& dag, const NodeFn& fn) {
     work_cv_.notify_one();
   }
   state.outstanding = dag.sources().size();
+  QueueDepth().Set(static_cast<int64_t>(queue_.size()));
 
   // A validated Dag is non-empty, so outstanding starts > 0 and reaches 0
   // exactly when every reachable (non-cancelled) node has finished.
@@ -54,6 +68,7 @@ void DagScheduler::WorkerLoop() {
     if (stopping_) return;
     auto [state, node] = queue_.front();
     queue_.pop_front();
+    QueueDepth().Set(static_cast<int64_t>(queue_.size()));
 
     Status status;
     if (!state->cancelled) {
@@ -81,6 +96,7 @@ void DagScheduler::WorkerLoop() {
           work_cv_.notify_one();
         }
       }
+      QueueDepth().Set(static_cast<int64_t>(queue_.size()));
     }
     if (--state->outstanding == 0) {
       done_cv_.notify_all();

@@ -1,0 +1,73 @@
+#include "obs/introspect.h"
+
+#include <cstdio>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rr::obs {
+namespace {
+
+http::Response TextResponse(int status, const std::string& reason,
+                            std::string content_type, std::string body) {
+  http::Response response;
+  response.status_code = status;
+  response.reason = reason;
+  response.headers["Content-Type"] = std::move(content_type);
+  response.body = ToBytes(body);
+  return response;
+}
+
+std::string HealthJson(const IntrospectionServer::Options& options,
+                       TimePoint started) {
+  const double uptime =
+      static_cast<double>((Now() - started).count()) / 1e9;
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", uptime);
+  std::string body = "{\"status\":\"ok\",\"uptime_seconds\":";
+  body += buffer;
+  if (options.health_fields) {
+    for (const auto& [key, value] : options.health_fields()) {
+      std::snprintf(buffer, sizeof(buffer), ",\"%s\":%lld", key.c_str(),
+                    static_cast<long long>(value));
+      body += buffer;
+    }
+  }
+  body += "}";
+  return body;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<IntrospectionServer>> IntrospectionServer::Start(
+    Options options) {
+  const TimePoint started = Now();
+  const uint16_t port = options.port;
+  auto handler = [options = std::move(options),
+                  started](const http::Request& request) -> http::Response {
+    if (request.method != "GET") {
+      return TextResponse(405, "Method Not Allowed", "text/plain",
+                          "method not allowed\n");
+    }
+    if (request.target == "/metrics") {
+      return TextResponse(200, "OK",
+                          "text/plain; version=0.0.4; charset=utf-8",
+                          Registry::Get().RenderPrometheus());
+    }
+    if (request.target == "/healthz") {
+      return TextResponse(200, "OK", "application/json",
+                          HealthJson(options, started));
+    }
+    if (request.target == "/trace") {
+      return TextResponse(200, "OK", "application/json", ExportChromeTrace());
+    }
+    return TextResponse(404, "Not Found", "text/plain", "not found\n");
+  };
+  RR_ASSIGN_OR_RETURN(auto server, http::Server::Start(port, std::move(handler)));
+  return std::unique_ptr<IntrospectionServer>(
+      new IntrospectionServer(std::move(server)));
+}
+
+}  // namespace rr::obs

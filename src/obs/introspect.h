@@ -1,0 +1,51 @@
+// Introspection endpoint: a small HTTP server (on the existing http::Server)
+// exposing the process's observability state.
+//
+//   GET /metrics  -> Prometheus text exposition (obs::Registry)
+//   GET /healthz  -> JSON liveness: {"status":"ok","uptime_seconds":...}
+//                    plus any caller-supplied fields (e.g. in-flight runs)
+//   GET /trace    -> Chrome trace-event JSON of the span ring (obs::Tracer)
+//
+// Binds 127.0.0.1 only (the underlying server never listens on other
+// interfaces); the endpoint is unauthenticated and meant for local scrapes
+// and debugging, not the open network.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "http/server.h"
+
+namespace rr::obs {
+
+class IntrospectionServer {
+ public:
+  struct Options {
+    uint16_t port = 0;  // 0 = ephemeral; read back via port()
+
+    // Extra key/value pairs merged into the /healthz JSON object on every
+    // request (values are emitted as JSON numbers). Optional.
+    std::function<std::vector<std::pair<std::string, int64_t>>()>
+        health_fields;
+  };
+
+  static Result<std::unique_ptr<IntrospectionServer>> Start(Options options);
+
+  uint16_t port() const { return server_->port(); }
+
+  // Stops the underlying HTTP server; the destructor also does this.
+  void Shutdown() { server_->Shutdown(); }
+
+ private:
+  explicit IntrospectionServer(std::unique_ptr<http::Server> server)
+      : server_(std::move(server)) {}
+
+  std::unique_ptr<http::Server> server_;
+};
+
+}  // namespace rr::obs

@@ -1,0 +1,235 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rr::obs {
+
+namespace internal {
+
+size_t ThisThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+}  // namespace internal
+
+namespace {
+
+// Shortest round-trippable representation; integral values print without an
+// exponent so greps for counter values stay simple.
+std::string FormatValue(double value) {
+  char buffer[64];
+  if (value == static_cast<double>(static_cast<int64_t>(value)) &&
+      std::abs(value) < 1e15) {
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(value));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  }
+  return buffer;
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+// {key="value",...} with keys sorted; empty labels render as "".
+std::string RenderLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += labels[i].first + "=\"" + EscapeLabelValue(labels[i].second) + "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+
+// Labels with one entry appended — for histogram `le` buckets.
+std::string RenderLabelsWith(const Labels& labels, const std::string& key,
+                             const std::string& value) {
+  Labels extended = labels;
+  extended.emplace_back(key, value);
+  return RenderLabels(extended);
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (Shard& shard : shards_) {
+    shard.counts =
+        std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      shard.counts[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      snapshot.counts[i] += shard.counts[i].load(std::memory_order_relaxed);
+    }
+    snapshot.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  for (const uint64_t count : snapshot.counts) snapshot.count += count;
+  return snapshot;
+}
+
+const std::vector<double>& DefaultLatencyBucketsSeconds() {
+  static const std::vector<double> buckets = [] {
+    std::vector<double> bounds;
+    for (double decade = 1e-6; decade < 10.0; decade *= 10.0) {
+      bounds.push_back(decade);
+      bounds.push_back(decade * 2);
+      bounds.push_back(decade * 5);
+    }
+    bounds.push_back(10.0);
+    return bounds;
+  }();
+  return buckets;
+}
+
+const std::vector<double>& DefaultSizeBuckets() {
+  static const std::vector<double> buckets = [] {
+    std::vector<double> bounds;
+    for (double b = 1024.0; b <= 256.0 * 1024 * 1024; b *= 4.0) {
+      bounds.push_back(b);
+    }
+    return bounds;
+  }();
+  return buckets;
+}
+
+Registry& Registry::Get() {
+  static Registry* registry = new Registry();  // never destroyed: metric
+  return *registry;                            // pointers outlive static dtors
+}
+
+Registry::Series* Registry::GetSeries(std::string_view name,
+                                      std::string_view help, Kind kind,
+                                      Labels labels,
+                                      const std::vector<double>& bounds) {
+  std::sort(labels.begin(), labels.end());
+  const std::string series_key = RenderLabels(labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto family_it = families_.find(name);
+  if (family_it == families_.end()) {
+    Family family;
+    family.kind = kind;
+    family.help = std::string(help);
+    if (kind == Kind::kHistogram) {
+      family.bounds = bounds.empty() ? DefaultLatencyBucketsSeconds() : bounds;
+    }
+    family_it = families_.emplace(std::string(name), std::move(family)).first;
+  }
+  Family& family = family_it->second;
+  if (family.kind != kind) return nullptr;
+  auto series_it = family.series.find(series_key);
+  if (series_it == family.series.end()) {
+    Series series;
+    series.labels = std::move(labels);
+    switch (kind) {
+      case Kind::kCounter:
+        series.counter.reset(new Counter());
+        break;
+      case Kind::kGauge:
+        series.gauge.reset(new Gauge());
+        break;
+      case Kind::kHistogram:
+        series.histogram.reset(new Histogram(family.bounds));
+        break;
+    }
+    series_it = family.series.emplace(series_key, std::move(series)).first;
+  }
+  return &series_it->second;
+}
+
+Counter* Registry::counter(std::string_view name, std::string_view help,
+                           Labels labels) {
+  Series* series =
+      GetSeries(name, help, Kind::kCounter, std::move(labels), {});
+  return series != nullptr ? series->counter.get() : nullptr;
+}
+
+Gauge* Registry::gauge(std::string_view name, std::string_view help,
+                       Labels labels) {
+  Series* series = GetSeries(name, help, Kind::kGauge, std::move(labels), {});
+  return series != nullptr ? series->gauge.get() : nullptr;
+}
+
+Histogram* Registry::histogram(std::string_view name, std::string_view help,
+                               Labels labels,
+                               const std::vector<double>& bounds) {
+  Series* series =
+      GetSeries(name, help, Kind::kHistogram, std::move(labels), bounds);
+  return series != nullptr ? series->histogram.get() : nullptr;
+}
+
+std::string Registry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    if (!family.help.empty()) {
+      out += "# HELP " + name + " " + family.help + "\n";
+    }
+    switch (family.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        for (const auto& [key, series] : family.series) {
+          out += name + key + " " +
+                 FormatValue(static_cast<double>(series.counter->Value())) +
+                 "\n";
+        }
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        for (const auto& [key, series] : family.series) {
+          out += name + key + " " +
+                 FormatValue(static_cast<double>(series.gauge->Value())) +
+                 "\n";
+        }
+        break;
+      case Kind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        for (const auto& [key, series] : family.series) {
+          const Histogram::Snapshot snapshot = series.histogram->Snap();
+          uint64_t cumulative = 0;
+          for (size_t i = 0; i < snapshot.bounds.size(); ++i) {
+            cumulative += snapshot.counts[i];
+            out += name + "_bucket" +
+                   RenderLabelsWith(series.labels, "le",
+                                    FormatValue(snapshot.bounds[i])) +
+                   " " + FormatValue(static_cast<double>(cumulative)) + "\n";
+          }
+          out += name + "_bucket" +
+                 RenderLabelsWith(series.labels, "le", "+Inf") + " " +
+                 FormatValue(static_cast<double>(snapshot.count)) + "\n";
+          out += name + "_sum" + key + " " + FormatValue(snapshot.sum) + "\n";
+          out += name + "_count" + key + " " +
+                 FormatValue(static_cast<double>(snapshot.count)) + "\n";
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rr::obs

@@ -2,7 +2,48 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace rr::runtime {
+namespace {
+
+obs::Histogram& PoolLeaseWait() {
+  static obs::Histogram* histogram = obs::Registry::Get().histogram(
+      "rr_pool_lease_wait_seconds",
+      "Time an Acquire spent waiting for (or building) an instance");
+  return *histogram;
+}
+
+obs::Counter& PoolExhausted() {
+  static obs::Counter* counter = obs::Registry::Get().counter(
+      "rr_pool_exhausted_total",
+      "Acquires that timed out with every instance leased");
+  return *counter;
+}
+
+obs::Counter& PoolGrows() {
+  static obs::Counter* counter = obs::Registry::Get().counter(
+      "rr_pool_grows_total", "Instances built by lazy pool growth");
+  return *counter;
+}
+
+obs::Counter& PoolWaits() {
+  static obs::Counter* counter = obs::Registry::Get().counter(
+      "rr_pool_waits_total", "Acquires that blocked at least once");
+  return *counter;
+}
+
+// Eager registration: scrapes expose the pool series at zero before the
+// first lease, so absence of load reads as 0, not as a missing metric.
+const bool g_pool_metrics_registered = [] {
+  PoolLeaseWait();
+  PoolExhausted();
+  PoolGrows();
+  PoolWaits();
+  return true;
+}();
+
+}  // namespace
 
 void InstancePool::Lease::Release() {
   if (instance_ != nullptr) {
@@ -41,6 +82,7 @@ Result<InstancePool::Lease> InstancePool::Acquire() {
   // One deadline for the whole call: the wait loop may wake and lose the
   // freed instance to a competing acquirer any number of times, and each
   // retry must consume the remaining budget, not restart it.
+  const Stopwatch wait_timer;
   const TimePoint deadline = Now() + options_.acquire_timeout;
   bool counted_wait = false;
   std::unique_lock<std::mutex> lock(mutex_);
@@ -50,6 +92,7 @@ Result<InstancePool::Lease> InstancePool::Acquire() {
       Instance* const instance = idle_.back();
       idle_.pop_back();
       ++leases_;
+      PoolLeaseWait().Observe(wait_timer.ElapsedSeconds());
       return Lease(this, instance);
     }
     if (instances_.size() + growing_ < options_.max_instances) {
@@ -72,16 +115,20 @@ Result<InstancePool::Lease> InstancePool::Acquire() {
       instances_.push_back(std::move(*instance));
       ++grows_;
       ++leases_;
+      PoolGrows().Inc();
+      PoolLeaseWait().Observe(wait_timer.ElapsedSeconds());
       return Lease(this, raw);
     }
     if (!counted_wait) {
       counted_wait = true;  // one blocked Acquire = one wait, however many retries
       ++waits_;
+      PoolWaits().Inc();
     }
     if (!idle_cv_.wait_until(lock, deadline, [this] {
           return !idle_.empty() ||
                  instances_.size() + growing_ < options_.max_instances;
         })) {
+      PoolExhausted().Inc();
       return DeadlineExceededError(
           "instance pool exhausted: all " +
           std::to_string(options_.max_instances) +

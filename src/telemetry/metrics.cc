@@ -29,6 +29,7 @@ Summary Summarize(std::vector<double> samples) {
   };
   summary.p50 = percentile(0.50);
   summary.p95 = percentile(0.95);
+  summary.p99 = percentile(0.99);
   return summary;
 }
 

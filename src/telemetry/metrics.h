@@ -80,6 +80,7 @@ struct Summary {
   double max = 0;
   double p50 = 0;
   double p95 = 0;
+  double p99 = 0;
   size_t count = 0;
 };
 

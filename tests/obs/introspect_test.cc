@@ -1,0 +1,112 @@
+// Introspection endpoint tests: /metrics serves Prometheus-parseable text,
+// /healthz serves JSON health fields, /trace exports the span ring, and
+// unknown routes / methods are rejected.
+#include "obs/introspect.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "http/http.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serde/json.h"
+
+namespace rr::obs {
+namespace {
+
+std::string BodyOf(const http::Response& response) {
+  return std::string(AsStringView(ByteSpan(response.body)));
+}
+
+TEST(IntrospectTest, MetricsEndpointServesPrometheusText) {
+  Counter* counter =
+      Registry::Get().counter("rr_test_introspect_total", "introspect help");
+  ASSERT_NE(counter, nullptr);
+  counter->Inc(5);
+
+  IntrospectionServer::Options options;
+  options.port = 0;  // ephemeral
+  auto server = IntrospectionServer::Start(std::move(options));
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  http::Request metrics_request;
+  metrics_request.target = "/metrics";
+  auto response = http::Fetch("127.0.0.1", (*server)->port(), metrics_request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status_code, 200);
+  EXPECT_EQ(response->headers["Content-Type"],
+            "text/plain; version=0.0.4; charset=utf-8");
+  const std::string body = BodyOf(*response);
+  EXPECT_NE(body.find("# TYPE rr_test_introspect_total counter"),
+            std::string::npos);
+  EXPECT_NE(body.find("rr_test_introspect_total 5"), std::string::npos);
+}
+
+TEST(IntrospectTest, HealthzReportsOkAndCustomFields) {
+  IntrospectionServer::Options options;
+  options.port = 0;
+  options.health_fields = [] {
+    return std::vector<std::pair<std::string, int64_t>>{{"in_flight", 3}};
+  };
+  auto server = IntrospectionServer::Start(std::move(options));
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  http::Request request;
+  request.target = "/healthz";
+  auto response = http::Fetch("127.0.0.1", (*server)->port(), request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status_code, 200);
+  const auto decoded = serde::JsonDecode(BodyOf(*response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ((*decoded)["status"].as_string(), "ok");
+  EXPECT_EQ((*decoded)["in_flight"].as_number(), 3);
+  EXPECT_TRUE((*decoded)["uptime_seconds"].is_number());
+}
+
+TEST(IntrospectTest, TraceEndpointServesChromeJson) {
+  SetTracingEnabled(true);
+  { Span span("test", "introspect-span"); }
+  SetTracingEnabled(false);
+
+  IntrospectionServer::Options options;
+  options.port = 0;
+  auto server = IntrospectionServer::Start(std::move(options));
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  http::Request request;
+  request.target = "/trace";
+  auto response = http::Fetch("127.0.0.1", (*server)->port(), request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status_code, 200);
+  const auto decoded = serde::JsonDecode(BodyOf(*response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE((*decoded)["traceEvents"].is_array());
+  Tracer::Get().SetCapacity(4096);
+}
+
+TEST(IntrospectTest, UnknownRoutesAndMethodsRejected) {
+  IntrospectionServer::Options options;
+  options.port = 0;
+  auto server = IntrospectionServer::Start(std::move(options));
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  http::Request missing;
+  missing.target = "/nope";
+  auto response = http::Fetch("127.0.0.1", (*server)->port(), missing);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status_code, 404);
+
+  http::Request post;
+  post.method = "POST";
+  post.target = "/metrics";
+  response = http::Fetch("127.0.0.1", (*server)->port(), post);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status_code, 405);
+
+  // Shutdown is idempotent and the port stops answering.
+  (*server)->Shutdown();
+}
+
+}  // namespace
+}  // namespace rr::obs

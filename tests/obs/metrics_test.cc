@@ -1,0 +1,171 @@
+// Metrics registry tests: family/series registration, kind-mismatch
+// surfacing, exact totals under heavy multi-thread contention on one
+// histogram (the sharding claim), and Prometheus text exposition.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace rr::obs {
+namespace {
+
+TEST(MetricsRegistryTest, CounterGaugeHistogramRoundTrip) {
+  Registry& registry = Registry::Get();
+
+  Counter* counter = registry.counter("rr_test_roundtrip_total", "help");
+  ASSERT_NE(counter, nullptr);
+  const uint64_t counter_before = counter->Value();
+  counter->Inc();
+  counter->Inc(41);
+  EXPECT_EQ(counter->Value(), counter_before + 42);
+
+  Gauge* gauge = registry.gauge("rr_test_roundtrip_level", "help");
+  ASSERT_NE(gauge, nullptr);
+  gauge->Set(7);
+  gauge->Add(3);
+  gauge->Sub(2);
+  EXPECT_EQ(gauge->Value(), 8);
+
+  Histogram* histogram = registry.histogram(
+      "rr_test_roundtrip_seconds", "help", {}, {0.001, 0.01, 0.1});
+  ASSERT_NE(histogram, nullptr);
+  histogram->Observe(0.0005);  // bucket 0
+  histogram->Observe(0.05);    // bucket 2
+  histogram->Observe(5.0);     // +Inf
+  const Histogram::Snapshot snap = histogram->Snap();
+  ASSERT_EQ(snap.bounds.size(), 3u);
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.counts[1], 0u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.0005 + 0.05 + 5.0);
+}
+
+TEST(MetricsRegistryTest, SameSiteReturnsSameSeriesPointer) {
+  Counter* first = Registry::Get().counter("rr_test_stable_total");
+  Counter* second = Registry::Get().counter("rr_test_stable_total");
+  EXPECT_EQ(first, second);
+}
+
+TEST(MetricsRegistryTest, LabelSetsNameDistinctSeries) {
+  Counter* sent = Registry::Get().counter("rr_test_labeled_total", "help",
+                                          {{"direction", "sent"}});
+  Counter* received = Registry::Get().counter("rr_test_labeled_total", "help",
+                                              {{"direction", "received"}});
+  ASSERT_NE(sent, nullptr);
+  ASSERT_NE(received, nullptr);
+  EXPECT_NE(sent, received);
+  // Label order is normalized: permuted keys name the same series.
+  Counter* multi_a = Registry::Get().counter(
+      "rr_test_multilabel_total", "", {{"a", "1"}, {"b", "2"}});
+  Counter* multi_b = Registry::Get().counter(
+      "rr_test_multilabel_total", "", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(multi_a, multi_b);
+}
+
+TEST(MetricsRegistryTest, KindMismatchReturnsNullNotCrash) {
+  ASSERT_NE(Registry::Get().counter("rr_test_kind_total"), nullptr);
+  EXPECT_EQ(Registry::Get().gauge("rr_test_kind_total"), nullptr);
+  EXPECT_EQ(Registry::Get().histogram("rr_test_kind_total"), nullptr);
+}
+
+TEST(MetricsRegistryTest, ContendedHistogramTotalsAreExact) {
+  // The sharding claim: 16 threads hammering ONE histogram must lose
+  // nothing — the snapshot's count and sum account for every Observe.
+  // (This test runs under TSan in CI, covering the relaxed-atomic scheme.)
+  constexpr int kThreads = 16;
+  constexpr int kPerThread = 20000;
+  Histogram* histogram = Registry::Get().histogram(
+      "rr_test_contended_seconds", "contention target", {},
+      DefaultLatencyBucketsSeconds());
+  ASSERT_NE(histogram, nullptr);
+  Counter* counter = Registry::Get().counter("rr_test_contended_total");
+  ASSERT_NE(counter, nullptr);
+  const Histogram::Snapshot before = histogram->Snap();
+  const uint64_t counter_before = counter->Value();
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      // Distinct per-thread values so the sum check would catch a lost or
+      // double-counted shard, not just a lost increment.
+      const double value = 1e-6 * static_cast<double>(t + 1);
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram->Observe(value);
+        counter->Inc();
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& thread : threads) thread.join();
+
+  const Histogram::Snapshot after = histogram->Snap();
+  EXPECT_EQ(after.count - before.count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(counter->Value() - counter_before,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  double expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    expected_sum += 1e-6 * static_cast<double>(t + 1) * kPerThread;
+  }
+  EXPECT_NEAR(after.sum - before.sum, expected_sum, expected_sum * 1e-9);
+  // Cumulative bucket invariant: counts ascend to the total.
+  uint64_t cumulative = 0;
+  for (const uint64_t bucket : after.counts) cumulative += bucket;
+  EXPECT_EQ(cumulative, after.count);
+}
+
+TEST(MetricsRegistryTest, RenderPrometheusExposition) {
+  Counter* counter =
+      Registry::Get().counter("rr_test_render_total", "render help");
+  Gauge* gauge = Registry::Get().gauge("rr_test_render_level", "level help");
+  Histogram* histogram = Registry::Get().histogram(
+      "rr_test_render_seconds", "histo help", {}, {0.5, 1.0});
+  ASSERT_NE(counter, nullptr);
+  ASSERT_NE(gauge, nullptr);
+  ASSERT_NE(histogram, nullptr);
+  counter->Inc(3);
+  gauge->Set(-2);
+  histogram->Observe(0.25);
+  histogram->Observe(0.75);
+  histogram->Observe(2.0);
+
+  const std::string text = Registry::Get().RenderPrometheus();
+  EXPECT_NE(text.find("# HELP rr_test_render_total render help"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE rr_test_render_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE rr_test_render_level gauge"), std::string::npos);
+  EXPECT_NE(text.find("rr_test_render_level -2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE rr_test_render_seconds histogram"),
+            std::string::npos);
+  // Buckets are cumulative and end at +Inf == _count.
+  EXPECT_NE(text.find("rr_test_render_seconds_bucket{le=\"0.5\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("rr_test_render_seconds_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("rr_test_render_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("rr_test_render_seconds_count 3"), std::string::npos);
+  // Labeled series render {key="value"}.
+  Counter* labeled = Registry::Get().counter("rr_test_render_labeled_total",
+                                             "", {{"mode", "user"}});
+  ASSERT_NE(labeled, nullptr);
+  labeled->Inc();
+  const std::string labeled_text = Registry::Get().RenderPrometheus();
+  EXPECT_NE(labeled_text.find("rr_test_render_labeled_total{mode=\"user\"} 1"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace rr::obs

@@ -1,0 +1,244 @@
+// Cross-process trace propagation: a remote (NodeAgent) chain must yield ONE
+// stitched trace — the agent's ingress/invoke spans carry the trace id the
+// submitting runtime minted, because the context rode the wire frame header.
+// Also covers wire tolerance: legacy headers without the trace extension and
+// trace-flagged frames with a zero id must deliver; a truncated extension
+// must fail cleanly, not desync into garbage.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/runtime.h"
+#include "core/network_channel.h"
+#include "core/node_agent.h"
+#include "obs/trace.h"
+#include "runtime/function.h"
+#include "serde/json.h"
+
+namespace rr::obs {
+namespace {
+
+using core::Endpoint;
+using core::Location;
+using core::Shim;
+
+runtime::FunctionSpec Spec(const std::string& name) {
+  runtime::FunctionSpec spec;
+  spec.name = name;
+  spec.workflow = "wf";
+  return spec;
+}
+
+const Bytes& Binary() {
+  static const Bytes binary = runtime::BuildFunctionModuleBinary();
+  return binary;
+}
+
+class TracePropagationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetTracingEnabled(false);
+    Tracer::Get().SetCapacity(4096);
+  }
+  void TearDown() override {
+    SetTracingEnabled(false);
+    Tracer::Get().SetCapacity(4096);
+  }
+
+  std::unique_ptr<Shim> AddFunction(api::Runtime& rt, const std::string& name,
+                                    Location location, uint16_t port = 0) {
+    auto shim = Shim::Create(Spec(name), Binary());
+    EXPECT_TRUE(shim.ok()) << shim.status();
+    EXPECT_TRUE((*shim)
+                    ->Deploy([name](ByteSpan input) -> Result<Bytes> {
+                      std::string out(AsStringView(input));
+                      out += "|" + name;
+                      return ToBytes(out);
+                    })
+                    .ok());
+    Endpoint endpoint;
+    endpoint.shim = shim->get();
+    endpoint.location = std::move(location);
+    endpoint.port = port;
+    EXPECT_TRUE(rt.Register(endpoint).ok());
+    return std::move(*shim);
+  }
+
+  static std::vector<SpanRecord> SpansNamed(const std::string& name) {
+    std::vector<SpanRecord> found;
+    for (const SpanRecord& span : Tracer::Get().Snapshot()) {
+      if (span.name == name) found.push_back(span);
+    }
+    return found;
+  }
+};
+
+TEST_F(TracePropagationTest, RemoteChainYieldsOneStitchedTrace) {
+  // a runs locally; b and c live behind NodeAgent ingresses on two distinct
+  // nodes, so BOTH downstream edges cross the wire. Every span of the run —
+  // the driver's root, the dag dispatch/ack spans, and the agent-side
+  // ingress/invoke spans that were parented from the FRAME header, not from
+  // ambient thread state — must share the trace id Submit minted.
+  api::Runtime::Options options;
+  options.tracing = true;
+  api::Runtime rt("wf", options);
+  auto a = AddFunction(rt, "a", {"n1", ""});
+
+  auto agent_b = core::NodeAgent::Start(0);
+  ASSERT_TRUE(agent_b.ok()) << agent_b.status();
+  auto agent_c = core::NodeAgent::Start(0);
+  ASSERT_TRUE(agent_c.ok()) << agent_c.status();
+  auto b = AddFunction(rt, "b", {"n2", ""}, (*agent_b)->port());
+  auto c = AddFunction(rt, "c", {"n3", ""}, (*agent_c)->port());
+  ASSERT_TRUE((*agent_b)->RegisterFunction(b.get(), rt.DeliverySink()).ok());
+  ASSERT_TRUE((*agent_c)->RegisterFunction(c.get(), rt.DeliverySink()).ok());
+
+  auto invocation = rt.Submit(api::ChainSpec{{"a", "b", "c"}}, AsBytes("in"));
+  ASSERT_TRUE(invocation.ok()) << invocation.status();
+  const Result<rr::Buffer>& result = (*invocation)->Wait();
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(ToString(*result), "in|a|b|c");
+  const uint64_t trace_id = (*invocation)->trace_id();
+  ASSERT_NE(trace_id, 0u);
+
+  // Spans from the submitting side...
+  const auto run_spans =
+      SpansNamed("run:" + std::to_string((*invocation)->id()));
+  ASSERT_EQ(run_spans.size(), 1u);
+  EXPECT_EQ(run_spans[0].trace_id, trace_id);
+  // ...and from the agent side of the wire, for BOTH remote nodes.
+  for (const std::string& node : {std::string("b"), std::string("c")}) {
+    const auto ingress = SpansNamed("ingress:" + node);
+    const auto invoke = SpansNamed("invoke:" + node);
+    ASSERT_EQ(ingress.size(), 1u) << node;
+    ASSERT_EQ(invoke.size(), 1u) << node;
+    EXPECT_EQ(ingress[0].trace_id, trace_id) << node;
+    EXPECT_EQ(invoke[0].trace_id, trace_id) << node;
+    EXPECT_STREQ(ingress[0].category, "agent");
+    const auto dispatch = SpansNamed("dispatch:" + node);
+    ASSERT_EQ(dispatch.size(), 1u) << node;
+    EXPECT_EQ(dispatch[0].trace_id, trace_id) << node;
+    // The agent-side spans are parented under the sender's dispatch span —
+    // the parent id crossed the wire in the frame extension.
+    EXPECT_EQ(ingress[0].parent_span_id, dispatch[0].span_id) << node;
+  }
+
+  // The whole stitched trace exports as valid Chrome trace JSON.
+  const auto decoded = serde::JsonDecode(ExportChromeTrace());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_GE((*decoded)["traceEvents"].as_array().size(), 5u);
+
+  (*agent_b)->Shutdown();
+  (*agent_c)->Shutdown();
+}
+
+TEST_F(TracePropagationTest, TracingDisabledRemoteChainStillRuns) {
+  // With tracing off no frame carries the extension (absent context); the
+  // remote path must work exactly as before and record nothing.
+  api::Runtime rt("wf");
+  auto a = AddFunction(rt, "a", {"n1", ""});
+  auto agent = core::NodeAgent::Start(0);
+  ASSERT_TRUE(agent.ok()) << agent.status();
+  auto b = AddFunction(rt, "b", {"n2", ""}, (*agent)->port());
+  ASSERT_TRUE((*agent)->RegisterFunction(b.get(), rt.DeliverySink()).ok());
+
+  const uint64_t recorded_before = Tracer::Get().recorded();
+  auto invocation = rt.Submit(api::ChainSpec{{"a", "b"}}, AsBytes("x"));
+  ASSERT_TRUE(invocation.ok()) << invocation.status();
+  ASSERT_TRUE((*invocation)->Wait().ok());
+  EXPECT_EQ((*invocation)->trace_id(), 0u);
+  EXPECT_EQ(Tracer::Get().recorded(), recorded_before);
+  (*agent)->Shutdown();
+}
+
+std::unique_ptr<Shim> MakeTarget() {
+  auto shim = Shim::Create(Spec("target"), Binary());
+  EXPECT_TRUE(shim.ok()) << shim.status();
+  EXPECT_TRUE((*shim)
+                  ->Deploy([](ByteSpan input) -> Result<Bytes> {
+                    return Bytes(input.begin(), input.end());
+                  })
+                  .ok());
+  return shim.ok() ? std::move(*shim) : nullptr;
+}
+
+TEST_F(TracePropagationTest, LegacyFrameWithoutExtensionDelivers) {
+  // A sender that predates the trace extension (or has tracing off) sends
+  // the bare 16-byte header; the receiver must not wait for more.
+  auto target = MakeTarget();
+  ASSERT_NE(target, nullptr);
+  auto listener = core::NetworkChannelListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  auto raw = osal::TcpConnect("127.0.0.1", listener->port());
+  ASSERT_TRUE(raw.ok());
+  auto receiver = listener->Accept();
+  ASSERT_TRUE(receiver.ok());
+
+  const Bytes payload = ToBytes("legacy");
+  uint8_t header[16];
+  StoreLE<uint64_t>(header, payload.size());
+  StoreLE<uint64_t>(header + 8, 0);
+  ASSERT_TRUE(raw->Send(ByteSpan(header, 16)).ok());
+  ASSERT_TRUE(raw->Send(ByteSpan(payload.data(), payload.size())).ok());
+  auto delivered = receiver->ReceiveInto(*target);
+  ASSERT_TRUE(delivered.ok()) << delivered.status();
+  EXPECT_EQ(delivered->length, payload.size());
+}
+
+TEST_F(TracePropagationTest, TraceFlaggedFrameWithZeroIdTolerated) {
+  // A flagged frame whose extension carries a zero trace id has no usable
+  // context; the payload must still land.
+  auto target = MakeTarget();
+  ASSERT_NE(target, nullptr);
+  auto listener = core::NetworkChannelListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  auto raw = osal::TcpConnect("127.0.0.1", listener->port());
+  ASSERT_TRUE(raw.ok());
+  auto receiver = listener->Accept();
+  ASSERT_TRUE(receiver.ok());
+
+  const Bytes payload = ToBytes("flagged");
+  uint8_t header[32];
+  StoreLE<uint64_t>(header, payload.size() | core::kFrameTraceFlag);
+  StoreLE<uint64_t>(header + 8, 0);
+  StoreLE<uint64_t>(header + 16, 0);  // zero trace id: tolerated
+  StoreLE<uint64_t>(header + 24, 0);
+  ASSERT_TRUE(raw->Send(ByteSpan(header, 32)).ok());
+  ASSERT_TRUE(raw->Send(ByteSpan(payload.data(), payload.size())).ok());
+  auto delivered = receiver->ReceiveInto(*target);
+  ASSERT_TRUE(delivered.ok()) << delivered.status();
+  EXPECT_EQ(delivered->length, payload.size());
+}
+
+TEST_F(TracePropagationTest, TruncatedTraceExtensionFailsCleanly) {
+  // Malformed: the flag promises 16 extension bytes but the peer dies after
+  // 8. The receive must surface an error — never block forever on the body
+  // or misread payload bytes as header.
+  auto target = MakeTarget();
+  ASSERT_NE(target, nullptr);
+  auto listener = core::NetworkChannelListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  std::optional<osal::Connection> raw;
+  {
+    auto connected = osal::TcpConnect("127.0.0.1", listener->port());
+    ASSERT_TRUE(connected.ok());
+    raw.emplace(std::move(*connected));
+  }
+  auto receiver = listener->Accept();
+  ASSERT_TRUE(receiver.ok());
+
+  uint8_t header[24];
+  StoreLE<uint64_t>(header, uint64_t{64} | core::kFrameTraceFlag);
+  StoreLE<uint64_t>(header + 8, 0);
+  StoreLE<uint64_t>(header + 16, 0x1234);  // half the promised extension
+  ASSERT_TRUE(raw->Send(ByteSpan(header, 24)).ok());
+  raw.reset();  // peer dies mid-extension
+  auto delivered = receiver->ReceiveInto(*target);
+  EXPECT_FALSE(delivered.ok());
+}
+
+}  // namespace
+}  // namespace rr::obs
