@@ -68,6 +68,17 @@ bool Invocation::WaitFor(Nanos timeout) {
   return cv_.wait_for(lock, timeout, [this] { return done_; });
 }
 
+void Invocation::NotifyDone(std::function<void()> callback) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!done_) {
+      done_callbacks_.push_back(std::move(callback));
+      return;
+    }
+  }
+  callback();  // already complete: fire on the caller's thread, lock dropped
+}
+
 Runtime::Runtime(std::string workflow) : Runtime(std::move(workflow), Options{}) {}
 
 Runtime::Runtime(std::string workflow, Options options)
@@ -163,9 +174,14 @@ Result<std::shared_ptr<Invocation>> Runtime::Enqueue(dag::Dag dag,
   auto invocation = std::shared_ptr<Invocation>(new Invocation(
       next_id_.fetch_add(1, std::memory_order_relaxed), std::move(dag),
       std::move(input)));
-  // Submit mints the run's trace id: everything the run touches — driver,
-  // DAG workers, wire frames, the remote agent's process — spans under it.
-  if (obs::TracingEnabled()) invocation->trace_id_ = obs::NewTraceId();
+  // The run's trace id: everything the run touches — driver, DAG workers,
+  // wire frames, the remote agent's process — spans under it. A caller that
+  // is already inside a trace (the gateway tagging a request) propagates its
+  // id so edge and execution stitch into one trace; otherwise Submit mints.
+  if (obs::TracingEnabled()) {
+    const uint64_t ambient = obs::CurrentSpanContext().trace_id;
+    invocation->trace_id_ = ambient != 0 ? ambient : obs::NewTraceId();
+  }
   invocation->submitted_ = Now();
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -217,13 +233,18 @@ void Runtime::DriverLoop() {
       --executing_;
     }
     InFlightRuns().Sub(1);
+    std::vector<std::function<void()>> callbacks;
     {
       std::lock_guard<std::mutex> lock(invocation->mutex_);
       invocation->stats_ = std::move(stats);
       invocation->result_ = std::move(result);
       invocation->done_ = true;
+      callbacks.swap(invocation->done_callbacks_);
     }
     invocation->cv_.notify_all();
+    // Completion callbacks fire outside the invocation lock: they may read
+    // the (now immutable) result through the handle.
+    for (auto& callback : callbacks) callback();
   }
 }
 

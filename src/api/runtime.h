@@ -25,6 +25,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -84,6 +85,15 @@ class Invocation {
   // Bounded wait; true when the run completed within `timeout`.
   bool WaitFor(Nanos timeout);
 
+  // Registers a completion callback: runs exactly once, on the completing
+  // driver thread right after the result publishes — or inline, on the
+  // caller's thread, when the run is already done. This is the event-driven
+  // counterpart to Wait(): the gateway parks a Responder in one of these
+  // instead of parking a thread. Callbacks must not block and must not call
+  // back into Wait() on this invocation (it is already done when they run;
+  // reading the result directly is fine).
+  void NotifyDone(std::function<void()> callback);
+
   // Valid once Done() — meaningless while the run is in flight.
   const RunStats& stats() const { return stats_; }
 
@@ -104,6 +114,7 @@ class Invocation {
   Result<rr::Buffer> result_{rr::Buffer{}};
   std::optional<Result<Bytes>> bytes_result_;  // WaitBytes's lazy cache
   RunStats stats_;
+  std::vector<std::function<void()>> done_callbacks_;
 };
 
 class Runtime {

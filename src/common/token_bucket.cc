@@ -2,46 +2,91 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace rr {
 
-TokenBucket::TokenBucket(double rate_bytes_per_sec, uint64_t burst_bytes)
-    : rate_(rate_bytes_per_sec),
-      burst_(burst_bytes),
-      tokens_(static_cast<double>(burst_bytes)),
+namespace {
+
+// Absorbs double accumulation error: a bucket that has nominally refilled
+// `n` tokens may hold n - epsilon after many fractional adds. One
+// part-per-billion of slack never admits a meaningfully early consume.
+double Slack(double n) { return n * 1e-9; }
+
+}  // namespace
+
+template <typename Units>
+BasicTokenBucket<Units>::BasicTokenBucket(double rate_per_sec, uint64_t burst)
+    : rate_(rate_per_sec),
+      burst_(burst),
+      tokens_(static_cast<double>(burst)),
       last_refill_(Now()) {
-  assert(rate_bytes_per_sec > 0);
-  assert(burst_bytes > 0);
+  assert(rate_per_sec > 0);
+  assert(burst > 0);
 }
 
-void TokenBucket::Refill() {
+template <typename Units>
+void BasicTokenBucket<Units>::RefillLocked() const {
   const TimePoint now = Now();
   const double elapsed = ToSeconds(now - last_refill_);
   last_refill_ = now;
   tokens_ = std::min(static_cast<double>(burst_), tokens_ + elapsed * rate_);
 }
 
-void TokenBucket::Consume(uint64_t bytes) {
-  uint64_t remaining = bytes;
+template <typename Units>
+Nanos BasicTokenBucket<Units>::DeficitDelayLocked(double deficit) const {
+  if (deficit <= 0) return Nanos{0};
+  // Round up, and never sleep less than a microsecond: at high rates the
+  // exact wait is sub-nanosecond and a truncated (or even exact) sleep
+  // degenerates into a spin; one refill after 1 us grants thousands of
+  // tokens instead.
+  const double ns = std::ceil(deficit / rate_ * 1e9);
+  return Nanos(std::max<int64_t>(static_cast<int64_t>(ns), 1000));
+}
+
+template <typename Units>
+void BasicTokenBucket<Units>::Consume(uint64_t n) {
+  uint64_t remaining = n;
   while (remaining > 0) {
     const uint64_t chunk = std::min(remaining, burst_);
-    Refill();
-    if (tokens_ >= static_cast<double>(chunk)) {
-      tokens_ -= static_cast<double>(chunk);
-      remaining -= chunk;
-      continue;
+    Nanos wait{0};
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      RefillLocked();
+      const double want = static_cast<double>(chunk);
+      if (tokens_ + Slack(want) >= want) {
+        tokens_ -= want;
+        remaining -= chunk;
+        continue;
+      }
+      wait = DeficitDelayLocked(want - tokens_);
     }
-    const double deficit = static_cast<double>(chunk) - tokens_;
-    const auto wait = Nanos(static_cast<int64_t>(deficit / rate_ * 1e9));
+    // Sleep outside the lock: concurrent TryConsume callers keep moving
+    // while this caller waits out its installment's deficit.
     PreciseSleep(wait);
   }
 }
 
-bool TokenBucket::TryConsume(uint64_t bytes) {
-  Refill();
-  if (tokens_ < static_cast<double>(bytes)) return false;
-  tokens_ -= static_cast<double>(bytes);
+template <typename Units>
+bool BasicTokenBucket<Units>::TryConsume(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RefillLocked();
+  const double want = static_cast<double>(n);
+  if (tokens_ + Slack(want) < want) return false;
+  tokens_ -= want;
   return true;
 }
+
+template <typename Units>
+Nanos BasicTokenBucket<Units>::DelayUntilAvailable(uint64_t n) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RefillLocked();
+  const double want = static_cast<double>(std::min(n, burst_));
+  if (tokens_ + Slack(want) >= want) return Nanos{0};
+  return DeficitDelayLocked(want - tokens_);
+}
+
+template class BasicTokenBucket<ByteUnits>;
+template class BasicTokenBucket<RequestUnits>;
 
 }  // namespace rr

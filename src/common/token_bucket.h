@@ -1,37 +1,80 @@
-// Token bucket used by the network emulator to shape bandwidth, mirroring
-// the `tc` traffic-control setup from the paper's testbed (100 Mbps link).
+// Token-bucket pacing over caller-defined units.
+//
+// One primitive, two very different consumers:
+//
+//   * the network emulator shapes *bytes* per second, mirroring the `tc`
+//     traffic-control setup from the paper's testbed (100 Mbps link);
+//   * the gateway's rate-limit interceptors meter *requests* (and request
+//     bytes) per second per tenant.
+//
+// `BasicTokenBucket<Units>` is the shared engine, parameterized by a unit
+// tag so a requests-per-second limiter can never be handed to a
+// bytes-per-second call site by accident. All operations are thread-safe;
+// blocking waits happen outside the lock, so a paced Consume never starves
+// concurrent TryConsume callers.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 
 #include "common/clock.h"
 
 namespace rr {
 
-class TokenBucket {
- public:
-  // rate_bytes_per_sec: sustained rate. burst_bytes: bucket capacity; chunks
-  // up to this size pass without pacing once the bucket refills.
-  TokenBucket(double rate_bytes_per_sec, uint64_t burst_bytes);
+struct ByteUnits {
+  static constexpr const char* kName = "bytes";
+};
+struct RequestUnits {
+  static constexpr const char* kName = "requests";
+};
 
-  // Blocks until `bytes` tokens are available, then consumes them. Large
-  // requests are paced in burst-sized installments, which is how a real
-  // shaped link drains a long write.
-  void Consume(uint64_t bytes);
+template <typename Units>
+class BasicTokenBucket {
+ public:
+  // rate_per_sec: sustained refill rate in Units. burst: bucket capacity;
+  // amounts up to this size pass without pacing once the bucket refills.
+  BasicTokenBucket(double rate_per_sec, uint64_t burst);
+
+  // Blocks until `n` tokens are available, then consumes them. Amounts
+  // beyond the burst are paced in burst-sized installments, which is how a
+  // real shaped link drains a long write.
+  void Consume(uint64_t n);
 
   // Non-blocking variant: consumes if available, returns false otherwise.
-  bool TryConsume(uint64_t bytes);
+  bool TryConsume(uint64_t n);
 
-  double rate_bytes_per_sec() const { return rate_; }
-  uint64_t burst_bytes() const { return burst_; }
+  // How long until TryConsume(min(n, burst)) could succeed — 0 when it
+  // would succeed now. The hint behind a 429's Retry-After: a shed caller
+  // that waits this long finds tokens for one installment (competing
+  // consumers permitting).
+  Nanos DelayUntilAvailable(uint64_t n) const;
+
+  double rate_per_sec() const { return rate_; }
+  uint64_t burst() const { return burst_; }
 
  private:
-  void Refill();
+  // Refills from elapsed wall time and returns the wait until `deficit`
+  // more tokens accrue; rounds up so a sub-nanosecond remainder at high
+  // rates never truncates to a zero-length sleep (the old bytes-only bucket
+  // span-waited at rates past ~1 token/ns).
+  Nanos DeficitDelayLocked(double deficit) const;
+  void RefillLocked() const;
 
-  double rate_;
-  uint64_t burst_;
-  double tokens_;
-  TimePoint last_refill_;
+  const double rate_;
+  const uint64_t burst_;
+
+  mutable std::mutex mutex_;
+  mutable double tokens_;
+  mutable TimePoint last_refill_;
 };
+
+// The network emulator's byte shaper — the original TokenBucket.
+using TokenBucket = BasicTokenBucket<ByteUnits>;
+
+// The gateway's request-per-second meter.
+using RequestBucket = BasicTokenBucket<RequestUnits>;
+
+extern template class BasicTokenBucket<ByteUnits>;
+extern template class BasicTokenBucket<RequestUnits>;
 
 }  // namespace rr

@@ -59,22 +59,35 @@ Result<std::shared_ptr<Hop>> HopTable::Get(Endpoint& source,
 }
 
 size_t HopTable::Evict(const std::string& name) {
-  std::vector<std::shared_ptr<Hop>> evicted;
+  std::vector<std::shared_ptr<Slot>> removed;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (auto it = slots_.begin(); it != slots_.end();) {
       if (it->first.first == name || it->first.second == name) {
-        if (it->second->hop != nullptr) evicted.push_back(it->second->hop);
+        removed.push_back(it->second);
         it = slots_.erase(it);
       } else {
         ++it;
       }
     }
   }
-  // Close outside the table lock: shutting a wire down must not stall
-  // unrelated pairs' Get calls.
-  for (const std::shared_ptr<Hop>& hop : evicted) hop->Close();
-  return evicted.size();
+  // slot->hop is guarded by the slot's own mutex (a concurrent Get may be
+  // establishing it right now), so read it under that lock — and close
+  // outside the table lock: shutting a wire down must not stall unrelated
+  // pairs' Get calls.
+  size_t evicted = 0;
+  for (const std::shared_ptr<Slot>& slot : removed) {
+    std::shared_ptr<Hop> hop;
+    {
+      std::lock_guard<std::mutex> slot_lock(slot->mutex);
+      hop = std::move(slot->hop);
+    }
+    if (hop != nullptr) {
+      hop->Close();
+      ++evicted;
+    }
+  }
+  return evicted;
 }
 
 size_t HopTable::size() const {

@@ -1,0 +1,97 @@
+// The HTTP gateway: Roadrunner's front door.
+//
+// Serves `POST /v1/invoke/<pipeline>` over the epoll server, mapping each
+// request body onto api::Runtime::Submit for the pipeline registered under
+// that name, and streaming the run's result Buffer back as the response
+// body by chunk sharing — the payload plane's zero-copy guarantee holds
+// from guest egress to the response writev.
+//
+// Every request runs the middleware pipeline (interceptor.h): the global
+// chain, then the matched route's chain, enter phases inward and return
+// phases outward. Dispatch is fully asynchronous — the event loop hands the
+// run a Responder via Invocation::NotifyDone and moves on; no gateway
+// thread ever blocks on a run.
+//
+// Route map:
+//   POST /v1/invoke/<pipeline>  -> Submit to the registered pipeline
+//   GET  /healthz               -> HealthCheckInterceptor short-circuit
+//   anything else               -> 404 (405 for non-POST on an invoke path)
+//
+// Status mapping (HttpStatusFor): vetoes and failed runs answer with the
+// Status-mapped code — 429 for quota/admission sheds (with Retry-After),
+// 503 when the runtime is shutting down, 404 for unknown pipelines, 5xx
+// for run failures — always a JSON error body.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/runtime.h"
+#include "gateway/interceptor.h"
+#include "http/epoll_server.h"
+
+namespace rr::gateway {
+
+class Gateway {
+ public:
+  struct RouteOptions {
+    // Entered after the global chain, returned before it.
+    std::vector<std::shared_ptr<Interceptor>> interceptors;
+  };
+
+  struct Options {
+    // Transport knobs (port, bind address, connection/pipeline caps,
+    // parser limits). bind_address defaults to loopback; deployments front
+    // the open internet with kAny.
+    http::EpollServer::Options server;
+    // The global interceptor chain, entered in this order for every
+    // request. Order is the contract: e.g. health before auth means probes
+    // skip credentials; auth before rate-limit means quotas see tenants.
+    std::vector<std::shared_ptr<Interceptor>> interceptors;
+  };
+
+  // `runtime` must outlive the gateway.
+  static Result<std::unique_ptr<Gateway>> Start(api::Runtime* runtime,
+                                                Options options);
+  ~Gateway();
+
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  // Exposes `spec` as POST /v1/invoke/<name>. Thread-safe; routes may be
+  // added while serving. Fails on duplicate names and on specs whose
+  // functions are not registered with the runtime (checked at first use).
+  Status AddRoute(const std::string& name, api::ChainSpec spec,
+                  RouteOptions options = {});
+  Status AddRoute(const std::string& name, api::DagSpec spec,
+                  RouteOptions options = {});
+
+  uint16_t port() const { return server_->port(); }
+  size_t active_connections() const { return server_->active_connections(); }
+
+  void Stop() { server_->Stop(); }
+
+ private:
+  struct Route;
+  Gateway(api::Runtime* runtime, Options options);
+
+  void Handle(http::Request&& request, http::EpollServer::Responder responder);
+  Status AddRouteImpl(const std::string& name, RouteOptions options,
+                      std::function<Result<std::shared_ptr<api::Invocation>>(
+                          rr::Buffer)> submit);
+  std::shared_ptr<const Route> Match(const RequestContext& ctx,
+                                     std::string* route_name) const;
+
+  api::Runtime* const runtime_;
+  const Options options_;
+  std::shared_ptr<const InterceptorChain> global_chain_;
+  mutable std::mutex routes_mutex_;
+  std::map<std::string, std::shared_ptr<const Route>> routes_;
+  std::unique_ptr<http::EpollServer> server_;
+};
+
+}  // namespace rr::gateway

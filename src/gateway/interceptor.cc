@@ -1,0 +1,272 @@
+#include "gateway/interceptor.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rr::gateway {
+namespace {
+
+std::string JsonError(int http_status, const std::string& message) {
+  std::string body = "{\"error\":\"";
+  // The messages are our own Status strings; escape the two characters that
+  // could break the JSON string literal.
+  for (char c : message) {
+    if (c == '"' || c == '\\') body += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    body += c;
+  }
+  body += "\",\"status\":";
+  body += std::to_string(http_status);
+  body += "}";
+  return body;
+}
+
+std::string FormatTraceId(uint64_t id) {
+  char buffer[20];
+  std::snprintf(buffer, sizeof(buffer), "%016" PRIx64, id);
+  return buffer;
+}
+
+bool ParseTraceId(std::string_view hex, uint64_t* out) {
+  if (hex.size() != 16) return false;
+  uint64_t value = 0;
+  for (char c : hex) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    else return false;
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  if (value == 0) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+Status InterceptorChain::RunEnter(RequestContext& ctx, size_t* entered) const {
+  *entered = 0;
+  for (size_t i = 0; i < interceptors_.size(); ++i) {
+    RR_RETURN_IF_ERROR(interceptors_[i]->OnEnter(ctx));
+    *entered = i + 1;
+    if (ctx.short_circuited) break;
+  }
+  return Status::Ok();
+}
+
+void InterceptorChain::RunReturn(RequestContext& ctx, size_t entered) const {
+  for (size_t i = entered; i > 0; --i) {
+    interceptors_[i - 1]->OnReturn(ctx);
+  }
+}
+
+int HttpStatusFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return 200;
+    case StatusCode::kInvalidArgument: return 400;
+    case StatusCode::kNotFound: return 404;
+    case StatusCode::kAlreadyExists: return 409;
+    case StatusCode::kPermissionDenied: return 403;
+    case StatusCode::kResourceExhausted: return 429;
+    case StatusCode::kFailedPrecondition: return 412;
+    case StatusCode::kOutOfRange: return 400;
+    case StatusCode::kUnimplemented: return 501;
+    case StatusCode::kUnavailable: return 503;
+    case StatusCode::kDeadlineExceeded: return 504;
+    default: return 500;
+  }
+}
+
+const char* HttpReasonFor(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 412: return "Precondition Failed";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Error";
+  }
+}
+
+http::StreamResponse ErrorResponse(const RequestContext& ctx,
+                                   const Status& status) {
+  const int http_status = ctx.error_http_status != 0
+                              ? ctx.error_http_status
+                              : HttpStatusFor(status.code());
+  http::StreamResponse response(http_status, HttpReasonFor(http_status));
+  // A vetoing interceptor may have staged headers (WWW-Authenticate,
+  // Retry-After) on the context's response; carry them over.
+  response.headers = ctx.response.headers;
+  response.headers["Content-Type"] = "application/json";
+  response.body =
+      Buffer::FromString(JsonError(http_status, status.message()));
+  return response;
+}
+
+// --- RequestIdInterceptor ----------------------------------------------------
+
+Status RequestIdInterceptor::OnEnter(RequestContext& ctx) {
+  const auto it = ctx.request.headers.find("X-Request-Id");
+  uint64_t id = 0;
+  if (it == ctx.request.headers.end() || !ParseTraceId(it->second, &id)) {
+    id = obs::NewTraceId();
+  }
+  ctx.trace_id = id;
+  return Status::Ok();
+}
+
+void RequestIdInterceptor::OnReturn(RequestContext& ctx) {
+  if (ctx.trace_id != 0) {
+    ctx.response.headers["X-Request-Id"] = FormatTraceId(ctx.trace_id);
+  }
+}
+
+// --- AuthInterceptor ---------------------------------------------------------
+
+Status AuthInterceptor::OnEnter(RequestContext& ctx) {
+  const auto it = ctx.request.headers.find("Authorization");
+  if (it == ctx.request.headers.end()) {
+    if (options_.allow_anonymous) {
+      ctx.tenant = "anonymous";
+      return Status::Ok();
+    }
+    ctx.error_http_status = 401;
+    ctx.response.headers["WWW-Authenticate"] = "Bearer";
+    return PermissionDeniedError("missing credentials");
+  }
+  constexpr std::string_view kScheme = "Bearer ";
+  const std::string_view value = it->second;
+  if (value.size() <= kScheme.size() ||
+      !EqualsIgnoreCase(value.substr(0, kScheme.size()), kScheme)) {
+    ctx.error_http_status = 401;
+    ctx.response.headers["WWW-Authenticate"] = "Bearer";
+    return PermissionDeniedError("unsupported authorization scheme");
+  }
+  const std::string token(TrimWhitespace(value.substr(kScheme.size())));
+  const auto tenant = options_.token_to_tenant.find(token);
+  if (tenant == options_.token_to_tenant.end()) {
+    return PermissionDeniedError("unknown token");
+  }
+  ctx.tenant = tenant->second;
+  return Status::Ok();
+}
+
+// --- BodyLimitInterceptor ----------------------------------------------------
+
+Status BodyLimitInterceptor::OnEnter(RequestContext& ctx) {
+  if (ctx.request.body.size() > max_body_bytes_) {
+    ctx.error_http_status = 413;
+    return ResourceExhaustedError(
+        "request body exceeds the route limit of " +
+        std::to_string(max_body_bytes_) + " bytes");
+  }
+  return Status::Ok();
+}
+
+// --- RateLimitInterceptor ----------------------------------------------------
+
+RequestBucket& RateLimitInterceptor::BucketFor(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& bucket = buckets_[tenant];
+  if (bucket == nullptr) {
+    bucket = std::make_unique<RequestBucket>(rate_, burst_);
+  }
+  return *bucket;
+}
+
+Status RateLimitInterceptor::OnEnter(RequestContext& ctx) {
+  RequestBucket& bucket = BucketFor(ctx.tenant);
+  if (bucket.TryConsume(1)) return Status::Ok();
+  const double wait_sec = ToSeconds(bucket.DelayUntilAvailable(1));
+  ctx.error_http_status = 429;
+  ctx.response.headers["Retry-After"] =
+      std::to_string(static_cast<int64_t>(std::ceil(std::max(wait_sec, 1e-3))));
+  return ResourceExhaustedError("rate limit exceeded for tenant \"" +
+                                ctx.tenant + "\"");
+}
+
+// --- HealthCheckInterceptor --------------------------------------------------
+
+Status HealthCheckInterceptor::OnEnter(RequestContext& ctx) {
+  if (ctx.request.method != "GET" || ctx.request.target != "/healthz") {
+    return Status::Ok();
+  }
+  std::string body = "{\"status\":\"ok\"";
+  if (fields_) {
+    for (const auto& [key, value] : fields_()) {
+      body += ",\"" + key + "\":" + std::to_string(value);
+    }
+  }
+  body += "}";
+  ctx.response = http::StreamResponse(200, "OK");
+  ctx.response.headers["Content-Type"] = "application/json";
+  ctx.response.body = Buffer::FromString(body);
+  ctx.short_circuited = true;
+  return Status::Ok();
+}
+
+// --- AdmissionInterceptor ----------------------------------------------------
+
+AdmissionInterceptor::AdmissionInterceptor(Options options)
+    : options_(std::move(options)), last_sample_(Now()) {}
+
+bool AdmissionInterceptor::LeaseWaitSaturated() {
+  if (options_.max_avg_lease_wait_seconds <= 0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const TimePoint now = Now();
+  if (now - last_sample_ >= options_.sample_window) {
+    // Windowed delta over the pool's own histogram: the average lease wait
+    // across acquisitions since the last sample. No new acquisitions keeps
+    // the previous verdict (an idle pool is not saturated — but a pool so
+    // jammed nothing completes keeps shedding).
+    static obs::Histogram* lease_wait = obs::Registry::Get().histogram(
+        "rr_pool_lease_wait_seconds",
+        "time callers waited for a pooled instance",
+        {}, obs::DefaultLatencyBucketsSeconds());
+    const auto snapshot = lease_wait->Snap();
+    if (snapshot.count > last_count_) {
+      const double avg = (snapshot.sum - last_sum_) /
+                         static_cast<double>(snapshot.count - last_count_);
+      saturated_ = avg > options_.max_avg_lease_wait_seconds;
+    }
+    last_sum_ = snapshot.sum;
+    last_count_ = snapshot.count;
+    last_sample_ = now;
+  }
+  return saturated_;
+}
+
+Status AdmissionInterceptor::OnEnter(RequestContext& ctx) {
+  if (options_.max_inflight_runs > 0 && options_.inflight &&
+      options_.inflight() >= options_.max_inflight_runs) {
+    ctx.error_http_status = 429;
+    ctx.response.headers["Retry-After"] = "1";
+    return ResourceExhaustedError("backend at capacity: " +
+                                  std::to_string(options_.max_inflight_runs) +
+                                  " runs in flight");
+  }
+  if (LeaseWaitSaturated()) {
+    ctx.error_http_status = 429;
+    ctx.response.headers["Retry-After"] = "1";
+    return ResourceExhaustedError("backend saturated: pool lease waits over "
+                                  "threshold");
+  }
+  return Status::Ok();
+}
+
+}  // namespace rr::gateway

@@ -1,0 +1,509 @@
+#include "http/epoll_server.h"
+
+#include <sys/socket.h>
+#include <sys/uio.h>
+
+#include <atomic>
+#include <cerrno>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/strings.h"
+#include "osal/poll.h"
+
+namespace rr::http {
+namespace {
+
+constexpr uint64_t kListenerTag = 0;
+constexpr uint64_t kWakeTag = 1;
+constexpr uint64_t kFirstConnId = 2;
+constexpr size_t kMaxIov = 64;
+
+const char* ReasonFor(int code) {
+  switch (code) {
+    case 400: return "Bad Request";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
+}  // namespace
+
+StreamResponse StreamResponse::From(Response&& response) {
+  StreamResponse out(response.status_code, std::move(response.reason));
+  out.headers = std::move(response.headers);
+  if (!response.body.empty()) out.body = Buffer::Adopt(std::move(response.body));
+  return out;
+}
+
+// A completed (conn, seq, response) triple on its way back to the loop.
+struct Completion {
+  uint64_t conn_id = 0;
+  uint64_t seq = 0;
+  StreamResponse response;
+};
+
+// The loop's inbox: handlers (from any thread) push completions here and
+// kick the eventfd; the loop drains it once per wakeup.
+struct CompletionQueue {
+  explicit CompletionQueue(osal::EventFd wake_fd) : wake(std::move(wake_fd)) {}
+
+  void Push(Completion&& completion) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (!alive) return;  // server gone; nobody will read this
+      ready.push_back(std::move(completion));
+    }
+    wake.Signal();
+  }
+
+  std::mutex mutex;
+  std::vector<Completion> ready;
+  bool alive = true;
+  osal::EventFd wake;
+};
+
+struct EpollServer::Responder::State {
+  std::shared_ptr<CompletionQueue> queue;
+  uint64_t conn_id = 0;
+  uint64_t seq = 0;
+  std::atomic<bool> sent{false};
+
+  ~State() {
+    // A handler that dropped its Responder without answering would wedge
+    // the connection's response pipeline; answer for it.
+    if (!sent.load(std::memory_order_acquire)) {
+      queue->Push({conn_id, seq, StreamResponse(500, ReasonFor(500))});
+    }
+  }
+};
+
+void EpollServer::Responder::Send(StreamResponse&& response) const {
+  if (!state_) return;
+  if (state_->sent.exchange(true, std::memory_order_acq_rel)) return;
+  state_->queue->Push({state_->conn_id, state_->seq, std::move(response)});
+}
+
+struct EpollServer::Impl {
+  // A response awaiting its turn on the wire (strict request order).
+  struct Slot {
+    uint64_t seq = 0;
+    bool ready = false;
+    bool close_after = false;
+    StreamResponse response;
+  };
+
+  struct Conn {
+    osal::UniqueFd fd;
+    RequestParser parser;
+    std::deque<Slot> slots;
+    uint64_t next_seq = 0;
+    TimePoint last_activity;
+    // Write cursor over the in-flight response: head string first, then the
+    // body Buffer's chunks, gathered by writev without staging copies.
+    bool write_active = false;
+    bool close_after_current = false;
+    std::string head;
+    size_t head_off = 0;
+    Buffer body;
+    size_t body_chunk = 0;
+    size_t chunk_off = 0;
+    // epoll interest mirror.
+    bool reading = true;
+    bool want_write = false;
+    bool peer_half_closed = false;
+
+    Conn(osal::UniqueFd f, ParserLimits limits)
+        : fd(std::move(f)), parser(limits), last_activity(Now()) {}
+  };
+
+  Impl(Options opts, Handler h, osal::TcpListener l, osal::Epoll ep,
+       std::shared_ptr<CompletionQueue> q)
+      : options(opts),
+        handler(std::move(h)),
+        listener(std::move(l)),
+        epoll(std::move(ep)),
+        queue(std::move(q)) {}
+
+  void Loop() {
+    const Nanos sweep_interval =
+        std::min<Nanos>(options.idle_timeout, std::chrono::seconds(1));
+    TimePoint next_sweep = Now() + sweep_interval;
+    std::vector<osal::Epoll::Event> events;
+    while (!stopping.load(std::memory_order_acquire)) {
+      (void)epoll.Wait(events, sweep_interval);
+      for (const auto& event : events) {
+        if (event.tag == kListenerTag) {
+          AcceptAll();
+          continue;
+        }
+        if (event.tag == kWakeTag) continue;  // drained below
+        auto it = conns.find(event.tag);
+        if (it == conns.end()) continue;
+        if (event.events & osal::Epoll::kError) {
+          CloseConn(it);
+          continue;
+        }
+        bool open = true;
+        if (event.events & osal::Epoll::kReadable) {
+          open = HandleReadable(event.tag, it->second);
+        }
+        if (open && (event.events & osal::Epoll::kWritable)) {
+          // Re-find: HandleReadable may have rehashed nothing (it never
+          // inserts), so `it` is still valid when open.
+          (void)FlushWrites(event.tag, it->second);
+        }
+      }
+      DrainCompletions();
+      const TimePoint now = Now();
+      if (now >= next_sweep) {
+        SweepIdle(now);
+        next_sweep = now + sweep_interval;
+      }
+    }
+  }
+
+  void AcceptAll() {
+    while (true) {
+      Result<osal::Connection> accepted = listener.TryAccept();
+      if (!accepted.ok()) return;  // transient accept failure; retry on event
+      if (!accepted->valid()) return;
+      if (conns.size() >= options.max_connections) {
+        static constexpr char kOverload[] =
+            "HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\n"
+            "Connection: close\r\n\r\n";
+        (void)::send(accepted->fd(), kOverload, sizeof(kOverload) - 1,
+                     MSG_DONTWAIT | MSG_NOSIGNAL);
+        continue;  // dtor closes
+      }
+      accepted->SetNoDelay(true);
+      const uint64_t id = next_conn_id++;
+      Conn conn(accepted->TakeFd(), options.parser_limits);
+      if (!epoll.Add(conn.fd.get(), osal::Epoll::kReadable, id).ok()) continue;
+      conns.emplace(id, std::move(conn));
+      active.store(conns.size(), std::memory_order_relaxed);
+    }
+  }
+
+  using ConnMap = std::unordered_map<uint64_t, Conn>;
+
+  void CloseConn(ConnMap::iterator it) {
+    (void)epoll.Remove(it->second.fd.get());
+    conns.erase(it);
+    active.store(conns.size(), std::memory_order_relaxed);
+  }
+
+  void CloseConn(uint64_t id) {
+    auto it = conns.find(id);
+    if (it != conns.end()) CloseConn(it);
+  }
+
+  void UpdateInterest(uint64_t id, Conn& conn) {
+    uint32_t events = 0;
+    if (conn.reading) events |= osal::Epoll::kReadable;
+    if (conn.want_write) events |= osal::Epoll::kWritable;
+    (void)epoll.Modify(conn.fd.get(), events, id);
+  }
+
+  void Dispatch(uint64_t id, Conn& conn, Request&& request) {
+    Slot slot;
+    slot.seq = conn.next_seq++;
+    conn.slots.push_back(std::move(slot));
+    auto state = std::make_shared<Responder::State>();
+    state->queue = queue;
+    state->conn_id = id;
+    state->seq = conn.slots.back().seq;
+    handler(std::move(request), Responder(std::move(state)));
+  }
+
+  // Returns false if the connection was closed.
+  bool HandleReadable(uint64_t id, Conn& conn) {
+    uint8_t buf[64 * 1024];
+    while (true) {
+      const ssize_t r = ::recv(conn.fd.get(), buf, sizeof(buf), 0);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        CloseConn(id);
+        return false;
+      }
+      if (r == 0) {
+        // Peer EOF. Mid-message it truncated a request — nothing sane to
+        // answer, tear down. Between messages, flush what is owed and
+        // close when the pipeline drains.
+        if (!conn.parser.idle() && !conn.parser.failed()) {
+          CloseConn(id);
+          return false;
+        }
+        conn.peer_half_closed = true;
+        if (conn.slots.empty() && !conn.write_active) {
+          CloseConn(id);
+          return false;
+        }
+        conn.reading = false;
+        UpdateInterest(id, conn);
+        break;
+      }
+      conn.last_activity = Now();
+      std::vector<Request> requests;
+      const Status status =
+          conn.parser.Feed(ByteSpan(buf, static_cast<size_t>(r)), &requests);
+      for (auto& request : requests) Dispatch(id, conn, std::move(request));
+      if (!status.ok()) {
+        // Answer the parse failure in-order behind any good pipelined
+        // requests, then close. The read side is done: the stream is
+        // unframeable past the error.
+        Slot slot;
+        slot.seq = conn.next_seq++;
+        slot.ready = true;
+        slot.close_after = true;
+        slot.response = StreamResponse(conn.parser.error_status_code(),
+                                       ReasonFor(conn.parser.error_status_code()));
+        conn.slots.push_back(std::move(slot));
+        conn.reading = false;
+        UpdateInterest(id, conn);
+        break;
+      }
+      if (conn.slots.size() >= options.max_pipeline_depth) {
+        // Backpressure: stop reading until responses drain.
+        conn.reading = false;
+        UpdateInterest(id, conn);
+        break;
+      }
+      if (static_cast<size_t>(r) < sizeof(buf)) break;  // drained the socket
+    }
+    return FlushWrites(id, conn);
+  }
+
+  void StartWrite(Conn& conn) {
+    Slot slot = std::move(conn.slots.front());
+    conn.slots.pop_front();
+    StreamResponse& response = slot.response;
+    std::string head;
+    head.reserve(256);
+    head += "HTTP/1.1 ";
+    head += std::to_string(response.status_code);
+    head += ' ';
+    head += response.reason;
+    head += "\r\n";
+    for (const auto& [name, value] : response.headers) {
+      // The server owns framing and connection lifecycle headers.
+      if (EqualsIgnoreCase(name, "Content-Length") ||
+          EqualsIgnoreCase(name, "Connection")) {
+        continue;
+      }
+      head += name;
+      head += ": ";
+      head += value;
+      head += "\r\n";
+    }
+    head += "Content-Length: ";
+    head += std::to_string(response.body.size());
+    head += "\r\n";
+    if (slot.close_after) head += "Connection: close\r\n";
+    head += "\r\n";
+    conn.head = std::move(head);
+    conn.head_off = 0;
+    conn.body = std::move(response.body);
+    conn.body_chunk = 0;
+    conn.chunk_off = 0;
+    conn.write_active = true;
+    conn.close_after_current = slot.close_after;
+  }
+
+  void AdvanceWrite(Conn& conn, size_t written) {
+    if (conn.head_off < conn.head.size()) {
+      const size_t take = std::min(written, conn.head.size() - conn.head_off);
+      conn.head_off += take;
+      written -= take;
+    }
+    while (written > 0) {
+      const ByteSpan span = conn.body.chunk(conn.body_chunk);
+      const size_t take = std::min(written, span.size() - conn.chunk_off);
+      conn.chunk_off += take;
+      written -= take;
+      if (conn.chunk_off == span.size()) {
+        ++conn.body_chunk;
+        conn.chunk_off = 0;
+      }
+    }
+  }
+
+  // Returns false if the connection was closed.
+  bool FlushWrites(uint64_t id, Conn& conn) {
+    while (true) {
+      if (!conn.write_active) {
+        if (conn.slots.empty() || !conn.slots.front().ready) break;
+        StartWrite(conn);
+      }
+      iovec iov[kMaxIov];
+      int iov_count = 0;
+      if (conn.head_off < conn.head.size()) {
+        iov[iov_count++] = {conn.head.data() + conn.head_off,
+                            conn.head.size() - conn.head_off};
+      }
+      size_t chunk = conn.body_chunk;
+      size_t offset = conn.chunk_off;
+      while (iov_count < static_cast<int>(kMaxIov) &&
+             chunk < conn.body.chunk_count()) {
+        const ByteSpan span = conn.body.chunk(chunk);
+        if (span.size() > offset) {
+          iov[iov_count++] = {
+              const_cast<uint8_t*>(span.data()) + offset, span.size() - offset};
+        }
+        offset = 0;
+        ++chunk;
+      }
+      if (iov_count == 0) {
+        // Response fully on the wire.
+        conn.write_active = false;
+        conn.head.clear();
+        conn.body = Buffer();
+        if (conn.close_after_current) {
+          CloseConn(id);
+          return false;
+        }
+        MaybeResumeReading(id, conn);
+        continue;
+      }
+      const ssize_t written = ::writev(conn.fd.get(), iov, iov_count);
+      if (written < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          if (!conn.want_write) {
+            conn.want_write = true;
+            UpdateInterest(id, conn);
+          }
+          return true;
+        }
+        CloseConn(id);
+        return false;
+      }
+      conn.last_activity = Now();
+      AdvanceWrite(conn, static_cast<size_t>(written));
+    }
+    // Nothing writable right now.
+    if (conn.want_write) {
+      conn.want_write = false;
+      UpdateInterest(id, conn);
+    }
+    if (conn.peer_half_closed && conn.slots.empty() && !conn.write_active) {
+      CloseConn(id);
+      return false;
+    }
+    return true;
+  }
+
+  void MaybeResumeReading(uint64_t id, Conn& conn) {
+    if (conn.reading || conn.peer_half_closed || conn.parser.failed()) return;
+    if (conn.slots.size() >= options.max_pipeline_depth) return;
+    conn.reading = true;
+    UpdateInterest(id, conn);
+  }
+
+  void DrainCompletions() {
+    queue->wake.Drain();  // before the swap: a post-swap Push re-signals
+    std::vector<Completion> batch;
+    {
+      std::lock_guard<std::mutex> lock(queue->mutex);
+      batch.swap(queue->ready);
+    }
+    for (auto& completion : batch) {
+      auto it = conns.find(completion.conn_id);
+      if (it == conns.end()) continue;  // connection died while executing
+      for (auto& slot : it->second.slots) {
+        if (slot.seq == completion.seq) {
+          if (!slot.ready) {
+            slot.ready = true;
+            slot.response = std::move(completion.response);
+          }
+          break;
+        }
+      }
+      (void)FlushWrites(completion.conn_id, it->second);
+    }
+  }
+
+  void SweepIdle(TimePoint now) {
+    for (auto it = conns.begin(); it != conns.end();) {
+      Conn& conn = it->second;
+      const bool quiescent = conn.slots.empty() && !conn.write_active;
+      if (quiescent && now - conn.last_activity > options.idle_timeout) {
+        auto victim = it++;
+        CloseConn(victim);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void Stop() {
+    bool expected = false;
+    if (!stopped.compare_exchange_strong(expected, true)) return;
+    stopping.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(queue->mutex);
+      queue->alive = false;
+    }
+    queue->wake.Signal();
+    if (loop_thread.joinable()) loop_thread.join();
+    conns.clear();
+  }
+
+  Options options;
+  Handler handler;
+  osal::TcpListener listener;
+  osal::Epoll epoll;
+  std::shared_ptr<CompletionQueue> queue;
+  ConnMap conns;
+  uint64_t next_conn_id = kFirstConnId;
+  std::thread loop_thread;
+  std::atomic<bool> stopping{false};
+  std::atomic<bool> stopped{false};
+  std::atomic<size_t> active{0};
+};
+
+Result<std::unique_ptr<EpollServer>> EpollServer::Start(Options options,
+                                                        Handler handler) {
+  auto listener = osal::TcpListener::Bind(options.port, options.bind_address);
+  RR_RETURN_IF_ERROR(listener.status());
+  RR_RETURN_IF_ERROR(osal::SetNonBlocking(listener->fd(), true));
+  auto epoll = osal::Epoll::Create();
+  RR_RETURN_IF_ERROR(epoll.status());
+  auto wake = osal::EventFd::Create();
+  RR_RETURN_IF_ERROR(wake.status());
+  auto queue = std::make_shared<CompletionQueue>(std::move(*wake));
+  RR_RETURN_IF_ERROR(
+      epoll->Add(listener->fd(), osal::Epoll::kReadable, kListenerTag));
+  RR_RETURN_IF_ERROR(
+      epoll->Add(queue->wake.fd(), osal::Epoll::kReadable, kWakeTag));
+  auto impl = std::make_unique<Impl>(options, std::move(handler),
+                                     std::move(*listener), std::move(*epoll),
+                                     std::move(queue));
+  impl->loop_thread = std::thread([raw = impl.get()] { raw->Loop(); });
+  return std::unique_ptr<EpollServer>(new EpollServer(std::move(impl)));
+}
+
+EpollServer::EpollServer(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+
+EpollServer::~EpollServer() {
+  if (impl_) impl_->Stop();
+}
+
+void EpollServer::Stop() { impl_->Stop(); }
+
+uint16_t EpollServer::port() const { return impl_->listener.port(); }
+
+size_t EpollServer::active_connections() const {
+  return impl_->active.load(std::memory_order_relaxed);
+}
+
+}  // namespace rr::http

@@ -1,0 +1,114 @@
+// Event-driven HTTP/1.1 server: one epoll loop, thousands of connections.
+//
+// The blocking server in server.h spends a thread per connection — fine for
+// the paper-baseline measurements it serves, hopeless as a front door. This
+// server multiplexes every connection onto a single epoll(7) loop: reads
+// feed the incremental RequestParser, parsed requests are handed to the
+// Handler together with a Responder, and responses stream back through
+// vectored writes over the response head plus the rr::Buffer body chunks —
+// payload bytes are never copied into a wire staging buffer.
+//
+// ## Threading contract
+//
+//  * The Handler runs on the event-loop thread. It must not block; it either
+//    answers inline (Responder::Send before returning) or stashes the
+//    Responder and completes later from any thread.
+//  * Responder is the one async escape hatch: thread-safe, one-shot,
+//    outlive-safe. Sending after the server stopped, or dropping the last
+//    copy without sending (the server then answers 500), are both benign.
+//
+// ## Flow control
+//
+//  * Pipelined requests are answered strictly in request order, whatever
+//    order their completions land in.
+//  * A connection with max_pipeline_depth unanswered requests stops being
+//    read (EPOLLIN parked) until responses drain — a pipelining client
+//    cannot queue unbounded work.
+//  * Parser failures answer with the parser's HTTP status and close; a peer
+//    that disappears mid-message is torn down without a response.
+//  * Connections idle past idle_timeout with nothing in flight are swept.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/buffer.h"
+#include "common/status.h"
+#include "http/parser.h"
+#include "osal/socket.h"
+
+namespace rr::http {
+
+// A response whose body shares payload chunks instead of owning flat bytes.
+// A run result Buffer drops in directly; the wire write gathers its chunks.
+struct StreamResponse {
+  int status_code = 200;
+  std::string reason = "OK";
+  Headers headers;
+  Buffer body;
+
+  StreamResponse() = default;
+  StreamResponse(int code, std::string reason_phrase)
+      : status_code(code), reason(std::move(reason_phrase)) {}
+
+  // Adopts a flat response's body storage (no copy).
+  static StreamResponse From(Response&& response);
+};
+
+class EpollServer {
+ public:
+  struct Options {
+    uint16_t port = 0;  // 0 = ephemeral
+    osal::BindAddress bind_address = osal::BindAddress::kLoopback;
+    // Accepts beyond this are answered 503 and closed immediately.
+    size_t max_connections = 8192;
+    // Unanswered parsed requests per connection before reads pause.
+    size_t max_pipeline_depth = 32;
+    Nanos idle_timeout = std::chrono::seconds(60);
+    ParserLimits parser_limits{};
+  };
+
+  // One-shot, thread-safe completion handle for a single request.
+  class Responder {
+   public:
+    Responder() = default;
+
+    // Queues the response toward the wire and wakes the loop. Only the
+    // first Send per request wins; later calls are no-ops, as is sending
+    // to a stopped server.
+    void Send(StreamResponse&& response) const;
+
+   private:
+    friend class EpollServer;
+    struct State;
+    explicit Responder(std::shared_ptr<State> state)
+        : state_(std::move(state)) {}
+    std::shared_ptr<State> state_;
+  };
+
+  using Handler = std::function<void(Request&&, Responder)>;
+
+  static Result<std::unique_ptr<EpollServer>> Start(Options options,
+                                                    Handler handler);
+  ~EpollServer();
+
+  EpollServer(const EpollServer&) = delete;
+  EpollServer& operator=(const EpollServer&) = delete;
+
+  uint16_t port() const;
+
+  // Live connection count (observability + tests).
+  size_t active_connections() const;
+
+  // Stops accepting, wakes the loop, joins it, closes every connection.
+  // Idempotent.
+  void Stop();
+
+ private:
+  struct Impl;
+  explicit EpollServer(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace rr::http

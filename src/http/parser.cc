@@ -1,0 +1,341 @@
+#include "http/parser.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace rr::http {
+namespace {
+
+constexpr std::string_view kHeadTerminator = "\r\n\r\n";
+
+bool IsTokenChar(char c) {
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsToken(std::string_view s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), IsTokenChar);
+}
+
+bool HasCtlOrSpace(std::string_view s) {
+  return std::any_of(s.begin(), s.end(), [](char c) {
+    const auto u = static_cast<unsigned char>(c);
+    return u <= 0x20 || u == 0x7f;
+  });
+}
+
+// Splits a head block into its first line and header lines, enforcing the
+// shared header-field rules. Single-valued fields (framing and identity)
+// must not repeat — two Content-Lengths is a classic request-smuggling
+// shape — while repeatable fields merge into a comma-separated list, which
+// is the RFC 7230 §3.2.2 equivalence.
+bool IsSingleValued(std::string_view name) {
+  return EqualsIgnoreCase(name, "Content-Length") ||
+         EqualsIgnoreCase(name, "Host") ||
+         EqualsIgnoreCase(name, "Authorization");
+}
+
+Status ParseHeaderFields(std::string_view block, Headers* headers) {
+  // `block` excludes the first line and its CRLF; lines are CRLF-separated.
+  while (!block.empty()) {
+    const size_t eol = block.find("\r\n");
+    const std::string_view line =
+        eol == std::string_view::npos ? block : block.substr(0, eol);
+    block = eol == std::string_view::npos ? std::string_view{}
+                                          : block.substr(eol + 2);
+    if (line.empty()) continue;
+    if (line.front() == ' ' || line.front() == '\t') {
+      return InvalidArgumentError("obsolete header line folding");
+    }
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return InvalidArgumentError("header line without a colon");
+    }
+    const std::string_view name = line.substr(0, colon);
+    if (!IsToken(name)) {
+      return InvalidArgumentError("malformed header field name");
+    }
+    const std::string_view value = TrimWhitespace(line.substr(colon + 1));
+    auto [it, inserted] = headers->emplace(std::string(name), std::string(value));
+    if (!inserted) {
+      if (IsSingleValued(name)) {
+        return InvalidArgumentError("duplicate " + std::string(name) +
+                                    " header");
+      }
+      it->second += ", ";
+      it->second += value;
+    }
+  }
+  return Status::Ok();
+}
+
+// Framing from the parsed headers: Content-Length only. A request that
+// declares any Transfer-Encoding is refused as unimplemented rather than
+// guessed at — mis-framing is how desyncs start.
+Result<uint64_t> DeclaredBodyLength(const Headers& headers,
+                                    uint64_t max_body_bytes) {
+  if (headers.count("Transfer-Encoding") != 0) {
+    return UnimplementedError("Transfer-Encoding is not supported");
+  }
+  const auto it = headers.find("Content-Length");
+  if (it == headers.end()) return uint64_t{0};
+  uint64_t length = 0;
+  if (!ParseUint64(it->second, &length)) {
+    return InvalidArgumentError("bad Content-Length: " + it->second);
+  }
+  if (length > max_body_bytes) {
+    return ResourceExhaustedError("declared body exceeds the limit");
+  }
+  return length;
+}
+
+}  // namespace
+
+// --- RequestParser ----------------------------------------------------------
+
+Status RequestParser::Fail(int http_status, Status status) {
+  state_ = State::kError;
+  error_status_ = http_status;
+  error_ = std::move(status);
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+  current_ = Request{};
+  return error_;
+}
+
+Status RequestParser::Feed(ByteSpan data, std::vector<Request>* out) {
+  if (state_ == State::kError) return error_;
+  size_t i = 0;
+  while (i < data.size()) {
+    if (state_ == State::kBody && buffer_.empty()) {
+      // Fast path: body bytes append straight from the feed span, without
+      // a detour through the head buffer.
+      const size_t take = static_cast<size_t>(std::min<uint64_t>(
+          body_remaining_, data.size() - i));
+      current_.body.insert(current_.body.end(), data.begin() + i,
+                           data.begin() + i + take);
+      body_remaining_ -= take;
+      i += take;
+      if (body_remaining_ == 0) {
+        out->push_back(std::move(current_));
+        current_ = Request{};
+        state_ = State::kHead;
+      }
+      continue;
+    }
+    // Head bytes (and any body prefix that shared a read with them)
+    // accumulate in buffer_ until the terminator shows up.
+    buffer_.append(reinterpret_cast<const char*>(data.data() + i),
+                   data.size() - i);
+    i = data.size();
+    RR_RETURN_IF_ERROR(DrainBuffer(out));
+  }
+  return Status::Ok();
+}
+
+Status RequestParser::DrainBuffer(std::vector<Request>* out) {
+  while (!buffer_.empty()) {
+    if (state_ == State::kBody) {
+      const size_t take = static_cast<size_t>(std::min<uint64_t>(
+          body_remaining_, buffer_.size()));
+      current_.body.insert(current_.body.end(), buffer_.begin(),
+                           buffer_.begin() + take);
+      buffer_.erase(0, take);
+      body_remaining_ -= take;
+      if (body_remaining_ > 0) return Status::Ok();  // buffer drained
+      out->push_back(std::move(current_));
+      current_ = Request{};
+      state_ = State::kHead;
+      continue;
+    }
+    // Between messages: tolerate stray CRLFs (RFC 7230 §3.5).
+    size_t start = 0;
+    while (start + 1 < buffer_.size() && buffer_[start] == '\r' &&
+           buffer_[start + 1] == '\n') {
+      start += 2;
+    }
+    if (start > 0) buffer_.erase(0, start);
+    if (buffer_.size() == 1 && buffer_[0] == '\r') return Status::Ok();
+    const size_t end = buffer_.find(kHeadTerminator);
+    if (end == std::string::npos) {
+      if (buffer_.size() > limits_.max_header_bytes) {
+        return Fail(431, ResourceExhaustedError("header block too large"));
+      }
+      return Status::Ok();  // need more bytes
+    }
+    if (end + kHeadTerminator.size() > limits_.max_header_bytes) {
+      return Fail(431, ResourceExhaustedError("header block too large"));
+    }
+    RR_RETURN_IF_ERROR(ParseHead(std::string_view(buffer_).substr(0, end)));
+    buffer_.erase(0, end + kHeadTerminator.size());
+    state_ = State::kBody;  // zero-length bodies complete on the next pass
+  }
+  // An empty buffer with a completed zero-length body still needs emitting.
+  if (state_ == State::kBody && body_remaining_ == 0) {
+    out->push_back(std::move(current_));
+    current_ = Request{};
+    state_ = State::kHead;
+  }
+  return Status::Ok();
+}
+
+Status RequestParser::ParseHead(std::string_view head) {
+  const size_t line_end = head.find("\r\n");
+  const std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  const auto parts = Split(request_line, ' ');
+  if (parts.size() != 3) {
+    return Fail(400, InvalidArgumentError("malformed request line: " +
+                                          std::string(request_line)));
+  }
+  const std::string_view method = parts[0];
+  const std::string_view target = parts[1];
+  const std::string_view version = parts[2];
+  if (!IsToken(method)) {
+    return Fail(400, InvalidArgumentError("malformed method token"));
+  }
+  if (target.empty() || HasCtlOrSpace(target)) {
+    return Fail(400, InvalidArgumentError("malformed request target"));
+  }
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return Fail(400, InvalidArgumentError("unsupported HTTP version: " +
+                                          std::string(version)));
+  }
+  current_ = Request{};
+  current_.method = std::string(method);
+  current_.target = std::string(target);
+  if (line_end != std::string_view::npos) {
+    Status fields =
+        ParseHeaderFields(head.substr(line_end + 2), &current_.headers);
+    if (!fields.ok()) return Fail(400, std::move(fields));
+  }
+  Result<uint64_t> length =
+      DeclaredBodyLength(current_.headers, limits_.max_body_bytes);
+  if (!length.ok()) {
+    switch (length.status().code()) {
+      case StatusCode::kResourceExhausted:
+        return Fail(413, length.status());
+      case StatusCode::kUnimplemented:
+        return Fail(501, length.status());
+      default:
+        return Fail(400, length.status());
+    }
+  }
+  body_remaining_ = *length;
+  current_.body.reserve(static_cast<size_t>(*length));
+  return Status::Ok();
+}
+
+// --- ResponseParser ---------------------------------------------------------
+
+Status ResponseParser::Fail(Status status) {
+  state_ = State::kError;
+  error_ = std::move(status);
+  buffer_.clear();
+  return error_;
+}
+
+Status ResponseParser::Feed(ByteSpan data, std::vector<Response>* out) {
+  if (state_ == State::kError) return error_;
+  size_t i = 0;
+  while (i < data.size()) {
+    if (state_ == State::kBody && buffer_.empty()) {
+      const size_t take = static_cast<size_t>(std::min<uint64_t>(
+          body_remaining_, data.size() - i));
+      current_.body.insert(current_.body.end(), data.begin() + i,
+                           data.begin() + i + take);
+      body_remaining_ -= take;
+      i += take;
+      if (body_remaining_ == 0) {
+        out->push_back(std::move(current_));
+        current_ = Response{};
+        state_ = State::kHead;
+      }
+      continue;
+    }
+    buffer_.append(reinterpret_cast<const char*>(data.data() + i),
+                   data.size() - i);
+    i = data.size();
+    RR_RETURN_IF_ERROR(DrainBuffer(out));
+  }
+  return Status::Ok();
+}
+
+Status ResponseParser::DrainBuffer(std::vector<Response>* out) {
+  while (!buffer_.empty()) {
+    if (state_ == State::kBody) {
+      const size_t take = static_cast<size_t>(std::min<uint64_t>(
+          body_remaining_, buffer_.size()));
+      current_.body.insert(current_.body.end(), buffer_.begin(),
+                           buffer_.begin() + take);
+      buffer_.erase(0, take);
+      body_remaining_ -= take;
+      if (body_remaining_ > 0) return Status::Ok();
+      out->push_back(std::move(current_));
+      current_ = Response{};
+      state_ = State::kHead;
+      continue;
+    }
+    const size_t end = buffer_.find(kHeadTerminator);
+    if (end == std::string::npos) {
+      if (buffer_.size() > limits_.max_header_bytes) {
+        return Fail(ResourceExhaustedError("header block too large"));
+      }
+      return Status::Ok();
+    }
+    RR_RETURN_IF_ERROR(ParseHead(std::string_view(buffer_).substr(0, end)));
+    buffer_.erase(0, end + kHeadTerminator.size());
+    state_ = State::kBody;
+  }
+  if (state_ == State::kBody && body_remaining_ == 0) {
+    out->push_back(std::move(current_));
+    current_ = Response{};
+    state_ = State::kHead;
+  }
+  return Status::Ok();
+}
+
+Status ResponseParser::ParseHead(std::string_view head) {
+  const size_t line_end = head.find("\r\n");
+  const std::string_view status_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  const auto parts = Split(status_line, ' ');
+  if (parts.size() < 2 || !StartsWith(std::string(parts[0]), "HTTP/1.")) {
+    return Fail(InvalidArgumentError("malformed status line: " +
+                                     std::string(status_line)));
+  }
+  uint64_t code = 0;
+  if (!ParseUint64(parts[1], &code) || code < 100 || code > 599) {
+    return Fail(InvalidArgumentError("bad status code"));
+  }
+  current_ = Response{};
+  current_.status_code = static_cast<int>(code);
+  // The reason phrase may itself contain spaces; keep everything after the
+  // code verbatim.
+  if (parts.size() > 2) {
+    const size_t reason_at = parts[0].size() + 1 + parts[1].size() + 1;
+    current_.reason = std::string(status_line.substr(reason_at));
+  }
+  if (line_end != std::string_view::npos) {
+    Status fields =
+        ParseHeaderFields(head.substr(line_end + 2), &current_.headers);
+    if (!fields.ok()) return Fail(std::move(fields));
+  }
+  Result<uint64_t> length =
+      DeclaredBodyLength(current_.headers, limits_.max_body_bytes);
+  if (!length.ok()) return Fail(length.status());
+  body_remaining_ = *length;
+  current_.body.reserve(static_cast<size_t>(*length));
+  return Status::Ok();
+}
+
+}  // namespace rr::http

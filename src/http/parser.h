@@ -1,0 +1,100 @@
+// Incremental (push) HTTP/1.1 message parsers for event-driven servers.
+//
+// The blocking reader in http.h owns its connection and parks on read(2)
+// until a full message arrives — one thread per connection. The epoll
+// server inverts that: the event loop reads whatever bytes are ready and
+// *feeds* them to a per-connection parser, which emits zero or more
+// complete messages per feed (pipelined requests arrive together) and
+// retains partial state between feeds.
+//
+// Hardening contract: every malformed input fails with a typed Status and
+// an HTTP status code to answer with (400 malformed syntax, 413 oversized
+// body, 431 oversized header block, 501 unimplemented framing), the parser
+// latches the error (further feeds keep failing), and no input — truncated,
+// oversized, duplicated, or pipelined — can make it buffer unboundedly or
+// mis-frame a later message.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "http/http.h"
+
+namespace rr::http {
+
+struct ParserLimits {
+  // Request line / status line + header block, CRLFs included.
+  size_t max_header_bytes = 64 * 1024;
+  // Declared Content-Length cap; larger messages are refused at the header,
+  // before any body byte is buffered.
+  uint64_t max_body_bytes = uint64_t{64} * 1024 * 1024;
+};
+
+class RequestParser {
+ public:
+  RequestParser() = default;
+  explicit RequestParser(ParserLimits limits) : limits_(limits) {}
+
+  // Consumes `data`, appending every request it completes to `out`. On a
+  // protocol violation the returned error latches: the connection is
+  // unframeable from here on, so the caller answers error_status_code()
+  // and closes. Stray CRLFs between pipelined messages are tolerated.
+  Status Feed(ByteSpan data, std::vector<Request>* out);
+
+  // True between messages: a peer close here is a clean keep-alive
+  // teardown, anywhere else it truncated a message.
+  bool idle() const { return state_ == State::kHead && buffer_.empty(); }
+
+  bool failed() const { return state_ == State::kError; }
+
+  // The HTTP status to answer a failed parse with (0 while not failed).
+  int error_status_code() const { return error_status_; }
+
+ private:
+  enum class State { kHead, kBody, kError };
+
+  Status Fail(int http_status, Status status);
+  // Extracts complete heads (and any buffered body prefix) from buffer_.
+  Status DrainBuffer(std::vector<Request>* out);
+  Status ParseHead(std::string_view head);
+
+  ParserLimits limits_{};
+  State state_ = State::kHead;
+  std::string buffer_;  // current message's head (starts at its first byte)
+  Request current_;
+  uint64_t body_remaining_ = 0;
+  int error_status_ = 0;
+  Status error_;
+};
+
+// The client-side mirror, used by the load generator and tests: feed
+// response bytes, get completed responses. Responses are framed by
+// Content-Length only (absent = empty body), which is what the epoll
+// server emits.
+class ResponseParser {
+ public:
+  ResponseParser() = default;
+  explicit ResponseParser(ParserLimits limits) : limits_(limits) {}
+
+  Status Feed(ByteSpan data, std::vector<Response>* out);
+
+  bool idle() const { return state_ == State::kHead && buffer_.empty(); }
+  bool failed() const { return state_ == State::kError; }
+
+ private:
+  enum class State { kHead, kBody, kError };
+
+  Status Fail(Status status);
+  Status DrainBuffer(std::vector<Response>* out);
+  Status ParseHead(std::string_view head);
+
+  ParserLimits limits_{};
+  State state_ = State::kHead;
+  std::string buffer_;
+  Response current_;
+  uint64_t body_remaining_ = 0;
+  Status error_;
+};
+
+}  // namespace rr::http

@@ -45,27 +45,37 @@ Result<std::unique_ptr<IntrospectionServer>> IntrospectionServer::Start(
     Options options) {
   const TimePoint started = Now();
   const uint16_t port = options.port;
-  auto handler = [options = std::move(options),
-                  started](const http::Request& request) -> http::Response {
+  // Scrapes are rendered inline on the event loop: each handler is a pure
+  // in-memory snapshot (no I/O, no blocking), well inside the loop's
+  // non-blocking handler contract.
+  auto handler = [options = std::move(options), started](
+                     http::Request&& request,
+                     http::EpollServer::Responder responder) {
+    auto answer = [&responder](http::Response&& response) {
+      responder.Send(http::StreamResponse::From(std::move(response)));
+    };
     if (request.method != "GET") {
-      return TextResponse(405, "Method Not Allowed", "text/plain",
-                          "method not allowed\n");
-    }
-    if (request.target == "/metrics") {
-      return TextResponse(200, "OK",
+      answer(TextResponse(405, "Method Not Allowed", "text/plain",
+                          "method not allowed\n"));
+    } else if (request.target == "/metrics") {
+      answer(TextResponse(200, "OK",
                           "text/plain; version=0.0.4; charset=utf-8",
-                          Registry::Get().RenderPrometheus());
+                          Registry::Get().RenderPrometheus()));
+    } else if (request.target == "/healthz") {
+      answer(TextResponse(200, "OK", "application/json",
+                          HealthJson(options, started)));
+    } else if (request.target == "/trace") {
+      answer(TextResponse(200, "OK", "application/json", ExportChromeTrace()));
+    } else {
+      answer(TextResponse(404, "Not Found", "text/plain", "not found\n"));
     }
-    if (request.target == "/healthz") {
-      return TextResponse(200, "OK", "application/json",
-                          HealthJson(options, started));
-    }
-    if (request.target == "/trace") {
-      return TextResponse(200, "OK", "application/json", ExportChromeTrace());
-    }
-    return TextResponse(404, "Not Found", "text/plain", "not found\n");
   };
-  RR_ASSIGN_OR_RETURN(auto server, http::Server::Start(port, std::move(handler)));
+  http::EpollServer::Options server_options;
+  server_options.port = port;
+  server_options.bind_address = osal::BindAddress::kLoopback;
+  RR_ASSIGN_OR_RETURN(
+      auto server,
+      http::EpollServer::Start(server_options, std::move(handler)));
   return std::unique_ptr<IntrospectionServer>(
       new IntrospectionServer(std::move(server)));
 }

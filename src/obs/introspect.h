@@ -1,14 +1,15 @@
-// Introspection endpoint: a small HTTP server (on the existing http::Server)
-// exposing the process's observability state.
+// Introspection endpoint: a small HTTP server (on http::EpollServer, the
+// same event loop that fronts the gateway) exposing the process's
+// observability state.
 //
 //   GET /metrics  -> Prometheus text exposition (obs::Registry)
 //   GET /healthz  -> JSON liveness: {"status":"ok","uptime_seconds":...}
 //                    plus any caller-supplied fields (e.g. in-flight runs)
 //   GET /trace    -> Chrome trace-event JSON of the span ring (obs::Tracer)
 //
-// Binds 127.0.0.1 only (the underlying server never listens on other
-// interfaces); the endpoint is unauthenticated and meant for local scrapes
-// and debugging, not the open network.
+// Binds 127.0.0.1 only (never another interface); the endpoint is
+// unauthenticated and meant for local scrapes and debugging, not the open
+// network. The public face is the gateway, which exposes nothing of this.
 #pragma once
 
 #include <cstdint>
@@ -19,7 +20,7 @@
 #include <vector>
 
 #include "common/status.h"
-#include "http/server.h"
+#include "http/epoll_server.h"
 
 namespace rr::obs {
 
@@ -39,13 +40,13 @@ class IntrospectionServer {
   uint16_t port() const { return server_->port(); }
 
   // Stops the underlying HTTP server; the destructor also does this.
-  void Shutdown() { server_->Shutdown(); }
+  void Shutdown() { server_->Stop(); }
 
  private:
-  explicit IntrospectionServer(std::unique_ptr<http::Server> server)
+  explicit IntrospectionServer(std::unique_ptr<http::EpollServer> server)
       : server_(std::move(server)) {}
 
-  std::unique_ptr<http::Server> server_;
+  std::unique_ptr<http::EpollServer> server_;
 };
 
 }  // namespace rr::obs

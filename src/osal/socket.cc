@@ -170,7 +170,7 @@ Status Connection::ShutdownWrite() {
   return Status::Ok();
 }
 
-Result<TcpListener> TcpListener::Bind(uint16_t port) {
+Result<TcpListener> TcpListener::Bind(uint16_t port, BindAddress address) {
   UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
   if (!fd.valid()) return ErrnoToStatus(errno, "socket(AF_INET)");
 
@@ -179,12 +179,15 @@ Result<TcpListener> TcpListener::Bind(uint16_t port) {
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_addr.s_addr = htonl(
+      address == BindAddress::kAny ? INADDR_ANY : INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     return ErrnoToStatus(errno, "bind");
   }
-  if (::listen(fd.get(), 128) != 0) {
+  // Deep backlog: the gateway bench opens thousands of connections in a
+  // burst and loopback SYN retries would skew its latency tail.
+  if (::listen(fd.get(), 1024) != 0) {
     return ErrnoToStatus(errno, "listen");
   }
 
@@ -193,6 +196,19 @@ Result<TcpListener> TcpListener::Bind(uint16_t port) {
     return ErrnoToStatus(errno, "getsockname");
   }
   return TcpListener(std::move(fd), ntohs(addr.sin_port));
+}
+
+Result<Connection> TcpListener::TryAccept() {
+  while (true) {
+    const int conn = ::accept4(fd_.get(), nullptr, nullptr,
+                               SOCK_CLOEXEC | SOCK_NONBLOCK);
+    if (conn >= 0) return Connection(UniqueFd(conn));
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Connection();
+    // Transient per-connection failures (peer reset before accept, fd
+    // exhaustion) surface as errors for the caller to count, not crash on.
+    return ErrnoToStatus(errno, "accept4");
+  }
 }
 
 Result<Connection> TcpListener::Accept() {

@@ -74,15 +74,25 @@ class Connection {
   UniqueFd fd_;
 };
 
-// TCP listener on 127.0.0.1. Port 0 picks an ephemeral port.
+// TCP listener. Binds loopback by default; kAny opens the listener to every
+// interface (the gateway's public face — everything else stays loopback).
+// Port 0 picks an ephemeral port.
+enum class BindAddress { kLoopback, kAny };
+
 class TcpListener {
  public:
-  static Result<TcpListener> Bind(uint16_t port);
+  static Result<TcpListener> Bind(uint16_t port,
+                                  BindAddress address = BindAddress::kLoopback);
 
   uint16_t port() const { return port_; }
   int fd() const { return fd_.get(); }
 
   Result<Connection> Accept();
+
+  // Non-blocking accept for event loops (the listener fd must be
+  // non-blocking): an invalid Connection means no connection is pending.
+  // Accepted connections come back with O_NONBLOCK already set.
+  Result<Connection> TryAccept();
 
  private:
   TcpListener(UniqueFd fd, uint16_t port) : fd_(std::move(fd)), port_(port) {}

@@ -1,0 +1,361 @@
+// Gateway tests: routing, the interceptor pipeline's ordering contract,
+// auth/quota/admission vetoes with their HTTP mappings, and end-to-end
+// invokes over real pipelines.
+#include "gateway/gateway.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gateway/interceptor.h"
+#include "http/http.h"
+#include "runtime/function.h"
+
+namespace rr::gateway {
+namespace {
+
+using core::Endpoint;
+using core::Location;
+using core::Shim;
+
+// --- InterceptorChain unit tests ---------------------------------------------
+
+class ProbeInterceptor : public Interceptor {
+ public:
+  ProbeInterceptor(std::string tag, std::vector<std::string>* log,
+                   Status enter_result = Status::Ok(),
+                   bool short_circuit = false)
+      : tag_(std::move(tag)),
+        log_(log),
+        enter_result_(std::move(enter_result)),
+        short_circuit_(short_circuit) {}
+
+  std::string_view name() const override { return tag_; }
+
+  Status OnEnter(RequestContext& ctx) override {
+    log_->push_back("enter:" + tag_);
+    if (!enter_result_.ok()) return enter_result_;
+    if (short_circuit_) {
+      ctx.response = http::StreamResponse(204, "No Content");
+      ctx.short_circuited = true;
+    }
+    return Status::Ok();
+  }
+
+  void OnReturn(RequestContext&) override { log_->push_back("return:" + tag_); }
+
+ private:
+  const std::string tag_;
+  std::vector<std::string>* log_;
+  const Status enter_result_;
+  const bool short_circuit_;
+};
+
+TEST(InterceptorChainTest, EnterForwardReturnReverse) {
+  std::vector<std::string> log;
+  InterceptorChain chain({std::make_shared<ProbeInterceptor>("a", &log),
+                          std::make_shared<ProbeInterceptor>("b", &log),
+                          std::make_shared<ProbeInterceptor>("c", &log)});
+  RequestContext ctx;
+  size_t entered = 0;
+  ASSERT_TRUE(chain.RunEnter(ctx, &entered).ok());
+  EXPECT_EQ(entered, 3u);
+  chain.RunReturn(ctx, entered);
+  EXPECT_EQ(log, (std::vector<std::string>{"enter:a", "enter:b", "enter:c",
+                                           "return:c", "return:b",
+                                           "return:a"}));
+}
+
+TEST(InterceptorChainTest, VetoUnwindsOnlyWhatWasEntered) {
+  std::vector<std::string> log;
+  InterceptorChain chain(
+      {std::make_shared<ProbeInterceptor>("a", &log),
+       std::make_shared<ProbeInterceptor>("veto", &log,
+                                          PermissionDeniedError("no")),
+       std::make_shared<ProbeInterceptor>("never", &log)});
+  RequestContext ctx;
+  size_t entered = 0;
+  EXPECT_FALSE(chain.RunEnter(ctx, &entered).ok());
+  EXPECT_EQ(entered, 1u);  // only "a" admitted the request
+  chain.RunReturn(ctx, entered);
+  EXPECT_EQ(log, (std::vector<std::string>{"enter:a", "enter:veto",
+                                           "return:a"}));
+}
+
+TEST(InterceptorChainTest, ShortCircuitUnwindsThroughAnsweringInterceptor) {
+  std::vector<std::string> log;
+  InterceptorChain chain(
+      {std::make_shared<ProbeInterceptor>("a", &log),
+       std::make_shared<ProbeInterceptor>("answer", &log, Status::Ok(),
+                                          /*short_circuit=*/true),
+       std::make_shared<ProbeInterceptor>("never", &log)});
+  RequestContext ctx;
+  size_t entered = 0;
+  ASSERT_TRUE(chain.RunEnter(ctx, &entered).ok());
+  EXPECT_TRUE(ctx.short_circuited);
+  EXPECT_EQ(entered, 2u);  // "answer" owes a return phase too
+  chain.RunReturn(ctx, entered);
+  EXPECT_EQ(log, (std::vector<std::string>{"enter:a", "enter:answer",
+                                           "return:answer", "return:a"}));
+}
+
+TEST(InterceptorChainTest, StatusMappingCoversGatewayCodes) {
+  EXPECT_EQ(HttpStatusFor(StatusCode::kNotFound), 404);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kResourceExhausted), 429);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kUnavailable), 503);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kDeadlineExceeded), 504);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kPermissionDenied), 403);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kUnimplemented), 501);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kInternal), 500);
+}
+
+// --- Gateway integration -----------------------------------------------------
+
+runtime::FunctionSpec Spec(const std::string& name) {
+  runtime::FunctionSpec spec;
+  spec.name = name;
+  spec.workflow = "wf";
+  return spec;
+}
+
+const Bytes& Binary() {
+  static const Bytes binary = runtime::BuildFunctionModuleBinary();
+  return binary;
+}
+
+class GatewayTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    vm_ = std::make_unique<runtime::WasmVm>("wf");
+    runtime_ = std::make_unique<api::Runtime>("wf");
+    shims_.push_back(AddFunction("a"));
+    shims_.push_back(AddFunction("b"));
+  }
+
+  std::unique_ptr<Shim> AddFunction(const std::string& name) {
+    auto shim = Shim::CreateInVm(*vm_, Spec(name), Binary());
+    EXPECT_TRUE(shim.ok()) << shim.status();
+    EXPECT_TRUE((*shim)
+                    ->Deploy([name](ByteSpan input) -> Result<Bytes> {
+                      std::string out(AsStringView(input));
+                      out += "|" + name;
+                      return ToBytes(out);
+                    })
+                    .ok());
+    Endpoint endpoint;
+    endpoint.shim = shim->get();
+    endpoint.location = Location{"n1", "vm1"};
+    EXPECT_TRUE(runtime_->Register(endpoint).ok());
+    return std::move(*shim);
+  }
+
+  std::unique_ptr<Gateway> StartGateway(Gateway::Options options = {}) {
+    auto gateway = Gateway::Start(runtime_.get(), std::move(options));
+    EXPECT_TRUE(gateway.ok()) << gateway.status();
+    EXPECT_TRUE(
+        (*gateway)->AddRoute("echo", api::ChainSpec{{"a", "b"}}).ok());
+    return std::move(*gateway);
+  }
+
+  static http::Request Invoke(const std::string& pipeline,
+                              const std::string& body) {
+    http::Request request;
+    request.method = "POST";
+    request.target = "/v1/invoke/" + pipeline;
+    request.body = ToBytes(body);
+    return request;
+  }
+
+  std::unique_ptr<runtime::WasmVm> vm_;
+  std::unique_ptr<api::Runtime> runtime_;
+  std::vector<std::unique_ptr<Shim>> shims_;
+};
+
+TEST_F(GatewayTest, InvokeRunsThePipeline) {
+  auto gateway = StartGateway();
+  auto response = http::Fetch("127.0.0.1", gateway->port(), Invoke("echo", "in"));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status_code, 200);
+  EXPECT_EQ(ToString(ByteSpan(response->body)), "in|a|b");
+  EXPECT_EQ(response->headers["content-type"], "application/octet-stream");
+}
+
+TEST_F(GatewayTest, UnknownPipelineIs404) {
+  auto gateway = StartGateway();
+  auto response =
+      http::Fetch("127.0.0.1", gateway->port(), Invoke("ghost", "x"));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status_code, 404);
+  EXPECT_NE(ToString(ByteSpan(response->body)).find("ghost"),
+            std::string::npos);
+}
+
+TEST_F(GatewayTest, NonInvokeTargetIs404) {
+  auto gateway = StartGateway();
+  http::Request request;
+  request.target = "/v2/other";
+  auto response = http::Fetch("127.0.0.1", gateway->port(), request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status_code, 404);
+}
+
+TEST_F(GatewayTest, GetOnInvokeRouteIs405) {
+  auto gateway = StartGateway();
+  http::Request request;
+  request.method = "GET";
+  request.target = "/v1/invoke/echo";
+  auto response = http::Fetch("127.0.0.1", gateway->port(), request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status_code, 405);
+  EXPECT_EQ(response->headers["allow"], "POST");
+}
+
+TEST_F(GatewayTest, DuplicateRouteRejected) {
+  auto gateway = StartGateway();
+  EXPECT_EQ(gateway->AddRoute("echo", api::ChainSpec{{"a"}}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(gateway->AddRoute("bad/name", api::ChainSpec{{"a"}}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(GatewayTest, HealthzShortCircuitsBeforeDispatch) {
+  Gateway::Options options;
+  options.interceptors = {std::make_shared<HealthCheckInterceptor>(
+      [] {
+        return std::vector<std::pair<std::string, int64_t>>{{"in_flight", 7}};
+      })};
+  auto gateway = StartGateway(std::move(options));
+  http::Request request;
+  request.method = "GET";
+  request.target = "/healthz";
+  auto response = http::Fetch("127.0.0.1", gateway->port(), request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status_code, 200);
+  const std::string body = ToString(ByteSpan(response->body));
+  EXPECT_NE(body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(body.find("\"in_flight\":7"), std::string::npos);
+}
+
+TEST_F(GatewayTest, RequestIdMintedAndEchoed) {
+  Gateway::Options options;
+  options.interceptors = {std::make_shared<RequestIdInterceptor>()};
+  auto gateway = StartGateway(std::move(options));
+
+  auto response = http::Fetch("127.0.0.1", gateway->port(), Invoke("echo", "x"));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->headers["x-request-id"].size(), 16u);
+
+  // A caller-supplied id (ours-shaped) is reused, stitching client retries
+  // onto one trace.
+  auto request = Invoke("echo", "x");
+  request.headers["X-Request-Id"] = "00000000deadbeef";
+  response = http::Fetch("127.0.0.1", gateway->port(), request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->headers["x-request-id"], "00000000deadbeef");
+}
+
+TEST_F(GatewayTest, VetoedRequestStillCarriesRequestId) {
+  // request-id enters before auth; its return phase must decorate the 401.
+  Gateway::Options options;
+  options.interceptors = {
+      std::make_shared<RequestIdInterceptor>(),
+      std::make_shared<AuthInterceptor>(AuthInterceptor::Options{
+          {{"sekret", "acme"}}, /*allow_anonymous=*/false})};
+  auto gateway = StartGateway(std::move(options));
+  auto response = http::Fetch("127.0.0.1", gateway->port(), Invoke("echo", "x"));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status_code, 401);
+  EXPECT_EQ(response->headers["www-authenticate"], "Bearer");
+  EXPECT_EQ(response->headers["x-request-id"].size(), 16u);
+}
+
+TEST_F(GatewayTest, BearerTokenResolvesTenant) {
+  Gateway::Options options;
+  options.interceptors = {
+      std::make_shared<AuthInterceptor>(AuthInterceptor::Options{
+          {{"sekret", "acme"}}, /*allow_anonymous=*/false})};
+  auto gateway = StartGateway(std::move(options));
+
+  auto request = Invoke("echo", "hi");
+  request.headers["Authorization"] = "Bearer sekret";
+  auto response = http::Fetch("127.0.0.1", gateway->port(), request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status_code, 200);
+
+  request.headers["Authorization"] = "Bearer wrong";
+  response = http::Fetch("127.0.0.1", gateway->port(), request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status_code, 403);
+}
+
+TEST_F(GatewayTest, OversizedBodyIs413) {
+  Gateway::Options options;
+  options.interceptors = {std::make_shared<BodyLimitInterceptor>(16)};
+  auto gateway = StartGateway(std::move(options));
+  auto response = http::Fetch("127.0.0.1", gateway->port(),
+                              Invoke("echo", std::string(64, 'x')));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status_code, 413);
+}
+
+TEST_F(GatewayTest, PerTenantRateLimitShedsWithRetryAfter) {
+  Gateway::Options options;
+  options.interceptors = {std::make_shared<RateLimitInterceptor>(
+      /*requests_per_sec=*/1.0, /*burst=*/2)};
+  auto gateway = StartGateway(std::move(options));
+  auto client = http::Client::Connect("127.0.0.1", gateway->port());
+  ASSERT_TRUE(client.ok());
+  int ok = 0, shed = 0;
+  std::string retry_after;
+  for (int i = 0; i < 4; ++i) {
+    auto response = client->RoundTrip(Invoke("echo", "x"));
+    ASSERT_TRUE(response.ok());
+    if (response->status_code == 200) ++ok;
+    if (response->status_code == 429) {
+      ++shed;
+      retry_after = response->headers["retry-after"];
+    }
+  }
+  EXPECT_EQ(ok, 2);  // the burst
+  EXPECT_EQ(shed, 2);
+  EXPECT_FALSE(retry_after.empty());
+}
+
+TEST_F(GatewayTest, AdmissionShedsWhenBackendSaturated) {
+  AdmissionInterceptor::Options admission;
+  admission.max_inflight_runs = 1;
+  admission.inflight = [] { return size_t{100}; };  // permanently saturated
+  Gateway::Options options;
+  options.interceptors = {
+      std::make_shared<AdmissionInterceptor>(std::move(admission))};
+  auto gateway = StartGateway(std::move(options));
+  auto response = http::Fetch("127.0.0.1", gateway->port(), Invoke("echo", "x"));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status_code, 429);
+  EXPECT_EQ(response->headers["retry-after"], "1");
+}
+
+TEST_F(GatewayTest, ConcurrentInvokesAllComplete) {
+  auto gateway = StartGateway();
+  constexpr int kClients = 16;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      auto response = http::Fetch("127.0.0.1", gateway->port(),
+                                  Invoke("echo", "c" + std::to_string(t)));
+      if (!response.ok() || response->status_code != 200 ||
+          ToString(ByteSpan(response->body)) !=
+              "c" + std::to_string(t) + "|a|b") {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace rr::gateway

@@ -1,0 +1,325 @@
+#include "http/epoll_server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "http/http.h"
+#include "osal/socket.h"
+
+namespace rr::http {
+namespace {
+
+using Responder = EpollServer::Responder;
+
+std::unique_ptr<EpollServer> StartEcho(EpollServer::Options options = {}) {
+  auto server = EpollServer::Start(options, [](Request&& req, Responder rsp) {
+    StreamResponse out;
+    out.headers["x-echo-target"] = req.target;
+    out.body = Buffer::Adopt(std::move(req.body));
+    rsp.Send(std::move(out));
+  });
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  return std::move(*server);
+}
+
+TEST(EpollServerTest, RoundTripsInlineHandler) {
+  auto server = StartEcho();
+  Request request;
+  request.method = "POST";
+  request.target = "/v1/echo";
+  request.body = ToBytes("hello epoll");
+  auto response = Fetch("127.0.0.1", server->port(), request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status_code, 200);
+  EXPECT_EQ(response->headers["x-echo-target"], "/v1/echo");
+  EXPECT_EQ(ToString(ByteSpan(response->body)), "hello epoll");
+}
+
+TEST(EpollServerTest, KeepAliveServesManySequentialRequests) {
+  auto server = StartEcho();
+  auto client = Client::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 50; ++i) {
+    Request request;
+    request.method = "POST";
+    request.target = "/seq";
+    request.body = ToBytes("round " + std::to_string(i));
+    auto response = client->RoundTrip(request);
+    ASSERT_TRUE(response.ok()) << i << ": " << response.status().ToString();
+    EXPECT_EQ(ToString(ByteSpan(response->body)), "round " + std::to_string(i));
+  }
+}
+
+TEST(EpollServerTest, AsyncCompletionFromAnotherThread) {
+  std::vector<std::thread> completers;
+  auto server = EpollServer::Start({}, [&](Request&&, Responder rsp) {
+    completers.emplace_back([rsp = std::move(rsp)] {
+      PreciseSleep(std::chrono::milliseconds(10));
+      StreamResponse out;
+      out.body = Buffer::FromString("late");
+      rsp.Send(std::move(out));
+    });
+  });
+  ASSERT_TRUE(server.ok());
+  auto response = Fetch("127.0.0.1", (*server)->port(), Request{});
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(ToString(ByteSpan(response->body)), "late");
+  for (auto& thread : completers) thread.join();
+}
+
+TEST(EpollServerTest, MultiChunkBodyStreamsIntact) {
+  // A fan-in style body: three shared chunks, no flattening on the way out.
+  auto server = EpollServer::Start({}, [](Request&&, Responder rsp) {
+    StreamResponse out;
+    out.body = Buffer::FromString("alpha-");
+    out.body.Append(Buffer::FromString("beta-"));
+    out.body.Append(Buffer::FromString("gamma"));
+    EXPECT_EQ(out.body.chunk_count(), 3u);
+    rsp.Send(std::move(out));
+  });
+  ASSERT_TRUE(server.ok());
+  auto response = Fetch("127.0.0.1", (*server)->port(), Request{});
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(ToString(ByteSpan(response->body)), "alpha-beta-gamma");
+}
+
+TEST(EpollServerTest, LargeBodyRoundTrips) {
+  auto server = StartEcho();
+  Request request;
+  request.method = "POST";
+  request.body = Bytes(4 * 1024 * 1024, 0xab);
+  auto response = Fetch("127.0.0.1", server->port(), request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_EQ(response->body.size(), request.body.size());
+  EXPECT_EQ(response->body, request.body);
+}
+
+TEST(EpollServerTest, PipelinedRequestsAnswerInOrderDespiteReversedCompletions) {
+  // Hold every responder until all three requests arrive, then complete in
+  // reverse. The wire must still carry responses in request order.
+  std::mutex mutex;
+  std::vector<std::pair<std::string, Responder>> held;
+  auto server = EpollServer::Start({}, [&](Request&& req, Responder rsp) {
+    std::lock_guard<std::mutex> lock(mutex);
+    held.emplace_back(req.target, std::move(rsp));
+  });
+  ASSERT_TRUE(server.ok());
+
+  auto conn = osal::TcpConnect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(conn.ok());
+  const std::string wire =
+      "GET /first HTTP/1.1\r\n\r\n"
+      "GET /second HTTP/1.1\r\n\r\n"
+      "GET /third HTTP/1.1\r\n\r\n";
+  ASSERT_TRUE(conn->Send(AsBytes(wire)).ok());
+
+  const Stopwatch timer;
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (held.size() == 3) break;
+    }
+    ASSERT_LT(timer.ElapsedMillis(), 5000.0) << "requests never arrived";
+    PreciseSleep(std::chrono::milliseconds(1));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    for (auto it = held.rbegin(); it != held.rend(); ++it) {
+      StreamResponse out;
+      out.body = Buffer::FromString("answer:" + it->first);
+      it->second.Send(std::move(out));
+    }
+  }
+
+  ResponseParser parser;
+  std::vector<Response> responses;
+  uint8_t buf[4096];
+  while (responses.size() < 3) {
+    auto r = conn->ReceiveSome(MutableByteSpan(buf, sizeof(buf)));
+    ASSERT_TRUE(r.ok());
+    ASSERT_GT(*r, 0u) << "peer closed early";
+    ASSERT_TRUE(parser.Feed(ByteSpan(buf, *r), &responses).ok());
+  }
+  EXPECT_EQ(ToString(ByteSpan(responses[0].body)), "answer:/first");
+  EXPECT_EQ(ToString(ByteSpan(responses[1].body)), "answer:/second");
+  EXPECT_EQ(ToString(ByteSpan(responses[2].body)), "answer:/third");
+}
+
+TEST(EpollServerTest, MalformedRequestGetsCleanErrorAndClose) {
+  auto server = StartEcho();
+  auto conn = osal::TcpConnect("127.0.0.1", server->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn->Send(AsBytes("NOT A REQUEST\r\n\r\n")).ok());
+  ResponseParser parser;
+  std::vector<Response> responses;
+  uint8_t buf[4096];
+  while (responses.empty()) {
+    auto r = conn->ReceiveSome(MutableByteSpan(buf, sizeof(buf)));
+    ASSERT_TRUE(r.ok());
+    ASSERT_GT(*r, 0u);
+    ASSERT_TRUE(parser.Feed(ByteSpan(buf, *r), &responses).ok());
+  }
+  EXPECT_EQ(responses[0].status_code, 400);
+  EXPECT_EQ(responses[0].headers["connection"], "close");
+  // The server closes after the error response.
+  auto eof = conn->ReceiveSome(MutableByteSpan(buf, sizeof(buf)));
+  ASSERT_TRUE(eof.ok());
+  EXPECT_EQ(*eof, 0u);
+}
+
+TEST(EpollServerTest, GoodPipelinedRequestsAnsweredBeforeErrorCloses) {
+  auto server = StartEcho();
+  auto conn = osal::TcpConnect("127.0.0.1", server->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn->Send(AsBytes("POST /ok HTTP/1.1\r\nContent-Length: 2"
+                                 "\r\n\r\nhi"
+                                 "BROKEN LINE\r\n\r\n"))
+                  .ok());
+  ResponseParser parser;
+  std::vector<Response> responses;
+  uint8_t buf[4096];
+  while (responses.size() < 2) {
+    auto r = conn->ReceiveSome(MutableByteSpan(buf, sizeof(buf)));
+    ASSERT_TRUE(r.ok());
+    ASSERT_GT(*r, 0u) << "closed before both responses arrived";
+    ASSERT_TRUE(parser.Feed(ByteSpan(buf, *r), &responses).ok());
+  }
+  EXPECT_EQ(responses[0].status_code, 200);
+  EXPECT_EQ(ToString(ByteSpan(responses[0].body)), "hi");
+  EXPECT_EQ(responses[1].status_code, 400);
+}
+
+TEST(EpollServerTest, OversizedDeclaredBodyIs413) {
+  EpollServer::Options options;
+  options.parser_limits.max_body_bytes = 1024;
+  auto server = StartEcho(options);
+  auto conn = osal::TcpConnect("127.0.0.1", server->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(
+      conn->Send(AsBytes("POST / HTTP/1.1\r\nContent-Length: 10000000\r\n\r\n"))
+          .ok());
+  ResponseParser parser;
+  std::vector<Response> responses;
+  uint8_t buf[4096];
+  while (responses.empty()) {
+    auto r = conn->ReceiveSome(MutableByteSpan(buf, sizeof(buf)));
+    ASSERT_TRUE(r.ok());
+    ASSERT_GT(*r, 0u);
+    ASSERT_TRUE(parser.Feed(ByteSpan(buf, *r), &responses).ok());
+  }
+  EXPECT_EQ(responses[0].status_code, 413);
+}
+
+TEST(EpollServerTest, PrematureCloseMidBodyTearsDownConnection) {
+  auto server = StartEcho();
+  {
+    auto conn = osal::TcpConnect("127.0.0.1", server->port());
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(
+        conn->Send(AsBytes("POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\nabc"))
+            .ok());
+    // Close with 97 body bytes still owed.
+  }
+  const Stopwatch timer;
+  while (server->active_connections() != 0) {
+    ASSERT_LT(timer.ElapsedMillis(), 5000.0) << "connection leaked";
+    PreciseSleep(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(EpollServerTest, DroppedResponderAnswers500) {
+  auto server = EpollServer::Start({}, [](Request&&, Responder rsp) {
+    Responder dropped = std::move(rsp);  // falls off the end unanswered
+  });
+  ASSERT_TRUE(server.ok());
+  auto response = Fetch("127.0.0.1", (*server)->port(), Request{});
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status_code, 500);
+}
+
+TEST(EpollServerTest, DoubleSendIsANoOp) {
+  auto server = EpollServer::Start({}, [](Request&&, Responder rsp) {
+    rsp.Send(StreamResponse(201, "Created"));
+    rsp.Send(StreamResponse(500, "Duplicate"));  // must lose
+  });
+  ASSERT_TRUE(server.ok());
+  auto client = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 3; ++i) {
+    auto response = client->RoundTrip(Request{});
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->status_code, 201);
+  }
+}
+
+TEST(EpollServerTest, IdleConnectionsAreSwept) {
+  EpollServer::Options options;
+  options.idle_timeout = std::chrono::milliseconds(100);
+  auto server = StartEcho(options);
+  auto conn = osal::TcpConnect("127.0.0.1", server->port());
+  ASSERT_TRUE(conn.ok());
+  const Stopwatch timer;
+  while (server->active_connections() != 1) {
+    ASSERT_LT(timer.ElapsedMillis(), 5000.0);
+    PreciseSleep(std::chrono::milliseconds(1));
+  }
+  while (server->active_connections() != 0) {
+    ASSERT_LT(timer.ElapsedMillis(), 5000.0) << "idle sweep never fired";
+    PreciseSleep(std::chrono::milliseconds(10));
+  }
+}
+
+TEST(EpollServerTest, ManyConcurrentConnections) {
+  auto server = StartEcho();
+  constexpr int kClients = 64;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      Request request;
+      request.method = "POST";
+      request.body = ToBytes("client " + std::to_string(t));
+      auto response = Fetch("127.0.0.1", server->port(), request);
+      if (!response.ok() ||
+          ToString(ByteSpan(response->body)) != "client " + std::to_string(t)) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(EpollServerTest, StopWithPendingRespondersDoesNotCrash) {
+  std::vector<Responder> held;
+  std::mutex mutex;
+  auto server = EpollServer::Start({}, [&](Request&&, Responder rsp) {
+    std::lock_guard<std::mutex> lock(mutex);
+    held.push_back(std::move(rsp));
+  });
+  ASSERT_TRUE(server.ok());
+  auto conn = osal::TcpConnect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn->Send(AsBytes("GET / HTTP/1.1\r\n\r\n")).ok());
+  const Stopwatch timer;
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (!held.empty()) break;
+    }
+    ASSERT_LT(timer.ElapsedMillis(), 5000.0);
+    PreciseSleep(std::chrono::milliseconds(1));
+  }
+  (*server)->Stop();
+  // Sending into a stopped server is a benign no-op.
+  held[0].Send(StreamResponse(200, "OK"));
+  held.clear();
+}
+
+}  // namespace
+}  // namespace rr::http

@@ -1,0 +1,255 @@
+#include "http/parser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace rr::http {
+namespace {
+
+std::vector<Request> FeedAll(RequestParser& parser, std::string_view wire,
+                             Status* status = nullptr) {
+  std::vector<Request> out;
+  Status s = parser.Feed(AsBytes(wire), &out);
+  if (status != nullptr) *status = s;
+  return out;
+}
+
+TEST(RequestParserTest, ParsesSimpleRequestWithBody) {
+  RequestParser parser;
+  auto requests = FeedAll(parser,
+                          "POST /v1/invoke/echo HTTP/1.1\r\n"
+                          "Content-Length: 4\r\n"
+                          "X-Tenant: acme\r\n"
+                          "\r\n"
+                          "ping");
+  ASSERT_EQ(requests.size(), 1u);
+  EXPECT_EQ(requests[0].method, "POST");
+  EXPECT_EQ(requests[0].target, "/v1/invoke/echo");
+  EXPECT_EQ(requests[0].headers["x-tenant"], "acme");
+  EXPECT_EQ(ToString(requests[0].body), "ping");
+  EXPECT_TRUE(parser.idle());
+}
+
+TEST(RequestParserTest, ParsesRequestWithoutHeaders) {
+  RequestParser parser;
+  auto requests = FeedAll(parser, "GET /healthz HTTP/1.1\r\n\r\n");
+  ASSERT_EQ(requests.size(), 1u);
+  EXPECT_EQ(requests[0].method, "GET");
+  EXPECT_TRUE(requests[0].body.empty());
+}
+
+TEST(RequestParserTest, ByteAtATimeFeedYieldsTheSameMessage) {
+  const std::string wire =
+      "POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc";
+  RequestParser parser;
+  std::vector<Request> out;
+  for (char c : wire) {
+    ASSERT_TRUE(parser.Feed(AsBytes(std::string_view(&c, 1)), &out).ok());
+  }
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(ToString(out[0].body), "abc");
+  EXPECT_TRUE(parser.idle());
+}
+
+TEST(RequestParserTest, PipelinedRequestsEmergeInOrder) {
+  RequestParser parser;
+  auto requests = FeedAll(parser,
+                          "POST /a HTTP/1.1\r\nContent-Length: 1\r\n\r\nA"
+                          "GET /b HTTP/1.1\r\n\r\n"
+                          "POST /c HTTP/1.1\r\nContent-Length: 2\r\n\r\nCC");
+  ASSERT_EQ(requests.size(), 3u);
+  EXPECT_EQ(requests[0].target, "/a");
+  EXPECT_EQ(requests[1].target, "/b");
+  EXPECT_EQ(requests[2].target, "/c");
+  EXPECT_EQ(ToString(requests[2].body), "CC");
+}
+
+TEST(RequestParserTest, StrayCrlfBetweenPipelinedRequestsTolerated) {
+  RequestParser parser;
+  auto requests = FeedAll(parser,
+                          "GET /a HTTP/1.1\r\n\r\n"
+                          "\r\n\r\n"
+                          "GET /b HTTP/1.1\r\n\r\n");
+  ASSERT_EQ(requests.size(), 2u);
+  EXPECT_EQ(requests[1].target, "/b");
+}
+
+TEST(RequestParserTest, MalformedRequestLineIs400) {
+  RequestParser parser;
+  Status status;
+  FeedAll(parser, "GARBAGE\r\n\r\n", &status);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(parser.error_status_code(), 400);
+}
+
+TEST(RequestParserTest, DoubleSpaceInRequestLineIs400) {
+  RequestParser parser;
+  Status status;
+  FeedAll(parser, "GET  / HTTP/1.1\r\n\r\n", &status);
+  EXPECT_EQ(parser.error_status_code(), 400);
+}
+
+TEST(RequestParserTest, UnsupportedVersionIs400) {
+  RequestParser parser;
+  Status status;
+  FeedAll(parser, "GET / HTTP/2.0\r\n\r\n", &status);
+  EXPECT_EQ(parser.error_status_code(), 400);
+}
+
+TEST(RequestParserTest, HeaderWithoutColonIs400) {
+  RequestParser parser;
+  Status status;
+  FeedAll(parser, "GET / HTTP/1.1\r\nNoColonHere\r\n\r\n", &status);
+  EXPECT_EQ(parser.error_status_code(), 400);
+}
+
+TEST(RequestParserTest, SpaceInHeaderNameIs400) {
+  RequestParser parser;
+  Status status;
+  FeedAll(parser, "GET / HTTP/1.1\r\nBad Header: x\r\n\r\n", &status);
+  EXPECT_EQ(parser.error_status_code(), 400);
+}
+
+TEST(RequestParserTest, ObsoleteLineFoldingIs400) {
+  RequestParser parser;
+  Status status;
+  FeedAll(parser, "GET / HTTP/1.1\r\nX-A: 1\r\n folded\r\n\r\n", &status);
+  EXPECT_EQ(parser.error_status_code(), 400);
+}
+
+TEST(RequestParserTest, DuplicateContentLengthIs400) {
+  RequestParser parser;
+  Status status;
+  FeedAll(parser,
+          "POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\n",
+          &status);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(parser.error_status_code(), 400);
+}
+
+TEST(RequestParserTest, DuplicateHostIs400) {
+  RequestParser parser;
+  Status status;
+  FeedAll(parser, "GET / HTTP/1.1\r\nHost: a\r\nHost: b\r\n\r\n", &status);
+  EXPECT_EQ(parser.error_status_code(), 400);
+}
+
+TEST(RequestParserTest, RepeatableHeadersMergeIntoAList) {
+  RequestParser parser;
+  auto requests =
+      FeedAll(parser, "GET / HTTP/1.1\r\nAccept: a\r\nAccept: b\r\n\r\n");
+  ASSERT_EQ(requests.size(), 1u);
+  EXPECT_EQ(requests[0].headers["accept"], "a, b");
+}
+
+TEST(RequestParserTest, BadContentLengthValueIs400) {
+  RequestParser parser;
+  Status status;
+  FeedAll(parser, "POST / HTTP/1.1\r\nContent-Length: 12x\r\n\r\n", &status);
+  EXPECT_EQ(parser.error_status_code(), 400);
+}
+
+TEST(RequestParserTest, TransferEncodingIs501) {
+  RequestParser parser;
+  Status status;
+  FeedAll(parser, "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+          &status);
+  EXPECT_EQ(status.code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(parser.error_status_code(), 501);
+}
+
+TEST(RequestParserTest, OversizedHeaderBlockIs431) {
+  RequestParser parser(ParserLimits{.max_header_bytes = 256});
+  Status status;
+  const std::string huge(1024, 'h');
+  FeedAll(parser, "GET / HTTP/1.1\r\nX-Huge: " + huge + "\r\n\r\n", &status);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(parser.error_status_code(), 431);
+}
+
+TEST(RequestParserTest, OversizedHeadersDetectedBeforeTerminatorArrives) {
+  // A slow-drip attacker never sends the terminator; the parser must bound
+  // its buffering anyway.
+  RequestParser parser(ParserLimits{.max_header_bytes = 256});
+  std::vector<Request> out;
+  Status status = Status::Ok();
+  for (int i = 0; i < 64 && status.ok(); ++i) {
+    status = parser.Feed(AsBytes(std::string(16, 'a')), &out);
+  }
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(parser.error_status_code(), 431);
+}
+
+TEST(RequestParserTest, DeclaredBodyBeyondLimitIs413) {
+  RequestParser parser(ParserLimits{.max_body_bytes = 1024});
+  Status status;
+  FeedAll(parser, "POST / HTTP/1.1\r\nContent-Length: 4096\r\n\r\n", &status);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(parser.error_status_code(), 413);
+}
+
+TEST(RequestParserTest, ErrorLatchesAcrossFeeds) {
+  RequestParser parser;
+  Status status;
+  FeedAll(parser, "BROKEN\r\n\r\n", &status);
+  ASSERT_FALSE(status.ok());
+  std::vector<Request> out;
+  // A well-formed request after the error must NOT resynchronize: the
+  // stream is unframeable once a parse fails.
+  EXPECT_FALSE(parser.Feed(AsBytes("GET / HTTP/1.1\r\n\r\n"), &out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(parser.failed());
+}
+
+TEST(RequestParserTest, PartialBodyLeavesParserMidMessage) {
+  RequestParser parser;
+  std::vector<Request> out;
+  ASSERT_TRUE(parser
+                  .Feed(AsBytes("POST / HTTP/1.1\r\nContent-Length: 10\r\n"
+                                "\r\nabc"),
+                        &out)
+                  .ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_FALSE(parser.idle());  // a peer close here truncated the message
+}
+
+TEST(ResponseParserTest, ParsesPipelinedResponses) {
+  ResponseParser parser;
+  std::vector<Response> out;
+  ASSERT_TRUE(parser
+                  .Feed(AsBytes("HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok"
+                                "HTTP/1.1 429 Too Many Requests\r\n"
+                                "Retry-After: 1\r\nContent-Length: 0\r\n\r\n"),
+                        &out)
+                  .ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].status_code, 200);
+  EXPECT_EQ(ToString(out[0].body), "ok");
+  EXPECT_EQ(out[1].status_code, 429);
+  EXPECT_EQ(out[1].reason, "Too Many Requests");
+  EXPECT_EQ(out[1].headers["retry-after"], "1");
+}
+
+TEST(ResponseParserTest, MalformedStatusLineFails) {
+  ResponseParser parser;
+  std::vector<Response> out;
+  EXPECT_FALSE(parser.Feed(AsBytes("NOPE\r\n\r\n"), &out).ok());
+  EXPECT_TRUE(parser.failed());
+}
+
+TEST(ResponseParserTest, SplitFeedAcrossHeadAndBody) {
+  ResponseParser parser;
+  std::vector<Response> out;
+  ASSERT_TRUE(
+      parser.Feed(AsBytes("HTTP/1.1 200 OK\r\nContent-Le"), &out).ok());
+  ASSERT_TRUE(parser.Feed(AsBytes("ngth: 5\r\n\r\nhel"), &out).ok());
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(parser.Feed(AsBytes("lo"), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(ToString(out[0].body), "hello");
+}
+
+}  // namespace
+}  // namespace rr::http

@@ -87,8 +87,8 @@ TEST_F(TraceTest, ScopedContextInstallsAndRestores) {
     Span span("test", "under-scope");
     EXPECT_EQ(span.context().trace_id, incoming.trace_id);
     span.End();
-    const SpanRecord* record =
-        FindSpan(Tracer::Get().Snapshot(), "under-scope");
+    const std::vector<SpanRecord> spans = Tracer::Get().Snapshot();
+    const SpanRecord* record = FindSpan(spans, "under-scope");
     ASSERT_NE(record, nullptr);
     EXPECT_EQ(record->parent_span_id, incoming.span_id);
   }
