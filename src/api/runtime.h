@@ -127,8 +127,11 @@ class Runtime {
     // DAG scheduler worker pool, shared by every in-flight run. 0 = one per
     // hardware thread.
     size_t dag_workers = 0;
-    // Deadline for one remote (NodeAgent) delivery: Dispatch to completion
-    // callback, including the remote invoke.
+    // BACKSTOP on one remote (NodeAgent) edge: dispatch to delivery
+    // callback, including the remote invoke. On the default mux wire a
+    // remote failure arrives as a completion frame and fails the edge
+    // immediately — this deadline only fires when the far side goes fully
+    // silent (dead agent, lost frame, legacy-wire invoke failure).
     Nanos remote_deadline = std::chrono::seconds(60);
     // Bound on one wire transfer's blocking waits (header/body/ack), applied
     // to every hop this runtime establishes (core::TransportOptions). A

@@ -65,12 +65,11 @@ const bool g_wire_metrics_registered = [] {
 
 // Terminates every network transfer: receiver -> sender, a status-bearing
 // ack frame confirming the payload durably landed (or why it did not).
-//   [u8 magic][u8 status code][u16 LE detail length][detail bytes]
-constexpr uint8_t kAckMagic = 0xA6;
-constexpr size_t kAckHeaderBytes = 4;
-// Detail strings are diagnostics, not payload: truncated hard so a
-// misbehaving receiver cannot balloon the ack.
-constexpr size_t kMaxAckDetail = 512;
+// Layout constants live in network_channel.h (shared with the reactor
+// agent's legacy-dialect state machine).
+constexpr uint8_t kAckMagic = kWireAckMagic;
+constexpr size_t kAckHeaderBytes = kWireAckHeaderBytes;
+constexpr size_t kMaxAckDetail = kWireMaxAckDetail;
 
 constexpr uint8_t kMaxWireStatusCode =
     static_cast<uint8_t>(StatusCode::kTokenMismatch);

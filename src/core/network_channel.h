@@ -175,6 +175,15 @@ class NetworkChannelSender {
 // followed by 16 extra header bytes: [u64 trace id][u64 parent span id].
 constexpr uint64_t kFrameTraceFlag = 1ull << 63;
 
+// The status-bearing delivery ack terminating every legacy transfer
+// (receiver -> sender): [u8 magic][u8 status code][u16 LE detail length]
+// [detail bytes]. Shared between NetworkChannelReceiver and the reactor
+// agent's legacy-dialect state machine. Detail strings are diagnostics, not
+// payload: truncated hard so a misbehaving receiver cannot balloon the ack.
+constexpr uint8_t kWireAckMagic = 0xA6;
+constexpr size_t kWireAckHeaderBytes = 4;
+constexpr size_t kWireMaxAckDetail = 512;
+
 // The frame header preceding every payload: 16 fixed bytes (length +
 // correlation token), plus the optional 16-byte trace-context extension
 // (kFrameTraceFlag). trace_id 0 = no context (legacy frame, or tracing off).

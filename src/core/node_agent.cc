@@ -2,10 +2,19 @@
 
 #include <sys/socket.h>
 
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
 #include "common/log.h"
+#include "core/mux_protocol.h"
 #include "core/region_guard.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "osal/reactor.h"
 
 namespace rr::core {
 namespace {
@@ -37,19 +46,56 @@ obs::Counter& AgentTransfersCompleted() {
   return *counter;
 }
 
+obs::Gauge& AgentConnections() {
+  static obs::Gauge* gauge = obs::Registry::Get().gauge(
+      "rr_agent_connections", "Connections the node agent currently serves");
+  return *gauge;
+}
+
+obs::Gauge& AgentStreamsInFlight() {
+  static obs::Gauge* gauge = obs::Registry::Get().gauge(
+      "rr_agent_streams_in_flight",
+      "Mux streams currently staging or awaiting their completion frame");
+  return *gauge;
+}
+
+obs::Counter& AgentCompletionFrames() {
+  static obs::Counter* counter = obs::Registry::Get().counter(
+      "rr_agent_completion_frames_total",
+      "Completion frames sent on the mux dialect (any outcome)");
+  return *counter;
+}
+
+obs::Counter& AgentCompletionErrors() {
+  static obs::Counter* counter = obs::Registry::Get().counter(
+      "rr_agent_completion_errors_total",
+      "Completion frames that carried a non-OK invocation outcome");
+  return *counter;
+}
+
 // Eager registration: agent series appear in scrapes at zero, before any
-// connection or refusal has happened.
+// connection, stream, or refusal has happened.
 const bool g_agent_metrics_registered = [] {
   AgentAcceptRetries();
   AgentLiveWorkers();
   AgentTransfersRefused();
   AgentTransfersCompleted();
+  AgentConnections();
+  AgentStreamsInFlight();
+  AgentCompletionFrames();
+  AgentCompletionErrors();
   return true;
 }();
 
 // Routing preamble: [u16 LE name length][name bytes]. Kept fixed and tiny —
 // routing metadata, never payload.
 constexpr size_t kMaxFunctionName = 256;
+
+// Per-connection cap on bytes staged but not yet invoked. Past it the agent
+// withholds window grants (streams keep their already-granted credit), so a
+// peer that opens thousands of streams against a slow pool backs up on the
+// wire instead of ballooning the agent's heap.
+constexpr size_t kMaxConnStagedBytes = 128 * 1024 * 1024;
 
 Status SendPreamble(osal::Connection& conn, const std::string& function) {
   if (function.empty() || function.size() > kMaxFunctionName) {
@@ -73,6 +119,45 @@ Result<std::string> ReadPreamble(osal::Connection& conn) {
   return ToString(name);
 }
 
+// The legacy delivery ack: [magic][code][u16 LE detail length][detail].
+Bytes EncodeAck(const Status& status) {
+  std::string detail(status.message());
+  if (detail.size() > kWireMaxAckDetail) detail.resize(kWireMaxAckDetail);
+  Bytes out(kWireAckHeaderBytes + detail.size());
+  out[0] = kWireAckMagic;
+  out[1] = static_cast<uint8_t>(status.code());
+  StoreLE<uint16_t>(out.data() + 2, static_cast<uint16_t>(detail.size()));
+  std::memcpy(out.data() + kWireAckHeaderBytes, detail.data(), detail.size());
+  return out;
+}
+
+// A mux completion frame: the invocation outcome, not just delivery.
+Bytes EncodeCompletion(uint32_t stream_id, const Status& status) {
+  std::string detail(status.message());
+  if (detail.size() > kMuxMaxCompletionDetail) {
+    detail.resize(kMuxMaxCompletionDetail);
+  }
+  MuxFrameHeader h;
+  h.type = kMuxFrameCompletion;
+  h.stream_id = stream_id;
+  h.payload_length = static_cast<uint32_t>(detail.size());
+  h.aux = static_cast<uint32_t>(status.code());
+  Bytes out(kMuxFrameHeaderBytes + detail.size());
+  EncodeMuxFrameHeader(h, out.data());
+  std::memcpy(out.data() + kMuxFrameHeaderBytes, detail.data(), detail.size());
+  return out;
+}
+
+Bytes EncodeWindowUpdate(uint32_t stream_id, uint32_t credit) {
+  MuxFrameHeader h;
+  h.type = kMuxFrameWindowUpdate;
+  h.stream_id = stream_id;
+  h.aux = credit;
+  Bytes out(kMuxFrameHeaderBytes);
+  EncodeMuxFrameHeader(h, out.data());
+  return out;
+}
+
 }  // namespace
 
 bool IsTransientAcceptError(const Status& status) {
@@ -84,6 +169,891 @@ bool IsTransientAcceptError(const Status& status) {
          status.code() == StatusCode::kUnavailable;
 }
 
+// ---------------------------------------------------------------------------
+// The reactor plane: shards of epoll loops own the wire, a fixed worker pool
+// owns the invokes. Connections and streams are table entries, not threads.
+// ---------------------------------------------------------------------------
+struct NodeAgent::ReactorPlane {
+  explicit ReactorPlane(NodeAgent* agent) : agent(agent) {}
+
+  // The half of a connection that invoke workers (and the loop) write to.
+  // Outlives the Conn via shared_ptr: a worker finishing after teardown sees
+  // `dead` and fails its write instead of racing a recycled descriptor.
+  struct WriteHandle {
+    std::mutex mutex;
+    osal::UniqueFd fd;
+    bool dead = false;
+
+    Status Write(ByteSpan data, TimePoint deadline) {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (dead || !fd.valid()) {
+        return UnavailableError("agent connection closed");
+      }
+      return osal::WriteAllDeadline(fd.get(), data, deadline);
+    }
+  };
+
+  // One staged frame handed to the invoke pool.
+  struct InvokeJob {
+    Entry entry;
+    std::string function;
+    Bytes body;
+    obs::SpanContext trace;
+    std::shared_ptr<WriteHandle> write;
+    bool mux = false;
+    uint32_t stream_id = 0;
+    uint64_t token = 0;
+    size_t shard = 0;
+    uint64_t conn_id = 0;
+    // Bytes this job holds against the connection's staged-bytes cap.
+    size_t staged = 0;
+  };
+
+  // One logical transfer on a mux connection, while its body is staging.
+  struct Stream {
+    uint64_t token = 0;
+    Entry entry;
+    std::string function;
+    uint64_t body_len = 0;
+    Bytes body;
+    uint64_t got = 0;
+    // Body bytes consumed since the last window grant.
+    size_t ungranted = 0;
+    bool credit_deferred = false;
+    obs::SpanContext trace;
+    TimePoint last_data;
+  };
+
+  struct Conn {
+    uint64_t id = 0;
+    size_t shard = 0;
+    int fd = -1;  // borrowed from `write` for reactor (de)registration
+    std::shared_ptr<WriteHandle> write;
+    TimePoint last_activity;
+
+    // The receive state machine. Fixed-size pieces (preambles, headers, the
+    // open payload) accumulate into `acc`; bodies stream straight into their
+    // destination buffers.
+    enum class Phase {
+      kPreambleLen,
+      kPreambleName,
+      kMuxIntro,
+      kLegacyHeader,
+      kLegacyTrace,
+      kLegacyBody,
+      kMuxHeader,
+      kMuxOpen,
+      kMuxData,
+      kMuxSkip,
+    };
+    Phase phase = Phase::kPreambleLen;
+    uint8_t acc[kMuxMaxOpenPayload];
+    size_t fixed_need = 2;
+    size_t fixed_got = 0;
+
+    // Legacy dialect: one function per connection, frames processed in
+    // order (each frame's delivery ack must precede the next frame's).
+    Entry entry;
+    std::string function;
+    FrameInfo lframe;
+    Bytes lbody;
+    size_t lbody_got = 0;
+    std::deque<InvokeJob> legacy_queue;
+    bool legacy_job_running = false;
+    size_t legacy_inflight = 0;
+
+    // Mux dialect.
+    bool is_mux = false;
+    MuxFrameHeader mh;
+    size_t frame_left = 0;
+    size_t skip_left = 0;
+    std::unordered_map<uint32_t, Stream> streams;
+    // Streams whose window grant was withheld by the staged-bytes cap, in
+    // arrival order; re-granted as invokes drain.
+    std::deque<uint32_t> deferred_credit;
+    size_t jobs_inflight = 0;
+    size_t staged_bytes = 0;
+  };
+
+  struct Shard {
+    std::shared_ptr<osal::Reactor> reactor;
+    // Loop-thread-only: every access happens on this shard's reactor.
+    std::unordered_map<uint64_t, std::shared_ptr<Conn>> conns;
+  };
+
+  NodeAgent* const agent;
+  std::vector<Shard> shards;
+  std::atomic<uint64_t> next_conn_id{1};
+  std::atomic<size_t> rr_next{0};
+  bool shut_down = false;
+
+  // The invoke pool: the only threads that run Wasm.
+  std::vector<std::thread> workers;
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::deque<InvokeJob> queue;
+  bool queue_stopping = false;
+
+  // Control traffic (acks, completions, window updates) is tiny; bound its
+  // writes well under the transfer deadline so a peer that stops reading
+  // cannot park a worker for the full body budget.
+  TimePoint ControlDeadline() const {
+    constexpr Nanos kCap = std::chrono::seconds(2);
+    const Nanos d = agent->options_.transfer_deadline;
+    return osal::DeadlineAfter(d > Nanos{0} ? std::min(d, kCap) : kCap);
+  }
+
+  Nanos SweepTick() const {
+    Nanos tick = std::chrono::milliseconds(500);
+    if (agent->options_.idle_timeout > Nanos{0}) {
+      tick = std::min(tick, agent->options_.idle_timeout / 2);
+    }
+    if (agent->options_.transfer_deadline > Nanos{0}) {
+      tick = std::min(tick, agent->options_.transfer_deadline / 2);
+    }
+    return std::max<Nanos>(tick, std::chrono::milliseconds(10));
+  }
+
+  Status Start() {
+    RR_RETURN_IF_ERROR(osal::SetNonBlocking(agent->listener_.fd(), true));
+    const size_t hw =
+        std::max<size_t>(1, std::thread::hardware_concurrency());
+    size_t nshards = agent->options_.shards;
+    if (nshards == 0) nshards = std::min<size_t>(4, std::max<size_t>(1, hw / 4));
+    size_t nworkers = agent->options_.invoke_workers;
+    if (nworkers == 0) {
+      nworkers = std::max<size_t>(2, std::min<size_t>(8, hw / 2));
+    }
+    shards.resize(nshards);
+    for (size_t i = 0; i < nshards; ++i) {
+      RR_ASSIGN_OR_RETURN(
+          shards[i].reactor,
+          osal::Reactor::Start("agent-shard-" + std::to_string(i)));
+    }
+    RR_RETURN_IF_ERROR(
+        shards[0].reactor->Add(agent->listener_.fd(), osal::Epoll::kReadable,
+                               [this](uint32_t) { AcceptReady(); }));
+    const Nanos tick = SweepTick();
+    for (size_t i = 0; i < nshards; ++i) {
+      shards[i].reactor->AddTicker(tick, [this, i] { Sweep(i); });
+    }
+    for (size_t i = 0; i < nworkers; ++i) {
+      workers.emplace_back([this] { WorkerLoop(); });
+    }
+    return Status::Ok();
+  }
+
+  void Shutdown() {
+    if (shut_down) return;
+    shut_down = true;
+    for (Shard& shard : shards) {
+      if (shard.reactor) shard.reactor->Stop();
+    }
+    // Loop threads are joined: connection tables are now plane-owned.
+    size_t closed = 0;
+    size_t open_streams = 0;
+    for (Shard& shard : shards) {
+      for (auto& [id, conn] : shard.conns) {
+        std::lock_guard<std::mutex> lock(conn->write->mutex);
+        conn->write->dead = true;
+        conn->write->fd.Reset();
+        open_streams += conn->streams.size();
+        ++closed;
+      }
+      shard.conns.clear();
+    }
+    if (open_streams > 0) {
+      AgentStreamsInFlight().Sub(static_cast<int64_t>(open_streams));
+    }
+    if (closed > 0) AgentConnections().Sub(static_cast<int64_t>(closed));
+    agent->active_connections_.store(0, std::memory_order_relaxed);
+    size_t dropped_streams = 0;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex);
+      queue_stopping = true;
+      for (const InvokeJob& job : queue) {
+        if (job.mux) ++dropped_streams;
+      }
+      queue.clear();
+    }
+    if (dropped_streams > 0) {
+      AgentStreamsInFlight().Sub(static_cast<int64_t>(dropped_streams));
+    }
+    queue_cv.notify_all();
+    for (std::thread& worker : workers) {
+      if (worker.joinable()) worker.join();
+    }
+    workers.clear();
+  }
+
+  // --- accept path (shard 0's loop) ---
+
+  void AcceptReady() {
+    while (true) {
+      Result<osal::Connection> accepted = agent->listener_.TryAccept();
+      if (!accepted.ok()) {
+        if (agent->stopping_.load()) return;
+        if (IsTransientAcceptError(accepted.status())) {
+          AgentAcceptRetries().Inc();
+          RR_LOG(Warning) << "node agent: transient accept error (retrying): "
+                          << accepted.status();
+        } else {
+          RR_LOG(Warning) << "node agent: accept failed: "
+                          << accepted.status();
+        }
+        return;
+      }
+      if (!accepted->valid()) return;  // drained the backlog
+      accepted->SetNoDelay(true);
+      auto conn = std::make_shared<Conn>();
+      conn->id = next_conn_id.fetch_add(1, std::memory_order_relaxed);
+      conn->shard = rr_next.fetch_add(1, std::memory_order_relaxed) %
+                    shards.size();
+      conn->write = std::make_shared<WriteHandle>();
+      conn->write->fd = accepted->TakeFd();
+      conn->fd = conn->write->fd.get();
+      conn->last_activity = Now();
+      // Hand off to the owning shard's loop; every later touch of this Conn
+      // happens there.
+      shards[conn->shard].reactor->Post(
+          [this, conn]() mutable { Adopt(std::move(conn)); });
+    }
+  }
+
+  void Adopt(std::shared_ptr<Conn> conn) {
+    const size_t si = conn->shard;
+    const uint64_t id = conn->id;
+    const Status added = shards[si].reactor->Add(
+        conn->fd, osal::Epoll::kReadable,
+        [this, si, id](uint32_t events) { OnConnEvent(si, id, events); });
+    if (!added.ok()) {
+      std::lock_guard<std::mutex> lock(conn->write->mutex);
+      conn->write->dead = true;
+      conn->write->fd.Reset();
+      return;
+    }
+    shards[si].conns.emplace(id, std::move(conn));
+    agent->active_connections_.fetch_add(1, std::memory_order_relaxed);
+    AgentConnections().Add(1);
+  }
+
+  // --- event path (each shard's loop) ---
+
+  void OnConnEvent(size_t si, uint64_t id, uint32_t events) {
+    const auto it = shards[si].conns.find(id);
+    if (it == shards[si].conns.end()) return;  // stale event past teardown
+    std::shared_ptr<Conn> conn = it->second;
+    if (events & osal::Epoll::kError) {
+      Teardown(si, conn);
+      return;
+    }
+    if ((events & osal::Epoll::kReadable) == 0) return;
+    uint8_t buf[64 * 1024];
+    // Bounded drain: level-triggered epoll re-arms anything left, so capping
+    // the per-event read keeps one firehose connection from starving the
+    // shard's other connections.
+    for (int round = 0; round < 16; ++round) {
+      const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), MSG_DONTWAIT);
+      if (n > 0) {
+        conn->last_activity = Now();
+        if (!Feed(*conn, ByteSpan(buf, static_cast<size_t>(n)))) {
+          Teardown(si, conn);
+          return;
+        }
+        if (static_cast<size_t>(n) < sizeof(buf)) return;
+        continue;
+      }
+      if (n == 0) {  // peer closed
+        Teardown(si, conn);
+        return;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      Teardown(si, conn);
+      return;
+    }
+  }
+
+  void ArmFixed(Conn& c, Conn::Phase phase, size_t need) {
+    c.phase = phase;
+    c.fixed_need = need;
+    c.fixed_got = 0;
+  }
+
+  // Consumes `data` through the state machine. Returns false on anything
+  // connection-fatal (the byte stream past the fault cannot be re-framed).
+  bool Feed(Conn& c, ByteSpan data) {
+    while (!data.empty()) {
+      switch (c.phase) {
+        case Conn::Phase::kLegacyBody: {
+          const size_t n =
+              std::min<size_t>(data.size(), c.lbody.size() - c.lbody_got);
+          std::memcpy(c.lbody.data() + c.lbody_got, data.data(), n);
+          c.lbody_got += n;
+          data = data.subspan(n);
+          if (c.lbody_got == c.lbody.size()) FinishLegacyFrame(c);
+          continue;
+        }
+        case Conn::Phase::kMuxData: {
+          const auto it = c.streams.find(c.mh.stream_id);
+          if (it == c.streams.end()) {
+            // Stream swept mid-frame (stalled past the deadline): the rest
+            // of the chunk is framing noise, skip it.
+            c.skip_left = c.frame_left;
+            c.frame_left = 0;
+            c.phase = Conn::Phase::kMuxSkip;
+            continue;
+          }
+          Stream& s = it->second;
+          const size_t n = std::min<size_t>(data.size(), c.frame_left);
+          std::memcpy(s.body.data() + s.got, data.data(), n);
+          s.got += n;
+          s.ungranted += n;
+          s.last_data = Now();
+          c.staged_bytes += n;
+          c.frame_left -= n;
+          data = data.subspan(n);
+          if (c.frame_left == 0) {
+            if (!MaybeGrant(c, c.mh.stream_id, s)) return false;
+            if (s.got == s.body_len) {
+              CompleteStreamStaging(c, c.mh.stream_id, s);
+            }
+            ArmFixed(c, Conn::Phase::kMuxHeader, kMuxFrameHeaderBytes);
+          }
+          continue;
+        }
+        case Conn::Phase::kMuxSkip: {
+          const size_t n = std::min<size_t>(data.size(), c.skip_left);
+          c.skip_left -= n;
+          data = data.subspan(n);
+          if (c.skip_left == 0) {
+            ArmFixed(c, Conn::Phase::kMuxHeader, kMuxFrameHeaderBytes);
+          }
+          continue;
+        }
+        default:
+          break;
+      }
+      // Fixed-size accumulation phases.
+      const size_t n = std::min<size_t>(data.size(), c.fixed_need - c.fixed_got);
+      std::memcpy(c.acc + c.fixed_got, data.data(), n);
+      c.fixed_got += n;
+      data = data.subspan(n);
+      if (c.fixed_got < c.fixed_need) return true;  // wait for more bytes
+      if (!ProcessFixed(c)) return false;
+    }
+    return true;
+  }
+
+  bool ProcessFixed(Conn& c) {
+    switch (c.phase) {
+      case Conn::Phase::kPreambleLen: {
+        const uint16_t length = LoadLE<uint16_t>(c.acc);
+        if (length == kMuxPreambleMagic) {
+          ArmFixed(c, Conn::Phase::kMuxIntro, kMuxPreambleBytes - 2);
+          return true;
+        }
+        if (length == 0 || length > kMaxFunctionName) {
+          RR_LOG(Warning) << "node agent: preamble name length invalid";
+          return false;
+        }
+        ArmFixed(c, Conn::Phase::kPreambleName, length);
+        return true;
+      }
+      case Conn::Phase::kMuxIntro: {
+        if (c.acc[0] != kMuxVersion) {
+          RR_LOG(Warning) << "node agent: unsupported mux version "
+                          << static_cast<int>(c.acc[0]);
+          return false;
+        }
+        c.is_mux = true;
+        ArmFixed(c, Conn::Phase::kMuxHeader, kMuxFrameHeaderBytes);
+        return true;
+      }
+      case Conn::Phase::kPreambleName: {
+        const std::string name(reinterpret_cast<const char*>(c.acc),
+                               c.fixed_need);
+        if (!ResolveEntry(name, &c.entry)) {
+          // Matches the threaded plane: unknown function drops the
+          // connection (the legacy dialect has no pre-delivery error frame).
+          RR_LOG(Warning) << "node agent: no such function: " << name;
+          return false;
+        }
+        c.function = name;
+        ArmFixed(c, Conn::Phase::kLegacyHeader, 16);
+        return true;
+      }
+      case Conn::Phase::kLegacyHeader: {
+        const uint64_t length_field = LoadLE<uint64_t>(c.acc);
+        c.lframe = FrameInfo{};
+        c.lframe.length = length_field & ~kFrameTraceFlag;
+        c.lframe.token = LoadLE<uint64_t>(c.acc + 8);
+        if (c.lframe.length > serde::kMaxFrameBytes ||
+            c.lframe.length > UINT32_MAX) {
+          RR_LOG(Warning) << "node agent: implausible frame length";
+          return false;
+        }
+        if (length_field & kFrameTraceFlag) {
+          ArmFixed(c, Conn::Phase::kLegacyTrace, 16);
+        } else {
+          BeginLegacyBody(c);
+        }
+        return true;
+      }
+      case Conn::Phase::kLegacyTrace: {
+        c.lframe.trace_id = LoadLE<uint64_t>(c.acc);
+        c.lframe.parent_span = LoadLE<uint64_t>(c.acc + 8);
+        BeginLegacyBody(c);
+        return true;
+      }
+      case Conn::Phase::kMuxHeader: {
+        const MuxFrameHeader mh = DecodeMuxFrameHeader(c.acc);
+        const Status valid = ValidateMuxFrameHeader(mh, /*receiver_is_agent=*/true);
+        if (!valid.ok()) {
+          RR_LOG(Warning) << "node agent: " << valid;
+          return false;
+        }
+        c.mh = mh;
+        switch (mh.type) {
+          case kMuxFrameOpen:
+            ArmFixed(c, Conn::Phase::kMuxOpen, mh.payload_length);
+            return true;
+          case kMuxFrameData: {
+            const auto it = c.streams.find(mh.stream_id);
+            if (it == c.streams.end()) {
+              // Unknown stream: tolerated (a chunk racing a cancel/sweep).
+              c.skip_left = mh.payload_length;
+              c.phase = Conn::Phase::kMuxSkip;
+              return true;
+            }
+            if (it->second.got + mh.payload_length > it->second.body_len) {
+              RR_LOG(Warning)
+                  << "node agent: mux data overruns the declared body";
+              return false;
+            }
+            c.frame_left = mh.payload_length;
+            c.phase = Conn::Phase::kMuxData;
+            return true;
+          }
+          case kMuxFrameCancel: {
+            DropStream(c, mh.stream_id);
+            ArmFixed(c, Conn::Phase::kMuxHeader, kMuxFrameHeaderBytes);
+            return true;
+          }
+          default:  // validated above; agent never receives the others
+            return false;
+        }
+      }
+      case Conn::Phase::kMuxOpen:
+        return ProcessOpen(c);
+      default:
+        return false;
+    }
+  }
+
+  void BeginLegacyBody(Conn& c) {
+    c.lbody = Bytes(c.lframe.length);
+    c.lbody_got = 0;
+    if (c.lframe.length == 0) {
+      FinishLegacyFrame(c);
+    } else {
+      c.phase = Conn::Phase::kLegacyBody;
+    }
+  }
+
+  void FinishLegacyFrame(Conn& c) {
+    InvokeJob job;
+    job.entry = c.entry;
+    job.function = c.function;
+    job.body = std::move(c.lbody);
+    job.trace = obs::SpanContext{c.lframe.trace_id, c.lframe.parent_span};
+    job.write = c.write;
+    job.mux = false;
+    job.token = c.lframe.token;
+    job.shard = c.shard;
+    job.conn_id = c.id;
+    c.lbody = Bytes();
+    c.legacy_queue.push_back(std::move(job));
+    ++c.legacy_inflight;
+    PumpLegacy(c);
+    ArmFixed(c, Conn::Phase::kLegacyHeader, 16);
+  }
+
+  // The legacy dialect is sequential: one job at a time per connection, in
+  // frame order, so delivery acks leave the wire in the order the sender
+  // expects them.
+  void PumpLegacy(Conn& c) {
+    if (c.legacy_job_running || c.legacy_queue.empty()) return;
+    c.legacy_job_running = true;
+    InvokeJob job = std::move(c.legacy_queue.front());
+    c.legacy_queue.pop_front();
+    Enqueue(std::move(job));
+  }
+
+  bool ProcessOpen(Conn& c) {
+    const uint8_t* p = c.acc;
+    const size_t len = c.fixed_need;
+    if (len < 18) {
+      RR_LOG(Warning) << "node agent: truncated mux open frame";
+      return false;
+    }
+    const uint64_t token = LoadLE<uint64_t>(p);
+    const uint64_t body_len = LoadLE<uint64_t>(p + 8);
+    const uint16_t name_len = LoadLE<uint16_t>(p + 16);
+    const bool traced = (c.mh.flags & kMuxFlagTrace) != 0;
+    const size_t expect = 18 + name_len + (traced ? 16 : 0);
+    if (name_len == 0 || name_len > kMaxFunctionName || len != expect) {
+      RR_LOG(Warning) << "node agent: malformed mux open frame";
+      return false;
+    }
+    if (body_len > serde::kMaxFrameBytes || body_len > UINT32_MAX) {
+      RR_LOG(Warning) << "node agent: implausible mux body length";
+      return false;
+    }
+    if (c.streams.count(c.mh.stream_id) != 0) {
+      RR_LOG(Warning) << "node agent: duplicate mux stream id "
+                      << c.mh.stream_id;
+      return false;
+    }
+    std::string function(reinterpret_cast<const char*>(p + 18), name_len);
+    obs::SpanContext trace;
+    if (traced) {
+      trace.trace_id = LoadLE<uint64_t>(p + 18 + name_len);
+      trace.span_id = LoadLE<uint64_t>(p + 18 + name_len + 8);
+    }
+    Entry entry;
+    if (!ResolveEntry(function, &entry)) {
+      // Unlike the legacy dialect, an unknown function is stream-fatal, not
+      // connection-fatal: the sender gets a typed completion immediately.
+      AgentCompletionFrames().Inc();
+      AgentCompletionErrors().Inc();
+      const Status sent = c.write->Write(
+          EncodeCompletion(c.mh.stream_id,
+                           NotFoundError("no such function: " + function)),
+          ControlDeadline());
+      if (!sent.ok()) return false;
+      ArmFixed(c, Conn::Phase::kMuxHeader, kMuxFrameHeaderBytes);
+      return true;
+    }
+    Stream s;
+    s.token = token;
+    s.entry = std::move(entry);
+    s.function = std::move(function);
+    s.body_len = body_len;
+    s.body = Bytes(body_len);
+    s.trace = trace;
+    s.last_data = Now();
+    AgentStreamsInFlight().Add(1);
+    const auto [it, inserted] = c.streams.emplace(c.mh.stream_id, std::move(s));
+    (void)inserted;
+    if (body_len == 0) CompleteStreamStaging(c, c.mh.stream_id, it->second);
+    ArmFixed(c, Conn::Phase::kMuxHeader, kMuxFrameHeaderBytes);
+    return true;
+  }
+
+  bool ResolveEntry(const std::string& name, Entry* out) {
+    std::lock_guard<std::mutex> lock(agent->mutex_);
+    const auto it = agent->functions_.find(name);
+    if (it == agent->functions_.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+  // Re-grants consumed window once enough accumulated, unless the staged
+  // cap says the peer should back up on the wire for now.
+  bool MaybeGrant(Conn& c, uint32_t stream_id, Stream& s) {
+    if (s.got >= s.body_len) return true;  // fully received: no more credit
+    if (s.ungranted < kMuxWindowUpdateThreshold) return true;
+    if (c.staged_bytes > kMaxConnStagedBytes) {
+      if (!s.credit_deferred) {
+        s.credit_deferred = true;
+        c.deferred_credit.push_back(stream_id);
+      }
+      return true;
+    }
+    return GrantNow(c, stream_id, s);
+  }
+
+  bool GrantNow(Conn& c, uint32_t stream_id, Stream& s) {
+    const uint32_t credit = static_cast<uint32_t>(s.ungranted);
+    s.ungranted = 0;
+    s.credit_deferred = false;
+    return c.write
+        ->Write(EncodeWindowUpdate(stream_id, credit), ControlDeadline())
+        .ok();
+  }
+
+  bool FlushDeferredCredit(Conn& c) {
+    while (!c.deferred_credit.empty() &&
+           c.staged_bytes <= kMaxConnStagedBytes) {
+      const uint32_t stream_id = c.deferred_credit.front();
+      c.deferred_credit.pop_front();
+      const auto it = c.streams.find(stream_id);
+      if (it == c.streams.end()) continue;  // completed or swept meanwhile
+      if (!it->second.credit_deferred) continue;
+      if (!GrantNow(c, stream_id, it->second)) return false;
+    }
+    return true;
+  }
+
+  // The stream's body is fully staged: hand it to the invoke pool. The
+  // stream leaves the table (its identity lives on in the job), but stays
+  // counted in-flight until its completion frame goes out.
+  void CompleteStreamStaging(Conn& c, uint32_t stream_id, Stream& s) {
+    InvokeJob job;
+    job.entry = std::move(s.entry);
+    job.function = std::move(s.function);
+    job.body = std::move(s.body);
+    job.trace = s.trace;
+    job.write = c.write;
+    job.mux = true;
+    job.stream_id = stream_id;
+    job.token = s.token;
+    job.shard = c.shard;
+    job.conn_id = c.id;
+    job.staged = s.body_len;
+    c.streams.erase(stream_id);
+    ++c.jobs_inflight;
+    Enqueue(std::move(job));
+  }
+
+  void DropStream(Conn& c, uint32_t stream_id) {
+    const auto it = c.streams.find(stream_id);
+    if (it == c.streams.end()) return;  // tolerated: cancel racing completion
+    c.staged_bytes -= it->second.got;
+    AgentStreamsInFlight().Sub(1);
+    c.streams.erase(it);
+  }
+
+  void Teardown(size_t si, const std::shared_ptr<Conn>& conn) {
+    (void)shards[si].reactor->Remove(conn->fd);
+    {
+      std::lock_guard<std::mutex> lock(conn->write->mutex);
+      conn->write->dead = true;
+      conn->write->fd.Reset();
+    }
+    if (!conn->streams.empty()) {
+      AgentStreamsInFlight().Sub(static_cast<int64_t>(conn->streams.size()));
+      conn->streams.clear();
+    }
+    shards[si].conns.erase(conn->id);
+    agent->active_connections_.fetch_sub(1, std::memory_order_relaxed);
+    AgentConnections().Sub(1);
+  }
+
+  // Periodic per-shard sweep: wedged mid-frame connections, stalled streams,
+  // and idle connections (the PR 5 "header park stays unbounded" contract is
+  // retired — senders reconnect transparently).
+  void Sweep(size_t si) {
+    const TimePoint now = Now();
+    const Nanos deadline = agent->options_.transfer_deadline;
+    const Nanos idle = agent->options_.idle_timeout;
+    std::vector<std::shared_ptr<Conn>> doomed;
+    for (auto& [id, conn] : shards[si].conns) {
+      Conn& c = *conn;
+      const bool at_frame_boundary =
+          (c.phase == Conn::Phase::kPreambleLen ||
+           c.phase == Conn::Phase::kLegacyHeader ||
+           c.phase == Conn::Phase::kMuxHeader) &&
+          c.fixed_got == 0;
+      if (deadline > Nanos{0} && !at_frame_boundary &&
+          now - c.last_activity > deadline) {
+        doomed.push_back(conn);
+        continue;
+      }
+      if (deadline > Nanos{0} && c.is_mux) {
+        std::vector<uint32_t> stale;
+        for (const auto& [stream_id, s] : c.streams) {
+          if (s.got < s.body_len && now - s.last_data > deadline) {
+            stale.push_back(stream_id);
+          }
+        }
+        for (const uint32_t stream_id : stale) {
+          AgentCompletionFrames().Inc();
+          AgentCompletionErrors().Inc();
+          (void)c.write->Write(
+              EncodeCompletion(
+                  stream_id,
+                  DeadlineExceededError(
+                      "stream stalled past the transfer deadline")),
+              ControlDeadline());
+          DropStream(c, stream_id);
+        }
+      }
+      const bool quiescent = at_frame_boundary && c.streams.empty() &&
+                             c.jobs_inflight == 0 && c.legacy_inflight == 0;
+      if (idle > Nanos{0} && quiescent && now - c.last_activity > idle) {
+        doomed.push_back(conn);
+      }
+    }
+    for (const auto& conn : doomed) {
+      if (shards[si].conns.count(conn->id) != 0) Teardown(si, conn);
+    }
+  }
+
+  // --- invoke pool ---
+
+  void Enqueue(InvokeJob job) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex);
+      if (queue_stopping) {
+        if (job.mux) AgentStreamsInFlight().Sub(1);
+        return;
+      }
+      queue.push_back(std::move(job));
+    }
+    queue_cv.notify_one();
+  }
+
+  void WorkerLoop() {
+    while (true) {
+      InvokeJob job;
+      {
+        std::unique_lock<std::mutex> lock(queue_mutex);
+        queue_cv.wait(lock,
+                      [this] { return queue_stopping || !queue.empty(); });
+        if (queue_stopping) return;
+        job = std::move(queue.front());
+        queue.pop_front();
+      }
+      RunJob(std::move(job));
+    }
+  }
+
+  void RunJob(InvokeJob job) {
+    Status result = Status::Ok();
+    bool acked_ok = false;    // legacy: the OK delivery ack already left
+    bool conn_fatal = false;  // the wire desynced: tear the connection down
+    std::optional<InvokeOutcome> outcome;
+    ShimLease instance;
+    auto lease = job.entry.pool->Lease();
+    if (!lease.ok()) {
+      // Pool exhausted: refuse with a typed error the sender can act on.
+      // Count BEFORE the refusal leaves: a sender that observed the typed
+      // error must also observe the count.
+      agent->transfers_refused_.fetch_add(1, std::memory_order_relaxed);
+      AgentTransfersRefused().Inc();
+      result = ResourceExhaustedError("no instance available for " +
+                                      job.function + ": " +
+                                      lease.status().message());
+    } else {
+      instance = std::move(*lease);
+      // The frame's trace context ({0,0} on untraced frames) is installed
+      // for the whole land+invoke: the agent-side spans join the SENDER's
+      // trace, which is what stitches a cross-process chain together.
+      obs::ScopedTraceContext frame_ctx(job.trace);
+      Result<InvokeOutcome> invoked = [&]() -> Result<InvokeOutcome> {
+        // The exec mutex synchronizes the delivery + invoke against readers
+        // of regions earlier invocations left resident in this instance.
+        std::lock_guard<std::mutex> shim_lock(instance->exec_mutex());
+        RR_TRACE_SPAN(ingress_span, "agent", "ingress:" + job.function);
+        RR_ASSIGN_OR_RETURN(
+            const MemoryRegion region,
+            instance->PrepareInput(static_cast<uint32_t>(job.body.size())));
+        // A failed land or invoke leaves the region allocated; this
+        // instance returns to the pool and lives on, so it must not leak.
+        RegionGuard guard(instance.get(), region);
+        RR_RETURN_IF_ERROR(instance->WriteInput(
+            region, rr::BufferView(ByteSpan(job.body.data(), job.body.size()))));
+        if (ingress_span) ingress_span->End();
+        if (!job.mux) {
+          // Legacy contract: the delivery ack leaves once the payload has
+          // landed, BEFORE the invoke — the sender's ack wait ends at
+          // delivery, not at the invocation outcome.
+          const Status sent =
+              job.write->Write(EncodeAck(Status::Ok()), ControlDeadline());
+          if (!sent.ok()) {
+            conn_fatal = true;  // ack stream is dead: channel unusable
+            return sent;
+          }
+          acked_ok = true;
+        }
+        RR_TRACE_SPAN(invoke_span, "agent", "invoke:" + job.function);
+        auto invoked_inner = instance->InvokeOnRegion(region);
+        if (invoke_span) invoke_span->End();
+        if (invoked_inner.ok()) guard.Dismiss();
+        return invoked_inner;
+      }();
+      if (invoked.ok()) {
+        outcome = std::move(*invoked);
+      } else {
+        result = invoked.status();
+      }
+    }
+
+    // Report the outcome on the wire. Mux: a completion frame either way —
+    // the invocation result reaches the sender immediately. Legacy: an error
+    // ack only if the OK delivery ack has not left yet (a landing failure or
+    // refusal keeps the channel synchronized, exactly like the threaded
+    // plane's reject-in-sync path); an invoke failure after the ack sends
+    // nothing — the sender's delivery contract was already satisfied.
+    if (outcome.has_value()) {
+      // Count BEFORE the completion leaves: a sender that observed the
+      // completion frame must also observe the count (the same contract the
+      // refusal counter keeps above).
+      agent->transfers_completed_.fetch_add(1, std::memory_order_relaxed);
+      AgentTransfersCompleted().Inc();
+    }
+    if (job.mux) {
+      AgentCompletionFrames().Inc();
+      if (!result.ok()) AgentCompletionErrors().Inc();
+      const Status sent = job.write->Write(
+          EncodeCompletion(job.stream_id, result), ControlDeadline());
+      AgentStreamsInFlight().Sub(1);
+      if (!sent.ok()) conn_fatal = true;
+    } else if (!conn_fatal && !acked_ok && !result.ok()) {
+      const Status sent =
+          job.write->Write(EncodeAck(result), ControlDeadline());
+      if (!sent.ok()) conn_fatal = true;
+    }
+
+    if (outcome.has_value()) {
+      if (job.entry.on_delivery) {
+        job.entry.on_delivery(job.function, *outcome, job.token,
+                              std::move(instance));
+      } else {
+        // Nobody consumes the output: release it to keep the heap bounded
+        // (the lease returns the instance when it goes out of scope).
+        std::lock_guard<std::mutex> shim_lock(instance->exec_mutex());
+        (void)instance->ReleaseRegion(outcome->output);
+      }
+    } else if (!result.ok()) {
+      RR_LOG(Debug) << "node agent: transfer failed: " << result;
+    }
+
+    // Bookkeeping belongs to the owning shard's loop. Post after Stop is a
+    // benign no-op (Shutdown reclaims connection state itself).
+    shards[job.shard].reactor->Post(
+        [this, si = job.shard, id = job.conn_id, mux = job.mux,
+         staged = job.staged, fatal = conn_fatal] {
+          OnJobDone(si, id, mux, staged, fatal);
+        });
+  }
+
+  void OnJobDone(size_t si, uint64_t id, bool mux, size_t staged, bool fatal) {
+    const auto it = shards[si].conns.find(id);
+    if (it == shards[si].conns.end()) return;  // already torn down
+    const std::shared_ptr<Conn> conn = it->second;
+    conn->last_activity = Now();
+    if (fatal) {
+      Teardown(si, conn);
+      return;
+    }
+    if (mux) {
+      --conn->jobs_inflight;
+      conn->staged_bytes -= staged;
+      if (!FlushDeferredCredit(*conn)) Teardown(si, conn);
+    } else {
+      conn->legacy_job_running = false;
+      --conn->legacy_inflight;
+      PumpLegacy(*conn);
+    }
+  }
+};
+
+NodeAgent::NodeAgent(osal::TcpListener listener, Options options)
+    : listener_(std::move(listener)), options_(options) {}
+
 Result<std::unique_ptr<NodeAgent>> NodeAgent::Start(uint16_t port) {
   return Start(port, Options());
 }
@@ -93,7 +1063,17 @@ Result<std::unique_ptr<NodeAgent>> NodeAgent::Start(uint16_t port,
   RR_ASSIGN_OR_RETURN(osal::TcpListener listener, osal::TcpListener::Bind(port));
   auto agent = std::unique_ptr<NodeAgent>(
       new NodeAgent(std::move(listener), options));
-  agent->accept_thread_ = std::thread([raw = agent.get()] { raw->AcceptLoop(); });
+  if (options.ingress == Options::Ingress::kReactor) {
+    agent->reactor_plane_ = std::make_unique<ReactorPlane>(agent.get());
+    const Status started = agent->reactor_plane_->Start();
+    if (!started.ok()) {
+      agent->Shutdown();
+      return started;
+    }
+  } else {
+    agent->accept_thread_ =
+        std::thread([raw = agent.get()] { raw->AcceptLoop(); });
+  }
   return agent;
 }
 
@@ -102,6 +1082,10 @@ NodeAgent::~NodeAgent() { Shutdown(); }
 void NodeAgent::Shutdown() {
   if (stopping_.exchange(true)) return;
   ::shutdown(listener_.fd(), SHUT_RDWR);
+  if (reactor_plane_ != nullptr) {
+    reactor_plane_->Shutdown();
+    return;
+  }
   if (accept_thread_.joinable()) accept_thread_.join();
   std::map<uint64_t, std::thread> workers;
   {
@@ -209,11 +1193,17 @@ void NodeAgent::ServeConnection(osal::Connection conn) {
     if (stopping_.load()) return;  // raced with Shutdown: drop, don't serve
     active_fds_.insert(fd);
   }
+  active_connections_.fetch_add(1, std::memory_order_relaxed);
+  AgentConnections().Add(1);
   // Untrack before the connection closes (returns below destroy it after the
   // call), so Shutdown never shuts down a recycled descriptor.
   const auto untrack = [this, fd] {
-    std::lock_guard<std::mutex> lock(mutex_);
-    active_fds_.erase(fd);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      active_fds_.erase(fd);
+    }
+    active_connections_.fetch_sub(1, std::memory_order_relaxed);
+    AgentConnections().Sub(1);
   };
 
   auto name = ReadPreamble(conn);

@@ -2,36 +2,37 @@
 //
 // The paper's deployment runs one shim per function; transfers from another
 // node arrive at the node's address and must reach the right function's
-// shim. NodeAgent owns that ingress: it accepts connections, reads a small
-// routing preamble (target function name), and then hands the connection to
-// the target shim's NetworkChannelReceiver, which performs the Algorithm-1
-// receive (allocate in the VM, splice the payload in, invoke).
+// shim. NodeAgent owns that ingress. Two implementations share the public
+// surface (Options::ingress):
 //
-// This completes WorkflowManager's remote path: register remote functions
-// with the target node's agent address and transfers route themselves.
+//  * kReactor (default): the event-driven plane. One epoll reactor thread
+//    per core-shard multiplexes every connection — no thread per connection,
+//    no blocking header park. Connections are round-robined across shards at
+//    accept; each shard's loop stages frame bodies as bytes arrive and hands
+//    completed frames to a fixed invoke-worker pool (the only place Wasm
+//    runs), so ten thousand idle or trickling peers cost table entries, not
+//    threads. Both wire dialects are served and distinguished by the first
+//    two preamble bytes:
+//      - the legacy sequential dialect (network_channel.h): routing preamble,
+//        16/32-byte frame headers, status-bearing delivery acks — existing
+//        NetworkChannelSender peers work unchanged;
+//      - the multiplexed dialect (mux_protocol.h): many concurrent streams
+//        per connection, interleaved chunk frames, per-stream flow-control
+//        windows, and completion frames that carry the *invocation* outcome
+//        back to the sender (a remote handler failure fails the sender's
+//        edge immediately instead of waiting out its delivery deadline).
+//    Connections idle past Options::idle_timeout with nothing in flight are
+//    swept (the PR 5 "header park stays unbounded" contract is retired);
+//    senders re-establish transparently on their next dispatch.
+//  * kThreaded: the historical thread-per-connection plane, kept so the
+//    fault-injection matrix can run against both implementations. Accept
+//    survives transient errors, finished workers are reaped as the agent
+//    runs, pool exhaustion refuses frames with a typed error ack, body
+//    receives are deadline-bounded, and no failure leaks a placed region.
 //
-// Instance pools: each registered function is backed by a ShimPool, and
-// every received frame leases its own instance for the receive+invoke — so
-// concurrent connections into one function no longer serialize whole
-// transfers behind a single VM, they fan out across the pool.
-//
-// Production shape (the failure-hardened plane):
-//  * The accept loop survives transient errors — EMFILE/ENFILE under fd
-//    pressure, ECONNABORTED from a peer that gave up in the queue — by
-//    backing off and retrying; it exits only on shutdown or a hard listener
-//    error.
-//  * Finished connection threads are reaped as the agent runs (each worker
-//    announces completion; the accept loop joins the announced ones before
-//    the next accept) instead of accumulating one zombie per connection
-//    until Shutdown.
-//  * A frame that cannot be served — the function's pool is exhausted —
-//    is drained and refused with a typed error ack (kResourceExhausted) on a
-//    channel that stays alive, so one saturated function degrades gracefully
-//    instead of killing every sender's connection.
-//  * Body receives are deadline-bounded (AgentOptions::transfer_deadline):
-//    a sender that dies mid-body frees the worker within the bound. The
-//    header wait stays unbounded by design — an idle channel parks there.
-//  * No receive/invoke failure leaks a placed guest region (RegionGuard).
+// Instance pools: each registered function is backed by a ShimPool; every
+// received frame leases its own instance for the receive+invoke, so
+// concurrent transfers into one function fan out across the pool.
 #pragma once
 
 #include <atomic>
@@ -55,10 +56,29 @@ bool IsTransientAcceptError(const Status& status);
 class NodeAgent {
  public:
   struct Options {
-    // Bounds one frame's body receive (and its ack write). The sender-side
-    // transfer deadline is the other half of the bound; together they
-    // guarantee a wedged peer frees the worker. Non-positive = unbounded.
+    // Bounds one frame's body receive (and its ack write) on both planes; on
+    // the reactor plane it also bounds how long a stream may sit mid-body
+    // without progress before it is dropped. The sender-side transfer
+    // deadline is the other half of the bound; together they guarantee a
+    // wedged peer frees the worker. Non-positive = unbounded.
+    // NOTE: first member — existing call sites aggregate-initialize
+    // Options{deadline}.
     Nanos transfer_deadline = std::chrono::seconds(30);
+
+    enum class Ingress { kReactor, kThreaded };
+    Ingress ingress = Ingress::kReactor;
+
+    // Reactor plane shape. 0 = pick from hardware concurrency. Shards are
+    // epoll loops (connections round-robin across them); invoke workers are
+    // the only threads that run Wasm. Total agent threads = shards +
+    // invoke_workers, independent of connection or stream count.
+    size_t shards = 0;
+    size_t invoke_workers = 0;
+
+    // Reactor plane: connections with no frame mid-receive, no stream open,
+    // and no invoke in flight for this long are closed. Senders reconnect
+    // transparently on their next dispatch. Non-positive = never swept.
+    Nanos idle_timeout = std::chrono::seconds(60);
   };
 
   // Called after a payload has been delivered and the function invoked. The
@@ -95,20 +115,31 @@ class NodeAgent {
 
   uint64_t transfers_completed() const { return transfers_completed_.load(); }
 
-  // Frames refused with a typed error ack on a live channel (pool
-  // exhausted): each one failed exactly one sender-side transfer.
+  // Frames refused with a typed error (pool exhausted): an error ack on the
+  // legacy dialect, an error completion frame on the mux dialect. Each one
+  // failed exactly one sender-side transfer.
   uint64_t transfers_refused() const { return transfers_refused_.load(); }
 
-  // Connection threads currently tracked (serving or awaiting reap).
-  // Observability for the reaping behavior; not a synchronization point.
+  // Connection threads currently tracked (threaded plane only; the reactor
+  // plane has no per-connection threads, by design).
   size_t live_workers() const;
+
+  // Connections currently served (either plane). Observability for the
+  // idle-sweep tests.
+  size_t active_connections() const {
+    return active_connections_.load(std::memory_order_relaxed);
+  }
 
   void Shutdown();
 
  private:
-  NodeAgent(osal::TcpListener listener, Options options)
-      : listener_(std::move(listener)), options_(options) {}
+  struct ReactorPlane;
+  friend struct ReactorPlane;
 
+  // Out-of-line: ReactorPlane is incomplete here.
+  NodeAgent(osal::TcpListener listener, Options options);
+
+  // --- threaded plane ---
   void AcceptLoop();
   void ServeConnection(osal::Connection conn);
 
@@ -131,16 +162,22 @@ class NodeAgent {
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> transfers_completed_{0};
   std::atomic<uint64_t> transfers_refused_{0};
+  std::atomic<size_t> active_connections_{0};
   std::thread accept_thread_;
   // Workers keyed by id; a worker pushes its id to finished_ when its
   // connection ends, and ReapFinished joins+erases those entries.
   std::map<uint64_t, std::thread> workers_;
   std::vector<uint64_t> finished_;
   uint64_t next_worker_id_ = 0;
+
+  // --- reactor plane ---
+  std::unique_ptr<ReactorPlane> reactor_plane_;
 };
 
-// Sender-side counterpart: connects to a remote NodeAgent (optionally
-// through a shaped link) and opens a channel to a named function there.
+// Sender-side counterpart for the legacy dialect: connects to a remote
+// NodeAgent (optionally through a shaped link) and opens a sequential
+// channel to a named function there. The mux dialect's counterpart is
+// core::MuxClient (mux_client.h).
 Result<NetworkChannelSender> ConnectToRemoteFunction(
     const std::string& host, uint16_t agent_port, const std::string& function);
 

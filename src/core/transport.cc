@@ -4,11 +4,15 @@
 #include <optional>
 #include <thread>
 
+#include <map>
+
 #include "core/kernel_channel.h"
+#include "core/mux_client.h"
 #include "core/network_channel.h"
 #include "core/node_agent.h"
 #include "core/region_guard.h"
 #include "core/user_channel.h"
+#include "osal/reactor.h"
 
 namespace rr::core {
 
@@ -265,8 +269,72 @@ class NetworkAgentHop : public Hop {
   NetworkChannelSender sender_;
 };
 
+// The mux wire's agent hop: a thin facade over the per-agent MuxClient that
+// the transport shares across every (source, target) pair bound for the same
+// host:port. Dispatch is fully async — DispatchAsync's callback carries the
+// remote *invocation* outcome (completion frame), so a handler failure fails
+// the edge immediately instead of waiting out a delivery deadline.
+class MuxAgentHop : public Hop {
+ public:
+  MuxAgentHop(std::shared_ptr<MuxClient> client, std::string function,
+              Nanos transfer_deadline)
+      : client_(std::move(client)),
+        function_(std::move(function)),
+        transfer_deadline_(transfer_deadline) {}
+
+  TransferMode mode() const override { return TransferMode::kNetwork; }
+  bool invoke_coupled() const override { return true; }
+
+  // Always healthy: the shared client reconnects transparently on the next
+  // stream (an agent-side idle sweep is absorbed, not an eviction event).
+  // Eviction of this hop object is therefore harmless churn — Close is a
+  // no-op because the client (and its wire) belongs to every hop bound for
+  // this agent, not to this pair.
+  bool healthy() const override { return true; }
+  void Close() override {}
+
+  Result<MemoryRegion> Forward(const Payload& /*payload*/, Shim& /*target*/,
+                               TransferTiming* /*timing*/,
+                               const MemoryRegion* /*into*/) override {
+    return FailedPreconditionError(
+        "delivery through a NodeAgent ingress is invoke-coupled; Dispatch the "
+        "frame and consume the agent's delivery callback");
+  }
+
+  Status Dispatch(const Payload& /*payload*/, uint64_t /*token*/,
+                  TransferTiming* /*timing*/) override {
+    return FailedPreconditionError(
+        "mux agent hops are completion-driven; use DispatchAsync");
+  }
+
+  Status DispatchAsync(const Payload& payload, uint64_t token,
+                       TransferTiming* timing, DispatchDoneFn done) override {
+    TransferTiming egress{};
+    RR_ASSIGN_OR_RETURN(const rr::Buffer buffer,
+                        payload.Materialize(&egress.wasm_io));
+    if (timing != nullptr) *timing += egress;
+    // The stream holds a refcount on the payload's chunks; the caller may
+    // release its own reference as soon as this returns OK.
+    return client_->StartStream(function_, buffer, token, transfer_deadline_,
+                                std::move(done));
+  }
+
+ private:
+  const std::shared_ptr<MuxClient> client_;
+  const std::string function_;
+  const Nanos transfer_deadline_;
+};
+
 class NetworkTransport : public Transport {
  public:
+  ~NetworkTransport() override {
+    // Close clients first (their in-flight streams fail with kUnavailable
+    // and fire their callbacks), then stop the loop they ran on.
+    for (auto& [key, client] : clients_) client->Close();
+    clients_.clear();
+    if (client_reactor_ != nullptr) client_reactor_->Stop();
+  }
+
   TransferMode mode() const override { return TransferMode::kNetwork; }
 
   Result<std::unique_ptr<Hop>> Connect(Endpoint& /*source*/,
@@ -286,14 +354,42 @@ class NetworkTransport : public Transport {
       return std::unique_ptr<Hop>(
           new NetworkLoopbackHop(std::move(sender), std::move(receiver)));
     }
-    // Route through the target node's agent: the preamble names the
-    // function, the agent hands the connection to its shim's receiver.
+    if (options.agent_wire == TransportOptions::AgentWire::kMux) {
+      // Route through the target node's agent on the multiplexed dialect:
+      // one shared client (one connection, one reactor) per remote agent,
+      // every pair's transfers interleaved as streams.
+      RR_ASSIGN_OR_RETURN(std::shared_ptr<MuxClient> client,
+                          ClientFor(target.host, target.port));
+      return std::unique_ptr<Hop>(new MuxAgentHop(
+          std::move(client), target.shim->name(), options.transfer_deadline));
+    }
+    // Legacy sequential dialect: the preamble names the function, the agent
+    // hands the connection to its shim's receiver.
     RR_ASSIGN_OR_RETURN(
         NetworkChannelSender sender,
         ConnectToRemoteFunction(target.host, target.port, target.shim->name()));
     sender.set_transfer_deadline(options.transfer_deadline);
     return std::unique_ptr<Hop>(new NetworkAgentHop(std::move(sender)));
   }
+
+ private:
+  Result<std::shared_ptr<MuxClient>> ClientFor(const std::string& host,
+                                               uint16_t port) {
+    std::lock_guard<std::mutex> lock(clients_mutex_);
+    if (client_reactor_ == nullptr) {
+      RR_ASSIGN_OR_RETURN(client_reactor_, osal::Reactor::Start("mux-client"));
+    }
+    const std::string key = host + ":" + std::to_string(port);
+    auto& client = clients_[key];
+    if (client == nullptr) {
+      client = MuxClient::Create(client_reactor_, host, port);
+    }
+    return client;
+  }
+
+  std::mutex clients_mutex_;
+  std::shared_ptr<osal::Reactor> client_reactor_;
+  std::map<std::string, std::shared_ptr<MuxClient>> clients_;
 };
 
 }  // namespace
@@ -316,6 +412,17 @@ Status Hop::Dispatch(const Payload& /*payload*/, uint64_t /*token*/,
                      TransferTiming* /*timing*/) {
   return FailedPreconditionError(
       "hop is not invoke-coupled; use Forward/ForwardAndInvoke");
+}
+
+Status Hop::DispatchAsync(const Payload& payload, uint64_t token,
+                          TransferTiming* timing, DispatchDoneFn done) {
+  // Synchronous adapter: on the legacy wire the blocking Dispatch ends at
+  // the delivery ack, so done(Ok) means delivered — the invocation outcome
+  // still arrives through the agent's delivery callback (or the caller's
+  // backstop deadline).
+  RR_RETURN_IF_ERROR(Dispatch(payload, token, timing));
+  if (done) done(Status::Ok());
+  return Status::Ok();
 }
 
 std::unique_ptr<Transport> MakeUserSpaceTransport() {

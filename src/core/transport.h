@@ -21,6 +21,7 @@
 // readers of regions still resident in that instance.
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "core/endpoint.h"
@@ -44,6 +45,16 @@ struct TransportOptions {
   // the 30 s default comfortably covers paper-scale payloads on the
   // emulated 100 Mbps testbed.
   Nanos transfer_deadline = std::chrono::seconds(30);
+
+  // Which dialect agent-bound hops speak. kMux (default): one multiplexed
+  // connection per remote agent shared by every function and every
+  // concurrent transfer — interleaved chunk frames, per-stream flow
+  // control, and completion frames that surface the remote *invocation*
+  // outcome through DispatchAsync's callback. kLegacy: one sequential
+  // connection per (source, target) pair with delivery acks only — kept for
+  // the fault-injection matrix and old peers.
+  enum class AgentWire { kMux, kLegacy };
+  AgentWire agent_wire = AgentWire::kMux;
 };
 
 // One cached duplex channel between a source and a target function.
@@ -86,6 +97,22 @@ class Hop {
   // complete synchronously.
   virtual Status Dispatch(const Payload& payload, uint64_t token,
                           TransferTiming* timing = nullptr);
+
+  // Receives the transfer's terminal status once the far side has spoken:
+  // on the mux wire, the remote *invocation* outcome (a handler failure
+  // arrives here immediately); on the legacy wire, the delivery ack (the
+  // invocation outcome still travels through the agent's delivery callback).
+  using DispatchDoneFn = std::function<void(Status)>;
+
+  // Completion-driven dispatch: initiates the transfer and returns without
+  // waiting for the wire. Returns non-OK only when the dispatch could not be
+  // initiated — `done` then never fires. On OK, `done` fires exactly once
+  // (possibly before this call returns, and possibly on a reactor thread —
+  // it must not block on the dispatching thread's locks). The base
+  // implementation adapts synchronous hops: a blocking Dispatch, then
+  // done(Ok).
+  virtual Status DispatchAsync(const Payload& payload, uint64_t token,
+                               TransferTiming* timing, DispatchDoneFn done);
 
   // False once the hop's underlying wire has died — torn down by Close, or
   // killed by a transfer that failed without a decoded ack. A failed

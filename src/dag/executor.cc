@@ -1,6 +1,7 @@
 #include "dag/executor.h"
 
 #include <optional>
+#include <utility>
 
 #include "common/log.h"
 #include "core/region_guard.h"
@@ -67,6 +68,22 @@ struct DagExecutor::StatsState {
   }
 };
 
+DagExecutor::~DagExecutor() {
+  // Disarm the completion callbacks FIRST: a mux stream the deadline sweeper
+  // abandoned may still fire its DispatchAsync callback from a reactor
+  // thread while (or after) this executor tears down.
+  {
+    std::lock_guard<std::mutex> lock(life_->mutex);
+    life_->owner = nullptr;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mail_mutex_);
+    sweeper_stop_ = true;
+  }
+  sweep_cv_.notify_all();
+  if (sweeper_.joinable()) sweeper_.join();
+}
+
 Result<rr::Buffer> DagExecutor::Execute(const Dag& dag, const rr::Buffer& input,
                                         telemetry::DagRunStats* stats) {
   const Stopwatch total_timer;
@@ -88,10 +105,11 @@ Result<rr::Buffer> DagExecutor::Execute(const Dag& dag, const rr::Buffer& input,
   // submitting thread's trace context there so every node/edge span joins
   // the run's trace instead of opening orphan traces per worker.
   const obs::SpanContext run_ctx = obs::CurrentSpanContext();
-  Status status = scheduler_.Run(dag, [&](size_t index) {
-    obs::ScopedTraceContext ctx(run_ctx);
-    return RunNode(dag, index, runs, input, stats_state);
-  });
+  Status status = scheduler_.Run(
+      dag, [&](size_t index, const DagScheduler::DeferFn& defer) {
+        obs::ScopedTraceContext ctx(run_ctx);
+        return RunNode(dag, index, runs, input, stats_state, defer);
+      });
 
   // Assemble the result by chunk sharing: each sink's output is egressed
   // exactly once (here, if it was not already host-resident) and the
@@ -122,7 +140,8 @@ Result<rr::Buffer> DagExecutor::Execute(const Dag& dag, const rr::Buffer& input,
 
 Status DagExecutor::RunNode(const Dag& dag, size_t index,
                             std::vector<NodeRun>& runs, const rr::Buffer& input,
-                            StatsState& stats) {
+                            StatsState& stats,
+                            const DagScheduler::DeferFn& defer) {
   const DagNode& node = dag.node(index);
   NodeRun& run = runs[index];
   Endpoint& target = *run.endpoint;
@@ -147,13 +166,14 @@ Status DagExecutor::RunNode(const Dag& dag, size_t index,
   // Establish every predecessor's hop up front; all of them must agree on
   // coupling. An invoke-coupled hop (remote NodeAgent ingress) carries the
   // whole node — one dispatched frame, outcome via the agent's delivery
-  // callback — while local hops deliver then invoke here. The agent ingress
-  // only carries edges the placement makes network anyway, so a co-located
-  // predecessor keeps its user/kernel fast path even when the target
-  // publishes an ingress port; a genuinely mixed predecessor set is
-  // rejected regardless of edge-declaration order. Holding the shared_ptrs
-  // for the node's duration keeps every hop alive across a concurrent
-  // eviction (the transfer then fails on the closed wire, cleanly).
+  // callback or completion frame — while local hops deliver then invoke
+  // here. The agent ingress only carries edges the placement makes network
+  // anyway, so a co-located predecessor keeps its user/kernel fast path even
+  // when the target publishes an ingress port; a genuinely mixed predecessor
+  // set is rejected regardless of edge-declaration order. Holding the
+  // shared_ptrs for the node's duration keeps every hop alive across a
+  // concurrent eviction (the transfer then fails on the closed wire,
+  // cleanly).
   std::vector<std::shared_ptr<Hop>> pred_hops;
   pred_hops.reserve(node.preds.size());
   size_t coupled = 0;
@@ -164,7 +184,8 @@ Status DagExecutor::RunNode(const Dag& dag, size_t index,
     pred_hops.push_back(std::move(hop));
   }
   if (coupled == node.preds.size()) {
-    return RunRemoteNode(dag, index, runs, *pred_hops.front(), stats);
+    return RunRemoteNode(dag, index, runs, std::move(pred_hops.front()), stats,
+                         defer);
   }
   if (coupled != 0) {
     return FailedPreconditionError(
@@ -303,108 +324,114 @@ Status DagExecutor::RunLocalNode(
   return FinishNode(dag, index, runs, &instance, outcome);
 }
 
+// Completion-driven remote node: assembles ONE frame, registers the pending
+// continuation slot, defers the node with the scheduler, and initiates the
+// transfer — then returns, freeing the worker. The node retires when the
+// slot resolves: DeliverOutcome (the agent's delivery callback, carrying the
+// outcome), the hop's DispatchAsync callback with an error (a mux completion
+// frame — a remote handler failure arrives here immediately), or the
+// remote_deadline sweeper (the backstop for a silent far side).
 Status DagExecutor::RunRemoteNode(const Dag& dag, size_t index,
-                                  std::vector<NodeRun>& runs, Hop& hop,
-                                  StatsState& stats) {
+                                  std::vector<NodeRun>& runs,
+                                  std::shared_ptr<Hop> hop, StatsState& stats,
+                                  const DagScheduler::DeferFn& defer) {
   const DagNode& node = dag.node(index);
-  NodeRun& run = runs[index];
-  Endpoint& target = *run.endpoint;
-
-  // Register the pending slot before the frame leaves: the agent's callback
-  // may fire before Dispatch even returns.
-  const uint64_t token = next_token_.fetch_add(1, std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(mail_mutex_);
-    pending_.emplace(token, Pending{});
-  }
-  const auto abandon = [&] {
-    std::lock_guard<std::mutex> lock(mail_mutex_);
-    pending_.erase(token);
-  };
+  Endpoint& target = *runs[index].endpoint;
 
   stats.MarkPhaseStart();
-  // The whole remote edge (frame assembly, dispatch, remote invoke, delivery
-  // wait) is one span; its duration is the EdgeSample latency (Stopwatch
-  // fallback with tracing off). Dispatch and the ack wait get child spans
-  // below — the dispatch span's context rides the frame's header, so the
-  // agent's remote-side spans join this trace.
-  RR_TRACE_SPAN(edge_span, "dag",
-                "edge:" + runs[node.preds.front()].endpoint->shim->name() +
-                    "->" + target.shim->name());
-  const Stopwatch edge_timer;
+  // Frame assembly. The agent invokes on every received frame, so a fan-in
+  // join's input must travel as ONE frame — predecessor chunks concatenated
+  // by reference and vectored onto the wire, no host-side merge copy. Egress
+  // is forced (and timed) HERE, not inside the hop, so the pending slot
+  // below is fully written before it publishes: once the frame is on the
+  // wire, the completion may race this thread.
   TransferTiming timing;
   std::vector<uint64_t> part_bytes;
   part_bytes.reserve(node.preds.size());
-  Payload frame;
-  if (node.preds.size() == 1) {
-    frame = runs[node.preds.front()].payload;
-    part_bytes.push_back(frame.size());
-  } else {
-    // Fan-in into a remote ingress: the agent invokes on every received
-    // frame, so the join's input must travel as ONE frame — the predecessor
-    // chunks are concatenated by reference and vectored onto the wire, with
-    // no host-side merge copy.
-    rr::Buffer merged;
-    for (const size_t pred : node.preds) {
-      auto part = runs[pred].payload.Materialize(&timing.wasm_io);
-      if (!part.ok()) {
-        abandon();
-        return part.status();
-      }
-      merged.Append(*part);
-      part_bytes.push_back(part->size());
+  rr::Buffer wire;
+  for (const size_t pred : node.preds) {
+    auto part = runs[pred].payload.Materialize(&timing.wasm_io);
+    RR_RETURN_IF_ERROR(part.status());
+    wire.Append(*part);
+    part_bytes.push_back(part->size());
+  }
+  const Payload frame{std::move(wire)};
+
+  const uint64_t token = next_token_.fetch_add(1, std::memory_order_relaxed);
+
+  // Defer the node and register its continuation BEFORE the frame leaves:
+  // the completion may fire — and the ticket complete — before DispatchAsync
+  // even returns.
+  DagScheduler::Ticket ticket = defer();
+  const TimePoint dispatched_at = Now();
+  bool wake_sweeper = false;
+  {
+    std::lock_guard<std::mutex> lock(mail_mutex_);
+    Pending slot;
+    slot.function = target.shim->name();
+    slot.ticket = ticket;
+    slot.dag = &dag;
+    slot.index = index;
+    slot.runs = &runs;
+    slot.stats = &stats;
+    slot.hop = hop;
+    slot.part_bytes = std::move(part_bytes);
+    slot.frame_wasm_io = timing.wasm_io;
+    slot.dispatched_at = dispatched_at;
+    slot.deadline = dispatched_at + remote_deadline_;
+    wake_sweeper = slot.deadline < sweep_next_;
+    pending_.emplace(token, std::move(slot));
+    if (!sweeper_.joinable()) {
+      sweeper_ = std::thread([this] { SweeperLoop(); });
     }
-    frame = Payload(std::move(merged));
   }
-  RR_TRACE_SPAN(dispatch_span, "dag", "dispatch:" + node.name);
-  const Status sent = hop.Dispatch(frame, token, &timing);
-  if (dispatch_span) dispatch_span->End();
-  if (!sent.ok()) {
-    abandon();
-    // A dispatch that killed its wire (the sender shuts the channel down
-    // whenever a transfer dies without a decoded ack, so a stale ack can
-    // never be mis-attributed to a later transfer) leaves the hop dead in
-    // the cache: evict it so the next run establishes a fresh channel
-    // instead of failing forever. A typed in-sync refusal (remote pool
-    // exhausted, placement failure) leaves the hop healthy — do NOT evict,
-    // the other transfers sharing this channel are unaffected.
-    if (!hop.healthy()) manager_->hops().Evict(target.shim->name());
-    return sent;
-  }
+  if (wake_sweeper) sweep_cv_.notify_all();
+
+  // Drop this node's claim on its predecessors NOW — `frame` (and, once
+  // dispatched, the mux stream) holds the chunk refcounts. This must happen
+  // before DispatchAsync: the moment the frame is on the wire the completion
+  // can retire the deferred node and unblock the Run, unwinding the stack
+  // `runs` lives on — nothing below may touch run-stack state.
   ReleaseConsumedPreds(node, runs);
 
-  // The remote agent performs Algorithm 1's receive+invoke; its delivery
-  // callback (DeliverySink, registered with the agent) completes the edge,
-  // handing over the agent-side instance lease with the outcome.
-  RR_TRACE_SPAN(ack_span, "dag", "ack_wait:" + node.name);
-  auto completion = WaitForDelivery(target.shim->name(), token);
-  if (ack_span) ack_span->End();
-  if (!completion.ok()) {
-    // Tear the channel down with the failed transfer: the agent-side worker
-    // dies with the connection, so a frame still in flight is dropped. A
-    // completion that nonetheless arrives later matches no pending token and
-    // is rejected (kTokenMismatch) with its output released.
-    manager_->hops().Evict(target.shim->name());
-    return completion.status();
+  // The dispatch span is what the agent-side spans parent under: its context
+  // rides the frame header (captured inside DispatchAsync on this thread).
+  // The span is RECORDED before the dispatch — a loopback completion can
+  // finish the whole run (and a caller snapshot the trace) before
+  // DispatchAsync returns — while its context is kept installed for the
+  // frame to capture.
+  RR_TRACE_SPAN(dispatch_span, "dag", "dispatch:" + node.name);
+  std::optional<obs::ScopedTraceContext> dispatch_ctx;
+  if (dispatch_span) {
+    const obs::SpanContext span_ctx = dispatch_span->context();
+    dispatch_span->End();
+    dispatch_ctx.emplace(span_ctx);
   }
-
-  // Edge latency spans send to delivery confirmation (the remote invoke is
-  // part of the edge on this path). A merged frame reports the shared wall
-  // time per contributing edge, with each edge's own byte count.
-  const Nanos latency = edge_span ? edge_span->End() : edge_timer.Elapsed();
-  for (size_t i = 0; i < node.preds.size(); ++i) {
-    const size_t pred = node.preds[i];
-    stats.Record(runs[pred].endpoint->shim->name(), target.shim->name(),
-                 core::TransferMode::kNetwork, part_bytes[i], latency,
-                 timing.wasm_io + runs[pred].egress_wasm_io /
-                                      static_cast<int64_t>(
-                                          dag.node(pred).succs.size()));
+  const std::shared_ptr<LifeGuard> life = life_;
+  const Status sent = hop->DispatchAsync(
+      frame, token, /*timing=*/nullptr, [life, token](Status outcome) {
+        // OK = the wire accepted the transfer; the node's real outcome
+        // arrives through the delivery callback. An error is terminal for
+        // the edge (completion frame, dead channel, drain deadline): fail it
+        // now instead of waiting out the backstop.
+        if (outcome.ok()) return;
+        std::lock_guard<std::mutex> lock(life->mutex);
+        if (life->owner == nullptr) return;
+        life->owner->FailDelivery(token, outcome, /*force_evict=*/false);
+      });
+  if (!sent.ok()) {
+    // Initiation failed: `done` never fires. Reclaim the slot (the sweeper
+    // cannot have raced us to it this fast, but TakePending tolerates it)
+    // and fail the node through its ticket. Eviction matches the local
+    // path: a dispatch that killed its wire leaves the hop dead — evict so
+    // the next run re-establishes a fresh channel instead of failing
+    // forever; a typed in-sync refusal leaves the channel (and the other
+    // transfers sharing it) intact.
+    TakePending(token);
+    if (!hop->healthy()) manager_->hops().Evict(target.shim->name());
+    ticket.Complete(sent);
   }
-  // The completion's lease is dropped when this frame returns — the agent-
-  // side instance goes back to its pool; the output region it still hosts is
-  // pinned by the node's payload and read under the instance's exec mutex.
-  return FinishNode(dag, index, runs, completion->instance.get(),
-                    completion->outcome);
+  return Status::Ok();
 }
 
 // Publishes the node's output on the payload plane: the payload records the
@@ -426,50 +453,114 @@ Status DagExecutor::FinishNode(const Dag& dag, size_t index,
   return Status::Ok();
 }
 
-Result<DagExecutor::RemoteCompletion> DagExecutor::WaitForDelivery(
-    const std::string& function, uint64_t token) {
-  std::unique_lock<std::mutex> lock(mail_mutex_);
-  const bool delivered = mail_cv_.wait_for(lock, remote_deadline_, [&] {
-    const auto it = pending_.find(token);
-    return it != pending_.end() && it->second.fulfilled;
-  });
-  if (!delivered) {
-    pending_.erase(token);
-    return DeadlineExceededError("no delivery from node agent for function " +
-                                 function + " (token " +
-                                 std::to_string(token) + ")");
-  }
-  RemoteCompletion completion{pending_.at(token).outcome,
-                              std::move(pending_.at(token).instance)};
-  pending_.erase(token);
-  return completion;
+std::optional<DagExecutor::Pending> DagExecutor::TakePending(uint64_t token) {
+  std::lock_guard<std::mutex> lock(mail_mutex_);
+  const auto it = pending_.find(token);
+  if (it == pending_.end()) return std::nullopt;
+  Pending slot = std::move(it->second);
+  pending_.erase(it);
+  return slot;
 }
 
 Status DagExecutor::DeliverOutcome(const std::string& function,
                                    core::InvokeOutcome outcome, uint64_t token,
                                    core::ShimLease instance) {
-  {
-    std::lock_guard<std::mutex> lock(mail_mutex_);
-    const auto it = pending_.find(token);
-    if (it != pending_.end() && !it->second.fulfilled) {
-      it->second.fulfilled = true;
-      it->second.outcome = outcome;
-      it->second.instance = std::move(instance);
-      mail_cv_.notify_all();
-      return Status::Ok();
+  std::optional<Pending> slot = TakePending(token);
+  if (!slot.has_value()) {
+    // Nobody is waiting on this token: the transfer timed out, its run was
+    // cancelled, or the sender never tracked it. Release the orphaned output
+    // so the remote function's heap stays bounded (dropping the lease then
+    // returns the instance to its pool).
+    if (instance) {
+      std::lock_guard<std::mutex> shim_lock(instance->exec_mutex());
+      (void)instance->ReleaseRegion(outcome.output);
+    }
+    return TokenMismatchError("delivery for function " + function +
+                              " carries token " + std::to_string(token) +
+                              " matching no pending transfer");
+  }
+
+  // Resolve the deferred edge. Everything touching the run's stack state
+  // (runs, stats, dag) happens BEFORE the ticket completes: completion may
+  // release the Run and unwind that stack. Edge latency spans dispatch to
+  // delivery — the remote invoke is part of the edge on this path; a merged
+  // (fan-in) frame reports the shared wall time per contributing edge, with
+  // each edge's own byte count.
+  const Dag& dag = *slot->dag;
+  const DagNode& node = dag.node(slot->index);
+  std::vector<NodeRun>& runs = *slot->runs;
+  const Nanos latency = Now() - slot->dispatched_at;
+  for (size_t i = 0; i < node.preds.size(); ++i) {
+    const size_t pred = node.preds[i];
+    slot->stats->Record(
+        runs[pred].endpoint->shim->name(), slot->function,
+        core::TransferMode::kNetwork, slot->part_bytes[i], latency,
+        slot->frame_wasm_io +
+            runs[pred].egress_wasm_io /
+                static_cast<int64_t>(dag.node(pred).succs.size()));
+  }
+  const Status finished =
+      FinishNode(dag, slot->index, runs, instance.get(), outcome);
+  slot->ticket.Complete(finished);
+  // The instance lease drops when this returns — the agent-side instance
+  // goes back to its pool; the output region it still hosts is pinned by
+  // the node's payload and read under the instance's exec mutex.
+  return Status::Ok();
+}
+
+void DagExecutor::FailDelivery(uint64_t token, const Status& status,
+                               bool force_evict) {
+  std::optional<Pending> slot = TakePending(token);
+  if (!slot.has_value()) return;  // already resolved: the first signal won
+  // A deadline expiry tears the channel down with the failed transfer (on
+  // the legacy wire the agent-side worker dies with the connection, so a
+  // frame still in flight is dropped; a late completion matches no pending
+  // token and is rejected). Other failures evict only when the wire actually
+  // died — a typed in-sync refusal (remote pool exhausted, unknown function)
+  // leaves the channel healthy and the transfers sharing it unharmed.
+  if (force_evict || !slot->hop->healthy()) {
+    manager_->hops().Evict(slot->function);
+  }
+  slot->ticket.Complete(status);
+}
+
+// The remote_deadline backstop. With completion frames carrying failures and
+// delivery callbacks carrying successes, this sweeper only ever fires for a
+// far side that went fully silent: a legacy-wire invoke failure (the old
+// wire has no failure frame), a dead agent, a lost frame.
+void DagExecutor::SweeperLoop() {
+  std::unique_lock<std::mutex> lock(mail_mutex_);
+  while (!sweeper_stop_) {
+    const TimePoint now = Now();
+    TimePoint next = TimePoint::max();
+    std::vector<std::pair<uint64_t, Pending>> expired;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->second.deadline <= now) {
+        expired.emplace_back(it->first, std::move(it->second));
+        it = pending_.erase(it);
+      } else {
+        next = std::min(next, it->second.deadline);
+        ++it;
+      }
+    }
+    if (!expired.empty()) {
+      lock.unlock();
+      for (auto& [token, slot] : expired) {
+        manager_->hops().Evict(slot.function);
+        slot.ticket.Complete(DeadlineExceededError(
+            "no delivery from node agent for function " + slot.function +
+            " (token " + std::to_string(token) + ")"));
+      }
+      lock.lock();
+      continue;  // pending_ may have changed while unlocked
+    }
+    sweep_next_ = next;
+    if (next == TimePoint::max()) {
+      sweep_cv_.wait(lock);
+    } else {
+      sweep_cv_.wait_until(lock, next);
     }
   }
-  // Nobody is waiting on this token: the transfer timed out, its run was
-  // cancelled, or the sender never tracked it. Release the orphaned output
-  // so the remote function's heap stays bounded (dropping the lease then
-  // returns the instance to its pool).
-  if (instance) {
-    std::lock_guard<std::mutex> shim_lock(instance->exec_mutex());
-    (void)instance->ReleaseRegion(outcome.output);
-  }
-  return TokenMismatchError("delivery for function " + function + " carries token " +
-                            std::to_string(token) +
-                            " matching no pending transfer");
 }
 
 core::NodeAgent::DeliveryCallback DagExecutor::DeliverySink() {

@@ -21,27 +21,44 @@
 //    copy between the two linear memories.
 //
 // Functions behind a remote NodeAgent ingress are served by invoke-coupled
-// hops: the executor Dispatches one frame (a fan-in's predecessor chunks
-// vectored into one frame without a host merge copy) stamped with a fresh
-// correlation token, and the agent's delivery callback — wire DeliverySink()
-// into NodeAgent::RegisterFunction — completes the transfer. Tokens make the
-// attribution exact: a completion belonging to a timed-out or cancelled
-// transfer matches no pending token and is rejected with kTokenMismatch
-// (and its output released), never claimed by a later run.
+// hops, COMPLETION-DRIVEN: the executor assembles one frame (a fan-in's
+// predecessor chunks vectored without a host merge copy), registers a
+// continuation slot keyed by a fresh correlation token, DEFERS the node with
+// the scheduler (DagScheduler::Ticket), and initiates the transfer with
+// Hop::DispatchAsync — then the worker moves on. The node retires when the
+// first of three signals resolves the slot:
+//
+//  * the agent's delivery callback (DeliverySink -> DeliverOutcome) carrying
+//    the remote invocation's outcome and output lease — the success path;
+//  * the hop's DispatchAsync callback with an error — on the mux wire this
+//    is the agent's completion frame, so a remote HANDLER failure fails the
+//    edge immediately instead of waiting out the deadline;
+//  * the remote_deadline sweeper — now a BACKSTOP for a far side that went
+//    fully silent (legacy-wire invoke failure, dead agent, lost frame).
+//
+// No scheduler worker ever parks on a wire wait, so in-flight remote edges
+// are bounded by memory, not pool width. Tokens make the attribution exact:
+// a completion belonging to a timed-out or cancelled transfer matches no
+// pending token and is rejected with kTokenMismatch (its output released),
+// never claimed by a later run.
 //
 // Execution is reentrant: concurrent runs (api::Runtime keeps many
 // invocations in flight) share the worker pool, the hop cache, and the
-// delivery mailbox; per-run state lives on the caller's stack. There is no
-// public synchronous entry — api::Runtime::Submit is the way to run a DAG
-// (the former direct Execute entry is gone with WorkflowManager::RunChain).
+// delivery mailbox; per-run state lives on the caller's stack, kept valid by
+// the scheduler (a deferred node keeps its Run blocked). There is no public
+// synchronous entry — api::Runtime::Submit is the way to run a DAG.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/node_agent.h"
 #include "core/payload.h"
@@ -60,27 +77,33 @@ class DagExecutor {
  public:
   // `manager` must outlive the executor. 0 workers = hardware concurrency.
   explicit DagExecutor(core::WorkflowManager* manager, size_t workers = 0)
-      : manager_(manager), scheduler_(workers) {}
+      : manager_(manager), scheduler_(workers) {
+    life_->owner = this;
+  }
+  ~DagExecutor();
 
   // Delivery callback for NodeAgent-registered functions: routes the remote
   // invoke's outcome back into the executor so the DAG can continue past the
   // remote node. The executor must outlive the agent's use of the callback.
   core::NodeAgent::DeliveryCallback DeliverySink();
 
-  // Routes one remote completion to the transfer that dispatched `token`.
-  // `instance` is the agent-side pool lease holding the outcome's output
-  // region; a matched completion hands it to the waiting transfer (which
-  // pins it in the node's payload), an unmatched one — late completion of a
-  // timed-out edge, a cancelled run, or an untracked sender — returns
-  // kTokenMismatch, releasing the output region and the instance. Exposed
-  // for DeliverySink and for protocol tests.
+  // Routes one remote completion to the transfer that dispatched `token`,
+  // resolving its continuation slot: the outcome finishes the node and the
+  // scheduler releases its successors. `instance` is the agent-side pool
+  // lease holding the outcome's output region; a matched completion hands it
+  // to the node (which pins it in the node's payload), an unmatched one —
+  // late completion of a timed-out edge, a cancelled run, or an untracked
+  // sender — returns kTokenMismatch, releasing the output region and the
+  // instance. Exposed for DeliverySink and for protocol tests.
   Status DeliverOutcome(const std::string& function,
                         core::InvokeOutcome outcome, uint64_t token,
                         core::ShimLease instance);
 
-  // How long a remote (NodeAgent) delivery may take before the edge fails
-  // with kDeadlineExceeded. Generous by default: paper-scale payloads cross
-  // an emulated 100 Mbps link.
+  // Backstop on one remote (NodeAgent) edge: how long from dispatch until
+  // the edge fails with kDeadlineExceeded when NO signal arrives — neither a
+  // delivery callback nor a completion frame. Failures that do speak (a mux
+  // completion frame, a dead channel) resolve the edge immediately,
+  // regardless of this value.
   void set_remote_deadline(Nanos deadline) { remote_deadline_ = deadline; }
 
   size_t worker_count() const { return scheduler_.worker_count(); }
@@ -101,43 +124,76 @@ class DagExecutor {
   Result<rr::Buffer> Execute(const Dag& dag, const rr::Buffer& input,
                              telemetry::DagRunStats* stats = nullptr);
 
-  // One remote completion: the outcome plus the agent-side instance lease
-  // holding its output region.
-  struct RemoteCompletion {
-    core::InvokeOutcome outcome;
-    core::ShimLease instance;
-  };
-
   Status RunNode(const Dag& dag, size_t index, std::vector<NodeRun>& runs,
-                 const rr::Buffer& input, StatsState& stats);
+                 const rr::Buffer& input, StatsState& stats,
+                 const DagScheduler::DeferFn& defer);
   Status RunLocalNode(const Dag& dag, size_t index, std::vector<NodeRun>& runs,
                       const std::vector<std::shared_ptr<core::Hop>>& pred_hops,
                       StatsState& stats);
   Status RunRemoteNode(const Dag& dag, size_t index, std::vector<NodeRun>& runs,
-                       core::Hop& hop, StatsState& stats);
+                       std::shared_ptr<core::Hop> hop, StatsState& stats,
+                       const DagScheduler::DeferFn& defer);
   Status FinishNode(const Dag& dag, size_t index, std::vector<NodeRun>& runs,
                     core::Shim* instance, core::InvokeOutcome outcome);
   static void ReleaseConsumedPreds(const DagNode& node,
                                    std::vector<NodeRun>& runs);
-  Result<RemoteCompletion> WaitForDelivery(const std::string& function,
-                                           uint64_t token);
+
+  // One pending invoke-coupled transfer: the deferred node's continuation,
+  // registered before its frame is dispatched. The raw pointers target the
+  // Run's stack state, valid until the ticket completes (the scheduler keeps
+  // the Run blocked while the node is outstanding) — so every resolution
+  // path touches them strictly BEFORE Ticket::Complete.
+  struct Pending {
+    std::string function;  // target function = hop-cache eviction key
+    DagScheduler::Ticket ticket;
+    const Dag* dag = nullptr;
+    size_t index = 0;
+    std::vector<NodeRun>* runs = nullptr;
+    StatsState* stats = nullptr;
+    std::shared_ptr<core::Hop> hop;
+    std::vector<uint64_t> part_bytes;  // per-predecessor frame contribution
+    Nanos frame_wasm_io{0};            // egress time of frame assembly
+    TimePoint dispatched_at{};
+    TimePoint deadline{};  // dispatched_at + remote_deadline_
+  };
+
+  // Extracts the slot under mail_mutex_ (first taker wins; later signals
+  // find nothing and no-op). Resolution then runs outside the lock.
+  std::optional<Pending> TakePending(uint64_t token);
+  // Terminal failure for a pending transfer: evicts the hop when the wire
+  // died (`force_evict` for deadline expiry, which always tears the channel
+  // down), then completes the ticket. Unknown tokens no-op.
+  void FailDelivery(uint64_t token, const Status& status, bool force_evict);
+  void SweeperLoop();
+
+  // Shared with every DispatchAsync callback: hops (and their mux clients)
+  // may fire completion callbacks after this executor is gone — the runtime
+  // destroys the executor before the transports, and a stream the deadline
+  // sweeper abandoned can complete arbitrarily late. The guard outlives the
+  // executor; the destructor clears `owner` under the mutex, turning late
+  // callbacks into no-ops instead of use-after-free.
+  struct LifeGuard {
+    std::mutex mutex;
+    DagExecutor* owner = nullptr;
+  };
 
   core::WorkflowManager* manager_;
   DagScheduler scheduler_;
+  const std::shared_ptr<LifeGuard> life_ = std::make_shared<LifeGuard>();
 
-  // Pending invoke-coupled transfers, keyed by correlation token. A slot is
-  // registered before its frame is dispatched and erased by the waiter
-  // (fulfilled or timed out); completions matching no slot are rejected.
-  struct Pending {
-    bool fulfilled = false;
-    core::InvokeOutcome outcome;
-    core::ShimLease instance;
-  };
   std::mutex mail_mutex_;
-  std::condition_variable mail_cv_;
   std::map<uint64_t, Pending> pending_;
   std::atomic<uint64_t> next_token_{1};
   Nanos remote_deadline_ = std::chrono::seconds(60);
+
+  // The backstop sweeper, started lazily with the first pending transfer.
+  // sweep_next_ is the deadline it is currently waiting for: registrations
+  // with later deadlines (the common case — deadlines are monotonic) skip
+  // the wakeup, so the sweeper scans once per expiry, not once per dispatch.
+  std::condition_variable sweep_cv_;
+  std::thread sweeper_;
+  bool sweeper_stop_ = false;                 // guarded by mail_mutex_
+  TimePoint sweep_next_ = TimePoint::max();   // guarded by mail_mutex_
 };
 
 }  // namespace rr::dag

@@ -56,7 +56,8 @@ Status DagScheduler::Run(const Dag& dag, const NodeFn& fn) {
   QueueDepth().Set(static_cast<int64_t>(queue_.size()));
 
   // A validated Dag is non-empty, so outstanding starts > 0 and reaches 0
-  // exactly when every reachable (non-cancelled) node has finished.
+  // exactly when every reachable (non-cancelled) node has finished —
+  // deferred nodes included, their Tickets being what decrements it.
   done_cv_.wait(lock, [&state] { return state.outstanding == 0; });
   return state.first_error;
 }
@@ -71,37 +72,63 @@ void DagScheduler::WorkerLoop() {
     QueueDepth().Set(static_cast<int64_t>(queue_.size()));
 
     Status status;
+    bool deferred = false;
     if (!state->cancelled) {
       lock.unlock();
-      status = (*state->fn)(node);
+      const DeferFn defer = [this, state = state, node = node, &deferred] {
+        deferred = true;
+        Ticket ticket;
+        ticket.slot_ = std::make_shared<Ticket::Slot>();
+        ticket.slot_->scheduler = this;
+        ticket.slot_->state = state;
+        ticket.slot_->node = node;
+        return ticket;
+      };
+      status = (*state->fn)(node, defer);
       lock.lock();
     }
     // else: the run failed while this node sat queued — retire it unrun.
 
-    if (!status.ok()) {
-      if (state->first_error.ok()) {
-        state->first_error =
-            Status(status.code(), "node " + state->dag->node(node).name + ": " +
-                                      status.message());
-      }
-      state->cancelled = true;
-    } else if (!state->cancelled) {
-      for (const size_t succ : state->dag->node(node).succs) {
-        if (--state->remaining_preds[succ] == 0) {
-          queue_.emplace_back(state, succ);
-          ++state->outstanding;
-          // This worker keeps draining without a wakeup (its wait predicate
-          // sees the non-empty queue), so one notify per NEW item is enough
-          // to engage exactly as many extra workers as there is work.
-          work_cv_.notify_one();
-        }
-      }
-      QueueDepth().Set(static_cast<int64_t>(queue_.size()));
-    }
-    if (--state->outstanding == 0) {
-      done_cv_.notify_all();
-    }
+    // A deferred node retires through its Ticket — possibly already has, on
+    // another thread, in which case the run may be GONE: state must not be
+    // touched past this point.
+    if (deferred) continue;
+    RetireLocked(state, node, std::move(status));
   }
+}
+
+void DagScheduler::RetireLocked(RunState* state, size_t node, Status status) {
+  if (!status.ok()) {
+    if (state->first_error.ok()) {
+      state->first_error =
+          Status(status.code(), "node " + state->dag->node(node).name + ": " +
+                                    status.message());
+    }
+    state->cancelled = true;
+  } else if (!state->cancelled) {
+    for (const size_t succ : state->dag->node(node).succs) {
+      if (--state->remaining_preds[succ] == 0) {
+        queue_.emplace_back(state, succ);
+        ++state->outstanding;
+        // The retiring worker keeps draining without a wakeup (its wait
+        // predicate sees the non-empty queue), so one notify per NEW item is
+        // enough to engage exactly as many extra workers as there is work.
+        work_cv_.notify_one();
+      }
+    }
+    QueueDepth().Set(static_cast<int64_t>(queue_.size()));
+  }
+  if (--state->outstanding == 0) {
+    done_cv_.notify_all();
+  }
+}
+
+void DagScheduler::Ticket::Complete(Status status) {
+  const std::shared_ptr<Slot> slot = slot_;
+  if (slot == nullptr || slot->completed.exchange(true)) return;
+  DagScheduler* const scheduler = slot->scheduler;
+  std::lock_guard<std::mutex> lock(scheduler->mutex_);
+  scheduler->RetireLocked(slot->state, slot->node, std::move(status));
 }
 
 }  // namespace rr::dag

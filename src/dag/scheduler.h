@@ -10,11 +10,23 @@
 // invocations in flight) share the one pool, their ready nodes interleaved
 // in one queue. Each run's bookkeeping lives on its caller's stack, so runs
 // never contend on anything but the queue lock.
+//
+// Nodes may complete ASYNCHRONOUSLY: a node task whose work finishes
+// elsewhere (a remote dispatch whose outcome arrives as a completion frame)
+// calls the `defer` handle it was given and returns immediately — the worker
+// moves on to other nodes while the deferred node stays outstanding. Whoever
+// finishes the work completes the returned Ticket with the node's final
+// status, which runs the exact bookkeeping a synchronous return would have
+// (successor release, cancellation, run completion). This is what lets a
+// fixed pool carry tens of thousands of in-flight remote edges: a parked
+// node costs a map entry, not a parked thread.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -25,10 +37,49 @@
 namespace rr::dag {
 
 class DagScheduler {
+ private:
+  struct RunState;
+
  public:
+  // Completion handle of one deferred node. Copyable — hand copies to the
+  // success path, the failure path, and the deadline backstop; the FIRST
+  // Complete across all copies wins and the rest are no-ops. A
+  // default-constructed Ticket is empty (Complete is a no-op). The scheduler
+  // must outlive every live Ticket — guaranteed while its owner does,
+  // because a pending Ticket keeps its Run blocked.
+  class Ticket {
+   public:
+    Ticket() = default;
+
+    // Retires the deferred node with its final status: an error cancels the
+    // run (first error wins, prefixed with the node's name), a success
+    // enqueues newly-ready successors. Callable from any thread, including
+    // before the deferring node task has returned to its worker.
+    void Complete(Status status);
+
+   private:
+    friend class DagScheduler;
+    struct Slot {
+      DagScheduler* scheduler = nullptr;
+      RunState* state = nullptr;
+      size_t node = 0;
+      std::atomic<bool> completed{false};
+    };
+    std::shared_ptr<Slot> slot_;
+  };
+
+  // Handed to each node task. Calling it marks the node deferred: the
+  // scheduler then IGNORES the task's return value and the node stays
+  // outstanding (successors unreleased, the run's Run() blocked) until the
+  // returned Ticket completes. Only valid during the task invocation it was
+  // passed to — do not store it.
+  using DeferFn = std::function<Ticket()>;
+
   // The per-node task: invoked exactly once per node, possibly concurrently
-  // with other nodes' tasks. A non-OK return cancels the run.
-  using NodeFn = std::function<Status(size_t node_index)>;
+  // with other nodes' tasks. A non-OK return cancels the run. A task whose
+  // completion is asynchronous calls `defer` and arranges for the Ticket to
+  // complete instead; its own return value is then ignored.
+  using NodeFn = std::function<Status(size_t node_index, const DeferFn& defer)>;
 
   // 0 = one worker per hardware thread (at least 2, so single-core hosts
   // still overlap a slow hop with an independent branch).
@@ -40,25 +91,35 @@ class DagScheduler {
 
   // Runs every node of `dag` respecting its edges and returns the first
   // error, if any. On failure no further nodes of that run are dispatched
-  // (in-flight tasks finish); downstream nodes never run. Blocks the caller
-  // until the run completes; concurrent callers share the worker pool.
+  // (in-flight tasks finish; deferred nodes still complete through their
+  // Tickets); downstream nodes never run. Blocks the caller until the run
+  // completes — including every deferred node — so per-run state on the
+  // caller's stack stays valid for exactly as long as tasks and Tickets can
+  // reach it. Concurrent callers share the worker pool.
   Status Run(const Dag& dag, const NodeFn& fn);
 
   size_t worker_count() const { return workers_.size(); }
 
  private:
-  // Bookkeeping of one Run, stack-allocated by the caller; workers reach it
-  // through the queue entries. Guarded by mutex_.
+  // Bookkeeping of one Run, stack-allocated by the caller; workers and
+  // Tickets reach it through the queue entries / ticket slots, which never
+  // outlive the Run (outstanding counts them). Guarded by mutex_.
   struct RunState {
     const Dag* dag = nullptr;
     const NodeFn* fn = nullptr;
     std::vector<size_t> remaining_preds;
-    size_t outstanding = 0;  // queued + executing nodes of this run
+    size_t outstanding = 0;  // queued + executing + deferred nodes
     bool cancelled = false;
     Status first_error;
   };
 
   void WorkerLoop();
+  // Shared retirement bookkeeping (mutex_ held): records a failure (first
+  // error wins, cancelling the run), enqueues a success's newly-ready
+  // successors, and completes the run when the last outstanding node
+  // retires. Reached from WorkerLoop (synchronous returns) and from
+  // Ticket::Complete (deferred nodes).
+  void RetireLocked(RunState* state, size_t node, Status status);
 
   std::mutex mutex_;
   std::condition_variable work_cv_;

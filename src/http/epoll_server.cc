@@ -7,20 +7,17 @@
 #include <cerrno>
 #include <deque>
 #include <mutex>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/strings.h"
 #include "osal/poll.h"
+#include "osal/reactor.h"
 
 namespace rr::http {
 namespace {
 
-constexpr uint64_t kListenerTag = 0;
-constexpr uint64_t kWakeTag = 1;
-constexpr uint64_t kFirstConnId = 2;
 constexpr size_t kMaxIov = 64;
 
 const char* ReasonFor(int code) {
@@ -51,37 +48,24 @@ struct Completion {
   StreamResponse response;
 };
 
-// The loop's inbox: handlers (from any thread) push completions here and
-// kick the eventfd; the loop drains it once per wakeup.
-struct CompletionQueue {
-  explicit CompletionQueue(osal::EventFd wake_fd) : wake(std::move(wake_fd)) {}
-
-  void Push(Completion&& completion) {
-    {
-      std::lock_guard<std::mutex> lock(mutex);
-      if (!alive) return;  // server gone; nobody will read this
-      ready.push_back(std::move(completion));
-    }
-    wake.Signal();
-  }
-
-  std::mutex mutex;
-  std::vector<Completion> ready;
-  bool alive = true;
-  osal::EventFd wake;
-};
-
 struct EpollServer::Responder::State {
-  std::shared_ptr<CompletionQueue> queue;
+  // The reactor shared_ptr keeps Post valid (a benign no-op once stopped)
+  // however long a handler stashes the Responder; the Impl pointer is only
+  // ever dereferenced by a task the still-running loop executes, and the
+  // Impl outlives its reactor's loop by construction (Stop joins first).
+  std::shared_ptr<osal::Reactor> reactor;
+  Impl* impl = nullptr;
   uint64_t conn_id = 0;
   uint64_t seq = 0;
   std::atomic<bool> sent{false};
+
+  void Push(Completion&& completion) const;
 
   ~State() {
     // A handler that dropped its Responder without answering would wedge
     // the connection's response pipeline; answer for it.
     if (!sent.load(std::memory_order_acquire)) {
-      queue->Push({conn_id, seq, StreamResponse(500, ReasonFor(500))});
+      Push({conn_id, seq, StreamResponse(500, ReasonFor(500))});
     }
   }
 };
@@ -89,7 +73,7 @@ struct EpollServer::Responder::State {
 void EpollServer::Responder::Send(StreamResponse&& response) const {
   if (!state_) return;
   if (state_->sent.exchange(true, std::memory_order_acq_rel)) return;
-  state_->queue->Push({state_->conn_id, state_->seq, std::move(response)});
+  state_->Push({state_->conn_id, state_->seq, std::move(response)});
 }
 
 struct EpollServer::Impl {
@@ -116,7 +100,7 @@ struct EpollServer::Impl {
     Buffer body;
     size_t body_chunk = 0;
     size_t chunk_off = 0;
-    // epoll interest mirror.
+    // reactor interest mirror.
     bool reading = true;
     bool want_write = false;
     bool peer_half_closed = false;
@@ -125,51 +109,12 @@ struct EpollServer::Impl {
         : fd(std::move(f)), parser(limits), last_activity(Now()) {}
   };
 
-  Impl(Options opts, Handler h, osal::TcpListener l, osal::Epoll ep,
-       std::shared_ptr<CompletionQueue> q)
+  Impl(Options opts, Handler h, osal::TcpListener l,
+       std::shared_ptr<osal::Reactor> r)
       : options(opts),
         handler(std::move(h)),
         listener(std::move(l)),
-        epoll(std::move(ep)),
-        queue(std::move(q)) {}
-
-  void Loop() {
-    const Nanos sweep_interval =
-        std::min<Nanos>(options.idle_timeout, std::chrono::seconds(1));
-    TimePoint next_sweep = Now() + sweep_interval;
-    std::vector<osal::Epoll::Event> events;
-    while (!stopping.load(std::memory_order_acquire)) {
-      (void)epoll.Wait(events, sweep_interval);
-      for (const auto& event : events) {
-        if (event.tag == kListenerTag) {
-          AcceptAll();
-          continue;
-        }
-        if (event.tag == kWakeTag) continue;  // drained below
-        auto it = conns.find(event.tag);
-        if (it == conns.end()) continue;
-        if (event.events & osal::Epoll::kError) {
-          CloseConn(it);
-          continue;
-        }
-        bool open = true;
-        if (event.events & osal::Epoll::kReadable) {
-          open = HandleReadable(event.tag, it->second);
-        }
-        if (open && (event.events & osal::Epoll::kWritable)) {
-          // Re-find: HandleReadable may have rehashed nothing (it never
-          // inserts), so `it` is still valid when open.
-          (void)FlushWrites(event.tag, it->second);
-        }
-      }
-      DrainCompletions();
-      const TimePoint now = Now();
-      if (now >= next_sweep) {
-        SweepIdle(now);
-        next_sweep = now + sweep_interval;
-      }
-    }
-  }
+        reactor(std::move(r)) {}
 
   void AcceptAll() {
     while (true) {
@@ -187,7 +132,13 @@ struct EpollServer::Impl {
       accepted->SetNoDelay(true);
       const uint64_t id = next_conn_id++;
       Conn conn(accepted->TakeFd(), options.parser_limits);
-      if (!epoll.Add(conn.fd.get(), osal::Epoll::kReadable, id).ok()) continue;
+      const int fd = conn.fd.get();
+      if (!reactor
+               ->Add(fd, osal::Epoll::kReadable,
+                     [this, id](uint32_t events) { OnConnEvent(id, events); })
+               .ok()) {
+        continue;
+      }
       conns.emplace(id, std::move(conn));
       active.store(conns.size(), std::memory_order_relaxed);
     }
@@ -195,8 +146,26 @@ struct EpollServer::Impl {
 
   using ConnMap = std::unordered_map<uint64_t, Conn>;
 
+  void OnConnEvent(uint64_t id, uint32_t events) {
+    auto it = conns.find(id);
+    if (it == conns.end()) return;
+    if (events & osal::Epoll::kError) {
+      CloseConn(it);
+      return;
+    }
+    bool open = true;
+    if (events & osal::Epoll::kReadable) {
+      open = HandleReadable(id, it->second);
+    }
+    if (open && (events & osal::Epoll::kWritable)) {
+      // Re-find not needed: HandleReadable never inserts, so `it` stays
+      // valid while the connection is open.
+      (void)FlushWrites(id, it->second);
+    }
+  }
+
   void CloseConn(ConnMap::iterator it) {
-    (void)epoll.Remove(it->second.fd.get());
+    (void)reactor->Remove(it->second.fd.get());
     conns.erase(it);
     active.store(conns.size(), std::memory_order_relaxed);
   }
@@ -206,11 +175,11 @@ struct EpollServer::Impl {
     if (it != conns.end()) CloseConn(it);
   }
 
-  void UpdateInterest(uint64_t id, Conn& conn) {
+  void UpdateInterest(uint64_t /*id*/, Conn& conn) {
     uint32_t events = 0;
     if (conn.reading) events |= osal::Epoll::kReadable;
     if (conn.want_write) events |= osal::Epoll::kWritable;
-    (void)epoll.Modify(conn.fd.get(), events, id);
+    (void)reactor->Modify(conn.fd.get(), events);
   }
 
   void Dispatch(uint64_t id, Conn& conn, Request&& request) {
@@ -218,7 +187,8 @@ struct EpollServer::Impl {
     slot.seq = conn.next_seq++;
     conn.slots.push_back(std::move(slot));
     auto state = std::make_shared<Responder::State>();
-    state->queue = queue;
+    state->reactor = reactor;
+    state->impl = this;
     state->conn_id = id;
     state->seq = conn.slots.back().seq;
     handler(std::move(request), Responder(std::move(state)));
@@ -409,27 +379,21 @@ struct EpollServer::Impl {
     UpdateInterest(id, conn);
   }
 
-  void DrainCompletions() {
-    queue->wake.Drain();  // before the swap: a post-swap Push re-signals
-    std::vector<Completion> batch;
-    {
-      std::lock_guard<std::mutex> lock(queue->mutex);
-      batch.swap(queue->ready);
-    }
-    for (auto& completion : batch) {
-      auto it = conns.find(completion.conn_id);
-      if (it == conns.end()) continue;  // connection died while executing
-      for (auto& slot : it->second.slots) {
-        if (slot.seq == completion.seq) {
-          if (!slot.ready) {
-            slot.ready = true;
-            slot.response = std::move(completion.response);
-          }
-          break;
+  // Runs on the loop thread (posted by Responder): matches the completion
+  // to its slot and flushes.
+  void Complete(Completion&& completion) {
+    auto it = conns.find(completion.conn_id);
+    if (it == conns.end()) return;  // connection died while executing
+    for (auto& slot : it->second.slots) {
+      if (slot.seq == completion.seq) {
+        if (!slot.ready) {
+          slot.ready = true;
+          slot.response = std::move(completion.response);
         }
+        break;
       }
-      (void)FlushWrites(completion.conn_id, it->second);
     }
+    (void)FlushWrites(completion.conn_id, it->second);
   }
 
   void SweepIdle(TimePoint now) {
@@ -448,47 +412,51 @@ struct EpollServer::Impl {
   void Stop() {
     bool expected = false;
     if (!stopped.compare_exchange_strong(expected, true)) return;
-    stopping.store(true, std::memory_order_release);
-    {
-      std::lock_guard<std::mutex> lock(queue->mutex);
-      queue->alive = false;
-    }
-    queue->wake.Signal();
-    if (loop_thread.joinable()) loop_thread.join();
+    // Joining the reactor both stops the loop and fences Responder tasks:
+    // after this no posted completion can ever run, so the conns teardown
+    // below races nothing.
+    reactor->Stop();
     conns.clear();
   }
 
   Options options;
   Handler handler;
   osal::TcpListener listener;
-  osal::Epoll epoll;
-  std::shared_ptr<CompletionQueue> queue;
+  std::shared_ptr<osal::Reactor> reactor;
   ConnMap conns;
-  uint64_t next_conn_id = kFirstConnId;
-  std::thread loop_thread;
-  std::atomic<bool> stopping{false};
+  uint64_t next_conn_id = 1;
   std::atomic<bool> stopped{false};
   std::atomic<size_t> active{0};
 };
+
+void EpollServer::Responder::State::Push(Completion&& completion) const {
+  if (!reactor) return;
+  reactor->Post(
+      [impl = impl, c = std::move(completion)]() mutable {
+        impl->Complete(std::move(c));
+      });
+}
 
 Result<std::unique_ptr<EpollServer>> EpollServer::Start(Options options,
                                                         Handler handler) {
   auto listener = osal::TcpListener::Bind(options.port, options.bind_address);
   RR_RETURN_IF_ERROR(listener.status());
   RR_RETURN_IF_ERROR(osal::SetNonBlocking(listener->fd(), true));
-  auto epoll = osal::Epoll::Create();
-  RR_RETURN_IF_ERROR(epoll.status());
-  auto wake = osal::EventFd::Create();
-  RR_RETURN_IF_ERROR(wake.status());
-  auto queue = std::make_shared<CompletionQueue>(std::move(*wake));
-  RR_RETURN_IF_ERROR(
-      epoll->Add(listener->fd(), osal::Epoll::kReadable, kListenerTag));
-  RR_RETURN_IF_ERROR(
-      epoll->Add(queue->wake.fd(), osal::Epoll::kReadable, kWakeTag));
+  auto reactor = osal::Reactor::Start("http-epoll");
+  RR_RETURN_IF_ERROR(reactor.status());
   auto impl = std::make_unique<Impl>(options, std::move(handler),
-                                     std::move(*listener), std::move(*epoll),
-                                     std::move(queue));
-  impl->loop_thread = std::thread([raw = impl.get()] { raw->Loop(); });
+                                     std::move(*listener), std::move(*reactor));
+  Impl* const raw = impl.get();
+  const Status listen_status =
+      raw->reactor->Add(raw->listener.fd(), osal::Epoll::kReadable,
+                        [raw](uint32_t) { raw->AcceptAll(); });
+  if (!listen_status.ok()) {
+    raw->reactor->Stop();
+    return listen_status;
+  }
+  raw->reactor->AddTicker(
+      std::min<Nanos>(options.idle_timeout, std::chrono::seconds(1)),
+      [raw] { raw->SweepIdle(Now()); });
   return std::unique_ptr<EpollServer>(new EpollServer(std::move(impl)));
 }
 

@@ -1,0 +1,152 @@
+#include "osal/reactor.h"
+
+#include <algorithm>
+
+namespace rr::osal {
+namespace {
+
+// The wake eventfd's tag. Registrations start at generation 1, so no fd tag
+// can collide with it.
+constexpr uint64_t kWakeTag = 0;
+
+constexpr uint64_t MakeTag(uint32_t gen, int fd) {
+  return (static_cast<uint64_t>(gen) << 32) |
+         static_cast<uint32_t>(fd);
+}
+constexpr int FdOfTag(uint64_t tag) {
+  return static_cast<int>(static_cast<uint32_t>(tag));
+}
+constexpr uint32_t GenOfTag(uint64_t tag) {
+  return static_cast<uint32_t>(tag >> 32);
+}
+
+}  // namespace
+
+Result<std::shared_ptr<Reactor>> Reactor::Start(std::string name) {
+  RR_ASSIGN_OR_RETURN(Epoll epoll, Epoll::Create());
+  RR_ASSIGN_OR_RETURN(EventFd wake, EventFd::Create());
+  RR_RETURN_IF_ERROR(epoll.Add(wake.fd(), Epoll::kReadable, kWakeTag));
+  auto reactor = std::shared_ptr<Reactor>(
+      new Reactor(std::move(name), std::move(epoll), std::move(wake)));
+  reactor->thread_ = std::thread([raw = reactor.get()] { raw->Loop(); });
+  return reactor;
+}
+
+Reactor::~Reactor() { Stop(); }
+
+void Reactor::Stop() {
+  stopping_.store(true, std::memory_order_release);
+  wake_.Signal();
+  std::lock_guard<std::mutex> lock(join_mutex_);
+  if (thread_.joinable()) thread_.join();
+}
+
+Status Reactor::Add(int fd, uint32_t events, EventHandler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint32_t gen = next_gen_++;
+  RR_RETURN_IF_ERROR(epoll_.Add(fd, events, MakeTag(gen, fd)));
+  handlers_[fd] =
+      Registration{gen, std::make_shared<EventHandler>(std::move(handler))};
+  return Status::Ok();
+}
+
+Status Reactor::Modify(int fd, uint32_t events) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = handlers_.find(fd);
+  if (it == handlers_.end()) {
+    return NotFoundError("fd not registered with reactor");
+  }
+  return epoll_.Modify(fd, events, MakeTag(it->second.gen, fd));
+}
+
+Status Reactor::Remove(int fd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (handlers_.erase(fd) == 0) {
+    return NotFoundError("fd not registered with reactor");
+  }
+  return epoll_.Remove(fd);
+}
+
+void Reactor::Post(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_.load(std::memory_order_acquire)) return;
+    tasks_.push_back(std::move(task));
+  }
+  wake_.Signal();
+}
+
+uint64_t Reactor::AddTicker(Nanos interval, Task tick) {
+  interval = std::max<Nanos>(interval, std::chrono::milliseconds(1));
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t id = next_ticker_id_++;
+  tickers_[id] =
+      Ticker{interval, Now() + interval, std::make_shared<Task>(std::move(tick))};
+  wake_.Signal();  // the loop re-computes its sleep with the new ticker
+  return id;
+}
+
+void Reactor::RemoveTicker(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tickers_.erase(id);
+}
+
+Nanos Reactor::NextTickDelay(TimePoint now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (tickers_.empty()) return Nanos{-1};  // unbounded
+  TimePoint next = TimePoint::max();
+  for (const auto& [id, ticker] : tickers_) next = std::min(next, ticker.next);
+  return std::max<Nanos>(next - now, Nanos{0});
+}
+
+void Reactor::RunDueTickers(TimePoint now) {
+  std::vector<std::shared_ptr<Task>> due;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [id, ticker] : tickers_) {
+      if (ticker.next <= now) {
+        due.push_back(ticker.task);
+        ticker.next = now + ticker.interval;
+      }
+    }
+  }
+  for (const auto& task : due) (*task)();
+}
+
+void Reactor::RunTasks() {
+  std::vector<Task> batch;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch.swap(tasks_);
+  }
+  for (Task& task : batch) task();
+}
+
+void Reactor::Loop() {
+  std::vector<Epoll::Event> events;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    (void)epoll_.Wait(events, NextTickDelay(Now()));
+    for (const auto& event : events) {
+      if (event.tag == kWakeTag) {
+        // Drain BEFORE the task swap below: a Post racing the swap then
+        // re-signals and the next iteration picks its task up.
+        wake_.Drain();
+        continue;
+      }
+      std::shared_ptr<EventHandler> handler;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = handlers_.find(FdOfTag(event.tag));
+        if (it != handlers_.end() && it->second.gen == GenOfTag(event.tag)) {
+          handler = it->second.handler;
+        }
+      }
+      if (handler) (*handler)(event.events);
+      if (stopping_.load(std::memory_order_acquire)) return;
+    }
+    RunTasks();
+    RunDueTickers(Now());
+  }
+}
+
+}  // namespace rr::osal

@@ -1,0 +1,121 @@
+// Reactor: a reusable epoll readiness loop — one thread multiplexing many
+// fds, with cross-thread task posting and periodic tick callbacks.
+//
+// Hoisted out of the HTTP front door's event loop (http/epoll_server.cc) so
+// every event-driven plane — the gateway, the NodeAgent's connection shards,
+// the sender-side mux client — shares one loop skeleton instead of each
+// re-growing epoll + eventfd + wake/drain plumbing.
+//
+// ## Threading contract
+//
+//  * Event handlers and posted tasks run ON the loop thread, serially. A
+//    handler may Add/Modify/Remove any fd (including its own) and may Post.
+//  * Add/Modify/Remove/Post/AddTicker/RemoveTicker are thread-safe.
+//  * Post after Stop is a benign no-op: tasks only ever execute while the
+//    loop is alive, so a task capturing loop-owned state can never run
+//    against a torn-down owner. Tasks still queued at Stop are dropped.
+//  * Stop joins the loop; it must not be called from the loop thread.
+//
+// ## Stale-event safety
+//
+// Events are tagged with a per-registration generation, so an event already
+// harvested for an fd that a handler closed earlier in the same batch — or
+// whose descriptor number the kernel already recycled into a new Add — is
+// discarded instead of being dispatched to the wrong connection.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "osal/poll.h"
+
+namespace rr::osal {
+
+class Reactor {
+ public:
+  using Task = std::function<void()>;
+  // Receives the Epoll event bits (kReadable / kWritable / kError).
+  using EventHandler = std::function<void(uint32_t events)>;
+
+  // Spawns the loop thread. `name` labels the reactor in logs.
+  static Result<std::shared_ptr<Reactor>> Start(std::string name);
+
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  // Registers `fd` with the loop; `handler` runs on the loop thread for each
+  // readiness event. The fd must stay open until Remove (the caller owns it).
+  Status Add(int fd, uint32_t events, EventHandler handler);
+
+  // Re-arms the interest set of a registered fd.
+  Status Modify(int fd, uint32_t events);
+
+  // Unregisters `fd`. Events already harvested for it are discarded.
+  Status Remove(int fd);
+
+  // Enqueues `task` to run on the loop thread and wakes the loop. No-op
+  // after Stop.
+  void Post(Task task);
+
+  // Registers a periodic callback (first run one interval from now). The
+  // tick runs on the loop thread; granularity is the interval itself (the
+  // loop sleeps at most until the next due tick). Returns an id for
+  // RemoveTicker.
+  uint64_t AddTicker(Nanos interval, Task tick);
+  void RemoveTicker(uint64_t id);
+
+  // Stops and joins the loop (idempotent, thread-safe). Registered fds are
+  // NOT closed — their owners outlive the reactor and clean up themselves.
+  void Stop();
+
+ private:
+  Reactor(std::string name, Epoll epoll, EventFd wake)
+      : name_(std::move(name)),
+        epoll_(std::move(epoll)),
+        wake_(std::move(wake)) {}
+
+  void Loop();
+  // Next due tick delay, or a negative Nanos (wait unbounded) when none.
+  Nanos NextTickDelay(TimePoint now);
+  void RunDueTickers(TimePoint now);
+  void RunTasks();
+
+  struct Registration {
+    uint32_t gen = 0;
+    std::shared_ptr<EventHandler> handler;
+  };
+  struct Ticker {
+    Nanos interval{0};
+    TimePoint next;
+    std::shared_ptr<Task> task;
+  };
+
+  const std::string name_;
+  Epoll epoll_;
+  EventFd wake_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<int, Registration> handlers_;
+  std::vector<Task> tasks_;
+  std::map<uint64_t, Ticker> tickers_;
+  uint32_t next_gen_ = 1;
+  uint64_t next_ticker_id_ = 1;
+
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  std::mutex join_mutex_;
+};
+
+}  // namespace rr::osal

@@ -1,0 +1,467 @@
+// The multiplexed wire dialect end to end: MuxClient streams against the
+// reactor-plane NodeAgent. Covers the contracts the legacy sequential wire
+// cannot express — completion frames that carry the remote *invocation*
+// outcome (a handler failure fails the sender immediately, not at the
+// delivery deadline), stream-fatal vs connection-fatal failure isolation,
+// flow-control window exhaustion surfacing typed instead of hanging, fair
+// interleaving of small streams past large ones, and the idle-connection
+// sweep being invisible to senders (transparent reconnect).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/runtime.h"
+#include "common/rng.h"
+#include "core/mux_client.h"
+#include "core/mux_protocol.h"
+#include "core/node_agent.h"
+#include "core/shim_pool.h"
+#include "obs/metrics.h"
+#include "osal/socket.h"
+#include "runtime/function.h"
+
+namespace rr::core {
+namespace {
+
+// Every failure injected here must surface within this.
+constexpr Nanos kFailureBound = std::chrono::seconds(2);
+// Upper bound on waiting for an expected completion callback.
+constexpr Nanos kEventBound = std::chrono::seconds(5);
+
+runtime::FunctionSpec Spec(const std::string& name) {
+  runtime::FunctionSpec spec;
+  spec.name = name;
+  spec.workflow = "wf";
+  spec.tenant = "default";
+  return spec;
+}
+
+const Bytes& Binary() {
+  static const Bytes binary = runtime::BuildFunctionModuleBinary();
+  return binary;
+}
+
+Result<std::shared_ptr<ShimPool>> MakePool(const std::string& name,
+                                           runtime::NativeHandler handler,
+                                           size_t instances = 2) {
+  runtime::PoolOptions options;
+  options.min_warm = instances;
+  options.max_instances = instances;
+  RR_ASSIGN_OR_RETURN(std::shared_ptr<ShimPool> pool,
+                      ShimPool::Create(Spec(name), Binary(), {}, options));
+  RR_RETURN_IF_ERROR(pool->Deploy(std::move(handler)));
+  return pool;
+}
+
+// One stream's completion, deliverable from the reactor thread after the
+// test body may have failed an ASSERT: heap-allocated and shared with the
+// done callback so a late fire never touches a dead stack frame.
+struct Completion {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool fired = false;
+  Status status;
+
+  MuxClient::DoneFn Arm(std::shared_ptr<Completion> self) {
+    return [self = std::move(self)](Status status) {
+      {
+        std::lock_guard<std::mutex> lock(self->mutex);
+        self->fired = true;
+        self->status = std::move(status);
+      }
+      self->cv.notify_all();
+    };
+  }
+
+  bool WaitFor(Nanos timeout) {
+    std::unique_lock<std::mutex> lock(mutex);
+    return cv.wait_for(lock, timeout, [this] { return fired; });
+  }
+
+  Status Get() {
+    std::lock_guard<std::mutex> lock(mutex);
+    return status;
+  }
+};
+
+std::shared_ptr<osal::Reactor> TestReactor() {
+  auto reactor = osal::Reactor::Start("mux-test");
+  EXPECT_TRUE(reactor.ok()) << reactor.status();
+  return reactor.ok() ? *reactor : nullptr;
+}
+
+TEST(MuxWireTest, ConcurrentStreamsRoundTripWithCompletionFrames) {
+  auto agent = NodeAgent::Start(0);
+  ASSERT_TRUE(agent.ok()) << agent.status();
+  auto pool = MakePool("echo", [](ByteSpan input) -> Result<Bytes> {
+    return Bytes(input.begin(), input.end());
+  });
+  ASSERT_TRUE(pool.ok()) << pool.status();
+  ASSERT_TRUE((*agent)->RegisterFunction(*pool).ok());
+
+  auto reactor = TestReactor();
+  ASSERT_NE(reactor, nullptr);
+  auto client = MuxClient::Create(reactor, "127.0.0.1", (*agent)->port());
+
+  constexpr size_t kStreams = 8;
+  std::vector<std::shared_ptr<Completion>> done;
+  for (size_t i = 0; i < kStreams; ++i) {
+    auto completion = std::make_shared<Completion>();
+    const Status started = client->StartStream(
+        "echo", rr::Buffer::FromString("stream-" + std::to_string(i)),
+        /*token=*/i + 1, kFailureBound, completion->Arm(completion));
+    ASSERT_TRUE(started.ok()) << started;
+    done.push_back(std::move(completion));
+  }
+  for (size_t i = 0; i < kStreams; ++i) {
+    ASSERT_TRUE(done[i]->WaitFor(kEventBound)) << "stream " << i << " hung";
+    EXPECT_TRUE(done[i]->Get().ok()) << "stream " << i << ": " << done[i]->Get();
+  }
+  EXPECT_EQ((*agent)->transfers_completed(), kStreams);
+  EXPECT_EQ(client->streams_in_flight(), 0u);
+  EXPECT_TRUE(client->connected());
+
+  // The agent-side stream gauge drains back to zero once every completion
+  // frame is on the wire.
+  obs::Gauge* streams =
+      obs::Registry::Get().gauge("rr_agent_streams_in_flight");
+  ASSERT_NE(streams, nullptr);
+  bool drained = false;
+  for (int attempt = 0; attempt < 100 && !drained; ++attempt) {
+    drained = streams->Value() == 0;
+    if (!drained) PreciseSleep(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(drained) << streams->Value() << " streams still gauged";
+
+  client->Close();
+  (*agent)->Shutdown();
+}
+
+TEST(MuxWireTest, StreamFailureLeavesConcurrentStreamsUnharmed) {
+  // Stream-fatal is not connection-fatal: one stream's handler rejection
+  // rides back as an error completion frame while its neighbours — already
+  // interleaved on the same connection — complete untouched.
+  auto agent = NodeAgent::Start(0);
+  ASSERT_TRUE(agent.ok()) << agent.status();
+  auto pool = MakePool(
+      "picky",
+      [](ByteSpan input) -> Result<Bytes> {
+        if (AsStringView(input) == "poison") {
+          return InternalError("handler rejected input");
+        }
+        return Bytes(input.begin(), input.end());
+      },
+      /*instances=*/3);
+  ASSERT_TRUE(pool.ok()) << pool.status();
+  ASSERT_TRUE((*agent)->RegisterFunction(*pool).ok());
+
+  auto reactor = TestReactor();
+  ASSERT_NE(reactor, nullptr);
+  auto client = MuxClient::Create(reactor, "127.0.0.1", (*agent)->port());
+
+  auto poisoned = std::make_shared<Completion>();
+  auto healthy_b = std::make_shared<Completion>();
+  auto healthy_c = std::make_shared<Completion>();
+  ASSERT_TRUE(client
+                  ->StartStream("picky", rr::Buffer::FromString("poison"),
+                                /*token=*/1, kFailureBound,
+                                poisoned->Arm(poisoned))
+                  .ok());
+  ASSERT_TRUE(client
+                  ->StartStream("picky", rr::Buffer::FromString("fine"),
+                                /*token=*/2, kFailureBound,
+                                healthy_b->Arm(healthy_b))
+                  .ok());
+  ASSERT_TRUE(client
+                  ->StartStream("picky", rr::Buffer::FromString("also-fine"),
+                                /*token=*/3, kFailureBound,
+                                healthy_c->Arm(healthy_c))
+                  .ok());
+
+  ASSERT_TRUE(poisoned->WaitFor(kEventBound));
+  ASSERT_TRUE(healthy_b->WaitFor(kEventBound));
+  ASSERT_TRUE(healthy_c->WaitFor(kEventBound));
+  EXPECT_EQ(poisoned->Get().code(), StatusCode::kInternal) << poisoned->Get();
+  EXPECT_NE(poisoned->Get().message().find("handler rejected input"),
+            std::string::npos)
+      << poisoned->Get();
+  EXPECT_TRUE(healthy_b->Get().ok()) << healthy_b->Get();
+  EXPECT_TRUE(healthy_c->Get().ok()) << healthy_c->Get();
+  EXPECT_EQ((*agent)->transfers_completed(), 2u);
+  EXPECT_TRUE(client->connected());
+
+  client->Close();
+  (*agent)->Shutdown();
+}
+
+TEST(MuxWireTest, UnknownFunctionFailsTypedAndConnectionSurvives) {
+  auto agent = NodeAgent::Start(0);
+  ASSERT_TRUE(agent.ok()) << agent.status();
+  auto pool = MakePool("echo", [](ByteSpan input) -> Result<Bytes> {
+    return Bytes(input.begin(), input.end());
+  });
+  ASSERT_TRUE(pool.ok()) << pool.status();
+  ASSERT_TRUE((*agent)->RegisterFunction(*pool).ok());
+
+  auto reactor = TestReactor();
+  ASSERT_NE(reactor, nullptr);
+  auto client = MuxClient::Create(reactor, "127.0.0.1", (*agent)->port());
+
+  auto ghost = std::make_shared<Completion>();
+  const Stopwatch timer;
+  ASSERT_TRUE(client
+                  ->StartStream("ghost", rr::Buffer::FromString("lost"),
+                                /*token=*/1, kFailureBound, ghost->Arm(ghost))
+                  .ok());
+  ASSERT_TRUE(ghost->WaitFor(kEventBound));
+  EXPECT_EQ(ghost->Get().code(), StatusCode::kNotFound) << ghost->Get();
+  EXPECT_LT(timer.Elapsed(), kFailureBound);
+
+  // Same connection, registered function: the refusal was stream-fatal only.
+  auto echo = std::make_shared<Completion>();
+  ASSERT_TRUE(client
+                  ->StartStream("echo", rr::Buffer::FromString("still-here"),
+                                /*token=*/2, kFailureBound, echo->Arm(echo))
+                  .ok());
+  ASSERT_TRUE(echo->WaitFor(kEventBound));
+  EXPECT_TRUE(echo->Get().ok()) << echo->Get();
+
+  client->Close();
+  (*agent)->Shutdown();
+}
+
+TEST(MuxWireTest, SmallStreamCompletesWhileLargeStreamDrains) {
+  // Fair round-robin chunking: a multi-MiB stream occupies the wire one
+  // 64 KiB quantum per turn, so a tiny stream opened after it interleaves,
+  // invokes, and completes while the big body is still draining.
+  auto agent = NodeAgent::Start(0);
+  ASSERT_TRUE(agent.ok()) << agent.status();
+  auto pool = MakePool("drain", [](ByteSpan) -> Result<Bytes> {
+    return Bytes{1};
+  });
+  ASSERT_TRUE(pool.ok()) << pool.status();
+  ASSERT_TRUE((*agent)->RegisterFunction(*pool).ok());
+
+  auto reactor = TestReactor();
+  ASSERT_NE(reactor, nullptr);
+  auto client = MuxClient::Create(reactor, "127.0.0.1", (*agent)->port());
+
+  std::mutex order_mutex;
+  std::vector<std::string> order;
+  auto record = [&order_mutex, &order](const std::string& name,
+                                       std::shared_ptr<Completion> completion) {
+    return [&order_mutex, &order, name,
+            completion = std::move(completion)](Status status) {
+      {
+        std::lock_guard<std::mutex> lock(order_mutex);
+        order.push_back(name);
+      }
+      {
+        std::lock_guard<std::mutex> lock(completion->mutex);
+        completion->fired = true;
+        completion->status = std::move(status);
+      }
+      completion->cv.notify_all();
+    };
+  };
+
+  Bytes big_bytes(4 * 1024 * 1024);
+  Rng rng(11);
+  rng.Fill(big_bytes);
+  auto big = std::make_shared<Completion>();
+  auto small = std::make_shared<Completion>();
+  ASSERT_TRUE(client
+                  ->StartStream("drain", rr::Buffer::Adopt(std::move(big_bytes)),
+                                /*token=*/1, kEventBound, record("big", big))
+                  .ok());
+  ASSERT_TRUE(client
+                  ->StartStream("drain", rr::Buffer::FromString("wee"),
+                                /*token=*/2, kEventBound, record("small", small))
+                  .ok());
+
+  ASSERT_TRUE(small->WaitFor(kEventBound));
+  ASSERT_TRUE(big->WaitFor(kEventBound));
+  EXPECT_TRUE(small->Get().ok()) << small->Get();
+  EXPECT_TRUE(big->Get().ok()) << big->Get();
+  {
+    std::lock_guard<std::mutex> lock(order_mutex);
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], "small")
+        << "the big stream head-of-line-blocked the small one";
+  }
+
+  client->Close();
+  (*agent)->Shutdown();
+}
+
+TEST(MuxWireTest, WindowExhaustionStallsThenFailsTypedNotHung) {
+  // A peer that accepts bytes but never grants window updates: the stream
+  // sends exactly its initial window, leaves the send ring (counted as a
+  // stall), and the progress deadline fails it typed — no hang, no busy
+  // spin on the wire.
+  auto listener = osal::TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+
+  auto reactor = TestReactor();
+  ASSERT_NE(reactor, nullptr);
+  auto client = MuxClient::Create(reactor, "127.0.0.1", listener->port());
+
+  obs::Counter* stalls =
+      obs::Registry::Get().counter("rr_agent_stream_stalls_total");
+  ASSERT_NE(stalls, nullptr);
+  const uint64_t stalls_before = stalls->Value();
+
+  auto completion = std::make_shared<Completion>();
+  Bytes payload(kMuxInitialWindow + 1024);
+  Rng rng(13);
+  rng.Fill(payload);
+  const Stopwatch timer;
+  ASSERT_TRUE(client
+                  ->StartStream("sink", rr::Buffer::Adopt(std::move(payload)),
+                                /*token=*/1, std::chrono::milliseconds(300),
+                                completion->Arm(completion))
+                  .ok());
+
+  // The mute peer drains whatever the client sends so TCP backpressure never
+  // masks the flow-control stall, but it grants nothing back.
+  auto peer = listener->Accept();
+  ASSERT_TRUE(peer.ok()) << peer.status();
+  std::thread mute_reader([&peer] {
+    Bytes sink(64 * 1024);
+    for (;;) {
+      auto n = peer->ReceiveSome(sink);
+      if (!n.ok() || *n == 0) return;
+    }
+  });
+
+  ASSERT_TRUE(completion->WaitFor(kEventBound)) << "stalled stream hung";
+  EXPECT_EQ(completion->Get().code(), StatusCode::kDeadlineExceeded)
+      << completion->Get();
+  EXPECT_LT(timer.Elapsed(), kFailureBound);
+  EXPECT_GT(stalls->Value(), stalls_before)
+      << "window exhaustion was never counted as a stall";
+
+  // Close the client first: its FIN ends the mute reader's blocking receive,
+  // so the peer connection is only closed after its reader thread is done
+  // touching it.
+  client->Close();
+  mute_reader.join();
+  peer->Close();
+}
+
+TEST(MuxWireTest, IdleConnectionSweptAndNextStreamReconnects) {
+  NodeAgent::Options options;
+  options.idle_timeout = std::chrono::milliseconds(100);
+  auto agent = NodeAgent::Start(0, options);
+  ASSERT_TRUE(agent.ok()) << agent.status();
+  auto pool = MakePool("echo", [](ByteSpan input) -> Result<Bytes> {
+    return Bytes(input.begin(), input.end());
+  });
+  ASSERT_TRUE(pool.ok()) << pool.status();
+  ASSERT_TRUE((*agent)->RegisterFunction(*pool).ok());
+
+  auto reactor = TestReactor();
+  ASSERT_NE(reactor, nullptr);
+  auto client = MuxClient::Create(reactor, "127.0.0.1", (*agent)->port());
+
+  auto first = std::make_shared<Completion>();
+  ASSERT_TRUE(client
+                  ->StartStream("echo", rr::Buffer::FromString("one"),
+                                /*token=*/1, kFailureBound, first->Arm(first))
+                  .ok());
+  ASSERT_TRUE(first->WaitFor(kEventBound));
+  ASSERT_TRUE(first->Get().ok()) << first->Get();
+  EXPECT_EQ((*agent)->active_connections(), 1u);
+
+  // Nothing in flight: the agent sweeps the connection, and the client
+  // observes the close.
+  bool swept = false;
+  for (int attempt = 0; attempt < 300 && !swept; ++attempt) {
+    swept = (*agent)->active_connections() == 0 && !client->connected();
+    if (!swept) PreciseSleep(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(swept) << "idle connection never swept: "
+                     << (*agent)->active_connections() << " live, connected="
+                     << client->connected();
+
+  // The sweep is invisible to the sender: the next stream reconnects inline
+  // and completes.
+  auto second = std::make_shared<Completion>();
+  ASSERT_TRUE(client
+                  ->StartStream("echo", rr::Buffer::FromString("two"),
+                                /*token=*/2, kFailureBound,
+                                second->Arm(second))
+                  .ok());
+  ASSERT_TRUE(second->WaitFor(kEventBound));
+  EXPECT_TRUE(second->Get().ok()) << second->Get();
+  EXPECT_EQ((*agent)->transfers_completed(), 2u);
+
+  client->Close();
+  (*agent)->Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// End to end through api::Runtime: completion frames beat the deadline
+// ---------------------------------------------------------------------------
+
+TEST(MuxWireTest, RemoteHandlerFailureBeatsRemoteDeadlineByCompletionFrame) {
+  // The regression the completion frame exists for: with a 60 s backstop
+  // configured, a remote handler failure must fail the edge in well under a
+  // couple of seconds — the error rides the completion frame, it does not
+  // wait out remote_deadline.
+  api::Runtime::Options options;
+  options.remote_deadline = std::chrono::seconds(60);
+  api::Runtime rt("wf", options);
+
+  auto a = Shim::Create(Spec("a"), Binary());
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE((*a)
+                  ->Deploy([](ByteSpan input) -> Result<Bytes> {
+                    return Bytes(input.begin(), input.end());
+                  })
+                  .ok());
+  Endpoint front;
+  front.shim = a->get();
+  front.location = {"n1", ""};
+  ASSERT_TRUE(rt.Register(front).ok());
+
+  auto agent = NodeAgent::Start(0);
+  ASSERT_TRUE(agent.ok()) << agent.status();
+  auto b = Shim::Create(Spec("b"), Binary());
+  ASSERT_TRUE(b.ok()) << b.status();
+  ASSERT_TRUE((*b)
+                  ->Deploy([](ByteSpan) -> Result<Bytes> {
+                    return InternalError("handler rejected input");
+                  })
+                  .ok());
+  Endpoint remote;
+  remote.shim = b->get();
+  remote.location = {"n2", ""};
+  remote.port = (*agent)->port();
+  ASSERT_TRUE(rt.Register(remote).ok());
+  ASSERT_TRUE((*agent)->RegisterFunction(b->get(), rt.DeliverySink()).ok());
+
+  const Stopwatch timer;
+  auto invocation = rt.Submit(api::ChainSpec{{"a", "b"}}, AsBytes("doomed"));
+  ASSERT_TRUE(invocation.ok()) << invocation.status();
+  const Result<rr::Buffer>& result = (*invocation)->Wait();
+  const Nanos elapsed = timer.Elapsed();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal) << result.status();
+  EXPECT_NE(result.status().message().find("handler rejected input"),
+            std::string::npos)
+      << result.status();
+  EXPECT_LT(elapsed, kFailureBound)
+      << "handler failure waited on the remote_deadline backstop";
+
+  (*agent)->Shutdown();
+}
+
+}  // namespace
+}  // namespace rr::core

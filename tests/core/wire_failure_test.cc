@@ -288,11 +288,26 @@ TEST(WireFailureTest, StalledSenderBoundsReceiverAndLeaksNoRegion) {
 }
 
 // ---------------------------------------------------------------------------
-// NodeAgent under failure
+// NodeAgent under failure — the fault matrix runs against BOTH ingress
+// implementations: the event-driven reactor plane and the historical
+// thread-per-connection plane share one failure contract (typed refusals,
+// surviving channels, no leaked regions, hard teardown on malformed frames).
 // ---------------------------------------------------------------------------
 
-TEST(WireFailureTest, PoolExhaustedAgentRefusesFrameTypedAndRecovers) {
-  auto agent = NodeAgent::Start(0, NodeAgent::Options{kFailureBound});
+class AgentIngressModes
+    : public ::testing::TestWithParam<NodeAgent::Options::Ingress> {
+ protected:
+  NodeAgent::Options AgentOptions(
+      Nanos transfer_deadline = std::chrono::seconds(30)) const {
+    NodeAgent::Options options;
+    options.transfer_deadline = transfer_deadline;
+    options.ingress = GetParam();
+    return options;
+  }
+};
+
+TEST_P(AgentIngressModes, PoolExhaustedAgentRefusesFrameTypedAndRecovers) {
+  auto agent = NodeAgent::Start(0, AgentOptions(kFailureBound));
   ASSERT_TRUE(agent.ok()) << agent.status();
 
   runtime::PoolOptions pool_options;
@@ -334,8 +349,8 @@ TEST(WireFailureTest, PoolExhaustedAgentRefusesFrameTypedAndRecovers) {
   EXPECT_EQ((*agent)->transfers_completed(), 1u);
 }
 
-TEST(WireFailureTest, InvokeFailureKeepsChannelAliveAndLeaksNoRegion) {
-  auto agent = NodeAgent::Start(0);
+TEST_P(AgentIngressModes, InvokeFailureKeepsChannelAliveAndLeaksNoRegion) {
+  auto agent = NodeAgent::Start(0, AgentOptions());
   ASSERT_TRUE(agent.ok());
   auto target = MakeShim("picky");
   ASSERT_TRUE(target
@@ -363,8 +378,8 @@ TEST(WireFailureTest, InvokeFailureKeepsChannelAliveAndLeaksNoRegion) {
   EXPECT_EQ(target->data().registered_region_count(), regions_before);
 }
 
-TEST(WireFailureTest, ImplausibleHeaderTearsAgentChannelDown) {
-  auto agent = NodeAgent::Start(0);
+TEST_P(AgentIngressModes, ImplausibleHeaderTearsAgentChannelDown) {
+  auto agent = NodeAgent::Start(0, AgentOptions());
   ASSERT_TRUE(agent.ok());
   auto target = MakeShim("sink");
   ASSERT_TRUE((*agent)->RegisterFunction(target.get()).ok());
@@ -391,8 +406,21 @@ TEST(WireFailureTest, ImplausibleHeaderTearsAgentChannelDown) {
   (*agent)->Shutdown();  // join workers before the target shim dies
 }
 
+INSTANTIATE_TEST_SUITE_P(
+    Ingress, AgentIngressModes,
+    ::testing::Values(NodeAgent::Options::Ingress::kReactor,
+                      NodeAgent::Options::Ingress::kThreaded),
+    [](const ::testing::TestParamInfo<NodeAgent::Options::Ingress>& info) {
+      return info.param == NodeAgent::Options::Ingress::kReactor ? "Reactor"
+                                                                 : "Threaded";
+    });
+
 TEST(WireFailureTest, AgentReapsFinishedConnectionThreads) {
-  auto agent = NodeAgent::Start(0);
+  // Threaded plane only: the reactor plane has no per-connection threads to
+  // reap (live_workers() is 0 there by construction).
+  NodeAgent::Options options;
+  options.ingress = NodeAgent::Options::Ingress::kThreaded;
+  auto agent = NodeAgent::Start(0, options);
   ASSERT_TRUE(agent.ok());
   auto target = MakeShim("sink");
   ASSERT_TRUE((*agent)->RegisterFunction(target.get()).ok());
