@@ -98,9 +98,22 @@ Status MuxClient::StartStream(const std::string& function, rr::Buffer payload,
   const obs::SpanContext trace = obs::CurrentSpanContext();
   std::vector<Fired> fired;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
     if (closed_) return FailedPreconditionError("mux client closed");
-    RR_RETURN_IF_ERROR(EnsureConnectedLocked());
+    if (!connected_) {
+      // Dial with the lock RELEASED: the reactor's OnEvent/SweepDeadlines
+      // contend this mutex, so a blocking connect to a slow or unreachable
+      // host held under it would stall the shared loop — freezing every
+      // other agent's streams for the duration. A concurrent caller may
+      // connect first while we dial; the loser's socket is simply dropped
+      // (the agent sees a preamble followed by EOF and tears it down).
+      lock.unlock();
+      Result<osal::Connection> conn = Dial();
+      lock.lock();
+      if (closed_) return FailedPreconditionError("mux client closed");
+      if (!conn.ok()) return conn.status();
+      if (!connected_) RR_RETURN_IF_ERROR(InstallLocked(std::move(*conn)));
+    }
 
     const uint32_t id = next_stream_id_++;
     const bool traced = trace.trace_id != 0;
@@ -139,8 +152,10 @@ Status MuxClient::StartStream(const std::string& function, rr::Buffer payload,
   return Status::Ok();
 }
 
-Status MuxClient::EnsureConnectedLocked() {
-  if (connected_) return Status::Ok();
+// Blocking connect + preamble. Touches only immutable members (host_,
+// port_): callable WITHOUT the lock, so a slow connect never blocks the
+// reactor threads that contend mutex_.
+Result<osal::Connection> MuxClient::Dial() {
   RR_ASSIGN_OR_RETURN(osal::Connection conn, osal::TcpConnect(host_, port_));
   conn.SetNoDelay(true);
   uint8_t preamble[kMuxPreambleBytes];
@@ -149,6 +164,10 @@ Status MuxClient::EnsureConnectedLocked() {
   preamble[3] = 0;
   RR_RETURN_IF_ERROR(conn.Send(ByteSpan(preamble, kMuxPreambleBytes)));
   RR_RETURN_IF_ERROR(osal::SetNonBlocking(conn.fd(), true));
+  return conn;
+}
+
+Status MuxClient::InstallLocked(osal::Connection conn) {
   fd_ = conn.TakeFd();
   ++conn_gen_;
   rneed_ = kMuxFrameHeaderBytes;

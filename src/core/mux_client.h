@@ -44,6 +44,7 @@
 #include "obs/trace.h"
 #include "osal/fd.h"
 #include "osal/reactor.h"
+#include "osal/socket.h"
 
 namespace rr::core {
 
@@ -108,7 +109,11 @@ class MuxClient : public std::enable_shared_from_this<MuxClient> {
             uint16_t port)
       : reactor_(std::move(reactor)), host_(std::move(host)), port_(port) {}
 
-  Status EnsureConnectedLocked();
+  // Split connect: Dial runs the blocking TcpConnect + preamble WITHOUT the
+  // lock (it touches only immutable members), InstallLocked registers the
+  // socket with the reactor and flips connected_ under it.
+  Result<osal::Connection> Dial();
+  Status InstallLocked(osal::Connection conn);
   void OnEvent(uint64_t gen, uint32_t events);
   void SweepDeadlines();
   bool ReadLocked(std::vector<Fired>* fired);

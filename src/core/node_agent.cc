@@ -91,11 +91,29 @@ const bool g_agent_metrics_registered = [] {
 // routing metadata, never payload.
 constexpr size_t kMaxFunctionName = 256;
 
-// Per-connection cap on bytes staged but not yet invoked. Past it the agent
-// withholds window grants (streams keep their already-granted credit), so a
-// peer that opens thousands of streams against a slow pool backs up on the
-// wire instead of ballooning the agent's heap.
+// Per-connection cap on COMMITTED bytes: body bytes the agent has agreed to
+// hold — granted-but-unreceived window credit plus bytes already staged or
+// handed to the invoke pool. Opens that would commit past the cap are
+// refused with a typed completion, grants that would are deferred until
+// invokes drain, and data beyond a stream's granted window is
+// connection-fatal — so the cap is a hard heap bound (within the staging
+// buffers' 2x growth factor), not advisory. A single stream larger than the
+// cap could never finish staging, so it is refused at open.
+// Default for Options::max_conn_staged_bytes == 0.
 constexpr size_t kMaxConnStagedBytes = 128 * 1024 * 1024;
+
+// Concurrent staging streams one connection may hold. Bounds the stream
+// table (an open frame is ~40 bytes; table entries must not be free to mint)
+// while leaving room for the 10k-in-flight scale target over a handful of
+// connections. Opens past it are refused with a typed completion.
+// Default for Options::max_conn_streams == 0.
+constexpr size_t kMaxConnStreams = 4096;
+
+// Cap on outbound control bytes (acks, completions, window updates) queued
+// for a peer that has stopped reading. Control frames are tiny (a completion
+// is at most 528 bytes), so a backlog this deep means the peer is gone:
+// exceeding it is connection-fatal.
+constexpr size_t kMaxConnOutboundBytes = 4 * 1024 * 1024;
 
 Status SendPreamble(osal::Connection& conn, const std::string& function) {
   if (function.empty() || function.size() > kMaxFunctionName) {
@@ -174,22 +192,83 @@ bool IsTransientAcceptError(const Status& status) {
 // owns the invokes. Connections and streams are table entries, not threads.
 // ---------------------------------------------------------------------------
 struct NodeAgent::ReactorPlane {
-  explicit ReactorPlane(NodeAgent* agent) : agent(agent) {}
+  explicit ReactorPlane(NodeAgent* agent)
+      : agent(agent),
+        max_conn_streams(agent->options_.max_conn_streams
+                             ? agent->options_.max_conn_streams
+                             : kMaxConnStreams),
+        max_conn_staged_bytes(agent->options_.max_conn_staged_bytes
+                                  ? agent->options_.max_conn_staged_bytes
+                                  : kMaxConnStagedBytes) {}
 
   // The half of a connection that invoke workers (and the loop) write to.
   // Outlives the Conn via shared_ptr: a worker finishing after teardown sees
-  // `dead` and fails its write instead of racing a recycled descriptor.
+  // `dead` and fails its send instead of racing a recycled descriptor.
+  //
+  // Sends NEVER block: a frame is appended to a bounded outbound queue and
+  // the queue is drained as far as the socket allows (MSG_DONTWAIT); a
+  // backlog arms kWritable on the owning shard's reactor, whose loop drains
+  // the rest as the peer reads. One peer with a full socket buffer therefore
+  // costs queue bytes, never a parked loop thread or invoke worker.
   struct WriteHandle {
     std::mutex mutex;
     osal::UniqueFd fd;
     bool dead = false;
+    std::shared_ptr<osal::Reactor> reactor;  // the owning shard's loop
+    std::deque<Bytes> outq;
+    size_t front_sent = 0;  // bytes of outq.front() already on the wire
+    size_t outq_bytes = 0;
+    bool writable_armed = false;
 
-    Status Write(ByteSpan data, TimePoint deadline) {
+    // Queues `frame` and drains. Callable from any thread (Reactor::Modify
+    // is thread-safe). Returns false when the connection is dead, the
+    // outbound backlog exceeded its cap, or the socket failed — all
+    // connection-fatal for the caller.
+    bool SendFrame(Bytes frame) {
       std::lock_guard<std::mutex> lock(mutex);
-      if (dead || !fd.valid()) {
-        return UnavailableError("agent connection closed");
+      if (dead || !fd.valid()) return false;
+      if (outq_bytes + frame.size() > kMaxConnOutboundBytes) return false;
+      outq_bytes += frame.size();
+      outq.push_back(std::move(frame));
+      return DrainLocked();
+    }
+
+    // Sends queue frames until empty or EAGAIN; arms/disarms kWritable to
+    // match the backlog. Returns false on a hard socket error.
+    bool DrainLocked() {
+      while (!outq.empty()) {
+        const Bytes& front = outq.front();
+        const ssize_t n =
+            ::send(fd.get(), front.data() + front_sent,
+                   front.size() - front_sent, MSG_DONTWAIT | MSG_NOSIGNAL);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            ArmLocked(true);
+            return true;
+          }
+          return false;
+        }
+        front_sent += static_cast<size_t>(n);
+        if (front_sent == front.size()) {
+          outq_bytes -= front.size();
+          outq.pop_front();
+          front_sent = 0;
+        }
       }
-      return osal::WriteAllDeadline(fd.get(), data, deadline);
+      ArmLocked(false);
+      return true;
+    }
+
+    // Re-arms interest. A Modify failure is ignored: it only happens when
+    // the loop already removed the fd (teardown underway), and the queued
+    // frames die with the connection anyway.
+    void ArmLocked(bool writable) {
+      if (writable_armed == writable || reactor == nullptr) return;
+      writable_armed = writable;
+      (void)reactor->Modify(fd.get(),
+                            osal::Epoll::kReadable |
+                                (writable ? osal::Epoll::kWritable : 0u));
     }
   };
 
@@ -205,11 +284,15 @@ struct NodeAgent::ReactorPlane {
     uint64_t token = 0;
     size_t shard = 0;
     uint64_t conn_id = 0;
-    // Bytes this job holds against the connection's staged-bytes cap.
+    // Bytes this job holds against the connection's commitment cap.
     size_t staged = 0;
   };
 
   // One logical transfer on a mux connection, while its body is staging.
+  // `body` grows geometrically as flow-controlled data arrives (never past
+  // body_len, never more than ~2x the bytes received) — the declared length
+  // is a promise, not an allocation, so a peer declaring huge bodies it
+  // never sends costs the agent nothing.
   struct Stream {
     uint64_t token = 0;
     Entry entry;
@@ -217,11 +300,19 @@ struct NodeAgent::ReactorPlane {
     uint64_t body_len = 0;
     Bytes body;
     uint64_t got = 0;
+    // Total window bytes extended to the sender (initial + grants). Data
+    // past it is a flow-control violation and connection-fatal, which is
+    // what makes the commitment cap a hard bound.
+    uint64_t credit = 0;
     // Body bytes consumed since the last window grant.
     size_t ungranted = 0;
     bool credit_deferred = false;
     obs::SpanContext trace;
     TimePoint last_data;
+
+    // This stream's share of the connection's committed bytes: the sender
+    // may deliver up to its granted credit, but never past the declared end.
+    uint64_t committed() const { return std::min(body_len, credit); }
   };
 
   struct Conn {
@@ -268,11 +359,13 @@ struct NodeAgent::ReactorPlane {
     size_t frame_left = 0;
     size_t skip_left = 0;
     std::unordered_map<uint32_t, Stream> streams;
-    // Streams whose window grant was withheld by the staged-bytes cap, in
+    // Streams whose window grant was withheld by the commitment cap, in
     // arrival order; re-granted as invokes drain.
     std::deque<uint32_t> deferred_credit;
     size_t jobs_inflight = 0;
-    size_t staged_bytes = 0;
+    // Sum of every staging stream's committed() plus every in-flight job's
+    // staged bytes; admission and grants keep it under kMaxConnStagedBytes.
+    size_t committed_bytes = 0;
   };
 
   struct Shard {
@@ -282,6 +375,9 @@ struct NodeAgent::ReactorPlane {
   };
 
   NodeAgent* const agent;
+  // Options-resolved admission caps (0 in Options picks the build default).
+  const size_t max_conn_streams;
+  const size_t max_conn_staged_bytes;
   std::vector<Shard> shards;
   std::atomic<uint64_t> next_conn_id{1};
   std::atomic<size_t> rr_next{0};
@@ -293,15 +389,6 @@ struct NodeAgent::ReactorPlane {
   std::condition_variable queue_cv;
   std::deque<InvokeJob> queue;
   bool queue_stopping = false;
-
-  // Control traffic (acks, completions, window updates) is tiny; bound its
-  // writes well under the transfer deadline so a peer that stops reading
-  // cannot park a worker for the full body budget.
-  TimePoint ControlDeadline() const {
-    constexpr Nanos kCap = std::chrono::seconds(2);
-    const Nanos d = agent->options_.transfer_deadline;
-    return osal::DeadlineAfter(d > Nanos{0} ? std::min(d, kCap) : kCap);
-  }
 
   Nanos SweepTick() const {
     Nanos tick = std::chrono::milliseconds(500);
@@ -411,6 +498,7 @@ struct NodeAgent::ReactorPlane {
                     shards.size();
       conn->write = std::make_shared<WriteHandle>();
       conn->write->fd = accepted->TakeFd();
+      conn->write->reactor = shards[conn->shard].reactor;
       conn->fd = conn->write->fd.get();
       conn->last_activity = Now();
       // Hand off to the owning shard's loop; every later touch of this Conn
@@ -446,6 +534,17 @@ struct NodeAgent::ReactorPlane {
     if (events & osal::Epoll::kError) {
       Teardown(si, conn);
       return;
+    }
+    if (events & osal::Epoll::kWritable) {
+      // The peer caught up on its socket buffer: drain the queued control
+      // frames (completions, acks, window updates) it had backed up.
+      std::unique_lock<std::mutex> lock(conn->write->mutex);
+      const bool drained = conn->write->DrainLocked();
+      lock.unlock();
+      if (!drained) {
+        Teardown(si, conn);
+        return;
+      }
     }
     if ((events & osal::Epoll::kReadable) == 0) return;
     uint8_t buf[64 * 1024];
@@ -506,11 +605,19 @@ struct NodeAgent::ReactorPlane {
           }
           Stream& s = it->second;
           const size_t n = std::min<size_t>(data.size(), c.frame_left);
+          if (s.body.size() < s.got + n) {
+            // Geometric growth, capped at the declared length: memory tracks
+            // bytes actually received (amortized one extra copy), never the
+            // peer's declaration.
+            const uint64_t doubled =
+                std::max<uint64_t>(s.body.size() * 2, 64 * 1024);
+            s.body.resize(static_cast<size_t>(std::min<uint64_t>(
+                s.body_len, std::max<uint64_t>(doubled, s.got + n))));
+          }
           std::memcpy(s.body.data() + s.got, data.data(), n);
           s.got += n;
           s.ungranted += n;
           s.last_data = Now();
-          c.staged_bytes += n;
           c.frame_left -= n;
           data = data.subspan(n);
           if (c.frame_left == 0) {
@@ -631,6 +738,15 @@ struct NodeAgent::ReactorPlane {
                   << "node agent: mux data overruns the declared body";
               return false;
             }
+            if (it->second.got + mh.payload_length > it->second.credit) {
+              // Flow-control violation: the peer sent past its granted
+              // window. Tolerating it would let a hostile sender ignore
+              // deferred grants and balloon the heap anyway, so it is
+              // connection-fatal.
+              RR_LOG(Warning)
+                  << "node agent: mux data exceeds the granted window";
+              return false;
+            }
             c.frame_left = mh.payload_length;
             c.phase = Conn::Phase::kMuxData;
             return true;
@@ -725,28 +841,58 @@ struct NodeAgent::ReactorPlane {
     if (!ResolveEntry(function, &entry)) {
       // Unlike the legacy dialect, an unknown function is stream-fatal, not
       // connection-fatal: the sender gets a typed completion immediately.
-      AgentCompletionFrames().Inc();
-      AgentCompletionErrors().Inc();
-      const Status sent = c.write->Write(
-          EncodeCompletion(c.mh.stream_id,
-                           NotFoundError("no such function: " + function)),
-          ControlDeadline());
-      if (!sent.ok()) return false;
-      ArmFixed(c, Conn::Phase::kMuxHeader, kMuxFrameHeaderBytes);
-      return true;
+      return RefuseStream(c, c.mh.stream_id,
+                          NotFoundError("no such function: " + function));
+    }
+    // Admission: an open is a commitment to hold body bytes. Refuse — typed,
+    // stream-fatal — anything the caps cannot honor, BEFORE any allocation:
+    // a handful of ~40-byte open frames must never reserve gigabytes.
+    const uint64_t commit =
+        std::min<uint64_t>(body_len, kMuxInitialWindow);
+    Status refusal = Status::Ok();
+    if (c.streams.size() >= max_conn_streams) {
+      refusal = ResourceExhaustedError(
+          "connection exceeds " + std::to_string(max_conn_streams) +
+          " concurrent streams");
+    } else if (body_len > max_conn_staged_bytes) {
+      // Larger than the whole commitment budget: the stream could never
+      // finish staging — fail it now instead of stalling it to a deadline.
+      refusal = ResourceExhaustedError(
+          "declared body exceeds the agent's staging capacity");
+    } else if (c.committed_bytes + commit > max_conn_staged_bytes) {
+      refusal = ResourceExhaustedError(
+          "agent staging capacity exhausted; retry after in-flight "
+          "transfers drain");
+    }
+    if (!refusal.ok()) {
+      agent->transfers_refused_.fetch_add(1, std::memory_order_relaxed);
+      AgentTransfersRefused().Inc();
+      return RefuseStream(c, c.mh.stream_id, refusal);
     }
     Stream s;
     s.token = token;
     s.entry = std::move(entry);
     s.function = std::move(function);
     s.body_len = body_len;
-    s.body = Bytes(body_len);
+    s.credit = kMuxInitialWindow;  // what the sender starts with (protocol)
     s.trace = trace;
     s.last_data = Now();
+    c.committed_bytes += commit;
     AgentStreamsInFlight().Add(1);
     const auto [it, inserted] = c.streams.emplace(c.mh.stream_id, std::move(s));
     (void)inserted;
     if (body_len == 0) CompleteStreamStaging(c, c.mh.stream_id, it->second);
+    ArmFixed(c, Conn::Phase::kMuxHeader, kMuxFrameHeaderBytes);
+    return true;
+  }
+
+  // Stream-fatal typed refusal: the sender's edge fails immediately with
+  // `reason` while the connection — and every other stream on it — lives
+  // on. False when even the completion could not be queued (dead wire).
+  bool RefuseStream(Conn& c, uint32_t stream_id, const Status& reason) {
+    AgentCompletionFrames().Inc();
+    AgentCompletionErrors().Inc();
+    if (!c.write->SendFrame(EncodeCompletion(stream_id, reason))) return false;
     ArmFixed(c, Conn::Phase::kMuxHeader, kMuxFrameHeaderBytes);
     return true;
   }
@@ -759,12 +905,19 @@ struct NodeAgent::ReactorPlane {
     return true;
   }
 
-  // Re-grants consumed window once enough accumulated, unless the staged
-  // cap says the peer should back up on the wire for now.
+  // Additional bytes a grant of the stream's ungranted credit would commit
+  // the connection to hold (zero once the remaining grants only cover bytes
+  // the declared end already bounds — finishing streams always drain).
+  static uint64_t GrantDelta(const Stream& s) {
+    return std::min(s.body_len, s.credit + s.ungranted) - s.committed();
+  }
+
+  // Re-grants consumed window once enough accumulated, unless the
+  // commitment cap says the peer should back up on the wire for now.
   bool MaybeGrant(Conn& c, uint32_t stream_id, Stream& s) {
     if (s.got >= s.body_len) return true;  // fully received: no more credit
     if (s.ungranted < kMuxWindowUpdateThreshold) return true;
-    if (c.staged_bytes > kMaxConnStagedBytes) {
+    if (c.committed_bytes + GrantDelta(s) > max_conn_staged_bytes) {
       if (!s.credit_deferred) {
         s.credit_deferred = true;
         c.deferred_credit.push_back(stream_id);
@@ -775,22 +928,26 @@ struct NodeAgent::ReactorPlane {
   }
 
   bool GrantNow(Conn& c, uint32_t stream_id, Stream& s) {
-    const uint32_t credit = static_cast<uint32_t>(s.ungranted);
+    const uint32_t grant = static_cast<uint32_t>(s.ungranted);
+    c.committed_bytes += GrantDelta(s);
+    s.credit += grant;
     s.ungranted = 0;
     s.credit_deferred = false;
-    return c.write
-        ->Write(EncodeWindowUpdate(stream_id, credit), ControlDeadline())
-        .ok();
+    return c.write->SendFrame(EncodeWindowUpdate(stream_id, grant));
   }
 
   bool FlushDeferredCredit(Conn& c) {
-    while (!c.deferred_credit.empty() &&
-           c.staged_bytes <= kMaxConnStagedBytes) {
+    while (!c.deferred_credit.empty()) {
       const uint32_t stream_id = c.deferred_credit.front();
-      c.deferred_credit.pop_front();
       const auto it = c.streams.find(stream_id);
-      if (it == c.streams.end()) continue;  // completed or swept meanwhile
-      if (!it->second.credit_deferred) continue;
+      if (it == c.streams.end() || !it->second.credit_deferred) {
+        c.deferred_credit.pop_front();  // completed or swept meanwhile
+        continue;
+      }
+      if (c.committed_bytes + GrantDelta(it->second) > max_conn_staged_bytes) {
+        return true;  // still full; re-checked as more invokes drain
+      }
+      c.deferred_credit.pop_front();
       if (!GrantNow(c, stream_id, it->second)) return false;
     }
     return true;
@@ -798,7 +955,8 @@ struct NodeAgent::ReactorPlane {
 
   // The stream's body is fully staged: hand it to the invoke pool. The
   // stream leaves the table (its identity lives on in the job), but stays
-  // counted in-flight until its completion frame goes out.
+  // counted in-flight until its completion frame goes out, and its body
+  // bytes stay committed (job.staged) until the invoke drains them.
   void CompleteStreamStaging(Conn& c, uint32_t stream_id, Stream& s) {
     InvokeJob job;
     job.entry = std::move(s.entry);
@@ -820,7 +978,7 @@ struct NodeAgent::ReactorPlane {
   void DropStream(Conn& c, uint32_t stream_id) {
     const auto it = c.streams.find(stream_id);
     if (it == c.streams.end()) return;  // tolerated: cancel racing completion
-    c.staged_bytes -= it->second.got;
+    c.committed_bytes -= it->second.committed();
     AgentStreamsInFlight().Sub(1);
     c.streams.erase(it);
   }
@@ -868,16 +1026,26 @@ struct NodeAgent::ReactorPlane {
             stale.push_back(stream_id);
           }
         }
+        bool wire_dead = false;
         for (const uint32_t stream_id : stale) {
           AgentCompletionFrames().Inc();
           AgentCompletionErrors().Inc();
-          (void)c.write->Write(
-              EncodeCompletion(
+          if (!c.write->SendFrame(EncodeCompletion(
                   stream_id,
                   DeadlineExceededError(
-                      "stream stalled past the transfer deadline")),
-              ControlDeadline());
+                      "stream stalled past the transfer deadline")))) {
+            // The completion could not even be queued (dead wire or a peer
+            // buried past the outbound cap): connection-fatal, matching
+            // GrantNow and ProcessOpen — anything the peer reads after a
+            // dropped frame would be garbage.
+            wire_dead = true;
+            break;
+          }
           DropStream(c, stream_id);
+        }
+        if (wire_dead) {
+          doomed.push_back(conn);
+          continue;
         }
       }
       const bool quiescent = at_frame_boundary && c.streams.empty() &&
@@ -959,12 +1127,11 @@ struct NodeAgent::ReactorPlane {
         if (!job.mux) {
           // Legacy contract: the delivery ack leaves once the payload has
           // landed, BEFORE the invoke — the sender's ack wait ends at
-          // delivery, not at the invocation outcome.
-          const Status sent =
-              job.write->Write(EncodeAck(Status::Ok()), ControlDeadline());
-          if (!sent.ok()) {
+          // delivery, not at the invocation outcome. (Queued, not written
+          // inline: the connection's outbound queue keeps frame order.)
+          if (!job.write->SendFrame(EncodeAck(Status::Ok()))) {
             conn_fatal = true;  // ack stream is dead: channel unusable
-            return sent;
+            return UnavailableError("agent connection closed");
           }
           acked_ok = true;
         }
@@ -997,14 +1164,12 @@ struct NodeAgent::ReactorPlane {
     if (job.mux) {
       AgentCompletionFrames().Inc();
       if (!result.ok()) AgentCompletionErrors().Inc();
-      const Status sent = job.write->Write(
-          EncodeCompletion(job.stream_id, result), ControlDeadline());
+      const bool sent =
+          job.write->SendFrame(EncodeCompletion(job.stream_id, result));
       AgentStreamsInFlight().Sub(1);
-      if (!sent.ok()) conn_fatal = true;
+      if (!sent) conn_fatal = true;
     } else if (!conn_fatal && !acked_ok && !result.ok()) {
-      const Status sent =
-          job.write->Write(EncodeAck(result), ControlDeadline());
-      if (!sent.ok()) conn_fatal = true;
+      if (!job.write->SendFrame(EncodeAck(result))) conn_fatal = true;
     }
 
     if (outcome.has_value()) {
@@ -1041,7 +1206,7 @@ struct NodeAgent::ReactorPlane {
     }
     if (mux) {
       --conn->jobs_inflight;
-      conn->staged_bytes -= staged;
+      conn->committed_bytes -= staged;
       if (!FlushDeferredCredit(*conn)) Teardown(si, conn);
     } else {
       conn->legacy_job_running = false;

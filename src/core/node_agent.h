@@ -79,6 +79,16 @@ class NodeAgent {
     // and no invoke in flight for this long are closed. Senders reconnect
     // transparently on their next dispatch. Non-positive = never swept.
     Nanos idle_timeout = std::chrono::seconds(60);
+
+    // Mux admission caps, per connection (0 = the build default, in
+    // parentheses). An open frame past either cap is refused with a typed
+    // kResourceExhausted completion — stream-fatal, never connection-fatal.
+    // `max_conn_staged_bytes` bounds COMMITTED body bytes: window credit
+    // granted but unreceived, bytes staged, and bytes in invoke — a hard
+    // heap bound, enforced by treating data beyond a stream's granted
+    // window as a flow-control violation (connection-fatal).
+    size_t max_conn_streams = 0;       // (4096)
+    size_t max_conn_staged_bytes = 0;  // (128 MiB)
   };
 
   // Called after a payload has been delivered and the function invoked. The

@@ -359,6 +359,17 @@ Status DagExecutor::RunRemoteNode(const Dag& dag, size_t index,
 
   const uint64_t token = next_token_.fetch_add(1, std::memory_order_relaxed);
 
+  // Everything below the slot registration runs on borrowed time: the
+  // moment the slot is published, ANY resolution path — a loopback
+  // completion, or the sweeper under a very short remote_deadline — can
+  // complete the ticket and unblock Run(), unwinding the stack that `runs`,
+  // `node`, and `target` live on. So: copy the names out, and drop this
+  // node's claim on its predecessors NOW (`frame` holds the chunk refcounts)
+  // — after the publish, only locals, the hop, and the ticket are touched.
+  const std::string node_name = node.name;
+  const std::string function = target.shim->name();
+  ReleaseConsumedPreds(node, runs);
+
   // Defer the node and register its continuation BEFORE the frame leaves:
   // the completion may fire — and the ticket complete — before DispatchAsync
   // even returns.
@@ -368,7 +379,7 @@ Status DagExecutor::RunRemoteNode(const Dag& dag, size_t index,
   {
     std::lock_guard<std::mutex> lock(mail_mutex_);
     Pending slot;
-    slot.function = target.shim->name();
+    slot.function = function;
     slot.ticket = ticket;
     slot.dag = &dag;
     slot.index = index;
@@ -378,7 +389,13 @@ Status DagExecutor::RunRemoteNode(const Dag& dag, size_t index,
     slot.part_bytes = std::move(part_bytes);
     slot.frame_wasm_io = timing.wasm_io;
     slot.dispatched_at = dispatched_at;
-    slot.deadline = dispatched_at + remote_deadline_;
+    // Non-positive remote_deadline means UNBOUNDED (no backstop — failures
+    // still surface through completion frames and dead channels), never
+    // "expire immediately": an already-expired slot would let the sweeper
+    // complete the ticket while this thread still runs.
+    slot.deadline = remote_deadline_ > Nanos{0}
+                        ? dispatched_at + remote_deadline_
+                        : TimePoint::max();
     wake_sweeper = slot.deadline < sweep_next_;
     pending_.emplace(token, std::move(slot));
     if (!sweeper_.joinable()) {
@@ -387,20 +404,13 @@ Status DagExecutor::RunRemoteNode(const Dag& dag, size_t index,
   }
   if (wake_sweeper) sweep_cv_.notify_all();
 
-  // Drop this node's claim on its predecessors NOW — `frame` (and, once
-  // dispatched, the mux stream) holds the chunk refcounts. This must happen
-  // before DispatchAsync: the moment the frame is on the wire the completion
-  // can retire the deferred node and unblock the Run, unwinding the stack
-  // `runs` lives on — nothing below may touch run-stack state.
-  ReleaseConsumedPreds(node, runs);
-
   // The dispatch span is what the agent-side spans parent under: its context
   // rides the frame header (captured inside DispatchAsync on this thread).
   // The span is RECORDED before the dispatch — a loopback completion can
   // finish the whole run (and a caller snapshot the trace) before
   // DispatchAsync returns — while its context is kept installed for the
   // frame to capture.
-  RR_TRACE_SPAN(dispatch_span, "dag", "dispatch:" + node.name);
+  RR_TRACE_SPAN(dispatch_span, "dag", "dispatch:" + node_name);
   std::optional<obs::ScopedTraceContext> dispatch_ctx;
   if (dispatch_span) {
     const obs::SpanContext span_ctx = dispatch_span->context();
@@ -420,16 +430,19 @@ Status DagExecutor::RunRemoteNode(const Dag& dag, size_t index,
         life->owner->FailDelivery(token, outcome, /*force_evict=*/false);
       });
   if (!sent.ok()) {
-    // Initiation failed: `done` never fires. Reclaim the slot (the sweeper
-    // cannot have raced us to it this fast, but TakePending tolerates it)
-    // and fail the node through its ticket. Eviction matches the local
-    // path: a dispatch that killed its wire leaves the hop dead — evict so
-    // the next run re-establishes a fresh channel instead of failing
-    // forever; a typed in-sync refusal leaves the channel (and the other
-    // transfers sharing it) intact.
-    TakePending(token);
-    if (!hop->healthy()) manager_->hops().Evict(target.shim->name());
-    ticket.Complete(sent);
+    // Initiation failed: `done` never fires. Reclaim the slot and fail the
+    // node through its ticket — but only if this thread actually took the
+    // slot: a sweeper with a short deadline may already have completed the
+    // ticket, and a second Complete (or any touch of run state) would race
+    // the unwinding Run. Eviction matches the local path: a dispatch that
+    // killed its wire leaves the hop dead — evict so the next run
+    // re-establishes a fresh channel instead of failing forever; a typed
+    // in-sync refusal leaves the channel (and the other transfers sharing
+    // it) intact.
+    if (TakePending(token).has_value()) {
+      if (!hop->healthy()) manager_->hops().Evict(function);
+      ticket.Complete(sent);
+    }
   }
   return Status::Ok();
 }

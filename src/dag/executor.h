@@ -103,7 +103,8 @@ class DagExecutor {
   // the edge fails with kDeadlineExceeded when NO signal arrives — neither a
   // delivery callback nor a completion frame. Failures that do speak (a mux
   // completion frame, a dead channel) resolve the edge immediately,
-  // regardless of this value.
+  // regardless of this value. Non-positive disables the backstop entirely
+  // (unbounded) — it never means "expire immediately".
   void set_remote_deadline(Nanos deadline) { remote_deadline_ = deadline; }
 
   size_t worker_count() const { return scheduler_.worker_count(); }
@@ -154,7 +155,9 @@ class DagExecutor {
     std::vector<uint64_t> part_bytes;  // per-predecessor frame contribution
     Nanos frame_wasm_io{0};            // egress time of frame assembly
     TimePoint dispatched_at{};
-    TimePoint deadline{};  // dispatched_at + remote_deadline_
+    // dispatched_at + remote_deadline_, or TimePoint::max() when the
+    // backstop is disabled (non-positive remote_deadline_).
+    TimePoint deadline{};
   };
 
   // Extracts the slot under mail_mutex_ (first taker wins; later signals

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -407,6 +408,267 @@ TEST(MuxWireTest, IdleConnectionSweptAndNextStreamReconnects) {
 }
 
 // ---------------------------------------------------------------------------
+// Raw-wire admission and flow-control enforcement: a hand-rolled peer that
+// speaks the mux dialect byte by byte, so the tests control exactly what hits
+// the agent — including frames MuxClient would never send.
+// ---------------------------------------------------------------------------
+
+// Dials the agent and announces the mux dialect.
+Result<osal::Connection> DialMux(uint16_t port) {
+  RR_ASSIGN_OR_RETURN(osal::Connection conn,
+                      osal::TcpConnect("127.0.0.1", port));
+  uint8_t preamble[kMuxPreambleBytes];
+  StoreLE<uint16_t>(preamble, kMuxPreambleMagic);
+  preamble[2] = kMuxVersion;
+  preamble[3] = 0;
+  RR_RETURN_IF_ERROR(conn.Send(ByteSpan(preamble, sizeof(preamble))));
+  return conn;
+}
+
+Bytes EncodeRawOpen(uint32_t stream_id, uint64_t token, uint64_t body_len,
+                    const std::string& function) {
+  const size_t payload = 8 + 8 + 2 + function.size();
+  Bytes frame(kMuxFrameHeaderBytes + payload);
+  MuxFrameHeader h;
+  h.type = kMuxFrameOpen;
+  h.stream_id = stream_id;
+  h.payload_length = static_cast<uint32_t>(payload);
+  EncodeMuxFrameHeader(h, frame.data());
+  uint8_t* p = frame.data() + kMuxFrameHeaderBytes;
+  StoreLE<uint64_t>(p, token);
+  StoreLE<uint64_t>(p + 8, body_len);
+  StoreLE<uint16_t>(p + 16, static_cast<uint16_t>(function.size()));
+  std::memcpy(p + 18, function.data(), function.size());
+  return frame;
+}
+
+Bytes EncodeRawData(uint32_t stream_id, ByteSpan chunk) {
+  Bytes frame(kMuxFrameHeaderBytes + chunk.size());
+  MuxFrameHeader h;
+  h.type = kMuxFrameData;
+  h.stream_id = stream_id;
+  h.payload_length = static_cast<uint32_t>(chunk.size());
+  EncodeMuxFrameHeader(h, frame.data());
+  std::memcpy(frame.data() + kMuxFrameHeaderBytes, chunk.data(), chunk.size());
+  return frame;
+}
+
+Bytes EncodeRawCancel(uint32_t stream_id) {
+  Bytes frame(kMuxFrameHeaderBytes);
+  MuxFrameHeader h;
+  h.type = kMuxFrameCancel;
+  h.stream_id = stream_id;
+  EncodeMuxFrameHeader(h, frame.data());
+  return frame;
+}
+
+struct RawCompletion {
+  uint32_t stream_id = 0;
+  StatusCode code = StatusCode::kOk;
+  std::string detail;
+};
+
+// Reads agent->sender frames until a completion arrives (window updates for
+// other streams are skipped — they carry no payload).
+Result<RawCompletion> ReadCompletion(osal::Connection& conn) {
+  for (;;) {
+    uint8_t header[kMuxFrameHeaderBytes];
+    RR_RETURN_IF_ERROR(conn.Receive(MutableByteSpan(header, sizeof(header))));
+    const MuxFrameHeader h = DecodeMuxFrameHeader(header);
+    if (h.type == kMuxFrameWindowUpdate) continue;
+    if (h.type != kMuxFrameCompletion) {
+      return InternalError("unexpected agent frame type " +
+                           std::to_string(static_cast<int>(h.type)));
+    }
+    RawCompletion out;
+    out.stream_id = h.stream_id;
+    out.code = static_cast<StatusCode>(h.aux);
+    out.detail.resize(h.payload_length);
+    if (h.payload_length > 0) {
+      RR_RETURN_IF_ERROR(conn.Receive(MutableByteSpan(
+          reinterpret_cast<uint8_t*>(out.detail.data()), out.detail.size())));
+    }
+    return out;
+  }
+}
+
+TEST(MuxWireTest, HugeDeclaredBodyRefusedAtOpenWithoutReservation) {
+  // The open frame declares body length; the agent must treat it as a
+  // *commitment to refuse*, not a buffer to allocate. A protocol-plausible
+  // 1 GiB declaration (under serde::kMaxFrameBytes, far over the staging
+  // cap) in a 40-byte frame gets a typed kResourceExhausted completion
+  // immediately — stream-fatal only, with the connection still serving real
+  // transfers.
+  auto agent = NodeAgent::Start(0);
+  ASSERT_TRUE(agent.ok()) << agent.status();
+  auto pool = MakePool("echo", [](ByteSpan input) -> Result<Bytes> {
+    return Bytes(input.begin(), input.end());
+  });
+  ASSERT_TRUE(pool.ok()) << pool.status();
+  ASSERT_TRUE((*agent)->RegisterFunction(*pool).ok());
+
+  auto conn = DialMux((*agent)->port());
+  ASSERT_TRUE(conn.ok()) << conn.status();
+  ASSERT_TRUE(
+      conn->Send(EncodeRawOpen(1, /*token=*/1, uint64_t{1} << 30, "echo"))
+          .ok());
+  auto refused = ReadCompletion(*conn);
+  ASSERT_TRUE(refused.ok()) << refused.status();
+  EXPECT_EQ(refused->stream_id, 1u);
+  EXPECT_EQ(refused->code, StatusCode::kResourceExhausted) << refused->detail;
+  EXPECT_NE(refused->detail.find("staging capacity"), std::string::npos)
+      << refused->detail;
+  EXPECT_EQ((*agent)->transfers_refused(), 1u);
+
+  // Same connection: a sane stream still opens, stages, invokes, completes.
+  ASSERT_TRUE(conn->Send(EncodeRawOpen(2, /*token=*/2, 5, "echo")).ok());
+  ASSERT_TRUE(conn->Send(EncodeRawData(2, AsBytes("hello"))).ok());
+  auto ok = ReadCompletion(*conn);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(ok->stream_id, 2u);
+  EXPECT_EQ(ok->code, StatusCode::kOk) << ok->detail;
+  EXPECT_EQ((*agent)->transfers_completed(), 1u);
+
+  conn->Close();
+  (*agent)->Shutdown();
+}
+
+TEST(MuxWireTest, StreamTableCapRefusesOpensTyped) {
+  // Stream table entries are not free to mint: opens past max_conn_streams
+  // are refused typed, and draining a stream frees its slot.
+  NodeAgent::Options options;
+  options.max_conn_streams = 2;
+  auto agent = NodeAgent::Start(0, options);
+  ASSERT_TRUE(agent.ok()) << agent.status();
+  auto pool = MakePool("echo", [](ByteSpan input) -> Result<Bytes> {
+    return Bytes(input.begin(), input.end());
+  });
+  ASSERT_TRUE(pool.ok()) << pool.status();
+  ASSERT_TRUE((*agent)->RegisterFunction(*pool).ok());
+
+  auto conn = DialMux((*agent)->port());
+  ASSERT_TRUE(conn.ok()) << conn.status();
+  // Two streams stage (bodies incomplete) and pin the table.
+  ASSERT_TRUE(conn->Send(EncodeRawOpen(1, 1, 100, "echo")).ok());
+  ASSERT_TRUE(conn->Send(EncodeRawOpen(2, 2, 100, "echo")).ok());
+  ASSERT_TRUE(conn->Send(EncodeRawOpen(3, 3, 1, "echo")).ok());
+  auto refused = ReadCompletion(*conn);
+  ASSERT_TRUE(refused.ok()) << refused.status();
+  EXPECT_EQ(refused->stream_id, 3u);
+  EXPECT_EQ(refused->code, StatusCode::kResourceExhausted) << refused->detail;
+  EXPECT_NE(refused->detail.find("concurrent streams"), std::string::npos)
+      << refused->detail;
+  EXPECT_EQ((*agent)->transfers_refused(), 1u);
+
+  // Finishing stream 1 frees its slot; the connection keeps serving.
+  ASSERT_TRUE(conn->Send(EncodeRawData(1, Bytes(100, 0x5a))).ok());
+  auto done = ReadCompletion(*conn);
+  ASSERT_TRUE(done.ok()) << done.status();
+  EXPECT_EQ(done->stream_id, 1u);
+  EXPECT_EQ(done->code, StatusCode::kOk) << done->detail;
+  ASSERT_TRUE(conn->Send(EncodeRawOpen(4, 4, 1, "echo")).ok());
+  ASSERT_TRUE(conn->Send(EncodeRawData(4, AsBytes("x"))).ok());
+  auto fourth = ReadCompletion(*conn);
+  ASSERT_TRUE(fourth.ok()) << fourth.status();
+  EXPECT_EQ(fourth->stream_id, 4u);
+  EXPECT_EQ(fourth->code, StatusCode::kOk) << fourth->detail;
+
+  conn->Close();
+  (*agent)->Shutdown();
+}
+
+TEST(MuxWireTest, CommitmentCapBoundsOpensAndCancelReleasesIt) {
+  // An admitted open commits min(body_len, kMuxInitialWindow) against the
+  // per-connection cap; opens past the cap are refused typed; a cancel hands
+  // its commitment back.
+  NodeAgent::Options options;
+  options.max_conn_staged_bytes = 2 * kMuxInitialWindow;
+  auto agent = NodeAgent::Start(0, options);
+  ASSERT_TRUE(agent.ok()) << agent.status();
+  auto pool = MakePool("echo", [](ByteSpan input) -> Result<Bytes> {
+    return Bytes(input.begin(), input.end());
+  });
+  ASSERT_TRUE(pool.ok()) << pool.status();
+  ASSERT_TRUE((*agent)->RegisterFunction(*pool).ok());
+
+  auto conn = DialMux((*agent)->port());
+  ASSERT_TRUE(conn.ok()) << conn.status();
+  // Each commits one initial window; together they fill the cap exactly.
+  const uint64_t big = 2 * kMuxInitialWindow;
+  ASSERT_TRUE(conn->Send(EncodeRawOpen(1, 1, big, "echo")).ok());
+  ASSERT_TRUE(conn->Send(EncodeRawOpen(2, 2, big, "echo")).ok());
+  ASSERT_TRUE(conn->Send(EncodeRawOpen(3, 3, 1, "echo")).ok());
+  auto refused = ReadCompletion(*conn);
+  ASSERT_TRUE(refused.ok()) << refused.status();
+  EXPECT_EQ(refused->stream_id, 3u);
+  EXPECT_EQ(refused->code, StatusCode::kResourceExhausted) << refused->detail;
+  EXPECT_NE(refused->detail.find("capacity exhausted"), std::string::npos)
+      << refused->detail;
+
+  // Cancel stream 1: its commitment returns to the budget, so the retry is
+  // admitted and completes.
+  ASSERT_TRUE(conn->Send(EncodeRawCancel(1)).ok());
+  ASSERT_TRUE(conn->Send(EncodeRawOpen(4, 4, 1, "echo")).ok());
+  ASSERT_TRUE(conn->Send(EncodeRawData(4, AsBytes("y"))).ok());
+  auto retried = ReadCompletion(*conn);
+  ASSERT_TRUE(retried.ok()) << retried.status();
+  EXPECT_EQ(retried->stream_id, 4u);
+  EXPECT_EQ(retried->code, StatusCode::kOk) << retried->detail;
+
+  conn->Close();
+  (*agent)->Shutdown();
+}
+
+TEST(MuxWireTest, DataPastGrantedWindowIsConnectionFatal) {
+  // The flow-control window is enforcement, not etiquette: with grants
+  // deferred (commitment cap full), a peer that keeps sending past its
+  // granted credit would balloon the heap — the agent kills the connection
+  // instead.
+  NodeAgent::Options options;
+  // 1.5 windows: stream 1 (one window) + stream 2 (half) fill the cap, so
+  // every further grant for stream 1 stays deferred and its credit is pinned
+  // at kMuxInitialWindow.
+  options.max_conn_staged_bytes = kMuxInitialWindow + kMuxInitialWindow / 2;
+  auto agent = NodeAgent::Start(0, options);
+  ASSERT_TRUE(agent.ok()) << agent.status();
+  auto pool = MakePool("echo", [](ByteSpan input) -> Result<Bytes> {
+    return Bytes(input.begin(), input.end());
+  });
+  ASSERT_TRUE(pool.ok()) << pool.status();
+  ASSERT_TRUE((*agent)->RegisterFunction(*pool).ok());
+
+  auto conn = DialMux((*agent)->port());
+  ASSERT_TRUE(conn.ok()) << conn.status();
+  ASSERT_TRUE(
+      conn->Send(EncodeRawOpen(1, 1, kMuxInitialWindow + kMuxMaxChunk, "echo"))
+          .ok());
+  ASSERT_TRUE(
+      conn->Send(EncodeRawOpen(2, 2, kMuxInitialWindow / 2, "echo")).ok());
+  // Exactly the granted window is fine...
+  const Bytes chunk(kMuxMaxChunk, 0x7e);
+  for (size_t sent = 0; sent < kMuxInitialWindow; sent += kMuxMaxChunk) {
+    ASSERT_TRUE(conn->Send(EncodeRawData(1, chunk)).ok());
+  }
+  // ...one chunk past it is not: the agent tears the connection down. The
+  // gauge is checked first so a regression fails the assert instead of
+  // hanging a blocking read on a healthy connection.
+  ASSERT_TRUE(conn->Send(EncodeRawData(1, chunk)).ok());
+  bool gone = false;
+  for (int attempt = 0; attempt < 300 && !gone; ++attempt) {
+    gone = (*agent)->active_connections() == 0;
+    if (!gone) PreciseSleep(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(gone) << "window violation did not kill the connection ("
+                    << (*agent)->active_connections() << " live)";
+  Bytes sink(4096);
+  const auto n = conn->ReceiveSome(sink);
+  EXPECT_TRUE(!n.ok() || *n == 0) << "wire still open after teardown";
+
+  conn->Close();
+  (*agent)->Shutdown();
+}
+
+// ---------------------------------------------------------------------------
 // End to end through api::Runtime: completion frames beat the deadline
 // ---------------------------------------------------------------------------
 
@@ -459,6 +721,64 @@ TEST(MuxWireTest, RemoteHandlerFailureBeatsRemoteDeadlineByCompletionFrame) {
       << result.status();
   EXPECT_LT(elapsed, kFailureBound)
       << "handler failure waited on the remote_deadline backstop";
+
+  (*agent)->Shutdown();
+}
+
+TEST(MuxWireTest, NonPositiveRemoteDeadlineMeansUnboundedNotImmediate) {
+  // remote_deadline <= 0 disables the sweeper backstop — it must never read
+  // as "expire immediately". Remote edges still resolve through their real
+  // signals: a success via the delivery callback, a handler failure via the
+  // completion frame, both typed and prompt.
+  api::Runtime::Options options;
+  options.remote_deadline = Nanos{0};
+  api::Runtime rt("wf", options);
+
+  auto a = Shim::Create(Spec("a"), Binary());
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE((*a)
+                  ->Deploy([](ByteSpan input) -> Result<Bytes> {
+                    return Bytes(input.begin(), input.end());
+                  })
+                  .ok());
+  Endpoint front;
+  front.shim = a->get();
+  front.location = {"n1", ""};
+  ASSERT_TRUE(rt.Register(front).ok());
+
+  auto agent = NodeAgent::Start(0);
+  ASSERT_TRUE(agent.ok()) << agent.status();
+  auto b = Shim::Create(Spec("b"), Binary());
+  ASSERT_TRUE(b.ok()) << b.status();
+  ASSERT_TRUE((*b)
+                  ->Deploy([](ByteSpan input) -> Result<Bytes> {
+                    if (AsStringView(input) == "poison") {
+                      return InternalError("handler rejected input");
+                    }
+                    return Bytes(input.begin(), input.end());
+                  })
+                  .ok());
+  Endpoint remote;
+  remote.shim = b->get();
+  remote.location = {"n2", ""};
+  remote.port = (*agent)->port();
+  ASSERT_TRUE(rt.Register(remote).ok());
+  ASSERT_TRUE((*agent)->RegisterFunction(b->get(), rt.DeliverySink()).ok());
+
+  auto healthy = rt.Submit(api::ChainSpec{{"a", "b"}}, AsBytes("fine"));
+  ASSERT_TRUE(healthy.ok()) << healthy.status();
+  const Result<rr::Buffer>& ok = (*healthy)->Wait();
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(ToString(*ok), "fine");
+
+  const Stopwatch timer;
+  auto doomed = rt.Submit(api::ChainSpec{{"a", "b"}}, AsBytes("poison"));
+  ASSERT_TRUE(doomed.ok()) << doomed.status();
+  const Result<rr::Buffer>& failed = (*doomed)->Wait();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kInternal) << failed.status();
+  EXPECT_LT(timer.Elapsed(), kFailureBound)
+      << "disabled backstop delayed a completion-frame failure";
 
   (*agent)->Shutdown();
 }
