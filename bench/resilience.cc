@@ -1,0 +1,236 @@
+// Failure-recovery plane bench: what a failure costs the caller.
+//
+// Three numbers, each a claim the resilience design makes:
+//   1. healthy        — remote-edge latency with the policy ENABLED but no
+//                       faults: the engine's happy-path tax (one token mint,
+//                       one admission check per dispatch).
+//   2. failover       — kill the primary agent, measure (a) the first
+//                       post-kill run's completion time (retry + failover
+//                       drain: dial failure, backoff, replica dispatch) and
+//                       (b) steady-state latency once the primary's breaker
+//                       is open and dispatches skip it in admission.
+//   3. breaker-open   — dispatch latency against a PROVEN-dead replica with
+//                       its breaker open: must sit orders of magnitude below
+//                       the transfer deadline (microseconds of admission
+//                       refusal, not a wire wait).
+//
+// Flags:
+//   --json     machine-readable JSON on stdout (CI redirects to
+//              BENCH_resilience.json and asserts the bounds)
+//   --runs=N   samples per phase (default 30)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/runtime.h"
+#include "common/clock.h"
+#include "common/strings.h"
+#include "core/node_agent.h"
+#include "dag/dag.h"
+#include "resilience/policy.h"
+#include "runtime/function.h"
+
+namespace {
+
+using namespace rr;
+
+runtime::FunctionSpec Spec(const std::string& name) {
+  runtime::FunctionSpec spec;
+  spec.name = name;
+  spec.workflow = "wf";
+  return spec;
+}
+
+const Bytes& Binary() {
+  static const Bytes binary = runtime::BuildFunctionModuleBinary();
+  return binary;
+}
+
+std::unique_ptr<core::Shim> AddFunction(
+    api::Runtime& rt, const std::string& name, core::Location location,
+    uint16_t port = 0, std::vector<core::AgentAddress> failover = {}) {
+  auto shim = core::Shim::Create(Spec(name), Binary());
+  if (!shim.ok()) {
+    std::fprintf(stderr, "shim %s: %s\n", name.c_str(),
+                 shim.status().ToString().c_str());
+    std::exit(1);
+  }
+  (void)(*shim)->Deploy([name](ByteSpan input) -> Result<Bytes> {
+    std::string out(AsStringView(input));
+    return ToBytes(out + "|" + name);
+  });
+  core::Endpoint endpoint;
+  endpoint.shim = shim->get();
+  endpoint.location = std::move(location);
+  endpoint.port = port;
+  endpoint.failover = std::move(failover);
+  if (!rt.Register(endpoint).ok()) std::exit(1);
+  return std::move(*shim);
+}
+
+// One a -> b run; returns wall latency, exits on unexpected failure when
+// `must_succeed`.
+Nanos RunOnce(api::Runtime& rt, const dag::Dag& dag, bool must_succeed,
+              Status* status_out = nullptr) {
+  const TimePoint start = Now();
+  auto invocation = rt.Submit(api::DagSpec{dag}, AsBytes("x"));
+  if (!invocation.ok()) {
+    if (status_out != nullptr) *status_out = invocation.status();
+    if (must_succeed) std::exit(1);
+    return Now() - start;
+  }
+  const Result<rr::Buffer>& result = (*invocation)->Wait();
+  const Nanos elapsed = Now() - start;
+  if (status_out != nullptr) {
+    *status_out = result.ok() ? Status::Ok() : result.status();
+  }
+  if (must_succeed && !result.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return elapsed;
+}
+
+double MeanUs(const std::vector<Nanos>& samples) {
+  if (samples.empty()) return 0.0;
+  double total = 0.0;
+  for (const Nanos sample : samples) total += ToSeconds(sample) * 1e6;
+  return total / static_cast<double>(samples.size());
+}
+
+double MaxUs(const std::vector<Nanos>& samples) {
+  Nanos max{0};
+  for (const Nanos sample : samples) max = std::max(max, sample);
+  return ToSeconds(max) * 1e6;
+}
+
+resilience::ResiliencePolicy BenchPolicy() {
+  resilience::ResiliencePolicy policy;
+  policy.enabled = true;
+  policy.max_attempts = 2;
+  policy.base_backoff = std::chrono::milliseconds(5);
+  policy.max_backoff = std::chrono::milliseconds(50);
+  policy.run_retry_budget = 32;
+  policy.breaker.failure_threshold = 2;
+  policy.breaker.open_cooldown = std::chrono::seconds(60);
+  return policy;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  int runs = 30;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") json = true;
+    if (arg.rfind("--runs=", 0) == 0) runs = std::atoi(argv[i] + 7);
+  }
+  if (runs <= 0) runs = 30;
+
+  constexpr auto kTransferDeadline = std::chrono::seconds(30);
+
+  // --- phases 1 + 2: healthy baseline, then kill the primary ---------------
+  api::Runtime::Options options;
+  options.resilience = BenchPolicy();
+  options.remote_deadline = std::chrono::seconds(2);
+  options.transfer_deadline = kTransferDeadline;
+  api::Runtime rt("wf", options);
+
+  auto primary = core::NodeAgent::Start(0);
+  auto replica = core::NodeAgent::Start(0);
+  if (!primary.ok() || !replica.ok()) return 1;
+  auto a = AddFunction(rt, "a", {"n1", ""});
+  auto b = AddFunction(rt, "b", {"n2", ""}, (*primary)->port(),
+                       {{"127.0.0.1", (*replica)->port()}});
+  if (!(*primary)->RegisterFunction(b.get(), rt.DeliverySink()).ok()) return 1;
+  if (!(*replica)->RegisterFunction(b.get(), rt.DeliverySink()).ok()) return 1;
+
+  auto dag = dag::DagBuilder().Chain({"a", "b"}).Build();
+  if (!dag.ok()) return 1;
+
+  RunOnce(rt, *dag, /*must_succeed=*/true);  // hop establishment, off-books
+  std::vector<Nanos> healthy;
+  for (int i = 0; i < runs; ++i) {
+    healthy.push_back(RunOnce(rt, *dag, /*must_succeed=*/true));
+  }
+
+  (*primary)->Shutdown();
+  const Nanos recovery = RunOnce(rt, *dag, /*must_succeed=*/true);
+  std::vector<Nanos> steady;
+  for (int i = 0; i < runs; ++i) {
+    steady.push_back(RunOnce(rt, *dag, /*must_succeed=*/true));
+  }
+
+  // --- phase 3: open-breaker fast fail -------------------------------------
+  const uint16_t dead_port = [] {
+    auto doomed = core::NodeAgent::Start(0);
+    if (!doomed.ok()) std::exit(1);
+    const uint16_t port = (*doomed)->port();
+    (*doomed)->Shutdown();
+    return port;
+  }();
+
+  api::Runtime::Options dead_options;
+  dead_options.resilience = BenchPolicy();
+  dead_options.resilience.max_attempts = 1;
+  dead_options.resilience.run_retry_budget = 0;
+  dead_options.resilience.breaker.failure_threshold = 1;
+  dead_options.remote_deadline = std::chrono::seconds(2);
+  dead_options.transfer_deadline = kTransferDeadline;
+  api::Runtime dead_rt("wf", dead_options);
+  auto a2 = AddFunction(dead_rt, "a", {"n1", ""});
+  auto b2 = AddFunction(dead_rt, "b", {"n2", ""}, dead_port);
+
+  Status status;
+  RunOnce(dead_rt, *dag, /*must_succeed=*/false, &status);  // trips the breaker
+  std::vector<Nanos> breaker_open;
+  for (int i = 0; i < runs; ++i) {
+    breaker_open.push_back(
+        RunOnce(dead_rt, *dag, /*must_succeed=*/false, &status));
+    if (status.ok()) {
+      std::fprintf(stderr, "open-breaker run unexpectedly succeeded\n");
+      return 1;
+    }
+  }
+
+  const double healthy_us = MeanUs(healthy);
+  const double recovery_us = ToSeconds(recovery) * 1e6;
+  const double steady_us = MeanUs(steady);
+  const double breaker_us = MeanUs(breaker_open);
+  const double breaker_max_us = MaxUs(breaker_open);
+  const double deadline_us = ToSeconds(Nanos(kTransferDeadline)) * 1e6;
+
+  if (json) {
+    std::printf(
+        "{\n"
+        "  \"results\": {\n"
+        "    \"runs\": %d,\n"
+        "    \"healthy_mean_us\": %.1f,\n"
+        "    \"failover_first_success_us\": %.1f,\n"
+        "    \"replica_steady_mean_us\": %.1f,\n"
+        "    \"breaker_open_fail_mean_us\": %.1f,\n"
+        "    \"breaker_open_fail_max_us\": %.1f,\n"
+        "    \"transfer_deadline_us\": %.1f\n"
+        "  }\n"
+        "}\n",
+        runs, healthy_us, recovery_us, steady_us, breaker_us, breaker_max_us,
+        deadline_us);
+  } else {
+    std::printf("resilience bench (%d runs/phase)\n", runs);
+    std::printf("  healthy remote edge        %10.1f us mean\n", healthy_us);
+    std::printf("  failover: first success    %10.1f us (kill -> completion)\n",
+                recovery_us);
+    std::printf("  failover: replica steady   %10.1f us mean\n", steady_us);
+    std::printf("  breaker-open fast fail     %10.1f us mean, %.1f us max\n",
+                breaker_us, breaker_max_us);
+    std::printf("  transfer deadline          %10.1f us (the bound avoided)\n",
+                deadline_us);
+  }
+  return 0;
+}

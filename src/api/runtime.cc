@@ -86,6 +86,13 @@ Runtime::Runtime(std::string workflow, Options options)
   executor_.set_remote_deadline(options.remote_deadline);
   manager_.hops().set_wire_options(
       core::TransportOptions{options.transfer_deadline});
+  executor_.set_resilience_policy(options.resilience);
+  if (options.resilience.enabled) {
+    // Arm the hop table's per-replica circuit breakers alongside the retry
+    // engine: a replica that keeps failing at the wire level is refused in
+    // microseconds instead of burning a transfer deadline per attempt.
+    manager_.hops().set_breaker_options(options.resilience.breaker);
+  }
   if (options.tracing) {
     if (options.trace_capacity > 0) {
       obs::Tracer::Get().SetCapacity(options.trace_capacity);
@@ -96,8 +103,21 @@ Runtime::Runtime(std::string workflow, Options options)
     obs::IntrospectionServer::Options intro;
     intro.port = options.introspection_port;
     intro.health_fields = [this] {
-      return std::vector<std::pair<std::string, int64_t>>{
+      std::vector<std::pair<std::string, int64_t>> fields{
           {"in_flight", static_cast<int64_t>(in_flight())}};
+      // Failure-recovery visibility: how many breakers are currently
+      // tripped, plus one entry per non-closed breaker (state 1 = open,
+      // 2 = half-open) so an operator sees WHICH replica is refusing.
+      int64_t open = 0;
+      for (const auto& info : manager_.hops().BreakerSnapshot()) {
+        if (info.state == resilience::BreakerState::kClosed) continue;
+        if (info.state == resilience::BreakerState::kOpen) ++open;
+        fields.emplace_back(
+            "breaker:" + info.function + "#" + std::to_string(info.replica),
+            static_cast<int64_t>(info.state));
+      }
+      fields.emplace_back("breakers_open", open);
+      return fields;
     };
     auto server = obs::IntrospectionServer::Start(std::move(intro));
     if (server.ok()) {
@@ -151,7 +171,7 @@ Result<std::shared_ptr<Invocation>> Runtime::Submit(const ChainSpec& spec,
 
 Result<std::shared_ptr<Invocation>> Runtime::Submit(const DagSpec& spec,
                                                     rr::Buffer input) {
-  return Enqueue(spec.dag, std::move(input));
+  return Enqueue(spec.dag, std::move(input), spec.resilience);
 }
 
 Result<std::shared_ptr<Invocation>> Runtime::Submit(const ChainSpec& spec,
@@ -164,8 +184,9 @@ Result<std::shared_ptr<Invocation>> Runtime::Submit(const DagSpec& spec,
   return Submit(spec, rr::Buffer::Copy(input));
 }
 
-Result<std::shared_ptr<Invocation>> Runtime::Enqueue(dag::Dag dag,
-                                                     rr::Buffer input) {
+Result<std::shared_ptr<Invocation>> Runtime::Enqueue(
+    dag::Dag dag, rr::Buffer input,
+    std::optional<resilience::ResiliencePolicy> resilience) {
   // Validate now, not at execution: a rejected Submit is visible at the call
   // site, a failed background run only at Wait().
   for (const dag::DagNode& node : dag.nodes()) {
@@ -174,6 +195,7 @@ Result<std::shared_ptr<Invocation>> Runtime::Enqueue(dag::Dag dag,
   auto invocation = std::shared_ptr<Invocation>(new Invocation(
       next_id_.fetch_add(1, std::memory_order_relaxed), std::move(dag),
       std::move(input)));
+  invocation->resilience_ = std::move(resilience);
   // The run's trace id: everything the run touches — driver, DAG workers,
   // wire frames, the remote agent's process — spans under it. A caller that
   // is already inside a trace (the gateway tagging a request) propagates its
@@ -220,8 +242,8 @@ void Runtime::DriverLoop() {
           obs::SpanContext{invocation->trace_id_, 0});
       RR_TRACE_SPAN(run_span, "api",
                     "run:" + std::to_string(invocation->id_));
-      result =
-          executor_.Execute(invocation->dag_, invocation->input_, &stats.dag);
+      result = executor_.Execute(invocation->dag_, invocation->input_,
+                                 &stats.dag, invocation->resilience_);
     }
     stats.total = Now() - started;
     SubmitLatency().Observe(ToSeconds(stats.queued + stats.total));

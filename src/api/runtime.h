@@ -50,6 +50,11 @@ struct ChainSpec {
 // An arbitrary fan-out/fan-in workflow, validated by dag::DagBuilder.
 struct DagSpec {
   dag::Dag dag;
+  // Per-workflow failure-recovery override: when set, this run retries its
+  // remote dispatches under THIS policy instead of the runtime-wide
+  // Options::resilience default (set one with enabled=false to opt a
+  // latency-critical workflow out of retries entirely).
+  std::optional<resilience::ResiliencePolicy> resilience;
 };
 
 // Wall-clock accounting of one submitted run.
@@ -105,6 +110,8 @@ class Invocation {
   const uint64_t id_;
   dag::Dag dag_;
   rr::Buffer input_;
+  // The DagSpec's per-run retry-policy override, carried to the executor.
+  std::optional<resilience::ResiliencePolicy> resilience_;
   uint64_t trace_id_ = 0;
   TimePoint submitted_{};
 
@@ -150,6 +157,12 @@ class Runtime {
     // (Chrome trace JSON) on 127.0.0.1:introspection_port. Off by default.
     bool serve_introspection = false;
     uint16_t introspection_port = 0;  // 0 = ephemeral; read introspection_port()
+    // Failure-recovery plane (resilience/policy.h): per-edge retries with
+    // backoff, per-replica circuit breakers, and agent failover. Disabled by
+    // default (resilience.enabled = false) — enabling it also arms the hop
+    // table's breakers with resilience.breaker. A DagSpec may override the
+    // retry policy per run; breakers are runtime-wide.
+    resilience::ResiliencePolicy resilience;
   };
 
   explicit Runtime(std::string workflow);
@@ -196,7 +209,9 @@ class Runtime {
   }
 
  private:
-  Result<std::shared_ptr<Invocation>> Enqueue(dag::Dag dag, rr::Buffer input);
+  Result<std::shared_ptr<Invocation>> Enqueue(
+      dag::Dag dag, rr::Buffer input,
+      std::optional<resilience::ResiliencePolicy> resilience = std::nullopt);
   void DriverLoop();
 
   core::WorkflowManager manager_;

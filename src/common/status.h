@@ -50,6 +50,19 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  // True for the transient class an operation may safely repeat: the far
+  // side was busy or unreachable (kUnavailable), out of capacity
+  // (kResourceExhausted), or silent past its deadline (kDeadlineExceeded).
+  // Handler and validation errors (kInvalidArgument, kInternal, ...) are
+  // deterministic — repeating them repeats the failure — and are excluded.
+  // This is THE retry classification: the resilience policy engine, the
+  // agent accept loops, and the executor's eviction paths all consult it.
+  bool IsRetryable() const {
+    return code_ == StatusCode::kUnavailable ||
+           code_ == StatusCode::kResourceExhausted ||
+           code_ == StatusCode::kDeadlineExceeded;
+  }
+
   std::string ToString() const;
 
   bool operator==(const Status& other) const { return code_ == other.code_; }

@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/shim.h"
 #include "core/shim_pool.h"
@@ -34,6 +35,14 @@ struct Location {
 // Picks the cheapest mode the placement allows (Table of §7 trade-offs).
 TransferMode SelectMode(const Location& source, const Location& target);
 
+// One NodeAgent ingress address. Replica 0 of every endpoint is its
+// (host, port) pair; additional replicas — other agents serving the same
+// function — ride in Endpoint::failover.
+struct AgentAddress {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
 // A registered function: its instance pool plus placement and (for remote
 // placements) the ingress address of its node. A non-zero port means the
 // function is reached through its node's NodeAgent ingress; port 0 means
@@ -49,8 +58,19 @@ struct Endpoint {
   Shim* shim = nullptr;
   std::shared_ptr<ShimPool> pool;
   Location location;
-  std::string host = "127.0.0.1";  // network-mode ingress
+  std::string host = "127.0.0.1";  // network-mode ingress (replica 0)
   uint16_t port = 0;
+
+  // Failover replicas: additional agent ingresses serving this function.
+  // The executor's resilience engine dispatches to replica 0 first and
+  // fails over in declaration order (wrapping) when a replica's breaker is
+  // open or its retry attempts are spent.
+  std::vector<AgentAddress> failover;
+
+  size_t replica_count() const { return 1 + failover.size(); }
+  AgentAddress replica_address(size_t index) const {
+    return index == 0 ? AgentAddress{host, port} : failover[index - 1];
+  }
 
   // Leases an instance for one node invocation (see ShimPool::Lease). A
   // pool-less endpoint adopts its shim per call (memoized, so every call

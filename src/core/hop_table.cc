@@ -1,6 +1,9 @@
 #include "core/hop_table.h"
 
+#include <utility>
 #include <vector>
+
+#include "resilience/metrics.h"
 
 namespace rr::core {
 
@@ -20,6 +23,11 @@ TransportOptions HopTable::wire_options() const {
   return wire_options_;
 }
 
+void HopTable::set_breaker_options(resilience::BreakerOptions options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  breaker_options_ = options;
+}
+
 Status HopTable::RegisterTransport(std::unique_ptr<Transport> transport) {
   if (transport == nullptr) return InvalidArgumentError("null transport");
   std::lock_guard<std::mutex> lock(mutex_);
@@ -28,8 +36,13 @@ Status HopTable::RegisterTransport(std::unique_ptr<Transport> transport) {
 }
 
 Result<std::shared_ptr<Hop>> HopTable::Get(Endpoint& source,
-                                           const Endpoint& target) {
+                                           const Endpoint& target,
+                                           size_t replica) {
   const TransferMode mode = SelectMode(source.location, target.location);
+  if (replica >= target.replica_count()) {
+    return InvalidArgumentError("replica index out of range for function " +
+                                target.shim->name());
+  }
   std::shared_ptr<Slot> slot;
   std::shared_ptr<Transport> transport;
   TransportOptions options;
@@ -43,7 +56,8 @@ Result<std::shared_ptr<Hop>> HopTable::Get(Endpoint& source,
     transport = it->second;
     options = wire_options_;
     slot = slots_
-               .try_emplace(PairKey{source.shim->name(), target.shim->name()},
+               .try_emplace(PairKey{source.shim->name(), target.shim->name(),
+                                    replica},
                             std::make_shared<Slot>())
                .first->second;
   }
@@ -51,8 +65,18 @@ Result<std::shared_ptr<Hop>> HopTable::Get(Endpoint& source,
   // pairs connects in parallel instead of serializing on the table lock.
   std::lock_guard<std::mutex> slot_lock(slot->mutex);
   if (slot->hop == nullptr) {
-    RR_ASSIGN_OR_RETURN(std::unique_ptr<Hop> hop,
-                        transport->Connect(source, target, options));
+    // A failover replica connects to its own ingress address: same pool,
+    // same placement, different agent.
+    std::unique_ptr<Hop> hop;
+    if (replica == 0) {
+      RR_ASSIGN_OR_RETURN(hop, transport->Connect(source, target, options));
+    } else {
+      Endpoint alternate = target;
+      const AgentAddress address = target.replica_address(replica);
+      alternate.host = address.host;
+      alternate.port = address.port;
+      RR_ASSIGN_OR_RETURN(hop, transport->Connect(source, alternate, options));
+    }
     slot->hop = std::move(hop);
   }
   return slot->hop;
@@ -63,7 +87,7 @@ size_t HopTable::Evict(const std::string& name) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (auto it = slots_.begin(); it != slots_.end();) {
-      if (it->first.first == name || it->first.second == name) {
+      if (std::get<0>(it->first) == name || std::get<1>(it->first) == name) {
         removed.push_back(it->second);
         it = slots_.erase(it);
       } else {
@@ -88,6 +112,66 @@ size_t HopTable::Evict(const std::string& name) {
     }
   }
   return evicted;
+}
+
+resilience::CircuitBreaker& HopTable::BreakerFor(const std::string& function,
+                                                 size_t replica) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& breaker = breakers_[{function, replica}];
+  if (breaker == nullptr) {
+    breaker = std::make_unique<resilience::CircuitBreaker>(breaker_options_);
+    if (breaker->enabled()) {
+      // Register the state gauge at creation — the first dispatch, before
+      // any failure — so a scrape always sees the series (closed = 0).
+      resilience::BreakerStateGauge(function, replica).Set(0);
+    }
+  }
+  return *breaker;
+}
+
+Status HopTable::AdmitDispatch(const std::string& function, size_t replica) {
+  resilience::CircuitBreaker& breaker = BreakerFor(function, replica);
+  const Status admitted = breaker.Admit();
+  if (breaker.enabled()) {
+    resilience::BreakerStateGauge(function, replica)
+        .Set(static_cast<int64_t>(breaker.state()));
+  }
+  return admitted;
+}
+
+void HopTable::RecordDispatchOutcome(const std::string& function,
+                                     size_t replica, const Status& status) {
+  resilience::CircuitBreaker& breaker = BreakerFor(function, replica);
+  breaker.RecordOutcome(status);
+  if (breaker.enabled()) {
+    resilience::BreakerStateGauge(function, replica)
+        .Set(static_cast<int64_t>(breaker.state()));
+  }
+}
+
+std::vector<HopTable::BreakerInfo> HopTable::BreakerSnapshot() const {
+  std::vector<BreakerInfo> snapshot;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshot.reserve(breakers_.size());
+  for (const auto& [key, breaker] : breakers_) {
+    snapshot.push_back(BreakerInfo{key.first, key.second, breaker->state()});
+  }
+  return snapshot;
+}
+
+std::optional<Nanos> HopTable::OpenBreakerRetryAfter() const {
+  std::optional<TimePoint> earliest;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [key, breaker] : breakers_) {
+      if (breaker->state() != resilience::BreakerState::kOpen) continue;
+      const TimePoint probe = breaker->probe_at();
+      if (!earliest.has_value() || probe < *earliest) earliest = probe;
+    }
+  }
+  if (!earliest.has_value()) return std::nullopt;
+  const TimePoint now = Now();
+  return *earliest > now ? *earliest - now : Nanos{0};
 }
 
 size_t HopTable::size() const {

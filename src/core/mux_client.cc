@@ -8,6 +8,7 @@
 #include "common/log.h"
 #include "obs/metrics.h"
 #include "osal/socket.h"
+#include "resilience/fault_injector.h"
 
 namespace rr::core {
 namespace {
@@ -144,7 +145,14 @@ Status MuxClient::StartStream(const std::string& function, rr::Buffer payload,
     streams_.emplace(id, std::move(s));
     control_.push_back(std::move(open));
     if (has_body) ring_.push_back(id);
-    if (!PumpLocked()) {
+    if (resilience::FaultInjector::Instance().ShouldFire(
+            resilience::FaultSite::kMuxConnReset)) {
+      // Chaos hook: a mid-flight RST right after this stream staged — every
+      // stream sharing the connection fails kUnavailable, exactly the blast
+      // radius a real peer reset delivers.
+      ConnDeadLocked(&fired,
+                     UnavailableError("fault injection: connection reset"));
+    } else if (!PumpLocked()) {
       ConnDeadLocked(&fired, UnavailableError("mux agent connection lost"));
     }
   }

@@ -15,6 +15,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "osal/reactor.h"
+#include "resilience/fault_injector.h"
 
 namespace rr::core {
 namespace {
@@ -179,12 +180,13 @@ Bytes EncodeWindowUpdate(uint32_t stream_id, uint32_t credit) {
 }  // namespace
 
 bool IsTransientAcceptError(const Status& status) {
-  // kResourceExhausted: EMFILE/ENFILE/ENOMEM — the node is out of fds or
-  // memory *right now*; connections already being served will finish and
-  // free them. kUnavailable: ECONNABORTED/EPROTO/EAGAIN — the failure
-  // belongs to one aborted peer, not the listener.
-  return status.code() == StatusCode::kResourceExhausted ||
-         status.code() == StatusCode::kUnavailable;
+  // The retryable class IS the transient-accept class: kResourceExhausted
+  // (EMFILE/ENFILE/ENOMEM — the node is out of fds or memory *right now*;
+  // connections already being served will finish and free them),
+  // kUnavailable (ECONNABORTED/EPROTO/EAGAIN — the failure belongs to one
+  // aborted peer, not the listener), kDeadlineExceeded (a peer that stalled
+  // its own handshake).
+  return status.IsRetryable();
 }
 
 // ---------------------------------------------------------------------------
@@ -924,6 +926,12 @@ struct NodeAgent::ReactorPlane {
       }
       return true;
     }
+    if (resilience::FaultInjector::Instance().ShouldFire(
+            resilience::FaultSite::kAgentStarveGrant)) {
+      // Withhold a DUE window update: the sender stalls on credit until its
+      // progress deadline types the edge kDeadlineExceeded.
+      return true;
+    }
     return GrantNow(c, stream_id, s);
   }
 
@@ -1089,6 +1097,28 @@ struct NodeAgent::ReactorPlane {
   }
 
   void RunJob(InvokeJob job) {
+    if (job.mux) {
+      // Fault-injection hooks (resilience/fault_injector.h): one relaxed
+      // atomic load each while disarmed.
+      auto& faults = resilience::FaultInjector::Instance();
+      if (faults.ShouldFire(resilience::FaultSite::kAgentDelayCompletion)) {
+        // Hold the invoke long enough for the sender's backstop to give up;
+        // the late delivery then exercises its token-rejection path.
+        PreciseSleep(faults.delay(resilience::FaultSite::kAgentDelayCompletion));
+      }
+      if (faults.ShouldFire(resilience::FaultSite::kAgentDropCompletion)) {
+        // A worker that dies right after the receive: the frame is
+        // swallowed — no invoke, no completion frame, no delivery — but the
+        // connection's own bookkeeping still runs, so the wire stays
+        // healthy and only the sender's backstop deadline notices.
+        AgentStreamsInFlight().Sub(1);
+        shards[job.shard].reactor->Post(
+            [this, si = job.shard, id = job.conn_id, staged = job.staged] {
+              OnJobDone(si, id, /*mux=*/true, staged, /*fatal=*/false);
+            });
+        return;
+      }
+    }
     Status result = Status::Ok();
     bool acked_ok = false;    // legacy: the OK delivery ack already left
     bool conn_fatal = false;  // the wire desynced: tear the connection down

@@ -1,11 +1,13 @@
 #include "dag/executor.h"
 
+#include <algorithm>
 #include <optional>
 #include <utility>
 
 #include "common/log.h"
 #include "core/region_guard.h"
 #include "obs/trace.h"
+#include "resilience/metrics.h"
 
 namespace rr::dag {
 
@@ -84,8 +86,9 @@ DagExecutor::~DagExecutor() {
   if (sweeper_.joinable()) sweeper_.join();
 }
 
-Result<rr::Buffer> DagExecutor::Execute(const Dag& dag, const rr::Buffer& input,
-                                        telemetry::DagRunStats* stats) {
+Result<rr::Buffer> DagExecutor::Execute(
+    const Dag& dag, const rr::Buffer& input, telemetry::DagRunStats* stats,
+    const std::optional<resilience::ResiliencePolicy>& policy_override) {
   const Stopwatch total_timer;
   if (stats != nullptr) *stats = telemetry::DagRunStats{};
 
@@ -100,6 +103,10 @@ Result<rr::Buffer> DagExecutor::Execute(const Dag& dag, const rr::Buffer& input,
 
   StatsState stats_state;
   stats_state.out = stats;
+  // Per-run retry state lives on this stack like StatsState: pending slots
+  // point at it, and the scheduler keeps this frame alive while any of the
+  // run's tickets is outstanding.
+  RunResilience res(policy_override.value_or(policy_));
 
   // Node tasks execute on the scheduler's pool threads; re-install the
   // submitting thread's trace context there so every node/edge span joins
@@ -108,7 +115,7 @@ Result<rr::Buffer> DagExecutor::Execute(const Dag& dag, const rr::Buffer& input,
   Status status = scheduler_.Run(
       dag, [&](size_t index, const DagScheduler::DeferFn& defer) {
         obs::ScopedTraceContext ctx(run_ctx);
-        return RunNode(dag, index, runs, input, stats_state, defer);
+        return RunNode(dag, index, runs, input, stats_state, res, defer);
       });
 
   // Assemble the result by chunk sharing: each sink's output is egressed
@@ -140,7 +147,7 @@ Result<rr::Buffer> DagExecutor::Execute(const Dag& dag, const rr::Buffer& input,
 
 Status DagExecutor::RunNode(const Dag& dag, size_t index,
                             std::vector<NodeRun>& runs, const rr::Buffer& input,
-                            StatsState& stats,
+                            StatsState& stats, RunResilience& res,
                             const DagScheduler::DeferFn& defer) {
   const DagNode& node = dag.node(index);
   NodeRun& run = runs[index];
@@ -163,34 +170,41 @@ Status DagExecutor::RunNode(const Dag& dag, size_t index,
     return FinishNode(dag, index, runs, lease.get(), outcome);
   }
 
-  // Establish every predecessor's hop up front; all of them must agree on
-  // coupling. An invoke-coupled hop (remote NodeAgent ingress) carries the
-  // whole node — one dispatched frame, outcome via the agent's delivery
-  // callback or completion frame — while local hops deliver then invoke
-  // here. The agent ingress only carries edges the placement makes network
-  // anyway, so a co-located predecessor keeps its user/kernel fast path even
-  // when the target publishes an ingress port; a genuinely mixed predecessor
-  // set is rejected regardless of edge-declaration order. Holding the
-  // shared_ptrs for the node's duration keeps every hop alive across a
-  // concurrent eviction (the transfer then fails on the closed wire,
-  // cleanly).
-  std::vector<std::shared_ptr<Hop>> pred_hops;
-  pred_hops.reserve(node.preds.size());
+  // Decide coupling per predecessor FIRST, from placement alone: a network
+  // edge into a published ingress port is invoke-coupled (the frame lands at
+  // a remote NodeAgent whose worker performs receive+invoke); everything
+  // else is a local hop that delivers here. The invoke-coupled path defers
+  // hop establishment to DispatchAttempt — the hop to a dead replica must
+  // fail INSIDE the retry/failover engine, not up here — so only local
+  // predecessors establish eagerly. The agent ingress only carries edges the
+  // placement makes network anyway, so a co-located predecessor keeps its
+  // user/kernel fast path even when the target publishes an ingress port; a
+  // genuinely mixed predecessor set is rejected regardless of
+  // edge-declaration order.
   size_t coupled = 0;
   for (const size_t pred : node.preds) {
-    RR_ASSIGN_OR_RETURN(std::shared_ptr<Hop> hop,
-                        manager_->hops().Get(*runs[pred].endpoint, target));
-    if (hop->invoke_coupled()) ++coupled;
-    pred_hops.push_back(std::move(hop));
+    const core::TransferMode mode = core::SelectMode(
+        runs[pred].endpoint->location, target.location);
+    if (mode == core::TransferMode::kNetwork && target.port != 0) ++coupled;
   }
   if (coupled == node.preds.size()) {
-    return RunRemoteNode(dag, index, runs, std::move(pred_hops.front()), stats,
-                         defer);
+    return RunRemoteNode(dag, index, runs, stats, res, defer);
   }
   if (coupled != 0) {
     return FailedPreconditionError(
         "node " + node.name +
         " mixes invoke-coupled (agent ingress) and local predecessors");
+  }
+  // Local path: establish every predecessor's hop up front. Holding the
+  // shared_ptrs for the node's duration keeps every hop alive across a
+  // concurrent eviction (the transfer then fails on the closed wire,
+  // cleanly).
+  std::vector<std::shared_ptr<Hop>> pred_hops;
+  pred_hops.reserve(node.preds.size());
+  for (const size_t pred : node.preds) {
+    RR_ASSIGN_OR_RETURN(std::shared_ptr<Hop> hop,
+                        manager_->hops().Get(*runs[pred].endpoint, target));
+    pred_hops.push_back(std::move(hop));
   }
   return RunLocalNode(dag, index, runs, pred_hops, stats);
 }
@@ -325,15 +339,18 @@ Status DagExecutor::RunLocalNode(
 }
 
 // Completion-driven remote node: assembles ONE frame, registers the pending
-// continuation slot, defers the node with the scheduler, and initiates the
-// transfer — then returns, freeing the worker. The node retires when the
-// slot resolves: DeliverOutcome (the agent's delivery callback, carrying the
-// outcome), the hop's DispatchAsync callback with an error (a mux completion
-// frame — a remote handler failure arrives here immediately), or the
-// remote_deadline sweeper (the backstop for a silent far side).
+// continuation slot, defers the node with the scheduler, and hands the token
+// to DispatchAttempt — then returns, freeing the worker. The node retires
+// when the slot resolves: DeliverOutcome (the agent's delivery callback,
+// carrying the outcome), the hop's DispatchAsync callback with an error (a
+// mux completion frame — a remote handler failure arrives here immediately),
+// or the remote_deadline sweeper (the backstop for a silent far side). With
+// the run's ResiliencePolicy enabled, a retryable attempt failure re-enters
+// the slot as a backoff ticket instead of completing it (see
+// ResolveAttemptFailure).
 Status DagExecutor::RunRemoteNode(const Dag& dag, size_t index,
-                                  std::vector<NodeRun>& runs,
-                                  std::shared_ptr<Hop> hop, StatsState& stats,
+                                  std::vector<NodeRun>& runs, StatsState& stats,
+                                  RunResilience& res,
                                   const DagScheduler::DeferFn& defer) {
   const DagNode& node = dag.node(index);
   Endpoint& target = *runs[index].endpoint;
@@ -344,7 +361,9 @@ Status DagExecutor::RunRemoteNode(const Dag& dag, size_t index,
   // by reference and vectored onto the wire, no host-side merge copy. Egress
   // is forced (and timed) HERE, not inside the hop, so the pending slot
   // below is fully written before it publishes: once the frame is on the
-  // wire, the completion may race this thread.
+  // wire, the completion may race this thread. The slot keeps the assembled
+  // buffer for the attempt's lifetime — a redispatch re-sends the same
+  // immutable frame at refcount cost.
   TransferTiming timing;
   std::vector<uint64_t> part_bytes;
   part_bytes.reserve(node.preds.size());
@@ -355,27 +374,39 @@ Status DagExecutor::RunRemoteNode(const Dag& dag, size_t index,
     wire.Append(*part);
     part_bytes.push_back(part->size());
   }
-  const Payload frame{std::move(wire)};
-
-  const uint64_t token = next_token_.fetch_add(1, std::memory_order_relaxed);
 
   // Everything below the slot registration runs on borrowed time: the
   // moment the slot is published, ANY resolution path — a loopback
   // completion, or the sweeper under a very short remote_deadline — can
   // complete the ticket and unblock Run(), unwinding the stack that `runs`,
   // `node`, and `target` live on. So: copy the names out, and drop this
-  // node's claim on its predecessors NOW (`frame` holds the chunk refcounts)
-  // — after the publish, only locals, the hop, and the ticket are touched.
+  // node's claim on its predecessors NOW (the slot's frame holds the chunk
+  // refcounts).
   const std::string node_name = node.name;
   const std::string function = target.shim->name();
   ReleaseConsumedPreds(node, runs);
 
+  // The dispatch span is what the agent-side spans parent under: its context
+  // rides the frame header, re-installed around EVERY attempt's dispatch.
+  // The span is RECORDED up front — a loopback completion can finish the
+  // whole run (and a caller snapshot the trace) before DispatchAttempt
+  // returns.
+  obs::SpanContext span_ctx{};
+  {
+    RR_TRACE_SPAN(dispatch_span, "dag", "dispatch:" + node_name);
+    if (dispatch_span) {
+      span_ctx = dispatch_span->context();
+      dispatch_span->End();
+    }
+  }
+
   // Defer the node and register its continuation BEFORE the frame leaves:
-  // the completion may fire — and the ticket complete — before DispatchAsync
-  // even returns.
+  // the completion may fire — and the ticket complete — before the dispatch
+  // call even returns. The slot publishes with its deadline DISARMED
+  // (TimePoint::max()); DispatchAttempt arms it once a replica is chosen,
+  // so the sweeper cannot expire an attempt that has not initiated.
   DagScheduler::Ticket ticket = defer();
-  const TimePoint dispatched_at = Now();
-  bool wake_sweeper = false;
+  const uint64_t token = next_token_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mail_mutex_);
     Pending slot;
@@ -385,66 +416,230 @@ Status DagExecutor::RunRemoteNode(const Dag& dag, size_t index,
     slot.index = index;
     slot.runs = &runs;
     slot.stats = &stats;
-    slot.hop = hop;
+    slot.res = &res;
     slot.part_bytes = std::move(part_bytes);
     slot.frame_wasm_io = timing.wasm_io;
-    slot.dispatched_at = dispatched_at;
-    // Non-positive remote_deadline means UNBOUNDED (no backstop — failures
-    // still surface through completion frames and dead channels), never
-    // "expire immediately": an already-expired slot would let the sweeper
-    // complete the ticket while this thread still runs.
-    slot.deadline = remote_deadline_ > Nanos{0}
-                        ? dispatched_at + remote_deadline_
-                        : TimePoint::max();
-    wake_sweeper = slot.deadline < sweep_next_;
+    slot.frame = std::move(wire);
+    slot.trace_ctx = span_ctx;
+    slot.phase = Pending::Phase::kInFlight;
+    slot.dispatched_at = Now();
+    slot.deadline = TimePoint::max();
     pending_.emplace(token, std::move(slot));
     if (!sweeper_.joinable()) {
       sweeper_ = std::thread([this] { SweeperLoop(); });
     }
   }
-  if (wake_sweeper) sweep_cv_.notify_all();
+  DispatchAttempt(token);
+  return Status::Ok();
+}
 
-  // The dispatch span is what the agent-side spans parent under: its context
-  // rides the frame header (captured inside DispatchAsync on this thread).
-  // The span is RECORDED before the dispatch — a loopback completion can
-  // finish the whole run (and a caller snapshot the trace) before
-  // DispatchAsync returns — while its context is kept installed for the
-  // frame to capture.
-  RR_TRACE_SPAN(dispatch_span, "dag", "dispatch:" + node_name);
-  std::optional<obs::ScopedTraceContext> dispatch_ctx;
-  if (dispatch_span) {
-    const obs::SpanContext span_ctx = dispatch_span->context();
-    dispatch_span->End();
-    dispatch_ctx.emplace(span_ctx);
+// One attempt of one pending transfer: select a replica (breaker-gated,
+// starting where the previous attempt left off), establish its hop, arm the
+// attempt deadline, initiate the dispatch. Runs on a scheduler worker for
+// the first attempt and on the sweeper thread for backoff redispatches.
+void DagExecutor::DispatchAttempt(uint64_t token) {
+  // Snapshot what the selection needs under the lock. The raw endpoint
+  // pointers stay valid outside it: no resolution signal can fire for this
+  // token until the dispatch below initiates (the deadline is disarmed, the
+  // phase is in-flight so the sweeper won't redispatch, and the frame has
+  // not touched a wire), so the ticket cannot complete and the Run's stack
+  // cannot unwind.
+  std::string function;
+  rr::Buffer frame;
+  size_t start_replica = 0;
+  Endpoint* source = nullptr;
+  Endpoint* target = nullptr;
+  obs::SpanContext trace_ctx{};
+  {
+    std::lock_guard<std::mutex> lock(mail_mutex_);
+    const auto it = pending_.find(token);
+    if (it == pending_.end()) return;  // already resolved
+    Pending& slot = it->second;
+    slot.phase = Pending::Phase::kInFlight;
+    slot.deadline = TimePoint::max();
+    function = slot.function;
+    frame = slot.frame;
+    start_replica = slot.replica;
+    const DagNode& node = slot.dag->node(slot.index);
+    source = (*slot.runs)[node.preds.front()].endpoint;
+    target = (*slot.runs)[slot.index].endpoint;
+    trace_ctx = slot.trace_ctx;
   }
+
+  // Replica selection. A breaker refusal skips the replica in microseconds;
+  // a failed establishment is that replica's wire failure — it feeds the
+  // replica's breaker and the selection moves on, so a dead primary fails
+  // over on the CONNECT, before any deadline is spent.
+  core::HopTable& hops = manager_->hops();
+  const size_t replica_count = target->replica_count();
+  std::shared_ptr<Hop> hop;
+  size_t chosen = 0;
+  Status last_refusal =
+      UnavailableError("no dispatchable replica for function " + function);
+  for (size_t k = 0; k < replica_count && hop == nullptr; ++k) {
+    const size_t r = (start_replica + k) % replica_count;
+    const Status admitted = hops.AdmitDispatch(function, r);
+    if (!admitted.ok()) {
+      last_refusal = admitted;
+      continue;
+    }
+    auto established = hops.Get(*source, *target, r);
+    if (!established.ok()) {
+      hops.RecordDispatchOutcome(function, r, established.status());
+      last_refusal = established.status();
+      continue;
+    }
+    hop = *std::move(established);
+    chosen = r;
+  }
+  if (hop == nullptr) {
+    // Every replica refused (or failed to connect). The refused round counts
+    // as an attempt so an all-open breaker set converges on max_attempts ×
+    // replicas instead of spinning until the budget drains.
+    {
+      std::lock_guard<std::mutex> lock(mail_mutex_);
+      const auto it = pending_.find(token);
+      if (it == pending_.end()) return;
+      ++it->second.total_attempts;
+    }
+    ResolveAttemptFailure(token, last_refusal, /*force_evict=*/false);
+    return;
+  }
+
+  // Arm the attempt. Re-find the slot: selection ran unlocked and purely
+  // defensive — nothing can have resolved the token — but a find keeps the
+  // invariant local.
+  bool wake_sweeper = false;
+  bool failover = false;
+  {
+    std::lock_guard<std::mutex> lock(mail_mutex_);
+    const auto it = pending_.find(token);
+    if (it == pending_.end()) return;
+    Pending& slot = it->second;
+    failover = slot.last_replica != Pending::kNoReplica &&
+               chosen != slot.last_replica;
+    slot.attempts_on_replica =
+        chosen == slot.last_replica ? slot.attempts_on_replica + 1 : 1;
+    slot.last_replica = slot.replica = chosen;
+    ++slot.total_attempts;
+    slot.hop = hop;
+    slot.dispatched_at = Now();
+    // Non-positive remote_deadline means UNBOUNDED (no backstop — failures
+    // still surface through completion frames and dead channels), never
+    // "expire immediately": an already-expired slot would let the sweeper
+    // complete the ticket while this thread still runs.
+    slot.deadline = remote_deadline_ > Nanos{0}
+                        ? slot.dispatched_at + remote_deadline_
+                        : TimePoint::max();
+    wake_sweeper = slot.deadline < sweep_next_;
+  }
+  if (wake_sweeper) sweep_cv_.notify_all();
+  if (failover) resilience::FailoverTotal().Inc();
+
+  // Keep the recorded dispatch span's context installed while the frame
+  // captures its header, so agent-side spans parent under it on every
+  // attempt — retries included.
+  std::optional<obs::ScopedTraceContext> dispatch_ctx;
+  if (trace_ctx.valid()) dispatch_ctx.emplace(trace_ctx);
+  const Payload payload{std::move(frame)};
   const std::shared_ptr<LifeGuard> life = life_;
   const Status sent = hop->DispatchAsync(
-      frame, token, /*timing=*/nullptr, [life, token](Status outcome) {
+      payload, token, /*timing=*/nullptr, [life, token](Status outcome) {
         // OK = the wire accepted the transfer; the node's real outcome
         // arrives through the delivery callback. An error is terminal for
-        // the edge (completion frame, dead channel, drain deadline): fail it
-        // now instead of waiting out the backstop.
+        // the ATTEMPT (completion frame, dead channel, drain deadline):
+        // resolve it now instead of waiting out the backstop — the retry
+        // engine decides whether the edge lives on.
         if (outcome.ok()) return;
         std::lock_guard<std::mutex> lock(life->mutex);
         if (life->owner == nullptr) return;
-        life->owner->FailDelivery(token, outcome, /*force_evict=*/false);
+        life->owner->ResolveAttemptFailure(token, outcome,
+                                           /*force_evict=*/false);
       });
   if (!sent.ok()) {
-    // Initiation failed: `done` never fires. Reclaim the slot and fail the
-    // node through its ticket — but only if this thread actually took the
-    // slot: a sweeper with a short deadline may already have completed the
-    // ticket, and a second Complete (or any touch of run state) would race
-    // the unwinding Run. Eviction matches the local path: a dispatch that
-    // killed its wire leaves the hop dead — evict so the next run
-    // re-establishes a fresh channel instead of failing forever; a typed
-    // in-sync refusal leaves the channel (and the other transfers sharing
-    // it) intact.
-    if (TakePending(token).has_value()) {
-      if (!hop->healthy()) manager_->hops().Evict(function);
-      ticket.Complete(sent);
-    }
+    // Initiation failed: `done` never fires. Resolve through the engine —
+    // which no-ops if a sweeper with a very short deadline already took the
+    // slot.
+    ResolveAttemptFailure(token, sent, /*force_evict=*/false);
   }
-  return Status::Ok();
+}
+
+// Resolves one attempt's failure. Terminal — the ticket completes with the
+// attempt's own status — when the run's policy is disabled, the status is
+// not retryable, or the attempt ceiling (max_attempts × replicas) is
+// reached; terminal with a typed kUnavailable when the run's shared retry
+// budget is gone. Otherwise the slot re-registers under a FRESH token in
+// backoff phase and the sweeper redispatches it at retry_at: no worker
+// parks, and any late signal for the failed attempt finds its old token
+// gone.
+void DagExecutor::ResolveAttemptFailure(uint64_t token, const Status& status,
+                                        bool force_evict) {
+  std::optional<Pending> slot = TakePending(token);
+  if (!slot.has_value()) return;  // already resolved: the first signal won
+
+  // A null hop means the attempt never dispatched (every replica refused
+  // admission): there is no new wire outcome — the connect failures already
+  // fed their breakers inside the selection loop, and re-recording the
+  // refusal would double-penalize the previously used replica.
+  if (slot->hop != nullptr) {
+    manager_->hops().RecordDispatchOutcome(slot->function, slot->last_replica,
+                                           status);
+  }
+  // A deadline expiry tears the channel down with the failed transfer (on
+  // the legacy wire the agent-side worker dies with the connection, so a
+  // frame still in flight is dropped; a late completion matches no pending
+  // token and is rejected). Other failures evict only when the wire actually
+  // died — a typed in-sync refusal (remote pool exhausted, unknown function)
+  // leaves the channel healthy and the transfers sharing it unharmed.
+  if (force_evict || (slot->hop != nullptr && !slot->hop->healthy())) {
+    manager_->hops().Evict(slot->function);
+  }
+
+  const resilience::ResiliencePolicy& policy = slot->res->policy;
+  const size_t replica_count =
+      (*slot->runs)[slot->index].endpoint->replica_count();
+  const uint32_t max_total =
+      policy.max_attempts * static_cast<uint32_t>(replica_count);
+  if (!policy.enabled || !resilience::RetryableDispatch(status) ||
+      slot->total_attempts >= max_total) {
+    // Terminal with the attempt's own status: callers (and tests) see the
+    // real failure class — kDeadlineExceeded for a silent far side, the
+    // typed refusal for a handler error — not a retry wrapper.
+    slot->ticket.Complete(status);
+    return;
+  }
+  if (!slot->res->budget.TryConsume()) {
+    resilience::RetryBudgetExhaustedTotal().Inc();
+    slot->ticket.Complete(
+        UnavailableError("retry budget exhausted for run; last error: " +
+                         status.ToString()));
+    return;
+  }
+
+  // This replica's per-replica attempts are spent: advance the selection
+  // start — failover in registration order, wrapping.
+  if (slot->attempts_on_replica >= policy.max_attempts && replica_count > 1) {
+    slot->replica = (slot->last_replica + 1) % replica_count;
+  }
+  slot->hop.reset();
+  bool wake_sweeper = false;
+  {
+    std::lock_guard<std::mutex> lock(mail_mutex_);
+    // The jitter stream is shared by the run's concurrent edges; mail_mutex_
+    // guards the draw, keeping the sequence (and tests) deterministic.
+    const Nanos delay =
+        resilience::NextBackoff(policy, slot->prev_backoff, slot->res->rng);
+    slot->prev_backoff = delay;
+    slot->phase = Pending::Phase::kBackoff;
+    slot->retry_at = Now() + delay;
+    slot->deadline = TimePoint::max();
+    wake_sweeper = slot->retry_at < sweep_next_;
+    const uint64_t fresh =
+        next_token_.fetch_add(1, std::memory_order_relaxed);
+    pending_.emplace(fresh, std::move(*slot));
+  }
+  resilience::RetryAttemptsTotal().Inc();
+  if (wake_sweeper) sweep_cv_.notify_all();
 }
 
 // Publishes the node's output on the payload plane: the payload records the
@@ -488,9 +683,17 @@ Status DagExecutor::DeliverOutcome(const std::string& function,
       std::lock_guard<std::mutex> shim_lock(instance->exec_mutex());
       (void)instance->ReleaseRegion(outcome.output);
     }
+    resilience::StaleDeliveriesTotal().Inc();
     return TokenMismatchError("delivery for function " + function +
                               " carries token " + std::to_string(token) +
                               " matching no pending transfer");
+  }
+
+  // The attempt's replica answered: reset its breaker streak (a delivery
+  // proves the wire AND the agent work, whatever the handler returned).
+  if (slot->last_replica != Pending::kNoReplica) {
+    manager_->hops().RecordDispatchOutcome(slot->function, slot->last_replica,
+                                           Status::Ok());
   }
 
   // Resolve the deferred edge. Everything touching the run's stack state
@@ -521,49 +724,52 @@ Status DagExecutor::DeliverOutcome(const std::string& function,
   return Status::Ok();
 }
 
-void DagExecutor::FailDelivery(uint64_t token, const Status& status,
-                               bool force_evict) {
-  std::optional<Pending> slot = TakePending(token);
-  if (!slot.has_value()) return;  // already resolved: the first signal won
-  // A deadline expiry tears the channel down with the failed transfer (on
-  // the legacy wire the agent-side worker dies with the connection, so a
-  // frame still in flight is dropped; a late completion matches no pending
-  // token and is rejected). Other failures evict only when the wire actually
-  // died — a typed in-sync refusal (remote pool exhausted, unknown function)
-  // leaves the channel healthy and the transfers sharing it unharmed.
-  if (force_evict || !slot->hop->healthy()) {
-    manager_->hops().Evict(slot->function);
-  }
-  slot->ticket.Complete(status);
-}
-
-// The remote_deadline backstop. With completion frames carrying failures and
-// delivery callbacks carrying successes, this sweeper only ever fires for a
-// far side that went fully silent: a legacy-wire invoke failure (the old
-// wire has no failure frame), a dead agent, a lost frame.
+// The sweeper serves two clocks. The remote_deadline backstop: with
+// completion frames carrying failures and delivery callbacks carrying
+// successes, an expiry only ever fires for a far side that went fully silent
+// (a legacy-wire invoke failure — the old wire has no failure frame — a dead
+// agent, a lost frame); it routes through ResolveAttemptFailure so the retry
+// engine decides whether the edge is terminal. And the backoff clock: a slot
+// parked in kBackoff redispatches here when retry_at passes — the ONLY
+// redispatch site, so no scheduler worker ever sleeps a backoff out. A
+// legacy-wire redispatch may block this thread on a connect; concurrent
+// expiries slip by that much, which the per-attempt deadlines absorb.
 void DagExecutor::SweeperLoop() {
   std::unique_lock<std::mutex> lock(mail_mutex_);
   while (!sweeper_stop_) {
     const TimePoint now = Now();
     TimePoint next = TimePoint::max();
-    std::vector<std::pair<uint64_t, Pending>> expired;
-    for (auto it = pending_.begin(); it != pending_.end();) {
-      if (it->second.deadline <= now) {
-        expired.emplace_back(it->first, std::move(it->second));
-        it = pending_.erase(it);
+    std::vector<std::pair<uint64_t, std::string>> expired;
+    std::vector<uint64_t> due;
+    for (const auto& [token, slot] : pending_) {
+      if (slot.phase == Pending::Phase::kInFlight) {
+        if (slot.deadline <= now) {
+          expired.emplace_back(token, slot.function);
+        } else {
+          next = std::min(next, slot.deadline);
+        }
       } else {
-        next = std::min(next, it->second.deadline);
-        ++it;
+        if (slot.retry_at <= now) {
+          due.push_back(token);
+        } else {
+          next = std::min(next, slot.retry_at);
+        }
       }
     }
-    if (!expired.empty()) {
+    if (!expired.empty() || !due.empty()) {
+      // Slots stay registered while unlocked: ResolveAttemptFailure and
+      // DispatchAttempt take (or re-find) them by token, so a completion
+      // racing this scan simply wins and the loser no-ops.
       lock.unlock();
-      for (auto& [token, slot] : expired) {
-        manager_->hops().Evict(slot.function);
-        slot.ticket.Complete(DeadlineExceededError(
-            "no delivery from node agent for function " + slot.function +
-            " (token " + std::to_string(token) + ")"));
+      for (const auto& [token, function] : expired) {
+        ResolveAttemptFailure(
+            token,
+            DeadlineExceededError("no delivery from node agent for function " +
+                                  function + " (token " +
+                                  std::to_string(token) + ")"),
+            /*force_evict=*/true);
       }
+      for (const uint64_t token : due) DispatchAttempt(token);
       lock.lock();
       continue;  // pending_ may have changed while unlocked
     }

@@ -42,6 +42,19 @@
 // pending token and is rejected with kTokenMismatch (its output released),
 // never claimed by a later run.
 //
+// FAILURE RECOVERY (resilience/policy.h): when a run's ResiliencePolicy is
+// enabled, a retryable attempt failure does not complete the ticket — the
+// slot re-registers under a FRESH token in a backoff phase and the sweeper
+// re-dispatches it when the (decorrelated-jitter) delay passes, so no
+// worker parks in a backoff sleep and a late completion of the failed
+// attempt can only miss (its token is gone → kTokenMismatch, counted in
+// rr_stale_deliveries_total). Replica selection starts each attempt at the
+// last replica used and skips replicas whose circuit breaker (HopTable)
+// refuses admission; when one replica's attempts are spent the selection
+// start advances — failover in registration order, wrapping. The dispatch
+// frame is a ref-counted immutable rr::Buffer held by the slot, so a
+// redispatch costs refcounts, not copies.
+//
 // Execution is reentrant: concurrent runs (api::Runtime keeps many
 // invocations in flight) share the worker pool, the hop cache, and the
 // delivery mailbox; per-run state lives on the caller's stack, kept valid by
@@ -60,11 +73,14 @@
 #include <thread>
 #include <vector>
 
+#include "common/rng.h"
 #include "core/node_agent.h"
 #include "core/payload.h"
 #include "core/workflow.h"
 #include "dag/dag.h"
 #include "dag/scheduler.h"
+#include "obs/trace.h"
+#include "resilience/policy.h"
 #include "telemetry/metrics.h"
 
 namespace rr::api {
@@ -104,8 +120,15 @@ class DagExecutor {
   // delivery callback nor a completion frame. Failures that do speak (a mux
   // completion frame, a dead channel) resolve the edge immediately,
   // regardless of this value. Non-positive disables the backstop entirely
-  // (unbounded) — it never means "expire immediately".
+  // (unbounded) — it never means "expire immediately". With retries enabled
+  // the backstop bounds EACH attempt, not the edge.
   void set_remote_deadline(Nanos deadline) { remote_deadline_ = deadline; }
+
+  // Default retry policy for runs that do not carry their own (the
+  // per-DagSpec override threads through Execute).
+  void set_resilience_policy(resilience::ResiliencePolicy policy) {
+    policy_ = policy;
+  }
 
   size_t worker_count() const { return scheduler_.worker_count(); }
 
@@ -115,24 +138,41 @@ class DagExecutor {
   struct NodeRun;
   struct StatsState;
 
+  // Per-run resilience state, living on Execute's stack beside StatsState:
+  // the resolved policy, the shared retry budget, and the jitter stream
+  // (guarded by mail_mutex_ — backoff draws happen under it).
+  struct RunResilience {
+    resilience::ResiliencePolicy policy;
+    resilience::RetryBudget budget;
+    rr::Rng rng;
+
+    explicit RunResilience(const resilience::ResiliencePolicy& p)
+        : policy(p), budget(p.enabled ? p.run_retry_budget : 0),
+          rng(p.jitter_seed) {}
+  };
+
   // Runs the DAG: `input` is shared (never copied) with every source node;
   // the sink functions' outputs (concatenated in declaration order when
   // there are several sinks, by chunk sharing) are returned as one buffer.
   // On any node failure the run cancels — downstream nodes never execute —
   // and the first error returns; the payload plane's refcounts release every
   // still-live output. Safe to call from many threads at once; reachable
-  // only through api::Runtime::Submit.
-  Result<rr::Buffer> Execute(const Dag& dag, const rr::Buffer& input,
-                             telemetry::DagRunStats* stats = nullptr);
+  // only through api::Runtime::Submit. `policy_override` (a per-DagSpec
+  // ResiliencePolicy) replaces the executor default for this run.
+  Result<rr::Buffer> Execute(
+      const Dag& dag, const rr::Buffer& input,
+      telemetry::DagRunStats* stats = nullptr,
+      const std::optional<resilience::ResiliencePolicy>& policy_override =
+          std::nullopt);
 
   Status RunNode(const Dag& dag, size_t index, std::vector<NodeRun>& runs,
                  const rr::Buffer& input, StatsState& stats,
-                 const DagScheduler::DeferFn& defer);
+                 RunResilience& res, const DagScheduler::DeferFn& defer);
   Status RunLocalNode(const Dag& dag, size_t index, std::vector<NodeRun>& runs,
                       const std::vector<std::shared_ptr<core::Hop>>& pred_hops,
                       StatsState& stats);
   Status RunRemoteNode(const Dag& dag, size_t index, std::vector<NodeRun>& runs,
-                       std::shared_ptr<core::Hop> hop, StatsState& stats,
+                       StatsState& stats, RunResilience& res,
                        const DagScheduler::DeferFn& defer);
   Status FinishNode(const Dag& dag, size_t index, std::vector<NodeRun>& runs,
                     core::Shim* instance, core::InvokeOutcome outcome);
@@ -144,29 +184,57 @@ class DagExecutor {
   // Run's stack state, valid until the ticket completes (the scheduler keeps
   // the Run blocked while the node is outstanding) — so every resolution
   // path touches them strictly BEFORE Ticket::Complete.
+  //
+  // With retries, a slot cycles between two phases under a CHANGING token:
+  // kInFlight (dispatched, waiting on a signal) and kBackoff (waiting for
+  // retry_at; the sweeper re-dispatches it). Each cycle re-registers the
+  // slot under a fresh token, so any signal for a previous attempt finds
+  // nothing — first-taker-wins resolution needs no generation counters.
   struct Pending {
+    enum class Phase { kInFlight, kBackoff };
+
     std::string function;  // target function = hop-cache eviction key
     DagScheduler::Ticket ticket;
     const Dag* dag = nullptr;
     size_t index = 0;
     std::vector<NodeRun>* runs = nullptr;
     StatsState* stats = nullptr;
+    RunResilience* res = nullptr;
     std::shared_ptr<core::Hop> hop;
     std::vector<uint64_t> part_bytes;  // per-predecessor frame contribution
     Nanos frame_wasm_io{0};            // egress time of frame assembly
+    rr::Buffer frame;                  // immutable dispatch frame (refcounted)
+    obs::SpanContext trace_ctx{};      // re-installed around each redispatch
     TimePoint dispatched_at{};
-    // dispatched_at + remote_deadline_, or TimePoint::max() when the
-    // backstop is disabled (non-positive remote_deadline_).
+    // kInFlight: dispatched_at + remote_deadline_ per ATTEMPT, or
+    // TimePoint::max() while the backstop is disabled or the dispatch has
+    // not initiated yet.
     TimePoint deadline{};
+    Phase phase = Phase::kInFlight;
+    TimePoint retry_at{};      // kBackoff: when the sweeper re-dispatches
+    Nanos prev_backoff{0};     // decorrelated-jitter recurrence state
+    uint32_t total_attempts = 0;
+    uint32_t attempts_on_replica = 0;
+    size_t replica = 0;        // where the next selection starts
+    static constexpr size_t kNoReplica = static_cast<size_t>(-1);
+    size_t last_replica = kNoReplica;  // replica of the last dispatched attempt
   };
 
   // Extracts the slot under mail_mutex_ (first taker wins; later signals
   // find nothing and no-op). Resolution then runs outside the lock.
   std::optional<Pending> TakePending(uint64_t token);
-  // Terminal failure for a pending transfer: evicts the hop when the wire
-  // died (`force_evict` for deadline expiry, which always tears the channel
-  // down), then completes the ticket. Unknown tokens no-op.
-  void FailDelivery(uint64_t token, const Status& status, bool force_evict);
+  // Selects a replica (breaker-gated), establishes its hop, arms the attempt
+  // deadline, and initiates the transfer. Runs on a scheduler worker for
+  // attempt 1 and on the sweeper thread for retries.
+  void DispatchAttempt(uint64_t token);
+  // Resolves one attempt's failure: terminal (ticket completes) when the
+  // status is non-retryable, attempts/budget are spent, or the run's policy
+  // is disabled; otherwise the slot re-registers under a fresh token in
+  // backoff phase. Evicts the hop when the wire died (`force_evict` for
+  // deadline expiry, which always tears the channel down). Unknown tokens
+  // no-op.
+  void ResolveAttemptFailure(uint64_t token, const Status& status,
+                             bool force_evict);
   void SweeperLoop();
 
   // Shared with every DispatchAsync callback: hops (and their mux clients)
@@ -188,6 +256,7 @@ class DagExecutor {
   std::map<uint64_t, Pending> pending_;
   std::atomic<uint64_t> next_token_{1};
   Nanos remote_deadline_ = std::chrono::seconds(60);
+  resilience::ResiliencePolicy policy_;  // default; DagSpec may override
 
   // The backstop sweeper, started lazily with the first pending transfer.
   // sweep_next_ is the deadline it is currently waiting for: registrations

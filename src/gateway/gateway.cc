@@ -1,5 +1,7 @@
 #include "gateway/gateway.h"
 
+#include <algorithm>
+
 #include "common/strings.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -208,7 +210,7 @@ void Gateway::Handle(http::Request&& request,
   // teardown; a Send after Stop is a no-op.
   std::shared_ptr<api::Invocation> invocation = std::move(*submitted);
   api::Invocation* raw = invocation.get();
-  raw->NotifyDone([ctx, route, entered, responder,
+  raw->NotifyDone([ctx, route, entered, responder, runtime = runtime_,
                    invocation = std::move(invocation)]() mutable {
     // The run is done when this fires: Wait() returns without blocking.
     const Result<rr::Buffer>& result = invocation->Wait();
@@ -217,6 +219,19 @@ void Gateway::Handle(http::Request&& request,
       ctx->response.headers["Content-Type"] = "application/octet-stream";
       ctx->response.body = *result;  // chunk sharing, not a copy
     } else {
+      // A run shed by the failure-recovery plane maps to 503; when an open
+      // circuit breaker caused it, hint the client at the breaker's next
+      // half-open probe — retrying sooner can only be refused again.
+      if (result.status().code() == StatusCode::kUnavailable) {
+        const Nanos probe_in = runtime->manager()
+                                   .hops()
+                                   .OpenBreakerRetryAfter()
+                                   .value_or(std::chrono::seconds(1));
+        const int64_t seconds =
+            std::max<int64_t>(1, (probe_in.count() + 999'999'999) /
+                                     1'000'000'000);
+        ctx->response.headers["Retry-After"] = std::to_string(seconds);
+      }
       ctx->response = ErrorResponse(*ctx, result.status());
     }
     Finish(*ctx, route->chain, entered, responder);

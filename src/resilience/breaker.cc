@@ -1,0 +1,86 @@
+#include "resilience/breaker.h"
+
+#include <string>
+
+namespace rr::resilience {
+
+std::string_view BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+Status CircuitBreaker::Admit() {
+  if (!enabled()) return Status::Ok();
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return Status::Ok();
+    case BreakerState::kOpen: {
+      const TimePoint now = Now();
+      if (now < probe_at_) {
+        const Nanos wait = probe_at_ - now;
+        return UnavailableError(
+            "circuit breaker open; next probe in " +
+            std::to_string(
+                std::chrono::duration_cast<std::chrono::milliseconds>(wait)
+                    .count()) +
+            " ms");
+      }
+      // Cooldown elapsed: this caller becomes the single half-open probe.
+      state_ = BreakerState::kHalfOpen;
+      probe_in_flight_ = true;
+      return Status::Ok();
+    }
+    case BreakerState::kHalfOpen:
+      if (probe_in_flight_) {
+        return UnavailableError("circuit breaker half-open; probe in flight");
+      }
+      probe_in_flight_ = true;
+      return Status::Ok();
+  }
+  return Status::Ok();
+}
+
+void CircuitBreaker::RecordOutcome(const Status& status) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!WireLevelFailure(status)) {
+    // The wire worked (success, handler error, or an in-sync refusal):
+    // close and reset.
+    state_ = BreakerState::kClosed;
+    consecutive_failures_ = 0;
+    probe_in_flight_ = false;
+    return;
+  }
+  probe_in_flight_ = false;
+  if (state_ == BreakerState::kHalfOpen) {
+    // The probe failed: back to open, cooldown re-armed from now.
+    state_ = BreakerState::kOpen;
+    probe_at_ = Now() + options_.open_cooldown;
+    return;
+  }
+  if (++consecutive_failures_ >= options_.failure_threshold &&
+      state_ == BreakerState::kClosed) {
+    state_ = BreakerState::kOpen;
+    probe_at_ = Now() + options_.open_cooldown;
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+TimePoint CircuitBreaker::probe_at() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_ == BreakerState::kOpen ? probe_at_ : TimePoint{};
+}
+
+}  // namespace rr::resilience

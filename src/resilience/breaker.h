@@ -1,0 +1,70 @@
+// CircuitBreaker: per-(function, replica) wire-health gate.
+//
+// State machine:
+//
+//   kClosed --(failure_threshold consecutive wire failures)--> kOpen
+//   kOpen   --(open_cooldown elapses; next Admit)------------> kHalfOpen
+//   kHalfOpen: exactly ONE probe dispatch is admitted; everything else is
+//              refused until the probe resolves.
+//     probe success --> kClosed (counters reset)
+//     probe failure --> kOpen   (cooldown re-arms from now)
+//
+// An open breaker fails a dispatch in microseconds with a typed
+// kUnavailable carrying the time until the next probe — a dead agent costs
+// each run a map lookup, not its full transfer deadline, and the gateway
+// derives Retry-After from the same hint. Only WIRE-LEVEL failures count
+// (resilience::WireLevelFailure): a typed in-sync refusal or a remote
+// handler error proves the channel works and RESETS the failure streak.
+//
+// failure_threshold == 0 disables the breaker: Admit always passes and
+// outcomes are ignored — the default, so workflows that never opt into a
+// ResiliencePolicy keep the pre-resilience behavior.
+#pragma once
+
+#include <mutex>
+#include <string_view>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "resilience/policy.h"
+
+namespace rr::resilience {
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+std::string_view BreakerStateName(BreakerState state);
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerOptions options = {})
+      : options_(options) {}
+
+  // Gate one dispatch. Ok from kClosed; from kOpen, Ok only when the
+  // cooldown elapsed (the caller becomes the half-open probe); otherwise a
+  // typed kUnavailable. From kHalfOpen with the probe still in flight:
+  // refused.
+  Status Admit();
+
+  // Report the outcome of an admitted dispatch. Success (or a non-wire
+  // failure) closes a half-open breaker and resets the streak; a wire-level
+  // failure advances the streak or re-opens a half-open breaker.
+  void RecordOutcome(const Status& status);
+
+  BreakerState state() const;
+
+  // While open: the earliest instant Admit will pass a probe. Meaningless
+  // (TimePoint{}) in other states.
+  TimePoint probe_at() const;
+
+  bool enabled() const { return options_.failure_threshold > 0; }
+
+ private:
+  const BreakerOptions options_;
+  mutable std::mutex mutex_;
+  BreakerState state_ = BreakerState::kClosed;
+  uint32_t consecutive_failures_ = 0;
+  TimePoint probe_at_{};
+  bool probe_in_flight_ = false;
+};
+
+}  // namespace rr::resilience

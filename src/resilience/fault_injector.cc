@@ -1,0 +1,54 @@
+#include "resilience/fault_injector.h"
+
+namespace rr::resilience {
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(FaultSite site, FaultPlan plan) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sites_[static_cast<size_t>(site)] = SiteState{plan, 0, 0};
+  }
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Reset() {
+  // Disarm first: a hook racing this call sees either the old armed state
+  // (and the old plan under the mutex) or the cleared one — never a torn
+  // plan.
+  armed_.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (SiteState& site : sites_) site = SiteState{};
+}
+
+bool FaultInjector::ShouldFire(FaultSite site) {
+  if (!armed_.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  SiteState& state = sites_[static_cast<size_t>(site)];
+  const uint64_t index = state.occurrences++;
+  if (state.plan.period == 0) return false;
+  if (state.fired >= state.plan.max_fires) return false;
+  if (index % state.plan.period != state.plan.offset) return false;
+  ++state.fired;
+  return true;
+}
+
+Nanos FaultInjector::delay(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sites_[static_cast<size_t>(site)].plan.delay;
+}
+
+uint64_t FaultInjector::fires(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sites_[static_cast<size_t>(site)].fired;
+}
+
+uint64_t FaultInjector::occurrences(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sites_[static_cast<size_t>(site)].occurrences;
+}
+
+}  // namespace rr::resilience

@@ -1,0 +1,57 @@
+#include "resilience/metrics.h"
+
+namespace rr::resilience {
+namespace {
+
+// Eager registration: every unlabeled resilience series exists from process
+// start, so a scrape taken before the first fault still reports zeros.
+const bool g_resilience_metrics_registered = [] {
+  RetryAttemptsTotal();
+  FailoverTotal();
+  RetryBudgetExhaustedTotal();
+  StaleDeliveriesTotal();
+  return true;
+}();
+
+}  // namespace
+
+obs::Counter& RetryAttemptsTotal() {
+  static obs::Counter* counter = obs::Registry::Get().counter(
+      "rr_retry_attempts_total",
+      "Remote-edge retries scheduled by the resilience policy");
+  return *counter;
+}
+
+obs::Counter& FailoverTotal() {
+  static obs::Counter* counter = obs::Registry::Get().counter(
+      "rr_failover_total",
+      "Remote-edge dispatches failed over to another replica");
+  return *counter;
+}
+
+obs::Counter& RetryBudgetExhaustedTotal() {
+  static obs::Counter* counter = obs::Registry::Get().counter(
+      "rr_retry_budget_exhausted_total",
+      "Runs whose per-run retry budget ran dry");
+  return *counter;
+}
+
+obs::Counter& StaleDeliveriesTotal() {
+  static obs::Counter* counter = obs::Registry::Get().counter(
+      "rr_stale_deliveries_total",
+      "Completions rejected by correlation token (late replay of a retired "
+      "transfer)");
+  return *counter;
+}
+
+obs::Gauge& BreakerStateGauge(const std::string& function, size_t replica) {
+  // Not cached in a function-local static: the series is per (function,
+  // replica). Callers (HopTable) hold the breaker's registry entry and call
+  // this only on state transitions.
+  return *obs::Registry::Get().gauge(
+      "rr_breaker_state",
+      "Per-hop circuit breaker state (0=closed, 1=open, 2=half-open)",
+      {{"function", function}, {"replica", std::to_string(replica)}});
+}
+
+}  // namespace rr::resilience

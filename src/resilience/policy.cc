@@ -1,0 +1,34 @@
+#include "resilience/policy.h"
+
+#include <algorithm>
+
+namespace rr::resilience {
+
+bool RetryableDispatch(const Status& status) {
+  return status.IsRetryable() || status.code() == StatusCode::kDataLoss;
+}
+
+bool WireLevelFailure(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kDataLoss:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Nanos NextBackoff(const ResiliencePolicy& policy, Nanos prev, rr::Rng& rng) {
+  const int64_t base = std::max<int64_t>(policy.base_backoff.count(), 1);
+  const int64_t cap = std::max<int64_t>(policy.max_backoff.count(), base);
+  // Decorrelated jitter: U[base, 3 * prev], treating the first retry's
+  // "previous delay" as the base itself.
+  const int64_t upper =
+      std::min(cap, std::max<int64_t>(3 * std::max(prev.count(), base), base));
+  if (upper <= base) return Nanos{base};
+  return Nanos{base + static_cast<int64_t>(
+                          rng.NextBelow(static_cast<uint64_t>(upper - base)))};
+}
+
+}  // namespace rr::resilience

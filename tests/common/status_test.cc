@@ -20,6 +20,23 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
   EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad payload");
 }
 
+TEST(StatusTest, IsRetryableCoversExactlyTheTransientCodes) {
+  // The shared transient classification: codes where the operation may
+  // succeed verbatim on a later attempt. Consumers: the agents' accept
+  // loops, resilience::RetryableDispatch (which adds kDataLoss for
+  // tokenized transfers).
+  EXPECT_TRUE(UnavailableError("refused").IsRetryable());
+  EXPECT_TRUE(ResourceExhaustedError("pool full").IsRetryable());
+  EXPECT_TRUE(DeadlineExceededError("stalled").IsRetryable());
+
+  EXPECT_FALSE(Status::Ok().IsRetryable());
+  EXPECT_FALSE(DataLossError("died mid-frame").IsRetryable());
+  EXPECT_FALSE(InternalError("bug").IsRetryable());
+  EXPECT_FALSE(InvalidArgumentError("bad frame").IsRetryable());
+  EXPECT_FALSE(NotFoundError("missing").IsRetryable());
+  EXPECT_FALSE(PermissionDeniedError("no").IsRetryable());
+}
+
 TEST(StatusTest, ErrnoMapping) {
   EXPECT_EQ(ErrnoToStatus(EINVAL, "x").code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(ErrnoToStatus(ENOENT, "x").code(), StatusCode::kNotFound);

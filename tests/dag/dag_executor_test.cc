@@ -6,10 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "api/runtime.h"
 #include "core/node_agent.h"
 #include "dag/dag.h"
+#include "resilience/fault_injector.h"
+#include "resilience/metrics.h"
 #include "runtime/function.h"
 
 namespace rr::dag {
@@ -384,6 +388,68 @@ TEST_F(DagExecutorTest, DeliveryWithUnknownTokenRejectedAndReleased) {
   EXPECT_EQ(status.code(), StatusCode::kTokenMismatch) << status;
   // The orphaned output was released: releasing it again must fail.
   EXPECT_FALSE((*b)->ReleaseRegion(outcome->output).ok());
+}
+
+TEST_F(DagExecutorTest, LateFirstAttemptCompletionRejectedByFreshToken) {
+  // End-to-end replayed-completion safety: attempt 1's invoke is held past
+  // the sender's backstop deadline, the retry engine re-dispatches under a
+  // FRESH token and completes the run, and when the held attempt finally
+  // delivers, its token matches nothing — rejected as stale, its region
+  // released, the run completed exactly once with the retried attempt's
+  // output.
+  struct InjectorGuard {
+    InjectorGuard() { resilience::FaultInjector::Instance().Reset(); }
+    ~InjectorGuard() { resilience::FaultInjector::Instance().Reset(); }
+  } injector_guard;
+
+  api::Runtime::Options options;
+  options.remote_deadline = std::chrono::milliseconds(300);
+  options.resilience.enabled = true;
+  options.resilience.max_attempts = 2;
+  options.resilience.base_backoff = std::chrono::milliseconds(5);
+  options.resilience.max_backoff = std::chrono::milliseconds(20);
+  options.resilience.breaker.failure_threshold = 0;
+  api::Runtime rt("wf", options);
+  auto a = AddFunction(rt, "a", {"n1", ""});
+
+  // Several invoke workers so the held first attempt does not serialize the
+  // retry behind it.
+  core::NodeAgent::Options agent_options;
+  agent_options.invoke_workers = 4;
+  auto agent = core::NodeAgent::Start(0, agent_options);
+  ASSERT_TRUE(agent.ok()) << agent.status();
+  auto b = AddFunction(rt, "b", {"n2", ""}, nullptr, (*agent)->port());
+  ASSERT_TRUE((*agent)->RegisterFunction(b.get(), rt.DeliverySink()).ok());
+
+  const uint64_t stale0 = resilience::StaleDeliveriesTotal().Value();
+  const uint64_t retries0 = resilience::RetryAttemptsTotal().Value();
+  resilience::FaultInjector::Instance().Arm(
+      resilience::FaultSite::kAgentDelayCompletion,
+      resilience::FaultPlan{.period = 1,
+                            .max_fires = 1,
+                            .delay = std::chrono::milliseconds(900)});
+
+  auto dag = DagBuilder().Chain({"a", "b"}).Build();
+  ASSERT_TRUE(dag.ok()) << dag.status();
+  auto result = Execute(rt, *dag, AsBytes("x"));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(ToString(*result), "x|a|b");
+  EXPECT_EQ(resilience::RetryAttemptsTotal().Value() - retries0, 1u);
+
+  // The held attempt delivers ~600 ms after the run finished; its rejection
+  // is asynchronous, so poll.
+  const TimePoint poll_deadline = Now() + std::chrono::seconds(3);
+  while (resilience::StaleDeliveriesTotal().Value() - stale0 < 1 &&
+         Now() < poll_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // Join the invoke workers: the metrics poll above orders nothing (relaxed
+  // counters), and the shim outlives the agent only past this point.
+  (*agent)->Shutdown();
+  EXPECT_EQ(resilience::StaleDeliveriesTotal().Value() - stale0, 1u);
+  // Both attempts invoked (the held one after the retry won), exactly once
+  // each — a double-complete would have corrupted the join above.
+  EXPECT_EQ(b->invocations(), 2u);
 }
 
 TEST_F(DagExecutorTest, RepeatedExecutionsReuseHops) {

@@ -1,0 +1,101 @@
+// CircuitBreaker state machine: closed -> open on consecutive wire
+// failures, open -> half-open single probe after the cooldown, probe
+// outcome closing or re-opening, and non-wire outcomes resetting the
+// streak. The thresholds here are deliberately tiny so every transition is
+// exercised without wall-clock slack.
+#include "resilience/breaker.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace rr::resilience {
+namespace {
+
+constexpr auto kCooldown = std::chrono::milliseconds(50);
+
+BreakerOptions TestOptions(uint32_t threshold = 2) {
+  BreakerOptions options;
+  options.failure_threshold = threshold;
+  options.open_cooldown = kCooldown;
+  return options;
+}
+
+TEST(CircuitBreakerTest, DisabledAlwaysAdmitsAndIgnoresOutcomes) {
+  CircuitBreaker breaker{BreakerOptions{.failure_threshold = 0}};
+  EXPECT_FALSE(breaker.enabled());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(breaker.Admit().ok());
+    breaker.RecordOutcome(UnavailableError("down"));
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, OpensAfterThresholdConsecutiveWireFailures) {
+  CircuitBreaker breaker{TestOptions(/*threshold=*/3)};
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_TRUE(breaker.Admit().ok());
+    breaker.RecordOutcome(UnavailableError("refused"));
+    EXPECT_EQ(breaker.state(), BreakerState::kClosed) << "failure " << i;
+  }
+  EXPECT_TRUE(breaker.Admit().ok());
+  breaker.RecordOutcome(DeadlineExceededError("silent"));
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+
+  // While open (cooldown not elapsed): refused with a typed hint, in-sync.
+  const Status refused = breaker.Admit();
+  EXPECT_EQ(refused.code(), StatusCode::kUnavailable);
+  EXPECT_NE(refused.message().find("circuit breaker open"), std::string::npos);
+  EXPECT_GT(breaker.probe_at(), TimePoint{});
+}
+
+TEST(CircuitBreakerTest, NonWireOutcomeResetsTheStreak) {
+  CircuitBreaker breaker{TestOptions(/*threshold=*/2)};
+  EXPECT_TRUE(breaker.Admit().ok());
+  breaker.RecordOutcome(UnavailableError("refused"));
+  // A typed in-sync refusal travelled the wire: streak resets.
+  EXPECT_TRUE(breaker.Admit().ok());
+  breaker.RecordOutcome(ResourceExhaustedError("remote pool full"));
+  EXPECT_TRUE(breaker.Admit().ok());
+  breaker.RecordOutcome(UnavailableError("refused"));
+  // One failure since the reset: still closed.
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenAdmitsOneProbeThatCloses) {
+  CircuitBreaker breaker{TestOptions(/*threshold=*/1)};
+  EXPECT_TRUE(breaker.Admit().ok());
+  breaker.RecordOutcome(UnavailableError("down"));
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+
+  std::this_thread::sleep_for(kCooldown + std::chrono::milliseconds(10));
+  // Cooldown elapsed: the first Admit becomes the single half-open probe …
+  EXPECT_TRUE(breaker.Admit().ok());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  // … and everyone else is refused while it is in flight.
+  const Status refused = breaker.Admit();
+  EXPECT_EQ(refused.code(), StatusCode::kUnavailable);
+
+  breaker.RecordOutcome(Status::Ok());
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.Admit().ok());
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensWithFreshCooldown) {
+  CircuitBreaker breaker{TestOptions(/*threshold=*/1)};
+  EXPECT_TRUE(breaker.Admit().ok());
+  breaker.RecordOutcome(UnavailableError("down"));
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+
+  std::this_thread::sleep_for(kCooldown + std::chrono::milliseconds(10));
+  EXPECT_TRUE(breaker.Admit().ok());  // the probe
+  const TimePoint before = Now();
+  breaker.RecordOutcome(DataLossError("probe died mid-frame"));
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  // Cooldown re-armed from the probe's failure, not the original trip.
+  EXPECT_GE(breaker.probe_at(), before);
+  EXPECT_FALSE(breaker.Admit().ok());
+}
+
+}  // namespace
+}  // namespace rr::resilience

@@ -1,0 +1,178 @@
+// Retry-policy engine units: dispatch retryability, wire-failure
+// classification, decorrelated-jitter backoff bounds and determinism, the
+// shared retry budget, and the fault injector's counter-based schedules.
+#include "resilience/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "resilience/fault_injector.h"
+
+namespace rr::resilience {
+namespace {
+
+TEST(RetryClassificationTest, RetryableDispatchCoversTransientAndDataLoss) {
+  EXPECT_TRUE(RetryableDispatch(UnavailableError("agent down")));
+  EXPECT_TRUE(RetryableDispatch(DeadlineExceededError("silent far side")));
+  EXPECT_TRUE(RetryableDispatch(ResourceExhaustedError("pool full")));
+  // A wire that died mid-frame: the frame is immutable and its token never
+  // completed, so resending cannot duplicate work.
+  EXPECT_TRUE(RetryableDispatch(DataLossError("connection died mid-frame")));
+
+  EXPECT_FALSE(RetryableDispatch(Status::Ok()));
+  EXPECT_FALSE(RetryableDispatch(InternalError("handler exploded")));
+  EXPECT_FALSE(RetryableDispatch(InvalidArgumentError("bad frame")));
+  EXPECT_FALSE(RetryableDispatch(NotFoundError("unknown function")));
+  EXPECT_FALSE(RetryableDispatch(FailedPreconditionError("mixed preds")));
+}
+
+TEST(RetryClassificationTest, WireLevelFailureIndictsChannelNotRequest) {
+  EXPECT_TRUE(WireLevelFailure(UnavailableError("connection refused")));
+  EXPECT_TRUE(WireLevelFailure(DeadlineExceededError("no progress")));
+  EXPECT_TRUE(WireLevelFailure(DataLossError("reset mid-frame")));
+
+  // These travelled the wire successfully — they must RESET a breaker.
+  EXPECT_FALSE(WireLevelFailure(Status::Ok()));
+  EXPECT_FALSE(WireLevelFailure(ResourceExhaustedError("remote pool full")));
+  EXPECT_FALSE(WireLevelFailure(InternalError("handler error")));
+  EXPECT_FALSE(WireLevelFailure(NotFoundError("unknown function")));
+}
+
+TEST(BackoffTest, StaysWithinDecorrelatedJitterBounds) {
+  ResiliencePolicy policy;
+  policy.base_backoff = std::chrono::milliseconds(10);
+  policy.max_backoff = std::chrono::milliseconds(500);
+  rr::Rng rng(42);
+
+  Nanos prev{0};
+  for (int i = 0; i < 200; ++i) {
+    const Nanos next = NextBackoff(policy, prev, rng);
+    EXPECT_GE(next, policy.base_backoff);
+    EXPECT_LE(next, policy.max_backoff);
+    if (prev >= policy.base_backoff) {
+      // U[base, min(cap, 3*prev)]
+      EXPECT_LE(next, std::max(policy.base_backoff * 3,
+                               std::min(policy.max_backoff, prev * 3)));
+    }
+    prev = next;
+  }
+}
+
+TEST(BackoffTest, SameSeedSameSequence) {
+  ResiliencePolicy policy;
+  rr::Rng a(policy.jitter_seed);
+  rr::Rng b(policy.jitter_seed);
+  Nanos prev_a{0}, prev_b{0};
+  for (int i = 0; i < 32; ++i) {
+    prev_a = NextBackoff(policy, prev_a, a);
+    prev_b = NextBackoff(policy, prev_b, b);
+    EXPECT_EQ(prev_a.count(), prev_b.count()) << "draw " << i;
+  }
+}
+
+TEST(BackoffTest, GrowsTowardTheCap) {
+  ResiliencePolicy policy;
+  policy.base_backoff = std::chrono::milliseconds(10);
+  policy.max_backoff = std::chrono::seconds(2);
+  rr::Rng rng(7);
+  // After enough draws the upper envelope (3^n * base) passes the cap, so
+  // the max across a window of late draws should be able to reach near it;
+  // at minimum every draw stays >= base and the envelope is monotone.
+  Nanos prev{0};
+  Nanos seen_max{0};
+  for (int i = 0; i < 64; ++i) {
+    prev = NextBackoff(policy, prev, rng);
+    seen_max = std::max(seen_max, prev);
+  }
+  EXPECT_GT(seen_max, policy.base_backoff);
+  EXPECT_LE(seen_max, policy.max_backoff);
+}
+
+TEST(RetryBudgetTest, ConsumesDownToZeroOnce) {
+  RetryBudget budget(3);
+  EXPECT_EQ(budget.remaining(), 3u);
+  EXPECT_TRUE(budget.TryConsume());
+  EXPECT_TRUE(budget.TryConsume());
+  EXPECT_TRUE(budget.TryConsume());
+  EXPECT_FALSE(budget.TryConsume());
+  EXPECT_FALSE(budget.TryConsume());
+  EXPECT_EQ(budget.remaining(), 0u);
+}
+
+TEST(RetryBudgetTest, ConcurrentConsumersNeverOversubscribe) {
+  constexpr uint32_t kBudget = 64;
+  RetryBudget budget(kBudget);
+  std::atomic<uint32_t> granted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 64; ++i) {
+        if (budget.TryConsume()) granted.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(granted.load(), kBudget);
+  EXPECT_EQ(budget.remaining(), 0u);
+}
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Instance().Reset(); }
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+};
+
+TEST_F(FaultInjectorTest, DisarmedNeverFires) {
+  auto& injector = FaultInjector::Instance();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.ShouldFire(FaultSite::kMuxConnReset));
+  }
+  // Disarmed sites do not even count occurrences (the fast path is one
+  // relaxed load).
+  EXPECT_EQ(injector.occurrences(FaultSite::kMuxConnReset), 0u);
+}
+
+TEST_F(FaultInjectorTest, PeriodOffsetScheduleIsExact) {
+  auto& injector = FaultInjector::Instance();
+  injector.Arm(FaultSite::kAgentDropCompletion,
+               FaultPlan{.period = 3, .offset = 1});
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) {
+    fired.push_back(injector.ShouldFire(FaultSite::kAgentDropCompletion));
+  }
+  const std::vector<bool> expected{false, true, false, false, true,
+                                   false, false, true, false};
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(injector.fires(FaultSite::kAgentDropCompletion), 3u);
+  EXPECT_EQ(injector.occurrences(FaultSite::kAgentDropCompletion), 9u);
+}
+
+TEST_F(FaultInjectorTest, MaxFiresCapsTheSchedule) {
+  auto& injector = FaultInjector::Instance();
+  injector.Arm(FaultSite::kMuxConnReset,
+               FaultPlan{.period = 1, .offset = 0, .max_fires = 2});
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (injector.ShouldFire(FaultSite::kMuxConnReset)) ++fired;
+  }
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(injector.fires(FaultSite::kMuxConnReset), 2u);
+}
+
+TEST_F(FaultInjectorTest, SitesAreIndependentAndResetClears) {
+  auto& injector = FaultInjector::Instance();
+  injector.Arm(FaultSite::kMuxConnReset, FaultPlan{.period = 1});
+  EXPECT_TRUE(injector.ShouldFire(FaultSite::kMuxConnReset));
+  EXPECT_FALSE(injector.ShouldFire(FaultSite::kAgentStarveGrant));
+  // An armed injector counts occurrences at every site it guards.
+  EXPECT_EQ(injector.occurrences(FaultSite::kAgentStarveGrant), 1u);
+  injector.Reset();
+  EXPECT_FALSE(injector.ShouldFire(FaultSite::kMuxConnReset));
+  EXPECT_EQ(injector.occurrences(FaultSite::kMuxConnReset), 0u);
+  EXPECT_EQ(injector.fires(FaultSite::kMuxConnReset), 0u);
+}
+
+}  // namespace
+}  // namespace rr::resilience
