@@ -372,8 +372,13 @@ class LoadGen {
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
         if (!conn.want_write) {
           conn.want_write = true;
-          epoll_.Modify(conn.conn.fd(),
-                        osal::Epoll::kReadable | osal::Epoll::kWritable, index);
+          if (!epoll_
+                   .Modify(conn.conn.fd(),
+                           osal::Epoll::kReadable | osal::Epoll::kWritable,
+                           index)
+                   .ok()) {
+            Retire(index, /*count_pending_as_errors=*/true);
+          }
         }
         return;
       }
@@ -385,7 +390,9 @@ class LoadGen {
     conn.outbox_off = 0;
     if (conn.want_write) {
       conn.want_write = false;
-      epoll_.Modify(conn.conn.fd(), osal::Epoll::kReadable, index);
+      if (!epoll_.Modify(conn.conn.fd(), osal::Epoll::kReadable, index).ok()) {
+        Retire(index, /*count_pending_as_errors=*/true);
+      }
     }
   }
 
@@ -445,7 +452,9 @@ class LoadGen {
     outstanding_ -= conn.pending.size();
     conn.pending.clear();
     conn.dead = true;
-    epoll_.Remove(conn.conn.fd());
+    // Best-effort: the fd is closed on the next line, which drops it from
+    // the epoll set regardless.
+    (void)epoll_.Remove(conn.conn.fd());
     conn.conn.Close();
   }
 

@@ -40,19 +40,19 @@ const bool g_api_metrics_registered = [] {
 }  // namespace
 
 bool Invocation::Done() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return done_;
 }
 
 const Result<rr::Buffer>& Invocation::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [this] { return done_; });
+  MutexLock lock(mutex_);
+  cv_.wait(lock, [this]() RR_REQUIRES(mutex_) { return done_; });
   return result_;
 }
 
 const Result<Bytes>& Invocation::WaitBytes() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [this] { return done_; });
+  MutexLock lock(mutex_);
+  cv_.wait(lock, [this]() RR_REQUIRES(mutex_) { return done_; });
   if (!bytes_result_.has_value()) {
     if (result_.ok()) {
       bytes_result_.emplace(result_->ToBytes());
@@ -64,13 +64,14 @@ const Result<Bytes>& Invocation::WaitBytes() {
 }
 
 bool Invocation::WaitFor(Nanos timeout) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  return cv_.wait_for(lock, timeout, [this] { return done_; });
+  MutexLock lock(mutex_);
+  return cv_.wait_for(lock, timeout,
+                      [this]() RR_REQUIRES(mutex_) { return done_; });
 }
 
 void Invocation::NotifyDone(std::function<void()> callback) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!done_) {
       done_callbacks_.push_back(std::move(callback));
       return;
@@ -144,7 +145,7 @@ Runtime::~Runtime() {
   // object, which must still be fully alive for every in-flight request.
   introspection_.reset();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_cv_.notify_all();
@@ -206,7 +207,7 @@ Result<std::shared_ptr<Invocation>> Runtime::Enqueue(
   }
   invocation->submitted_ = Now();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_) {
       return UnavailableError("runtime is shutting down");
     }
@@ -222,8 +223,10 @@ void Runtime::DriverLoop() {
   for (;;) {
     std::shared_ptr<Invocation> invocation;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      work_cv_.wait(lock, [this]() RR_REQUIRES(mutex_) {
+        return stopping_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // stopping and drained
       invocation = std::move(queue_.front());
       queue_.pop_front();
@@ -251,13 +254,13 @@ void Runtime::DriverLoop() {
     // Retire from the in-flight count before publishing completion, so a
     // caller returning from Wait() observes in_flight() without this run.
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --executing_;
     }
     InFlightRuns().Sub(1);
     std::vector<std::function<void()>> callbacks;
     {
-      std::lock_guard<std::mutex> lock(invocation->mutex_);
+      MutexLock lock(invocation->mutex_);
       invocation->stats_ = std::move(stats);
       invocation->result_ = std::move(result);
       invocation->done_ = true;
@@ -275,7 +278,7 @@ core::NodeAgent::DeliveryCallback Runtime::DeliverySink() {
 }
 
 size_t Runtime::in_flight() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size() + executing_;
 }
 

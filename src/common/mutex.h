@@ -1,0 +1,151 @@
+// rr::Mutex / rr::MutexLock / rr::CondVar: the repo's ONLY sanctioned
+// synchronization primitives. They are zero-overhead wrappers over
+// std::mutex / std::unique_lock / std::condition_variable whose sole purpose
+// is carrying the Clang thread-safety-analysis capability annotations from
+// common/thread_annotations.h — under GCC they compile to exactly the std
+// types they wrap. Raw std:: synchronization types anywhere else in src/ are
+// an rr-lint error (rule raw-mutex): an unannotated mutex is invisible to
+// the analysis, so every member it guards silently loses checking.
+//
+// API is deliberately std-shaped (lowercase lock()/wait()/notify_one()) so
+// converting a call site is a type change, not a logic change. Annotating a
+// guarded member:
+//
+//   mutable rr::Mutex mutex_;
+//   size_t depth_ RR_GUARDED_BY(mutex_) = 0;
+//   void Drain() RR_REQUIRES(mutex_);   // private helper, caller holds lock
+//
+// Condition-variable predicates are lambdas, which the (intraprocedural)
+// analysis checks as separate functions — annotate them with the capability
+// the enclosing wait holds:
+//
+//   cv_.wait(lock, [this]() RR_REQUIRES(mutex_) { return !queue_.empty(); });
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace rr {
+
+// Exclusive capability over std::mutex. Lock through MutexLock (scoped) in
+// new code; bare lock()/unlock() exist for the analysis-visible manual
+// sites (e.g. handing a lock across a completion callback).
+class RR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RR_ACQUIRE() { mu_.lock(); }
+  void unlock() RR_RELEASE() { mu_.unlock(); }
+  bool try_lock() RR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  friend class MutexPairLock;
+  std::mutex mu_;
+};
+
+// Scoped exclusive hold of one Mutex (std::unique_lock underneath, so
+// CondVar can wait on it and sites may unlock()/re-lock() mid-scope — both
+// transitions visible to the analysis).
+class RR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) RR_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() RR_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // Mid-scope release / reacquire (e.g. dropping the lock around a callback
+  // or a notify). The destructor understands both states.
+  void unlock() RR_RELEASE() { lock_.unlock(); }
+  void lock() RR_ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+// Locks TWO Mutexes with std::lock deadlock-avoidance (opposing pairs a→b /
+// b→a cannot deadlock); the degenerate same-object pair locks once. This is
+// the only sanctioned way to hold two instance-level locks at once — see
+// Shim::exec_mutex().
+class RR_SCOPED_CAPABILITY MutexPairLock {
+ public:
+  MutexPairLock(Mutex& a, Mutex& b) RR_ACQUIRE(a, b) : a_(&a.mu_), b_(&b.mu_) {
+    if (a_ == b_) {
+      a_->lock();
+      b_ = nullptr;
+    } else {
+      std::lock(*a_, *b_);
+    }
+  }
+  ~MutexPairLock() RR_RELEASE() {
+    a_->unlock();
+    if (b_ != nullptr) b_->unlock();
+  }
+
+  MutexPairLock(const MutexPairLock&) = delete;
+  MutexPairLock& operator=(const MutexPairLock&) = delete;
+
+ private:
+  std::mutex* a_;
+  std::mutex* b_;  // null when both sides were the same mutex
+};
+
+// Condition variable bound to MutexLock. Waits atomically release and
+// reacquire the lock; the analysis models the capability as held across the
+// wait (sound: it IS held at every point the caller can observe).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Predicate>
+  void wait(MutexLock& lock, Predicate pred) {
+    cv_.wait(lock.lock_, std::move(pred));
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(MutexLock& lock,
+                          const std::chrono::duration<Rep, Period>& timeout) {
+    return cv_.wait_for(lock.lock_, timeout);
+  }
+
+  template <typename Rep, typename Period, typename Predicate>
+  bool wait_for(MutexLock& lock,
+                const std::chrono::duration<Rep, Period>& timeout,
+                Predicate pred) {
+    return cv_.wait_for(lock.lock_, timeout, std::move(pred));
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      MutexLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+  template <typename Clock, typename Duration, typename Predicate>
+  bool wait_until(MutexLock& lock,
+                  const std::chrono::time_point<Clock, Duration>& deadline,
+                  Predicate pred) {
+    return cv_.wait_until(lock.lock_, deadline, std::move(pred));
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace rr

@@ -38,7 +38,7 @@ std::string_view StatusCodeName(StatusCode code);
 
 // A success-or-error value. Cheap to copy on the success path (no allocation
 // when ok).
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() = default;  // OK
   Status(StatusCode code, std::string message)
@@ -97,7 +97,7 @@ Status ErrnoToStatus(int err, std::string_view context);
 // Result<T> holds either a T or an error Status. Accessing the value of an
 // errored Result is a programming error (asserts in debug builds).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : data_(std::move(value)) {}           // NOLINT(runtime/explicit)
   Result(Status status) : data_(std::move(status)) {     // NOLINT(runtime/explicit)

@@ -1,0 +1,78 @@
+// Clang thread-safety-analysis attribute macros (RR_GUARDED_BY, RR_REQUIRES,
+// RR_ACQUIRE/RR_RELEASE, ...), the compile-time half of the repo's lock
+// discipline. Under Clang with -Wthread-safety (the CI static-analysis job
+// builds with -Werror=thread-safety) the annotations turn the invariants we
+// used to document in comments — "breaker state is guarded by the table
+// mutex", "ReleaseInstance requires the pool lock" — into build breaks.
+// Under any other compiler every macro expands to nothing, so GCC builds are
+// byte-for-byte unaffected.
+//
+// The vocabulary follows the Clang documentation (and Abseil's
+// thread_annotations.h) so the semantics are exactly the documented ones:
+//
+//   RR_GUARDED_BY(mu)      data member readable/writable only with mu held
+//   RR_PT_GUARDED_BY(mu)   pointer member whose *pointee* is guarded by mu
+//   RR_REQUIRES(mu)        function requires mu held on entry (and exit)
+//   RR_ACQUIRE(mu)...      function acquires/releases mu (lock wrappers)
+//   RR_EXCLUDES(mu)        function must NOT be called with mu held
+//   RR_CAPABILITY / RR_SCOPED_CAPABILITY  mark the lock types themselves
+//
+// Annotate with the rr::Mutex / rr::MutexLock wrappers from common/mutex.h;
+// raw std::mutex outside that header is an rr-lint error (rule raw-mutex).
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define RR_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define RR_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+#define RR_CAPABILITY(x) RR_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+#define RR_SCOPED_CAPABILITY RR_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+#define RR_GUARDED_BY(x) RR_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+#define RR_PT_GUARDED_BY(x) RR_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+#define RR_ACQUIRED_BEFORE(...) \
+  RR_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+#define RR_ACQUIRED_AFTER(...) \
+  RR_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+#define RR_REQUIRES(...) \
+  RR_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+#define RR_REQUIRES_SHARED(...) \
+  RR_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+#define RR_ACQUIRE(...) \
+  RR_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define RR_ACQUIRE_SHARED(...) \
+  RR_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+#define RR_RELEASE(...) \
+  RR_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define RR_RELEASE_SHARED(...) \
+  RR_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+#define RR_TRY_ACQUIRE(...) \
+  RR_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+#define RR_EXCLUDES(...) \
+  RR_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+#define RR_ASSERT_CAPABILITY(x) \
+  RR_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+#define RR_RETURN_CAPABILITY(x) \
+  RR_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+// Escape hatch for code the analysis cannot follow (e.g. locking through a
+// pointer indirection it loses track of). Use sparingly and leave a comment
+// saying which invariant actually holds.
+#define RR_NO_THREAD_SAFETY_ANALYSIS \
+  RR_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)

@@ -51,7 +51,7 @@ void BasicTokenBucket<Units>::Consume(uint64_t n) {
     const uint64_t chunk = std::min(remaining, burst_);
     Nanos wait{0};
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       RefillLocked();
       const double want = static_cast<double>(chunk);
       if (tokens_ + Slack(want) >= want) {
@@ -69,7 +69,7 @@ void BasicTokenBucket<Units>::Consume(uint64_t n) {
 
 template <typename Units>
 bool BasicTokenBucket<Units>::TryConsume(uint64_t n) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   RefillLocked();
   const double want = static_cast<double>(n);
   if (tokens_ + Slack(want) < want) return false;
@@ -79,7 +79,7 @@ bool BasicTokenBucket<Units>::TryConsume(uint64_t n) {
 
 template <typename Units>
 Nanos BasicTokenBucket<Units>::DelayUntilAvailable(uint64_t n) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   RefillLocked();
   const double want = static_cast<double>(std::min(n, burst_));
   if (tokens_ + Slack(want) >= want) return Nanos{0};

@@ -15,9 +15,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace rr {
 
@@ -57,15 +58,15 @@ class BasicTokenBucket {
   // more tokens accrue; rounds up so a sub-nanosecond remainder at high
   // rates never truncates to a zero-length sleep (the old bytes-only bucket
   // span-waited at rates past ~1 token/ns).
-  Nanos DeficitDelayLocked(double deficit) const;
-  void RefillLocked() const;
+  Nanos DeficitDelayLocked(double deficit) const RR_REQUIRES(mutex_);
+  void RefillLocked() const RR_REQUIRES(mutex_);
 
   const double rate_;
   const uint64_t burst_;
 
-  mutable std::mutex mutex_;
-  mutable double tokens_;
-  mutable TimePoint last_refill_;
+  mutable Mutex mutex_;
+  mutable double tokens_ RR_GUARDED_BY(mutex_);
+  mutable TimePoint last_refill_ RR_GUARDED_BY(mutex_);
 };
 
 // The network emulator's byte shaper — the original TokenBucket.

@@ -14,23 +14,23 @@ HopTable::HopTable() {
 }
 
 void HopTable::set_wire_options(TransportOptions options) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   wire_options_ = options;
 }
 
 TransportOptions HopTable::wire_options() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return wire_options_;
 }
 
 void HopTable::set_breaker_options(resilience::BreakerOptions options) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   breaker_options_ = options;
 }
 
 Status HopTable::RegisterTransport(std::unique_ptr<Transport> transport) {
   if (transport == nullptr) return InvalidArgumentError("null transport");
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   transports_[transport->mode()] = std::move(transport);
   return Status::Ok();
 }
@@ -47,7 +47,7 @@ Result<std::shared_ptr<Hop>> HopTable::Get(Endpoint& source,
   std::shared_ptr<Transport> transport;
   TransportOptions options;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = transports_.find(mode);
     if (it == transports_.end()) {
       return UnimplementedError(std::string("no transport registered for ") +
@@ -63,7 +63,7 @@ Result<std::shared_ptr<Hop>> HopTable::Get(Endpoint& source,
   }
   // Establish under the slot's own mutex: concurrent first-use of distinct
   // pairs connects in parallel instead of serializing on the table lock.
-  std::lock_guard<std::mutex> slot_lock(slot->mutex);
+  MutexLock slot_lock(slot->mutex);
   if (slot->hop == nullptr) {
     // A failover replica connects to its own ingress address: same pool,
     // same placement, different agent.
@@ -85,7 +85,7 @@ Result<std::shared_ptr<Hop>> HopTable::Get(Endpoint& source,
 size_t HopTable::Evict(const std::string& name) {
   std::vector<std::shared_ptr<Slot>> removed;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (auto it = slots_.begin(); it != slots_.end();) {
       if (std::get<0>(it->first) == name || std::get<1>(it->first) == name) {
         removed.push_back(it->second);
@@ -103,7 +103,7 @@ size_t HopTable::Evict(const std::string& name) {
   for (const std::shared_ptr<Slot>& slot : removed) {
     std::shared_ptr<Hop> hop;
     {
-      std::lock_guard<std::mutex> slot_lock(slot->mutex);
+      MutexLock slot_lock(slot->mutex);
       hop = std::move(slot->hop);
     }
     if (hop != nullptr) {
@@ -116,7 +116,7 @@ size_t HopTable::Evict(const std::string& name) {
 
 resilience::CircuitBreaker& HopTable::BreakerFor(const std::string& function,
                                                  size_t replica) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& breaker = breakers_[{function, replica}];
   if (breaker == nullptr) {
     breaker = std::make_unique<resilience::CircuitBreaker>(breaker_options_);
@@ -151,7 +151,7 @@ void HopTable::RecordDispatchOutcome(const std::string& function,
 
 std::vector<HopTable::BreakerInfo> HopTable::BreakerSnapshot() const {
   std::vector<BreakerInfo> snapshot;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   snapshot.reserve(breakers_.size());
   for (const auto& [key, breaker] : breakers_) {
     snapshot.push_back(BreakerInfo{key.first, key.second, breaker->state()});
@@ -162,7 +162,7 @@ std::vector<HopTable::BreakerInfo> HopTable::BreakerSnapshot() const {
 std::optional<Nanos> HopTable::OpenBreakerRetryAfter() const {
   std::optional<TimePoint> earliest;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (const auto& [key, breaker] : breakers_) {
       if (breaker->state() != resilience::BreakerState::kOpen) continue;
       const TimePoint probe = breaker->probe_at();
@@ -175,7 +175,7 @@ std::optional<Nanos> HopTable::OpenBreakerRetryAfter() const {
 }
 
 size_t HopTable::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return slots_.size();
 }
 

@@ -21,12 +21,13 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <tuple>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/endpoint.h"
 #include "core/transport.h"
 #include "resilience/breaker.h"
@@ -114,8 +115,8 @@ class HopTable {
   // establishment detaches the slot from the map and the straggler's hop
   // dies with its last user.
   struct Slot {
-    std::mutex mutex;
-    std::shared_ptr<Hop> hop;
+    Mutex mutex;
+    std::shared_ptr<Hop> hop RR_GUARDED_BY(mutex);
   };
 
   // Returns the (function, replica) breaker, creating it under mutex_ on
@@ -123,17 +124,19 @@ class HopTable {
   resilience::CircuitBreaker& BreakerFor(const std::string& function,
                                          size_t replica);
 
-  mutable std::mutex mutex_;
-  TransportOptions wire_options_;
-  resilience::BreakerOptions breaker_options_{.failure_threshold = 0};
-  std::map<TransferMode, std::shared_ptr<Transport>> transports_;
-  std::map<PairKey, std::shared_ptr<Slot>> slots_;
+  mutable Mutex mutex_;
+  TransportOptions wire_options_ RR_GUARDED_BY(mutex_);
+  resilience::BreakerOptions breaker_options_ RR_GUARDED_BY(mutex_){
+      .failure_threshold = 0};
+  std::map<TransferMode, std::shared_ptr<Transport>> transports_
+      RR_GUARDED_BY(mutex_);
+  std::map<PairKey, std::shared_ptr<Slot>> slots_ RR_GUARDED_BY(mutex_);
   // Breakers are created once and never erased (state must survive hop
   // eviction — eviction is exactly when a breaker matters); unique_ptr keeps
   // them address-stable under map rebalancing.
   std::map<std::pair<std::string, size_t>,
            std::unique_ptr<resilience::CircuitBreaker>>
-      breakers_;
+      breakers_ RR_GUARDED_BY(mutex_);
 };
 
 }  // namespace rr::core

@@ -47,6 +47,9 @@ std::shared_ptr<MuxClient> MuxClient::Create(
     std::shared_ptr<osal::Reactor> reactor, std::string host, uint16_t port) {
   auto client = std::shared_ptr<MuxClient>(
       new MuxClient(reactor, std::move(host), port));
+  // The sweep ticker can fire (and take mutex_) the instant AddTicker
+  // returns; publish the id under the same lock Close() reads it with.
+  MutexLock lock(client->mutex_);
   client->ticker_id_ = reactor->AddTicker(
       std::chrono::milliseconds(50),
       [weak = std::weak_ptr<MuxClient>(client)] {
@@ -61,7 +64,7 @@ void MuxClient::Close() {
   std::vector<Fired> fired;
   uint64_t ticker = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (closed_) return;
     closed_ = true;
     ticker = ticker_id_;
@@ -75,12 +78,12 @@ void MuxClient::Close() {
 }
 
 bool MuxClient::connected() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return connected_;
 }
 
 size_t MuxClient::streams_in_flight() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return streams_.size();
 }
 
@@ -99,7 +102,7 @@ Status MuxClient::StartStream(const std::string& function, rr::Buffer payload,
   const obs::SpanContext trace = obs::CurrentSpanContext();
   std::vector<Fired> fired;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (closed_) return FailedPreconditionError("mux client closed");
     if (!connected_) {
       // Dial with the lock RELEASED: the reactor's OnEvent/SweepDeadlines
@@ -201,10 +204,11 @@ Status MuxClient::InstallLocked(osal::Connection conn) {
   return Status::Ok();
 }
 
+// rr-lint: reactor-thread
 void MuxClient::OnEvent(uint64_t gen, uint32_t events) {
   std::vector<Fired> fired;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!connected_ || gen != conn_gen_) return;  // stale: past a reconnect
     bool alive = true;
     if (events & osal::Epoll::kError) {
@@ -225,6 +229,7 @@ void MuxClient::OnEvent(uint64_t gen, uint32_t events) {
 bool MuxClient::ReadLocked(std::vector<Fired>* fired) {
   uint8_t buf[64 * 1024];
   while (true) {
+    // Never blocks (MSG_DONTWAIT).  rr-lint: allow(reactor-blocking)
     const ssize_t n = ::recv(fd_.get(), buf, sizeof(buf), MSG_DONTWAIT);
     if (n == 0) return false;  // agent closed (idle sweep or shutdown)
     if (n < 0) {
@@ -401,6 +406,8 @@ void MuxClient::SetWritableLocked(bool writable) {
   if (!connected_ || writable_armed_ == writable) return;
   writable_armed_ = writable;
   if (const auto reactor = reactor_.lock()) {
+    // Best-effort: Modify only fails if the fd was already dropped from the
+    // epoll set, and connection teardown handles that path.
     (void)reactor->Modify(fd_.get(),
                           osal::Epoll::kReadable |
                               (writable ? osal::Epoll::kWritable : 0u));
@@ -414,7 +421,7 @@ void MuxClient::SetWritableLocked(bool writable) {
 void MuxClient::SweepDeadlines() {
   std::vector<Fired> fired;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!connected_) return;
     const TimePoint now = Now();
     std::vector<uint32_t> expired;

@@ -32,14 +32,15 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/buffer.h"
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/mux_protocol.h"
 #include "obs/trace.h"
 #include "osal/fd.h"
@@ -113,15 +114,17 @@ class MuxClient : public std::enable_shared_from_this<MuxClient> {
   // lock (it touches only immutable members), InstallLocked registers the
   // socket with the reactor and flips connected_ under it.
   Result<osal::Connection> Dial();
-  Status InstallLocked(osal::Connection conn);
+  Status InstallLocked(osal::Connection conn) RR_REQUIRES(mutex_);
   void OnEvent(uint64_t gen, uint32_t events);
   void SweepDeadlines();
-  bool ReadLocked(std::vector<Fired>* fired);
-  bool HandleFrameLocked(std::vector<Fired>* fired);
-  bool PumpLocked();  // false = the connection died mid-write
-  bool StageNextLocked();
-  void SetWritableLocked(bool writable);
-  void ConnDeadLocked(std::vector<Fired>* fired, const Status& reason);
+  bool ReadLocked(std::vector<Fired>* fired) RR_REQUIRES(mutex_);
+  bool HandleFrameLocked(std::vector<Fired>* fired) RR_REQUIRES(mutex_);
+  // false = the connection died mid-write.
+  bool PumpLocked() RR_REQUIRES(mutex_);
+  bool StageNextLocked() RR_REQUIRES(mutex_);
+  void SetWritableLocked(bool writable) RR_REQUIRES(mutex_);
+  void ConnDeadLocked(std::vector<Fired>* fired, const Status& reason)
+      RR_REQUIRES(mutex_);
   static void Fire(std::vector<Fired>& fired);
 
   // WEAK on purpose: the reactor's ticker and event handler hold the client
@@ -136,26 +139,30 @@ class MuxClient : public std::enable_shared_from_this<MuxClient> {
   const std::string host_;
   const uint16_t port_;
 
-  mutable std::mutex mutex_;
-  bool closed_ = false;
-  bool connected_ = false;
-  bool writable_armed_ = false;
-  uint64_t conn_gen_ = 0;
-  osal::UniqueFd fd_;
-  uint64_t ticker_id_ = 0;
+  mutable Mutex mutex_;
+  bool closed_ RR_GUARDED_BY(mutex_) = false;
+  bool connected_ RR_GUARDED_BY(mutex_) = false;
+  bool writable_armed_ RR_GUARDED_BY(mutex_) = false;
+  uint64_t conn_gen_ RR_GUARDED_BY(mutex_) = 0;
+  osal::UniqueFd fd_ RR_GUARDED_BY(mutex_);
+  uint64_t ticker_id_ RR_GUARDED_BY(mutex_) = 0;
 
-  uint32_t next_stream_id_ = 1;
-  std::unordered_map<uint32_t, Stream> streams_;
-  std::deque<uint32_t> ring_;        // streams with sendable bytes + window
-  std::deque<Bytes> control_;        // opens and cancels, sent first
-  OutFrame out_;
+  uint32_t next_stream_id_ RR_GUARDED_BY(mutex_) = 1;
+  std::unordered_map<uint32_t, Stream> streams_ RR_GUARDED_BY(mutex_);
+  // Streams with sendable bytes + window.
+  std::deque<uint32_t> ring_ RR_GUARDED_BY(mutex_);
+  // Opens and cancels, sent first.
+  std::deque<Bytes> control_ RR_GUARDED_BY(mutex_);
+  OutFrame out_ RR_GUARDED_BY(mutex_);
 
   // Receive state: a frame header, then (completions only) its detail.
-  uint8_t racc_[kMuxFrameHeaderBytes + kMuxMaxCompletionDetail];
-  size_t rneed_ = kMuxFrameHeaderBytes;
-  size_t rgot_ = 0;
-  bool rheader_pending_ = false;  // header parsed, detail accumulating
-  MuxFrameHeader rh_;
+  uint8_t racc_[kMuxFrameHeaderBytes + kMuxMaxCompletionDetail]
+      RR_GUARDED_BY(mutex_);
+  size_t rneed_ RR_GUARDED_BY(mutex_) = kMuxFrameHeaderBytes;
+  size_t rgot_ RR_GUARDED_BY(mutex_) = 0;
+  // Header parsed, detail accumulating.
+  bool rheader_pending_ RR_GUARDED_BY(mutex_) = false;
+  MuxFrameHeader rh_ RR_GUARDED_BY(mutex_);
 };
 
 }  // namespace rr::core

@@ -3,7 +3,6 @@
 #include <sys/socket.h>
 
 #include <cerrno>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <optional>
@@ -213,21 +212,22 @@ struct NodeAgent::ReactorPlane {
   // the rest as the peer reads. One peer with a full socket buffer therefore
   // costs queue bytes, never a parked loop thread or invoke worker.
   struct WriteHandle {
-    std::mutex mutex;
-    osal::UniqueFd fd;
-    bool dead = false;
+    Mutex mutex;
+    osal::UniqueFd fd RR_GUARDED_BY(mutex);
+    bool dead RR_GUARDED_BY(mutex) = false;
     std::shared_ptr<osal::Reactor> reactor;  // the owning shard's loop
-    std::deque<Bytes> outq;
-    size_t front_sent = 0;  // bytes of outq.front() already on the wire
-    size_t outq_bytes = 0;
-    bool writable_armed = false;
+    std::deque<Bytes> outq RR_GUARDED_BY(mutex);
+    // Bytes of outq.front() already on the wire.
+    size_t front_sent RR_GUARDED_BY(mutex) = 0;
+    size_t outq_bytes RR_GUARDED_BY(mutex) = 0;
+    bool writable_armed RR_GUARDED_BY(mutex) = false;
 
     // Queues `frame` and drains. Callable from any thread (Reactor::Modify
     // is thread-safe). Returns false when the connection is dead, the
     // outbound backlog exceeded its cap, or the socket failed — all
     // connection-fatal for the caller.
     bool SendFrame(Bytes frame) {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       if (dead || !fd.valid()) return false;
       if (outq_bytes + frame.size() > kMaxConnOutboundBytes) return false;
       outq_bytes += frame.size();
@@ -237,7 +237,7 @@ struct NodeAgent::ReactorPlane {
 
     // Sends queue frames until empty or EAGAIN; arms/disarms kWritable to
     // match the backlog. Returns false on a hard socket error.
-    bool DrainLocked() {
+    bool DrainLocked() RR_REQUIRES(mutex) {
       while (!outq.empty()) {
         const Bytes& front = outq.front();
         const ssize_t n =
@@ -387,10 +387,10 @@ struct NodeAgent::ReactorPlane {
 
   // The invoke pool: the only threads that run Wasm.
   std::vector<std::thread> workers;
-  std::mutex queue_mutex;
-  std::condition_variable queue_cv;
-  std::deque<InvokeJob> queue;
-  bool queue_stopping = false;
+  Mutex queue_mutex;
+  CondVar queue_cv;
+  std::deque<InvokeJob> queue RR_GUARDED_BY(queue_mutex);
+  bool queue_stopping RR_GUARDED_BY(queue_mutex) = false;
 
   Nanos SweepTick() const {
     Nanos tick = std::chrono::milliseconds(500);
@@ -443,7 +443,7 @@ struct NodeAgent::ReactorPlane {
     size_t open_streams = 0;
     for (Shard& shard : shards) {
       for (auto& [id, conn] : shard.conns) {
-        std::lock_guard<std::mutex> lock(conn->write->mutex);
+        MutexLock lock(conn->write->mutex);
         conn->write->dead = true;
         conn->write->fd.Reset();
         open_streams += conn->streams.size();
@@ -458,7 +458,7 @@ struct NodeAgent::ReactorPlane {
     agent->active_connections_.store(0, std::memory_order_relaxed);
     size_t dropped_streams = 0;
     {
-      std::lock_guard<std::mutex> lock(queue_mutex);
+      MutexLock lock(queue_mutex);
       queue_stopping = true;
       for (const InvokeJob& job : queue) {
         if (job.mux) ++dropped_streams;
@@ -477,7 +477,7 @@ struct NodeAgent::ReactorPlane {
 
   // --- accept path (shard 0's loop) ---
 
-  void AcceptReady() {
+  void AcceptReady() {  // rr-lint: reactor-thread
     while (true) {
       Result<osal::Connection> accepted = agent->listener_.TryAccept();
       if (!accepted.ok()) {
@@ -517,7 +517,7 @@ struct NodeAgent::ReactorPlane {
         conn->fd, osal::Epoll::kReadable,
         [this, si, id](uint32_t events) { OnConnEvent(si, id, events); });
     if (!added.ok()) {
-      std::lock_guard<std::mutex> lock(conn->write->mutex);
+      MutexLock lock(conn->write->mutex);
       conn->write->dead = true;
       conn->write->fd.Reset();
       return;
@@ -529,7 +529,7 @@ struct NodeAgent::ReactorPlane {
 
   // --- event path (each shard's loop) ---
 
-  void OnConnEvent(size_t si, uint64_t id, uint32_t events) {
+  void OnConnEvent(size_t si, uint64_t id, uint32_t events) {  // rr-lint: reactor-thread
     const auto it = shards[si].conns.find(id);
     if (it == shards[si].conns.end()) return;  // stale event past teardown
     std::shared_ptr<Conn> conn = it->second;
@@ -540,7 +540,7 @@ struct NodeAgent::ReactorPlane {
     if (events & osal::Epoll::kWritable) {
       // The peer caught up on its socket buffer: drain the queued control
       // frames (completions, acks, window updates) it had backed up.
-      std::unique_lock<std::mutex> lock(conn->write->mutex);
+      MutexLock lock(conn->write->mutex);
       const bool drained = conn->write->DrainLocked();
       lock.unlock();
       if (!drained) {
@@ -554,6 +554,7 @@ struct NodeAgent::ReactorPlane {
     // the per-event read keeps one firehose connection from starving the
     // shard's other connections.
     for (int round = 0; round < 16; ++round) {
+      // Never blocks (MSG_DONTWAIT).  rr-lint: allow(reactor-blocking)
       const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), MSG_DONTWAIT);
       if (n > 0) {
         conn->last_activity = Now();
@@ -900,7 +901,7 @@ struct NodeAgent::ReactorPlane {
   }
 
   bool ResolveEntry(const std::string& name, Entry* out) {
-    std::lock_guard<std::mutex> lock(agent->mutex_);
+    MutexLock lock(agent->mutex_);
     const auto it = agent->functions_.find(name);
     if (it == agent->functions_.end()) return false;
     *out = it->second;
@@ -994,7 +995,7 @@ struct NodeAgent::ReactorPlane {
   void Teardown(size_t si, const std::shared_ptr<Conn>& conn) {
     (void)shards[si].reactor->Remove(conn->fd);
     {
-      std::lock_guard<std::mutex> lock(conn->write->mutex);
+      MutexLock lock(conn->write->mutex);
       conn->write->dead = true;
       conn->write->fd.Reset();
     }
@@ -1010,7 +1011,7 @@ struct NodeAgent::ReactorPlane {
   // Periodic per-shard sweep: wedged mid-frame connections, stalled streams,
   // and idle connections (the PR 5 "header park stays unbounded" contract is
   // retired — senders reconnect transparently).
-  void Sweep(size_t si) {
+  void Sweep(size_t si) {  // rr-lint: reactor-thread
     const TimePoint now = Now();
     const Nanos deadline = agent->options_.transfer_deadline;
     const Nanos idle = agent->options_.idle_timeout;
@@ -1071,7 +1072,7 @@ struct NodeAgent::ReactorPlane {
 
   void Enqueue(InvokeJob job) {
     {
-      std::lock_guard<std::mutex> lock(queue_mutex);
+      MutexLock lock(queue_mutex);
       if (queue_stopping) {
         if (job.mux) AgentStreamsInFlight().Sub(1);
         return;
@@ -1085,9 +1086,10 @@ struct NodeAgent::ReactorPlane {
     while (true) {
       InvokeJob job;
       {
-        std::unique_lock<std::mutex> lock(queue_mutex);
-        queue_cv.wait(lock,
-                      [this] { return queue_stopping || !queue.empty(); });
+        MutexLock lock(queue_mutex);
+        queue_cv.wait(lock, [this]() RR_REQUIRES(queue_mutex) {
+          return queue_stopping || !queue.empty();
+        });
         if (queue_stopping) return;
         job = std::move(queue.front());
         queue.pop_front();
@@ -1143,7 +1145,7 @@ struct NodeAgent::ReactorPlane {
       Result<InvokeOutcome> invoked = [&]() -> Result<InvokeOutcome> {
         // The exec mutex synchronizes the delivery + invoke against readers
         // of regions earlier invocations left resident in this instance.
-        std::lock_guard<std::mutex> shim_lock(instance->exec_mutex());
+        MutexLock shim_lock(instance->exec_mutex());
         RR_TRACE_SPAN(ingress_span, "agent", "ingress:" + job.function);
         RR_ASSIGN_OR_RETURN(
             const MemoryRegion region,
@@ -1209,7 +1211,7 @@ struct NodeAgent::ReactorPlane {
       } else {
         // Nobody consumes the output: release it to keep the heap bounded
         // (the lease returns the instance when it goes out of scope).
-        std::lock_guard<std::mutex> shim_lock(instance->exec_mutex());
+        MutexLock shim_lock(instance->exec_mutex());
         (void)instance->ReleaseRegion(outcome->output);
       }
     } else if (!result.ok()) {
@@ -1284,7 +1286,7 @@ void NodeAgent::Shutdown() {
   if (accept_thread_.joinable()) accept_thread_.join();
   std::map<uint64_t, std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     // Unblock workers parked in a receive on a still-open channel (senders
     // cached in a HopTable may outlive the agent).
     for (const int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
@@ -1300,7 +1302,7 @@ Status NodeAgent::RegisterFunction(std::shared_ptr<ShimPool> pool,
                                    DeliveryCallback on_delivery) {
   if (pool == nullptr) return InvalidArgumentError("null pool");
   const std::string name = pool->name();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!functions_
            .emplace(name, Entry{std::move(pool), std::move(on_delivery)})
            .second) {
@@ -1316,7 +1318,7 @@ Status NodeAgent::RegisterFunction(Shim* shim, DeliveryCallback on_delivery) {
 }
 
 Status NodeAgent::UnregisterFunction(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (functions_.erase(name) == 0) {
     return NotFoundError("function not registered: " + name);
   }
@@ -1324,14 +1326,14 @@ Status NodeAgent::UnregisterFunction(const std::string& name) {
 }
 
 size_t NodeAgent::live_workers() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return workers_.size();
 }
 
 void NodeAgent::ReapFinished() {
   std::vector<std::thread> done;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (const uint64_t id : finished_) {
       const auto it = workers_.find(id);
       if (it == workers_.end()) continue;  // Shutdown already swiped the map
@@ -1367,7 +1369,7 @@ void NodeAgent::AcceptLoop() {
       PreciseSleep(std::chrono::milliseconds(10));
       continue;
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_.load()) return;
     const uint64_t id = next_worker_id_++;
     workers_.emplace(
@@ -1375,7 +1377,7 @@ void NodeAgent::AcceptLoop() {
           AgentLiveWorkers().Add(1);
           ServeConnection(std::move(c));
           AgentLiveWorkers().Sub(1);
-          std::lock_guard<std::mutex> finish_lock(mutex_);
+          MutexLock finish_lock(mutex_);
           finished_.push_back(id);
         }));
   }
@@ -1384,7 +1386,7 @@ void NodeAgent::AcceptLoop() {
 void NodeAgent::ServeConnection(osal::Connection conn) {
   const int fd = conn.fd();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_.load()) return;  // raced with Shutdown: drop, don't serve
     active_fds_.insert(fd);
   }
@@ -1394,7 +1396,7 @@ void NodeAgent::ServeConnection(osal::Connection conn) {
   // call), so Shutdown never shuts down a recycled descriptor.
   const auto untrack = [this, fd] {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       active_fds_.erase(fd);
     }
     active_connections_.fetch_sub(1, std::memory_order_relaxed);
@@ -1411,7 +1413,7 @@ void NodeAgent::ServeConnection(osal::Connection conn) {
   Entry entry;
   bool found = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = functions_.find(*name);
     if (it != functions_.end()) {
       entry = it->second;
@@ -1481,7 +1483,7 @@ void NodeAgent::ServeConnection(osal::Connection conn) {
           obs::SpanContext{frame->trace_id, frame->parent_span});
       // The exec mutex synchronizes the delivery + invoke against readers of
       // regions earlier invocations left resident in this instance.
-      std::lock_guard<std::mutex> shim_lock((*lease)->exec_mutex());
+      MutexLock shim_lock((*lease)->exec_mutex());
       RR_TRACE_SPAN(ingress_span, "agent", "ingress:" + *name);
       RR_ASSIGN_OR_RETURN(
           const MemoryRegion region,
@@ -1515,7 +1517,7 @@ void NodeAgent::ServeConnection(osal::Connection conn) {
     } else {
       // Nobody consumes the output: release it to keep the heap bounded
       // (the lease returns the instance when it goes out of scope).
-      std::lock_guard<std::mutex> shim_lock((*lease)->exec_mutex());
+      MutexLock shim_lock((*lease)->exec_mutex());
       (void)(*lease)->ReleaseRegion(outcome->output);
     }
   }

@@ -43,6 +43,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/network_channel.h"
 #include "core/shim.h"
 #include "core/shim_pool.h"
@@ -164,11 +166,11 @@ class NodeAgent {
 
   osal::TcpListener listener_;
   const Options options_;
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry> functions_;
+  mutable Mutex mutex_;
+  std::map<std::string, Entry> functions_ RR_GUARDED_BY(mutex_);
   // Accepted-connection fds, tracked so Shutdown can unblock workers parked
   // in a receive (a peer that never closes must not wedge teardown).
-  std::set<int> active_fds_;
+  std::set<int> active_fds_ RR_GUARDED_BY(mutex_);
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> transfers_completed_{0};
   std::atomic<uint64_t> transfers_refused_{0};
@@ -176,9 +178,9 @@ class NodeAgent {
   std::thread accept_thread_;
   // Workers keyed by id; a worker pushes its id to finished_ when its
   // connection ends, and ReapFinished joins+erases those entries.
-  std::map<uint64_t, std::thread> workers_;
-  std::vector<uint64_t> finished_;
-  uint64_t next_worker_id_ = 0;
+  std::map<uint64_t, std::thread> workers_ RR_GUARDED_BY(mutex_);
+  std::vector<uint64_t> finished_ RR_GUARDED_BY(mutex_);
+  uint64_t next_worker_id_ RR_GUARDED_BY(mutex_) = 0;
 
   // --- reactor plane ---
   std::unique_ptr<ReactorPlane> reactor_plane_;

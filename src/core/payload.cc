@@ -4,7 +4,7 @@ namespace rr::core {
 
 Payload::State::~State() {
   if (shim != nullptr) {
-    std::lock_guard<std::mutex> shim_lock(shim->exec_mutex());
+    MutexLock shim_lock(shim->exec_mutex());
     (void)shim->ReleaseRegion(region);
   }
 }
@@ -28,7 +28,7 @@ size_t Payload::size() const { return state_ == nullptr ? 0 : state_->size; }
 
 bool Payload::guest_resident() const {
   if (state_ == nullptr) return false;
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   return state_->shim != nullptr;
 }
 
@@ -43,7 +43,7 @@ const MemoryRegion* Payload::guest_region() const {
 
 Result<rr::Buffer> Payload::Materialize(Nanos* wasm_io) const {
   if (state_ == nullptr) return rr::Buffer{};
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   if (state_->materialized) return state_->buffer;
 
   Shim* const shim = state_->shim;
@@ -53,7 +53,7 @@ Result<rr::Buffer> Payload::Materialize(Nanos* wasm_io) const {
     // The instance may be mid-invocation for another run (the pool re-leased
     // it after the producing invocation returned); its exec mutex
     // synchronizes this region read against that guest activity.
-    std::lock_guard<std::mutex> shim_lock(shim->exec_mutex());
+    MutexLock shim_lock(shim->exec_mutex());
     if (!fill.empty()) {
       const Stopwatch egress_timer;
       RR_RETURN_IF_ERROR(shim->sandbox().ReadMemoryHost(state_->region.address,

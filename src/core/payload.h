@@ -32,7 +32,7 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
+#include "common/mutex.h"
 
 #include "common/buffer.h"
 #include "core/shim.h"
@@ -75,11 +75,13 @@ class Payload {
   struct State {
     ~State();
 
-    std::mutex mutex;
-    Shim* shim = nullptr;       // non-null while a guest region is held
-    MemoryRegion region{};
-    rr::Buffer buffer;
-    bool materialized = false;  // buffer holds the bytes
+    Mutex mutex;
+    // Non-null while a guest region is held.
+    Shim* shim RR_GUARDED_BY(mutex) = nullptr;
+    MemoryRegion region RR_GUARDED_BY(mutex){};
+    rr::Buffer buffer RR_GUARDED_BY(mutex);
+    // True once `buffer` holds the bytes.
+    bool materialized RR_GUARDED_BY(mutex) = false;
     size_t size = 0;
   };
 

@@ -8,7 +8,8 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 #include "common/buffer.h"
 #include "common/clock.h"
@@ -117,9 +118,9 @@ class Shim {
   // remaining job is the memory plane: a payload whose guest region still
   // lives in this instance synchronizes its reads/release against whatever
   // invocation the pool admitted next. Sites that need both ends of a hop
-  // take the two mutexes with std::scoped_lock (never one-then-the-other),
+  // take the two mutexes with rr::MutexPairLock (never one-then-the-other),
   // so lock order cannot deadlock.
-  std::mutex& exec_mutex() { return exec_mutex_; }
+  Mutex& exec_mutex() { return exec_mutex_; }
 
   // Atomic rather than mutex-guarded: pool aggregation and tests read it
   // outside any instance lock.
@@ -136,7 +137,7 @@ class Shim {
   std::unique_ptr<runtime::WasmSandbox> owned_sandbox_;  // null in shared-VM mode
   runtime::WasmSandbox* sandbox_;
   DataAccess data_;
-  std::mutex exec_mutex_;
+  Mutex exec_mutex_;
   std::atomic<uint64_t> invocations_{0};
 };
 

@@ -32,10 +32,10 @@ Result<std::shared_ptr<ShimPool>> ShimPool::Adopt(Shim* shim) {
   // Memoized per shim: every path that wraps the same raw instance (a
   // WorkflowManager registration AND a NodeAgent registration, say) must
   // share one pool, or their leases would not mutually exclude.
-  static std::mutex adopted_mutex;
+  static Mutex adopted_mutex;
   static std::map<Shim*, std::weak_ptr<ShimPool>>& adopted =
       *new std::map<Shim*, std::weak_ptr<ShimPool>>();
-  std::lock_guard<std::mutex> lock(adopted_mutex);
+  MutexLock lock(adopted_mutex);
   for (auto it = adopted.begin(); it != adopted.end();) {
     it = it->second.expired() ? adopted.erase(it) : std::next(it);
   }
@@ -92,7 +92,7 @@ ShimPool::MakeInstance() {
   if (prototype_ == nullptr) prototype_ = instance->shim;
   runtime::NativeHandler handler;
   {
-    std::lock_guard<std::mutex> lock(handler_mutex_);
+    MutexLock lock(handler_mutex_);
     handler = handler_;
   }
   if (handler != nullptr) {
@@ -103,7 +103,7 @@ ShimPool::MakeInstance() {
 
 Status ShimPool::Deploy(runtime::NativeHandler handler) {
   {
-    std::lock_guard<std::mutex> lock(handler_mutex_);
+    MutexLock lock(handler_mutex_);
     handler_ = handler;
   }
   Status status;

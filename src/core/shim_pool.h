@@ -32,7 +32,8 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include <string>
 
 #include "common/bytes.h"
@@ -89,7 +90,8 @@ class ShimLease {
       : pool_(std::move(pool)), lease_(std::move(lease)), shim_(shim) {}
 
   std::shared_ptr<ShimPool> pool_;
-  runtime::InstancePool::Lease lease_;
+  // ShimLease IS the lease wrapper — the one type allowed to carry one.
+  runtime::InstancePool::Lease lease_;  // rr-lint: allow(lease-member)
   Shim* shim_ = nullptr;
 };
 
@@ -169,8 +171,8 @@ class ShimPool : public std::enable_shared_from_this<ShimPool> {
   // window where a Deploy racing an in-flight growth misses the growing
   // instance — Deploy is control plane and must complete before the first
   // Lease (see Deploy's contract).
-  mutable std::mutex handler_mutex_;
-  runtime::NativeHandler handler_;
+  mutable Mutex handler_mutex_;
+  runtime::NativeHandler handler_ RR_GUARDED_BY(handler_mutex_);
 
   std::unique_ptr<runtime::InstancePool> pool_;
   // Set by the first (warm-set) MakeInstance, before the pool is shared;

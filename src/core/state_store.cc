@@ -24,7 +24,7 @@ Status StateStore::Put(Shim& owner, const std::string& key,
 
 Status StateStore::PutBytes(const std::string& key, ByteSpan value) {
   if (key.empty()) return InvalidArgumentError("empty state key");
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = entries_.find(key);
   const uint64_t replaced = it == entries_.end() ? 0 : it->second.size();
   if (bytes_stored_ - replaced + value.size() > options_.capacity_bytes) {
@@ -39,7 +39,7 @@ Result<MemoryRegion> StateStore::Get(Shim& reader, const std::string& key) {
   RR_RETURN_IF_ERROR(CheckAccess(reader));
   Bytes value;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = entries_.find(key);
     if (it == entries_.end()) return NotFoundError("no state for key: " + key);
     value = it->second;  // copy under lock; the write below re-enters guest
@@ -51,14 +51,14 @@ Result<MemoryRegion> StateStore::Get(Shim& reader, const std::string& key) {
 }
 
 Result<Bytes> StateStore::GetBytes(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) return NotFoundError("no state for key: " + key);
   return it->second;
 }
 
 Status StateStore::Delete(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) return NotFoundError("no state for key: " + key);
   bytes_stored_ -= it->second.size();
@@ -67,17 +67,17 @@ Status StateStore::Delete(const std::string& key) {
 }
 
 bool StateStore::Contains(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.count(key) != 0;
 }
 
 size_t StateStore::entry_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 
 uint64_t StateStore::bytes_stored() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return bytes_stored_;
 }
 

@@ -14,7 +14,8 @@
 #pragma once
 
 #include <map>
-#include <mutex>
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include <optional>
 #include <string>
 
@@ -66,9 +67,9 @@ class StateStore {
   std::string workflow_;
   std::string tenant_;
   Options options_;
-  mutable std::mutex mutex_;
-  std::map<std::string, Bytes> entries_;
-  uint64_t bytes_stored_ = 0;
+  mutable Mutex mutex_;
+  std::map<std::string, Bytes> entries_ RR_GUARDED_BY(mutex_);
+  uint64_t bytes_stored_ RR_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace rr::core

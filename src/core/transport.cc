@@ -1,6 +1,6 @@
 #include "core/transport.h"
 
-#include <mutex>
+#include "common/mutex.h"
 #include <optional>
 #include <thread>
 
@@ -22,22 +22,16 @@ namespace {
 // transfer: the source instance may already be mid-invocation for another
 // run (its pool re-leased it after the producing invocation returned), and
 // the target is the caller's leased instance, whose memory a payload
-// consumer of an OLDER region may touch concurrently. scoped_lock's
-// deadlock-avoidance handles opposing pairs (a->b vs b->a); the degenerate
-// self-hop (same instance both sides) locks once.
+// consumer of an OLDER region may touch concurrently. MutexPairLock's
+// deadlock-avoidance handles opposing pairs (a->b vs b->a) and the
+// degenerate self-hop (same instance both sides) locks once.
 class PairLock {
  public:
-  PairLock(Shim& source, Shim& target) {
-    if (&source == &target) {
-      single_.emplace(source.exec_mutex());
-    } else {
-      both_.emplace(source.exec_mutex(), target.exec_mutex());
-    }
-  }
+  PairLock(Shim& source, Shim& target)
+      : both_(source.exec_mutex(), target.exec_mutex()) {}
 
  private:
-  std::optional<std::lock_guard<std::mutex>> single_;
-  std::optional<std::scoped_lock<std::mutex, std::mutex>> both_;
+  MutexPairLock both_;
 };
 
 // Pins a fan-in gather slice as the receive destination: the frame length
@@ -95,7 +89,7 @@ class UserSpaceHop : public Hop {
     // refcount bump; the only byte movement left is the unavoidable
     // guest-boundary write into the target, gathered over the chunks.
     RR_ASSIGN_OR_RETURN(const rr::Buffer buffer, payload.Materialize());
-    std::lock_guard<std::mutex> lock(target.exec_mutex());
+    MutexLock lock(target.exec_mutex());
     MemoryRegion dest;
     RegionGuard guard;
     if (into != nullptr) {
@@ -144,8 +138,8 @@ class KernelHop : public Hop {
     TransferTiming egress{};
     RR_ASSIGN_OR_RETURN(const rr::Buffer buffer,
                         payload.Materialize(&egress.wasm_io));
-    std::lock_guard<std::mutex> hop_lock(mutex_);
-    std::lock_guard<std::mutex> target_lock(target.exec_mutex());
+    MutexLock hop_lock(mutex_);
+    MutexLock target_lock(target.exec_mutex());
     const RegionPlacer placer = into != nullptr ? SlicePlacer(*into) : nullptr;
     const rr::BufferView view(buffer);
     auto delivered = WireTransfer(
@@ -163,7 +157,7 @@ class KernelHop : public Hop {
   }
 
  private:
-  std::mutex mutex_;  // serializes concurrent transfers over this pair's wire
+  Mutex mutex_;  // serializes concurrent transfers over this pair's wire
   KernelChannelSender sender_;
   KernelChannelReceiver receiver_;
 };
@@ -202,8 +196,8 @@ class NetworkLoopbackHop : public Hop {
     TransferTiming egress{};
     RR_ASSIGN_OR_RETURN(const rr::Buffer buffer,
                         payload.Materialize(&egress.wasm_io));
-    std::lock_guard<std::mutex> hop_lock(mutex_);
-    std::lock_guard<std::mutex> target_lock(target.exec_mutex());
+    MutexLock hop_lock(mutex_);
+    MutexLock target_lock(target.exec_mutex());
     const RegionPlacer placer = into != nullptr ? SlicePlacer(*into) : nullptr;
     const rr::BufferView view(buffer);
     auto delivered = WireTransfer(
@@ -222,7 +216,7 @@ class NetworkLoopbackHop : public Hop {
   }
 
  private:
-  std::mutex mutex_;
+  Mutex mutex_;
   NetworkChannelSender sender_;
   NetworkChannelReceiver receiver_;
 };
@@ -249,7 +243,7 @@ class NetworkAgentHop : public Hop {
     TransferTiming egress{};
     RR_ASSIGN_OR_RETURN(const rr::Buffer buffer,
                         payload.Materialize(&egress.wasm_io));
-    std::lock_guard<std::mutex> hop_lock(mutex_);
+    MutexLock hop_lock(mutex_);
     const Stopwatch transfer_timer;
     RR_RETURN_IF_ERROR(sender_.SendBuffer(buffer, token));
     egress.transfer = transfer_timer.Elapsed();
@@ -265,7 +259,7 @@ class NetworkAgentHop : public Hop {
   void Close() override { sender_.ShutdownWire(); }
 
  private:
-  std::mutex mutex_;
+  Mutex mutex_;
   NetworkChannelSender sender_;
 };
 
@@ -375,7 +369,7 @@ class NetworkTransport : public Transport {
  private:
   Result<std::shared_ptr<MuxClient>> ClientFor(const std::string& host,
                                                uint16_t port) {
-    std::lock_guard<std::mutex> lock(clients_mutex_);
+    MutexLock lock(clients_mutex_);
     if (client_reactor_ == nullptr) {
       RR_ASSIGN_OR_RETURN(client_reactor_, osal::Reactor::Start("mux-client"));
     }
@@ -387,7 +381,7 @@ class NetworkTransport : public Transport {
     return client;
   }
 
-  std::mutex clients_mutex_;
+  Mutex clients_mutex_;
   std::shared_ptr<osal::Reactor> client_reactor_;
   std::map<std::string, std::shared_ptr<MuxClient>> clients_;
 };
@@ -399,7 +393,7 @@ Result<InvokeOutcome> Hop::ForwardAndInvoke(const Payload& payload,
                                             TransferTiming* timing) {
   RR_ASSIGN_OR_RETURN(const MemoryRegion delivered,
                       Forward(payload, target, timing));
-  std::lock_guard<std::mutex> shim_lock(target.exec_mutex());
+  MutexLock shim_lock(target.exec_mutex());
   // A successful invoke consumes the input region; a failed one leaves it
   // allocated in the target's sandbox — the guard reclaims it.
   RegionGuard guard(&target, delivered);

@@ -23,7 +23,7 @@ Status WorkflowManager::Register(Endpoint endpoint) {
                                  " is not part of workflow " + workflow_);
   }
   const std::string name = endpoint.shim->name();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!endpoints_.emplace(name, std::move(endpoint)).second) {
     return AlreadyExistsError("function already registered: " + name);
   }
@@ -32,7 +32,7 @@ Status WorkflowManager::Register(Endpoint endpoint) {
 
 Status WorkflowManager::Unregister(const std::string& name) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (endpoints_.erase(name) == 0) {
       return NotFoundError("unknown function: " + name);
     }
@@ -44,7 +44,7 @@ Status WorkflowManager::Unregister(const std::string& name) {
 }
 
 Result<Endpoint*> WorkflowManager::Find(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = endpoints_.find(name);
   if (it == endpoints_.end()) return NotFoundError("unknown function: " + name);
   return &it->second;

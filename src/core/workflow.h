@@ -9,7 +9,8 @@
 #pragma once
 
 #include <map>
-#include <mutex>
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include <string>
 #include <vector>
 
@@ -50,8 +51,8 @@ class WorkflowManager {
 
  private:
   std::string workflow_;
-  std::mutex mutex_;  // guards endpoints_ (map nodes themselves are stable)
-  std::map<std::string, Endpoint> endpoints_;
+  Mutex mutex_;  // map nodes themselves are address-stable once inserted
+  std::map<std::string, Endpoint> endpoints_ RR_GUARDED_BY(mutex_);
   HopTable hops_;
 };
 

@@ -40,16 +40,16 @@ struct DagExecutor::NodeRun {
 
 struct DagExecutor::StatsState {
   telemetry::DagRunStats* out = nullptr;
-  std::mutex mutex;
-  std::optional<TimePoint> phase_start;
-  TimePoint phase_end{};
+  Mutex mutex;
+  std::optional<TimePoint> phase_start RR_GUARDED_BY(mutex);
+  TimePoint phase_end RR_GUARDED_BY(mutex){};
 
   // Called immediately before an edge transfer: the first caller anchors the
   // transfer phase, so `transfer_phase` spans first edge start to last edge
   // completion across all concurrent branches.
   void MarkPhaseStart() {
     if (out == nullptr) return;
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     if (!phase_start.has_value()) phase_start = Now();
   }
 
@@ -64,7 +64,7 @@ struct DagExecutor::StatsState {
     telemetry::EdgeSample sample{source, target,
                                  std::string(core::TransferModeName(mode)),
                                  bytes, latency, wasm_io};
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     phase_end = std::max(phase_end, now);
     out->edges.push_back(std::move(sample));
   }
@@ -75,11 +75,11 @@ DagExecutor::~DagExecutor() {
   // abandoned may still fire its DispatchAsync callback from a reactor
   // thread while (or after) this executor tears down.
   {
-    std::lock_guard<std::mutex> lock(life_->mutex);
+    MutexLock lock(life_->mutex);
     life_->owner = nullptr;
   }
   {
-    std::lock_guard<std::mutex> lock(mail_mutex_);
+    MutexLock lock(mail_mutex_);
     sweeper_stop_ = true;
   }
   sweep_cv_.notify_all();
@@ -162,7 +162,7 @@ Status DagExecutor::RunNode(const Dag& dag, size_t index,
     RR_ASSIGN_OR_RETURN(ShimLease lease, target.Lease());
     InvokeOutcome outcome;
     {
-      std::lock_guard<std::mutex> shim_lock(lease->exec_mutex());
+      MutexLock shim_lock(lease->exec_mutex());
       RR_TRACE_SPAN(node_span, "dag", "node:" + node.name);
       RR_ASSIGN_OR_RETURN(outcome,
                           lease->DeliverAndInvoke(rr::BufferView(input)));
@@ -284,7 +284,7 @@ Status DagExecutor::RunLocalNode(
     // — the guard itself takes no locks) before the error propagates.
     core::RegionGuard merged_guard;
     {
-      std::lock_guard<std::mutex> shim_lock(instance.exec_mutex());
+      MutexLock shim_lock(instance.exec_mutex());
       RR_ASSIGN_OR_RETURN(merged,
                           instance.PrepareInput(static_cast<uint32_t>(total)));
       merged_guard = core::RegionGuard(&instance, merged);
@@ -307,7 +307,7 @@ Status DagExecutor::RunLocalNode(
           edge_span ? edge_span->End() : edge_timer.Elapsed();
       if (!delivered.ok()) {
         evict_if_dead(*pred_hops[i]);
-        std::lock_guard<std::mutex> shim_lock(instance.exec_mutex());
+        MutexLock shim_lock(instance.exec_mutex());
         (void)merged_guard.ReleaseNow();
         return delivered.status();
       }
@@ -323,7 +323,7 @@ Status DagExecutor::RunLocalNode(
 
   InvokeOutcome outcome;
   {
-    std::lock_guard<std::mutex> shim_lock(instance.exec_mutex());
+    MutexLock shim_lock(instance.exec_mutex());
     // A successful invoke consumes the input region; a failed one leaves it
     // allocated in the target's sandbox — the guard reclaims it (we hold the
     // exec mutex for the guard's whole scope).
@@ -408,7 +408,7 @@ Status DagExecutor::RunRemoteNode(const Dag& dag, size_t index,
   DagScheduler::Ticket ticket = defer();
   const uint64_t token = next_token_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mail_mutex_);
+    MutexLock lock(mail_mutex_);
     Pending slot;
     slot.function = function;
     slot.ticket = ticket;
@@ -451,7 +451,7 @@ void DagExecutor::DispatchAttempt(uint64_t token) {
   Endpoint* target = nullptr;
   obs::SpanContext trace_ctx{};
   {
-    std::lock_guard<std::mutex> lock(mail_mutex_);
+    MutexLock lock(mail_mutex_);
     const auto it = pending_.find(token);
     if (it == pending_.end()) return;  // already resolved
     Pending& slot = it->second;
@@ -497,7 +497,7 @@ void DagExecutor::DispatchAttempt(uint64_t token) {
     // as an attempt so an all-open breaker set converges on max_attempts ×
     // replicas instead of spinning until the budget drains.
     {
-      std::lock_guard<std::mutex> lock(mail_mutex_);
+      MutexLock lock(mail_mutex_);
       const auto it = pending_.find(token);
       if (it == pending_.end()) return;
       ++it->second.total_attempts;
@@ -512,7 +512,7 @@ void DagExecutor::DispatchAttempt(uint64_t token) {
   bool wake_sweeper = false;
   bool failover = false;
   {
-    std::lock_guard<std::mutex> lock(mail_mutex_);
+    MutexLock lock(mail_mutex_);
     const auto it = pending_.find(token);
     if (it == pending_.end()) return;
     Pending& slot = it->second;
@@ -551,7 +551,7 @@ void DagExecutor::DispatchAttempt(uint64_t token) {
         // resolve it now instead of waiting out the backstop — the retry
         // engine decides whether the edge lives on.
         if (outcome.ok()) return;
-        std::lock_guard<std::mutex> lock(life->mutex);
+        MutexLock lock(life->mutex);
         if (life->owner == nullptr) return;
         life->owner->ResolveAttemptFailure(token, outcome,
                                            /*force_evict=*/false);
@@ -624,7 +624,7 @@ void DagExecutor::ResolveAttemptFailure(uint64_t token, const Status& status,
   slot->hop.reset();
   bool wake_sweeper = false;
   {
-    std::lock_guard<std::mutex> lock(mail_mutex_);
+    MutexLock lock(mail_mutex_);
     // The jitter stream is shared by the run's concurrent edges; mail_mutex_
     // guards the draw, keeping the sequence (and tests) deterministic.
     const Nanos delay =
@@ -662,7 +662,7 @@ Status DagExecutor::FinishNode(const Dag& dag, size_t index,
 }
 
 std::optional<DagExecutor::Pending> DagExecutor::TakePending(uint64_t token) {
-  std::lock_guard<std::mutex> lock(mail_mutex_);
+  MutexLock lock(mail_mutex_);
   const auto it = pending_.find(token);
   if (it == pending_.end()) return std::nullopt;
   Pending slot = std::move(it->second);
@@ -680,7 +680,7 @@ Status DagExecutor::DeliverOutcome(const std::string& function,
     // so the remote function's heap stays bounded (dropping the lease then
     // returns the instance to its pool).
     if (instance) {
-      std::lock_guard<std::mutex> shim_lock(instance->exec_mutex());
+      MutexLock shim_lock(instance->exec_mutex());
       (void)instance->ReleaseRegion(outcome.output);
     }
     resilience::StaleDeliveriesTotal().Inc();
@@ -735,7 +735,7 @@ Status DagExecutor::DeliverOutcome(const std::string& function,
 // legacy-wire redispatch may block this thread on a connect; concurrent
 // expiries slip by that much, which the per-attempt deadlines absorb.
 void DagExecutor::SweeperLoop() {
-  std::unique_lock<std::mutex> lock(mail_mutex_);
+  MutexLock lock(mail_mutex_);
   while (!sweeper_stop_) {
     const TimePoint now = Now();
     TimePoint next = TimePoint::max();

@@ -63,11 +63,11 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include <optional>
 #include <string>
 #include <thread>
@@ -244,16 +244,16 @@ class DagExecutor {
   // executor; the destructor clears `owner` under the mutex, turning late
   // callbacks into no-ops instead of use-after-free.
   struct LifeGuard {
-    std::mutex mutex;
-    DagExecutor* owner = nullptr;
+    Mutex mutex;
+    DagExecutor* owner RR_GUARDED_BY(mutex) = nullptr;
   };
 
   core::WorkflowManager* manager_;
   DagScheduler scheduler_;
   const std::shared_ptr<LifeGuard> life_ = std::make_shared<LifeGuard>();
 
-  std::mutex mail_mutex_;
-  std::map<uint64_t, Pending> pending_;
+  Mutex mail_mutex_;
+  std::map<uint64_t, Pending> pending_ RR_GUARDED_BY(mail_mutex_);
   std::atomic<uint64_t> next_token_{1};
   Nanos remote_deadline_ = std::chrono::seconds(60);
   resilience::ResiliencePolicy policy_;  // default; DagSpec may override
@@ -262,10 +262,10 @@ class DagExecutor {
   // sweep_next_ is the deadline it is currently waiting for: registrations
   // with later deadlines (the common case — deadlines are monotonic) skip
   // the wakeup, so the sweeper scans once per expiry, not once per dispatch.
-  std::condition_variable sweep_cv_;
+  CondVar sweep_cv_;
   std::thread sweeper_;
-  bool sweeper_stop_ = false;                 // guarded by mail_mutex_
-  TimePoint sweep_next_ = TimePoint::max();   // guarded by mail_mutex_
+  bool sweeper_stop_ RR_GUARDED_BY(mail_mutex_) = false;
+  TimePoint sweep_next_ RR_GUARDED_BY(mail_mutex_) = TimePoint::max();
 };
 
 }  // namespace rr::dag

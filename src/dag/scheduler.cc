@@ -29,7 +29,7 @@ DagScheduler::DagScheduler(size_t workers) {
 
 DagScheduler::~DagScheduler() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_cv_.notify_all();
@@ -45,7 +45,7 @@ Status DagScheduler::Run(const Dag& dag, const NodeFn& fn) {
     state.remaining_preds[i] = dag.node(i).preds.size();
   }
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const size_t source : dag.sources()) {
     queue_.emplace_back(&state, source);
     // One wakeup per enqueued item: notify_all would stampede the whole
@@ -58,14 +58,18 @@ Status DagScheduler::Run(const Dag& dag, const NodeFn& fn) {
   // A validated Dag is non-empty, so outstanding starts > 0 and reaches 0
   // exactly when every reachable (non-cancelled) node has finished —
   // deferred nodes included, their Tickets being what decrements it.
-  done_cv_.wait(lock, [&state] { return state.outstanding == 0; });
+  done_cv_.wait(lock, [this, &state]() RR_REQUIRES(mutex_) {
+    return state.outstanding == 0;
+  });
   return state.first_error;
 }
 
 void DagScheduler::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
-    work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    work_cv_.wait(lock, [this]() RR_REQUIRES(mutex_) {
+      return stopping_ || !queue_.empty();
+    });
     if (stopping_) return;
     auto [state, node] = queue_.front();
     queue_.pop_front();
@@ -127,7 +131,7 @@ void DagScheduler::Ticket::Complete(Status status) {
   const std::shared_ptr<Slot> slot = slot_;
   if (slot == nullptr || slot->completed.exchange(true)) return;
   DagScheduler* const scheduler = slot->scheduler;
-  std::lock_guard<std::mutex> lock(scheduler->mutex_);
+  MutexLock lock(scheduler->mutex_);
   scheduler->RetireLocked(slot->state, slot->node, std::move(status));
 }
 

@@ -23,15 +23,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "dag/dag.h"
 
 namespace rr::dag {
@@ -119,13 +119,14 @@ class DagScheduler {
   // successors, and completes the run when the last outstanding node
   // retires. Reached from WorkerLoop (synchronous returns) and from
   // Ticket::Complete (deferred nodes).
-  void RetireLocked(RunState* state, size_t node, Status status);
+  void RetireLocked(RunState* state, size_t node, Status status)
+      RR_REQUIRES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  bool stopping_ = false;
-  std::deque<std::pair<RunState*, size_t>> queue_;
+  Mutex mutex_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  bool stopping_ RR_GUARDED_BY(mutex_) = false;
+  std::deque<std::pair<RunState*, size_t>> queue_ RR_GUARDED_BY(mutex_);
 
   std::vector<std::thread> workers_;
 };

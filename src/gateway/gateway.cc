@@ -87,7 +87,7 @@ Status Gateway::AddRouteImpl(
                options.interceptors.end());
   route->chain = InterceptorChain(std::move(chain));
   route->submit = std::move(submit);
-  std::lock_guard<std::mutex> lock(routes_mutex_);
+  MutexLock lock(routes_mutex_);
   const auto [it, inserted] = routes_.emplace(name, std::move(route));
   (void)it;
   if (!inserted) {
@@ -124,7 +124,7 @@ std::shared_ptr<const Gateway::Route> Gateway::Match(
     return nullptr;
   }
   *route_name = std::string(target.substr(kInvokePrefix.size()));
-  std::lock_guard<std::mutex> lock(routes_mutex_);
+  MutexLock lock(routes_mutex_);
   const auto it = routes_.find(*route_name);
   return it != routes_.end() ? it->second : nullptr;
 }

@@ -26,7 +26,8 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include <string>
 #include <vector>
 
@@ -89,8 +90,9 @@ class Gateway {
   api::Runtime* const runtime_;
   const Options options_;
   std::shared_ptr<const InterceptorChain> global_chain_;
-  mutable std::mutex routes_mutex_;
-  std::map<std::string, std::shared_ptr<const Route>> routes_;
+  mutable Mutex routes_mutex_;
+  std::map<std::string, std::shared_ptr<const Route>> routes_
+      RR_GUARDED_BY(routes_mutex_);
   std::unique_ptr<http::EpollServer> server_;
 };
 

@@ -181,7 +181,7 @@ Status BodyLimitInterceptor::OnEnter(RequestContext& ctx) {
 // --- RateLimitInterceptor ----------------------------------------------------
 
 RequestBucket& RateLimitInterceptor::BucketFor(const std::string& tenant) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& bucket = buckets_[tenant];
   if (bucket == nullptr) {
     bucket = std::make_unique<RequestBucket>(rate_, burst_);
@@ -227,7 +227,7 @@ AdmissionInterceptor::AdmissionInterceptor(Options options)
 
 bool AdmissionInterceptor::LeaseWaitSaturated() {
   if (options_.max_avg_lease_wait_seconds <= 0) return false;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const TimePoint now = Now();
   if (now - last_sample_ >= options_.sample_window) {
     // Windowed delta over the pool's own histogram: the average lease wait

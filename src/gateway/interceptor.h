@@ -31,7 +31,8 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include <string>
 #include <utility>
 #include <vector>
@@ -163,8 +164,11 @@ class RateLimitInterceptor : public Interceptor {
 
   const double rate_;
   const uint64_t burst_;
-  std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<RequestBucket>> buckets_;
+  Mutex mutex_;
+  // unique_ptr keeps handed-out bucket references address-stable; the
+  // buckets themselves are internally synchronized.
+  std::map<std::string, std::unique_ptr<RequestBucket>> buckets_
+      RR_GUARDED_BY(mutex_);
 };
 
 // Answers GET /healthz inline with liveness JSON — before auth and quotas,
@@ -208,11 +212,11 @@ class AdmissionInterceptor : public Interceptor {
   bool LeaseWaitSaturated();
 
   const Options options_;
-  std::mutex mutex_;
-  TimePoint last_sample_{};
-  double last_sum_ = 0;
-  uint64_t last_count_ = 0;
-  bool saturated_ = false;
+  Mutex mutex_;
+  TimePoint last_sample_ RR_GUARDED_BY(mutex_){};
+  double last_sum_ RR_GUARDED_BY(mutex_) = 0;
+  uint64_t last_count_ RR_GUARDED_BY(mutex_) = 0;
+  bool saturated_ RR_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace rr::gateway

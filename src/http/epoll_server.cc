@@ -116,7 +116,7 @@ struct EpollServer::Impl {
         listener(std::move(l)),
         reactor(std::move(r)) {}
 
-  void AcceptAll() {
+  void AcceptAll() {  // rr-lint: reactor-thread
     while (true) {
       Result<osal::Connection> accepted = listener.TryAccept();
       if (!accepted.ok()) return;  // transient accept failure; retry on event
@@ -146,7 +146,7 @@ struct EpollServer::Impl {
 
   using ConnMap = std::unordered_map<uint64_t, Conn>;
 
-  void OnConnEvent(uint64_t id, uint32_t events) {
+  void OnConnEvent(uint64_t id, uint32_t events) {  // rr-lint: reactor-thread
     auto it = conns.find(id);
     if (it == conns.end()) return;
     if (events & osal::Epoll::kError) {
@@ -198,6 +198,8 @@ struct EpollServer::Impl {
   bool HandleReadable(uint64_t id, Conn& conn) {
     uint8_t buf[64 * 1024];
     while (true) {
+      // Never blocks: TryAccept hands out O_NONBLOCK sockets.
+      // rr-lint: allow(reactor-blocking)
       const ssize_t r = ::recv(conn.fd.get(), buf, sizeof(buf), 0);
       if (r < 0) {
         if (errno == EINTR) continue;
@@ -396,7 +398,7 @@ struct EpollServer::Impl {
     (void)FlushWrites(completion.conn_id, it->second);
   }
 
-  void SweepIdle(TimePoint now) {
+  void SweepIdle(TimePoint now) {  // rr-lint: reactor-thread
     for (auto it = conns.begin(); it != conns.end();) {
       Conn& conn = it->second;
       const bool quiescent = conn.slots.empty() && !conn.write_active;

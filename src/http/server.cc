@@ -24,7 +24,7 @@ void Server::Shutdown() {
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(workers_mutex_);
+    MutexLock lock(workers_mutex_);
     workers.swap(workers_);
   }
   for (std::thread& worker : workers) {
@@ -42,7 +42,7 @@ void Server::AcceptLoop() {
       return;
     }
     conn->SetNoDelay(true);
-    std::lock_guard<std::mutex> lock(workers_mutex_);
+    MutexLock lock(workers_mutex_);
     workers_.emplace_back(
         [this, c = std::move(*conn)]() mutable { ServeConnection(std::move(c)); });
   }

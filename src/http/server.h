@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "http/http.h"
 
 namespace rr::http {
@@ -43,8 +45,8 @@ class Server {
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> requests_served_{0};
   std::thread accept_thread_;
-  std::mutex workers_mutex_;
-  std::vector<std::thread> workers_;
+  Mutex workers_mutex_;
+  std::vector<std::thread> workers_ RR_GUARDED_BY(workers_mutex_);
 };
 
 }  // namespace rr::http

@@ -15,8 +15,10 @@ class DelayLine {
   explicit DelayLine(size_t capacity_bytes) : capacity_(capacity_bytes) {}
 
   void Push(TimePoint release_at, Bytes chunk) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [&] { return queued_bytes_ < capacity_ || closed_; });
+    MutexLock lock(mutex_);
+    not_full_.wait(lock, [&]() RR_REQUIRES(mutex_) {
+      return queued_bytes_ < capacity_ || closed_;
+    });
     if (closed_) return;
     queued_bytes_ += chunk.size();
     items_.push_back({release_at, std::move(chunk)});
@@ -25,8 +27,10 @@ class DelayLine {
 
   // Returns false when the line is closed and drained.
   bool Pop(Bytes& out) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    MutexLock lock(mutex_);
+    not_empty_.wait(lock, [&]() RR_REQUIRES(mutex_) {
+      return !items_.empty() || closed_;
+    });
     if (items_.empty()) return false;
     Item item = std::move(items_.front());
     items_.pop_front();
@@ -41,7 +45,7 @@ class DelayLine {
   }
 
   void Close() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     closed_ = true;
     not_empty_.notify_all();
     not_full_.notify_all();
@@ -53,13 +57,13 @@ class DelayLine {
     Bytes chunk;
   };
 
-  std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<Item> items_;
-  size_t queued_bytes_ = 0;
+  Mutex mutex_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<Item> items_ RR_GUARDED_BY(mutex_);
+  size_t queued_bytes_ RR_GUARDED_BY(mutex_) = 0;
   size_t capacity_;
-  bool closed_ = false;
+  bool closed_ RR_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace
@@ -81,7 +85,7 @@ void ShapedLink::Shutdown() {
   if (accept_thread_.joinable()) accept_thread_.join();
   {
     // Tear down live relays so pump threads see EOF.
-    std::lock_guard<std::mutex> lock(workers_mutex_);
+    MutexLock lock(workers_mutex_);
     for (auto& [client, server] : live_pairs_) {
       ::shutdown(client.fd(), SHUT_RDWR);
       ::shutdown(server.fd(), SHUT_RDWR);
@@ -89,13 +93,13 @@ void ShapedLink::Shutdown() {
   }
   std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(workers_mutex_);
+    MutexLock lock(workers_mutex_);
     workers.swap(workers_);
   }
   for (std::thread& worker : workers) {
     if (worker.joinable()) worker.join();
   }
-  std::lock_guard<std::mutex> lock(workers_mutex_);
+  MutexLock lock(workers_mutex_);
   live_pairs_.clear();
 }
 
@@ -112,7 +116,7 @@ void ShapedLink::AcceptLoop() {
     client->SetNoDelay(true);
     server->SetNoDelay(true);
 
-    std::lock_guard<std::mutex> lock(workers_mutex_);
+    MutexLock lock(workers_mutex_);
     live_pairs_.emplace_back(std::move(*client), std::move(*server));
     auto& [client_conn, server_conn] = live_pairs_.back();
     const int client_fd = client_conn.fd();
@@ -144,7 +148,7 @@ void ShapedLink::Pump(int src_fd, int dst_fd, TokenBucket& bucket) {
     if (n <= 0) break;
     {
       // The shared bucket serializes flows through the common bottleneck.
-      std::lock_guard<std::mutex> lock(bucket_mutex_);
+      MutexLock lock(bucket_mutex_);
       bucket.Consume(static_cast<uint64_t>(n));
     }
     line.Push(Now() + config_.one_way_delay,

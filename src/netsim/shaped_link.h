@@ -12,10 +12,10 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include <thread>
 #include <vector>
 
@@ -86,14 +86,15 @@ class ShapedLink {
   // bottleneck, not the flow.
   TokenBucket uplink_bucket_;
   TokenBucket downlink_bucket_;
-  std::mutex bucket_mutex_;
+  Mutex bucket_mutex_;
 
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> bytes_forwarded_{0};
   std::thread accept_thread_;
-  std::mutex workers_mutex_;
-  std::vector<std::thread> workers_;
-  std::vector<std::pair<osal::Connection, osal::Connection>> live_pairs_;
+  Mutex workers_mutex_;
+  std::vector<std::thread> workers_ RR_GUARDED_BY(workers_mutex_);
+  std::vector<std::pair<osal::Connection, osal::Connection>> live_pairs_
+      RR_GUARDED_BY(workers_mutex_);
 };
 
 // Convenience: measured one-way latency floor of a link config for a payload

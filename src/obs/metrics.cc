@@ -128,7 +128,7 @@ Registry::Series* Registry::GetSeries(std::string_view name,
                                       const std::vector<double>& bounds) {
   std::sort(labels.begin(), labels.end());
   const std::string series_key = RenderLabels(labels);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto family_it = families_.find(name);
   if (family_it == families_.end()) {
     Family family;
@@ -183,7 +183,7 @@ Histogram* Registry::histogram(std::string_view name, std::string_view help,
 }
 
 std::string Registry::RenderPrometheus() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string out;
   for (const auto& [name, family] : families_) {
     if (!family.help.empty()) {

@@ -31,7 +31,8 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include <string>
 #include <string_view>
 #include <utility>
@@ -189,8 +190,8 @@ class Registry {
   Series* GetSeries(std::string_view name, std::string_view help, Kind kind,
                     Labels labels, const std::vector<double>& bounds);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Family, std::less<>> families_;
+  mutable Mutex mutex_;
+  std::map<std::string, Family, std::less<>> families_ RR_GUARDED_BY(mutex_);
 };
 
 }  // namespace rr::obs

@@ -79,7 +79,7 @@ Tracer& Tracer::Get() {
 }
 
 void Tracer::SetCapacity(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   capacity_ = capacity > 0 ? capacity : 1;
   ring_.clear();
   ring_.shrink_to_fit();
@@ -87,7 +87,7 @@ void Tracer::SetCapacity(size_t capacity) {
 }
 
 void Tracer::Record(SpanRecord record) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(record));
   } else {
@@ -98,7 +98,7 @@ void Tracer::Record(SpanRecord record) {
 }
 
 std::vector<SpanRecord> Tracer::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<SpanRecord> spans;
   spans.reserve(ring_.size());
   // next_ is the oldest slot once the ring has wrapped.
@@ -109,18 +109,18 @@ std::vector<SpanRecord> Tracer::Snapshot() const {
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ring_.clear();
   next_ = 0;
 }
 
 uint64_t Tracer::recorded() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return recorded_;
 }
 
 uint64_t Tracer::dropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return recorded_ >= ring_.size() ? recorded_ - ring_.size() : 0;
 }
 

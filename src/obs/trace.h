@@ -29,7 +29,8 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include <optional>
 #include <string>
 #include <vector>
@@ -88,11 +89,11 @@ class Tracer {
  private:
   Tracer() = default;
 
-  mutable std::mutex mutex_;
-  std::vector<SpanRecord> ring_;
-  size_t capacity_ = 4096;
-  size_t next_ = 0;
-  uint64_t recorded_ = 0;
+  mutable Mutex mutex_;
+  std::vector<SpanRecord> ring_ RR_GUARDED_BY(mutex_);
+  size_t capacity_ RR_GUARDED_BY(mutex_) = 4096;
+  size_t next_ RR_GUARDED_BY(mutex_) = 0;
+  uint64_t recorded_ RR_GUARDED_BY(mutex_) = 0;
 };
 
 // Installs `context` as the thread's active context for the current scope

@@ -28,6 +28,10 @@ Result<std::shared_ptr<Reactor>> Reactor::Start(std::string name) {
   RR_RETURN_IF_ERROR(epoll.Add(wake.fd(), Epoll::kReadable, kWakeTag));
   auto reactor = std::shared_ptr<Reactor>(
       new Reactor(std::move(name), std::move(epoll), std::move(wake)));
+  // The reactor is not shared yet, but thread_ is guarded by join_mutex_
+  // (concurrent Stop()s serialize their join on it) — hold it for the spawn
+  // so the write is analysis-visible.
+  MutexLock lock(reactor->join_mutex_);
   reactor->thread_ = std::thread([raw = reactor.get()] { raw->Loop(); });
   return reactor;
 }
@@ -37,12 +41,12 @@ Reactor::~Reactor() { Stop(); }
 void Reactor::Stop() {
   stopping_.store(true, std::memory_order_release);
   wake_.Signal();
-  std::lock_guard<std::mutex> lock(join_mutex_);
+  MutexLock lock(join_mutex_);
   if (thread_.joinable()) thread_.join();
 }
 
 Status Reactor::Add(int fd, uint32_t events, EventHandler handler) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const uint32_t gen = next_gen_++;
   RR_RETURN_IF_ERROR(epoll_.Add(fd, events, MakeTag(gen, fd)));
   handlers_[fd] =
@@ -51,7 +55,7 @@ Status Reactor::Add(int fd, uint32_t events, EventHandler handler) {
 }
 
 Status Reactor::Modify(int fd, uint32_t events) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = handlers_.find(fd);
   if (it == handlers_.end()) {
     return NotFoundError("fd not registered with reactor");
@@ -60,7 +64,7 @@ Status Reactor::Modify(int fd, uint32_t events) {
 }
 
 Status Reactor::Remove(int fd) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (handlers_.erase(fd) == 0) {
     return NotFoundError("fd not registered with reactor");
   }
@@ -69,7 +73,7 @@ Status Reactor::Remove(int fd) {
 
 void Reactor::Post(Task task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_.load(std::memory_order_acquire)) return;
     tasks_.push_back(std::move(task));
   }
@@ -78,7 +82,7 @@ void Reactor::Post(Task task) {
 
 uint64_t Reactor::AddTicker(Nanos interval, Task tick) {
   interval = std::max<Nanos>(interval, std::chrono::milliseconds(1));
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const uint64_t id = next_ticker_id_++;
   tickers_[id] =
       Ticker{interval, Now() + interval, std::make_shared<Task>(std::move(tick))};
@@ -87,12 +91,12 @@ uint64_t Reactor::AddTicker(Nanos interval, Task tick) {
 }
 
 void Reactor::RemoveTicker(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   tickers_.erase(id);
 }
 
 Nanos Reactor::NextTickDelay(TimePoint now) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (tickers_.empty()) return Nanos{-1};  // unbounded
   TimePoint next = TimePoint::max();
   for (const auto& [id, ticker] : tickers_) next = std::min(next, ticker.next);
@@ -102,7 +106,7 @@ Nanos Reactor::NextTickDelay(TimePoint now) {
 void Reactor::RunDueTickers(TimePoint now) {
   std::vector<std::shared_ptr<Task>> due;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (auto& [id, ticker] : tickers_) {
       if (ticker.next <= now) {
         due.push_back(ticker.task);
@@ -116,7 +120,7 @@ void Reactor::RunDueTickers(TimePoint now) {
 void Reactor::RunTasks() {
   std::vector<Task> batch;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     batch.swap(tasks_);
   }
   for (Task& task : batch) task();
@@ -135,7 +139,7 @@ void Reactor::Loop() {
       }
       std::shared_ptr<EventHandler> handler;
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         const auto it = handlers_.find(FdOfTag(event.tag));
         if (it != handlers_.end() && it->second.gen == GenOfTag(event.tag)) {
           handler = it->second.handler;

@@ -29,14 +29,15 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "osal/poll.h"
 
 namespace rr::osal {
@@ -106,16 +107,16 @@ class Reactor {
   Epoll epoll_;
   EventFd wake_;
 
-  mutable std::mutex mutex_;
-  std::unordered_map<int, Registration> handlers_;
-  std::vector<Task> tasks_;
-  std::map<uint64_t, Ticker> tickers_;
-  uint32_t next_gen_ = 1;
-  uint64_t next_ticker_id_ = 1;
+  mutable Mutex mutex_;
+  std::unordered_map<int, Registration> handlers_ RR_GUARDED_BY(mutex_);
+  std::vector<Task> tasks_ RR_GUARDED_BY(mutex_);
+  std::map<uint64_t, Ticker> tickers_ RR_GUARDED_BY(mutex_);
+  uint32_t next_gen_ RR_GUARDED_BY(mutex_) = 1;
+  uint64_t next_ticker_id_ RR_GUARDED_BY(mutex_) = 1;
 
-  std::thread thread_;
+  std::thread thread_ RR_GUARDED_BY(join_mutex_);
   std::atomic<bool> stopping_{false};
-  std::mutex join_mutex_;
+  Mutex join_mutex_;
 };
 
 }  // namespace rr::osal

@@ -18,7 +18,7 @@ std::string_view BreakerStateName(BreakerState state) {
 
 Status CircuitBreaker::Admit() {
   if (!enabled()) return Status::Ok();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   switch (state_) {
     case BreakerState::kClosed:
       return Status::Ok();
@@ -50,7 +50,7 @@ Status CircuitBreaker::Admit() {
 
 void CircuitBreaker::RecordOutcome(const Status& status) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!WireLevelFailure(status)) {
     // The wire worked (success, handler error, or an in-sync refusal):
     // close and reset.
@@ -74,12 +74,12 @@ void CircuitBreaker::RecordOutcome(const Status& status) {
 }
 
 BreakerState CircuitBreaker::state() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return state_;
 }
 
 TimePoint CircuitBreaker::probe_at() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return state_ == BreakerState::kOpen ? probe_at_ : TimePoint{};
 }
 

@@ -21,11 +21,12 @@
 // ResiliencePolicy keep the pre-resilience behavior.
 #pragma once
 
-#include <mutex>
 #include <string_view>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "resilience/policy.h"
 
 namespace rr::resilience {
@@ -60,11 +61,11 @@ class CircuitBreaker {
 
  private:
   const BreakerOptions options_;
-  mutable std::mutex mutex_;
-  BreakerState state_ = BreakerState::kClosed;
-  uint32_t consecutive_failures_ = 0;
-  TimePoint probe_at_{};
-  bool probe_in_flight_ = false;
+  mutable Mutex mutex_;
+  BreakerState state_ RR_GUARDED_BY(mutex_) = BreakerState::kClosed;
+  uint32_t consecutive_failures_ RR_GUARDED_BY(mutex_) = 0;
+  TimePoint probe_at_ RR_GUARDED_BY(mutex_){};
+  bool probe_in_flight_ RR_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace rr::resilience

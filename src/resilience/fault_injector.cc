@@ -9,7 +9,7 @@ FaultInjector& FaultInjector::Instance() {
 
 void FaultInjector::Arm(FaultSite site, FaultPlan plan) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     sites_[static_cast<size_t>(site)] = SiteState{plan, 0, 0};
   }
   armed_.store(true, std::memory_order_release);
@@ -20,13 +20,13 @@ void FaultInjector::Reset() {
   // (and the old plan under the mutex) or the cleared one — never a torn
   // plan.
   armed_.store(false, std::memory_order_release);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (SiteState& site : sites_) site = SiteState{};
 }
 
 bool FaultInjector::ShouldFire(FaultSite site) {
   if (!armed_.load(std::memory_order_relaxed)) return false;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   SiteState& state = sites_[static_cast<size_t>(site)];
   const uint64_t index = state.occurrences++;
   if (state.plan.period == 0) return false;
@@ -37,17 +37,17 @@ bool FaultInjector::ShouldFire(FaultSite site) {
 }
 
 Nanos FaultInjector::delay(FaultSite site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return sites_[static_cast<size_t>(site)].plan.delay;
 }
 
 uint64_t FaultInjector::fires(FaultSite site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return sites_[static_cast<size_t>(site)].fired;
 }
 
 uint64_t FaultInjector::occurrences(FaultSite site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return sites_[static_cast<size_t>(site)].occurrences;
 }
 

@@ -37,9 +37,10 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
-#include <mutex>
 
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace rr::resilience {
 
@@ -94,8 +95,9 @@ class FaultInjector {
   };
 
   std::atomic<bool> armed_{false};
-  mutable std::mutex mutex_;
-  std::array<SiteState, static_cast<size_t>(FaultSite::kCount)> sites_;
+  mutable Mutex mutex_;
+  std::array<SiteState, static_cast<size_t>(FaultSite::kCount)> sites_
+      RR_GUARDED_BY(mutex_);
 };
 
 }  // namespace rr::resilience

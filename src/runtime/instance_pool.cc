@@ -65,6 +65,9 @@ Result<std::unique_ptr<InstancePool>> InstancePool::Create(Factory factory,
                                         options.max_instances);
   auto pool = std::unique_ptr<InstancePool>(
       new InstancePool(std::move(factory), options));
+  // Nobody else can hold the brand-new pool yet, but the warm set mutates
+  // guarded members, so build it under the (uncontended) lock.
+  MutexLock lock(pool->mutex_);
   for (size_t i = 0; i < options.min_warm; ++i) {
     RR_ASSIGN_OR_RETURN(std::unique_ptr<Instance> instance, pool->factory_());
     if (instance == nullptr) {
@@ -85,7 +88,7 @@ Result<InstancePool::Lease> InstancePool::Acquire() {
   const Stopwatch wait_timer;
   const TimePoint deadline = Now() + options_.acquire_timeout;
   bool counted_wait = false;
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
     if (!idle_.empty()) {
       // LIFO: the most recently released instance is the cache-warm one.
@@ -124,7 +127,7 @@ Result<InstancePool::Lease> InstancePool::Acquire() {
       ++waits_;
       PoolWaits().Inc();
     }
-    if (!idle_cv_.wait_until(lock, deadline, [this] {
+    if (!idle_cv_.wait_until(lock, deadline, [this]() RR_REQUIRES(mutex_) {
           return !idle_.empty() ||
                  instances_.size() + growing_ < options_.max_instances;
         })) {
@@ -139,21 +142,21 @@ Result<InstancePool::Lease> InstancePool::Acquire() {
 
 void InstancePool::ReleaseInstance(Instance* instance) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     idle_.push_back(instance);
   }
   idle_cv_.notify_one();
 }
 
 void InstancePool::ForEachInstance(const std::function<void(Instance&)>& fn) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const std::unique_ptr<Instance>& instance : instances_) {
     fn(*instance);
   }
 }
 
 PoolMetrics InstancePool::metrics() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   PoolMetrics metrics;
   metrics.leases = leases_;
   metrics.waits = waits_;

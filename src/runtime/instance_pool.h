@@ -29,14 +29,14 @@
 // handing out shared ownership).
 #pragma once
 
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace rr::runtime {
 
@@ -144,14 +144,16 @@ class InstancePool {
   const Factory factory_;
   const PoolOptions options_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable idle_cv_;
-  std::vector<std::unique_ptr<Instance>> instances_;  // all alive, any state
-  std::vector<Instance*> idle_;                       // LIFO free list
-  size_t growing_ = 0;  // reserved slots whose factory runs off-lock
-  uint64_t leases_ = 0;
-  uint64_t waits_ = 0;
-  uint64_t grows_ = 0;
+  mutable Mutex mutex_;
+  CondVar idle_cv_;
+  // All alive, any state.
+  std::vector<std::unique_ptr<Instance>> instances_ RR_GUARDED_BY(mutex_);
+  std::vector<Instance*> idle_ RR_GUARDED_BY(mutex_);  // LIFO free list
+  // Reserved slots whose factory runs off-lock.
+  size_t growing_ RR_GUARDED_BY(mutex_) = 0;
+  uint64_t leases_ RR_GUARDED_BY(mutex_) = 0;
+  uint64_t waits_ RR_GUARDED_BY(mutex_) = 0;
+  uint64_t grows_ RR_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace rr::runtime

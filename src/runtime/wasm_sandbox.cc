@@ -138,7 +138,7 @@ Result<WasmSandbox*> WasmVm::AddModule(FunctionSpec spec, ByteSpan wasm_binary,
         tenant_ + "'");
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (modules_.count(spec.name) != 0) {
       return AlreadyExistsError("module already loaded: " + spec.name);
     }
@@ -147,7 +147,7 @@ Result<WasmSandbox*> WasmVm::AddModule(FunctionSpec spec, ByteSpan wasm_binary,
   RR_ASSIGN_OR_RETURN(auto sandbox,
                       WasmSandbox::Create(std::move(spec), wasm_binary, options));
   WasmSandbox* raw = sandbox.get();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!modules_.emplace(name, std::move(sandbox)).second) {
     return AlreadyExistsError("module already loaded: " + name);
   }
@@ -155,7 +155,7 @@ Result<WasmSandbox*> WasmVm::AddModule(FunctionSpec spec, ByteSpan wasm_binary,
 }
 
 WasmSandbox* WasmVm::Find(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = modules_.find(name);
   return it == modules_.end() ? nullptr : it->second.get();
 }

@@ -5,7 +5,7 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
+#include "common/mutex.h"
 #include <string>
 
 #include "common/bytes.h"
@@ -113,15 +113,17 @@ class WasmVm {
 
   const std::string& workflow() const { return workflow_; }
   size_t module_count() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return modules_.size();
   }
 
  private:
   std::string workflow_;
   std::string tenant_;
-  mutable std::mutex mutex_;  // guards modules_ (the sandboxes are stable)
-  std::map<std::string, std::unique_ptr<WasmSandbox>> modules_;
+  // The sandboxes themselves are stable once created; only the map mutates.
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<WasmSandbox>> modules_
+      RR_GUARDED_BY(mutex_);
 };
 
 }  // namespace rr::runtime

@@ -1,0 +1,123 @@
+#include "common/mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace rr {
+namespace {
+
+TEST(MutexTest, LockUnlockExcludes) {
+  Mutex mu;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter, 8 * 10000);
+}
+
+TEST(MutexTest, TryLockReflectsContention) {
+  Mutex mu;
+  EXPECT_TRUE(mu.try_lock());
+  EXPECT_FALSE(mu.try_lock());
+  mu.unlock();
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(MutexLockTest, MidScopeUnlockRelock) {
+  Mutex mu;
+  MutexLock lock(mu);
+  lock.unlock();
+  EXPECT_TRUE(mu.try_lock());  // released: another owner can take it
+  mu.unlock();
+  lock.lock();
+  EXPECT_FALSE(mu.try_lock());  // re-held
+}
+
+// Regression for the transport PairLock: two threads locking the same pair
+// of exec mutexes in OPPOSING order (a->b transfer concurrent with b->a)
+// must not deadlock. With two sequential MutexLocks instead of the ordered
+// MutexPairLock this test hangs.
+TEST(MutexPairLockTest, OpposingOrdersDoNotDeadlock) {
+  Mutex a;
+  Mutex b;
+  std::atomic<int> entered{0};
+  auto hammer = [&](Mutex& first, Mutex& second) {
+    for (int i = 0; i < 20000; ++i) {
+      MutexPairLock both(first, second);
+      entered.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::thread forward(hammer, std::ref(a), std::ref(b));
+  std::thread backward(hammer, std::ref(b), std::ref(a));
+  forward.join();
+  backward.join();
+  EXPECT_EQ(entered.load(), 40000);
+}
+
+// Regression for the degenerate self-hop (source shim == target shim): the
+// pair lock must collapse to a single acquisition instead of self-deadlock
+// (std::scoped_lock{m, m} is undefined behavior).
+TEST(MutexPairLockTest, SameMutexLocksOnce) {
+  Mutex mu;
+  {
+    MutexPairLock both(mu, mu);
+    EXPECT_FALSE(mu.try_lock());  // held exactly once, still exclusive
+  }
+  EXPECT_TRUE(mu.try_lock());  // fully released on scope exit
+  mu.unlock();
+}
+
+TEST(CondVarTest, PredicateWaitSeesNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    cv.wait(lock, [&]() RR_REQUIRES(mu) { return ready; });
+    EXPECT_TRUE(ready);
+  });
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+}
+
+TEST(CondVarTest, WaitForTimesOutWithoutNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool never = false;
+  MutexLock lock(mu);
+  const bool satisfied =
+      cv.wait_for(lock, std::chrono::milliseconds(10),
+                  [&]() RR_REQUIRES(mu) { return never; });
+  EXPECT_FALSE(satisfied);
+}
+
+TEST(CondVarTest, WaitUntilHonorsDeadline) {
+  Mutex mu;
+  CondVar cv;
+  bool never = false;
+  MutexLock lock(mu);
+  const bool satisfied =
+      cv.wait_until(lock, Now() + std::chrono::milliseconds(10),
+                    [&]() RR_REQUIRES(mu) { return never; });
+  EXPECT_FALSE(satisfied);
+}
+
+}  // namespace
+}  // namespace rr

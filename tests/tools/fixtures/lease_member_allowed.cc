@@ -1,0 +1,12 @@
+// Fixture: the lease-wrapper type itself suppresses the rule.
+namespace rr::runtime {
+struct InstancePool {
+  class Lease {};
+};
+}  // namespace rr::runtime
+namespace runtime = rr::runtime;
+
+class ShimLease {
+  // The wrapper IS the lease; composition is its whole job.
+  runtime::InstancePool::Lease lease_;  // rr-lint: allow(lease-member)
+};

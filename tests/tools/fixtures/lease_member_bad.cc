@@ -1,0 +1,23 @@
+// Fixture: a pool lease parked in a long-lived object fires.
+namespace rr::core {
+class ShimLease {};
+}  // namespace rr::core
+namespace rr::runtime {
+struct InstancePool {
+  class Lease {};
+};
+}  // namespace rr::runtime
+
+using rr::core::ShimLease;
+namespace runtime = rr::runtime;
+
+struct Session {
+  ShimLease lease;                       // finding
+  runtime::InstancePool::Lease raw;      // finding
+};
+
+void Dispatch() {
+  // On the stack of one dispatch: fine.
+  ShimLease lease;
+  (void)lease;
+}

@@ -1,0 +1,12 @@
+// Fixture: suppressed raw-mutex uses are clean.
+#include <mutex>
+
+struct Bridge {
+  // Interop with a third-party API that wants a std::mutex.
+  std::mutex mu;  // rr-lint: allow(raw-mutex)
+};
+
+void Touch(Bridge& b) {
+  // rr-lint: allow(raw-mutex)
+  std::lock_guard<std::mutex> lock(b.mu);
+}

@@ -1,0 +1,19 @@
+// Fixture: every std:: synchronization primitive fires raw-mutex.
+#include <mutex>
+
+struct Registry {
+  std::mutex mu;                       // finding
+  std::condition_variable cv;          // finding
+};
+
+void Touch(Registry& r) {
+  std::lock_guard<std::mutex> lock(r.mu);  // finding (lock_guard + mutex)
+}
+
+void Touch2(Registry& r) {
+  std::unique_lock<std::mutex> lock(r.mu);  // finding
+}
+
+// Commented-out code must NOT fire:
+// std::mutex ghost;
+const char* kDoc = "std::mutex in a string must not fire";

@@ -1,0 +1,12 @@
+// Fixture: a suppressed non-blocking-in-practice call is clean.
+#include <sys/socket.h>
+
+struct Conn {
+  int fd;
+
+  void OnEvent(unsigned events) {  // rr-lint: reactor-thread
+    char buf[4096];
+    // Never blocks (MSG_DONTWAIT).  rr-lint: allow(reactor-blocking)
+    (void)recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+  }
+};

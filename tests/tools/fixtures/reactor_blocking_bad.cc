@@ -1,0 +1,24 @@
+// Fixture: a blocking call two hops from a marked reactor entry fires.
+#include "common/mutex.h"
+
+struct Loop {
+  rr::Mutex mutex;
+  rr::CondVar cv;
+
+  void Helper() {
+    rr::MutexLock lock(mutex);
+    cv.wait(lock);  // finding: blocking, reachable from OnEvent
+  }
+
+  void Middle() { Helper(); }
+
+  void OnEvent(unsigned events) {  // rr-lint: reactor-thread
+    Middle();
+  }
+
+  // NOT reachable from the entry point: must not fire.
+  void BackgroundWorker() {
+    rr::MutexLock lock(mutex);
+    cv.wait(lock);
+  }
+};

@@ -1,0 +1,10 @@
+// Fixture: a PlaceRegion with no RegionGuard in the function fires.
+struct Shim {
+  int PlaceRegion(const void* data, unsigned long size) { return 0; }
+};
+
+int Leaky(Shim& shim, const void* data, unsigned long size) {
+  const int region = shim.PlaceRegion(data, size);  // finding: no guard
+  if (region < 0) return -1;  // early return leaks the region
+  return region;
+}

@@ -1,0 +1,19 @@
+// Fixture: PlaceRegion paired with a RegionGuard in the same function is
+// clean; so is a suppressed transfer of ownership.
+struct Shim {
+  int PlaceRegion(const void* data, unsigned long size) { return 0; }
+};
+struct RegionGuard {
+  RegionGuard(Shim& shim, int region) {}
+};
+
+int Guarded(Shim& shim, const void* data, unsigned long size) {
+  const int region = shim.PlaceRegion(data, size);
+  RegionGuard guard(shim, region);
+  return region;
+}
+
+int Transferred(Shim& shim, const void* data, unsigned long size) {
+  // Ownership moves to the caller's guard.  rr-lint: allow(region-guard)
+  return shim.PlaceRegion(data, size);
+}
